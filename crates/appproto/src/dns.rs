@@ -1,0 +1,312 @@
+//! DNS-over-TCP (RFC 1035 §4.2.2 framing, RFC 7766 retry behavior).
+//!
+//! DNS over TCP prefixes each message with a two-byte length. The
+//! paper's key observation (§4.2): because RFC 7766 tells clients to
+//! *retry* when a connection closes prematurely, censorship (a RST
+//! mid-query) triggers retries, which **amplifies** any per-try evasion
+//! success rate — a 50 % strategy reaches ~87.5 % with 3 total tries.
+//! We model the paper's testing choice: 3 tries max.
+
+use endpoint::{ClientApp, ServerApp, ServerSession};
+
+/// The answer address our resolver hands out; the client checks it.
+pub const ANSWER_IP: [u8; 4] = [192, 0, 2, 77];
+
+/// Encode a QNAME as DNS labels.
+fn encode_qname(name: &str, out: &mut Vec<u8>) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0);
+}
+
+/// Decode a QNAME at `at`; returns (name, bytes consumed). No
+/// compression support needed for queries.
+fn decode_qname(data: &[u8], mut at: usize) -> Option<(String, usize)> {
+    let start = at;
+    let mut name = String::new();
+    loop {
+        let len = usize::from(*data.get(at)?);
+        at += 1;
+        if len == 0 {
+            break;
+        }
+        if len > 63 {
+            return None; // compression pointer / malformed — not in queries
+        }
+        let label = data.get(at..at + len)?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(std::str::from_utf8(label).ok()?);
+        at += len;
+    }
+    Some((name, at - start))
+}
+
+/// Build an (unframed) A-query message for `name` with transaction
+/// `id` — the shape used directly over UDP.
+pub fn build_query_message(name: &str, id: u16) -> Vec<u8> {
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&id.to_be_bytes());
+    msg.extend_from_slice(&[0x01, 0x00]); // RD
+    msg.extend_from_slice(&[0, 1, 0, 0, 0, 0, 0, 0]); // QD=1
+    encode_qname(name, &mut msg);
+    msg.extend_from_slice(&[0, 1, 0, 1]); // QTYPE=A, QCLASS=IN
+    msg
+}
+
+/// Build a TCP-framed A query for `name` with transaction `id`.
+pub fn build_query(name: &str, id: u16) -> Vec<u8> {
+    frame(build_query_message(name, id))
+}
+
+/// The forged address the GFW's DNS injector hands out in our model —
+/// a "lemon" response (§2.1: censors "inject DNS lemon responses to
+/// thwart address lookup").
+pub const LEMON_IP: [u8; 4] = [203, 0, 113, 113];
+
+/// Build an (unframed) response message to `query_msg` with one A
+/// record pointing at `answer`.
+pub fn build_response_message(query_msg: &[u8], answer: [u8; 4]) -> Option<Vec<u8>> {
+    if query_msg.len() < 12 {
+        return None;
+    }
+    let (qname, qname_len) = decode_qname(query_msg, 12)?;
+    let question_end = 12 + qname_len + 4;
+    if query_msg.len() < question_end {
+        return None;
+    }
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&query_msg[0..2]); // same id
+    msg.extend_from_slice(&[0x81, 0x80]); // QR, RD, RA, NOERROR
+    msg.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 0]); // QD=1 AN=1
+    msg.extend_from_slice(&query_msg[12..question_end]); // echo question
+    encode_qname(&qname, &mut msg); // answer name (uncompressed)
+    msg.extend_from_slice(&[0, 1, 0, 1]); // TYPE A, CLASS IN
+    msg.extend_from_slice(&[0, 0, 0, 60]); // TTL
+    msg.extend_from_slice(&[0, 4]); // RDLENGTH
+    msg.extend_from_slice(&answer);
+    Some(msg)
+}
+
+/// Parse an (unframed, UDP-style) query's QNAME.
+pub fn parse_query_name_udp(msg: &[u8]) -> Option<String> {
+    if msg.len() < 12 {
+        return None;
+    }
+    let qdcount = u16::from_be_bytes([msg[4], msg[5]]);
+    let is_query = msg[2] & 0x80 == 0;
+    if !is_query || qdcount == 0 {
+        return None;
+    }
+    decode_qname(msg, 12).map(|(name, _)| name)
+}
+
+/// Extract the A-record address from an (unframed) response message.
+pub fn response_answer(msg: &[u8]) -> Option<[u8; 4]> {
+    // The last four bytes of our fixed-layout responses are the RDATA.
+    if msg.len() < 16 || msg[2] & 0x80 == 0 {
+        return None;
+    }
+    let tail = &msg[msg.len() - 4..];
+    Some([tail[0], tail[1], tail[2], tail[3]])
+}
+
+/// Build the TCP-framed response to `query_msg` (unframed message) with
+/// one A record pointing at [`ANSWER_IP`].
+pub fn build_response(query_msg: &[u8]) -> Option<Vec<u8>> {
+    Some(frame(build_response_message(query_msg, ANSWER_IP)?))
+}
+
+fn frame(msg: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(msg.len() + 2);
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(&msg);
+    out
+}
+
+/// DPI: extract the QNAME from a TCP stream fragment, requiring a
+/// complete length-prefixed query message.
+pub fn parse_query_name(stream: &[u8]) -> Option<String> {
+    if stream.len() < 2 {
+        return None;
+    }
+    let len = usize::from(u16::from_be_bytes([stream[0], stream[1]]));
+    let msg = stream.get(2..2 + len)?;
+    if msg.len() < 12 {
+        return None;
+    }
+    let qdcount = u16::from_be_bytes([msg[4], msg[5]]);
+    let is_query = msg[2] & 0x80 == 0;
+    if !is_query || qdcount == 0 {
+        return None;
+    }
+    decode_qname(msg, 12).map(|(name, _)| name)
+}
+
+/// A DNS-over-TCP client querying a (censored) name, with the paper's
+/// 3-try retry policy.
+#[derive(Debug, Clone)]
+pub struct DnsClientApp {
+    /// The queried name.
+    pub name: String,
+    got: Vec<u8>,
+    base_id: u16,
+}
+
+impl DnsClientApp {
+    /// New query session for `name`.
+    pub fn new(name: &str) -> Self {
+        DnsClientApp {
+            name: name.to_string(),
+            got: Vec::new(),
+            base_id: 0x7A30,
+        }
+    }
+
+    fn complete_response(&self) -> Option<&[u8]> {
+        if self.got.len() < 2 {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([self.got[0], self.got[1]]));
+        self.got.get(2..2 + len)
+    }
+}
+
+impl ClientApp for DnsClientApp {
+    fn request(&mut self, attempt: u32) -> Vec<u8> {
+        build_query(&self.name, self.base_id.wrapping_add(attempt as u16))
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.got.extend_from_slice(data);
+    }
+    fn satisfied(&self) -> bool {
+        let Some(msg) = self.complete_response() else {
+            return false;
+        };
+        // QR set, NOERROR, at least one answer, and our address present.
+        msg.len() >= 12
+            && msg[2] & 0x80 != 0
+            && msg[3] & 0x0F == 0
+            && u16::from_be_bytes([msg[6], msg[7]]) >= 1
+            && crate::http::contains(msg, &ANSWER_IP)
+    }
+    fn max_attempts(&self) -> u32 {
+        3 // the paper's "maximum of 3 tries"
+    }
+    fn reset_for_retry(&mut self) {
+        self.got.clear();
+    }
+}
+
+/// A recursive resolver stand-in: answers any complete A query.
+pub struct DnsServerApp;
+
+impl ServerApp for DnsServerApp {
+    fn new_session(&mut self) -> Box<dyn ServerSession> {
+        Box::new(DnsServerSession { responded: false })
+    }
+}
+
+struct DnsServerSession {
+    responded: bool,
+}
+
+impl ServerSession for DnsServerSession {
+    fn on_data(&mut self, stream: &[u8]) -> Vec<u8> {
+        if self.responded || stream.len() < 2 {
+            return Vec::new();
+        }
+        let len = usize::from(u16::from_be_bytes([stream[0], stream[1]]));
+        let Some(msg) = stream.get(2..2 + len) else {
+            return Vec::new();
+        };
+        match build_response(msg) {
+            Some(resp) => {
+                self.responded = true;
+                resp
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_name_round_trips() {
+        let q = build_query("www.wikipedia.org", 0x1234);
+        assert_eq!(parse_query_name(&q).as_deref(), Some("www.wikipedia.org"));
+    }
+
+    #[test]
+    fn partial_query_not_parsed() {
+        let q = build_query("www.wikipedia.org", 0x1234);
+        for cut in 1..q.len() {
+            assert_eq!(parse_query_name(&q[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn response_is_not_a_query() {
+        let q = build_query("example.org", 1);
+        let resp = build_response(&q[2..]).unwrap();
+        assert_eq!(parse_query_name(&resp), None);
+    }
+
+    #[test]
+    fn client_satisfied_by_matching_answer() {
+        let mut app = DnsClientApp::new("www.wikipedia.org");
+        let q = app.request(0);
+        assert!(!app.satisfied());
+        app.on_data(&build_response(&q[2..]).unwrap());
+        assert!(app.satisfied());
+    }
+
+    #[test]
+    fn client_retries_three_times_and_resets() {
+        let mut app = DnsClientApp::new("x.org");
+        assert_eq!(app.max_attempts(), 3);
+        let q0 = app.request(0);
+        let q1 = app.request(1);
+        assert_ne!(q0, q1, "new transaction id per try");
+        app.on_data(b"\x00\x01x");
+        app.reset_for_retry();
+        assert!(!app.satisfied());
+    }
+
+    #[test]
+    fn server_answers_complete_queries_only() {
+        let mut s = DnsServerApp.new_session();
+        let q = build_query("a.b.c", 9);
+        assert!(s.on_data(&q[..q.len() - 1]).is_empty());
+        let resp = s.on_data(&q);
+        assert!(!resp.is_empty());
+        // Response must parse as satisfying for the client.
+        let mut app = DnsClientApp::new("a.b.c");
+        let _ = app.request(0);
+        app.on_data(&resp);
+        assert!(app.satisfied());
+    }
+
+    #[test]
+    fn udp_message_helpers_round_trip() {
+        let q = build_query_message("www.wikipedia.org", 0x9999);
+        assert_eq!(parse_query_name_udp(&q).as_deref(), Some("www.wikipedia.org"));
+        let truthful = build_response_message(&q, ANSWER_IP).unwrap();
+        assert_eq!(response_answer(&truthful), Some(ANSWER_IP));
+        assert_eq!(parse_query_name_udp(&truthful), None, "responses are not queries");
+        let lemon = build_response_message(&q, LEMON_IP).unwrap();
+        assert_eq!(response_answer(&lemon), Some(LEMON_IP));
+    }
+
+    #[test]
+    fn qname_with_single_label() {
+        let q = build_query("localhost", 2);
+        assert_eq!(parse_query_name(&q).as_deref(), Some("localhost"));
+    }
+}

@@ -1,0 +1,219 @@
+//! FTP control channel (RFC 959 subset): login + `RETR` of a file with
+//! a sensitive name.
+//!
+//! The paper's FTP workload (§4.2): "we sign into FTP servers we
+//! control and issue requests for files with sensitive keywords as
+//! names (e.g., ultrasurf)". The censorship trigger is the `RETR`
+//! argument on the control channel. FTP is server-greets-first and
+//! interactive, which exercises the `pending_output` plumbing.
+
+use endpoint::{ClientApp, ServerApp, ServerSession};
+
+/// Marker line the server sends when the transfer "completes"; the
+/// client requires it for success.
+pub const TRANSFER_OK: &str = "226 Transfer complete (genuine-origin-ftp).";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FtpClientState {
+    WaitBanner,
+    WaitUserOk,
+    WaitPassOk,
+    WaitRetrOk,
+    Done,
+}
+
+/// FTP client session: anonymous login, then `RETR <file>`.
+#[derive(Debug, Clone)]
+pub struct FtpClientApp {
+    /// The sensitive filename to retrieve.
+    pub filename: String,
+    state: FtpClientState,
+    buffer: String,
+    consumed: usize,
+    queued: Vec<Vec<u8>>,
+}
+
+impl FtpClientApp {
+    /// New session retrieving `filename`.
+    pub fn new(filename: &str) -> Self {
+        FtpClientApp {
+            filename: filename.to_string(),
+            state: FtpClientState::WaitBanner,
+            buffer: String::new(),
+            consumed: 0,
+            queued: Vec::new(),
+        }
+    }
+
+    fn advance(&mut self) {
+        // Process complete lines we haven't consumed yet.
+        while let Some(nl) = self.buffer[self.consumed..].find("\r\n") {
+            let line = self.buffer[self.consumed..self.consumed + nl].to_string();
+            self.consumed += nl + 2;
+            let code = line.get(0..3).unwrap_or("");
+            match (self.state, code) {
+                (FtpClientState::WaitBanner, "220") => {
+                    self.queued.push(b"USER anonymous\r\n".to_vec());
+                    self.state = FtpClientState::WaitUserOk;
+                }
+                (FtpClientState::WaitUserOk, "331") => {
+                    self.queued.push(b"PASS guest@\r\n".to_vec());
+                    self.state = FtpClientState::WaitPassOk;
+                }
+                (FtpClientState::WaitPassOk, "230") => {
+                    self.queued
+                        .push(format!("RETR {}\r\n", self.filename).into_bytes());
+                    self.state = FtpClientState::WaitRetrOk;
+                }
+                (FtpClientState::WaitRetrOk, "226")
+                    if line.contains("genuine-origin-ftp") => {
+                        self.state = FtpClientState::Done;
+                    }
+                _ => {} // intermediate replies (150 etc.) or noise
+            }
+        }
+    }
+}
+
+impl ClientApp for FtpClientApp {
+    fn request(&mut self, _attempt: u32) -> Vec<u8> {
+        Vec::new() // server speaks first
+    }
+    fn pending_output(&mut self) -> Option<Vec<u8>> {
+        if self.queued.is_empty() {
+            None
+        } else {
+            Some(self.queued.remove(0))
+        }
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.buffer.push_str(&String::from_utf8_lossy(data));
+        self.advance();
+    }
+    fn satisfied(&self) -> bool {
+        self.state == FtpClientState::Done
+    }
+    fn reset_for_retry(&mut self) {
+        *self = FtpClientApp::new(&self.filename);
+    }
+}
+
+/// FTP server: banner, login acceptance, and a canned transfer.
+pub struct FtpServerApp;
+
+impl ServerApp for FtpServerApp {
+    fn new_session(&mut self) -> Box<dyn ServerSession> {
+        Box::new(FtpServerSession { consumed: 0 })
+    }
+}
+
+struct FtpServerSession {
+    consumed: usize,
+}
+
+impl ServerSession for FtpServerSession {
+    fn greeting(&mut self) -> Vec<u8> {
+        b"220 ProFTPD Server ready.\r\n".to_vec()
+    }
+
+    fn on_data(&mut self, stream: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(stream).into_owned();
+        let mut reply = Vec::new();
+        while let Some(nl) = text[self.consumed..].find("\r\n") {
+            let line = &text[self.consumed..self.consumed + nl];
+            self.consumed += nl + 2;
+            let response: String = if line.starts_with("USER") {
+                "331 Password required.\r\n".into()
+            } else if line.starts_with("PASS") {
+                "230 User logged in.\r\n".into()
+            } else if let Some(file) = line.strip_prefix("RETR ") {
+                format!("150 Opening data connection for {file}.\r\n{TRANSFER_OK}\r\n")
+            } else if line.starts_with("QUIT") {
+                "221 Goodbye.\r\n".into()
+            } else {
+                "502 Command not implemented.\r\n".into()
+            };
+            reply.extend_from_slice(response.as_bytes());
+        }
+        reply
+    }
+}
+
+/// DPI: the filename of a complete `RETR` command in the stream.
+pub fn parse_retr_filename(stream: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(stream).ok()?;
+    // Only complete (CRLF-terminated) lines count: a command split
+    // across segments is invisible to non-reassembling DPI.
+    let mut lines: Vec<&str> = text.split("\r\n").collect();
+    lines.pop(); // the trailing piece has no CRLF yet
+    for line in lines {
+        if let Some(arg) = line.strip_prefix("RETR ") {
+            return Some(arg.trim().to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive client and server sessions against each other in memory.
+    fn run_session(filename: &str) -> (FtpClientApp, Vec<u8>) {
+        let mut client = FtpClientApp::new(filename);
+        let mut server = FtpServerApp.new_session();
+        let mut client_stream: Vec<u8> = Vec::new(); // what the server saw
+
+        let _ = client.request(0);
+        client.on_data(&server.greeting());
+        for _ in 0..10 {
+            while let Some(bytes) = client.pending_output() {
+                client_stream.extend_from_slice(&bytes);
+            }
+            let reply = server.on_data(&client_stream);
+            if reply.is_empty() {
+                break;
+            }
+            client.on_data(&reply);
+        }
+        (client, client_stream)
+    }
+
+    #[test]
+    fn full_login_and_retr_succeeds() {
+        let (client, stream) = run_session("ultrasurf");
+        assert!(client.satisfied());
+        assert_eq!(parse_retr_filename(&stream).as_deref(), Some("ultrasurf"));
+    }
+
+    #[test]
+    fn dpi_sees_nothing_before_retr() {
+        let text = b"USER anonymous\r\nPASS guest@\r\n";
+        assert_eq!(parse_retr_filename(text), None);
+    }
+
+    #[test]
+    fn partial_retr_line_not_matched() {
+        assert_eq!(parse_retr_filename(b"RETR ultra"), None, "no CRLF yet? still extracted?");
+    }
+
+    #[test]
+    fn client_state_machine_ignores_noise() {
+        let mut client = FtpClientApp::new("f");
+        client.on_data(b"999 weird\r\n220 hi\r\n");
+        assert_eq!(client.pending_output().unwrap(), b"USER anonymous\r\n");
+        client.on_data(b"331 pw?\r\n");
+        assert_eq!(client.pending_output().unwrap(), b"PASS guest@\r\n");
+        assert_eq!(client.pending_output(), None);
+    }
+
+    #[test]
+    fn reset_for_retry_restarts_cleanly() {
+        let (mut client, _) = run_session("x");
+        assert!(client.satisfied());
+        client.reset_for_retry();
+        assert!(!client.satisfied());
+        client.on_data(b"220 again\r\n");
+        assert_eq!(client.pending_output().unwrap(), b"USER anonymous\r\n");
+    }
+}

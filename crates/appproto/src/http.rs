@@ -1,0 +1,256 @@
+//! HTTP/1.1: client requests, server responses, block pages, and the
+//! DPI request parser.
+//!
+//! Two request shapes trigger censorship in the paper (§4.2):
+//! * **China**: a censored keyword in the URL query
+//!   (`GET /?q=ultrasurf`);
+//! * **India / Iran / Kazakhstan**: a blacklisted domain in the
+//!   `Host:` header.
+
+use endpoint::{ClientApp, ServerApp, ServerSession};
+
+/// Marker embedded in legitimate server responses; the client checks
+/// for it to decide the paper's success criterion ("the client receives
+/// the correct, unaltered data").
+pub const CONTENT_MARKER: &str = "genuine-origin-content";
+
+/// Marker embedded in censor block pages (Airtel, Kazakhstan).
+pub const BLOCK_MARKER: &str = "this-page-is-blocked-by-order";
+
+/// A complete 200 response carrying [`CONTENT_MARKER`].
+pub fn ok_response() -> Vec<u8> {
+    let body = format!("<html><body>{CONTENT_MARKER}</body></html>");
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// The block page censors inject (styled after Airtel's HTTP 200
+/// injection, §5.2).
+pub fn block_page() -> Vec<u8> {
+    let body = format!("<html><body>{BLOCK_MARKER}</body></html>");
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// HTTP client session: one GET, expects [`ok_response`].
+#[derive(Debug, Clone)]
+pub struct HttpClientApp {
+    /// Request path (may embed the censored keyword as a query).
+    pub path: String,
+    /// `Host:` header value (the blacklisted site for India/Iran/KZ).
+    pub host: String,
+    got: Vec<u8>,
+}
+
+impl HttpClientApp {
+    /// China-style: keyword in the URL query, innocuous host.
+    pub fn for_keyword_query(keyword: &str) -> Self {
+        HttpClientApp {
+            path: format!("/?q={keyword}"),
+            host: "example.com".to_string(),
+            got: Vec::new(),
+        }
+    }
+
+    /// India/Iran/Kazakhstan-style: blacklisted domain in `Host:`.
+    pub fn for_blocked_host(host: &str) -> Self {
+        HttpClientApp {
+            path: "/".to_string(),
+            host: host.to_string(),
+            got: Vec::new(),
+        }
+    }
+
+    /// The literal request bytes.
+    pub fn request_bytes(&self) -> Vec<u8> {
+        format!(
+            "GET {} HTTP/1.1\r\nHost: {}\r\nUser-Agent: curl/7.58.0\r\nAccept: */*\r\n\r\n",
+            self.path, self.host
+        )
+        .into_bytes()
+    }
+}
+
+impl ClientApp for HttpClientApp {
+    fn request(&mut self, _attempt: u32) -> Vec<u8> {
+        self.request_bytes()
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.got.extend_from_slice(data);
+    }
+    fn satisfied(&self) -> bool {
+        contains(&self.got, CONTENT_MARKER.as_bytes())
+    }
+    fn poisoned(&self) -> bool {
+        contains(&self.got, BLOCK_MARKER.as_bytes())
+    }
+}
+
+/// HTTP origin server: 200 + marker body once the request is complete.
+pub struct HttpServerApp;
+
+impl ServerApp for HttpServerApp {
+    fn new_session(&mut self) -> Box<dyn ServerSession> {
+        Box::new(HttpServerSession { responded: false })
+    }
+}
+
+struct HttpServerSession {
+    responded: bool,
+}
+
+impl ServerSession for HttpServerSession {
+    fn on_data(&mut self, stream: &[u8]) -> Vec<u8> {
+        if self.responded {
+            return Vec::new();
+        }
+        if parse_request(stream).is_some() {
+            self.responded = true;
+            ok_response()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A parsed HTTP request (the parts DPI cares about).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`).
+    pub method: String,
+    /// Request target (path + query).
+    pub target: String,
+    /// `Host:` header value, if present.
+    pub host: Option<String>,
+}
+
+/// Parse a *complete* request head from the front of `stream`
+/// (requires the terminating blank line, like real DPI reassembly and
+/// like a real server). Returns `None` while incomplete or non-HTTP.
+pub fn parse_request(stream: &[u8]) -> Option<HttpRequest> {
+    let head_end = find(stream, b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&stream[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") || !matches!(method.as_str(), "GET" | "POST" | "HEAD") {
+        return None;
+    }
+    let mut host = None;
+    for line in lines {
+        if let Some(value) = line.strip_prefix("Host:") {
+            host = Some(value.trim().to_string());
+        }
+    }
+    Some(HttpRequest {
+        method,
+        target,
+        host,
+    })
+}
+
+/// DPI: does this (single packet or reassembled) buffer contain a
+/// complete HTTP request for the forbidden `keyword` — in the URL or
+/// the `Host:` header?
+pub fn request_is_forbidden(stream: &[u8], keyword: &str) -> bool {
+    match parse_request(stream) {
+        Some(req) => {
+            req.target.contains(keyword)
+                || req.host.as_deref().map(|h| h.contains(keyword)).unwrap_or(false)
+        }
+        None => false,
+    }
+}
+
+pub(crate) fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    find(haystack, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_parser() {
+        let mut app = HttpClientApp::for_keyword_query("ultrasurf");
+        let req = app.request(0);
+        let parsed = parse_request(&req).unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert_eq!(parsed.target, "/?q=ultrasurf");
+        assert_eq!(parsed.host.as_deref(), Some("example.com"));
+    }
+
+    #[test]
+    fn forbidden_detection_by_query_and_host() {
+        let q = HttpClientApp::for_keyword_query("ultrasurf").request_bytes();
+        assert!(request_is_forbidden(&q, "ultrasurf"));
+        assert!(!request_is_forbidden(&q, "youtube.com"));
+
+        let h = HttpClientApp::for_blocked_host("youtube.com").request_bytes();
+        assert!(request_is_forbidden(&h, "youtube.com"));
+        assert!(!request_is_forbidden(&h, "ultrasurf"));
+    }
+
+    #[test]
+    fn partial_request_is_not_matched() {
+        let req = HttpClientApp::for_keyword_query("ultrasurf").request_bytes();
+        // Any prefix missing the final CRLFCRLF must not match — this
+        // is why per-packet (non-reassembling) DPI loses to Strategy 8.
+        for cut in 1..req.len() - 1 {
+            assert!(
+                !request_is_forbidden(&req[..cut], "ultrasurf"),
+                "cut at {cut} matched"
+            );
+        }
+        // And a middle fragment is not even a request.
+        assert!(parse_request(&req[10..]).is_none());
+    }
+
+    #[test]
+    fn client_satisfaction_and_poisoning() {
+        let mut app = HttpClientApp::for_keyword_query("x");
+        assert!(!app.satisfied());
+        app.on_data(&ok_response());
+        assert!(app.satisfied());
+        assert!(!app.poisoned());
+
+        let mut poisoned = HttpClientApp::for_keyword_query("x");
+        poisoned.on_data(&block_page());
+        assert!(poisoned.poisoned());
+        assert!(!poisoned.satisfied());
+    }
+
+    #[test]
+    fn server_session_responds_once() {
+        let mut s = HttpServerApp.new_session();
+        let req = HttpClientApp::for_keyword_query("x").request_bytes();
+        assert!(s.on_data(&req[..5]).is_empty());
+        let resp = s.on_data(&req);
+        assert!(contains(&resp, CONTENT_MARKER.as_bytes()));
+        assert!(s.on_data(&req).is_empty(), "no double response");
+    }
+
+    #[test]
+    fn non_http_bytes_rejected() {
+        assert!(parse_request(b"\x16\x03\x01\x02\x00garbage\r\n\r\n").is_none());
+        assert!(parse_request(b"NOTAVERB / HTTP/1.1\r\n\r\n").is_none());
+    }
+}

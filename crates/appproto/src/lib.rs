@@ -1,0 +1,67 @@
+//! # appproto — the five censored application protocols
+//!
+//! The paper triggers censorship over **DNS-over-TCP, FTP, HTTP, HTTPS,
+//! and SMTP** (§4.2), each with a protocol-specific forbidden token:
+//!
+//! | protocol | trigger |
+//! |---|---|
+//! | DNS-over-TCP | a censored QNAME in the query |
+//! | FTP | a sensitive filename in `RETR` |
+//! | HTTP | a censored keyword in the URL, or a blacklisted `Host:` |
+//! | HTTPS | a forbidden name in the TLS SNI extension |
+//! | SMTP | a forbidden recipient in `RCPT TO:` |
+//!
+//! Each module provides three things:
+//!
+//! 1. a **client session** (`endpoint::ClientApp`) an unmodified client
+//!    would run — including DNS's RFC 7766 retry behavior and FTP/SMTP's
+//!    interactive command/response exchanges;
+//! 2. a **server session** (`endpoint::ServerApp`/`ServerSession`)
+//!    producing a well-formed response the client can verify;
+//! 3. a **DPI extractor** used by the censor models — a real parser, so
+//!    a keyword split across TCP segments is only found by censors that
+//!    reassemble (the deficiency Strategy 8 exploits).
+
+pub mod dns;
+pub mod dpi;
+pub mod ftp;
+pub mod http;
+pub mod smtp;
+pub mod tls;
+
+pub use dpi::{forbidden_in, AppProtocol};
+
+/// Default server port per protocol (the paper randomizes GFW-facing
+/// ports; India/Iran/Kazakhstan only censor default ports — §5.2).
+pub fn default_port(proto: AppProtocol) -> u16 {
+    match proto {
+        AppProtocol::DnsTcp => 53,
+        AppProtocol::Ftp => 21,
+        AppProtocol::Http => 80,
+        AppProtocol::Https => 443,
+        AppProtocol::Smtp => 25,
+    }
+}
+
+/// Build the standard client session for `proto`, requesting the
+/// forbidden resource `keyword` (domain / filename / recipient).
+pub fn client_app(proto: AppProtocol, keyword: &str) -> Box<dyn endpoint::ClientApp> {
+    match proto {
+        AppProtocol::DnsTcp => Box::new(dns::DnsClientApp::new(keyword)),
+        AppProtocol::Ftp => Box::new(ftp::FtpClientApp::new(keyword)),
+        AppProtocol::Http => Box::new(http::HttpClientApp::for_keyword_query(keyword)),
+        AppProtocol::Https => Box::new(tls::TlsClientApp::new(keyword)),
+        AppProtocol::Smtp => Box::new(smtp::SmtpClientApp::new(keyword)),
+    }
+}
+
+/// Build the standard server application for `proto`.
+pub fn server_app(proto: AppProtocol) -> Box<dyn endpoint::ServerApp> {
+    match proto {
+        AppProtocol::DnsTcp => Box::new(dns::DnsServerApp),
+        AppProtocol::Ftp => Box::new(ftp::FtpServerApp),
+        AppProtocol::Http => Box::new(http::HttpServerApp),
+        AppProtocol::Https => Box::new(tls::TlsServerApp),
+        AppProtocol::Smtp => Box::new(smtp::SmtpServerApp),
+    }
+}

@@ -1,0 +1,206 @@
+//! SMTP (RFC 5321 subset): greeting, HELO, and a forbidden recipient.
+//!
+//! The paper's SMTP workload (§4.2): "we connect to SMTP servers we
+//! control and, from our unmodified clients, send an email to a
+//! forbidden email address, xiazai@upup.info" — the GFW triggers on
+//! the envelope recipient. Like FTP this is a server-greets-first,
+//! interactive protocol.
+
+use endpoint::{ClientApp, ServerApp, ServerSession};
+
+/// The forbidden address the paper uses.
+pub const FORBIDDEN_RCPT: &str = "xiazai@upup.info";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmtpClientState {
+    WaitGreeting,
+    WaitHeloOk,
+    WaitMailOk,
+    WaitRcptOk,
+    Done,
+}
+
+/// SMTP client session: HELO → MAIL FROM → RCPT TO the forbidden address.
+#[derive(Debug, Clone)]
+pub struct SmtpClientApp {
+    /// The envelope recipient (the censored trigger).
+    pub rcpt: String,
+    state: SmtpClientState,
+    buffer: String,
+    consumed: usize,
+    queued: Vec<Vec<u8>>,
+}
+
+impl SmtpClientApp {
+    /// New session mailing `rcpt`.
+    pub fn new(rcpt: &str) -> Self {
+        SmtpClientApp {
+            rcpt: rcpt.to_string(),
+            state: SmtpClientState::WaitGreeting,
+            buffer: String::new(),
+            consumed: 0,
+            queued: Vec::new(),
+        }
+    }
+
+    fn advance(&mut self) {
+        while let Some(nl) = self.buffer[self.consumed..].find("\r\n") {
+            let line = self.buffer[self.consumed..self.consumed + nl].to_string();
+            self.consumed += nl + 2;
+            let code = line.get(0..3).unwrap_or("");
+            match (self.state, code) {
+                (SmtpClientState::WaitGreeting, "220") => {
+                    self.queued.push(b"HELO client.example\r\n".to_vec());
+                    self.state = SmtpClientState::WaitHeloOk;
+                }
+                (SmtpClientState::WaitHeloOk, "250") => {
+                    self.queued
+                        .push(b"MAIL FROM:<user@client.example>\r\n".to_vec());
+                    self.state = SmtpClientState::WaitMailOk;
+                }
+                (SmtpClientState::WaitMailOk, "250") => {
+                    self.queued
+                        .push(format!("RCPT TO:<{}>\r\n", self.rcpt).into_bytes());
+                    self.state = SmtpClientState::WaitRcptOk;
+                }
+                (SmtpClientState::WaitRcptOk, "250")
+                    if line.contains("genuine-origin-smtp") => {
+                        self.state = SmtpClientState::Done;
+                    }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl ClientApp for SmtpClientApp {
+    fn request(&mut self, _attempt: u32) -> Vec<u8> {
+        Vec::new() // server speaks first
+    }
+    fn pending_output(&mut self) -> Option<Vec<u8>> {
+        if self.queued.is_empty() {
+            None
+        } else {
+            Some(self.queued.remove(0))
+        }
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.buffer.push_str(&String::from_utf8_lossy(data));
+        self.advance();
+    }
+    fn satisfied(&self) -> bool {
+        self.state == SmtpClientState::Done
+    }
+    fn reset_for_retry(&mut self) {
+        *self = SmtpClientApp::new(&self.rcpt);
+    }
+}
+
+/// SMTP server: accepts everything.
+pub struct SmtpServerApp;
+
+impl ServerApp for SmtpServerApp {
+    fn new_session(&mut self) -> Box<dyn ServerSession> {
+        Box::new(SmtpServerSession { consumed: 0 })
+    }
+}
+
+struct SmtpServerSession {
+    consumed: usize,
+}
+
+impl ServerSession for SmtpServerSession {
+    fn greeting(&mut self) -> Vec<u8> {
+        b"220 mail.example ESMTP Postfix\r\n".to_vec()
+    }
+
+    fn on_data(&mut self, stream: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(stream).into_owned();
+        let mut reply = Vec::new();
+        while let Some(nl) = text[self.consumed..].find("\r\n") {
+            let line = &text[self.consumed..self.consumed + nl];
+            self.consumed += nl + 2;
+            let response: String = if line.starts_with("HELO") || line.starts_with("EHLO") {
+                "250 mail.example\r\n".into()
+            } else if line.starts_with("MAIL FROM:") {
+                "250 2.1.0 Ok\r\n".into()
+            } else if line.starts_with("RCPT TO:") {
+                "250 2.1.5 Ok (genuine-origin-smtp)\r\n".into()
+            } else if line.starts_with("QUIT") {
+                "221 Bye\r\n".into()
+            } else {
+                "502 Command not implemented\r\n".into()
+            };
+            reply.extend_from_slice(response.as_bytes());
+        }
+        reply
+    }
+}
+
+/// DPI: the recipient of a complete `RCPT TO:` line in the stream.
+pub fn parse_rcpt(stream: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(stream).ok()?;
+    let mut lines: Vec<&str> = text.split("\r\n").collect();
+    lines.pop(); // incomplete trailing piece
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("RCPT TO:") {
+            let addr = rest.trim().trim_start_matches('<').trim_end_matches('>');
+            return Some(addr.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_session(rcpt: &str) -> (SmtpClientApp, Vec<u8>) {
+        let mut client = SmtpClientApp::new(rcpt);
+        let mut server = SmtpServerApp.new_session();
+        let mut client_stream: Vec<u8> = Vec::new();
+        let _ = client.request(0);
+        client.on_data(&server.greeting());
+        for _ in 0..10 {
+            while let Some(bytes) = client.pending_output() {
+                client_stream.extend_from_slice(&bytes);
+            }
+            let reply = server.on_data(&client_stream);
+            if reply.is_empty() {
+                break;
+            }
+            client.on_data(&reply);
+        }
+        (client, client_stream)
+    }
+
+    #[test]
+    fn full_envelope_exchange_succeeds() {
+        let (client, stream) = run_session(FORBIDDEN_RCPT);
+        assert!(client.satisfied());
+        assert_eq!(parse_rcpt(&stream).as_deref(), Some(FORBIDDEN_RCPT));
+    }
+
+    #[test]
+    fn rcpt_requires_complete_line() {
+        assert_eq!(parse_rcpt(b"RCPT TO:<xiazai@up"), None);
+        assert_eq!(
+            parse_rcpt(b"RCPT TO:<xiazai@upup.info>\r\n").as_deref(),
+            Some("xiazai@upup.info")
+        );
+    }
+
+    #[test]
+    fn dpi_ignores_other_commands() {
+        assert_eq!(parse_rcpt(b"MAIL FROM:<a@b>\r\nHELO x\r\n"), None);
+    }
+
+    #[test]
+    fn client_talks_only_after_greeting() {
+        let mut client = SmtpClientApp::new("a@b");
+        assert!(client.request(0).is_empty());
+        assert_eq!(client.pending_output(), None);
+        client.on_data(b"220 hi\r\n");
+        assert_eq!(client.pending_output().unwrap(), b"HELO client.example\r\n");
+    }
+}

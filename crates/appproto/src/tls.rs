@@ -1,0 +1,265 @@
+//! Minimal TLS: ClientHello construction with an SNI extension, an SNI
+//! parser for DPI, and a stub ServerHello exchange.
+//!
+//! HTTPS censorship in China and Iran triggers on the **Server Name
+//! Indication** in the ClientHello (§4.2). We build byte-accurate TLS
+//! 1.2 ClientHello records (record layer + handshake framing +
+//! extensions) so the censor-side parser is exercised on realistic
+//! input, and a ServerHello-shaped reply that stands in for "the
+//! correct, unaltered data".
+
+use endpoint::{ClientApp, ServerApp, ServerSession};
+
+/// Marker bytes inside our stand-in ServerHello (certificate blob) that
+/// the client checks for success.
+pub const SERVER_MARKER: &[u8] = b"genuine-origin-tls-cert";
+
+/// Build a TLS 1.2 ClientHello carrying `sni` in the server_name
+/// extension. `seed` fills the client random deterministically.
+pub fn client_hello(sni: &str, seed: u64) -> Vec<u8> {
+    // --- extensions ---
+    let host = sni.as_bytes();
+    let mut server_name_list = Vec::new();
+    server_name_list.push(0x00); // name_type: host_name
+    server_name_list.extend_from_slice(&(host.len() as u16).to_be_bytes());
+    server_name_list.extend_from_slice(host);
+
+    let mut sni_ext_body = Vec::new();
+    sni_ext_body.extend_from_slice(&(server_name_list.len() as u16).to_be_bytes());
+    sni_ext_body.extend_from_slice(&server_name_list);
+
+    let mut extensions = Vec::new();
+    // server_name (0x0000)
+    extensions.extend_from_slice(&[0x00, 0x00]);
+    extensions.extend_from_slice(&(sni_ext_body.len() as u16).to_be_bytes());
+    extensions.extend_from_slice(&sni_ext_body);
+    // supported_groups (0x000a) — minimal, for realism
+    extensions.extend_from_slice(&[0x00, 0x0a, 0x00, 0x04, 0x00, 0x02, 0x00, 0x17]);
+
+    // --- ClientHello body ---
+    let mut body = Vec::new();
+    body.extend_from_slice(&[0x03, 0x03]); // TLS 1.2
+    let mut random = [0u8; 32];
+    let mut x = seed | 1;
+    for byte in random.iter_mut() {
+        // xorshift64* — deterministic "random"
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *byte = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
+    }
+    body.extend_from_slice(&random);
+    body.push(0); // session id length
+    let cipher_suites: [u16; 4] = [0x1301, 0x1302, 0xC02F, 0x009C];
+    body.extend_from_slice(&((cipher_suites.len() * 2) as u16).to_be_bytes());
+    for suite in cipher_suites {
+        body.extend_from_slice(&suite.to_be_bytes());
+    }
+    body.extend_from_slice(&[0x01, 0x00]); // compression: null
+    body.extend_from_slice(&(extensions.len() as u16).to_be_bytes());
+    body.extend_from_slice(&extensions);
+
+    // --- handshake header ---
+    let mut handshake = Vec::new();
+    handshake.push(0x01); // ClientHello
+    let len = body.len() as u32;
+    handshake.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
+    handshake.extend_from_slice(&body);
+
+    // --- record layer ---
+    let mut record = Vec::new();
+    record.push(0x16); // handshake
+    record.extend_from_slice(&[0x03, 0x01]); // record version
+    record.extend_from_slice(&(handshake.len() as u16).to_be_bytes());
+    record.extend_from_slice(&handshake);
+    record
+}
+
+/// A stand-in ServerHello + certificate record carrying
+/// [`SERVER_MARKER`].
+pub fn server_hello() -> Vec<u8> {
+    let mut body = vec![0x02, 0x00, 0x00, 0x26]; // ServerHello, len 38
+    body.extend_from_slice(&[0x03, 0x03]); // TLS 1.2
+    body.extend_from_slice(&[0xAB; 32]); // server random
+    body.extend_from_slice(&[0x00, 0x13, 0x01]); // no session id, suite
+    body.extend_from_slice(SERVER_MARKER);
+    let mut record = vec![0x16, 0x03, 0x03];
+    record.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    record.extend_from_slice(&body);
+    record
+}
+
+/// Parse the SNI host name out of a (possibly partial) byte stream.
+///
+/// Returns `None` unless the stream contains a complete TLS handshake
+/// record holding a complete ClientHello with a server_name extension —
+/// the strictness real DPI needs, and the reason a split ClientHello
+/// defeats non-reassembling censors (brdgrd's original trick).
+pub fn parse_sni(data: &[u8]) -> Option<String> {
+    // Record header.
+    if data.len() < 5 || data[0] != 0x16 {
+        return None;
+    }
+    let record_len = usize::from(u16::from_be_bytes([data[3], data[4]]));
+    let record = data.get(5..5 + record_len)?;
+    // Handshake header.
+    if record.len() < 4 || record[0] != 0x01 {
+        return None;
+    }
+    let hs_len = u32::from_be_bytes([0, record[1], record[2], record[3]]) as usize;
+    let body = record.get(4..4 + hs_len)?;
+    // Fixed fields.
+    let mut at = 2 + 32; // version + random
+    let session_len = usize::from(*body.get(at)?);
+    at += 1 + session_len;
+    let suites_len = usize::from(u16::from_be_bytes([*body.get(at)?, *body.get(at + 1)?]));
+    at += 2 + suites_len;
+    let comp_len = usize::from(*body.get(at)?);
+    at += 1 + comp_len;
+    let ext_total = usize::from(u16::from_be_bytes([*body.get(at)?, *body.get(at + 1)?]));
+    at += 2;
+    let mut extensions = body.get(at..at + ext_total)?;
+    // Walk extensions.
+    while extensions.len() >= 4 {
+        let ext_type = u16::from_be_bytes([extensions[0], extensions[1]]);
+        let ext_len = usize::from(u16::from_be_bytes([extensions[2], extensions[3]]));
+        let ext_body = extensions.get(4..4 + ext_len)?;
+        if ext_type == 0x0000 {
+            // server_name list.
+            if ext_body.len() < 2 {
+                return None;
+            }
+            let mut names = &ext_body[2..];
+            while names.len() >= 3 {
+                let name_type = names[0];
+                let name_len = usize::from(u16::from_be_bytes([names[1], names[2]]));
+                let name = names.get(3..3 + name_len)?;
+                if name_type == 0 {
+                    return String::from_utf8(name.to_vec()).ok();
+                }
+                names = &names[3 + name_len..];
+            }
+            return None;
+        }
+        extensions = &extensions[4 + ext_len..];
+    }
+    None
+}
+
+/// HTTPS client session: sends a ClientHello with a forbidden SNI and
+/// expects the marker ServerHello back.
+#[derive(Debug, Clone)]
+pub struct TlsClientApp {
+    /// The SNI host name (the forbidden URL for the censored case).
+    pub sni: String,
+    got: Vec<u8>,
+}
+
+impl TlsClientApp {
+    /// New session targeting `sni`.
+    pub fn new(sni: &str) -> Self {
+        TlsClientApp {
+            sni: sni.to_string(),
+            got: Vec::new(),
+        }
+    }
+}
+
+impl ClientApp for TlsClientApp {
+    fn request(&mut self, attempt: u32) -> Vec<u8> {
+        client_hello(&self.sni, 0xC0FFEE ^ u64::from(attempt))
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.got.extend_from_slice(data);
+    }
+    fn satisfied(&self) -> bool {
+        crate::http::contains(&self.got, SERVER_MARKER)
+    }
+}
+
+/// HTTPS server: answers a complete ClientHello with the marker
+/// ServerHello.
+pub struct TlsServerApp;
+
+impl ServerApp for TlsServerApp {
+    fn new_session(&mut self) -> Box<dyn ServerSession> {
+        Box::new(TlsServerSession { responded: false })
+    }
+}
+
+struct TlsServerSession {
+    responded: bool,
+}
+
+impl ServerSession for TlsServerSession {
+    fn on_data(&mut self, stream: &[u8]) -> Vec<u8> {
+        if self.responded {
+            return Vec::new();
+        }
+        // Complete record present? (We accept any complete ClientHello,
+        // like a real terminating server would at this stage.)
+        if stream.len() >= 5 && stream[0] == 0x16 {
+            let record_len = usize::from(u16::from_be_bytes([stream[3], stream[4]]));
+            if stream.len() >= 5 + record_len {
+                self.responded = true;
+                return server_hello();
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sni_round_trip() {
+        for name in ["www.wikipedia.org", "youtube.com", "a.b"] {
+            let hello = client_hello(name, 7);
+            assert_eq!(parse_sni(&hello).as_deref(), Some(name));
+        }
+    }
+
+    #[test]
+    fn partial_client_hello_yields_no_sni() {
+        let hello = client_hello("www.wikipedia.org", 7);
+        for cut in 1..hello.len() {
+            assert_eq!(parse_sni(&hello[..cut]), None, "cut at {cut}");
+        }
+        // A fragment that doesn't start at the record boundary is noise.
+        assert_eq!(parse_sni(&hello[3..]), None);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(client_hello("x.com", 1), client_hello("x.com", 1));
+        assert_ne!(client_hello("x.com", 1), client_hello("x.com", 2));
+    }
+
+    #[test]
+    fn client_satisfied_by_server_hello() {
+        let mut app = TlsClientApp::new("youtube.com");
+        let _ = app.request(0);
+        assert!(!app.satisfied());
+        app.on_data(&server_hello());
+        assert!(app.satisfied());
+    }
+
+    #[test]
+    fn server_waits_for_complete_record() {
+        let mut s = TlsServerApp.new_session();
+        let hello = client_hello("youtube.com", 3);
+        assert!(s.on_data(&hello[..hello.len() - 1]).is_empty());
+        let resp = s.on_data(&hello);
+        assert!(!resp.is_empty());
+        assert!(s.on_data(&hello).is_empty());
+    }
+
+    #[test]
+    fn garbage_is_not_a_client_hello() {
+        assert_eq!(parse_sni(b"GET / HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(parse_sni(&[0x16, 0x03, 0x01, 0x00]), None);
+        assert_eq!(parse_sni(&[]), None);
+    }
+}

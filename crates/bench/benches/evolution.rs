@@ -1,0 +1,71 @@
+//! Bench target for the **§4.1 methodology**: the genetic algorithm's
+//! per-generation cost and a short end-to-end evolution run.
+
+use appproto::AppProtocol;
+use bench::experiment_criterion;
+use censor::Country;
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolve::{evolve, FitnessCache, GaConfig, Genome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fitness_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolution_fitness");
+    for (name, country) in [
+        ("gfw_http", Country::China),
+        ("kazakhstan_http", Country::Kazakhstan),
+    ] {
+        group.bench_function(name, |b| {
+            let genome = Genome {
+                strategy: geneva::library::STRATEGY_1.strategy(),
+            };
+            let mut counter = 0u64;
+            b.iter(|| {
+                // A fresh cache each time so the evaluation is real.
+                counter += 1;
+                let mut cache = FitnessCache::new(country, AppProtocol::Http, 8, counter);
+                black_box(cache.evaluate(&genome).fitness)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_evolution(c: &mut Criterion) {
+    c.bench_function("evolution_short_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, seed);
+            config.population = 24;
+            config.generations = 6;
+            config.trials_per_eval = 4;
+            black_box(evolve(&config).best_eval.fitness)
+        })
+    });
+}
+
+fn genome_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolution_operators");
+    group.bench_function("random_genome", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(Genome::random(&mut rng).size()))
+    });
+    group.bench_function("mutate", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut genome = Genome::random(&mut rng);
+        b.iter(|| {
+            genome.mutate(&mut rng);
+            black_box(genome.size())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = fitness_eval, short_evolution, genome_operators
+}
+criterion_main!(benches);

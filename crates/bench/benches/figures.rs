@@ -1,0 +1,42 @@
+//! Bench targets for **Figure 1** (China waterfalls), **Figure 2**
+//! (Kazakhstan waterfalls), and **Figure 3** (multi-box evidence +
+//! TTL-probe localization).
+
+use bench::{experiment_criterion, BENCH_TRIALS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::{figure1, figure2, multibox, ttl_probe};
+use std::hint::black_box;
+
+fn figure1_bench(c: &mut Criterion) {
+    c.bench_function("figure1_waterfalls_china", |b| {
+        b.iter(|| black_box(figure1(7).len()))
+    });
+}
+
+fn figure2_bench(c: &mut Criterion) {
+    c.bench_function("figure2_waterfalls_kazakhstan", |b| {
+        b.iter(|| black_box(figure2(7).len()))
+    });
+}
+
+fn figure3_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.bench_function("multibox_vs_singlebox", |b| {
+        b.iter(|| black_box(multibox(BENCH_TRIALS, 0x600D).rows.len()))
+    });
+    group.bench_function("ttl_probe_localization", |b| {
+        b.iter(|| {
+            let report = ttl_probe(5);
+            assert!(report.all_collocated());
+            black_box(report.hops.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = figure1_bench, figure2_bench, figure3_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Micro-benchmarks: the per-packet costs under everything else —
+//! packet codec, Geneva engine application, censor DPI, and a whole
+//! end-to-end simulated trial.
+
+use appproto::AppProtocol;
+use censor::{Gfw, Country};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geneva::{library, Engine};
+use harness::{run_trial, TrialConfig};
+use netsim::{Direction, Middlebox};
+use packet::{Packet, TcpFlags};
+use std::hint::black_box;
+
+fn packet_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_codec");
+    let pkt = {
+        let mut p = Packet::tcp(
+            [10, 0, 0, 1],
+            40000,
+            [93, 184, 216, 34],
+            80,
+            TcpFlags::PSH_ACK,
+            1000,
+            2000,
+            appproto::http::HttpClientApp::for_keyword_query("ultrasurf").request_bytes(),
+        );
+        p.tcp_header_mut().unwrap().options = vec![
+            packet::TcpOption::Mss(1460),
+            packet::TcpOption::SackPermitted,
+            packet::TcpOption::WindowScale(7),
+        ];
+        p.finalize();
+        p
+    };
+    let wire = pkt.serialize();
+    group.bench_function("serialize", |b| b.iter(|| black_box(pkt.serialize().len())));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(Packet::parse(&wire).unwrap().payload.len()))
+    });
+    group.bench_function("checksum_verify", |b| {
+        b.iter(|| black_box(pkt.checksums_ok()))
+    });
+    group.finish();
+}
+
+fn geneva_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geneva_engine");
+    let syn_ack = {
+        let mut p = Packet::tcp(
+            [93, 184, 216, 34],
+            80,
+            [10, 0, 0, 1],
+            40000,
+            TcpFlags::SYN_ACK,
+            9000,
+            1001,
+            vec![],
+        );
+        p.finalize();
+        p
+    };
+    for named in [library::STRATEGY_1, library::STRATEGY_6, library::STRATEGY_8] {
+        group.bench_function(format!("apply_strategy_{}", named.id), |b| {
+            let mut engine = Engine::new(named.strategy(), 7);
+            b.iter(|| black_box(engine.apply_outbound(&syn_ack).len()))
+        });
+    }
+    group.bench_function("parse_strategy", |b| {
+        b.iter(|| black_box(geneva::parse_strategy(library::STRATEGY_6.text).unwrap().size()))
+    });
+    group.finish();
+}
+
+fn censor_dpi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("censor_dpi");
+    let request = appproto::http::HttpClientApp::for_keyword_query("ultrasurf").request_bytes();
+    group.bench_function("http_matcher", |b| {
+        b.iter(|| black_box(appproto::forbidden_in(AppProtocol::Http, &request, "ultrasurf")))
+    });
+    let hello = appproto::tls::client_hello("www.wikipedia.org", 1);
+    group.bench_function("sni_matcher", |b| {
+        b.iter(|| black_box(appproto::forbidden_in(AppProtocol::Https, &hello, "wikipedia")))
+    });
+    group.bench_function("gfw_process_packet", |b| {
+        let mut gfw = Gfw::standard(7);
+        let mut seq = 0u32;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            let mut syn = Packet::tcp(
+                [10, 0, 0, 1],
+                (seq % 20000) as u16 + 2000,
+                [93, 184, 216, 34],
+                80,
+                TcpFlags::SYN,
+                seq,
+                0,
+                vec![],
+            );
+            syn.finalize();
+            black_box(gfw.process(&syn, Direction::ToServer, 0).forward.is_some())
+        })
+    });
+    group.finish();
+}
+
+fn end_to_end_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.bench_function("trial_china_http_strategy1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = TrialConfig::new(
+                Country::China,
+                AppProtocol::Http,
+                library::STRATEGY_1.strategy(),
+                seed,
+            );
+            black_box(run_trial(&cfg).evaded())
+        })
+    });
+    group.bench_function("trial_no_censor_http", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = TrialConfig::private_network(
+                AppProtocol::Http,
+                geneva::Strategy::identity(),
+                endpoint::OsProfile::linux(),
+                seed,
+            );
+            black_box(run_trial(&cfg).evaded())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    packet_codec,
+    geneva_engine,
+    censor_dpi,
+    end_to_end_trial
+);
+criterion_main!(benches);

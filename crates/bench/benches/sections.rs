@@ -1,0 +1,60 @@
+//! Bench targets for the section-level experiments: **§3** (client-side
+//! strategies do not generalize), the **§5 follow-ups**, and **§7**
+//! (client compatibility).
+
+use bench::{experiment_criterion, BENCH_TRIALS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::{client_compat, dns_race, followups, network_compat, overhead, residual, robustness, section3};
+use std::hint::black_box;
+
+fn section3_bench(c: &mut Criterion) {
+    c.bench_function("section3_generalization", |b| {
+        b.iter(|| {
+            let report = section3(BENCH_TRIALS, 0x3333);
+            black_box(report.server_side_analogs.len())
+        })
+    });
+}
+
+fn followups_bench(c: &mut Criterion) {
+    c.bench_function("section5_followups", |b| {
+        b.iter(|| {
+            let report = followups(BENCH_TRIALS, 0x5555);
+            black_box(report.s9_load_counts.len())
+        })
+    });
+}
+
+fn section7_bench(c: &mut Criterion) {
+    c.bench_function("section7_client_compat", |b| {
+        b.iter(|| {
+            let report = client_compat(2024);
+            black_box(report.cells.len())
+        })
+    });
+    c.bench_function("section7_network_compat", |b| {
+        b.iter(|| black_box(network_compat(4242).cells.len()))
+    });
+}
+
+fn extras_bench(c: &mut Criterion) {
+    c.bench_function("section4_residual_censorship", |b| {
+        b.iter(|| black_box(residual(17).outcomes.len()))
+    });
+    c.bench_function("section2_dns_udp_race", |b| {
+        b.iter(|| black_box(dns_race(5).udp_poisoned))
+    });
+    c.bench_function("robustness_loss_sweep", |b| {
+        b.iter(|| black_box(robustness(8, 0xB0B).rows.len()))
+    });
+    c.bench_function("section8_overhead", |b| {
+        b.iter(|| black_box(overhead(4).max_extra_payloads()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = section3_bench, followups_bench, section7_bench, extras_bench
+}
+criterion_main!(benches);

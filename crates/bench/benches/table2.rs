@@ -1,0 +1,60 @@
+//! Bench target for **Table 2**: regenerate each country's block of
+//! strategy-success rates. The printed numbers (via `--nocapture`-like
+//! stderr) are secondary here; the bench measures the cost of the
+//! table itself, and `examples/table2.rs` prints the full comparison.
+
+use appproto::AppProtocol;
+use bench::{experiment_criterion, BENCH_TRIALS};
+use censor::Country;
+use criterion::{criterion_group, criterion_main, Criterion};
+use geneva::library;
+use harness::{success_rate, TrialConfig};
+use std::hint::black_box;
+
+fn table2_country(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    for country in Country::all() {
+        group.bench_function(country.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for proto in country.censored_protocols() {
+                    for id in [0u32, 1, 8] {
+                        let strategy = library::by_id(id).expect("id");
+                        let cfg = TrialConfig::new(country, *proto, strategy, 0);
+                        acc += success_rate(&cfg, BENCH_TRIALS, 99).successes;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table2_headline_cells(c: &mut Criterion) {
+    // The cells the paper calls out in prose, measured individually.
+    let cells = [
+        ("S1-china-http", Country::China, AppProtocol::Http, 1u32),
+        ("S5-china-ftp", Country::China, AppProtocol::Ftp, 5),
+        ("S8-china-smtp", Country::China, AppProtocol::Smtp, 8),
+        ("S8-india-http", Country::India, AppProtocol::Http, 8),
+        ("S9-kazakhstan-http", Country::Kazakhstan, AppProtocol::Http, 9),
+    ];
+    let mut group = c.benchmark_group("table2_cells");
+    for (name, country, proto, id) in cells {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TrialConfig::new(country, proto, library::by_id(id).unwrap(), 0);
+                black_box(success_rate(&cfg, BENCH_TRIALS, 7).successes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = table2_country, table2_headline_cells
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Shared configuration for the benchmark targets.
+//!
+//! Every table and figure of the paper has a bench target
+//! regenerating it (see `benches/`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table2` | Table 2 (one group per country) |
+//! | `figures` | Figures 1 & 2 (waterfalls), Figure 3 (multi-box + TTL probes) |
+//! | `sections` | §3 (generalization), §5 follow-ups, §7 (client compat) |
+//! | `evolution` | the §4.1 GA methodology |
+//! | `ablations` | DESIGN.md's called-out design choices |
+//! | `micro` | packet codec, engine, censor DPI, end-to-end trial |
+//!
+//! Benches run the same experiment drivers as the examples and tests,
+//! with reduced trial counts so `cargo bench` completes in minutes;
+//! crank the constants for tighter confidence intervals.
+
+/// Trials per cell used by the table/figure benches.
+pub const BENCH_TRIALS: u32 = 25;
+
+/// A Criterion configured for the heavy experiment drivers.
+pub fn experiment_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3))
+}

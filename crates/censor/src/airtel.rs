@@ -1,0 +1,172 @@
+//! India's Airtel middlebox (§5.2).
+//!
+//! Measured behavior the model encodes:
+//!
+//! * **Stateless**: no connection tracking at all — a forbidden
+//!   request with no preceding handshake still triggers censorship.
+//! * **Port 80 only**: hosting on any other port defeats it entirely.
+//! * **No TCP reassembly**: DPI is strictly per-packet, so Strategy
+//!   8's induced segmentation wins 100 %.
+//! * **On-path injection**: it does not drop the request; it injects
+//!   an HTTP 200 block page in a FIN+PSH+ACK packet, plus a follow-up
+//!   RST "for good measure" (Yadav et al., confirmed by the paper).
+
+use appproto::http;
+use netsim::{Direction, Middlebox, Verdict};
+use packet::{Packet, TcpFlags};
+
+/// The Airtel (India) HTTP censor.
+#[derive(Debug, Default)]
+pub struct AirtelCensor {
+    /// Keyword list (blacklisted Host values / URL substrings).
+    pub keywords: Vec<String>,
+    /// Count of censorship events (diagnostics).
+    pub censor_events: u64,
+}
+
+impl AirtelCensor {
+    /// With the default blacklist.
+    pub fn new() -> AirtelCensor {
+        AirtelCensor {
+            keywords: vec!["youtube.com".to_string(), "ultrasurf".to_string()],
+            censor_events: 0,
+        }
+    }
+
+    fn forbidden(&self, payload: &[u8]) -> bool {
+        self.keywords
+            .iter()
+            .any(|kw| http::request_is_forbidden(payload, kw))
+    }
+}
+
+impl Middlebox for AirtelCensor {
+    fn process(&mut self, pkt: &Packet, dir: Direction, _now: u64) -> Verdict {
+        let mut verdict = Verdict::pass(pkt.clone());
+        if dir != Direction::ToServer {
+            return verdict;
+        }
+        let Some(tcp) = pkt.tcp_header() else {
+            return verdict;
+        };
+        if tcp.dst_port != 80 || pkt.payload.is_empty() {
+            return verdict; // default port only; per-packet DPI
+        }
+        if !self.forbidden(&pkt.payload) {
+            return verdict;
+        }
+        self.censor_events += 1;
+        // Stateless injection: all fields derived from the offending
+        // packet itself.
+        let client = (pkt.ip.src, tcp.src_port);
+        let server = (pkt.ip.dst, tcp.dst_port);
+        let next_client_seq = tcp.seq.wrapping_add(pkt.payload.len() as u32);
+
+        let mut block = Packet::tcp(
+            server.0,
+            server.1,
+            client.0,
+            client.1,
+            TcpFlags::FIN_PSH_ACK,
+            tcp.ack,
+            next_client_seq,
+            http::block_page(),
+        );
+        block.finalize();
+        verdict.inject_to_client.push(block);
+
+        let mut rst = Packet::tcp(
+            server.0,
+            server.1,
+            client.0,
+            client.1,
+            TcpFlags::RST,
+            tcp.ack.wrapping_add(http::block_page().len() as u32 + 1),
+            0,
+            vec![],
+        );
+        rst.finalize();
+        verdict.inject_to_client.push(rst);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_pkt(dst_port: u16, payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp(
+            [10, 0, 0, 1],
+            40000,
+            [20, 0, 0, 9],
+            dst_port,
+            TcpFlags::PSH_ACK,
+            1001,
+            9001,
+            payload.to_vec(),
+        );
+        p.finalize();
+        p
+    }
+
+    fn forbidden_request() -> Vec<u8> {
+        appproto::http::HttpClientApp::for_blocked_host("youtube.com").request_bytes()
+    }
+
+    #[test]
+    fn injects_block_page_and_rst_on_port_80() {
+        let mut censor = AirtelCensor::new();
+        let verdict = censor.process(&request_pkt(80, &forbidden_request()), Direction::ToServer, 0);
+        assert!(verdict.forward.is_some(), "on-path: request still forwarded");
+        assert_eq!(verdict.inject_to_client.len(), 2);
+        assert_eq!(verdict.inject_to_client[0].flags(), TcpFlags::FIN_PSH_ACK);
+        assert!(String::from_utf8_lossy(&verdict.inject_to_client[0].payload)
+            .contains(appproto::http::BLOCK_MARKER));
+        assert_eq!(verdict.inject_to_client[1].flags(), TcpFlags::RST);
+        assert_eq!(censor.censor_events, 1);
+    }
+
+    #[test]
+    fn other_ports_are_free() {
+        let mut censor = AirtelCensor::new();
+        let verdict = censor.process(&request_pkt(8080, &forbidden_request()), Direction::ToServer, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+
+    #[test]
+    fn stateless_no_handshake_needed() {
+        // First packet the censor ever sees is the request: still fires.
+        let mut censor = AirtelCensor::new();
+        let verdict = censor.process(&request_pkt(80, &forbidden_request()), Direction::ToServer, 0);
+        assert!(!verdict.inject_to_client.is_empty());
+    }
+
+    #[test]
+    fn segmentation_is_invisible() {
+        let mut censor = AirtelCensor::new();
+        let req = forbidden_request();
+        for chunk in req.chunks(10) {
+            let verdict = censor.process(&request_pkt(80, chunk), Direction::ToServer, 0);
+            assert!(verdict.inject_to_client.is_empty(), "per-packet DPI must miss");
+        }
+        assert_eq!(censor.censor_events, 0);
+    }
+
+    #[test]
+    fn benign_host_passes() {
+        let mut censor = AirtelCensor::new();
+        let req = appproto::http::HttpClientApp::for_blocked_host("example.org").request_bytes();
+        let verdict = censor.process(&request_pkt(80, &req), Direction::ToServer, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+
+    #[test]
+    fn server_direction_ignored() {
+        let mut censor = AirtelCensor::new();
+        let mut p = request_pkt(80, &forbidden_request());
+        p.tcp_header_mut().unwrap().dst_port = 80;
+        let verdict = censor.process(&p, Direction::ToClient, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Benign (non-censoring) carrier middleboxes — the §7 anecdote.
+//!
+//! The paper tested all strategies from an Android phone over wifi and
+//! two cellular networks in a non-censoring country: everything worked
+//! on wifi, but the **simultaneous-open strategies failed on cellular**
+//! (Strategies 1 and 3 on T-Mobile; 1, 2, and 3 on AT&T). The culprit
+//! is not a censor but ordinary in-network middleboxes (stateful NATs,
+//! TCP normalizers) that refuse to deliver a bare SYN *toward* the
+//! subscriber.
+//!
+//! The profiles below encode the observed matrix:
+//!
+//! * [`Carrier::Wifi`] — transparent;
+//! * [`Carrier::TMobile`] — drops a server-originated bare SYN unless
+//!   it is the **first** thing the server says (a fresh
+//!   simultaneous-open attempt looks legitimate; a SYN arriving after
+//!   a RST or a bogus SYN+ACK does not) — so Strategy 2 survives but
+//!   1 and 3 do not;
+//! * [`Carrier::Att`] — drops every server-originated bare SYN — all
+//!   three simultaneous-open strategies die.
+
+use netsim::{Direction, Middlebox, Verdict};
+use packet::packet::FlowKey;
+use packet::Packet;
+use std::collections::HashSet;
+
+/// A client-side access network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Carrier {
+    /// Transparent (the paper's wifi baseline).
+    Wifi,
+    /// Drops non-initial server-originated bare SYNs.
+    TMobile,
+    /// Drops all server-originated bare SYNs.
+    Att,
+}
+
+impl Carrier {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Carrier::Wifi => "wifi",
+            Carrier::TMobile => "T-Mobile",
+            Carrier::Att => "AT&T",
+        }
+    }
+
+    /// All three profiles.
+    pub fn all() -> [Carrier; 3] {
+        [Carrier::Wifi, Carrier::TMobile, Carrier::Att]
+    }
+}
+
+/// The middlebox implementing a [`Carrier`] profile.
+#[derive(Debug)]
+pub struct CarrierMiddlebox {
+    /// Active profile.
+    pub carrier: Carrier,
+    /// Flows on which the server has already sent something.
+    server_spoke: HashSet<FlowKey>,
+    /// Count of dropped packets (diagnostics).
+    pub dropped: u64,
+}
+
+impl CarrierMiddlebox {
+    /// A middlebox for `carrier`.
+    pub fn new(carrier: Carrier) -> Self {
+        CarrierMiddlebox {
+            carrier,
+            server_spoke: HashSet::new(),
+            dropped: 0,
+        }
+    }
+}
+
+impl Middlebox for CarrierMiddlebox {
+    fn process(&mut self, pkt: &Packet, dir: Direction, _now: u64) -> Verdict {
+        if dir != Direction::ToClient {
+            return Verdict::pass(pkt.clone());
+        }
+        let Some(tcp) = pkt.tcp_header() else {
+            return Verdict::pass(pkt.clone());
+        };
+        let key = pkt.flow_key();
+        let first_from_server = self.server_spoke.insert(key);
+        let is_bare_syn = tcp.flags.is_syn();
+        let drop = match self.carrier {
+            Carrier::Wifi => false,
+            Carrier::TMobile => is_bare_syn && !first_from_server,
+            Carrier::Att => is_bare_syn,
+        };
+        if drop {
+            self.dropped += 1;
+            Verdict::drop()
+        } else {
+            Verdict::pass(pkt.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::TcpFlags;
+
+    fn s2c(flags: TcpFlags) -> Packet {
+        let mut p = Packet::tcp([20, 0, 0, 9], 80, [10, 0, 0, 1], 40000, flags, 1, 2, vec![]);
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn wifi_is_transparent() {
+        let mut mb = CarrierMiddlebox::new(Carrier::Wifi);
+        for flags in [TcpFlags::SYN, TcpFlags::RST, TcpFlags::SYN_ACK] {
+            assert!(mb.process(&s2c(flags), Direction::ToClient, 0).forward.is_some());
+        }
+        assert_eq!(mb.dropped, 0);
+    }
+
+    #[test]
+    fn tmobile_allows_only_initial_server_syn() {
+        let mut mb = CarrierMiddlebox::new(Carrier::TMobile);
+        // Strategy 2's shape: SYN first — allowed.
+        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 0).forward.is_some());
+        // Strategy 1's shape on a fresh flow: RST first, then SYN — SYN dropped.
+        let mut mb = CarrierMiddlebox::new(Carrier::TMobile);
+        assert!(mb.process(&s2c(TcpFlags::RST), Direction::ToClient, 0).forward.is_some());
+        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 1).forward.is_none());
+        assert_eq!(mb.dropped, 1);
+    }
+
+    #[test]
+    fn att_drops_every_server_syn() {
+        let mut mb = CarrierMiddlebox::new(Carrier::Att);
+        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 0).forward.is_none());
+        assert!(mb.process(&s2c(TcpFlags::SYN_ACK), Direction::ToClient, 1).forward.is_some());
+    }
+
+    #[test]
+    fn client_direction_untouched() {
+        let mut mb = CarrierMiddlebox::new(Carrier::Att);
+        let mut syn = Packet::tcp([10, 0, 0, 1], 40000, [20, 0, 0, 9], 80, TcpFlags::SYN, 1, 0, vec![]);
+        syn.finalize();
+        assert!(mb.process(&syn, Direction::ToServer, 0).forward.is_some());
+    }
+}

@@ -1,0 +1,126 @@
+//! The GFW's classic DNS-over-UDP response injector (§2.1 background).
+//!
+//! "On-path censors have been observed to inject … DNS lemon responses
+//! to thwart address lookup." For a UDP query there is no connection
+//! state to desynchronize: the injector sees the (plaintext) QNAME in
+//! a single datagram and races a forged answer back to the client.
+//! Because the censor sits closer to the client than the resolver, the
+//! forgery always wins the race — which is exactly why the paper's DNS
+//! evasion work happens over **TCP**, where the handshake gives a
+//! server-side strategy something to manipulate.
+
+use appproto::dns;
+use netsim::{Direction, Middlebox, Verdict};
+use packet::Packet;
+
+/// The UDP DNS injector.
+#[derive(Debug, Default)]
+pub struct DnsUdpInjector {
+    /// Censored QNAME substrings.
+    pub keywords: Vec<String>,
+    /// Count of injected forgeries (diagnostics).
+    pub injections: u64,
+}
+
+impl DnsUdpInjector {
+    /// With the default blocklist.
+    pub fn new() -> DnsUdpInjector {
+        DnsUdpInjector {
+            keywords: vec!["wikipedia".to_string()],
+            injections: 0,
+        }
+    }
+}
+
+impl Middlebox for DnsUdpInjector {
+    fn process(&mut self, pkt: &Packet, dir: Direction, _now: u64) -> Verdict {
+        let mut verdict = Verdict::pass(pkt.clone());
+        if dir != Direction::ToServer {
+            return verdict;
+        }
+        let Some(udp) = pkt.udp_header() else {
+            return verdict;
+        };
+        if udp.dst_port != 53 {
+            return verdict;
+        }
+        let Some(qname) = dns::parse_query_name_udp(&pkt.payload) else {
+            return verdict;
+        };
+        if !self.keywords.iter().any(|kw| qname.contains(kw)) {
+            return verdict;
+        }
+        if let Some(forged) = dns::build_response_message(&pkt.payload, dns::LEMON_IP) {
+            self.injections += 1;
+            let mut lemon = Packet::udp(
+                pkt.ip.dst,
+                udp.dst_port,
+                pkt.ip.src,
+                udp.src_port,
+                forged,
+            );
+            lemon.finalize();
+            // On-path: the query still reaches the resolver; the
+            // forgery just arrives first.
+            verdict.inject_to_client.push(lemon);
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_pkt(name: &str) -> Packet {
+        let mut p = Packet::udp(
+            [10, 0, 0, 1],
+            40000,
+            [8, 8, 8, 8],
+            53,
+            dns::build_query_message(name, 0x1234),
+        );
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn forbidden_query_draws_a_lemon() {
+        let mut injector = DnsUdpInjector::new();
+        let verdict = injector.process(&query_pkt("www.wikipedia.org"), Direction::ToServer, 0);
+        assert!(verdict.forward.is_some(), "on-path: query still forwarded");
+        assert_eq!(verdict.inject_to_client.len(), 1);
+        let forged = &verdict.inject_to_client[0];
+        assert_eq!(dns::response_answer(&forged.payload), Some(dns::LEMON_IP));
+        // The forgery answers the client's exact transaction.
+        assert_eq!(&forged.payload[0..2], &0x1234u16.to_be_bytes());
+        assert_eq!(injector.injections, 1);
+    }
+
+    #[test]
+    fn benign_query_passes_clean() {
+        let mut injector = DnsUdpInjector::new();
+        let verdict = injector.process(&query_pkt("example.org"), Direction::ToServer, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+
+    #[test]
+    fn non_dns_udp_ignored() {
+        let mut injector = DnsUdpInjector::new();
+        let mut p = Packet::udp([10, 0, 0, 1], 40000, [8, 8, 8, 8], 123, b"ntp".to_vec());
+        p.finalize();
+        let verdict = injector.process(&p, Direction::ToServer, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+
+    #[test]
+    fn responses_are_not_reinjected() {
+        let mut injector = DnsUdpInjector::new();
+        let q = dns::build_query_message("www.wikipedia.org", 1);
+        let resp = dns::build_response_message(&q, dns::ANSWER_IP).unwrap();
+        let mut p = Packet::udp([8, 8, 8, 8], 53, [10, 0, 0, 1], 40000, resp);
+        p.finalize();
+        let verdict = injector.process(&p, Direction::ToClient, 0);
+        assert!(verdict.inject_to_client.is_empty());
+    }
+}

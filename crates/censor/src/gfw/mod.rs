@@ -1,0 +1,705 @@
+//! China's Great Firewall: five on-path censorship boxes, one per
+//! application protocol, each with its own network stack and bugs.
+//!
+//! ## The revised resynchronization-state model (§5.1)
+//!
+//! 1. A **payload from the server on a non-SYN+ACK** packet arms a
+//!    resync that lands on the *next server SYN+ACK or next client
+//!    packet with ACK set* — for every protocol.
+//! 2. A **RST from the server** arms a resync that lands on the *next
+//!    client packet* — for every protocol except HTTPS.
+//! 3. A **SYN+ACK with a corrupted ack number** arms a resync (landing
+//!    on the next client packet) — only the FTP stack.
+//!
+//! ## The simultaneous-open bug
+//!
+//! When a resync lands on a packet, the box adopts `seq + len` as the
+//! client's next data byte — correct for an ordinary ACK, but **one
+//! too low** for a simultaneous-open SYN+ACK (whose SYN consumes a
+//! sequence number the box fails to count). The result is a censor
+//! whose cursor sits one byte before the real request forever.
+//!
+//! ## Teardown asymmetry (§3)
+//!
+//! A valid RST *from the client* deletes the TCB (the classic
+//! client-side TCB-teardown evasion). The same RST *from the server*
+//! does not — it merely arms rule 2. This asymmetry is why client-side
+//! strategies do not generalize to the server side.
+
+pub mod params;
+
+pub use params::GfwBoxParams;
+
+use crate::stream::{CensorStream, InspectMode};
+use appproto::forbidden_in;
+use netsim::{Direction, Middlebox, Verdict};
+use packet::packet::FlowKey;
+use packet::{Packet, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Where an armed resynchronization will land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResyncTarget {
+    /// Rules 2 and 3: the next packet from the client, whatever it is.
+    NextClientPacket,
+    /// Rule 1: the next SYN+ACK from the server, or the next
+    /// ACK-flagged packet from the client.
+    NextServerSynAckOrClientAck,
+}
+
+/// Per-flow censor state.
+#[derive(Debug)]
+struct BoxTcb {
+    client: ([u8; 4], u16),
+    server: ([u8; 4], u16),
+    client_isn: u32,
+    /// The box's belief of the server's next sequence number (used to
+    /// craft acceptable RSTs toward the client).
+    server_next: u32,
+    stream: CensorStream,
+    arm: Option<ResyncTarget>,
+    saw_server_rst: bool,
+    saw_corrupt_ack: bool,
+    torn_down: bool,
+    censored: bool,
+    /// Has the box seen the client complete the handshake (a pure ACK)?
+    /// Server payloads after this point are ordinary traffic and no
+    /// longer arm the rule-1 resync (otherwise every response packet of
+    /// every connection would churn the resync state).
+    handshake_done: bool,
+    /// Sampled per flow: this flow escapes DPI entirely.
+    miss: bool,
+    /// This flow is inspected per-packet (no reassembly).
+    per_packet: bool,
+    /// A per-packet parser that saw a split protocol unit wedges: it
+    /// cannot find the next unit boundary and stops inspecting — the
+    /// mechanism behind Strategy 8's success on SMTP/FTP.
+    wedged: bool,
+    /// Flow opened while residual censorship was active.
+    residual_flagged: bool,
+}
+
+/// One GFW censorship box.
+pub struct GfwBox {
+    /// This box's stack parameters.
+    pub params: GfwBoxParams,
+    rng: StdRng,
+    flows: HashMap<FlowKey, BoxTcb>,
+    /// Residual censorship registry: (server addr, port) → active until.
+    residual: HashMap<([u8; 4], u16), u64>,
+    /// Count of censorship events (diagnostics).
+    pub censor_events: u64,
+}
+
+impl GfwBox {
+    /// A box with the given parameters and RNG seed.
+    pub fn new(params: GfwBoxParams, seed: u64) -> GfwBox {
+        GfwBox {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            flows: HashMap::new(),
+            residual: HashMap::new(),
+            censor_events: 0,
+        }
+    }
+
+    /// Observe one packet; returns (injections toward client,
+    /// injections toward server).
+    pub fn observe(&mut self, pkt: &Packet, now: u64) -> (Vec<Packet>, Vec<Packet>) {
+        let Some(tcp) = pkt.tcp_header() else {
+            return (Vec::new(), Vec::new());
+        };
+        let key = pkt.flow_key();
+        if !self.flows.contains_key(&key) {
+            if !tcp.flags.is_syn() {
+                return (Vec::new(), Vec::new()); // mid-flow: no TCB, no care
+            }
+            let miss = self.rng.gen::<f64>() < self.params.baseline_miss;
+            let reassembles = self.rng.gen::<f64>() < self.params.p_reassembly_works;
+            let per_packet = !reassembles;
+            let mode = if reassembles {
+                InspectMode::Stream
+            } else {
+                InspectMode::PerPacket
+            };
+            let residual_flagged = self
+                .residual
+                .get(&pkt.dst())
+                .map(|&until| now < until)
+                .unwrap_or(false);
+            self.flows.insert(
+                key,
+                BoxTcb {
+                    client: pkt.src(),
+                    server: pkt.dst(),
+                    client_isn: tcp.seq,
+                    server_next: 0,
+                    stream: CensorStream::new(tcp.seq.wrapping_add(1), mode),
+                    arm: None,
+                    saw_server_rst: false,
+                    saw_corrupt_ack: false,
+                    torn_down: false,
+                    censored: false,
+                    handshake_done: false,
+                    miss,
+                    per_packet,
+                    wedged: false,
+                    residual_flagged,
+                },
+            );
+            return (Vec::new(), Vec::new());
+        }
+
+        // Split borrows: we need rng + params alongside the TCB.
+        let tcb = self.flows.get_mut(&key).expect("present");
+        if tcb.torn_down {
+            return (Vec::new(), Vec::new());
+        }
+        let from_client = pkt.src() == tcb.client;
+        let mut to_client = Vec::new();
+        let mut to_server = Vec::new();
+
+        if from_client {
+            if tcp.flags.contains(TcpFlags::ACK) {
+                // Any ACK-flagged client packet (including a
+                // simultaneous-open SYN+ACK) tells the box the
+                // handshake is done; server payloads from here on are
+                // ordinary data, not anomalies.
+                tcb.handshake_done = true;
+            }
+            // --- resync landing ---
+            let consumes = match tcb.arm {
+                Some(ResyncTarget::NextClientPacket) => true,
+                Some(ResyncTarget::NextServerSynAckOrClientAck) => {
+                    tcp.flags.contains(TcpFlags::ACK)
+                }
+                None => false,
+            };
+            if consumes {
+                // THE BUG: `seq + len`, never `+1` for a SYN flag — a
+                // simultaneous-open SYN+ACK leaves the cursor 1 low.
+                tcb.arm = None;
+                tcb.stream
+                    .resync_to(tcp.seq.wrapping_add(pkt.payload.len() as u32));
+                return (to_client, to_server);
+            }
+            // --- client teardown (valid RST only) ---
+            if tcp.flags.contains(TcpFlags::RST) {
+                if tcp.seq == tcb.stream.expected() {
+                    tcb.torn_down = true;
+                }
+                return (to_client, to_server);
+            }
+            // --- residual censorship fires right after the handshake ---
+            if tcb.residual_flagged
+                && !tcb.censored
+                && tcp.flags.contains(TcpFlags::ACK)
+                && !tcp.flags.contains(TcpFlags::SYN)
+            {
+                tcb.censored = true;
+                self.censor_events += 1;
+                let expected = tcb.stream.expected();
+                to_client.push(teardown_rst(tcb.server, tcb.client, tcb.server_next));
+                to_server.push(teardown_rst(tcb.client, tcb.server, expected));
+                return (to_client, to_server);
+            }
+            // --- DPI over the tracked client stream ---
+            if !pkt.payload.is_empty() && !tcb.censored {
+                let views = tcb.stream.push(tcp.seq, &pkt.payload);
+                if tcb.per_packet && !views.is_empty() && !tcb.wedged {
+                    // Per-packet parsers wedge on a split protocol unit.
+                    let complete = self
+                        .params
+                        .protocols
+                        .iter()
+                        .any(|proto| appproto::dpi::is_complete_unit(*proto, &pkt.payload));
+                    if !complete {
+                        tcb.wedged = true;
+                    }
+                }
+                if !tcb.miss && (!tcb.per_packet || !tcb.wedged) {
+                    let hit = views.iter().any(|view| {
+                        self.params
+                            .protocols
+                            .iter()
+                            .zip(&self.params.keywords)
+                            .any(|(proto, kw)| forbidden_in(*proto, view, kw))
+                    });
+                    if hit {
+                        tcb.censored = true;
+                        self.censor_events += 1;
+                        let expected = tcb.stream.expected();
+                        to_client.push(teardown_rst(tcb.server, tcb.client, tcb.server_next));
+                        to_server.push(teardown_rst(tcb.client, tcb.server, expected));
+                        if let Some(dur) = self.params.residual_us {
+                            self.residual.insert(tcb.server, now + dur);
+                        }
+                    }
+                }
+            }
+        } else {
+            // --- packets from the server: resync-state events ---
+            let flags = tcp.flags;
+            // A server SYN+ACK can LAND an armed rule-1 resync.
+            if flags.is_syn_ack()
+                && tcb.arm == Some(ResyncTarget::NextServerSynAckOrClientAck)
+            {
+                tcb.arm = None;
+                // The box adopts the SYN+ACK's ack number as the
+                // client's next byte (garbage ack ⇒ blind censor).
+                tcb.stream.resync_to(tcp.ack);
+                return (to_client, to_server);
+            }
+            if flags.is_syn_ack() {
+                tcb.server_next = tcp
+                    .seq
+                    .wrapping_add(1)
+                    .wrapping_add(pkt.payload.len() as u32);
+                let corrupt_ack = tcp.ack != tcb.client_isn.wrapping_add(1);
+                if corrupt_ack {
+                    // The FTP stack's corrupt-ack sensitivity is higher
+                    // when a server RST already disturbed the flow
+                    // (Strategy 7's boost over Strategy 4).
+                    let p = if tcb.saw_server_rst {
+                        self.params.p_resync_on_corrupt_ack_after_anomaly
+                    } else {
+                        self.params.p_resync_on_corrupt_ack
+                    };
+                    let target = if self.params.corrupt_ack_lands_on_client {
+                        ResyncTarget::NextClientPacket
+                    } else {
+                        ResyncTarget::NextServerSynAckOrClientAck
+                    };
+                    maybe_arm(&mut self.rng, p, target, &mut tcb.arm);
+                    tcb.saw_corrupt_ack = true;
+                }
+                if !pkt.payload.is_empty() && tcb.saw_corrupt_ack && !tcb.handshake_done {
+                    maybe_arm(
+                        &mut self.rng,
+                        self.params.p_resync_on_synack_payload_after_corrupt_ack,
+                        ResyncTarget::NextClientPacket,
+                        &mut tcb.arm,
+                    );
+                }
+            } else if flags.is_syn() {
+                tcb.server_next = tcp
+                    .seq
+                    .wrapping_add(1)
+                    .wrapping_add(pkt.payload.len() as u32);
+                if tcb.saw_server_rst {
+                    // HTTPS quirk: a bare SYN right after a server RST
+                    // occasionally trips the resync state (Strategy 1's
+                    // 14 % vs Strategies 3/7's ~4 %).
+                    maybe_arm(
+                        &mut self.rng,
+                        self.params.p_resync_on_server_syn,
+                        ResyncTarget::NextClientPacket,
+                        &mut tcb.arm,
+                    );
+                }
+                if tcb.saw_corrupt_ack {
+                    maybe_arm(
+                        &mut self.rng,
+                        self.params.p_resync_on_server_syn_after_corrupt_ack,
+                        ResyncTarget::NextClientPacket,
+                        &mut tcb.arm,
+                    );
+                }
+                if !pkt.payload.is_empty() && !tcb.handshake_done {
+                    // Rule 1: payload on a non-SYN+ACK (a bare SYN with
+                    // a load counts — Strategy 2's second packet).
+                    maybe_arm(
+                        &mut self.rng,
+                        self.params.p_resync_on_server_payload,
+                        ResyncTarget::NextServerSynAckOrClientAck,
+                        &mut tcb.arm,
+                    );
+                }
+            } else {
+                if flags.contains(TcpFlags::RST) {
+                    // Rule 2 — the server's RST never tears down.
+                    maybe_arm(
+                        &mut self.rng,
+                        self.params.p_resync_on_server_rst,
+                        ResyncTarget::NextClientPacket,
+                        &mut tcb.arm,
+                    );
+                    tcb.saw_server_rst = true;
+                }
+                if !pkt.payload.is_empty() {
+                    // Track the server's data cursor so injected RSTs
+                    // toward the client stay in-window.
+                    tcb.server_next = tcp
+                        .seq
+                        .wrapping_add(pkt.payload.len() as u32)
+                        .wrapping_add(u32::from(flags.contains(TcpFlags::FIN)));
+                    // Rule 1 — handshake-time payloads only; response
+                    // data on an established connection is not an
+                    // anomaly and must not churn the resync state.
+                    if !tcb.handshake_done {
+                        maybe_arm(
+                            &mut self.rng,
+                            self.params.p_resync_on_server_payload,
+                            ResyncTarget::NextServerSynAckOrClientAck,
+                            &mut tcb.arm,
+                        );
+                    }
+                } else if flags.contains(TcpFlags::ACK) && !flags.contains(TcpFlags::RST) {
+                    tcb.server_next = tcp.seq; // plain ACK: seq is next byte
+                }
+            }
+        }
+        (to_client, to_server)
+    }
+}
+
+/// Arm a resync target with probability `p`.
+fn maybe_arm(rng: &mut StdRng, p: f64, target: ResyncTarget, slot: &mut Option<ResyncTarget>) {
+    if p > 0.0 && rng.gen::<f64>() < p {
+        *slot = Some(target);
+    }
+}
+
+/// A censor-injected RST from `src` to `dst` with the given seq.
+fn teardown_rst(src: ([u8; 4], u16), dst: ([u8; 4], u16), seq: u32) -> Packet {
+    let mut rst = Packet::tcp(src.0, src.1, dst.0, dst.1, TcpFlags::RST, seq, 0, vec![]);
+    rst.finalize();
+    rst
+}
+
+/// The composite GFW: every box sees every packet (the §6 multi-box
+/// architecture); being on-path, it always forwards and only injects.
+pub struct Gfw {
+    /// The individual censorship boxes.
+    pub boxes: Vec<GfwBox>,
+}
+
+impl Gfw {
+    /// The standard five-box GFW.
+    pub fn standard(seed: u64) -> Gfw {
+        Gfw {
+            boxes: appproto::AppProtocol::all()
+                .iter()
+                .enumerate()
+                .map(|(i, proto)| {
+                    GfwBox::new(
+                        GfwBoxParams::for_protocol(*proto),
+                        seed.wrapping_add(i as u64 * 0x9E37),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A GFW with a single box censoring one protocol (unit tests,
+    /// per-protocol experiments).
+    pub fn single(proto: appproto::AppProtocol, seed: u64) -> Gfw {
+        Gfw {
+            boxes: vec![GfwBox::new(GfwBoxParams::for_protocol(proto), seed)],
+        }
+    }
+
+    /// The §6 ablation: one box, one (HTTP-like) stack, all protocols.
+    pub fn single_box_ablation(seed: u64) -> Gfw {
+        Gfw {
+            boxes: vec![GfwBox::new(GfwBoxParams::single_box_ablation(), seed)],
+        }
+    }
+
+    /// Prior work's resync model (ablation): five boxes, each with the
+    /// single-rule resynchronization behavior of Wang et al.
+    pub fn old_resync_model(seed: u64) -> Gfw {
+        Gfw {
+            boxes: appproto::AppProtocol::all()
+                .iter()
+                .enumerate()
+                .map(|(i, proto)| {
+                    GfwBox::new(
+                        GfwBoxParams::old_single_rule_model(*proto),
+                        seed.wrapping_add(i as u64 * 0x9E37),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Total censorship events across boxes.
+    pub fn censor_events(&self) -> u64 {
+        self.boxes.iter().map(|b| b.censor_events).sum()
+    }
+}
+
+impl Middlebox for Gfw {
+    fn process(&mut self, pkt: &Packet, _dir: Direction, now: u64) -> Verdict {
+        let mut verdict = Verdict::pass(pkt.clone());
+        for b in &mut self.boxes {
+            let (to_client, to_server) = b.observe(pkt, now);
+            verdict.inject_to_client.extend(to_client);
+            verdict.inject_to_server.extend(to_server);
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appproto::AppProtocol;
+
+    const CLIENT: ([u8; 4], u16) = ([10, 0, 0, 1], 40000);
+    const SERVER: ([u8; 4], u16) = ([20, 0, 0, 9], 80);
+
+    fn pkt(
+        from: ([u8; 4], u16),
+        to: ([u8; 4], u16),
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload: &[u8],
+    ) -> Packet {
+        let mut p = Packet::tcp(from.0, from.1, to.0, to.1, flags, seq, ack, payload.to_vec());
+        p.finalize();
+        p
+    }
+
+    fn http_box(seed: u64) -> GfwBox {
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+        params.baseline_miss = 0.0; // determinism for unit tests
+        GfwBox::new(params, seed)
+    }
+
+    const REQ: &[u8] = b"GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n";
+
+    /// Drive a plain censored exchange; returns censor injections on
+    /// the request packet.
+    fn run_plain(b: &mut GfwBox) -> (Vec<Packet>, Vec<Packet>) {
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9001, b""), 2);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, REQ), 3)
+    }
+
+    #[test]
+    fn plain_forbidden_request_is_censored_with_valid_rsts() {
+        let mut b = http_box(1);
+        let (to_client, to_server) = run_plain(&mut b);
+        assert_eq!(b.censor_events, 1);
+        assert_eq!(to_client.len(), 1);
+        assert_eq!(to_server.len(), 1);
+        let rst_c = to_client[0].tcp_header().unwrap();
+        assert_eq!(to_client[0].flags(), TcpFlags::RST);
+        assert_eq!(rst_c.seq, 9001, "RST to client uses server's next seq");
+        let rst_s = to_server[0].tcp_header().unwrap();
+        assert_eq!(rst_s.seq, 1001 + REQ.len() as u32);
+        assert!(to_client[0].checksums_ok());
+    }
+
+    #[test]
+    fn benign_request_passes() {
+        let mut b = http_box(1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
+        let (c, s) = b.observe(
+            &pkt(
+                CLIENT,
+                SERVER,
+                TcpFlags::PSH_ACK,
+                1001,
+                9001,
+                b"GET /kittens HTTP/1.1\r\nHost: example.com\r\n\r\n",
+            ),
+            2,
+        );
+        assert!(c.is_empty() && s.is_empty());
+        assert_eq!(b.censor_events, 0);
+    }
+
+    #[test]
+    fn client_rst_tears_down_server_rst_does_not() {
+        // Client RST with the right seq: TCB gone, request sails through.
+        let mut b = http_box(1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::RST, 1001, 0, b""), 1);
+        let (c, s) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 0, REQ), 2);
+        assert!(c.is_empty() && s.is_empty(), "torn down ⇒ blind");
+
+        // Server RST (arming disabled via p=0 to isolate teardown):
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+        params.baseline_miss = 0.0;
+        params.p_resync_on_server_rst = 0.0;
+        let mut b = GfwBox::new(params, 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::RST, 9000, 0, b""), 1);
+        let (c, _s) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 0, REQ), 2);
+        assert!(!c.is_empty(), "server RST must NOT tear down the TCB");
+    }
+
+    #[test]
+    fn garbage_client_rst_does_not_tear_down() {
+        let mut b = http_box(1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::RST, 0xDEAD, 0, b""), 1);
+        let (c, _) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 0, REQ), 2);
+        assert!(!c.is_empty(), "bogus RST ignored, censorship proceeds");
+    }
+
+    #[test]
+    fn rule2_resync_on_simopen_synack_desyncs_by_one() {
+        // Force rule 2 to always arm, then replay Strategy 1's packet
+        // sequence; the box must land one byte low and go blind.
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+        params.baseline_miss = 0.0;
+        params.p_resync_on_server_rst = 1.0;
+        let mut b = GfwBox::new(params, 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        // Strategy 1's transformed SYN+ACK: a RST then a SYN.
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::RST, 9000, 1001, b""), 1);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN, 9000, 1001, b""), 2);
+        // Client's simultaneous-open SYN+ACK: seq NOT incremented.
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN_ACK, 1000, 9001, b""), 3);
+        // Server's plain ACK, then the request at the *real* seq 1001.
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::ACK, 9001, 1001, b""), 4);
+        let (c, s) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, REQ), 5);
+        assert!(c.is_empty() && s.is_empty(), "desynced by 1 ⇒ blind");
+        assert_eq!(b.censor_events, 0);
+        // Confirmation experiment: a request shifted to seq 1000 (the
+        // paper's seq−1 instrumented client) IS censored.
+        let mut b2 = {
+            let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+            params.baseline_miss = 0.0;
+            params.p_resync_on_server_rst = 1.0;
+            GfwBox::new(params, 1)
+        };
+        b2.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b2.observe(&pkt(SERVER, CLIENT, TcpFlags::RST, 9000, 1001, b""), 1);
+        b2.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN, 9000, 1001, b""), 2);
+        b2.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN_ACK, 1000, 9001, b""), 3);
+        let (c, _) = b2.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1000, 9001, REQ), 4);
+        assert!(!c.is_empty(), "seq−1 request matches the desynced cursor");
+    }
+
+    #[test]
+    fn rule1_lands_on_corrupt_ack_synack() {
+        // Strategy 6's mechanism: FIN+load arms rule 1; the corrupted
+        // SYN+ACK is the landing target; its garbage ack poisons the
+        // cursor even though the client's own RST is dropped.
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+        params.baseline_miss = 0.0;
+        params.p_resync_on_server_payload = 1.0;
+        let mut b = GfwBox::new(params, 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::FIN, 9000, 0, b"\xAA\xBB"), 1);
+        b.observe(
+            &pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 0xBAD0_0000, b""),
+            2,
+        );
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 3);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9001, b""), 4);
+        let (c, _) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, REQ), 5);
+        assert!(c.is_empty(), "cursor poisoned with the garbage ack");
+    }
+
+    #[test]
+    fn normal_interactive_traffic_resyncs_harmlessly() {
+        // Rule 1 arms on a server banner (FTP-style), but the landing
+        // target — the client's ordinary ACK — carries the correct seq,
+        // so the censor stays synchronized.
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Ftp);
+        params.baseline_miss = 0.0;
+        params.p_resync_on_server_payload = 1.0;
+        params.p_reassembly_works = 1.0;
+        let mut b = GfwBox::new(params, 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9001, b""), 2);
+        b.observe(
+            &pkt(SERVER, CLIENT, TcpFlags::PSH_ACK, 9001, 1001, b"220 ready\r\n"),
+            3,
+        );
+        // Client ACKs the banner (rule-1 landing, correct seq).
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9012, b""), 4);
+        let (c, _) = b.observe(
+            &pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9012, b"RETR ultrasurf\r\n"),
+            5,
+        );
+        assert!(!c.is_empty(), "still synchronized ⇒ still censoring");
+    }
+
+    #[test]
+    fn residual_censorship_kills_followup_connections() {
+        let mut b = http_box(1);
+        run_plain(&mut b); // censor event at t≈3, residual until 90 s
+        // A brand-new connection (different client port) shortly after:
+        let client2 = ([10, 0, 0, 1], 40001);
+        b.observe(&pkt(client2, SERVER, TcpFlags::SYN, 5000, 0, b""), 1_000_000);
+        b.observe(&pkt(SERVER, client2, TcpFlags::SYN_ACK, 7000, 5001, b""), 1_000_001);
+        let (c, s) = b.observe(
+            &pkt(client2, SERVER, TcpFlags::ACK, 5001, 7001, b""),
+            1_000_002,
+        );
+        assert!(!c.is_empty() && !s.is_empty(), "residual teardown");
+        // After expiry (90 s), a new connection is untouched.
+        let client3 = ([10, 0, 0, 1], 40002);
+        b.observe(&pkt(client3, SERVER, TcpFlags::SYN, 6000, 0, b""), 95_000_000);
+        let (c, _) = b.observe(
+            &pkt(client3, SERVER, TcpFlags::ACK, 6001, 0, b""),
+            95_000_001,
+        );
+        assert!(c.is_empty(), "residual expired");
+    }
+
+    #[test]
+    fn non_http_boxes_have_no_residual() {
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::DnsTcp);
+        params.baseline_miss = 0.0;
+        let mut b = GfwBox::new(params, 1);
+        let query = appproto::dns::build_query("www.wikipedia.org", 7);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
+        let (c, _) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, &query), 2);
+        assert!(!c.is_empty(), "query censored");
+        // Immediate follow-up on a fresh connection is NOT blocked.
+        let client2 = ([10, 0, 0, 1], 40001);
+        b.observe(&pkt(client2, SERVER, TcpFlags::SYN, 5000, 0, b""), 3);
+        b.observe(&pkt(SERVER, client2, TcpFlags::SYN_ACK, 7000, 5001, b""), 4);
+        let (c, _) = b.observe(&pkt(client2, SERVER, TcpFlags::ACK, 5001, 7001, b""), 5);
+        assert!(c.is_empty(), "no residual for DNS");
+    }
+
+    #[test]
+    fn composite_gfw_forwards_and_boxes_are_isolated() {
+        let mut gfw = Gfw::standard(42);
+        assert_eq!(gfw.boxes.len(), 5);
+        let syn = pkt(CLIENT, SERVER, TcpFlags::SYN, 1, 0, b"");
+        let v = gfw.process(&syn, Direction::ToServer, 0);
+        assert!(v.forward.is_some(), "on-path: always forwards");
+    }
+
+    #[test]
+    fn smtp_box_cannot_reassemble_split_rcpt() {
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Smtp);
+        params.baseline_miss = 0.0;
+        let mut b = GfwBox::new(params, 1);
+        b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
+        b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
+        // Whole line in one packet: censored.
+        let line = b"RCPT TO:<xiazai@upup.info>\r\n";
+        let (c, _) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, line), 2);
+        assert!(!c.is_empty());
+        // Split across two packets (fresh flow): invisible.
+        let client2 = ([10, 0, 0, 1], 40001);
+        b.observe(&pkt(client2, SERVER, TcpFlags::SYN, 1000, 0, b""), 3);
+        b.observe(&pkt(SERVER, client2, TcpFlags::SYN_ACK, 9000, 1001, b""), 4);
+        let (c1, _) = b.observe(
+            &pkt(client2, SERVER, TcpFlags::PSH_ACK, 1001, 9001, &line[..10]),
+            5,
+        );
+        let (c2, _) = b.observe(
+            &pkt(client2, SERVER, TcpFlags::PSH_ACK, 1011, 9001, &line[10..]),
+            6,
+        );
+        assert!(c1.is_empty() && c2.is_empty(), "segmentation defeats SMTP box");
+    }
+}

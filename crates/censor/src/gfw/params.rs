@@ -1,0 +1,203 @@
+//! Calibrated per-box GFW parameters.
+//!
+//! The mechanisms (resync targets, the simultaneous-open off-by-one,
+//! teardown asymmetry, reassembly blindness, DNS retry amplification)
+//! are structural and live in [`super::GfwBox`]. What *is*
+//! probabilistic in the wild — how often each anomaly actually trips a
+//! box into its resynchronization state — the paper reports only as
+//! frequencies ("about 50 %", Table 2). Those frequencies are model
+//! parameters here, set per protocol box from the paper's own
+//! Table-2/§5 measurements. Each box having its *own* numbers is
+//! itself the paper's §6 finding: five separate stacks, five separate
+//! bug profiles.
+
+use appproto::AppProtocol;
+
+/// One censorship box's behavioral parameters.
+#[derive(Debug, Clone)]
+pub struct GfwBoxParams {
+    /// Protocols this box censors (one for the standard GFW; all five
+    /// for the single-box ablation).
+    pub protocols: Vec<AppProtocol>,
+    /// Forbidden tokens, parallel to `protocols`.
+    pub keywords: Vec<String>,
+    /// Per-flow probability the box simply misses the request
+    /// (Table 2 "No evasion" row).
+    pub baseline_miss: f64,
+    /// Rule 2: P(server RST ⇒ resync armed on the next client packet).
+    pub p_resync_on_server_rst: f64,
+    /// Rule 1: P(server payload on a non-SYN+ACK ⇒ resync armed on the
+    /// next server SYN+ACK or next client ACK-flagged packet).
+    pub p_resync_on_server_payload: f64,
+    /// Rule 3: P(server SYN+ACK with a wrong ack number ⇒ resync armed
+    /// on the next client packet). Only the FTP stack has this
+    /// meaningfully (§5.1, Strategy 3 discussion).
+    pub p_resync_on_corrupt_ack: f64,
+    /// FTP-stack quirk: the corrupt-ack probability when the flow has
+    /// already seen another server-side anomaly (Strategy 7's boost).
+    pub p_resync_on_corrupt_ack_after_anomaly: f64,
+    /// Quirk: P(bare SYN from the server ⇒ resync), applied
+    /// unconditionally (HTTPS shows a small one — Strategy 1's 14 %).
+    pub p_resync_on_server_syn: f64,
+    /// FTP-stack quirk: P(bare server SYN ⇒ resync) when a corrupt-ack
+    /// was already seen (Strategy 3 vs Strategy 4).
+    pub p_resync_on_server_syn_after_corrupt_ack: f64,
+    /// FTP-stack quirk: P(payload on a SYN+ACK ⇒ resync) when a
+    /// corrupt-ack was already seen (Strategy 5's 97 %).
+    pub p_resync_on_synack_payload_after_corrupt_ack: f64,
+    /// Per-flow probability the box can reassemble TCP segments. Flows
+    /// where it can't are inspected per-packet (Strategy 8's target).
+    pub p_reassembly_works: f64,
+    /// Residual censorship duration after a censorship event
+    /// (HTTP: ~90 s), microseconds.
+    pub residual_us: Option<u64>,
+    /// Where a corrupt-ack-triggered resync lands. The paper's revised
+    /// model: the next client packet (true). Prior work's model (Wang
+    /// et al.): the next server SYN+ACK or client data packet (false) —
+    /// which always re-synchronizes correctly for server-side
+    /// strategies, predicting (wrongly) that none of them can work.
+    pub corrupt_ack_lands_on_client: bool,
+}
+
+impl GfwBoxParams {
+    /// The standard parameters for one of the five boxes.
+    pub fn for_protocol(proto: AppProtocol) -> GfwBoxParams {
+        let base = GfwBoxParams {
+            protocols: vec![proto],
+            keywords: vec![proto.default_keyword().to_string()],
+            baseline_miss: 0.03,
+            p_resync_on_server_rst: 0.53,
+            p_resync_on_server_payload: 0.52,
+            p_resync_on_corrupt_ack: 0.01,
+            p_resync_on_corrupt_ack_after_anomaly: 0.01,
+            p_resync_on_server_syn: 0.0,
+            p_resync_on_server_syn_after_corrupt_ack: 0.0,
+            p_resync_on_synack_payload_after_corrupt_ack: 0.0,
+            p_reassembly_works: 1.0,
+            residual_us: None,
+            corrupt_ack_lands_on_client: true,
+        };
+        match proto {
+            AppProtocol::Http => GfwBoxParams {
+                residual_us: Some(90_000_000),
+                ..base
+            },
+            AppProtocol::Https => GfwBoxParams {
+                // §5.1: a RST does NOT put the HTTPS stack into the
+                // resync state (Strategies 1/7 ≈ baseline); a small
+                // residue from the sim-open SYN explains S1's 14 %.
+                p_resync_on_server_rst: 0.0,
+                p_resync_on_server_payload: 0.53,
+                p_resync_on_server_syn: 0.11,
+                p_resync_on_corrupt_ack: 0.0,
+                p_resync_on_corrupt_ack_after_anomaly: 0.0,
+                ..base
+            },
+            AppProtocol::DnsTcp => GfwBoxParams {
+                baseline_miss: 0.007, // 3-try amplification → ~2 %
+                p_resync_on_server_rst: 0.50,
+                p_resync_on_server_payload: 0.44,
+                p_resync_on_corrupt_ack: 0.017,
+                p_resync_on_corrupt_ack_after_anomaly: 0.017,
+                p_resync_on_server_syn_after_corrupt_ack: 0.074,
+                p_resync_on_synack_payload_after_corrupt_ack: 0.03,
+                ..base
+            },
+            AppProtocol::Ftp => GfwBoxParams {
+                p_resync_on_server_rst: 0.50,
+                p_resync_on_server_payload: 0.33,
+                p_resync_on_corrupt_ack: 0.31,
+                p_resync_on_corrupt_ack_after_anomaly: 0.65,
+                p_resync_on_server_syn_after_corrupt_ack: 0.50,
+                p_resync_on_synack_payload_after_corrupt_ack: 0.95,
+                // "frequently incapable" of reassembly: Strategy 8 ≈ 47 %.
+                p_reassembly_works: 0.55,
+                ..base
+            },
+            AppProtocol::Smtp => GfwBoxParams {
+                baseline_miss: 0.26,
+                p_resync_on_server_rst: 0.60,
+                p_resync_on_server_payload: 0.42,
+                p_resync_on_corrupt_ack: 0.0,
+                p_resync_on_corrupt_ack_after_anomaly: 0.0,
+                // The SMTP stack never reassembles: Strategy 8 = 100 %.
+                p_reassembly_works: 0.0,
+                ..base
+            },
+        }
+    }
+
+    /// Ablation: prior work's single-rule resynchronization model
+    /// (Wang et al. 2017): only a SYN+ACK with an incorrect ack number
+    /// triggers the resync state (for every protocol), landing on the
+    /// next server SYN+ACK or client packet. Under this model the
+    /// paper's Strategies 1/2/6/7 should NOT work — our ablation bench
+    /// demonstrates the difference.
+    pub fn old_single_rule_model(proto: AppProtocol) -> GfwBoxParams {
+        let mut params = GfwBoxParams::for_protocol(proto);
+        params.p_resync_on_server_rst = 0.0;
+        params.p_resync_on_server_payload = 0.0;
+        params.p_resync_on_server_syn = 0.0;
+        params.p_resync_on_server_syn_after_corrupt_ack = 0.0;
+        params.p_resync_on_synack_payload_after_corrupt_ack = 0.0;
+        params.p_resync_on_corrupt_ack = 0.5;
+        params.p_resync_on_corrupt_ack_after_anomaly = 0.5;
+        params.corrupt_ack_lands_on_client = false;
+        params
+    }
+
+    /// Ablation: one box with one (HTTP-like) stack censoring all five
+    /// protocols — the "single censorship box" model the paper's §6
+    /// evidence rejects.
+    pub fn single_box_ablation() -> GfwBoxParams {
+        let mut params = GfwBoxParams::for_protocol(AppProtocol::Http);
+        params.protocols = AppProtocol::all().to_vec();
+        params.keywords = AppProtocol::all()
+            .iter()
+            .map(|p| p.default_keyword().to_string())
+            .collect();
+        params.residual_us = None;
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_box_has_consistent_tables() {
+        for proto in AppProtocol::all() {
+            let p = GfwBoxParams::for_protocol(proto);
+            assert_eq!(p.protocols, vec![proto]);
+            assert_eq!(p.keywords.len(), 1);
+            assert!(p.baseline_miss < 0.5);
+            assert!((0.0..=1.0).contains(&p.p_reassembly_works));
+        }
+    }
+
+    #[test]
+    fn only_http_has_residual_censorship() {
+        for proto in AppProtocol::all() {
+            let p = GfwBoxParams::for_protocol(proto);
+            assert_eq!(
+                p.residual_us.is_some(),
+                proto == AppProtocol::Http,
+                "{proto}"
+            );
+        }
+    }
+
+    #[test]
+    fn https_is_rst_resync_immune() {
+        let p = GfwBoxParams::for_protocol(AppProtocol::Https);
+        assert_eq!(p.p_resync_on_server_rst, 0.0);
+    }
+
+    #[test]
+    fn ablation_box_covers_all_protocols() {
+        let p = GfwBoxParams::single_box_ablation();
+        assert_eq!(p.protocols.len(), 5);
+        assert_eq!(p.keywords.len(), 5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Iran's DPI (§5.2).
+//!
+//! Measured behavior the model encodes:
+//!
+//! * **Stateless per-packet DPI** on the default ports only (80 for
+//!   HTTP keywords/hosts, 443 for TLS SNI);
+//! * **In-path blackholing**: on a match it drops the offending packet
+//!   and every subsequent packet from the client in that flow for one
+//!   minute — no RST, no block page, the connection just dies;
+//! * **No TCP reassembly** — Strategy 8 wins 100 % for both HTTP and
+//!   HTTPS;
+//! * DNS-over-TCP is **not** censored (contrary to Aryan et al. 2013).
+
+use appproto::{http, tls};
+use netsim::{Direction, Middlebox, Verdict};
+use packet::packet::FlowKey;
+use packet::Packet;
+use std::collections::HashMap;
+
+/// Blackhole duration: one minute.
+pub const BLACKHOLE_US: u64 = 60_000_000;
+
+/// The Iranian censor.
+#[derive(Debug, Default)]
+pub struct IranCensor {
+    /// Blacklisted names (Host header / SNI / URL substring).
+    pub keywords: Vec<String>,
+    /// Flows being blackholed, with expiry times.
+    blackholed: HashMap<FlowKey, u64>,
+    /// Count of censorship events (diagnostics).
+    pub censor_events: u64,
+}
+
+impl IranCensor {
+    /// With the default blacklist.
+    pub fn new() -> IranCensor {
+        IranCensor {
+            keywords: vec!["youtube.com".to_string()],
+            blackholed: HashMap::new(),
+            censor_events: 0,
+        }
+    }
+
+    fn forbidden(&self, dst_port: u16, payload: &[u8]) -> bool {
+        match dst_port {
+            80 => self
+                .keywords
+                .iter()
+                .any(|kw| http::request_is_forbidden(payload, kw)),
+            443 => tls::parse_sni(payload)
+                .map(|sni| self.keywords.iter().any(|kw| sni.contains(kw)))
+                .unwrap_or(false),
+            _ => false, // default ports only
+        }
+    }
+}
+
+impl Middlebox for IranCensor {
+    fn process(&mut self, pkt: &Packet, dir: Direction, now: u64) -> Verdict {
+        let Some(tcp) = pkt.tcp_header() else {
+            return Verdict::pass(pkt.clone());
+        };
+        let key = pkt.flow_key();
+        // Active blackhole: client→server packets vanish.
+        if dir == Direction::ToServer {
+            if let Some(&until) = self.blackholed.get(&key) {
+                if now < until {
+                    return Verdict::drop();
+                }
+                self.blackholed.remove(&key);
+            }
+        }
+        if dir == Direction::ToServer
+            && !pkt.payload.is_empty()
+            && self.forbidden(tcp.dst_port, &pkt.payload)
+        {
+            self.censor_events += 1;
+            self.blackholed.insert(key, now + BLACKHOLE_US);
+            return Verdict::drop(); // the offending packet never arrives
+        }
+        Verdict::pass(pkt.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::TcpFlags;
+
+    fn pkt(dst_port: u16, seq: u32, payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp(
+            [10, 0, 0, 1],
+            40000,
+            [20, 0, 0, 9],
+            dst_port,
+            TcpFlags::PSH_ACK,
+            seq,
+            9001,
+            payload.to_vec(),
+        );
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn forbidden_http_blackholes_the_flow() {
+        let mut censor = IranCensor::new();
+        let req = http::HttpClientApp::for_blocked_host("youtube.com").request_bytes();
+        let verdict = censor.process(&pkt(80, 1001, &req), Direction::ToServer, 0);
+        assert!(verdict.forward.is_none(), "offending packet dropped");
+        // Later innocuous packet on the same flow, still inside 60 s:
+        let verdict = censor.process(&pkt(80, 2000, b"hello"), Direction::ToServer, 1_000_000);
+        assert!(verdict.forward.is_none(), "blackholed");
+        // After 60 s the flow breathes again.
+        let verdict = censor.process(&pkt(80, 3000, b"hello"), Direction::ToServer, 61_000_001);
+        assert!(verdict.forward.is_some());
+    }
+
+    #[test]
+    fn sni_censorship_on_443() {
+        let mut censor = IranCensor::new();
+        let hello = tls::client_hello("youtube.com", 5);
+        let verdict = censor.process(&pkt(443, 1001, &hello), Direction::ToServer, 0);
+        assert!(verdict.forward.is_none());
+        assert_eq!(censor.censor_events, 1);
+        // A benign SNI passes (fresh flow — the first one is now
+        // blackholed, which is the point).
+        let ok = tls::client_hello("example.org", 5);
+        let mut fresh = pkt(443, 1001, &ok);
+        fresh.tcp_header_mut().unwrap().src_port = 40001;
+        fresh.finalize();
+        let verdict = censor.process(&fresh, Direction::ToServer, 0);
+        assert!(verdict.forward.is_some());
+    }
+
+    #[test]
+    fn non_default_ports_are_free() {
+        let mut censor = IranCensor::new();
+        let req = http::HttpClientApp::for_blocked_host("youtube.com").request_bytes();
+        let verdict = censor.process(&pkt(8443, 1001, &req), Direction::ToServer, 0);
+        assert!(verdict.forward.is_some());
+    }
+
+    #[test]
+    fn segmentation_is_invisible() {
+        let mut censor = IranCensor::new();
+        let hello = tls::client_hello("youtube.com", 5);
+        for chunk in hello.chunks(10) {
+            let verdict = censor.process(&pkt(443, 1001, chunk), Direction::ToServer, 0);
+            assert!(verdict.forward.is_some());
+        }
+        assert_eq!(censor.censor_events, 0);
+    }
+
+    #[test]
+    fn server_packets_never_blackholed() {
+        let mut censor = IranCensor::new();
+        let req = http::HttpClientApp::for_blocked_host("youtube.com").request_bytes();
+        censor.process(&pkt(80, 1001, &req), Direction::ToServer, 0);
+        // Server→client traffic on the same flow still flows (the paper
+        // observes the *client's* packets being dropped).
+        let mut reply = Packet::tcp(
+            [20, 0, 0, 9],
+            80,
+            [10, 0, 0, 1],
+            40000,
+            TcpFlags::ACK,
+            9001,
+            1001,
+            vec![],
+        );
+        reply.finalize();
+        let verdict = censor.process(&reply, Direction::ToClient, 1);
+        assert!(verdict.forward.is_some());
+    }
+}

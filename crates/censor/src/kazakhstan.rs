@@ -1,0 +1,399 @@
+//! Kazakhstan's in-path HTTP censor (§5.3).
+//!
+//! Measured behavior the model encodes:
+//!
+//! * **In-path MITM**: on a forbidden `Host:` it intercepts the flow —
+//!   client packets (including the offending request) are dropped for
+//!   ~15 seconds — and injects a FIN+PSH+ACK block page;
+//! * **Per-packet DPI, port 80 only, no reassembly** (Strategy 8);
+//! * a **normal-HTTP-connection pattern monitor**: the censor gives up
+//!   on ("ignores") a connection whose handshake doesn't look normal.
+//!   The paper's probes pin down three give-up conditions, which are
+//!   Strategies 9–11:
+//!   - **three or more** payload-bearing server packets during the
+//!     handshake (one or two are tolerated — Strategy 9's controls);
+//!   - **two** well-formed (up to `HTTP1.`) GET requests *from the
+//!     server* during the handshake — the censor concludes the server
+//!     is actually the client (Strategy 10);
+//!   - any handshake packet whose flags include none of
+//!     FIN/RST/SYN/ACK (Strategy 11's null flags).
+//! * the paper's censor-probing quirk: when the *second* server-GET is
+//!   a forbidden request, the censor processes it and responds (the
+//!   first one only breaks it out of its handshake state).
+
+use appproto::http;
+use netsim::{Direction, Middlebox, Verdict};
+use packet::packet::FlowKey;
+use packet::{Packet, TcpFlags};
+use std::collections::HashMap;
+
+/// Interception window after a censorship event: ~15 seconds.
+pub const INTERCEPT_US: u64 = 15_000_000;
+
+#[derive(Debug, Default)]
+struct KzFlow {
+    /// Handshake phase ends at the client's first payload.
+    client_data_seen: bool,
+    server_handshake_payloads: u32,
+    server_handshake_gets: u32,
+    /// The censor has written this flow off as not-normal-HTTP.
+    ignored: bool,
+    intercept_until: Option<u64>,
+}
+
+/// The Kazakh censor.
+#[derive(Debug, Default)]
+pub struct KazakhstanCensor {
+    /// Blacklisted Host values.
+    pub keywords: Vec<String>,
+    flows: HashMap<FlowKey, KzFlow>,
+    /// Count of censorship events against clients (diagnostics).
+    pub censor_events: u64,
+    /// Count of censor responses elicited by server-side probes
+    /// (the §5.3 double-GET probing experiment).
+    pub probe_responses: u64,
+}
+
+/// Is this payload a well-formed GET prefix up to the version dot
+/// (`GET <path> HTTP1.` / `GET <path> HTTP/1.`)?
+fn is_wellformed_get_prefix(payload: &[u8]) -> bool {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return false;
+    };
+    let Some(rest) = text.strip_prefix("GET ") else {
+        return false;
+    };
+    let Some((path, rest)) = rest.split_once(' ') else {
+        return false;
+    };
+    !path.is_empty() && (rest.starts_with("HTTP1.") || rest.starts_with("HTTP/1."))
+}
+
+impl KazakhstanCensor {
+    /// With the default blacklist.
+    pub fn new() -> KazakhstanCensor {
+        KazakhstanCensor {
+            keywords: vec!["youtube.com".to_string()],
+            ..KazakhstanCensor::default()
+        }
+    }
+
+    fn forbidden(&self, payload: &[u8]) -> bool {
+        self.keywords
+            .iter()
+            .any(|kw| http::request_is_forbidden(payload, kw))
+    }
+
+    fn block_page_packet(from: ([u8; 4], u16), to: ([u8; 4], u16), seq: u32, ack: u32) -> Packet {
+        let mut block = Packet::tcp(
+            from.0,
+            from.1,
+            to.0,
+            to.1,
+            TcpFlags::FIN_PSH_ACK,
+            seq,
+            ack,
+            http::block_page(),
+        );
+        block.finalize();
+        block
+    }
+}
+
+impl Middlebox for KazakhstanCensor {
+    fn process(&mut self, pkt: &Packet, dir: Direction, now: u64) -> Verdict {
+        let Some(tcp) = pkt.tcp_header() else {
+            return Verdict::pass(pkt.clone());
+        };
+        // Port 80 only (either direction of a port-80 flow).
+        if tcp.dst_port != 80 && tcp.src_port != 80 {
+            return Verdict::pass(pkt.clone());
+        }
+        let key = pkt.flow_key();
+        // Precompute DPI verdicts before borrowing flow state.
+        let payload_forbidden = !pkt.payload.is_empty() && self.forbidden(&pkt.payload);
+        let flow = self.flows.entry(key).or_default();
+
+        // Active interception: the client's packets never reach the
+        // server (the MITM holds the connection).
+        if dir == Direction::ToServer {
+            if let Some(until) = flow.intercept_until {
+                if now < until {
+                    return Verdict::drop();
+                }
+                flow.intercept_until = None;
+            }
+        }
+
+        match dir {
+            Direction::ToClient => {
+                if !flow.client_data_seen && !flow.ignored {
+                    let flags = tcp.flags;
+                    // Null/esoteric flags break the handshake model.
+                    if !flags.intersects(
+                        TcpFlags::FIN | TcpFlags::RST | TcpFlags::SYN | TcpFlags::ACK,
+                    ) {
+                        flow.ignored = true;
+                        return Verdict::pass(pkt.clone());
+                    }
+                    if !pkt.payload.is_empty() {
+                        flow.server_handshake_payloads += 1;
+                        if flow.server_handshake_payloads >= 3 {
+                            // Three payload-bearing handshake packets:
+                            // this is not a normal HTTP connection.
+                            flow.ignored = true;
+                        }
+                        if is_wellformed_get_prefix(&pkt.payload) {
+                            flow.server_handshake_gets += 1;
+                            if flow.server_handshake_gets == 2 {
+                                if payload_forbidden {
+                                    // Probing quirk: the SECOND injected
+                                    // request is processed — the censor
+                                    // answers the "client" (our server).
+                                    self.probe_responses += 1;
+                                    let mut verdict = Verdict::pass(pkt.clone());
+                                    verdict.inject_to_server.push(Self::block_page_packet(
+                                        (pkt.ip.dst, tcp.dst_port),
+                                        (pkt.ip.src, tcp.src_port),
+                                        tcp.ack,
+                                        tcp.seq.wrapping_add(pkt.payload.len() as u32),
+                                    ));
+                                    flow.ignored = true;
+                                    return verdict;
+                                }
+                                // Two benign GETs from the "server":
+                                // roles look inverted; give up.
+                                flow.ignored = true;
+                            }
+                        }
+                    }
+                }
+                Verdict::pass(pkt.clone())
+            }
+            Direction::ToServer => {
+                if !pkt.payload.is_empty() {
+                    flow.client_data_seen = true;
+                    if !flow.ignored && payload_forbidden {
+                        self.censor_events += 1;
+                        flow.intercept_until = Some(now + INTERCEPT_US);
+                        let mut verdict = Verdict::drop();
+                        verdict.inject_to_client.push(Self::block_page_packet(
+                            (pkt.ip.dst, tcp.dst_port),
+                            (pkt.ip.src, tcp.src_port),
+                            tcp.ack,
+                            tcp.seq.wrapping_add(pkt.payload.len() as u32),
+                        ));
+                        return verdict;
+                    }
+                }
+                Verdict::pass(pkt.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT: ([u8; 4], u16) = ([10, 0, 0, 1], 40000);
+    const SERVER: ([u8; 4], u16) = ([20, 0, 0, 9], 80);
+
+    fn c2s(flags: TcpFlags, seq: u32, payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp(
+            CLIENT.0, CLIENT.1, SERVER.0, SERVER.1, flags, seq, 9001, payload.to_vec(),
+        );
+        p.finalize();
+        p
+    }
+
+    fn s2c(flags: TcpFlags, seq: u32, payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, flags, seq, 1001, payload.to_vec(),
+        );
+        p.finalize();
+        p
+    }
+
+    fn forbidden_request() -> Vec<u8> {
+        http::HttpClientApp::for_blocked_host("youtube.com").request_bytes()
+    }
+
+    #[test]
+    fn forbidden_request_is_intercepted_with_block_page() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b""), Direction::ToClient, 1);
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            2,
+        );
+        assert!(verdict.forward.is_none(), "in-path: request intercepted");
+        assert_eq!(verdict.inject_to_client.len(), 1);
+        assert_eq!(verdict.inject_to_client[0].flags(), TcpFlags::FIN_PSH_ACK);
+        // Subsequent client packets swallowed for 15 s…
+        let verdict = censor.process(&c2s(TcpFlags::ACK, 2000, b"x"), Direction::ToServer, 1_000_000);
+        assert!(verdict.forward.is_none());
+        // …and released afterwards.
+        let verdict = censor.process(
+            &c2s(TcpFlags::ACK, 2001, b"x"),
+            Direction::ToServer,
+            2 + INTERCEPT_US + 1,
+        );
+        assert!(verdict.forward.is_some());
+    }
+
+    #[test]
+    fn triple_payload_makes_flow_ignored() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        for i in 0..3 {
+            censor.process(
+                &s2c(TcpFlags::SYN_ACK, 9000, b"\xAA\xBB\xCC"),
+                Direction::ToClient,
+                1 + i,
+            );
+        }
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            10,
+        );
+        assert!(verdict.forward.is_some(), "flow ignored ⇒ request passes");
+        assert_eq!(censor.censor_events, 0);
+    }
+
+    #[test]
+    fn one_or_two_payloads_are_not_enough() {
+        for count in [1u64, 2] {
+            let mut censor = KazakhstanCensor::new();
+            censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+            for i in 0..count {
+                censor.process(
+                    &s2c(TcpFlags::SYN_ACK, 9000, b"\xAA\xBB"),
+                    Direction::ToClient,
+                    1 + i,
+                );
+            }
+            let verdict = censor.process(
+                &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+                Direction::ToServer,
+                10,
+            );
+            assert!(verdict.forward.is_none(), "{count} payloads: still censored");
+        }
+    }
+
+    #[test]
+    fn double_benign_get_confuses_roles() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        for i in 0..2 {
+            censor.process(
+                &s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTTP1."),
+                Direction::ToClient,
+                1 + i,
+            );
+        }
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            10,
+        );
+        assert!(verdict.forward.is_some(), "double GET ⇒ ignored");
+    }
+
+    #[test]
+    fn single_get_or_malformed_get_fails() {
+        // One GET only.
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTTP1."), Direction::ToClient, 1);
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            10,
+        );
+        assert!(verdict.forward.is_none(), "one GET is not enough");
+
+        // Two malformed GETs (missing the version dot).
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        for i in 0..2 {
+            censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTT"), Direction::ToClient, 1 + i);
+        }
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            10,
+        );
+        assert!(verdict.forward.is_none(), "malformed GETs don't count");
+    }
+
+    #[test]
+    fn null_flags_packet_breaks_the_monitor() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        censor.process(&s2c(TcpFlags::NONE, 9000, b""), Direction::ToClient, 1);
+        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b""), Direction::ToClient, 2);
+        let verdict = censor.process(
+            &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
+            Direction::ToServer,
+            10,
+        );
+        assert!(verdict.forward.is_some(), "null flags ⇒ ignored");
+    }
+
+    #[test]
+    fn probe_second_forbidden_get_elicits_response() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        let forbidden = forbidden_request();
+        // First forbidden GET from the server: no response.
+        let v1 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 1);
+        assert!(v1.inject_to_server.is_empty());
+        // Second forbidden GET: censor answers the server.
+        let v2 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 2);
+        assert_eq!(v2.inject_to_server.len(), 1);
+        assert_eq!(censor.probe_responses, 1);
+    }
+
+    #[test]
+    fn probe_forbidden_then_benign_is_silent() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        let forbidden = forbidden_request();
+        let benign = http::HttpClientApp::for_blocked_host("example.org").request_bytes();
+        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 1);
+        let v2 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &benign), Direction::ToClient, 2);
+        assert!(v2.inject_to_server.is_empty(), "second request is the processed one");
+        assert_eq!(censor.probe_responses, 0);
+    }
+
+    #[test]
+    fn segmentation_is_invisible() {
+        let mut censor = KazakhstanCensor::new();
+        censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
+        let req = forbidden_request();
+        let mut seq = 1001;
+        for chunk in req.chunks(10) {
+            let verdict = censor.process(&c2s(TcpFlags::PSH_ACK, seq, chunk), Direction::ToServer, 5);
+            assert!(verdict.forward.is_some());
+            seq += chunk.len() as u32;
+        }
+        assert_eq!(censor.censor_events, 0);
+    }
+
+    #[test]
+    fn non_port_80_is_free() {
+        let mut censor = KazakhstanCensor::new();
+        let mut p = Packet::tcp(
+            CLIENT.0, CLIENT.1, SERVER.0, 8080, TcpFlags::PSH_ACK, 1001, 0,
+            forbidden_request(),
+        );
+        p.finalize();
+        let verdict = censor.process(&p, Direction::ToServer, 0);
+        assert!(verdict.forward.is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! # censor — behavioral models of four nation-state censors
+//!
+//! The paper measures live censors; we cannot, so this crate encodes
+//! everything §2, §5, and §6 establish about how each censor behaves,
+//! as an executable model (`netsim::Middlebox` implementations):
+//!
+//! * [`gfw`] — China's Great Firewall as **five independent
+//!   censorship boxes**, one per application protocol (the §6
+//!   multi-box finding), each an on-path device with its own TCB
+//!   store, its own resynchronization-state machine (the §5 revised
+//!   three-rule model), its own reassembly (dis)ability, and its own
+//!   stack bugs. Residual censorship for HTTP only (§4.2).
+//! * [`airtel`] — India (Airtel): stateless per-packet DPI on port
+//!   80, HTTP-200 block-page injection plus a follow-up RST (§5.2).
+//! * [`iran`] — Iran: stateless per-packet DPI on ports 80/443
+//!   (HTTP keyword + TLS SNI), 60-second flow blackholing (§5.2).
+//! * [`kazakhstan`] — an in-path MITM for HTTP with a
+//!   normal-connection pattern monitor; on trigger it intercepts the
+//!   flow for 15 s and injects a block page (§5.3).
+//!
+//! All stochastic behavior draws from per-censor seeded RNGs, so every
+//! experiment replays bit-for-bit.
+
+pub mod airtel;
+pub mod carrier;
+pub mod dns_udp;
+pub mod gfw;
+pub mod iran;
+pub mod kazakhstan;
+pub mod stream;
+
+pub use airtel::AirtelCensor;
+pub use carrier::{Carrier, CarrierMiddlebox};
+pub use dns_udp::DnsUdpInjector;
+pub use gfw::{Gfw, GfwBox, GfwBoxParams};
+pub use iran::IranCensor;
+pub use kazakhstan::KazakhstanCensor;
+pub use stream::CensorStream;
+
+use netsim::Middlebox;
+
+/// The four censoring countries of the paper's evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Country {
+    /// China (GFW): DNS, FTP, HTTP, HTTPS, SMTP.
+    China,
+    /// India (Airtel ISP): HTTP only.
+    India,
+    /// Iran: HTTP and HTTPS (DNS-over-TCP no longer censored).
+    Iran,
+    /// Kazakhstan: HTTP (HTTPS MITM currently inactive).
+    Kazakhstan,
+}
+
+impl Country {
+    /// All four, in Table-1 order.
+    pub fn all() -> [Country; 4] {
+        [
+            Country::China,
+            Country::India,
+            Country::Iran,
+            Country::Kazakhstan,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::China => "China",
+            Country::India => "India",
+            Country::Iran => "Iran",
+            Country::Kazakhstan => "Kazakhstan",
+        }
+    }
+
+    /// Protocols this censor actually censors (Table 2's "no evasion"
+    /// row is 100 % success everywhere else).
+    pub fn censored_protocols(self) -> &'static [appproto::AppProtocol] {
+        use appproto::AppProtocol as P;
+        match self {
+            Country::China => &[P::DnsTcp, P::Ftp, P::Http, P::Https, P::Smtp],
+            Country::India => &[P::Http],
+            Country::Iran => &[P::Http, P::Https],
+            Country::Kazakhstan => &[P::Http],
+        }
+    }
+
+    /// Build this country's censor with a deterministic seed.
+    pub fn build(self, seed: u64) -> Box<dyn Middlebox> {
+        match self {
+            Country::China => Box::new(Gfw::standard(seed)),
+            Country::India => Box::new(AirtelCensor::new()),
+            Country::Iran => Box::new(IranCensor::new()),
+            Country::Kazakhstan => Box::new(KazakhstanCensor::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for Country {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

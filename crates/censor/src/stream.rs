@@ -1,0 +1,215 @@
+//! Censor-side client-stream tracking.
+//!
+//! Differs from an endpoint's reassembler ([`endpoint::StreamAssembler`])
+//! in two censor-specific ways established by the paper's follow-up
+//! experiments:
+//!
+//! 1. **No overlap trimming.** A segment whose sequence number is
+//!    *below* the expected cursor is discarded outright — the §5.1
+//!    seq−1 experiment shows the GFW never matches a request shifted
+//!    one byte early, whereas a real server trims the overlap and
+//!    recovers the request.
+//! 2. **Two inspection modes.** A *stream* censor accumulates in-order
+//!    bytes and runs DPI over the whole buffer (GFW HTTP/HTTPS/DNS).
+//!    A *per-packet* censor inspects each in-sequence payload in
+//!    isolation (GFW SMTP, often FTP; India; Iran; Kazakhstan) —
+//!    "incapable of reassembling TCP segments", the deficiency
+//!    Strategy 8 exploits.
+//!
+//! Both modes still *track* the sequence cursor, which is what the
+//! desynchronization strategies (1–7) poison via `resync_to`.
+
+use std::collections::BTreeMap;
+
+/// How a censor inspects the bytes it tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectMode {
+    /// Accumulate in-order bytes; DPI sees the growing stream.
+    Stream,
+    /// DPI sees each in-sequence packet payload in isolation.
+    PerPacket,
+}
+
+/// One direction's tracked byte stream inside a censor TCB.
+#[derive(Debug, Clone)]
+pub struct CensorStream {
+    expected: u32,
+    mode: InspectMode,
+    /// Accumulated in-order bytes (Stream mode only).
+    buffer: Vec<u8>,
+    /// Buffered out-of-order segments (Stream mode only), keyed by
+    /// absolute sequence number.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// Cap on accumulated state.
+    max_bytes: usize,
+}
+
+impl CensorStream {
+    /// Track a stream whose next byte is `initial_seq`.
+    pub fn new(initial_seq: u32, mode: InspectMode) -> Self {
+        CensorStream {
+            expected: initial_seq,
+            mode,
+            buffer: Vec::new(),
+            pending: BTreeMap::new(),
+            max_bytes: 64 << 10,
+        }
+    }
+
+    /// The cursor: sequence number of the next expected byte.
+    pub fn expected(&self) -> u32 {
+        self.expected
+    }
+
+    /// Poison (or fix) the cursor — the resynchronization-state
+    /// mechanism. Pending data is discarded.
+    pub fn resync_to(&mut self, seq: u32) {
+        self.expected = seq;
+        self.buffer.clear();
+        self.pending.clear();
+    }
+
+    /// Offer one client segment; returns the buffers DPI should now
+    /// inspect (empty when the segment was ignored or buffered).
+    pub fn push(&mut self, seq: u32, payload: &[u8]) -> Vec<Vec<u8>> {
+        if payload.is_empty() {
+            return Vec::new();
+        }
+        let offset = seq.wrapping_sub(self.expected);
+        if offset >= 0x8000_0000 {
+            // seq < expected: censors discard early/overlapping
+            // segments entirely (the seq−1 experiment).
+            return Vec::new();
+        }
+        match self.mode {
+            InspectMode::PerPacket => {
+                if offset != 0 {
+                    return Vec::new(); // can't reassemble: gap → blind
+                }
+                self.expected = self.expected.wrapping_add(payload.len() as u32);
+                vec![payload.to_vec()]
+            }
+            InspectMode::Stream => {
+                if offset == 0 {
+                    self.append(payload);
+                    self.drain_pending();
+                } else if self.pending.len() < 32 {
+                    self.pending.insert(seq, payload.to_vec());
+                    return Vec::new();
+                } else {
+                    return Vec::new();
+                }
+                vec![self.buffer.clone()]
+            }
+        }
+    }
+
+    fn append(&mut self, payload: &[u8]) {
+        let room = self.max_bytes.saturating_sub(self.buffer.len());
+        self.buffer.extend_from_slice(&payload[..payload.len().min(room)]);
+        self.expected = self.expected.wrapping_add(payload.len() as u32);
+    }
+
+    /// Splice buffered future segments that have become contiguous.
+    /// Segments that fell behind the cursor are discarded (no overlap
+    /// trimming — censor semantics).
+    fn drain_pending(&mut self) {
+        loop {
+            let mut appended = false;
+            let mut stale: Option<u32> = None;
+            for (&seq, data) in &self.pending {
+                let offset = seq.wrapping_sub(self.expected);
+                if offset == 0 {
+                    let data = data.clone();
+                    self.append(&data);
+                    stale = Some(seq);
+                    appended = true;
+                    break;
+                }
+                if offset >= 0x8000_0000 {
+                    stale = Some(seq); // now early: discard
+                    break;
+                }
+            }
+            if let Some(seq) = stale {
+                self.pending.remove(&seq);
+            }
+            if !appended && stale.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_packet_mode_inspects_each_aligned_segment() {
+        let mut s = CensorStream::new(100, InspectMode::PerPacket);
+        assert_eq!(s.push(100, b"RETR ultra"), vec![b"RETR ultra".to_vec()]);
+        assert_eq!(s.push(110, b"surf\r\n"), vec![b"surf\r\n".to_vec()]);
+        assert_eq!(s.expected(), 116);
+    }
+
+    #[test]
+    fn per_packet_mode_ignores_gaps() {
+        let mut s = CensorStream::new(100, InspectMode::PerPacket);
+        assert!(s.push(105, b"later").is_empty());
+        assert_eq!(s.expected(), 100, "cursor unmoved by a gap");
+    }
+
+    #[test]
+    fn stream_mode_accumulates() {
+        let mut s = CensorStream::new(0, InspectMode::Stream);
+        assert_eq!(s.push(0, b"GET /?q=ul"), vec![b"GET /?q=ul".to_vec()]);
+        let views = s.push(10, b"trasurf");
+        assert_eq!(views, vec![b"GET /?q=ultrasurf".to_vec()]);
+    }
+
+    #[test]
+    fn early_segments_are_discarded_not_trimmed() {
+        // The seq−1 experiment: data one byte early must never surface.
+        let mut s = CensorStream::new(1000, InspectMode::Stream);
+        assert!(s.push(999, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n").is_empty());
+        assert_eq!(s.expected(), 1000);
+        let mut p = CensorStream::new(1000, InspectMode::PerPacket);
+        assert!(p.push(999, b"whole request").is_empty());
+    }
+
+    #[test]
+    fn desynced_by_one_never_matches() {
+        // The strategies-1/2 mechanism: cursor poisoned one byte low.
+        let mut s = CensorStream::new(1000, InspectMode::Stream);
+        s.resync_to(999);
+        // Real data arrives at 1000: a one-byte gap the censor waits on
+        // forever (Stream) or ignores (PerPacket).
+        assert!(s.push(1000, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n").is_empty());
+    }
+
+    #[test]
+    fn resync_to_garbage_blinds_the_censor() {
+        let mut s = CensorStream::new(1000, InspectMode::Stream);
+        s.resync_to(0xDEAD_BEEF);
+        assert!(s.push(1000, b"forbidden").is_empty());
+    }
+
+    #[test]
+    fn out_of_order_buffering_in_stream_mode() {
+        let mut s = CensorStream::new(0, InspectMode::Stream);
+        assert!(s.push(5, b"world").is_empty());
+        let views = s.push(0, b"hello");
+        assert_eq!(views, vec![b"helloworld".to_vec()]);
+        assert_eq!(s.expected(), 10);
+    }
+
+    #[test]
+    fn buffer_cap_respected() {
+        let mut s = CensorStream::new(0, InspectMode::Stream);
+        s.max_bytes = 4;
+        s.push(0, b"abcdef");
+        assert_eq!(s.buffer, b"abcd");
+        assert_eq!(s.expected(), 6, "cursor still advances");
+    }
+}

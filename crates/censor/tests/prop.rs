@@ -1,0 +1,120 @@
+//! Property tests: censor models must be total — no packet sequence,
+//! however deranged (it's produced by a genetic algorithm!), may crash
+//! them, and on-path censors must never block traffic.
+
+use censor::{AirtelCensor, Country, Gfw, IranCensor, KazakhstanCensor};
+use netsim::{Direction, Middlebox};
+use packet::{Packet, TcpFlags};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FuzzPacket {
+    from_client: bool,
+    flags: u8,
+    seq: u32,
+    ack: u32,
+    sport: u16,
+    payload: Vec<u8>,
+}
+
+fn arb_packet() -> impl Strategy<Value = FuzzPacket> {
+    (
+        any::<bool>(),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        prop_oneof![Just(40000u16), 1024u16..65535],
+        prop_oneof![
+            Just(Vec::new()),
+            prop::collection::vec(any::<u8>(), 1..64),
+            Just(b"GET /?q=ultrasurf HTTP/1.1\r\nHost: youtube.com\r\n\r\n".to_vec()),
+            Just(b"RCPT TO:<xiazai@upup.info>\r\n".to_vec()),
+        ],
+    )
+        .prop_map(|(from_client, flags, seq, ack, sport, payload)| FuzzPacket {
+            from_client,
+            flags,
+            seq,
+            ack,
+            sport,
+            payload,
+        })
+}
+
+fn build(fp: &FuzzPacket) -> (Packet, Direction) {
+    const CLIENT: ([u8; 4], u16) = ([10, 0, 0, 1], 40000);
+    const SERVER: ([u8; 4], u16) = ([20, 0, 0, 9], 80);
+    let (src, dst, sport, dport, dir) = if fp.from_client {
+        (CLIENT.0, SERVER.0, fp.sport, SERVER.1, Direction::ToServer)
+    } else {
+        (SERVER.0, CLIENT.0, SERVER.1, fp.sport, Direction::ToClient)
+    };
+    let mut p = Packet::tcp(
+        src,
+        sport,
+        dst,
+        dport,
+        TcpFlags(fp.flags),
+        fp.seq,
+        fp.ack,
+        fp.payload.clone(),
+    );
+    p.finalize();
+    (p, dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn gfw_is_total_and_always_forwards(
+        packets in prop::collection::vec(arb_packet(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut gfw = Gfw::standard(seed);
+        for (i, fp) in packets.iter().enumerate() {
+            let (pkt, dir) = build(fp);
+            let verdict = gfw.process(&pkt, dir, i as u64 * 1000);
+            // On-path: NEVER drops. Fail-open is §6's architectural
+            // consequence of the multi-box design.
+            prop_assert!(verdict.forward.is_some());
+            for inj in verdict.inject_to_client.iter().chain(&verdict.inject_to_server) {
+                prop_assert!(inj.checksums_ok(), "censor injected invalid packet");
+            }
+        }
+    }
+
+    #[test]
+    fn all_censors_are_total(
+        packets in prop::collection::vec(arb_packet(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut censors: Vec<Box<dyn Middlebox>> = vec![
+            Box::new(AirtelCensor::new()),
+            Box::new(IranCensor::new()),
+            Box::new(KazakhstanCensor::new()),
+            Box::new(Gfw::single_box_ablation(seed)),
+            Box::new(Gfw::old_resync_model(seed)),
+        ];
+        for censor in &mut censors {
+            for (i, fp) in packets.iter().enumerate() {
+                let (pkt, dir) = build(fp);
+                let _ = censor.process(&pkt, dir, i as u64 * 1000); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn country_builders_are_total(
+        packets in prop::collection::vec(arb_packet(), 1..15),
+        seed in any::<u64>(),
+    ) {
+        for country in Country::all() {
+            let mut censor = country.build(seed);
+            for (i, fp) in packets.iter().enumerate() {
+                let (pkt, dir) = build(fp);
+                let _ = censor.process(&pkt, dir, i as u64 * 1000);
+            }
+        }
+    }
+}

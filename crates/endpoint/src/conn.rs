@@ -1,0 +1,854 @@
+//! The endpoint TCP state machine.
+//!
+//! A deliberately compact but *behaviorally faithful* subset of RFC
+//! 793, covering exactly the segment-arrival rules the paper's eleven
+//! strategies lean on:
+//!
+//! * **SYN-SENT**: a RST without ACK is ignored (Strategy 1's inert
+//!   RST); a SYN+ACK with an unacceptable ack number elicits a RST
+//!   *with seq = the bogus ack* and the connection stays half-open
+//!   (Strategies 3–7's "induced RST"); a bare SYN triggers
+//!   **simultaneous open** — the client answers with a SYN+ACK whose
+//!   sequence number is *not* incremented (the GFW's resync bug,
+//!   Strategies 1–3); packets with none of ACK/RST/SYN are dropped
+//!   (Strategy 6's FIN-with-payload, Strategy 11's null flags).
+//! * **SYN-RECEIVED** (after simultaneous open): an acceptable ACK
+//!   completes the handshake; a duplicate SYN triggers a SYN+ACK
+//!   retransmission.
+//! * **ESTABLISHED**: in-window RSTs tear the connection down (this is
+//!   how censorship manifests); stray SYNs get a challenge ACK; data
+//!   is reassembled and acknowledged; the send side is segmented by
+//!   the peer's MSS *and advertised window* — a SYN+ACK advertising a
+//!   10-byte window makes an unmodified client split its request
+//!   (Strategy 8 / brdgrd).
+//!
+//! Retransmission is limited to the SYN (driven by the host's timer);
+//! the simulated path is lossless except for deliberate censor drops,
+//! which are precisely the failures the experiments measure.
+
+use crate::profile::OsProfile;
+use crate::reassembly::StreamAssembler;
+use crate::seq::{seq_in_window, seq_lt};
+use packet::{Packet, TcpFlags, TcpOption};
+
+/// Connection state (the subset of RFC 793 states we traverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Waiting for a peer SYN (server).
+    Listen,
+    /// SYN sent, waiting for SYN+ACK or SYN (client).
+    SynSent,
+    /// SYN+ACK sent (server, or client after simultaneous open).
+    SynRcvd,
+    /// Handshake complete; data flows.
+    Established,
+    /// Peer closed its direction (we keep receiving-side simplicity).
+    CloseWait,
+    /// Torn down.
+    Reset,
+}
+
+/// Why a connection stopped working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakReason {
+    /// An acceptable RST arrived.
+    RstReceived,
+    /// A payload-bearing SYN+ACK broke this OS's handshake
+    /// (Windows/macOS behavior from paper §7).
+    SynAckPayload,
+}
+
+/// Which role this endpoint plays (affects ISN bookkeeping only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Initiates the connection.
+    Client,
+    /// Accepts the connection.
+    Server,
+}
+
+/// One TCP connection endpoint.
+#[derive(Debug, Clone)]
+pub struct TcpConn {
+    /// Current state.
+    pub state: TcpState,
+    /// OS behavior profile.
+    pub profile: OsProfile,
+    role: Role,
+    local: ([u8; 4], u16),
+    remote: ([u8; 4], u16),
+
+    iss: u32,
+    snd_nxt: u32,
+    snd_una: u32,
+    irs: u32,
+    rcv_nxt: u32,
+
+    /// Peer's advertised window, already scaled.
+    peer_window: u32,
+    peer_wscale: u8,
+    wscale_negotiated: bool,
+    /// Effective outgoing MSS (min of ours and the peer's option).
+    mss: u16,
+
+    send_queue: Vec<u8>,
+    /// Bytes of `send_queue` already emitted onto the wire.
+    sent_off: usize,
+    /// Stream seq of `send_queue[0]`.
+    send_base: u32,
+
+    asm: Option<StreamAssembler>,
+    received: Vec<u8>,
+    /// Set when the connection broke.
+    pub broken: Option<BreakReason>,
+    /// Did the handshake complete via simultaneous open?
+    pub via_simultaneous_open: bool,
+    /// Has the peer sent FIN?
+    pub peer_fin: bool,
+}
+
+const OWN_WINDOW: u16 = 64240;
+const OWN_MSS: u16 = 1460;
+const OWN_WSCALE: u8 = 7;
+
+impl TcpConn {
+    /// A client connection; call [`TcpConn::open`] to emit the SYN.
+    pub fn client(local: ([u8; 4], u16), remote: ([u8; 4], u16), isn: u32, profile: OsProfile) -> Self {
+        TcpConn::new(Role::Client, local, remote, isn, profile)
+    }
+
+    /// A listening server endpoint.
+    pub fn server(local: ([u8; 4], u16), isn: u32, profile: OsProfile) -> Self {
+        let mut conn = TcpConn::new(Role::Server, local, ([0; 4], 0), isn, profile);
+        conn.state = TcpState::Listen;
+        conn
+    }
+
+    fn new(role: Role, local: ([u8; 4], u16), remote: ([u8; 4], u16), isn: u32, profile: OsProfile) -> Self {
+        TcpConn {
+            state: TcpState::SynSent, // client default; server overrides
+            profile,
+            role,
+            local,
+            remote,
+            iss: isn,
+            snd_nxt: isn,
+            snd_una: isn,
+            irs: 0,
+            rcv_nxt: 0,
+            peer_window: 0,
+            peer_wscale: 0,
+            wscale_negotiated: false,
+            mss: OWN_MSS,
+            send_queue: Vec::new(),
+            sent_off: 0,
+            send_base: isn.wrapping_add(1),
+            asm: None,
+            received: Vec::new(),
+            broken: None,
+            via_simultaneous_open: false,
+            peer_fin: false,
+        }
+    }
+
+    /// Is the handshake complete (data may flow)?
+    pub fn is_established(&self) -> bool {
+        matches!(self.state, TcpState::Established | TcpState::CloseWait)
+    }
+
+    /// Local (addr, port).
+    pub fn local(&self) -> ([u8; 4], u16) {
+        self.local
+    }
+
+    /// Remote (addr, port) — meaningful once known.
+    pub fn remote(&self) -> ([u8; 4], u16) {
+        self.remote
+    }
+
+    /// Our initial send sequence number.
+    pub fn iss(&self) -> u32 {
+        self.iss
+    }
+
+    /// Sequence number of the next byte we will send.
+    pub fn snd_nxt(&self) -> u32 {
+        self.snd_nxt
+    }
+
+    /// Sequence number of the next byte we expect from the peer
+    /// (exposed for instrumented probes, e.g. the §6 TTL experiment).
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// Take all application bytes received so far.
+    pub fn take_received(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.received)
+    }
+
+    /// Client: emit the opening SYN.
+    pub fn open(&mut self, out: &mut Vec<Packet>) {
+        debug_assert_eq!(self.role, Role::Client);
+        self.state = TcpState::SynSent;
+        let mut syn = self.mk(TcpFlags::SYN, self.iss, 0, vec![]);
+        Self::add_syn_options(&mut syn);
+        self.snd_nxt = self.iss.wrapping_add(1);
+        out.push(syn);
+    }
+
+    /// Client: retransmit the SYN (host timer-driven).
+    pub fn retransmit_syn(&mut self, out: &mut Vec<Packet>) {
+        if self.state == TcpState::SynSent {
+            let mut syn = self.mk(TcpFlags::SYN, self.iss, 0, vec![]);
+            Self::add_syn_options(&mut syn);
+            out.push(syn);
+        }
+    }
+
+    /// Is any transmitted data still unacknowledged (or queued)?
+    pub fn has_unacked(&self) -> bool {
+        self.snd_una != self.snd_nxt || self.sent_off < self.send_queue.len()
+    }
+
+    /// Timer-driven retransmission: resend whatever the peer hasn't
+    /// acknowledged — the SYN in SYN-SENT, our SYN+ACK in
+    /// SYN-RECEIVED, or the oldest outstanding data segment once
+    /// established. This is what lets exchanges survive the
+    /// fault-injected lossy links of the robustness experiments.
+    pub fn retransmit_pending(&mut self, out: &mut Vec<Packet>) {
+        match self.state {
+            TcpState::SynSent => self.retransmit_syn(out),
+            TcpState::SynRcvd => {
+                let mut syn_ack = self.mk(TcpFlags::SYN_ACK, self.iss, self.rcv_nxt, vec![]);
+                Self::add_syn_options(&mut syn_ack);
+                out.push(syn_ack);
+            }
+            TcpState::Established | TcpState::CloseWait => {
+                if self.snd_una != self.snd_nxt {
+                    let offset = self.snd_una.wrapping_sub(self.send_base) as usize;
+                    if offset < self.sent_off {
+                        let end = self.sent_off.min(offset + usize::from(self.mss));
+                        let payload = self.send_queue[offset..end].to_vec();
+                        let pkt = self.mk(TcpFlags::PSH_ACK, self.snd_una, self.rcv_nxt, payload);
+                        out.push(pkt);
+                    }
+                } else {
+                    // Window may have been updated while we were idle.
+                    self.pump(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn add_syn_options(pkt: &mut Packet) {
+        let header = pkt.tcp_header_mut().expect("syn is tcp");
+        header.options = vec![
+            TcpOption::Mss(OWN_MSS),
+            TcpOption::SackPermitted,
+            TcpOption::WindowScale(OWN_WSCALE),
+        ];
+        pkt.finalize();
+    }
+
+    /// Queue application data and emit whatever the window allows.
+    pub fn queue_data(&mut self, data: &[u8], out: &mut Vec<Packet>) {
+        self.send_queue.extend_from_slice(data);
+        self.pump(out);
+    }
+
+    /// Are all queued bytes acknowledged by the peer?
+    pub fn all_sent_and_acked(&self) -> bool {
+        self.sent_off == self.send_queue.len()
+            && self.snd_una == self.snd_nxt
+    }
+
+    fn effective_peer_window(&self) -> u32 {
+        self.peer_window
+    }
+
+    /// Emit as much queued data as MSS and the peer window allow.
+    fn pump(&mut self, out: &mut Vec<Packet>) {
+        if !self.is_established() {
+            return;
+        }
+        loop {
+            let remaining = self.send_queue.len() - self.sent_off;
+            if remaining == 0 {
+                break;
+            }
+            let in_flight = self.snd_nxt.wrapping_sub(self.snd_una);
+            let window = self.effective_peer_window();
+            if in_flight >= window {
+                break; // window full; wait for ACKs
+            }
+            let room = (window - in_flight) as usize;
+            let chunk = remaining.min(room).min(usize::from(self.mss));
+            if chunk == 0 {
+                break;
+            }
+            let payload = self.send_queue[self.sent_off..self.sent_off + chunk].to_vec();
+            let seq = self.snd_nxt;
+            let pkt = self.mk(TcpFlags::PSH_ACK, seq, self.rcv_nxt, payload);
+            self.sent_off += chunk;
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk as u32);
+            out.push(pkt);
+        }
+    }
+
+    /// Process one delivered (checksum-valid) packet.
+    pub fn on_packet(&mut self, pkt: &Packet, out: &mut Vec<Packet>) {
+        let Some(tcp) = pkt.tcp_header() else { return };
+        // Port match (server in LISTEN accepts any remote).
+        if tcp.dst_port != self.local.1 {
+            return;
+        }
+        if self.state != TcpState::Listen
+            && (pkt.ip.src, tcp.src_port) != self.remote
+        {
+            return;
+        }
+        let tcp = tcp.clone();
+        match self.state {
+            TcpState::Listen => self.in_listen(pkt, &tcp, out),
+            TcpState::SynSent => self.in_syn_sent(pkt, &tcp, out),
+            TcpState::SynRcvd => self.in_syn_rcvd(pkt, &tcp, out),
+            TcpState::Established | TcpState::CloseWait => self.in_established(pkt, &tcp, out),
+            TcpState::Reset => {}
+        }
+    }
+
+    fn learn_peer_options(&mut self, tcp: &packet::TcpHeader, is_syn: bool) {
+        if is_syn {
+            for option in &tcp.options {
+                match option {
+                    TcpOption::Mss(mss) => self.mss = self.mss.min(*mss).max(1),
+                    TcpOption::WindowScale(s) => {
+                        self.peer_wscale = (*s).min(14);
+                        self.wscale_negotiated = true;
+                    }
+                    _ => {}
+                }
+            }
+            // Window in a SYN/SYN+ACK is never scaled.
+            self.peer_window = u32::from(tcp.window);
+        } else {
+            let shift = if self.wscale_negotiated { self.peer_wscale } else { 0 };
+            self.peer_window = u32::from(tcp.window) << shift;
+        }
+    }
+
+    fn in_listen(&mut self, pkt: &Packet, tcp: &packet::TcpHeader, out: &mut Vec<Packet>) {
+        if !tcp.flags.is_syn() {
+            return; // LISTEN ignores everything but a fresh SYN
+        }
+        self.remote = (pkt.ip.src, tcp.src_port);
+        self.irs = tcp.seq;
+        self.rcv_nxt = tcp.seq.wrapping_add(1);
+        self.asm = Some(StreamAssembler::new(self.rcv_nxt));
+        self.learn_peer_options(tcp, true);
+        let mut syn_ack = self.mk(TcpFlags::SYN_ACK, self.iss, self.rcv_nxt, vec![]);
+        Self::add_syn_options(&mut syn_ack);
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.state = TcpState::SynRcvd;
+        out.push(syn_ack);
+    }
+
+    fn in_syn_sent(&mut self, pkt: &Packet, tcp: &packet::TcpHeader, out: &mut Vec<Packet>) {
+        let flags = tcp.flags;
+        let has_ack = flags.contains(TcpFlags::ACK);
+        // 1. ACK acceptability (RFC 793 p.66).
+        if has_ack {
+            let acceptable = tcp.ack == self.snd_nxt;
+            if !acceptable {
+                if flags.contains(TcpFlags::RST) {
+                    return; // RST with bad ack: drop
+                }
+                // Induced RST: <SEQ=SEG.ACK><CTL=RST>. The connection
+                // STAYS half-open — Strategies 3–7 depend on both facts.
+                let rst = self.mk(TcpFlags::RST, tcp.ack, 0, vec![]);
+                out.push(rst);
+                return;
+            }
+        }
+        // 2. RST.
+        if flags.contains(TcpFlags::RST) {
+            if has_ack {
+                self.state = TcpState::Reset;
+                self.broken = Some(BreakReason::RstReceived);
+            }
+            // A RST *without* ACK in SYN-SENT is ignored by every modern
+            // stack (Strategy 1's inert RST).
+            return;
+        }
+        // 3. SYN.
+        if flags.contains(TcpFlags::SYN) {
+            if has_ack && !pkt.payload.is_empty() && !self.profile.ignores_synack_payload {
+                // Windows/macOS: payload on SYN+ACK wrecks the handshake.
+                self.state = TcpState::Reset;
+                self.broken = Some(BreakReason::SynAckPayload);
+                let rst = self.mk(TcpFlags::RST, tcp.ack, 0, vec![]);
+                out.push(rst);
+                return;
+            }
+            self.irs = tcp.seq;
+            self.rcv_nxt = tcp.seq.wrapping_add(1);
+            self.asm = Some(StreamAssembler::new(self.rcv_nxt));
+            self.learn_peer_options(tcp, true);
+            if has_ack {
+                // Normal SYN+ACK: complete the handshake.
+                self.snd_una = tcp.ack;
+                self.state = TcpState::Established;
+                let ack = self.mk(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![]);
+                out.push(ack);
+                self.pump(out);
+            } else {
+                // Simultaneous open: reply SYN+ACK with the UN-incremented
+                // sequence number (the GFW resync bug's precondition).
+                self.via_simultaneous_open = true;
+                let mut syn_ack = self.mk(TcpFlags::SYN_ACK, self.iss, self.rcv_nxt, vec![]);
+                Self::add_syn_options(&mut syn_ack);
+                self.state = TcpState::SynRcvd;
+                out.push(syn_ack);
+            }
+        }
+        // 4. No ACK, no RST, no SYN: drop (null flags, FIN-with-payload…).
+    }
+
+    fn in_syn_rcvd(&mut self, pkt: &Packet, tcp: &packet::TcpHeader, out: &mut Vec<Packet>) {
+        let flags = tcp.flags;
+        if flags.contains(TcpFlags::RST) {
+            if seq_in_window(tcp.seq, self.rcv_nxt, u32::from(OWN_WINDOW)) {
+                self.state = TcpState::Reset;
+                self.broken = Some(BreakReason::RstReceived);
+            }
+            return;
+        }
+        let ack_ok = flags.contains(TcpFlags::ACK) && tcp.ack == self.iss.wrapping_add(1);
+        if flags.contains(TcpFlags::SYN) && tcp.seq == self.irs {
+            // Duplicate SYN (or the peer's simultaneous-open SYN+ACK).
+            if !pkt.payload.is_empty()
+                && flags.contains(TcpFlags::ACK)
+                && !self.profile.ignores_synack_payload
+            {
+                self.state = TcpState::Reset;
+                self.broken = Some(BreakReason::SynAckPayload);
+                return;
+            }
+            if ack_ok {
+                // Their SYN+ACK both acks our SYN and re-sends theirs:
+                // complete the handshake and ACK it (the bare ACK seen
+                // in Figure 1 right after the client's SYN+ACK).
+                self.establish(tcp);
+                let ack = self.mk(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![]);
+                out.push(ack);
+                self.pump(out);
+            } else {
+                // Plain duplicate SYN: retransmit our SYN+ACK.
+                let mut syn_ack = self.mk(TcpFlags::SYN_ACK, self.iss, self.rcv_nxt, vec![]);
+                Self::add_syn_options(&mut syn_ack);
+                out.push(syn_ack);
+            }
+            return;
+        }
+        if ack_ok {
+            self.establish(tcp);
+            // Any data riding on the handshake-completing ACK counts.
+            self.absorb_data(pkt, tcp, out);
+            self.pump(out);
+        }
+    }
+
+    fn establish(&mut self, tcp: &packet::TcpHeader) {
+        self.snd_una = tcp.ack;
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.send_base = self.iss.wrapping_add(1);
+        self.learn_peer_options(tcp, false);
+        self.state = TcpState::Established;
+    }
+
+    fn in_established(&mut self, pkt: &Packet, tcp: &packet::TcpHeader, out: &mut Vec<Packet>) {
+        let flags = tcp.flags;
+        if flags.contains(TcpFlags::RST) {
+            // In-window check: on-path censors know exact sequence
+            // numbers, so their RSTs pass; garbage RSTs do not.
+            if seq_in_window(tcp.seq, self.rcv_nxt, u32::from(OWN_WINDOW))
+                || tcp.seq == self.rcv_nxt
+            {
+                self.state = TcpState::Reset;
+                self.broken = Some(BreakReason::RstReceived);
+            }
+            return;
+        }
+        if flags.contains(TcpFlags::SYN) {
+            // Stray SYN in ESTABLISHED: challenge ACK (the client "ACK"s
+            // seen in Figure 2 for Kazakhstan's triple-load strategy).
+            let ack = self.mk(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![]);
+            out.push(ack);
+            return;
+        }
+        if flags.contains(TcpFlags::ACK) {
+            // Acceptable ack: snd_una < ack <= snd_nxt. The send window
+            // is refreshed only by segments that acknowledge NEW data
+            // (a conservative reading of RFC 793's WL1/WL2 update rule;
+            // see DESIGN.md — this is what lets a Strategy-8-reduced
+            // handshake window govern the client's first flight even in
+            // server-greets-first protocols).
+            let ack = tcp.ack;
+            if seq_lt(self.snd_una, ack) && !seq_lt(self.snd_nxt, ack) {
+                self.snd_una = ack;
+                self.learn_peer_options(tcp, false);
+            }
+        }
+        self.absorb_data(pkt, tcp, out);
+        if flags.contains(TcpFlags::FIN) && tcp.seq == self.rcv_nxt {
+            self.peer_fin = true;
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+            self.state = TcpState::CloseWait;
+            let ack = self.mk(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![]);
+            out.push(ack);
+            return;
+        }
+        self.pump(out);
+    }
+
+    fn absorb_data(&mut self, pkt: &Packet, tcp: &packet::TcpHeader, out: &mut Vec<Packet>) {
+        if pkt.payload.is_empty() {
+            return;
+        }
+        let Some(asm) = self.asm.as_mut() else { return };
+        let delivered = asm.push(tcp.seq, &pkt.payload);
+        self.rcv_nxt = asm.next_seq();
+        self.received.extend_from_slice(&delivered);
+        // ACK what we have (immediate ACK policy).
+        let ack = self.mk(TcpFlags::ACK, self.snd_nxt, self.rcv_nxt, vec![]);
+        out.push(ack);
+    }
+
+    /// Build a finalized packet from us to the peer.
+    fn mk(&self, flags: TcpFlags, seq: u32, ack: u32, payload: Vec<u8>) -> Packet {
+        let mut pkt = Packet::tcp(
+            self.local.0,
+            self.local.1,
+            self.remote.0,
+            self.remote.1,
+            flags,
+            seq,
+            ack,
+            payload,
+        );
+        pkt.tcp_header_mut().expect("tcp").window = OWN_WINDOW;
+        pkt.finalize();
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::OsProfile;
+
+    const CLIENT: ([u8; 4], u16) = ([10, 0, 0, 1], 40000);
+    const SERVER: ([u8; 4], u16) = ([20, 0, 0, 9], 80);
+
+    fn client() -> TcpConn {
+        TcpConn::client(CLIENT, SERVER, 1000, OsProfile::linux())
+    }
+
+    fn server() -> TcpConn {
+        TcpConn::server(SERVER, 9000, OsProfile::linux())
+    }
+
+    /// Deliver `pkts` to `conn`, collecting replies.
+    fn deliver(conn: &mut TcpConn, pkts: &[Packet]) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for p in pkts {
+            conn.on_packet(p, &mut out);
+        }
+        out
+    }
+
+    fn run_handshake(c: &mut TcpConn, s: &mut TcpConn) {
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let syn_ack = deliver(s, &out);
+        assert_eq!(syn_ack.len(), 1);
+        assert!(syn_ack[0].flags().is_syn_ack());
+        let ack = deliver(c, &syn_ack);
+        assert!(c.is_established());
+        deliver(s, &ack);
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn three_way_handshake_and_data() {
+        let (mut c, mut s) = (client(), server());
+        run_handshake(&mut c, &mut s);
+
+        let mut out = Vec::new();
+        c.queue_data(b"GET / HTTP/1.1\r\n\r\n", &mut out);
+        assert_eq!(out.len(), 1, "one segment within window");
+        let acks = deliver(&mut s, &out);
+        assert_eq!(s.take_received(), b"GET / HTTP/1.1\r\n\r\n");
+        deliver(&mut c, &acks);
+        assert!(c.all_sent_and_acked());
+    }
+
+    #[test]
+    fn rst_without_ack_in_syn_sent_is_ignored() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let rst = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::RST, 5000, 0, vec![]);
+        let replies = deliver(&mut c, &[rst]);
+        assert!(replies.is_empty());
+        assert_eq!(c.state, TcpState::SynSent);
+        assert!(c.broken.is_none());
+    }
+
+    #[test]
+    fn rst_ack_with_acceptable_ack_resets_syn_sent() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let rst = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::RST_ACK, 0, 1001, vec![],
+        );
+        deliver(&mut c, &[rst]);
+        assert_eq!(c.state, TcpState::Reset);
+        assert_eq!(c.broken, Some(BreakReason::RstReceived));
+    }
+
+    #[test]
+    fn corrupted_ack_synack_induces_rst_and_stays_half_open() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let bad = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::SYN_ACK, 7000, 0xDEAD_BEEF, vec![],
+        );
+        let replies = deliver(&mut c, &[bad]);
+        assert_eq!(replies.len(), 1);
+        let rst = replies[0].tcp_header().unwrap();
+        assert_eq!(replies[0].flags(), TcpFlags::RST);
+        assert_eq!(rst.seq, 0xDEAD_BEEF, "induced RST carries the bogus ack as seq");
+        assert_eq!(c.state, TcpState::SynSent, "connection survives");
+        // The genuine SYN+ACK still completes the handshake.
+        let good = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::SYN_ACK, 7000, 1001, vec![],
+        );
+        let replies = deliver(&mut c, &[good]);
+        assert!(c.is_established());
+        assert_eq!(replies[0].flags(), TcpFlags::ACK);
+    }
+
+    #[test]
+    fn simultaneous_open_keeps_unincremented_seq() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out); // iss = 1000
+        let syn = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::SYN, 9000, 0, vec![]);
+        let replies = deliver(&mut c, &[syn]);
+        assert_eq!(replies.len(), 1);
+        let sa = replies[0].tcp_header().unwrap();
+        assert!(replies[0].flags().is_syn_ack());
+        assert_eq!(sa.seq, 1000, "sim-open SYN+ACK must NOT increment seq");
+        assert_eq!(sa.ack, 9001);
+        assert_eq!(c.state, TcpState::SynRcvd);
+        assert!(c.via_simultaneous_open);
+        // Server's plain ACK completes it; first data byte is iss+1.
+        let ack = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::ACK, 9001, 1001, vec![]);
+        deliver(&mut c, &[ack]);
+        assert!(c.is_established());
+        let mut out = Vec::new();
+        c.queue_data(b"x", &mut out);
+        assert_eq!(out[0].tcp_header().unwrap().seq, 1001);
+    }
+
+    #[test]
+    fn null_flags_and_fin_payload_dropped_in_syn_sent() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let null = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::NONE, 1, 0, vec![]);
+        let fin = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::FIN, 2, 0, b"garbage".to_vec(),
+        );
+        let replies = deliver(&mut c, &[null, fin]);
+        assert!(replies.is_empty());
+        assert_eq!(c.state, TcpState::SynSent);
+    }
+
+    #[test]
+    fn synack_payload_linux_ignores_windows_breaks() {
+        for (profile, should_break) in [(OsProfile::linux(), false), (OsProfile::windows(), true)] {
+            let mut c = TcpConn::client(CLIENT, SERVER, 1000, profile);
+            let mut out = Vec::new();
+            c.open(&mut out);
+            let sa = Packet::tcp(
+                SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+                TcpFlags::SYN_ACK, 7000, 1001, b"\xde\xad".to_vec(),
+            );
+            deliver(&mut c, &[sa]);
+            if should_break {
+                assert_eq!(c.broken, Some(BreakReason::SynAckPayload), "{}", profile.name);
+            } else {
+                assert!(c.is_established(), "{}", profile.name);
+                assert!(c.take_received().is_empty(), "payload must be ignored");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_on_bare_syn_is_harmless_everywhere() {
+        for profile in [OsProfile::linux(), OsProfile::windows()] {
+            let mut c = TcpConn::client(CLIENT, SERVER, 1000, profile);
+            let mut out = Vec::new();
+            c.open(&mut out);
+            let syn1 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::SYN, 9000, 0, vec![]);
+            let syn2 = Packet::tcp(
+                SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+                TcpFlags::SYN, 9000, 0, b"\xca\xfe".to_vec(),
+            );
+            let replies = deliver(&mut c, &[syn1, syn2]);
+            assert!(c.broken.is_none(), "{}", profile.name);
+            // First SYN → sim-open SYN+ACK; duplicate SYN → SYN+ACK again.
+            assert_eq!(replies.len(), 2);
+            assert!(replies.iter().all(|r| r.flags().is_syn_ack()));
+        }
+    }
+
+    #[test]
+    fn tiny_window_segments_the_request() {
+        let mut c = client();
+        let mut out = Vec::new();
+        c.open(&mut out);
+        // SYN+ACK advertising a 10-byte window, no wscale (Strategy 8).
+        let mut sa = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::SYN_ACK, 7000, 1001, vec![],
+        );
+        sa.tcp_header_mut().unwrap().window = 10;
+        sa.finalize();
+        deliver(&mut c, &[sa]);
+        assert!(c.is_established());
+        let mut out = Vec::new();
+        c.queue_data(b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n", &mut out);
+        assert_eq!(out.len(), 1, "only one window's worth flies");
+        assert_eq!(out[0].payload, b"GET /?q=ul");
+        // Server ACKs the 10 bytes and opens the window.
+        let ack = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::ACK, 7001, 1001 + 10, vec![],
+        );
+        let more = deliver(&mut c, &[ack]);
+        let sent: Vec<u8> = more.iter().flat_map(|p| p.payload.clone()).collect();
+        assert_eq!(sent, b"trasurf HTTP/1.1\r\n\r\n");
+    }
+
+    #[test]
+    fn established_rst_in_window_tears_down() {
+        let (mut c, mut s) = (client(), server());
+        run_handshake(&mut c, &mut s);
+        let rst = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::RST, c_rcv_nxt(&c), 0, vec![],
+        );
+        deliver(&mut c, &[rst]);
+        assert_eq!(c.broken, Some(BreakReason::RstReceived));
+    }
+
+    fn c_rcv_nxt(c: &TcpConn) -> u32 {
+        c.rcv_nxt
+    }
+
+    #[test]
+    fn established_syn_gets_challenge_ack() {
+        let (mut c, mut s) = (client(), server());
+        run_handshake(&mut c, &mut s);
+        let stray = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::SYN_ACK, 4242, 1001, b"load".to_vec(),
+        );
+        let replies = deliver(&mut c, &[stray]);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].flags(), TcpFlags::ACK);
+        assert!(c.broken.is_none());
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble_and_ack() {
+        let (mut c, mut s) = (client(), server());
+        run_handshake(&mut c, &mut s);
+        let base = s_snd(&s);
+        let seg2 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::PSH_ACK, base + 3, 1001, b"lo!".to_vec());
+        let seg1 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::PSH_ACK, base, 1001, b"hel".to_vec());
+        deliver(&mut c, &[seg2, seg1]);
+        assert_eq!(c.take_received(), b"hello!");
+    }
+
+    fn s_snd(s: &TcpConn) -> u32 {
+        s.snd_nxt()
+    }
+
+    #[test]
+    fn fin_moves_to_close_wait() {
+        let (mut c, mut s) = (client(), server());
+        run_handshake(&mut c, &mut s);
+        let fin = Packet::tcp(
+            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
+            TcpFlags::FIN_PSH_ACK, s.snd_nxt(), 1001, vec![],
+        );
+        let replies = deliver(&mut c, &[fin]);
+        assert!(c.peer_fin);
+        assert_eq!(c.state, TcpState::CloseWait);
+        assert_eq!(replies.last().unwrap().flags(), TcpFlags::ACK);
+    }
+
+    #[test]
+    fn listen_ignores_non_syn() {
+        let mut s = server();
+        let ack = Packet::tcp(CLIENT.0, CLIENT.1, SERVER.0, SERVER.1, TcpFlags::ACK, 1, 1, vec![]);
+        let replies = deliver(&mut s, &[ack]);
+        assert!(replies.is_empty());
+        assert_eq!(s.state, TcpState::Listen);
+    }
+
+    #[test]
+    fn server_accepts_simopen_synack_and_acks() {
+        // The server side of Strategy 1: its SYN+ACK was transformed on
+        // the wire, and the client's sim-open SYN+ACK arrives instead of
+        // a plain ACK.
+        let (mut c, mut s) = (client(), server());
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let _synack = deliver(&mut s, &out); // server now SYN_RCVD, iss 9000
+        // Client never saw the SYN+ACK (strategy replaced it); instead it
+        // did simultaneous open and sends SYN+ACK seq=1000 ack=9001.
+        let simopen_sa = Packet::tcp(
+            CLIENT.0, CLIENT.1, SERVER.0, SERVER.1,
+            TcpFlags::SYN_ACK, 1000, 9001, vec![],
+        );
+        let replies = deliver(&mut s, &[simopen_sa]);
+        assert!(s.is_established());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].flags(), TcpFlags::ACK, "plain ACK, not SYN+ACK");
+        assert_eq!(replies[0].tcp_header().unwrap().ack, 1001);
+    }
+
+    #[test]
+    fn wrong_port_ignored() {
+        let (mut c, _s) = (client(), server());
+        let mut out = Vec::new();
+        c.open(&mut out);
+        let other = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, 40001, TcpFlags::SYN_ACK, 1, 1001, vec![]);
+        let replies = deliver(&mut c, &[other]);
+        assert!(replies.is_empty());
+        assert_eq!(c.state, TcpState::SynSent);
+    }
+}

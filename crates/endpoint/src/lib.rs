@@ -1,0 +1,36 @@
+//! # endpoint — unmodified-client TCP behavior (and a plain server)
+//!
+//! The paper's central constraint is that evasion must work with
+//! **completely unmodified clients**: every effect a server-side
+//! strategy achieves is mediated by stock RFC 793 client behavior —
+//! ignoring a RST without ACK in SYN-SENT, answering a bare SYN with a
+//! SYN+ACK (simultaneous open), RST-ing a SYN+ACK whose ack number is
+//! unacceptable, segmenting a request to fit a tiny advertised window.
+//!
+//! This crate implements that behavior:
+//!
+//! * [`conn::TcpConn`] — a TCP state machine faithful to the RFC 793
+//!   segment-arrival rules the strategies exercise, including
+//!   simultaneous open and window-driven send segmentation;
+//! * [`profile::OsProfile`] — the per-OS behavioral differences §7
+//!   measures (17 OS versions), chiefly whether a SYN+ACK carrying a
+//!   payload breaks the handshake (Windows/macOS) or is ignored
+//!   (Linux/Android/iOS), and checksum validation that makes
+//!   corrupted-checksum insertion packets invisible to every OS;
+//! * [`hosts::ClientHost`] / [`hosts::ServerHost`] — `netsim`
+//!   endpoints gluing a [`conn::TcpConn`] to an application session
+//!   (the `appproto` crate provides the sessions), with app-level
+//!   retries (DNS-over-TCP) and timeouts (blackhole detection).
+
+pub mod conn;
+pub mod hosts;
+pub mod profile;
+pub mod reassembly;
+pub mod seq;
+
+pub use conn::{BreakReason, TcpConn, TcpState};
+pub use hosts::{
+    ClientApp, ClientHost, OneShotServer, Outcome, ServerApp, ServerHost, ServerSession,
+};
+pub use profile::{OsFamily, OsProfile};
+pub use reassembly::StreamAssembler;

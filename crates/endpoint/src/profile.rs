@@ -1,0 +1,132 @@
+//! Client OS behavior profiles (paper §7).
+//!
+//! The paper evaluates every strategy against 17 versions of 6
+//! operating systems and finds exactly one behavioral axis that
+//! matters: **what the stack does with a SYN+ACK that carries a
+//! payload**. Linux-derived stacks (Ubuntu, CentOS, Android) and
+//! Apple's mobile/desktop stacks *in the SYN-SENT state* differ:
+//!
+//! * Linux/Android/iOS ignore the payload and proceed with the
+//!   handshake — Strategies 5, 9, and 10 work;
+//! * Windows (all versions) and macOS process the payload, which
+//!   desynchronizes or aborts the nascent connection — those three
+//!   strategies break.
+//!
+//! The paper's §7 fix — resending payload packets with a corrupted
+//! checksum so clients drop them while censors still process them —
+//! works everywhere because *all* stacks validate checksums.
+//!
+//! Everything else (ignoring a RST without ACK in SYN-SENT, supporting
+//! simultaneous open, RFC 7766 DNS retry behavior) is common across
+//! the tested stacks and lives in [`crate::conn::TcpConn`].
+
+/// Operating system family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsFamily {
+    /// Microsoft Windows (desktop and server).
+    Windows,
+    /// Apple macOS.
+    MacOs,
+    /// Apple iOS.
+    Ios,
+    /// Android.
+    Android,
+    /// Ubuntu GNU/Linux.
+    Ubuntu,
+    /// CentOS GNU/Linux.
+    CentOs,
+}
+
+/// One client operating system's TCP behavioral profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsProfile {
+    /// Marketing/version name, e.g. `"Windows 10 Enterprise"`.
+    pub name: &'static str,
+    /// OS family.
+    pub family: OsFamily,
+    /// Does the stack silently ignore a payload on a SYN+ACK during
+    /// connection establishment (true: Linux-like; false: the
+    /// handshake breaks — Windows, macOS)?
+    pub ignores_synack_payload: bool,
+}
+
+impl OsProfile {
+    /// The reference client used in most experiments (paper §5 trains
+    /// against Linux clients; Ubuntu 18.04 matches their server/client
+    /// testbed).
+    pub fn linux() -> OsProfile {
+        *all_profiles()
+            .iter()
+            .find(|p| p.name == "Ubuntu 18.04.1")
+            .expect("Ubuntu 18.04.1 profile exists")
+    }
+
+    /// A Windows 10 client, the strictest SYN+ACK-payload behavior.
+    pub fn windows() -> OsProfile {
+        *all_profiles()
+            .iter()
+            .find(|p| p.name == "Windows 10 Enterprise")
+            .expect("Windows 10 profile exists")
+    }
+}
+
+/// The 17 client operating systems of paper §7, with the behavioral
+/// bit that decides strategy compatibility.
+pub fn all_profiles() -> &'static [OsProfile] {
+    const fn p(name: &'static str, family: OsFamily, ignores: bool) -> OsProfile {
+        OsProfile {
+            name,
+            family,
+            ignores_synack_payload: ignores,
+        }
+    }
+    static PROFILES: [OsProfile; 17] = [
+        p("Windows XP SP3", OsFamily::Windows, false),
+        p("Windows 7 Ultimate SP1", OsFamily::Windows, false),
+        p("Windows 8.1 Pro", OsFamily::Windows, false),
+        p("Windows 10 Enterprise", OsFamily::Windows, false),
+        p("Windows Server 2003 Datacenter", OsFamily::Windows, false),
+        p("Windows Server 2008 Datacenter", OsFamily::Windows, false),
+        p("Windows Server 2013 Standard", OsFamily::Windows, false),
+        p("Windows Server 2018 Standard", OsFamily::Windows, false),
+        p("MacOS 10.15", OsFamily::MacOs, false),
+        p("iOS 13.3", OsFamily::Ios, true),
+        p("Android 10", OsFamily::Android, true),
+        p("Ubuntu 12.04.5", OsFamily::Ubuntu, true),
+        p("Ubuntu 14.04.3", OsFamily::Ubuntu, true),
+        p("Ubuntu 16.04.4", OsFamily::Ubuntu, true),
+        p("Ubuntu 18.04.1", OsFamily::Ubuntu, true),
+        p("CentOS 6", OsFamily::CentOs, true),
+        p("CentOS 7", OsFamily::CentOs, true),
+    ];
+    &PROFILES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_profiles_as_in_the_paper() {
+        assert_eq!(all_profiles().len(), 17);
+    }
+
+    #[test]
+    fn windows_and_macos_break_on_synack_payload() {
+        for p in all_profiles() {
+            let should_break = matches!(p.family, OsFamily::Windows | OsFamily::MacOs);
+            assert_eq!(
+                !p.ignores_synack_payload,
+                should_break,
+                "{} has wrong synack-payload behavior",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn named_shortcuts_resolve() {
+        assert!(OsProfile::linux().ignores_synack_payload);
+        assert!(!OsProfile::windows().ignores_synack_payload);
+    }
+}

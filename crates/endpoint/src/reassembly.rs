@@ -1,0 +1,187 @@
+//! In-order byte-stream reassembly from (possibly out-of-order,
+//! possibly overlapping) TCP segments.
+//!
+//! Used by endpoint stacks to deliver application data, and reused by
+//! censor models that *can* reassemble (the GFW's HTTP box) — while
+//! boxes that cannot (FTP, SMTP, India, Iran, Kazakhstan) simply don't
+//! instantiate one, which is exactly the deficiency Strategy 8
+//! exploits.
+
+use crate::seq::seq_lt;
+use std::collections::BTreeMap;
+
+/// Reassembles a byte stream starting at a given initial sequence
+/// number. Segments may arrive out of order and overlap; bytes are
+/// released strictly in order.
+#[derive(Debug, Clone)]
+pub struct StreamAssembler {
+    /// Sequence number of the next byte to release.
+    next_seq: u32,
+    /// Out-of-order segments, keyed by offset from the initial seq.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Offset (from initial seq) of `next_seq`, for key computation.
+    base_offset: u64,
+    initial_seq: u32,
+    /// Total buffered out-of-order bytes (bounded).
+    buffered: usize,
+    /// Cap on buffered out-of-order data.
+    max_buffer: usize,
+}
+
+impl StreamAssembler {
+    /// New assembler expecting the first byte at `initial_seq`.
+    pub fn new(initial_seq: u32) -> Self {
+        StreamAssembler {
+            next_seq: initial_seq,
+            pending: BTreeMap::new(),
+            base_offset: 0,
+            initial_seq,
+            buffered: 0,
+            max_buffer: 1 << 20,
+        }
+    }
+
+    /// Sequence number of the next in-order byte.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Force the expected sequence number (used by censor resync logic,
+    /// which is the paper's entire attack surface). Discards pending
+    /// out-of-order data.
+    pub fn resync_to(&mut self, seq: u32) {
+        self.next_seq = seq;
+        self.initial_seq = seq;
+        self.base_offset = 0;
+        self.pending.clear();
+        self.buffered = 0;
+    }
+
+    /// Offer a segment; returns any newly contiguous bytes.
+    pub fn push(&mut self, seq: u32, data: &[u8]) -> Vec<u8> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let mut seq = seq;
+        let mut data = data;
+        // Trim the part that duplicates already-released bytes.
+        if seq_lt(seq, self.next_seq) {
+            let overlap = self.next_seq.wrapping_sub(seq) as usize;
+            if overlap >= data.len() {
+                return Vec::new(); // wholly stale
+            }
+            data = &data[overlap..];
+            seq = self.next_seq;
+        }
+        // Store at its stream offset.
+        let offset = self.base_offset + u64::from(seq.wrapping_sub(self.next_seq));
+        if self.buffered + data.len() <= self.max_buffer {
+            self.buffered += data.len();
+            // Keep the longest data at an offset (handles retransmits).
+            let entry = self.pending.entry(offset).or_default();
+            if data.len() > entry.len() {
+                *entry = data.to_vec();
+            }
+        }
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Vec<u8> {
+        let mut released = Vec::new();
+        while let Some((&offset, _)) = self.pending.first_key_value() {
+            if offset > self.base_offset {
+                break; // gap
+            }
+            let (offset, chunk) = self.pending.pop_first().unwrap();
+            self.buffered -= chunk.len();
+            let skip = (self.base_offset - offset) as usize;
+            if skip >= chunk.len() {
+                continue; // fully shadowed by earlier chunks
+            }
+            let fresh = &chunk[skip..];
+            released.extend_from_slice(fresh);
+            self.base_offset += fresh.len() as u64;
+            self.next_seq = self.next_seq.wrapping_add(fresh.len() as u32);
+        }
+        released
+    }
+
+    /// Is out-of-order data waiting for a gap to fill?
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut a = StreamAssembler::new(100);
+        assert_eq!(a.push(100, b"hel"), b"hel");
+        assert_eq!(a.push(103, b"lo"), b"lo");
+        assert_eq!(a.next_seq(), 105);
+    }
+
+    #[test]
+    fn out_of_order_hole_fill() {
+        let mut a = StreamAssembler::new(0);
+        assert_eq!(a.push(3, b"lo!"), b"");
+        assert!(a.has_pending());
+        assert_eq!(a.push(0, b"hel"), b"hello!");
+        assert!(!a.has_pending());
+    }
+
+    #[test]
+    fn duplicate_and_overlap_trimmed() {
+        let mut a = StreamAssembler::new(10);
+        assert_eq!(a.push(10, b"abcd"), b"abcd");
+        assert_eq!(a.push(10, b"abcd"), b""); // pure retransmit
+        assert_eq!(a.push(12, b"cdef"), b"ef"); // overlapping tail
+    }
+
+    #[test]
+    fn one_byte_gap_blocks_everything() {
+        // This is the GFW desync-by-1 mechanism: a censor resynced one
+        // byte behind never releases the real request bytes.
+        let mut a = StreamAssembler::new(1000);
+        assert_eq!(a.push(1001, b"GET /?q=forbidden"), b"");
+        assert!(a.has_pending());
+        assert_eq!(a.next_seq(), 1000);
+    }
+
+    #[test]
+    fn resync_discards_and_retargets() {
+        let mut a = StreamAssembler::new(5);
+        a.push(50, b"future");
+        a.resync_to(200);
+        assert!(!a.has_pending());
+        assert_eq!(a.push(200, b"now"), b"now");
+    }
+
+    #[test]
+    fn wraparound_sequence_numbers() {
+        let mut a = StreamAssembler::new(0xFFFF_FFFE);
+        assert_eq!(a.push(0xFFFF_FFFE, b"ab"), b"ab"); // crosses the wrap
+        assert_eq!(a.next_seq(), 0);
+        assert_eq!(a.push(0, b"cd"), b"cd");
+        assert_eq!(a.next_seq(), 2);
+    }
+
+    #[test]
+    fn stale_segment_fully_before_cursor() {
+        let mut a = StreamAssembler::new(100);
+        a.push(100, b"0123456789");
+        assert_eq!(a.push(95, b"abc"), b""); // entirely old
+        assert_eq!(a.next_seq(), 110);
+    }
+
+    #[test]
+    fn buffer_cap_drops_excess() {
+        let mut a = StreamAssembler::new(0);
+        a.max_buffer = 8;
+        assert_eq!(a.push(100, &[1u8; 16]), b""); // over cap, dropped
+        assert_eq!(a.push(0, b"ok"), b"ok"); // in-order still flows
+    }
+}

@@ -1,0 +1,63 @@
+//! Wrap-aware TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a 2³² ring; ordinary `<` breaks at the
+//! wrap. These helpers implement the standard "serial number" compare:
+//! `a < b` iff `(b - a) mod 2³²` is in `(0, 2³¹)`.
+
+/// `a < b` on the sequence ring.
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 0x8000_0000
+}
+
+/// `a <= b` on the sequence ring.
+pub fn seq_leq(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// `a > b` on the sequence ring.
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// `a >= b` on the sequence ring.
+pub fn seq_geq(a: u32, b: u32) -> bool {
+    a == b || seq_gt(a, b)
+}
+
+/// Is `x` within the half-open window `[lo, lo + len)` on the ring?
+pub fn seq_in_window(x: u32, lo: u32, len: u32) -> bool {
+    len != 0 && x.wrapping_sub(lo) < len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+        assert!(!seq_lt(5, 5));
+        assert!(seq_leq(5, 5));
+        assert!(seq_gt(9, 3));
+        assert!(seq_geq(9, 9));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        assert!(seq_lt(0xFFFF_FFF0, 0x10)); // across the wrap
+        assert!(seq_gt(0x10, 0xFFFF_FFF0));
+        assert!(seq_lt(0xFFFF_FFFF, 0));
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(seq_in_window(5, 5, 10));
+        assert!(seq_in_window(14, 5, 10));
+        assert!(!seq_in_window(15, 5, 10));
+        assert!(!seq_in_window(4, 5, 10));
+        assert!(seq_in_window(2, 0xFFFF_FFFE, 10)); // window spans the wrap
+        assert!(!seq_in_window(9, 0xFFFF_FFFE, 10));
+        assert!(!seq_in_window(0, 0, 0)); // empty window holds nothing
+    }
+}

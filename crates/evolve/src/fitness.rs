@@ -1,0 +1,168 @@
+//! Fitness: simulated evasion success minus parsimony pressure.
+//!
+//! Geneva's fitness rewards strategies that evade while staying small
+//! (bloated trees mutate poorly and deploy expensively). We evaluate
+//! against the censor models through the same `harness::run_trial`
+//! pipeline every other experiment uses, and cache evaluations by the
+//! genome's canonical DSL text — populations converge, so late
+//! generations are mostly cache hits.
+
+use crate::genome::Genome;
+use appproto::AppProtocol;
+use censor::Country;
+use harness::{run_trial, TrialConfig};
+use std::collections::HashMap;
+
+/// One genome's evaluated fitness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitnessEval {
+    /// Evasion successes.
+    pub successes: u32,
+    /// Trials run.
+    pub trials: u32,
+    /// Combined fitness (higher is better).
+    pub fitness: f64,
+}
+
+impl FitnessEval {
+    /// Evasion rate in [0, 1].
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            f64::from(self.successes) / f64::from(self.trials)
+        }
+    }
+}
+
+/// Caching fitness evaluator for one (country, protocol) target.
+pub struct FitnessCache {
+    /// Censor under attack.
+    pub country: Country,
+    /// Protocol under attack.
+    pub protocol: AppProtocol,
+    /// Trials per evaluation.
+    pub trials: u32,
+    /// Per-node-count penalty subtracted from the percent success.
+    pub complexity_penalty: f64,
+    seed: u64,
+    cache: HashMap<String, FitnessEval>,
+    /// Total simulated trials spent (diagnostics).
+    pub trials_spent: u64,
+}
+
+impl FitnessCache {
+    /// New evaluator.
+    pub fn new(country: Country, protocol: AppProtocol, trials: u32, seed: u64) -> Self {
+        FitnessCache {
+            country,
+            protocol,
+            trials,
+            complexity_penalty: 0.6,
+            seed,
+            cache: HashMap::new(),
+            trials_spent: 0,
+        }
+    }
+
+    /// Evaluate (or recall) a genome's fitness.
+    pub fn evaluate(&mut self, genome: &Genome) -> FitnessEval {
+        let key = genome.strategy.to_string();
+        if let Some(hit) = self.cache.get(&key) {
+            return *hit;
+        }
+        let mut successes = 0;
+        for i in 0..self.trials {
+            let mut cfg = TrialConfig::new(
+                self.country,
+                self.protocol,
+                genome.strategy.clone(),
+                self.seed ^ (u64::from(i) * 104_729),
+            );
+            cfg.seed ^= fxhash(&key); // decorrelate equal-seed genomes
+            if run_trial(&cfg).evaded() {
+                successes += 1;
+            }
+        }
+        self.trials_spent += u64::from(self.trials);
+        let rate = f64::from(successes) / f64::from(self.trials.max(1));
+        let eval = FitnessEval {
+            successes,
+            trials: self.trials,
+            fitness: rate * 100.0 - self.complexity_penalty * genome.size() as f64,
+        };
+        self.cache.insert(key, eval);
+        eval
+    }
+
+    /// Number of distinct genomes evaluated.
+    pub fn distinct_evaluated(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Tiny deterministic string hash (FxHash-style) for seed derivation.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geneva::library;
+
+    #[test]
+    fn identity_strategy_scores_near_baseline() {
+        let mut cache = FitnessCache::new(Country::China, AppProtocol::Http, 20, 7);
+        let genome = Genome::from_action(geneva::Action::Send);
+        let eval = cache.evaluate(&genome);
+        assert!(eval.rate() < 0.2, "no-evasion rate {}", eval.rate());
+    }
+
+    #[test]
+    fn known_good_strategy_scores_high() {
+        let mut cache = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 10, 7);
+        let genome = Genome {
+            strategy: library::STRATEGY_11.strategy(),
+        };
+        let eval = cache.evaluate(&genome);
+        assert!(eval.rate() > 0.9, "strategy 11 rate {}", eval.rate());
+        assert!(eval.fitness > 90.0 - 5.0);
+    }
+
+    #[test]
+    fn cache_hits_are_free_and_stable() {
+        let mut cache = FitnessCache::new(Country::China, AppProtocol::Http, 5, 7);
+        let genome = Genome {
+            strategy: library::STRATEGY_1.strategy(),
+        };
+        let first = cache.evaluate(&genome);
+        let spent = cache.trials_spent;
+        let second = cache.evaluate(&genome);
+        assert_eq!(first, second);
+        assert_eq!(cache.trials_spent, spent, "second call must be cached");
+        assert_eq!(cache.distinct_evaluated(), 1);
+    }
+
+    #[test]
+    fn complexity_penalty_separates_equal_rates() {
+        let mut cache = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 8, 7);
+        let small = Genome {
+            strategy: library::STRATEGY_11.strategy(),
+        };
+        // Same behavior plus dead weight: an extra inert tamper.
+        let bloated = Genome {
+            strategy: geneva::parse_strategy(
+                "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},tamper{TCP:urgptr:replace:7})-| \\/ ",
+            )
+            .unwrap(),
+        };
+        let a = cache.evaluate(&small);
+        let b = cache.evaluate(&bloated);
+        assert!(a.fitness > b.fitness, "{} !> {}", a.fitness, b.fitness);
+    }
+}

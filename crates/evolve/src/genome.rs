@@ -1,0 +1,422 @@
+//! Strategy genomes: random construction, mutation, crossover.
+//!
+//! A genome is a full [`geneva::Strategy`] whose single outbound
+//! trigger is fixed to `TCP:flags:SA` (the paper's server-side
+//! restriction, §4.1). Genetic operators work on the action tree:
+//!
+//! * **grow** — replace a random leaf with a fresh random subtree;
+//! * **shrink** — replace a random internal node with one child;
+//! * **point-mutate** — rewrite a tamper's field/mode/value;
+//! * **crossover** — swap random subtrees between two parents.
+
+use geneva::ast::{Action, Strategy, StrategyPart, TamperMode, Trigger};
+use packet::field::{FieldRef, FieldValue};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A candidate strategy with its genetic bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Genome {
+    /// The strategy (single outbound SYN+ACK trigger).
+    pub strategy: Strategy,
+}
+
+/// Tamperable fields the GA mutates over, weighted toward the ones
+/// that matter at handshake time.
+const FIELD_POOL: &[&str] = &[
+    "TCP:flags",
+    "TCP:flags",
+    "TCP:flags",
+    "TCP:ack",
+    "TCP:ack",
+    "TCP:seq",
+    "TCP:load",
+    "TCP:load",
+    "TCP:window",
+    "TCP:chksum",
+    "TCP:urgptr",
+    "TCP:dataofs",
+    "TCP:options-wscale",
+    "TCP:options-mss",
+    "IP:ttl",
+];
+
+/// Interesting flag-replacement values (Geneva letter strings).
+const FLAG_VALUES: &[&str] = &["", "S", "R", "RA", "F", "FA", "A", "SA", "PA", "FRAP"];
+
+/// Trigger flag values the GA may explore when trigger evolution is
+/// enabled (§4.1: only FTP leaves the server more than a SYN+ACK to
+/// trigger on — its banner and replies are `PA`/`A` packets).
+const TRIGGER_VALUES: &[&str] = &["SA", "A", "PA", "FA"];
+
+fn random_value(field: &FieldRef, rng: &mut StdRng) -> FieldValue {
+    match field.name.as_str() {
+        "flags" => {
+            let letters = FLAG_VALUES[rng.gen_range(0..FLAG_VALUES.len())];
+            if letters.is_empty() {
+                // Canonical form: an empty replacement serializes as
+                // `replace:` and parses back as Empty.
+                FieldValue::Empty
+            } else {
+                FieldValue::Str(letters.to_string())
+            }
+        }
+        "window" => FieldValue::Num([0u64, 1, 2, 10, 64, 1000][rng.gen_range(0..6)]),
+        "ttl" => FieldValue::Num(rng.gen_range(1..16)),
+        "load" => {
+            if rng.gen_bool(0.5) {
+                FieldValue::Str("GET / HTTP1.".to_string())
+            } else {
+                FieldValue::Empty
+            }
+        }
+        "options-wscale" | "options-mss" => {
+            if rng.gen_bool(0.6) {
+                FieldValue::Empty
+            } else {
+                FieldValue::Num(rng.gen_range(0..15))
+            }
+        }
+        "dataofs" => FieldValue::Num(rng.gen_range(5..16)),
+        _ => FieldValue::Num(u64::from(rng.gen::<u16>())),
+    }
+}
+
+fn random_tamper(rng: &mut StdRng, next: Action) -> Action {
+    let field = FieldRef::parse(FIELD_POOL[rng.gen_range(0..FIELD_POOL.len())])
+        .expect("pool entries are valid");
+    let mode = if rng.gen_bool(0.45) {
+        TamperMode::Corrupt
+    } else {
+        TamperMode::Replace(random_value(&field, rng))
+    };
+    Action::Tamper {
+        field,
+        mode,
+        next: Box::new(next),
+    }
+}
+
+/// A random action subtree, depth-bounded.
+pub fn random_action(rng: &mut StdRng, depth: usize) -> Action {
+    if depth == 0 {
+        return if rng.gen_bool(0.9) { Action::Send } else { Action::Drop };
+    }
+    match rng.gen_range(0..10) {
+        0..=2 => Action::Send,
+        3 => Action::Drop,
+        4..=6 => {
+            let next = random_action(rng, depth - 1);
+            random_tamper(rng, next)
+        }
+        _ => Action::Duplicate(
+            Box::new(random_action(rng, depth - 1)),
+            Box::new(random_action(rng, depth - 1)),
+        ),
+    }
+}
+
+impl Genome {
+    /// A fresh random genome.
+    pub fn random(rng: &mut StdRng) -> Genome {
+        Genome::from_action(random_action(rng, 3))
+    }
+
+    /// Wrap an action tree in the fixed server-side trigger.
+    pub fn from_action(action: Action) -> Genome {
+        Genome {
+            strategy: Strategy {
+                outbound: vec![StrategyPart {
+                    trigger: Trigger::tcp_flags("SA"),
+                    action,
+                }],
+                inbound: vec![],
+            },
+        }
+    }
+
+    /// The genome's action tree.
+    pub fn action(&self) -> &Action {
+        &self.strategy.outbound[0].action
+    }
+
+    fn action_mut(&mut self) -> &mut Action {
+        &mut self.strategy.outbound[0].action
+    }
+
+    /// Node count (parsimony metric).
+    pub fn size(&self) -> usize {
+        self.strategy.size()
+    }
+
+    /// Mutate in place (trigger fixed to SYN+ACK — the paper's
+    /// restriction for DNS/HTTP/HTTPS/SMTP).
+    pub fn mutate(&mut self, rng: &mut StdRng) {
+        self.mutate_with(rng, false);
+    }
+
+    /// Mutate in place; when `allow_trigger` is set the trigger's flag
+    /// value may also mutate (the FTP training mode).
+    pub fn mutate_with(&mut self, rng: &mut StdRng, allow_trigger: bool) {
+        if allow_trigger && rng.gen_bool(0.1) {
+            let flags = TRIGGER_VALUES[rng.gen_range(0..TRIGGER_VALUES.len())];
+            self.strategy.outbound[0].trigger = Trigger::tcp_flags(flags);
+            return;
+        }
+        self.mutate_action(rng);
+    }
+
+    fn mutate_action(&mut self, rng: &mut StdRng) {
+        let size = self.action().size();
+        let target = rng.gen_range(0..size);
+        match rng.gen_range(0..4) {
+            // Replace the targeted subtree with a random one.
+            0 => {
+                let fresh = random_action(rng, 2);
+                replace_nth(self.action_mut(), target, fresh);
+            }
+            // Wrap the targeted subtree in a new node.
+            1 => {
+                let mut taken = Action::Send;
+                swap_nth(self.action_mut(), target, &mut taken);
+                let wrapped = if rng.gen_bool(0.5) {
+                    random_tamper(rng, taken)
+                } else if rng.gen_bool(0.5) {
+                    Action::Duplicate(Box::new(Action::Send), Box::new(taken))
+                } else {
+                    Action::Duplicate(Box::new(taken), Box::new(Action::Send))
+                };
+                replace_nth(self.action_mut(), target, wrapped);
+            }
+            // Shrink: splice a child up over its parent.
+            2 => {
+                let shrunk = shrink(self.action().clone(), target);
+                *self.action_mut() = shrunk;
+            }
+            // Point-mutate a tamper (or no-op if none targeted).
+            _ => {
+                point_mutate_nth(self.action_mut(), target, rng);
+            }
+        }
+    }
+
+    /// The genome with node `n` (preorder) spliced out, or an
+    /// identical clone when `n` is a leaf. Used by the minimization
+    /// pass (Geneva prunes vestigial nodes from winning strategies).
+    pub fn shrunk_at(&self, n: usize) -> Genome {
+        let mut out = self.clone();
+        *out.action_mut() = shrink(self.action().clone(), n);
+        out
+    }
+
+    /// Subtree crossover with another genome.
+    pub fn crossover(&self, other: &Genome, rng: &mut StdRng) -> Genome {
+        let mut child = self.clone();
+        let take_from = nth_subtree(other.action(), rng.gen_range(0..other.size())).clone();
+        let at = rng.gen_range(0..child.size());
+        replace_nth(child.action_mut(), at, take_from);
+        child
+    }
+}
+
+/// Visit nodes in preorder; return the `n`-th subtree.
+fn nth_subtree(action: &Action, n: usize) -> &Action {
+    fn walk<'a>(action: &'a Action, n: &mut usize) -> Option<&'a Action> {
+        if *n == 0 {
+            return Some(action);
+        }
+        *n -= 1;
+        match action {
+            Action::Send | Action::Drop => None,
+            Action::Tamper { next, .. } => walk(next, n),
+            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
+                walk(a, n).or_else(|| walk(b, n))
+            }
+        }
+    }
+    let mut k = n;
+    walk(action, &mut k).unwrap_or(action)
+}
+
+/// Replace the `n`-th node (preorder) with `fresh`.
+fn replace_nth(action: &mut Action, n: usize, fresh: Action) {
+    let mut fresh = fresh;
+    swap_nth(action, n, &mut fresh);
+}
+
+fn swap_nth(action: &mut Action, n: usize, with: &mut Action) {
+    fn walk(action: &mut Action, n: &mut usize, with: &mut Action) -> bool {
+        if *n == 0 {
+            std::mem::swap(action, with);
+            return true;
+        }
+        *n -= 1;
+        match action {
+            Action::Send | Action::Drop => false,
+            Action::Tamper { next, .. } => walk(next, n, with),
+            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
+                walk(a, n, with) || walk(b, n, with)
+            }
+        }
+    }
+    let mut k = n;
+    walk(action, &mut k, with);
+}
+
+/// Replace the `n`-th node by one of its children (identity for leaves).
+fn shrink(action: Action, n: usize) -> Action {
+    fn walk(action: Action, n: &mut usize) -> Action {
+        if *n == 0 {
+            return match action {
+                Action::Tamper { next, .. } => *next,
+                Action::Duplicate(a, _) => *a,
+                Action::Fragment { first, .. } => *first,
+                leaf => leaf,
+            };
+        }
+        *n -= 1;
+        match action {
+            Action::Tamper { field, mode, next } => Action::Tamper {
+                field,
+                mode,
+                next: Box::new(walk(*next, n)),
+            },
+            Action::Duplicate(a, b) => {
+                let a = walk(*a, n);
+                let b = walk(*b, n);
+                Action::Duplicate(Box::new(a), Box::new(b))
+            }
+            Action::Fragment {
+                proto,
+                offset,
+                in_order,
+                first,
+                second,
+            } => {
+                let first = walk(*first, n);
+                let second = walk(*second, n);
+                Action::Fragment {
+                    proto,
+                    offset,
+                    in_order,
+                    first: Box::new(first),
+                    second: Box::new(second),
+                }
+            }
+            leaf => leaf,
+        }
+    }
+    let mut k = n;
+    walk(action, &mut k)
+}
+
+fn point_mutate_nth(action: &mut Action, n: usize, rng: &mut StdRng) {
+    fn walk(action: &mut Action, n: &mut usize, rng: &mut StdRng) -> bool {
+        if *n == 0 {
+            if let Action::Tamper { field, mode, .. } = action {
+                if rng.gen_bool(0.5) {
+                    *field = FieldRef::parse(FIELD_POOL[rng.gen_range(0..FIELD_POOL.len())])
+                        .expect("valid");
+                }
+                *mode = if rng.gen_bool(0.45) {
+                    TamperMode::Corrupt
+                } else {
+                    TamperMode::Replace(random_value(field, rng))
+                };
+            }
+            return true;
+        }
+        *n -= 1;
+        match action {
+            Action::Send | Action::Drop => false,
+            Action::Tamper { next, .. } => walk(next, n, rng),
+            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
+                walk(a, n, rng) || walk(b, n, rng)
+            }
+        }
+    }
+    let mut k = n;
+    walk(action, &mut k, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_genomes_always_serialize_and_reparse() {
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let genome = Genome::random(&mut r);
+            let text = genome.strategy.to_string();
+            let reparsed = geneva::parse_strategy(&text)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(reparsed, genome.strategy);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let mut r = rng(2);
+        let mut genome = Genome::random(&mut r);
+        for _ in 0..300 {
+            genome.mutate(&mut r);
+            let text = genome.strategy.to_string();
+            geneva::parse_strategy(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(genome.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn crossover_produces_valid_children() {
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let a = Genome::random(&mut r);
+            let b = Genome::random(&mut r);
+            let child = a.crossover(&b, &mut r);
+            geneva::parse_strategy(&child.strategy.to_string()).expect("child parses");
+        }
+    }
+
+    #[test]
+    fn shrink_reduces_or_preserves_size() {
+        let mut r = rng(4);
+        for _ in 0..100 {
+            let genome = Genome::random(&mut r);
+            let n = r.gen_range(0..genome.size());
+            let shrunk = shrink(genome.action().clone(), n);
+            assert!(shrunk.size() <= genome.action().size());
+        }
+    }
+
+    #[test]
+    fn trigger_mutation_only_when_allowed() {
+        let mut r = rng(9);
+        let mut genome = Genome::random(&mut r);
+        let mut changed = false;
+        for _ in 0..200 {
+            genome.mutate_with(&mut r, true);
+            if genome.strategy.outbound[0].trigger != Trigger::tcp_flags("SA") {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "trigger evolution never fired in 200 mutations");
+    }
+
+    #[test]
+    fn trigger_stays_fixed_to_syn_ack() {
+        let mut r = rng(5);
+        let mut genome = Genome::random(&mut r);
+        for _ in 0..50 {
+            genome.mutate(&mut r);
+        }
+        assert_eq!(genome.strategy.outbound[0].trigger, Trigger::tcp_flags("SA"));
+        assert!(genome.strategy.inbound.is_empty());
+    }
+}

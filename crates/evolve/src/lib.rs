@@ -1,0 +1,27 @@
+//! # evolve — Geneva's genetic algorithm, server-side
+//!
+//! The paper's methodology (§4.1): initialize a population of ~300
+//! packet-manipulation strategies, evaluate each against the (real,
+//! for them; modeled, for us) censor, and evolve for up to 50
+//! generations or until convergence. Server-side runs are restricted
+//! to triggering on the SYN+ACK — the only packet a server sends
+//! before a censorship event for DNS/HTTP/HTTPS/SMTP.
+//!
+//! * [`genome`] — random strategy construction, mutation, and subtree
+//!   crossover over the `geneva` AST;
+//! * [`fitness`] — simulated success rate minus a parsimony penalty,
+//!   with caching keyed by the canonical DSL text;
+//! * [`evolution`] — tournament selection, elitism, convergence.
+//!
+//! Everything is seeded and deterministic, like the rest of the
+//! workspace.
+
+pub mod evolution;
+pub mod fitness;
+pub mod genome;
+pub mod minimize;
+
+pub use evolution::{evolve, EvolutionResult, GaConfig};
+pub use fitness::{FitnessCache, FitnessEval};
+pub use genome::Genome;
+pub use minimize::minimize;

@@ -1,0 +1,87 @@
+//! Strategy minimization: prune vestigial nodes from a winning genome.
+//!
+//! Evolved strategies routinely carry dead weight — inert tampers,
+//! duplicate branches that change nothing. Geneva prunes these before
+//! reporting a species; we do the same with a greedy shrink loop: try
+//! splicing out each node, keep any cut that doesn't lose measurable
+//! fitness, repeat until no cut survives.
+
+use crate::fitness::FitnessCache;
+use crate::genome::Genome;
+
+/// Greedily minimize `genome` against `cache`'s target. Returns the
+/// smallest genome whose measured success rate stays within
+/// `tolerance` of the original's.
+pub fn minimize(genome: &Genome, cache: &mut FitnessCache, tolerance: f64) -> Genome {
+    let mut current = genome.clone();
+    let mut current_rate = cache.evaluate(&current).rate();
+    loop {
+        let mut improved = false;
+        for n in 0..current.size() {
+            let candidate = current.shrunk_at(n);
+            if candidate.size() >= current.size() {
+                continue; // leaf: nothing removed
+            }
+            let rate = cache.evaluate(&candidate).rate();
+            if rate + tolerance >= current_rate {
+                current = candidate;
+                current_rate = current_rate.max(rate);
+                improved = true;
+                break; // restart the scan on the smaller tree
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appproto::AppProtocol;
+    use censor::Country;
+    use geneva::parse_strategy;
+
+    #[test]
+    fn prunes_dead_weight_from_a_bloated_strategy() {
+        // Strategy 11 (null flags) plus two inert tampers bolted on.
+        let bloated = Genome {
+            strategy: parse_strategy(
+                "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:}(tamper{TCP:urgptr:replace:7},),tamper{TCP:options-mss:replace:1400})-| \\/ ",
+            )
+            .unwrap(),
+        };
+        let mut cache = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 8, 7);
+        let before = cache.evaluate(&bloated);
+        assert!(before.rate() > 0.9, "bloated variant still works");
+        let minimized = minimize(&bloated, &mut cache, 0.01);
+        assert!(
+            minimized.size() < bloated.size(),
+            "minimization removed nothing: {} vs {}",
+            minimized.strategy,
+            bloated.strategy
+        );
+        let after = cache.evaluate(&minimized);
+        assert!(after.rate() > 0.9, "minimization must not lose efficacy");
+        // The null-flags tamper is the load-bearing node; it survives.
+        assert!(
+            minimized.strategy.to_string().contains("tamper{TCP:flags:replace:}"),
+            "{}",
+            minimized.strategy
+        );
+    }
+
+    #[test]
+    fn minimal_strategies_are_fixed_points() {
+        let minimal = Genome {
+            strategy: geneva::library::STRATEGY_11.strategy(),
+        };
+        let mut cache = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 6, 7);
+        let out = minimize(&minimal, &mut cache, 0.01);
+        // May shave the duplicate into something equally small, but can
+        // never grow, and must keep working.
+        assert!(out.size() <= minimal.size());
+        assert!(cache.evaluate(&out).rate() > 0.9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Strategy abstract syntax: triggers and action trees.
+//!
+//! The tree shape mirrors Geneva's genetic encoding so the `evolve`
+//! crate can mutate and crossover nodes directly: `duplicate` and
+//! `fragment` are binary, `tamper` is unary, `send` and `drop` are
+//! leaves. `Display` renders canonical DSL text; `parser::parse_strategy`
+//! inverts it.
+
+use packet::field::{FieldRef, FieldValue};
+use packet::Proto;
+
+/// How `tamper` rewrites its field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Set the field to a specific value (empty value = clear/remove).
+    Replace(FieldValue),
+    /// Set the field to random bits of the same width.
+    Corrupt,
+}
+
+/// One node of an action tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit the packet as-is. The leaf default: an omitted subtree
+    /// means `send`.
+    Send,
+    /// Discard the packet.
+    Drop,
+    /// Copy the packet; run the first subtree on the copy, the second
+    /// on the original, emitting the copy's packets first.
+    Duplicate(Box<Action>, Box<Action>),
+    /// Rewrite one field, then continue with the subtree.
+    Tamper {
+        /// Which field to rewrite.
+        field: FieldRef,
+        /// Replace or corrupt.
+        mode: TamperMode,
+        /// Continuation (usually `Send`).
+        next: Box<Action>,
+    },
+    /// Split the packet in two at `offset` payload bytes (TCP
+    /// segmentation) or 8-byte units (IP fragmentation), delivering
+    /// in order or swapped.
+    Fragment {
+        /// `TCP` = segmentation, `IP` = fragmentation.
+        proto: Proto,
+        /// Split point: payload bytes (TCP) — clamped to the payload.
+        offset: usize,
+        /// Deliver first-half-first when true.
+        in_order: bool,
+        /// Subtree for the first piece.
+        first: Box<Action>,
+        /// Subtree for the second piece.
+        second: Box<Action>,
+    },
+}
+
+impl Action {
+    /// Convenience: `tamper{field:replace:value}(send)`.
+    pub fn replace(field: &str, value: FieldValue) -> Action {
+        Action::Tamper {
+            field: FieldRef::parse(field).expect("valid field name"),
+            mode: TamperMode::Replace(value),
+            next: Box::new(Action::Send),
+        }
+    }
+
+    /// Convenience: `tamper{field:corrupt}(send)`.
+    pub fn corrupt(field: &str) -> Action {
+        Action::Tamper {
+            field: FieldRef::parse(field).expect("valid field name"),
+            mode: TamperMode::Corrupt,
+            next: Box::new(Action::Send),
+        }
+    }
+
+    /// Number of nodes in this subtree (complexity metric for the GA's
+    /// parsimony pressure).
+    pub fn size(&self) -> usize {
+        match self {
+            Action::Send | Action::Drop => 1,
+            Action::Tamper { next, .. } => 1 + next.size(),
+            Action::Duplicate(a, b) => 1 + a.size() + b.size(),
+            Action::Fragment { first, second, .. } => 1 + first.size() + second.size(),
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Send => write!(f, "send"),
+            Action::Drop => write!(f, "drop"),
+            Action::Duplicate(a, b) => {
+                write!(f, "duplicate({},{})", SubAction(a), SubAction(b))
+            }
+            Action::Tamper { field, mode, next } => {
+                match mode {
+                    TamperMode::Replace(value) => write!(
+                        f,
+                        "tamper{{{}:replace:{}}}",
+                        field.to_syntax(),
+                        value.to_syntax()
+                    )?,
+                    TamperMode::Corrupt => {
+                        write!(f, "tamper{{{}:corrupt}}", field.to_syntax())?
+                    }
+                }
+                if !matches!(**next, Action::Send) {
+                    write!(f, "({})", SubAction(next))?;
+                }
+                Ok(())
+            }
+            Action::Fragment {
+                proto,
+                offset,
+                in_order,
+                first,
+                second,
+            } => write!(
+                f,
+                "fragment{{{}:{}:{}}}({},{})",
+                proto.token(),
+                offset,
+                if *in_order { "True" } else { "False" },
+                SubAction(first),
+                SubAction(second)
+            ),
+        }
+    }
+}
+
+/// Renders `send` as the empty string inside argument lists, matching
+/// Geneva's compact syntax (`duplicate(,tamper{...})`).
+struct SubAction<'a>(&'a Action);
+
+impl std::fmt::Display for SubAction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if matches!(self.0, Action::Send) {
+            Ok(())
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A trigger: apply the action tree to packets whose `field` exactly
+/// equals `value` (Geneva demands exact matches — `TCP:flags:SA` does
+/// not match a bare SYN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trigger {
+    /// The matched field.
+    pub field: FieldRef,
+    /// The exact value, in field syntax (e.g. `SA`, `80`).
+    pub value: String,
+}
+
+impl Trigger {
+    /// `TCP:flags:<flags>` — the trigger every server-side strategy in
+    /// the paper uses (on SYN+ACK).
+    pub fn tcp_flags(flags: &str) -> Trigger {
+        Trigger {
+            field: FieldRef::parse("TCP:flags").expect("valid"),
+            value: flags.to_string(),
+        }
+    }
+
+    /// Does this packet match?
+    pub fn matches(&self, pkt: &packet::Packet) -> bool {
+        match self.field.get(pkt) {
+            Ok(value) => value.to_syntax() == self.value,
+            Err(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}:{}]", self.field.to_syntax(), self.value)
+    }
+}
+
+/// One `trigger ⇒ action` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyPart {
+    /// When to fire.
+    pub trigger: Trigger,
+    /// What to do.
+    pub action: Action,
+}
+
+impl std::fmt::Display for StrategyPart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}-|", self.trigger, self.action)
+    }
+}
+
+/// A complete strategy: outbound pairs, then inbound pairs, separated
+/// by `\/` in the DSL.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Strategy {
+    /// Applied to packets this host emits.
+    pub outbound: Vec<StrategyPart>,
+    /// Applied to packets this host receives (before the stack).
+    pub inbound: Vec<StrategyPart>,
+}
+
+impl Strategy {
+    /// The identity strategy (forward everything untouched).
+    pub fn identity() -> Strategy {
+        Strategy::default()
+    }
+
+    /// Total node count across all action trees.
+    pub fn size(&self) -> usize {
+        self.outbound
+            .iter()
+            .chain(&self.inbound)
+            .map(|p| p.action.size())
+            .sum()
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for part in &self.outbound {
+            write!(f, "{part}")?;
+        }
+        write!(f, " \\/ ")?;
+        for part in &self.inbound {
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::{Packet, TcpFlags};
+
+    fn syn_ack() -> Packet {
+        Packet::tcp([1, 1, 1, 1], 80, [2, 2, 2, 2], 999, TcpFlags::SYN_ACK, 5, 6, vec![])
+    }
+
+    #[test]
+    fn trigger_exact_match_semantics() {
+        let t = Trigger::tcp_flags("SA");
+        assert!(t.matches(&syn_ack()));
+        let syn_only = Packet::tcp([1; 4], 80, [2; 4], 9, TcpFlags::SYN, 0, 0, vec![]);
+        assert!(!t.matches(&syn_only), "SA must not match bare SYN");
+        let t_syn = Trigger::tcp_flags("S");
+        assert!(t_syn.matches(&syn_only));
+        assert!(!t_syn.matches(&syn_ack()));
+    }
+
+    #[test]
+    fn display_strategy_1_matches_paper_syntax() {
+        let strategy = Strategy {
+            outbound: vec![StrategyPart {
+                trigger: Trigger::tcp_flags("SA"),
+                action: Action::Duplicate(
+                    Box::new(Action::replace("TCP:flags", packet::FieldValue::Str("R".into()))),
+                    Box::new(Action::replace("TCP:flags", packet::FieldValue::Str("S".into()))),
+                ),
+            }],
+            inbound: vec![],
+        };
+        assert_eq!(
+            strategy.to_string(),
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ "
+        );
+    }
+
+    #[test]
+    fn send_renders_empty_in_arg_lists() {
+        let action = Action::Duplicate(Box::new(Action::Send), Box::new(Action::corrupt("TCP:ack")));
+        assert_eq!(action.to_string(), "duplicate(,tamper{TCP:ack:corrupt})");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let action = Action::Duplicate(
+            Box::new(Action::Send),
+            Box::new(Action::Tamper {
+                field: FieldRef::parse("TCP:ack").unwrap(),
+                mode: TamperMode::Corrupt,
+                next: Box::new(Action::Drop),
+            }),
+        );
+        assert_eq!(action.size(), 4);
+    }
+}

@@ -1,0 +1,414 @@
+//! The packet-manipulation engine: apply a strategy to a packet stream.
+//!
+//! ## Checksum semantics (paper appendix, §7)
+//!
+//! `tamper` "recomputes the appropriate checksums and lengths, unless
+//! the field itself is a checksum or length; `corrupt` of a checksum
+//! does not recompute it". Concretely, after each tamper we re-finalize
+//! the packet (lengths, offsets, checksums) **unless** the tampered
+//! field is derived (`TCP:chksum`, `IP:len`, …), in which case the
+//! stored — possibly bogus — value rides to the wire. This asymmetry is
+//! load-bearing: `tamper{TCP:ack:corrupt}` must produce a *valid*
+//! packet (the client has to process it and send the induced RST),
+//! while `tamper{TCP:chksum:corrupt}` must produce an *invalid* one
+//! (an insertion packet only the censor processes).
+//!
+//! `corrupt` draws random bits of the field's width from a seeded RNG,
+//! so experiments replay deterministically.
+
+use crate::ast::{Action, Strategy, TamperMode};
+use packet::field::{FieldKind, FieldRef, FieldValue};
+use packet::{Packet, Proto, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A strategy plus the RNG that powers its `corrupt` tampers.
+pub struct Engine {
+    /// The strategy being applied.
+    pub strategy: Strategy,
+    rng: StdRng,
+}
+
+impl Engine {
+    /// Build an engine with a deterministic seed.
+    pub fn new(strategy: Strategy, seed: u64) -> Engine {
+        Engine {
+            strategy,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Apply the outbound ruleset to one packet the host wants to send.
+    /// Returns the packets that actually hit the wire, in order.
+    pub fn apply_outbound(&mut self, pkt: &Packet) -> Vec<Packet> {
+        Self::apply(&self.strategy.outbound, pkt, &mut self.rng)
+    }
+
+    /// Apply the inbound ruleset to one received packet.
+    pub fn apply_inbound(&mut self, pkt: &Packet) -> Vec<Packet> {
+        Self::apply(&self.strategy.inbound, pkt, &mut self.rng)
+    }
+
+    fn apply(
+        parts: &[crate::ast::StrategyPart],
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> Vec<Packet> {
+        for part in parts {
+            if part.trigger.matches(pkt) {
+                let mut out = Vec::new();
+                run(&part.action, pkt.clone(), rng, &mut out);
+                return out;
+            }
+        }
+        vec![pkt.clone()]
+    }
+}
+
+/// Execute one action subtree on one packet.
+fn run(action: &Action, pkt: Packet, rng: &mut StdRng, out: &mut Vec<Packet>) {
+    match action {
+        Action::Send => out.push(pkt),
+        Action::Drop => {}
+        Action::Duplicate(first, second) => {
+            run(first, pkt.clone(), rng, out);
+            run(second, pkt, rng, out);
+        }
+        Action::Tamper { field, mode, next } => {
+            let tampered = tamper(pkt, field, mode, rng);
+            run(next, tampered, rng, out);
+        }
+        Action::Fragment {
+            proto,
+            offset,
+            in_order,
+            first,
+            second,
+        } =>
+
+ {
+            let (a, b) = split(pkt, *proto, *offset);
+            match b {
+                Some(b) if *in_order => {
+                    run(first, a, rng, out);
+                    run(second, b, rng, out);
+                }
+                Some(b) => {
+                    run(second, b, rng, out);
+                    run(first, a, rng, out);
+                }
+                None => run(first, a, rng, out), // nothing to split
+            }
+        }
+    }
+}
+
+fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, rng: &mut StdRng) -> Packet {
+    let value = match mode {
+        TamperMode::Replace(v) => v.clone(),
+        TamperMode::Corrupt => corrupt_value(field, &pkt, rng),
+    };
+    let _ = field.set(&mut pkt, &value);
+    if !field.is_derived() {
+        pkt.finalize();
+    }
+    pkt
+}
+
+/// A random value of the field's width. Payload corruption keeps the
+/// current length (or invents a short random payload when empty — the
+/// paper's `tamper{TCP:load:corrupt}` on an empty SYN+ACK).
+fn corrupt_value(field: &FieldRef, pkt: &Packet, rng: &mut StdRng) -> FieldValue {
+    match field.kind().unwrap_or(FieldKind::U16) {
+        FieldKind::U8 => FieldValue::Num(u64::from(rng.gen::<u8>())),
+        FieldKind::U16 => FieldValue::Num(u64::from(rng.gen::<u16>())),
+        FieldKind::U32 => FieldValue::Num(u64::from(rng.gen::<u32>())),
+        FieldKind::Flags => FieldValue::Str(TcpFlags(rng.gen::<u8>()).to_geneva()),
+        FieldKind::OptionNum => FieldValue::Num(u64::from(rng.gen::<u8>())),
+        FieldKind::Bytes => {
+            let len = if pkt.payload.is_empty() {
+                rng.gen_range(8..=12)
+            } else {
+                pkt.payload.len()
+            };
+            FieldValue::Bytes((0..len).map(|_| rng.gen()).collect())
+        }
+    }
+}
+
+/// Split a packet at the TCP or IP layer.
+fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet>) {
+    match proto {
+        Proto::Tcp => {
+            if pkt.payload.len() < 2 {
+                return (pkt, None);
+            }
+            let cut = offset.clamp(1, pkt.payload.len() - 1);
+            let mut first = pkt.clone();
+            first.payload = pkt.payload[..cut].to_vec();
+            first.finalize();
+            let mut second = pkt;
+            second.payload = second.payload[cut..].to_vec();
+            if let Some(tcp) = second.tcp_header_mut() {
+                tcp.seq = tcp.seq.wrapping_add(cut as u32);
+            }
+            second.finalize();
+            (first, Some(second))
+        }
+        Proto::Ip => {
+            // IP fragmentation: 8-byte-aligned split of the transport
+            // segment. We model it at the payload level: both fragments
+            // keep the TCP header, the second carries a fragment offset.
+            if pkt.payload.len() < 16 {
+                return (pkt, None);
+            }
+            let cut = (offset.max(8) / 8 * 8).min(pkt.payload.len() - 8);
+            let mut first = pkt.clone();
+            first.payload = pkt.payload[..cut].to_vec();
+            first.ip.flags |= packet::Ipv4Header::FLAG_MF;
+            first.finalize();
+            let mut second = pkt;
+            second.payload = second.payload[cut..].to_vec();
+            second.ip.fragment_offset = (cut / 8) as u16;
+            if let Some(tcp) = second.tcp_header_mut() {
+                tcp.seq = tcp.seq.wrapping_add(cut as u32);
+            }
+            second.finalize();
+            (first, Some(second))
+        }
+        // Fragmentation is a transport/network-layer concept; the
+        // application-layer namespaces don't split packets.
+        Proto::Udp | Proto::Dns | Proto::Ftp => (pkt, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_strategy;
+
+    fn syn_ack() -> Packet {
+        let mut p = Packet::tcp(
+            [20, 0, 0, 9],
+            80,
+            [10, 0, 0, 1],
+            40000,
+            TcpFlags::SYN_ACK,
+            9000,
+            1001,
+            vec![],
+        );
+        p.tcp_header_mut().unwrap().options = vec![
+            packet::TcpOption::Mss(1460),
+            packet::TcpOption::WindowScale(7),
+        ];
+        p.finalize();
+        p
+    }
+
+    fn engine(text: &str) -> Engine {
+        Engine::new(parse_strategy(text).unwrap(), 42)
+    }
+
+    #[test]
+    fn identity_passes_everything() {
+        let mut e = Engine::new(Strategy::identity(), 1);
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out, vec![syn_ack()]);
+    }
+
+    #[test]
+    fn non_matching_trigger_passes_through() {
+        let mut e = engine("[TCP:flags:R]-drop-| \\/ ");
+        assert_eq!(e.apply_outbound(&syn_ack()).len(), 1);
+    }
+
+    #[test]
+    fn strategy_1_emits_rst_then_syn() {
+        let mut e = engine(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ ",
+        );
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].flags(), TcpFlags::RST);
+        assert_eq!(out[1].flags(), TcpFlags::SYN);
+        // Tampering a non-derived field re-finalizes: checksums valid.
+        assert!(out[0].checksums_ok());
+        assert!(out[1].checksums_ok());
+        // Sequence numbers preserved from the original SYN+ACK.
+        assert_eq!(out[1].tcp_header().unwrap().seq, 9000);
+    }
+
+    #[test]
+    fn corrupt_ack_produces_valid_packet_with_random_ack() {
+        let mut e = engine("[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},)-| \\/ ");
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 2);
+        assert_ne!(out[0].tcp_header().unwrap().ack, 1001);
+        assert!(out[0].checksums_ok(), "corrupt ack must still checksum");
+        assert_eq!(out[1], syn_ack());
+    }
+
+    #[test]
+    fn corrupt_checksum_stays_broken() {
+        let mut e = engine("[TCP:flags:SA]-tamper{TCP:chksum:corrupt}-| \\/ ");
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 1);
+        // With overwhelming probability the random checksum is wrong;
+        // the seed is fixed, so this is deterministic.
+        assert!(!out[0].checksums_ok());
+    }
+
+    #[test]
+    fn corrupt_load_on_empty_packet_invents_payload() {
+        let mut e = engine("[TCP:flags:SA]-tamper{TCP:load:corrupt}-| \\/ ");
+        let out = e.apply_outbound(&syn_ack());
+        assert!(!out[0].payload.is_empty());
+        assert!(out[0].checksums_ok());
+    }
+
+    #[test]
+    fn corrupt_is_deterministic_per_seed() {
+        let out1 = engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
+        let out2 = engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
+        assert_eq!(out1, out2);
+        let mut e3 = Engine::new(
+            parse_strategy("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").unwrap(),
+            43,
+        );
+        assert_ne!(out1, e3.apply_outbound(&syn_ack()));
+    }
+
+    #[test]
+    fn window_reduction_strips_wscale() {
+        let mut e = engine(
+            "[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \\/ ",
+        );
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 1);
+        let tcp = out[0].tcp_header().unwrap();
+        assert_eq!(tcp.window, 10);
+        assert!(tcp.option("wscale").is_none());
+        assert!(tcp.option("mss").is_some(), "mss must survive");
+        assert!(out[0].checksums_ok());
+    }
+
+    #[test]
+    fn drop_swallows() {
+        let mut e = engine("[TCP:flags:SA]-drop-| \\/ ");
+        assert!(e.apply_outbound(&syn_ack()).is_empty());
+    }
+
+    #[test]
+    fn tcp_segmentation_splits_payload_and_seq() {
+        let mut pkt = syn_ack();
+        pkt.tcp_header_mut().unwrap().flags = TcpFlags::PSH_ACK;
+        pkt.payload = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n".to_vec();
+        pkt.finalize();
+        let mut e = engine("[TCP:flags:PA]-fragment{TCP:10:True}(,)-| \\/ ");
+        let out = e.apply_outbound(&pkt);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, b"GET /?q=ul");
+        assert_eq!(out[1].payload, b"trasurf HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            out[1].tcp_header().unwrap().seq,
+            out[0].tcp_header().unwrap().seq + 10
+        );
+        assert!(out.iter().all(|p| p.checksums_ok()));
+    }
+
+    #[test]
+    fn out_of_order_segmentation_swaps_emission() {
+        let mut pkt = syn_ack();
+        pkt.tcp_header_mut().unwrap().flags = TcpFlags::PSH_ACK;
+        pkt.payload = b"abcdefgh".to_vec();
+        pkt.finalize();
+        let mut e = engine("[TCP:flags:PA]-fragment{TCP:4:False}(,)-| \\/ ");
+        let out = e.apply_outbound(&pkt);
+        assert_eq!(out[0].payload, b"efgh");
+        assert_eq!(out[1].payload, b"abcd");
+    }
+
+    #[test]
+    fn strategy_9_triple_load() {
+        let mut e = engine("[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \\/ ");
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|p| !p.payload.is_empty()));
+        assert!(out.iter().all(|p| p.flags().is_syn_ack()));
+        // All three copies carry the SAME payload (tamper before the
+        // duplicates) — the paper notes the strategy needs a payload on
+        // every copy.
+        assert_eq!(out[0].payload, out[1].payload);
+        assert_eq!(out[1].payload, out[2].payload);
+    }
+
+    #[test]
+    fn strategy_6_shape() {
+        let mut e = engine(
+            "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:F}(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \\/ ",
+        );
+        let out = e.apply_outbound(&syn_ack());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].flags(), TcpFlags::FIN);
+        assert!(!out[0].payload.is_empty());
+        assert!(out[1].flags().is_syn_ack());
+        assert_ne!(out[1].tcp_header().unwrap().ack, 1001, "corrupted ack");
+        assert_eq!(out[2], syn_ack(), "original rides last");
+    }
+
+    #[test]
+    fn application_layer_tamper_rewrites_dns_qname() {
+        // The appendix extension: tamper supports DNS fields. Rewrite
+        // the query name of any DNS packet heading to port 53.
+        let mut e = engine("[UDP:dport:53]-tamper{DNS:qname:replace:example.org}-| \\/ ");
+        let mut query = Packet::udp(
+            [10, 0, 0, 1],
+            40000,
+            [8, 8, 8, 8],
+            53,
+            {
+                // A raw DNS query for a forbidden name.
+                let mut msg = vec![0x12, 0x34, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0];
+                msg.extend_from_slice(b"\x03www\x09wikipedia\x03org\x00");
+                msg.extend_from_slice(&[0, 1, 0, 1]);
+                msg
+            },
+        );
+        query.finalize();
+        let out = e.apply_outbound(&query);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            packet::appfield::dns_qname(&out[0]).as_deref(),
+            Some("example.org")
+        );
+        assert!(out[0].checksums_ok(), "tamper re-finalizes");
+    }
+
+    #[test]
+    fn application_layer_tamper_rewrites_ftp_command() {
+        let mut e = engine("[TCP:dport:21]-tamper{FTP:command:replace:RETR readme.txt}-| \\/ ");
+        let mut cmd = Packet::tcp(
+            [10, 0, 0, 1],
+            40000,
+            [20, 0, 0, 9],
+            21,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
+            b"RETR ultrasurf\r\n".to_vec(),
+        );
+        cmd.finalize();
+        let out = e.apply_outbound(&cmd);
+        assert_eq!(out[0].payload, b"RETR readme.txt\r\n");
+    }
+
+    #[test]
+    fn inbound_rules_apply_to_received_packets() {
+        let mut e = engine(" \\/ [TCP:flags:R]-drop-|");
+        let rst = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::RST, 0, 0, vec![]);
+        assert!(e.apply_inbound(&rst).is_empty());
+        assert_eq!(e.apply_inbound(&syn_ack()).len(), 1);
+        assert_eq!(e.apply_outbound(&rst).len(), 1, "outbound untouched");
+    }
+}

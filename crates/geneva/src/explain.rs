@@ -1,0 +1,146 @@
+//! Human-readable strategy explanations.
+//!
+//! Evolved strategies come out of the GA as raw DSL; the paper spends
+//! §5 translating each one into prose ("duplicates the SYN+ACK; the
+//! first copy becomes a RST, the second a SYN…"). This module does the
+//! first-order version of that translation mechanically, which makes
+//! `cay strategies` and the evolution example self-describing.
+
+use crate::ast::{Action, Strategy, TamperMode};
+use packet::field::FieldValue;
+
+/// Explain a whole strategy in prose.
+pub fn explain(strategy: &Strategy) -> String {
+    if strategy.outbound.is_empty() && strategy.inbound.is_empty() {
+        return "Do nothing (no evasion).".to_string();
+    }
+    let mut out = String::new();
+    for part in &strategy.outbound {
+        out.push_str(&format!(
+            "On outbound {} packets: {}.\n",
+            trigger_phrase(&part.trigger.value),
+            explain_action(&part.action)
+        ));
+    }
+    for part in &strategy.inbound {
+        out.push_str(&format!(
+            "On inbound {} packets: {}.\n",
+            trigger_phrase(&part.trigger.value),
+            explain_action(&part.action)
+        ));
+    }
+    out
+}
+
+fn trigger_phrase(value: &str) -> String {
+    match value {
+        "SA" => "SYN+ACK".to_string(),
+        "S" => "SYN".to_string(),
+        "A" => "ACK".to_string(),
+        "PA" => "PSH+ACK".to_string(),
+        other => format!("flags={other}"),
+    }
+}
+
+/// Explain one action subtree.
+pub fn explain_action(action: &Action) -> String {
+    match action {
+        Action::Send => "send it unchanged".to_string(),
+        Action::Drop => "drop it".to_string(),
+        Action::Duplicate(a, b) => format!(
+            "make two copies — first: {}; second: {}",
+            explain_action(a),
+            explain_action(b)
+        ),
+        Action::Tamper { field, mode, next } => {
+            let what = match mode {
+                TamperMode::Corrupt => format!("corrupt {}", field_phrase(&field.to_syntax())),
+                TamperMode::Replace(FieldValue::Empty) => {
+                    format!("clear {}", field_phrase(&field.to_syntax()))
+                }
+                TamperMode::Replace(value) => format!(
+                    "set {} to {:?}",
+                    field_phrase(&field.to_syntax()),
+                    value.to_syntax()
+                ),
+            };
+            match &**next {
+                Action::Send => format!("{what}, then send"),
+                next => format!("{what}, then {}", explain_action(next)),
+            }
+        }
+        Action::Fragment {
+            proto,
+            offset,
+            in_order,
+            first,
+            second,
+        } => format!(
+            "split it at the {} layer at offset {offset} ({}), first piece: {}; second piece: {}",
+            proto.token(),
+            if *in_order { "in order" } else { "out of order" },
+            explain_action(first),
+            explain_action(second)
+        ),
+    }
+}
+
+fn field_phrase(field: &str) -> String {
+    match field {
+        "TCP:flags" => "the TCP flags".to_string(),
+        "TCP:ack" => "the acknowledgment number".to_string(),
+        "TCP:seq" => "the sequence number".to_string(),
+        "TCP:load" => "the payload".to_string(),
+        "TCP:window" => "the advertised window".to_string(),
+        "TCP:chksum" => "the TCP checksum".to_string(),
+        "TCP:options-wscale" => "the window-scale option".to_string(),
+        "IP:ttl" => "the IP TTL".to_string(),
+        "DNS:qname" => "the DNS query name".to_string(),
+        "FTP:command" => "the FTP command".to_string(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::parse_strategy;
+
+    #[test]
+    fn explains_strategy_1_like_the_paper() {
+        let text = explain(&library::STRATEGY_1.strategy());
+        assert!(text.contains("On outbound SYN+ACK packets"), "{text}");
+        assert!(text.contains("two copies"), "{text}");
+        assert!(text.to_lowercase().contains("set the tcp flags to \"r\""), "{text}");
+        assert!(text.to_lowercase().contains("set the tcp flags to \"s\""), "{text}");
+    }
+
+    #[test]
+    fn explains_strategy_8() {
+        let text = explain(&library::STRATEGY_8.strategy());
+        assert!(text.contains("advertised window"), "{text}");
+        assert!(text.contains("clear the window-scale option"), "{text}");
+    }
+
+    #[test]
+    fn explains_every_library_strategy_without_panicking() {
+        for named in library::server_side() {
+            let text = explain(&named.strategy());
+            assert!(!text.is_empty());
+        }
+        for named in library::variants() {
+            let _ = explain(&named.strategy());
+        }
+        for named in library::client_side() {
+            let _ = explain(&named.strategy());
+        }
+    }
+
+    #[test]
+    fn identity_and_drop_read_naturally() {
+        assert_eq!(explain(&Strategy::identity()), "Do nothing (no evasion).");
+        let s = parse_strategy("[TCP:flags:R]-drop-| \\/ ").unwrap();
+        assert!(explain(&s).contains("drop it"));
+    }
+}

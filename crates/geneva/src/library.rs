@@ -1,0 +1,338 @@
+//! The canned strategy library.
+//!
+//! * [`server_side`] — the paper's 11 server-side strategies (§5),
+//!   verbatim in the DSL, with their Table-2 names.
+//! * [`client_compat_fix`] — the §7 variants of Strategies 5/9/10 that
+//!   work on Windows/macOS: every payload-bearing packet is re-sent as
+//!   an *insertion packet* (corrupted TCP checksum) ahead of the
+//!   genuine SYN+ACK, so no client stack ever processes a SYN+ACK
+//!   payload while censors still do.
+//! * [`client_side`] — representative client-side strategies from
+//!   prior work, and [`server_side_analogs`] — the §3 translation that
+//!   moves each insertion packet to the server, before or after the
+//!   SYN+ACK. The paper's negative result: none of these analogs work.
+
+use crate::ast::Strategy;
+use crate::parser::parse_strategy;
+
+/// A strategy with its paper identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamedStrategy {
+    /// Paper number, 1–11 (0 = no evasion).
+    pub id: u32,
+    /// Table-2 description.
+    pub name: &'static str,
+    /// DSL text.
+    pub text: &'static str,
+}
+
+impl NamedStrategy {
+    /// Parse the DSL text (library strings are tested to parse).
+    pub fn strategy(&self) -> Strategy {
+        parse_strategy(self.text).expect("library strategy parses")
+    }
+}
+
+/// Strategy 1 — Simultaneous Open, Injected RST (China).
+pub const STRATEGY_1: NamedStrategy = NamedStrategy {
+    id: 1,
+    name: "Sim. Open, Injected RST",
+    text: "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ ",
+};
+
+/// Strategy 2 — Simultaneous Open, Injected Load (China).
+pub const STRATEGY_2: NamedStrategy = NamedStrategy {
+    id: 2,
+    name: "Sim. Open, Injected Load",
+    text: "[TCP:flags:SA]-tamper{TCP:flags:replace:S}(duplicate(,tamper{TCP:load:corrupt}),)-| \\/ ",
+};
+
+/// Strategy 3 — Corrupted ACK, Simultaneous Open (China).
+pub const STRATEGY_3: NamedStrategy = NamedStrategy {
+    id: 3,
+    name: "Corrupt ACK, Sim. Open",
+    text: "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},tamper{TCP:flags:replace:S})-| \\/ ",
+};
+
+/// Strategy 4 — Corrupt ACK Alone (China).
+pub const STRATEGY_4: NamedStrategy = NamedStrategy {
+    id: 4,
+    name: "Corrupt ACK Alone",
+    text: "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},)-| \\/ ",
+};
+
+/// Strategy 5 — Corrupt ACK, Injected Load (China).
+pub const STRATEGY_5: NamedStrategy = NamedStrategy {
+    id: 5,
+    name: "Corrupt ACK, Injected Load",
+    text: "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},tamper{TCP:load:corrupt})-| \\/ ",
+};
+
+/// Strategy 6 — Injected Load, Induced RST (China).
+pub const STRATEGY_6: NamedStrategy = NamedStrategy {
+    id: 6,
+    name: "Injected Load, Induced RST",
+    text: "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:F}(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \\/ ",
+};
+
+/// Strategy 7 — Injected RST, Induced RST (China).
+pub const STRATEGY_7: NamedStrategy = NamedStrategy {
+    id: 7,
+    name: "Injected RST, Induced RST",
+    text: "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:R},tamper{TCP:ack:corrupt}),)-| \\/ ",
+};
+
+/// Strategy 8 — TCP Window Reduction (China, India, Iran, Kazakhstan).
+pub const STRATEGY_8: NamedStrategy = NamedStrategy {
+    id: 8,
+    name: "TCP Window Reduction",
+    text: "[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \\/ ",
+};
+
+/// Strategy 9 — Triple Load (Kazakhstan).
+pub const STRATEGY_9: NamedStrategy = NamedStrategy {
+    id: 9,
+    name: "Triple Load",
+    text: "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \\/ ",
+};
+
+/// Strategy 10 — Double GET (Kazakhstan).
+pub const STRATEGY_10: NamedStrategy = NamedStrategy {
+    id: 10,
+    name: "Double GET",
+    text: "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)-| \\/ ",
+};
+
+/// Strategy 11 — Null Flags (Kazakhstan).
+pub const STRATEGY_11: NamedStrategy = NamedStrategy {
+    id: 11,
+    name: "Null Flags",
+    text: "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/ ",
+};
+
+/// All 11 server-side strategies, in paper order.
+pub fn server_side() -> [NamedStrategy; 11] {
+    [
+        STRATEGY_1, STRATEGY_2, STRATEGY_3, STRATEGY_4, STRATEGY_5, STRATEGY_6, STRATEGY_7,
+        STRATEGY_8, STRATEGY_9, STRATEGY_10, STRATEGY_11,
+    ]
+}
+
+/// Look a strategy up by its paper number (0 = no evasion / identity).
+pub fn by_id(id: u32) -> Option<Strategy> {
+    if id == 0 {
+        return Some(Strategy::identity());
+    }
+    server_side()
+        .iter()
+        .find(|s| s.id == id)
+        .map(|s| s.strategy())
+}
+
+/// The §7 client-compatibility fix for a strategy, if it needs one.
+///
+/// Strategies 5, 9, and 10 put payloads on SYN+ACK packets, which
+/// breaks Windows and macOS handshakes. The fix re-sends the payload
+/// packets with a **corrupted TCP checksum** (insertion packets: the
+/// censor processes them, every client stack drops them) and appends
+/// the clean SYN+ACK afterwards.
+pub fn client_compat_fix(id: u32) -> Option<NamedStrategy> {
+    match id {
+        5 => Some(NamedStrategy {
+            id: 5,
+            name: "Corrupt ACK, Injected Load (chksum-fixed)",
+            text: "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},duplicate(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt},),))-| \\/ ",
+        }),
+        9 => Some(NamedStrategy {
+            id: 9,
+            name: "Triple Load (chksum-fixed)",
+            text: "[TCP:flags:SA]-duplicate(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt}(duplicate(duplicate,),),),)-| \\/ ",
+        }),
+        10 => Some(NamedStrategy {
+            id: 10,
+            name: "Double GET (chksum-fixed)",
+            text: "[TCP:flags:SA]-duplicate(tamper{TCP:load:replace:GET / HTTP1.}(tamper{TCP:chksum:corrupt}(duplicate,),),)-| \\/ ",
+        }),
+        _ => None,
+    }
+}
+
+/// Variant species the paper reports Geneva also found (§5):
+/// Strategy 3 with its two packets reversed, Strategy 6 with an ACK
+/// instead of the FIN, and Strategy 9 with extra duplicates ("does not
+/// reduce the effectiveness").
+pub fn variants() -> Vec<NamedStrategy> {
+    vec![
+        NamedStrategy {
+            id: 3,
+            name: "Corrupt ACK, Sim. Open (reversed order)",
+            text: "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:S},tamper{TCP:ack:corrupt})-| \\/ ",
+        },
+        NamedStrategy {
+            id: 6,
+            name: "Injected Load, Induced RST (ACK variant)",
+            text: "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:A}(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \\/ ",
+        },
+        NamedStrategy {
+            id: 9,
+            name: "Quadruple Load",
+            text: "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,duplicate),)-| \\/ ",
+        },
+    ]
+}
+
+/// Representative client-side strategies from prior work (Bock et al.
+/// 2019; Khattak et al.; lib·erate; INTANG), used by the §3
+/// generalization experiment. All are *insertion-packet* species: they
+/// fire on the client's handshake ACK and inject a packet the censor
+/// processes but the server never does.
+pub fn client_side() -> Vec<NamedStrategy> {
+    vec![
+        NamedStrategy {
+            id: 101,
+            name: "TCB Teardown: TTL-limited RST",
+            text: "[TCP:flags:A]-duplicate(,tamper{TCP:flags:replace:R}(tamper{IP:ttl:replace:9},))-| \\/ ",
+        },
+        NamedStrategy {
+            id: 102,
+            name: "TCB Teardown: TTL-limited RST+ACK",
+            text: "[TCP:flags:A]-duplicate(,tamper{TCP:flags:replace:RA}(tamper{IP:ttl:replace:9},))-| \\/ ",
+        },
+        NamedStrategy {
+            id: 103,
+            name: "TCB Teardown: bad-checksum RST",
+            text: "[TCP:flags:A]-duplicate(,tamper{TCP:flags:replace:R}(tamper{TCP:chksum:corrupt},))-| \\/ ",
+        },
+        NamedStrategy {
+            id: 104,
+            name: "TCB Teardown: bad-checksum RST+ACK",
+            text: "[TCP:flags:A]-duplicate(,tamper{TCP:flags:replace:RA}(tamper{TCP:chksum:corrupt},))-| \\/ ",
+        },
+        NamedStrategy {
+            id: 105,
+            name: "TCB Desync: TTL-limited junk payload",
+            text: "[TCP:flags:A]-duplicate(,tamper{TCP:load:corrupt}(tamper{IP:ttl:replace:9},))-| \\/ ",
+        },
+        NamedStrategy {
+            id: 106,
+            name: "Segmentation (no server analog)",
+            text: "[TCP:flags:PA]-fragment{TCP:8:True}(,)-| \\/ ",
+        },
+    ]
+}
+
+/// Where a server-side analog injects the insertion packet (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalogPosition {
+    /// Insertion packet first, then the SYN+ACK.
+    BeforeSynAck,
+    /// SYN+ACK first, then the insertion packet.
+    AfterSynAck,
+}
+
+/// The insertion-packet shapes §3 translates to server-side.
+pub const INSERTION_SHAPES: [(&str, &str); 5] = [
+    // (name, tamper chain applied to the duplicated SYN+ACK)
+    ("TTL-limited RST", "tamper{TCP:flags:replace:R}(tamper{IP:ttl:replace:9},)"),
+    ("TTL-limited RST+ACK", "tamper{TCP:flags:replace:RA}(tamper{IP:ttl:replace:9},)"),
+    ("bad-checksum RST", "tamper{TCP:flags:replace:R}(tamper{TCP:chksum:corrupt},)"),
+    ("bad-checksum RST+ACK", "tamper{TCP:flags:replace:RA}(tamper{TCP:chksum:corrupt},)"),
+    ("TTL-limited junk load", "tamper{TCP:load:corrupt}(tamper{IP:ttl:replace:9},)"),
+];
+
+/// Generate the §3 server-side analogs: each insertion shape, sent
+/// before and after the SYN+ACK (2 × [`INSERTION_SHAPES`] strategies).
+pub fn server_side_analogs() -> Vec<(String, AnalogPosition, Strategy)> {
+    let mut out = Vec::new();
+    for (name, chain) in INSERTION_SHAPES {
+        for position in [AnalogPosition::BeforeSynAck, AnalogPosition::AfterSynAck] {
+            let text = match position {
+                AnalogPosition::BeforeSynAck => {
+                    format!("[TCP:flags:SA]-duplicate({chain},)-| \\/ ")
+                }
+                AnalogPosition::AfterSynAck => {
+                    format!("[TCP:flags:SA]-duplicate(,{chain})-| \\/ ")
+                }
+            };
+            let strategy = parse_strategy(&text).expect("analog parses");
+            out.push((name.to_string(), position, strategy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Action;
+
+    #[test]
+    fn all_library_strategies_parse_and_round_trip() {
+        for named in server_side() {
+            let strategy = named.strategy();
+            let rendered = strategy.to_string();
+            let reparsed = parse_strategy(&rendered).unwrap();
+            assert_eq!(strategy, reparsed, "strategy {} round trip", named.id);
+            assert_eq!(strategy.outbound.len(), 1);
+            assert!(strategy.inbound.is_empty());
+        }
+    }
+
+    #[test]
+    fn fixes_parse_and_exist_only_for_payload_strategies() {
+        for id in 1..=11 {
+            let fix = client_compat_fix(id);
+            assert_eq!(fix.is_some(), matches!(id, 5 | 9 | 10), "id {id}");
+            if let Some(named) = fix {
+                named.strategy();
+            }
+        }
+    }
+
+    #[test]
+    fn by_id_covers_0_through_11() {
+        assert_eq!(by_id(0), Some(Strategy::identity()));
+        for id in 1..=11 {
+            assert!(by_id(id).is_some(), "id {id}");
+        }
+        assert!(by_id(12).is_none());
+    }
+
+    #[test]
+    fn variants_parse_and_share_paper_ids() {
+        for named in variants() {
+            named.strategy();
+            assert!(matches!(named.id, 3 | 6 | 9));
+        }
+    }
+
+    #[test]
+    fn client_side_strategies_parse() {
+        for named in client_side() {
+            named.strategy();
+        }
+    }
+
+    #[test]
+    fn analogs_cover_both_positions() {
+        let analogs = server_side_analogs();
+        assert_eq!(analogs.len(), INSERTION_SHAPES.len() * 2);
+        for (_, _, strategy) in &analogs {
+            assert_eq!(strategy.outbound.len(), 1);
+            assert!(matches!(strategy.outbound[0].action, Action::Duplicate(..)));
+        }
+    }
+
+    #[test]
+    fn strategies_trigger_only_on_syn_ack() {
+        use packet::{Packet, TcpFlags};
+        let syn = Packet::tcp([1; 4], 80, [2; 4], 1, TcpFlags::SYN, 0, 0, vec![]);
+        for named in server_side() {
+            assert!(
+                !named.strategy().outbound[0].trigger.matches(&syn),
+                "strategy {} fired on a bare SYN",
+                named.id
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Deploying a strategy at an endpoint: the "run Geneva server-side"
+//! shim.
+//!
+//! [`StrategicEndpoint`] wraps any `netsim::Endpoint` (in practice the
+//! stock `endpoint::ServerHost`) and rewrites the packets it emits
+//! through a strategy [`Engine`] — exactly how the paper deploys
+//! evasion: the server's TCP stack is unmodified; a packet-level shim
+//! (their extended Geneva) intercepts outbound packets and applies the
+//! strategy. Inbound rules, when present, rewrite received packets
+//! before the stack sees them.
+
+use crate::engine::Engine;
+use netsim::{Endpoint, Io};
+use packet::Packet;
+
+/// An endpoint with a Geneva strategy bolted onto its wire interface.
+pub struct StrategicEndpoint<E> {
+    /// The unmodified inner host.
+    pub inner: E,
+    /// The strategy engine.
+    pub engine: Engine,
+}
+
+impl<E: Endpoint> StrategicEndpoint<E> {
+    /// Wrap `inner` with `engine`.
+    pub fn new(inner: E, engine: Engine) -> Self {
+        StrategicEndpoint { inner, engine }
+    }
+
+    fn transform_out(&mut self, io: &mut Io) {
+        let emitted = std::mem::take(&mut io.out);
+        for pkt in emitted {
+            io.out.extend(self.engine.apply_outbound(&pkt));
+        }
+    }
+}
+
+impl<E: Endpoint> Endpoint for StrategicEndpoint<E> {
+    fn on_start(&mut self, now: u64, io: &mut Io) {
+        self.inner.on_start(now, io);
+        self.transform_out(io);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, now: u64, io: &mut Io) {
+        for rewritten in self.engine.apply_inbound(&pkt) {
+            self.inner.on_packet(rewritten, now, io);
+        }
+        self.transform_out(io);
+    }
+
+    fn on_wake(&mut self, now: u64, io: &mut Io) {
+        self.inner.on_wake(now, io);
+        self.transform_out(io);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::STRATEGY_1;
+    use packet::TcpFlags;
+
+    /// An endpoint that replies to any packet with a SYN+ACK.
+    struct SynAcker;
+
+    impl Endpoint for SynAcker {
+        fn on_start(&mut self, _now: u64, _io: &mut Io) {}
+        fn on_packet(&mut self, pkt: Packet, _now: u64, io: &mut Io) {
+            let mut sa = Packet::tcp(
+                pkt.ip.dst,
+                pkt.dst_port(),
+                pkt.ip.src,
+                pkt.src_port(),
+                TcpFlags::SYN_ACK,
+                100,
+                pkt.tcp_header().map(|t| t.seq + 1).unwrap_or(0),
+                vec![],
+            );
+            sa.finalize();
+            io.send(sa);
+        }
+        fn on_wake(&mut self, _now: u64, _io: &mut Io) {}
+    }
+
+    #[test]
+    fn outbound_syn_ack_is_rewritten() {
+        let mut wrapped =
+            StrategicEndpoint::new(SynAcker, Engine::new(STRATEGY_1.strategy(), 7));
+        let syn = Packet::tcp([1; 4], 1111, [2; 4], 80, TcpFlags::SYN, 50, 0, vec![]);
+        let mut io = Io::default();
+        wrapped.on_packet(syn, 0, &mut io);
+        assert_eq!(io.out.len(), 2);
+        assert_eq!(io.out[0].flags(), TcpFlags::RST);
+        assert_eq!(io.out[1].flags(), TcpFlags::SYN);
+    }
+
+    #[test]
+    fn identity_engine_is_transparent() {
+        let mut wrapped = StrategicEndpoint::new(
+            SynAcker,
+            Engine::new(crate::ast::Strategy::identity(), 7),
+        );
+        let syn = Packet::tcp([1; 4], 1111, [2; 4], 80, TcpFlags::SYN, 50, 0, vec![]);
+        let mut io = Io::default();
+        wrapped.on_packet(syn, 0, &mut io);
+        assert_eq!(io.out.len(), 1);
+        assert!(io.out[0].flags().is_syn_ack());
+    }
+
+    #[test]
+    fn inbound_drop_rule_shields_inner() {
+        let strategy = crate::parse_strategy(" \\/ [TCP:flags:R]-drop-|").unwrap();
+        let mut wrapped = StrategicEndpoint::new(SynAcker, Engine::new(strategy, 7));
+        let rst = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::RST, 0, 0, vec![]);
+        let mut io = Io::default();
+        wrapped.on_packet(rst, 0, &mut io);
+        assert!(io.out.is_empty(), "inner never saw the RST");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the Geneva DSL and engine.
+//!
+//! Invariants:
+//! 1. `Display` → `parse_strategy` is the identity on arbitrary ASTs
+//!    (canonical values only — the parser normalizes `Str("")` ⇒
+//!    `Empty`, which the generator respects).
+//! 2. The engine never panics on any (strategy, packet) pair and emits
+//!    at most 2^depth packets per input packet.
+//! 3. Packets the engine emits are either raw-faithful (derived-field
+//!    tampering) or finalized (everything else) — i.e. always
+//!    serializable.
+
+use geneva::ast::{Action, StrategyPart, TamperMode, Trigger};
+use geneva::{parse_strategy, Engine};
+use packet::field::{FieldRef, FieldValue};
+use packet::{Packet, TcpFlags};
+use proptest::prelude::*;
+
+const FIELDS: &[&str] = &[
+    "TCP:flags",
+    "TCP:seq",
+    "TCP:ack",
+    "TCP:window",
+    "TCP:chksum",
+    "TCP:load",
+    "TCP:urgptr",
+    "TCP:options-wscale",
+    "TCP:options-mss",
+    "IP:ttl",
+    "IP:tos",
+];
+
+fn arb_value(field: &'static str) -> BoxedStrategy<FieldValue> {
+    match field {
+        "TCP:flags" => prop_oneof![
+            Just(FieldValue::Empty),
+            prop::sample::select(vec!["S", "SA", "R", "RA", "F", "A", "PA"])
+                .prop_map(|s| FieldValue::Str(s.to_string())),
+        ]
+        .boxed(),
+        "TCP:load" => prop_oneof![
+            Just(FieldValue::Empty),
+            Just(FieldValue::Str("GET / HTTP1.".to_string())),
+            prop::collection::vec(any::<u8>(), 1..6).prop_map(FieldValue::Bytes),
+        ]
+        .boxed(),
+        "TCP:options-wscale" | "TCP:options-mss" => prop_oneof![
+            Just(FieldValue::Empty),
+            (1u64..1400).prop_map(FieldValue::Num),
+        ]
+        .boxed(),
+        _ => (0u64..65536).prop_map(FieldValue::Num).boxed(),
+    }
+}
+
+fn arb_tamper(next: BoxedStrategy<Action>) -> BoxedStrategy<Action> {
+    prop::sample::select(FIELDS.to_vec())
+        .prop_flat_map(move |field| {
+            let next = next.clone();
+            prop_oneof![
+                Just(TamperMode::Corrupt),
+                arb_value(field).prop_map(TamperMode::Replace),
+            ]
+            .prop_flat_map(move |mode| {
+                let field = field;
+                let mode = mode.clone();
+                next.clone().prop_map(move |n| Action::Tamper {
+                    field: FieldRef::parse(field).expect("valid"),
+                    mode: mode.clone(),
+                    next: Box::new(n),
+                })
+            })
+        })
+        .boxed()
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let leaf = prop_oneof![4 => Just(Action::Send), 1 => Just(Action::Drop)].boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            arb_tamper(inner.clone()),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Action::Duplicate(Box::new(a), Box::new(b))),
+            (1usize..20, any::<bool>(), inner.clone(), inner)
+                .prop_map(|(offset, in_order, a, b)| Action::Fragment {
+                    proto: packet::Proto::Tcp,
+                    offset,
+                    in_order,
+                    first: Box::new(a),
+                    second: Box::new(b),
+                }),
+        ]
+        .boxed()
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = geneva::Strategy> {
+    arb_action().prop_map(|action| geneva::Strategy {
+        outbound: vec![StrategyPart {
+            trigger: Trigger::tcp_flags("SA"),
+            action,
+        }],
+        inbound: vec![],
+    })
+}
+
+fn syn_ack() -> Packet {
+    let mut p = Packet::tcp(
+        [20, 0, 0, 9],
+        80,
+        [10, 0, 0, 1],
+        40000,
+        TcpFlags::SYN_ACK,
+        9000,
+        1001,
+        vec![],
+    );
+    p.tcp_header_mut().unwrap().options = vec![
+        packet::TcpOption::Mss(1460),
+        packet::TcpOption::WindowScale(7),
+    ];
+    p.finalize();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_round_trip(strategy in arb_strategy()) {
+        let text = strategy.to_string();
+        let reparsed = parse_strategy(&text)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(reparsed, strategy);
+    }
+
+    #[test]
+    fn engine_never_panics_and_bounds_output(strategy in arb_strategy(), seed in any::<u64>()) {
+        let mut engine = Engine::new(strategy, seed);
+        let out = engine.apply_outbound(&syn_ack());
+        // Depth ≤ 3 binary tree + fragments: ≤ 2^4 leaves is generous.
+        prop_assert!(out.len() <= 16, "emitted {}", out.len());
+        // Everything emitted can hit the wire.
+        for pkt in &out {
+            let bytes = pkt.serialize_raw();
+            prop_assert!(bytes.len() >= 40);
+        }
+    }
+
+    #[test]
+    fn non_matching_packets_pass_untouched(strategy in arb_strategy(), seed in any::<u64>()) {
+        let mut engine = Engine::new(strategy, seed);
+        let mut data = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::PSH_ACK, 5, 6, b"hi".to_vec());
+        data.finalize();
+        let out = engine.apply_outbound(&data);
+        prop_assert_eq!(out, vec![data]);
+    }
+
+    #[test]
+    fn identity_strategy_is_identity(seed in any::<u64>()) {
+        let mut engine = Engine::new(geneva::Strategy::identity(), seed);
+        let pkt = syn_ack();
+        prop_assert_eq!(engine.apply_outbound(&pkt), vec![pkt]);
+    }
+}

@@ -1,0 +1,166 @@
+//! §8 deployment considerations: which strategy should a server apply
+//! to which client?
+//!
+//! "In deployment, the server must determine which strategy to use on
+//! a per-client basis … based only on the client's SYN packet.
+//! Coarse-grained, country-level IP geolocation may suffice for
+//! nation-states that exhibit mostly consistent censorship behavior
+//! throughout their borders (like China)."
+//!
+//! This module is the library-shaped version of that paragraph: a tiny
+//! prefix-based geolocation table (documentation-prefix ranges stand in
+//! for a GeoIP database) and a per-(country, protocol) strategy ranking
+//! derived from the paper's Table 2.
+
+use appproto::AppProtocol;
+use censor::Country;
+use geneva::library::{self, NamedStrategy};
+
+/// A (prefix, mask-length, country) entry — a toy GeoIP row.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoEntry {
+    /// Network address.
+    pub prefix: [u8; 4],
+    /// Prefix length in bits.
+    pub len: u8,
+    /// Mapped country.
+    pub country: Country,
+}
+
+/// The built-in demonstration table (documentation ranges; a real
+/// deployment would load MaxMind or similar).
+pub fn demo_geo_table() -> Vec<GeoEntry> {
+    vec![
+        GeoEntry { prefix: [10, 7, 0, 0], len: 16, country: Country::China },
+        GeoEntry { prefix: [10, 91, 0, 0], len: 16, country: Country::India },
+        GeoEntry { prefix: [10, 98, 0, 0], len: 16, country: Country::Iran },
+        GeoEntry { prefix: [10, 77, 0, 0], len: 16, country: Country::Kazakhstan },
+    ]
+}
+
+/// Longest-prefix-match a client address against a geo table.
+pub fn locate(addr: [u8; 4], table: &[GeoEntry]) -> Option<Country> {
+    let ip = u32::from_be_bytes(addr);
+    table
+        .iter()
+        .filter(|e| {
+            let net = u32::from_be_bytes(e.prefix);
+            let mask = if e.len == 0 { 0 } else { u32::MAX << (32 - e.len) };
+            ip & mask == net & mask
+        })
+        .max_by_key(|e| e.len)
+        .map(|e| e.country)
+}
+
+/// The paper's Table-2-derived ranking: the best strategies for a
+/// (country, protocol) pair, most effective first. Empty when the
+/// country doesn't censor the protocol (deploy nothing).
+pub fn recommend(country: Country, protocol: AppProtocol) -> Vec<NamedStrategy> {
+    use AppProtocol as P;
+    let ids: &[u32] = match (country, protocol) {
+        // China, Table 2 column order by success rate:
+        (Country::China, P::DnsTcp) => &[1, 7, 6, 2],
+        (Country::China, P::Ftp) => &[5, 7, 3, 6, 1],
+        (Country::China, P::Http) => &[1, 2, 7, 6],
+        (Country::China, P::Https) => &[2, 6],
+        (Country::China, P::Smtp) => &[8, 1, 7],
+        (Country::India, P::Http) => &[8],
+        (Country::Iran, P::Http) | (Country::Iran, P::Https) => &[8],
+        (Country::Kazakhstan, P::Http) => &[8, 9, 10, 11],
+        _ => &[],
+    };
+    ids.iter()
+        .map(|id| {
+            library::server_side()
+                .into_iter()
+                .find(|s| s.id == *id)
+                .expect("ranked ids exist")
+        })
+        .collect()
+}
+
+/// End-to-end pick: from a client SYN's source address to the strategy
+/// a deployment should apply (client-OS-safe choices only: strategies
+/// 5/9/10 are swapped for their §7 checksum-fixed variants, since the
+/// server cannot know the client OS from a SYN).
+pub fn pick_for_client(
+    client_addr: [u8; 4],
+    protocol: AppProtocol,
+    table: &[GeoEntry],
+) -> Option<NamedStrategy> {
+    let country = locate(client_addr, table)?;
+    let ranked = recommend(country, protocol);
+    if let Some(named) = ranked.into_iter().next() {
+        if let Some(fixed) = library::client_compat_fix(named.id) {
+            return Some(fixed);
+        }
+        return Some(named);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_match_works() {
+        let mut table = demo_geo_table();
+        table.push(GeoEntry {
+            prefix: [10, 7, 9, 0],
+            len: 24,
+            country: Country::Iran, // more specific override
+        });
+        assert_eq!(locate([10, 7, 1, 1], &table), Some(Country::China));
+        assert_eq!(locate([10, 7, 9, 5], &table), Some(Country::Iran));
+        assert_eq!(locate([8, 8, 8, 8], &table), None);
+    }
+
+    #[test]
+    fn recommendations_follow_table2() {
+        let ftp = recommend(Country::China, AppProtocol::Ftp);
+        assert_eq!(ftp[0].id, 5, "Strategy 5 leads for FTP (97%)");
+        let smtp = recommend(Country::China, AppProtocol::Smtp);
+        assert_eq!(smtp[0].id, 8, "window reduction leads for SMTP (100%)");
+        assert!(recommend(Country::India, AppProtocol::Ftp).is_empty());
+        assert_eq!(recommend(Country::Kazakhstan, AppProtocol::Http).len(), 4);
+    }
+
+    #[test]
+    fn picks_are_client_os_safe() {
+        let table = demo_geo_table();
+        // China FTP's top pick is Strategy 5 — which breaks Windows —
+        // so the deployment helper returns the checksum-fixed variant.
+        let pick = pick_for_client([10, 7, 3, 3], AppProtocol::Ftp, &table).unwrap();
+        assert_eq!(pick.id, 5);
+        assert!(pick.name.contains("chksum-fixed"), "{}", pick.name);
+        // Unknown client: deploy nothing.
+        assert!(pick_for_client([9, 9, 9, 9], AppProtocol::Http, &table).is_none());
+    }
+
+    #[test]
+    fn recommended_strategies_actually_evade_in_simulation() {
+        // Close the loop: the top recommendation for every censored
+        // (country, protocol) pair beats that censor more often than
+        // no evasion does.
+        use crate::rates::success_rate;
+        use crate::trial::TrialConfig;
+        for country in Country::all() {
+            for proto in country.censored_protocols() {
+                let Some(top) = recommend(country, *proto).into_iter().next() else {
+                    continue;
+                };
+                let evading = TrialConfig::new(country, *proto, top.strategy(), 0);
+                let baseline =
+                    TrialConfig::new(country, *proto, geneva::Strategy::identity(), 0);
+                let with = success_rate(&evading, 60, 9).rate();
+                let without = success_rate(&baseline, 60, 9).rate();
+                assert!(
+                    with > without + 0.2,
+                    "{country}/{proto}: {with} !> {without} (strategy {})",
+                    top.id
+                );
+            }
+        }
+    }
+}

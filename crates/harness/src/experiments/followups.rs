@@ -1,0 +1,261 @@
+//! §5 follow-up experiments: the instrumented-client confirmations the
+//! paper used to *explain* why each strategy works.
+
+use crate::rates::{success_rate, RateEstimate};
+use crate::trial::{run_trial, TrialConfig};
+use appproto::AppProtocol;
+use censor::Country;
+use geneva::{library, parse_strategy};
+
+/// All follow-up measurements.
+#[derive(Debug, Clone)]
+pub struct FollowupReport {
+    /// Fraction of Strategy-1 trials in which a *seq−1* instrumented
+    /// request drew censorship — the paper's confirmation that the GFW
+    /// resynced exactly one byte low (expected ≈ the resync-entry
+    /// probability, ~50 %).
+    pub seq_minus_one_with_strategy: RateEstimate,
+    /// Control: seq−1 without any server strategy never draws
+    /// censorship (the request no longer matches the true stream).
+    pub seq_minus_one_without_strategy: RateEstimate,
+    /// Strategy 5 (FTP) with the client's induced RST suppressed —
+    /// collapses, because the RST is the resync landing target.
+    pub s5_drop_rst: RateEstimate,
+    /// Strategy 5 (FTP) baseline for comparison.
+    pub s5_normal: RateEstimate,
+    /// Strategy 6 (HTTP) with the induced RST suppressed — unchanged,
+    /// because the landing target is the corrupted SYN+ACK itself.
+    pub s6_drop_rst: RateEstimate,
+    /// Strategy 6 (HTTP) baseline.
+    pub s6_normal: RateEstimate,
+    /// Kazakhstan Strategy-9 controls: success per number of
+    /// payload-bearing SYN+ACK copies (1, 2, 3, 4).
+    pub s9_load_counts: Vec<(u32, RateEstimate)>,
+    /// Kazakhstan Strategy-9 control: 3 copies but only the last
+    /// carries a payload — fails.
+    pub s9_one_of_three_loads: RateEstimate,
+    /// Kazakhstan Strategy-9: a 1-byte payload is as good as a big one.
+    pub s9_one_byte_load: RateEstimate,
+    /// Kazakhstan Strategy-10 controls: (variant, rate).
+    pub s10_variants: Vec<(String, RateEstimate)>,
+}
+
+/// Run every follow-up with `trials` per measurement.
+pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
+    // --- seq−1 confirmation (Strategy 1, China HTTP) ---
+    // The measurement here is "was the request CENSORED", so we count
+    // trials whose trace shows censor injections.
+    let censored_fraction = |cfg: &TrialConfig, salt: u64| {
+        let mut censored = 0;
+        for i in 0..trials {
+            let mut c = cfg.clone();
+            c.seed = base_seed ^ salt ^ (u64::from(i) * 6151);
+            let result = run_trial(&c);
+            if result.trace.middlebox_injected_any() {
+                censored += 1;
+            }
+        }
+        RateEstimate {
+            successes: censored,
+            trials,
+        }
+    };
+    let mut cfg = TrialConfig::new(
+        Country::China,
+        AppProtocol::Http,
+        library::STRATEGY_1.strategy(),
+        0,
+    );
+    cfg.client_seq_adjust = -1;
+    let seq_minus_one_with_strategy = censored_fraction(&cfg, 0x51);
+    let mut cfg_control = cfg.clone();
+    cfg_control.strategy = geneva::Strategy::identity();
+    let seq_minus_one_without_strategy = censored_fraction(&cfg_control, 0x52);
+
+    // --- induced-RST ablation: Strategy 5 (FTP) vs Strategy 6 (HTTP) ---
+    let s5 = TrialConfig::new(
+        Country::China,
+        AppProtocol::Ftp,
+        library::STRATEGY_5.strategy(),
+        0,
+    );
+    let s5_normal = success_rate(&s5, trials, base_seed ^ 0x55);
+    let mut s5_drop = s5.clone();
+    s5_drop.client_drop_own_rst = true;
+    let s5_drop_rst = success_rate(&s5_drop, trials, base_seed ^ 0x56);
+
+    let s6 = TrialConfig::new(
+        Country::China,
+        AppProtocol::Http,
+        library::STRATEGY_6.strategy(),
+        0,
+    );
+    let s6_normal = success_rate(&s6, trials, base_seed ^ 0x66);
+    let mut s6_drop = s6.clone();
+    s6_drop.client_drop_own_rst = true;
+    let s6_drop_rst = success_rate(&s6_drop, trials, base_seed ^ 0x67);
+
+    // --- Strategy 9 load-count controls (Kazakhstan) ---
+    let load_variant = |copies: u32| {
+        let text = match copies {
+            1 => "[TCP:flags:SA]-tamper{TCP:load:corrupt}-| \\/ ".to_string(),
+            2 => "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate,)-| \\/ ".to_string(),
+            3 => library::STRATEGY_9.text.to_string(),
+            4 => "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,duplicate),)-| \\/ "
+                .to_string(),
+            _ => unreachable!(),
+        };
+        parse_strategy(&text).expect("variant parses")
+    };
+    let mut s9_load_counts = Vec::new();
+    for copies in 1..=4 {
+        let cfg = TrialConfig::new(
+            Country::Kazakhstan,
+            AppProtocol::Http,
+            load_variant(copies),
+            0,
+        );
+        s9_load_counts.push((
+            copies,
+            success_rate(&cfg, trials, base_seed ^ (0x900 + u64::from(copies))),
+        ));
+    }
+    // Three copies, only the LAST with a payload.
+    let one_of_three = parse_strategy(
+        "[TCP:flags:SA]-duplicate(duplicate,tamper{TCP:load:corrupt})-| \\/ ",
+    )
+    .expect("parses");
+    let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, one_of_three, 0);
+    let s9_one_of_three_loads = success_rate(&cfg, trials, base_seed ^ 0x90F);
+    // A 1-byte payload on all three.
+    let tiny = parse_strategy(
+        "[TCP:flags:SA]-tamper{TCP:load:replace:x}(duplicate(duplicate,),)-| \\/ ",
+    )
+    .expect("parses");
+    let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, tiny, 0);
+    let s9_one_byte_load = success_rate(&cfg, trials, base_seed ^ 0x91F);
+
+    // --- Strategy 10 well-formedness controls (Kazakhstan) ---
+    let mut s10_variants = Vec::new();
+    for (label, text) in [
+        (
+            "double GET 'GET / HTTP1.' (paper minimum)",
+            library::STRATEGY_10.text.to_string(),
+        ),
+        (
+            "double GET, longer path",
+            "[TCP:flags:SA]-tamper{TCP:load:replace:GET /index.html HTTP1.}(duplicate,)-| \\/ "
+                .to_string(),
+        ),
+        (
+            "double GET, truncated before the dot",
+            "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1}(duplicate,)-| \\/ ".to_string(),
+        ),
+        (
+            "single GET",
+            "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}-| \\/ ".to_string(),
+        ),
+    ] {
+        let strategy = parse_strategy(&text).expect("variant parses");
+        let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, strategy, 0);
+        s10_variants.push((
+            label.to_string(),
+            success_rate(&cfg, trials, base_seed ^ (label.len() as u64)),
+        ));
+    }
+
+    FollowupReport {
+        seq_minus_one_with_strategy,
+        seq_minus_one_without_strategy,
+        s5_drop_rst,
+        s5_normal,
+        s6_drop_rst,
+        s6_normal,
+        s9_load_counts,
+        s9_one_of_three_loads,
+        s9_one_byte_load,
+        s10_variants,
+    }
+}
+
+impl FollowupReport {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("§5 follow-up experiments\n");
+        out.push_str(&format!(
+            "seq−1 instrumented client, Strategy 1 : censored {} (≈ resync-entry probability)\n",
+            self.seq_minus_one_with_strategy
+        ));
+        out.push_str(&format!(
+            "seq−1 instrumented client, no strategy: censored {} (expected 0%)\n",
+            self.seq_minus_one_without_strategy
+        ));
+        out.push_str(&format!(
+            "Strategy 5 (FTP): normal {}, induced RST dropped {} (collapses)\n",
+            self.s5_normal, self.s5_drop_rst
+        ));
+        out.push_str(&format!(
+            "Strategy 6 (HTTP): normal {}, induced RST dropped {} (unchanged)\n",
+            self.s6_normal, self.s6_drop_rst
+        ));
+        out.push_str("Strategy 9 load-count controls (Kazakhstan):\n");
+        for (copies, rate) in &self.s9_load_counts {
+            out.push_str(&format!("  {copies} payload copies: {rate}\n"));
+        }
+        out.push_str(&format!(
+            "  3 copies, payload only on last: {}\n",
+            self.s9_one_of_three_loads
+        ));
+        out.push_str(&format!("  1-byte payloads: {}\n", self.s9_one_byte_load));
+        out.push_str("Strategy 10 controls (Kazakhstan):\n");
+        for (label, rate) in &self.s10_variants {
+            out.push_str(&format!("  {label}: {rate}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn followups_reproduce_paper_shape() {
+        let report = followups(25, 31337);
+        // seq−1: with Strategy 1, censorship ≈ resync probability.
+        assert!(
+            (0.2..=0.85).contains(&report.seq_minus_one_with_strategy.rate()),
+            "{}",
+            report.render()
+        );
+        // Without the strategy: never censored.
+        assert!(
+            report.seq_minus_one_without_strategy.rate() < 0.1,
+            "{}",
+            report.render()
+        );
+        // Dropping the induced RST breaks Strategy 5 but not Strategy 6.
+        assert!(
+            report.s5_drop_rst.rate() + 0.3 < report.s5_normal.rate(),
+            "{}",
+            report.render()
+        );
+        assert!(
+            (report.s6_drop_rst.rate() - report.s6_normal.rate()).abs() < 0.35,
+            "{}",
+            report.render()
+        );
+        // Strategy 9: exactly ≥3 loads work.
+        let by_count: Vec<f64> = report.s9_load_counts.iter().map(|(_, r)| r.rate()).collect();
+        assert!(by_count[0] < 0.1 && by_count[1] < 0.1, "{}", report.render());
+        assert!(by_count[2] > 0.9 && by_count[3] > 0.9, "{}", report.render());
+        assert!(report.s9_one_of_three_loads.rate() < 0.1, "{}", report.render());
+        assert!(report.s9_one_byte_load.rate() > 0.9, "{}", report.render());
+        // Strategy 10: the dot matters; one GET is not enough.
+        assert!(report.s10_variants[0].1.rate() > 0.9);
+        assert!(report.s10_variants[1].1.rate() > 0.9);
+        assert!(report.s10_variants[2].1.rate() < 0.1);
+        assert!(report.s10_variants[3].1.rate() < 0.1);
+    }
+}

@@ -1,0 +1,229 @@
+//! §4.2: residual censorship, end to end.
+//!
+//! "Over HTTP, the GFW has residual censorship: for approximately 90
+//! seconds after a forbidden request is censored, all TCP requests to
+//! the server IP and port elicit tear-down packets …. we do not
+//! observe this behavior … for SMTP, DNS-over-TCP, or FTP; after the
+//! forbidden request on these protocols is censored, the user is free
+//! to make a second follow-up request immediately."
+//!
+//! The probe: a client makes a *forbidden* request; after it is
+//! censored, the host's retry machinery opens a brand-new connection
+//! (new source port) carrying a *benign* request. Under residual
+//! censorship the benign follow-up dies right after its handshake;
+//! without it, the follow-up succeeds.
+
+use crate::trial::TrialConfig;
+use appproto::{http, AppProtocol};
+use censor::Country;
+use endpoint::{ClientApp, Outcome};
+use geneva::Strategy;
+
+/// Two-phase client app: forbidden request first, benign follow-up on
+/// the retry.
+struct ForbiddenThenBenign {
+    inner: http::HttpClientApp,
+    phase: u32,
+}
+
+impl ClientApp for ForbiddenThenBenign {
+    fn request(&mut self, attempt: u32) -> Vec<u8> {
+        self.phase = attempt;
+        if attempt == 0 {
+            http::HttpClientApp::for_keyword_query("ultrasurf").request_bytes()
+        } else {
+            http::HttpClientApp::for_keyword_query("kittens").request_bytes()
+        }
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.inner.on_data(data);
+    }
+    fn satisfied(&self) -> bool {
+        // Only the benign follow-up counts.
+        self.phase >= 1 && self.inner.satisfied()
+    }
+    fn poisoned(&self) -> bool {
+        self.inner.poisoned()
+    }
+    fn max_attempts(&self) -> u32 {
+        2
+    }
+    fn reset_for_retry(&mut self) {
+        self.inner = http::HttpClientApp::for_keyword_query("kittens");
+    }
+}
+
+/// Interactive-protocol variant: forbidden resource first, benign on
+/// retry, generic over the standard client apps.
+struct TwoPhase {
+    forbidden: Box<dyn ClientApp>,
+    benign: Box<dyn ClientApp>,
+    phase: u32,
+}
+
+impl TwoPhase {
+    fn new(proto: AppProtocol) -> TwoPhase {
+        TwoPhase {
+            forbidden: appproto::client_app(proto, proto.default_keyword()),
+            benign: appproto::client_app(proto, benign_keyword(proto)),
+            phase: 0,
+        }
+    }
+    fn active(&mut self) -> &mut Box<dyn ClientApp> {
+        if self.phase == 0 {
+            &mut self.forbidden
+        } else {
+            &mut self.benign
+        }
+    }
+}
+
+fn benign_keyword(proto: AppProtocol) -> &'static str {
+    match proto {
+        AppProtocol::DnsTcp | AppProtocol::Https => "example.org",
+        AppProtocol::Ftp => "readme.txt",
+        AppProtocol::Http => "kittens",
+        AppProtocol::Smtp => "friend@example.org",
+    }
+}
+
+impl ClientApp for TwoPhase {
+    fn request(&mut self, attempt: u32) -> Vec<u8> {
+        self.phase = attempt.min(1);
+        let attempt_for_app = 0; // each phase is its own first attempt
+        self.active().request(attempt_for_app)
+    }
+    fn pending_output(&mut self) -> Option<Vec<u8>> {
+        self.active().pending_output()
+    }
+    fn on_data(&mut self, data: &[u8]) {
+        self.active().on_data(data);
+    }
+    fn satisfied(&self) -> bool {
+        self.phase >= 1
+            && self.benign.satisfied()
+    }
+    fn max_attempts(&self) -> u32 {
+        2
+    }
+    fn reset_for_retry(&mut self) {
+        // Phase switch happens in request(); nothing to clear — the
+        // benign app is fresh.
+    }
+}
+
+/// Per-protocol residual verdicts.
+#[derive(Debug, Clone)]
+pub struct ResidualReport {
+    /// (protocol, outcome of the benign follow-up connection).
+    pub outcomes: Vec<(AppProtocol, Outcome)>,
+}
+
+/// Probe residual censorship for every GFW protocol.
+pub fn residual(seed: u64) -> ResidualReport {
+    let mut outcomes = Vec::new();
+    for proto in AppProtocol::all() {
+        let mut cfg = TrialConfig::new(Country::China, proto, Strategy::identity(), seed);
+        // Deterministic probe: pick a seed whose first attempt is
+        // actually censored (skip baseline-miss seeds).
+        let result = loop {
+            let result = run_residual_trial(&cfg, proto);
+            if result.first_attempt_censored {
+                break result;
+            }
+            cfg.seed += 1;
+        };
+        outcomes.push((proto, result.followup_outcome));
+    }
+    ResidualReport { outcomes }
+}
+
+struct ResidualTrial {
+    first_attempt_censored: bool,
+    followup_outcome: Outcome,
+}
+
+fn run_residual_trial(cfg: &TrialConfig, proto: AppProtocol) -> ResidualTrial {
+    // Swap in the two-phase app by overriding through a custom runner:
+    // we reuse run_trial's machinery by constructing the trial manually.
+    use crate::trial::{CLIENT_ADDR, SERVER_ADDR};
+    use endpoint::{ClientHost, OsProfile, ServerHost};
+    use geneva::{Engine, StrategicEndpoint};
+    use netsim::Simulation;
+
+    let app: Box<dyn ClientApp> = if proto == AppProtocol::Http {
+        Box::new(ForbiddenThenBenign {
+            inner: http::HttpClientApp::for_keyword_query("kittens"),
+            phase: 0,
+        })
+    } else {
+        Box::new(TwoPhase::new(proto))
+    };
+    let port = 20000 + (cfg.seed % 999) as u16;
+    let client_host = ClientHost::new(
+        app,
+        OsProfile::linux(),
+        CLIENT_ADDR,
+        41000 + (cfg.seed % 499) as u16,
+        (SERVER_ADDR, port),
+        cfg.seed ^ 0xC11E_57A7,
+    );
+    let server_host = ServerHost::new(
+        appproto::server_app(proto),
+        SERVER_ADDR,
+        port,
+        cfg.seed ^ 0x5E47_ED00,
+    );
+    let client = StrategicEndpoint::new(client_host, Engine::new(Strategy::identity(), 1));
+    let server = StrategicEndpoint::new(server_host, Engine::new(Strategy::identity(), 2));
+    let censor = Country::China.build(cfg.seed ^ 0xCE50);
+    let mut sim = Simulation::with_path(client, server, censor, cfg.path);
+    sim.run(60_000_000);
+
+    let injected = sim.trace.middlebox_injected_any();
+    ResidualTrial {
+        first_attempt_censored: injected,
+        followup_outcome: sim.client.inner.outcome(),
+    }
+}
+
+impl ResidualReport {
+    /// Does the report match §4.2: HTTP residually censored, the rest
+    /// free to retry immediately?
+    pub fn matches_paper(&self) -> bool {
+        self.outcomes.iter().all(|(proto, outcome)| match proto {
+            AppProtocol::Http => !outcome.is_success(),
+            _ => outcome.is_success(),
+        })
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("§4.2 residual censorship probe (forbidden request, then benign retry)\n");
+        for (proto, outcome) in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<6} benign follow-up: {:?}{}\n",
+                proto.name(),
+                outcome,
+                if *proto == AppProtocol::Http {
+                    "  (residual censorship)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_has_residual_censorship_others_do_not() {
+        let report = residual(17);
+        assert!(report.matches_paper(), "{}", report.render());
+    }
+}

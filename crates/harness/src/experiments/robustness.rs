@@ -1,0 +1,151 @@
+//! Extension experiment: strategy robustness on adverse networks.
+//!
+//! The paper's vantage points sat behind real (sometimes lossy) paths;
+//! §7's carrier anecdote shows path conditions matter. This experiment
+//! wraps the GFW in a [`netsim::FaultInjector`] and sweeps packet-loss
+//! rates, asking two questions:
+//!
+//! 1. does the plumbing itself survive loss (retransmission works)? —
+//!    the no-censor column stays near 100 %;
+//! 2. how gracefully does a one-shot handshake strategy degrade when
+//!    its injected packets can be lost? — Strategy 1 decays smoothly
+//!    toward the baseline rather than cliff-dropping, because a lost
+//!    SYN+ACK is retransmitted and the strategy re-fires.
+
+use crate::rates::RateEstimate;
+use crate::trial::{CLIENT_ADDR, SERVER_ADDR};
+use appproto::AppProtocol;
+use censor::Gfw;
+use endpoint::{ClientHost, OsProfile, ServerHost};
+use geneva::{Engine, StrategicEndpoint, Strategy};
+use netsim::sim::NullMiddlebox;
+use netsim::{FaultInjector, Middlebox, PathConfig, Simulation};
+
+/// One row of the loss sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Packet-loss probability applied in both directions.
+    pub loss: f64,
+    /// Success without any censor (plumbing health).
+    pub no_censor: RateEstimate,
+    /// Strategy-1 success against the GFW (HTTP).
+    pub strategy1: RateEstimate,
+    /// No-evasion success against the GFW (HTTP).
+    pub no_evasion: RateEstimate,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Rows in increasing loss order.
+    pub rows: Vec<RobustnessRow>,
+}
+
+fn run_one(
+    strategy: Strategy,
+    censored: bool,
+    loss: f64,
+    seed: u64,
+) -> bool {
+    let port = 20000 + (seed % 999) as u16;
+    let mut client_host = ClientHost::new(
+        appproto::client_app(AppProtocol::Http, "ultrasurf"),
+        OsProfile::linux(),
+        CLIENT_ADDR,
+        41000 + (seed % 499) as u16,
+        (SERVER_ADDR, port),
+        seed ^ 0xC11E,
+    );
+    // Give lossy runs room to retransmit.
+    client_host.timeout_us = 8_000_000;
+    client_host.syn_retx_us = 600_000;
+    let server_host = ServerHost::new(
+        appproto::server_app(AppProtocol::Http),
+        SERVER_ADDR,
+        port,
+        seed ^ 0x5E47,
+    );
+    let client = StrategicEndpoint::new(client_host, Engine::new(Strategy::identity(), 1));
+    let server = StrategicEndpoint::new(server_host, Engine::new(strategy, seed ^ 0x5EED));
+    let inner: Box<dyn Middlebox> = if censored {
+        Box::new(Gfw::standard(seed ^ 0xCE50))
+    } else {
+        Box::new(NullMiddlebox)
+    };
+    let faulty = FaultInjector::new(inner, loss, 0.0, seed ^ 0xFA17);
+    let mut sim = Simulation::with_path(client, server, faulty, PathConfig::default());
+    sim.run(30_000_000);
+    sim.client.inner.outcome().is_success()
+}
+
+/// Sweep loss ∈ {0, 5, 10, 20 %} with `trials` per cell.
+pub fn robustness(trials: u32, base_seed: u64) -> RobustnessReport {
+    let mut rows = Vec::new();
+    for loss in [0.0, 0.05, 0.10, 0.20] {
+        let mut row = RobustnessRow {
+            loss,
+            no_censor: RateEstimate { successes: 0, trials },
+            strategy1: RateEstimate { successes: 0, trials },
+            no_evasion: RateEstimate { successes: 0, trials },
+        };
+        for i in 0..trials {
+            let seed = base_seed ^ (u64::from(i) * 7919) ^ ((loss * 1000.0) as u64) << 20;
+            if run_one(Strategy::identity(), false, loss, seed) {
+                row.no_censor.successes += 1;
+            }
+            if run_one(geneva::library::STRATEGY_1.strategy(), true, loss, seed ^ 0x51) {
+                row.strategy1.successes += 1;
+            }
+            if run_one(Strategy::identity(), true, loss, seed ^ 0x52) {
+                row.no_evasion.successes += 1;
+            }
+        }
+        rows.push(row);
+    }
+    RobustnessReport { rows }
+}
+
+impl RobustnessReport {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("robustness sweep (HTTP, loss applied both directions)\n");
+        out.push_str(&format!(
+            "{:<8}{:>12}{:>14}{:>14}\n",
+            "loss", "no censor", "strategy 1", "no evasion"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<8}{:>11}%{:>13}%{:>13}%\n",
+                format!("{:.0}%", row.loss * 100.0),
+                row.no_censor.percent(),
+                row.strategy1.percent(),
+                row.no_evasion.percent()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retransmission_carries_exchanges_through_loss() {
+        let report = robustness(20, 0xB0B);
+        let render = report.render();
+        let r0 = &report.rows[0];
+        assert!(r0.no_censor.rate() > 0.95, "{render}");
+        let r10 = report.rows.iter().find(|r| (r.loss - 0.10).abs() < 1e-9).unwrap();
+        assert!(
+            r10.no_censor.rate() > 0.8,
+            "10% loss should be survivable: {render}"
+        );
+        // Strategy 1 still clearly beats no-evasion under loss.
+        assert!(
+            r10.strategy1.rate() > r10.no_evasion.rate() + 0.15,
+            "{render}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! §3: client-side strategies do not generalize to the server side.
+//!
+//! The experiment has two arms:
+//!
+//! 1. **Client-side deployment** (the control): prior work's
+//!    insertion-packet strategies, run at the client against the GFW's
+//!    HTTP box — these *work* (that's why prior work published them).
+//! 2. **Server-side analogs**: the same insertion packets emitted by
+//!    the server before or after its SYN+ACK — the paper's negative
+//!    result is that **none** of them work. In our model this falls
+//!    out mechanistically: a server-side insertion packet arms the
+//!    resync state, but the resync then *lands on a correct-sequence
+//!    client packet* (the ordinary handshake ACK), leaving the censor
+//!    synchronized; only simultaneous open (a *client-behavior*
+//!    change the §5 strategies induce) makes the landing go wrong.
+
+use crate::rates::{success_rate, RateEstimate};
+use crate::trial::TrialConfig;
+use appproto::AppProtocol;
+use censor::Country;
+use geneva::library::{self, AnalogPosition};
+
+/// One §3 measurement.
+#[derive(Debug, Clone)]
+pub struct Section3Entry {
+    /// Strategy/analog name.
+    pub name: String,
+    /// Where it ran.
+    pub deployment: &'static str,
+    /// Measured evasion rate.
+    pub rate: RateEstimate,
+}
+
+/// The full §3 report.
+#[derive(Debug, Clone)]
+pub struct Section3Report {
+    /// Client-side controls (expected: high success).
+    pub client_side: Vec<Section3Entry>,
+    /// Server-side analogs (expected: ~baseline, i.e. failure).
+    pub server_side_analogs: Vec<Section3Entry>,
+    /// The no-evasion baseline for reference.
+    pub baseline: RateEstimate,
+}
+
+/// Run the §3 experiment against the GFW's HTTP censorship.
+pub fn section3(trials: u32, base_seed: u64) -> Section3Report {
+    let baseline_cfg = TrialConfig::new(
+        Country::China,
+        AppProtocol::Http,
+        geneva::Strategy::identity(),
+        0,
+    );
+    let baseline = success_rate(&baseline_cfg, trials, base_seed);
+
+    let mut client_side = Vec::new();
+    for named in library::client_side() {
+        // Segmentation has no server analog and is client-specific;
+        // include it in the client-side control set all the same.
+        let mut cfg = baseline_cfg.clone();
+        cfg.client_strategy = Some(named.strategy());
+        let rate = success_rate(&cfg, trials, base_seed ^ u64::from(named.id));
+        client_side.push(Section3Entry {
+            name: named.name.to_string(),
+            deployment: "client",
+            rate,
+        });
+    }
+
+    let mut server_side_analogs = Vec::new();
+    for (name, position, strategy) in library::server_side_analogs() {
+        let mut cfg = baseline_cfg.clone();
+        cfg.strategy = strategy;
+        let rate = success_rate(
+            &cfg,
+            trials,
+            base_seed ^ (name.len() as u64) ^ ((position == AnalogPosition::AfterSynAck) as u64) << 17,
+        );
+        let position_name = match position {
+            AnalogPosition::BeforeSynAck => "before SYN+ACK",
+            AnalogPosition::AfterSynAck => "after SYN+ACK",
+        };
+        server_side_analogs.push(Section3Entry {
+            name: format!("{name} ({position_name})"),
+            deployment: "server",
+            rate,
+        });
+    }
+
+    Section3Report {
+        client_side,
+        server_side_analogs,
+        baseline,
+    }
+}
+
+impl Section3Report {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("§3: do client-side strategies generalize to the server side?\n");
+        out.push_str(&format!("baseline (no evasion): {}\n\n", self.baseline));
+        out.push_str("client-side deployment (control — these work):\n");
+        for entry in &self.client_side {
+            out.push_str(&format!("  {:<44} {}\n", entry.name, entry.rate));
+        }
+        out.push_str("\nserver-side analogs (the paper's negative result — these fail):\n");
+        for entry in &self.server_side_analogs {
+            out.push_str(&format!("  {:<44} {}\n", entry.name, entry.rate));
+        }
+        out
+    }
+
+    /// The paper's headline: every server-side analog is ~baseline.
+    pub fn analogs_all_fail(&self, tolerance: f64) -> bool {
+        self.server_side_analogs
+            .iter()
+            .all(|e| e.rate.rate() <= self.baseline.rate() + tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_side_works_server_analogs_fail() {
+        let report = section3(40, 4242);
+        // Control: insertion-packet strategies from the client side
+        // defeat the GFW's HTTP box.
+        let teardowns: Vec<_> = report
+            .client_side
+            .iter()
+            .filter(|e| e.name.contains("Teardown"))
+            .collect();
+        assert!(!teardowns.is_empty());
+        for entry in teardowns {
+            assert!(
+                entry.rate.rate() > 0.8,
+                "client-side {} only {}",
+                entry.name,
+                entry.rate
+            );
+        }
+        // The negative result: no analog beats baseline by more than
+        // noise.
+        assert!(
+            report.analogs_all_fail(0.15),
+            "{}",
+            report.render()
+        );
+    }
+}

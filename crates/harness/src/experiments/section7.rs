@@ -1,0 +1,165 @@
+//! §7: client compatibility across 17 operating systems.
+//!
+//! The paper runs every strategy against every client OS on a private
+//! network (no censor): a strategy is *client-compatible* when the
+//! unmodified client still completes the exchange. Three strategies
+//! (5, 9, 10) put payloads on SYN+ACK packets and break Windows and
+//! macOS; re-sending those payloads as corrupted-checksum insertion
+//! packets fixes all three everywhere.
+
+use crate::trial::{run_trial, TrialConfig};
+use appproto::AppProtocol;
+use endpoint::{profile, OsProfile};
+use geneva::library;
+
+/// One (strategy, OS) compatibility verdict.
+#[derive(Debug, Clone)]
+pub struct CompatCell {
+    /// Strategy number.
+    pub strategy_id: u32,
+    /// OS name.
+    pub os: &'static str,
+    /// Did the exchange complete?
+    pub works: bool,
+}
+
+/// The §7 report.
+#[derive(Debug, Clone)]
+pub struct ClientCompatReport {
+    /// Original strategies × OSes.
+    pub cells: Vec<CompatCell>,
+    /// Checksum-fixed variants of 5/9/10 × OSes.
+    pub fixed_cells: Vec<CompatCell>,
+}
+
+/// Run the compatibility matrix (HTTP on a censor-free network).
+pub fn client_compat(seed: u64) -> ClientCompatReport {
+    let mut cells = Vec::new();
+    let mut fixed_cells = Vec::new();
+    for os in profile::all_profiles() {
+        for named in library::server_side() {
+            let works = strategy_works(named.strategy(), *os, seed);
+            cells.push(CompatCell {
+                strategy_id: named.id,
+                os: os.name,
+                works,
+            });
+            if let Some(fixed) = library::client_compat_fix(named.id) {
+                fixed_cells.push(CompatCell {
+                    strategy_id: named.id,
+                    os: os.name,
+                    works: strategy_works(fixed.strategy(), *os, seed ^ 0xF1F),
+                });
+            }
+        }
+    }
+    ClientCompatReport { cells, fixed_cells }
+}
+
+fn strategy_works(strategy: geneva::Strategy, os: OsProfile, seed: u64) -> bool {
+    // A couple of seeds so a single unlucky corrupt-value draw doesn't
+    // misclassify a strategy.
+    (0..3).any(|i| {
+        let cfg = TrialConfig::private_network(AppProtocol::Http, strategy.clone(), os, seed + i);
+        run_trial(&cfg).evaded()
+    })
+}
+
+impl ClientCompatReport {
+    /// Which strategies fail on at least one OS (paper: {5, 9, 10})?
+    pub fn broken_strategies(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .cells
+            .iter()
+            .filter(|c| !c.works)
+            .map(|c| c.strategy_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Do all fixed variants work on every OS?
+    pub fn all_fixed(&self) -> bool {
+        !self.fixed_cells.is_empty() && self.fixed_cells.iter().all(|c| c.works)
+    }
+
+    /// The OSes a strategy fails on.
+    pub fn failing_oses(&self, strategy_id: u32) -> Vec<&'static str> {
+        self.cells
+            .iter()
+            .filter(|c| c.strategy_id == strategy_id && !c.works)
+            .map(|c| c.os)
+            .collect()
+    }
+
+    /// Render the matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("§7 client compatibility (✓ works, ✗ breaks), HTTP, no censor\n");
+        out.push_str(&format!("{:<34}", "OS"));
+        for id in 1..=11 {
+            out.push_str(&format!("{id:>4}"));
+        }
+        out.push('\n');
+        for os in profile::all_profiles() {
+            out.push_str(&format!("{:<34}", os.name));
+            for id in 1..=11 {
+                let works = self
+                    .cells
+                    .iter()
+                    .find(|c| c.strategy_id == id && c.os == os.name)
+                    .map(|c| c.works)
+                    .unwrap_or(false);
+                out.push_str(if works { "   ✓" } else { "   ✗" });
+            }
+            out.push('\n');
+        }
+        out.push_str("\nchecksum-fixed variants of 5/9/10: ");
+        out.push_str(if self.all_fixed() {
+            "work on every OS ✓\n"
+        } else {
+            "STILL FAILING SOMEWHERE ✗\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endpoint::OsFamily;
+
+    #[test]
+    fn exactly_5_9_10_break_and_only_on_windows_macos() {
+        let report = client_compat(2024);
+        assert_eq!(report.broken_strategies(), vec![5, 9, 10], "{}", report.render());
+        for id in [5, 9, 10] {
+            let failing = report.failing_oses(id);
+            assert!(!failing.is_empty());
+            for os_name in failing {
+                let os = profile::all_profiles()
+                    .iter()
+                    .find(|p| p.name == os_name)
+                    .unwrap();
+                assert!(
+                    matches!(os.family, OsFamily::Windows | OsFamily::MacOs),
+                    "strategy {id} failed on {os_name}"
+                );
+            }
+            // And it fails on ALL Windows/macOS versions.
+            let failing = report.failing_oses(id);
+            let win_mac_count = profile::all_profiles()
+                .iter()
+                .filter(|p| matches!(p.family, OsFamily::Windows | OsFamily::MacOs))
+                .count();
+            assert_eq!(failing.len(), win_mac_count, "strategy {id}");
+        }
+    }
+
+    #[test]
+    fn checksum_fix_restores_universal_compatibility() {
+        let report = client_compat(2024);
+        assert!(report.all_fixed(), "{}", report.render());
+    }
+}

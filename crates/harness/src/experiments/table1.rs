@@ -1,0 +1,74 @@
+//! Table 1: client locations and protocols used in the experiments.
+//!
+//! Static configuration, reproduced verbatim so every table of the
+//! paper has a regenerator.
+
+use appproto::AppProtocol;
+use censor::Country;
+
+/// Vantage points per country (paper Table 1).
+pub fn vantage_points(country: Country) -> &'static [&'static str] {
+    match country {
+        Country::China => &["Beijing", "Shanghai", "Shenzen", "Zhengzhou"],
+        Country::India => &["Bangalore"],
+        Country::Iran => &["Tehran", "Zanjan"],
+        Country::Kazakhstan => &["Qaraghandy", "Almaty"],
+    }
+}
+
+/// Render Table 1.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Client locations and protocols used in our experiments.\n");
+    out.push_str(&format!(
+        "{:<12} {:<34} {}\n",
+        "Country", "Vantage Points", "Protocols"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(78)));
+    for country in Country::all() {
+        let protocols: Vec<&str> = country
+            .censored_protocols()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:<34} {}\n",
+            country.name(),
+            vantage_points(country).join(", "),
+            protocols.join(", ")
+        ));
+    }
+    out
+}
+
+/// Protocols exercised in our experiments, per country — a typed view
+/// the other experiments iterate over.
+pub fn protocol_matrix() -> Vec<(Country, Vec<AppProtocol>)> {
+    Country::all()
+        .iter()
+        .map(|c| (*c, c.censored_protocols().to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_countries_and_protocols() {
+        let t = table1();
+        for country in Country::all() {
+            assert!(t.contains(country.name()), "{t}");
+        }
+        assert!(t.contains("DNS, FTP, HTTP, HTTPS, SMTP"));
+        assert!(t.contains("Bangalore"));
+    }
+
+    #[test]
+    fn matrix_matches_paper() {
+        let m = protocol_matrix();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0].1.len(), 5, "China censors all five");
+        assert_eq!(m[1].1, vec![AppProtocol::Http], "India: HTTP only");
+    }
+}

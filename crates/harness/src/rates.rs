@@ -1,0 +1,97 @@
+//! Seeded success-rate estimation.
+
+use crate::trial::{run_trial, TrialConfig};
+
+/// A success-rate estimate over `trials` seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// Successful evasions.
+    pub successes: u32,
+    /// Total trials.
+    pub trials: u32,
+}
+
+impl RateEstimate {
+    /// Fraction in [0, 1].
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        f64::from(self.successes) / f64::from(self.trials)
+    }
+
+    /// Rendered as the paper's integer percentages.
+    pub fn percent(&self) -> u32 {
+        (self.rate() * 100.0).round() as u32
+    }
+
+    /// A ~95 % normal-approximation half-width, for sanity bands.
+    pub fn margin(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        let p = self.rate();
+        1.96 * (p * (1.0 - p) / f64::from(self.trials)).sqrt()
+    }
+}
+
+impl std::fmt::Display for RateEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}%", self.percent())
+    }
+}
+
+/// Run `trials` trials of `cfg` with seeds `base_seed..base_seed+trials`.
+pub fn success_rate(cfg: &TrialConfig, trials: u32, base_seed: u64) -> RateEstimate {
+    let mut successes = 0;
+    for i in 0..trials {
+        let mut c = cfg.clone();
+        c.seed = base_seed + u64::from(i) * 7919;
+        if run_trial(&c).evaded() {
+            successes += 1;
+        }
+    }
+    RateEstimate { successes, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appproto::AppProtocol;
+    use censor::Country;
+    use geneva::{library, Strategy};
+
+    #[test]
+    fn estimate_arithmetic() {
+        let e = RateEstimate {
+            successes: 54,
+            trials: 100,
+        };
+        assert_eq!(e.percent(), 54);
+        assert!((e.rate() - 0.54).abs() < 1e-9);
+        assert!(e.margin() > 0.0 && e.margin() < 0.2);
+        assert_eq!(e.to_string(), "54%");
+    }
+
+    #[test]
+    fn no_evasion_china_http_is_near_zero() {
+        let cfg = TrialConfig::new(Country::China, AppProtocol::Http, Strategy::identity(), 0);
+        let e = success_rate(&cfg, 60, 100);
+        assert!(e.rate() < 0.15, "no-evasion rate {e}");
+    }
+
+    #[test]
+    fn strategy_1_china_http_is_near_half() {
+        let cfg = TrialConfig::new(
+            Country::China,
+            AppProtocol::Http,
+            library::STRATEGY_1.strategy(),
+            0,
+        );
+        let e = success_rate(&cfg, 80, 100);
+        assert!(
+            (0.35..=0.75).contains(&e.rate()),
+            "strategy 1 rate {e} out of band"
+        );
+    }
+}

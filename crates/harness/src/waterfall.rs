@@ -1,0 +1,132 @@
+//! Figure-1/2-style packet waterfalls rendered from traces.
+//!
+//! The paper's waterfall diagrams show, per strategy, what actually
+//! crosses the wire between the unmodified client and the strategic
+//! server. We render the same picture in text from a [`netsim::Trace`]:
+//! client transmissions on the left, server transmissions on the
+//! right, censor injections flagged in the middle.
+
+use netsim::{Side, Trace, TraceEvent};
+use packet::Packet;
+
+const WIDTH: usize = 66;
+
+/// Annotate a packet the way the paper's figures do.
+fn label(pkt: &Packet) -> String {
+    let Some(tcp) = pkt.tcp_header() else {
+        return "UDP".to_string();
+    };
+    let mut s = tcp.flags.to_string();
+    if !pkt.payload.is_empty() {
+        if looks_like_get(&pkt.payload) {
+            s.push_str(" (GET load)");
+        } else {
+            s.push_str(&format!(" (w/ load {}B)", pkt.payload.len()));
+        }
+    }
+    if tcp.flags.is_syn_ack() && tcp.ack == 0xBAD0_0000 {
+        s.push_str(" (bad ackno)");
+    }
+    if !pkt.checksums_ok() {
+        s.push_str(" (bad chksum)");
+    }
+    if pkt.ip.ttl < 32 {
+        s.push_str(&format!(" (ttl {})", pkt.ip.ttl));
+    }
+    s
+}
+
+fn looks_like_get(payload: &[u8]) -> bool {
+    payload.starts_with(b"GET ")
+}
+
+/// Render a trace as a two-column waterfall.
+pub fn render_waterfall(title: &str, trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:<10}{:<28}{:>28}\n", "t(ms)", "Client", "Server"));
+    out.push_str(&format!("{}\n", "-".repeat(WIDTH)));
+    for event in &trace.events {
+        match event {
+            TraceEvent::Sent { t, side, pkt } => {
+                let time = format!("{:<10.3}", *t as f64 / 1000.0);
+                let text = label(pkt);
+                match side {
+                    Side::Client => {
+                        out.push_str(&format!("{time}{:<28}{:>28}\n", format!("{text} ──▶"), ""))
+                    }
+                    Side::Server => {
+                        out.push_str(&format!("{time}{:<28}{:>28}\n", "", format!("◀── {text}")))
+                    }
+                }
+            }
+            TraceEvent::Injected { t, toward, pkt } => {
+                let time = format!("{:<10.3}", *t as f64 / 1000.0);
+                let arrow = match toward {
+                    Side::Client => "censor ✗──▶ client",
+                    Side::Server => "censor ✗──▶ server",
+                };
+                out.push_str(&format!("{time}    [{arrow}: {}]\n", label(pkt)));
+            }
+            TraceEvent::DroppedByMiddlebox { t, pkt, .. } => {
+                let time = format!("{:<10.3}", *t as f64 / 1000.0);
+                out.push_str(&format!("{time}    [censor swallowed: {}]\n", label(pkt)));
+            }
+            TraceEvent::TtlExpired { t, pkt, .. } => {
+                let time = format!("{:<10.3}", *t as f64 / 1000.0);
+                out.push_str(&format!("{time}    [ttl expired in transit: {}]\n", label(pkt)));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Trace;
+    use packet::TcpFlags;
+
+    fn pkt(flags: TcpFlags, payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp([1; 4], 1, [2; 4], 2, flags, 10, 20, payload.to_vec());
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn renders_both_directions_and_injections() {
+        let mut trace = Trace::default();
+        trace.push(TraceEvent::Sent {
+            t: 0,
+            side: Side::Client,
+            pkt: pkt(TcpFlags::SYN, b""),
+        });
+        trace.push(TraceEvent::Sent {
+            t: 50_000,
+            side: Side::Server,
+            pkt: pkt(TcpFlags::SYN_ACK, b"\xAA\xBB"),
+        });
+        trace.push(TraceEvent::Injected {
+            t: 60_000,
+            toward: Side::Client,
+            pkt: pkt(TcpFlags::RST, b""),
+        });
+        let text = render_waterfall("Strategy X", &trace);
+        assert!(text.contains("SYN ──▶"), "{text}");
+        assert!(text.contains("◀── SYN/ACK (w/ load 2B)"), "{text}");
+        assert!(text.contains("censor ✗──▶ client: RST"), "{text}");
+    }
+
+    #[test]
+    fn annotations_cover_checksum_and_ttl() {
+        let mut bad = pkt(TcpFlags::RST, b"");
+        bad.tcp_header_mut().unwrap().checksum ^= 0xFFFF;
+        assert!(label(&bad).contains("bad chksum"));
+        let mut low = pkt(TcpFlags::RST, b"");
+        low.ip.ttl = 9;
+        low.finalize();
+        assert!(label(&low).contains("ttl 9"));
+        assert!(label(&pkt(TcpFlags::PSH_ACK, b"GET / HTTP1.")).contains("GET load"));
+    }
+}

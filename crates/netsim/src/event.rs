@@ -1,0 +1,140 @@
+//! The event queue: a time-ordered, FIFO-tiebroken priority queue.
+//!
+//! Determinism demands that two events scheduled for the same instant
+//! are processed in the order they were scheduled, so each entry carries
+//! a monotonically increasing sequence number as a tiebreaker.
+
+use crate::{Direction, Side};
+use packet::Packet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Something that will happen at a simulated instant.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet arrives at the middlebox, traveling in `dir`.
+    AtMiddlebox {
+        /// The packet as it appears at the middlebox (TTL already
+        /// decremented for the hops traveled).
+        pkt: Packet,
+        /// Travel direction.
+        dir: Direction,
+    },
+    /// A packet arrives at an endpoint.
+    AtEndpoint {
+        /// The receiving side.
+        side: Side,
+        /// The packet as delivered.
+        pkt: Packet,
+    },
+    /// A timer an endpoint asked for fires.
+    Wake {
+        /// Which endpoint to wake.
+        side: Side,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Time-ordered event queue with FIFO tiebreak.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at` (microseconds).
+    pub fn schedule(&mut self, at: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pop the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(side: Side) -> Event {
+        Event::Wake { side }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, wake(Side::Client));
+        q.schedule(10, wake(Side::Server));
+        q.schedule(20, wake(Side::Client));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, wake(Side::Client));
+        q.schedule(5, wake(Side::Server));
+        q.schedule(5, wake(Side::Client));
+        let sides: Vec<Side> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Wake { side } => side,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(sides, vec![Side::Client, Side::Server, Side::Client]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, wake(Side::Client));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Fault injection: adverse-network wrappers for any middlebox.
+//!
+//! Modeled after smoltcp's example fault injectors: a [`FaultInjector`]
+//! wraps an inner [`Middlebox`] (a censor, or [`crate::sim::NullMiddlebox`])
+//! and randomly drops or corrupts packets *before* the inner box sees
+//! them — standing in for the lossy last-mile links the paper's
+//! real-world vantage points sat behind. Corruption flips one byte and
+//! deliberately does **not** repair checksums: endpoints drop the
+//! mangled packet and recover by retransmission, exactly like real
+//! stacks.
+
+use crate::sim::{Middlebox, Verdict};
+use crate::Direction;
+use packet::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A lossy/corrupting wrapper around another middlebox.
+pub struct FaultInjector<M> {
+    /// The wrapped middlebox.
+    pub inner: M,
+    /// Probability a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability one byte of the payload/headers is flipped.
+    pub corrupt_chance: f64,
+    rng: StdRng,
+    /// Dropped-packet count (diagnostics).
+    pub dropped: u64,
+    /// Corrupted-packet count (diagnostics).
+    pub corrupted: u64,
+}
+
+impl<M> FaultInjector<M> {
+    /// Wrap `inner` with the given fault probabilities.
+    pub fn new(inner: M, drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        FaultInjector {
+            inner,
+            drop_chance,
+            corrupt_chance,
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+}
+
+impl<M: Middlebox> Middlebox for FaultInjector<M> {
+    fn process(&mut self, pkt: &Packet, dir: Direction, now: u64) -> Verdict {
+        if self.rng.gen::<f64>() < self.drop_chance {
+            self.dropped += 1;
+            return Verdict::drop();
+        }
+        if self.rng.gen::<f64>() < self.corrupt_chance {
+            self.corrupted += 1;
+            let mut mangled = pkt.clone();
+            // Flip one bit somewhere an endpoint checksum will notice:
+            // the TCP checksum covers header + payload, so any of these
+            // fields works; payload is the common case.
+            if mangled.payload.is_empty() {
+                if let Some(tcp) = mangled.tcp_header_mut() {
+                    tcp.seq ^= 1 << self.rng.gen_range(0..16);
+                }
+            } else {
+                let at = self.rng.gen_range(0..mangled.payload.len());
+                mangled.payload[at] ^= 1 << self.rng.gen_range(0..8);
+            }
+            // NOT finalized: the stored checksum no longer matches.
+            return self.inner.process(&mangled, dir, now);
+        }
+        self.inner.process(pkt, dir, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NullMiddlebox;
+    use packet::TcpFlags;
+
+    fn pkt() -> Packet {
+        let mut p = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::PSH_ACK, 10, 20, b"hello".to_vec());
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let mut injector = FaultInjector::new(NullMiddlebox, 0.0, 0.0, 7);
+        for _ in 0..100 {
+            let v = injector.process(&pkt(), Direction::ToServer, 0);
+            assert_eq!(v.forward, Some(pkt()));
+        }
+        assert_eq!(injector.dropped + injector.corrupted, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let mut injector = FaultInjector::new(NullMiddlebox, 0.3, 0.0, 7);
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if injector
+                .process(&pkt(), Direction::ToServer, 0)
+                .forward
+                .is_none()
+            {
+                dropped += 1;
+            }
+        }
+        assert!((200..400).contains(&dropped), "{dropped}");
+        assert_eq!(injector.dropped, dropped);
+    }
+
+    #[test]
+    fn corruption_breaks_checksums() {
+        let mut injector = FaultInjector::new(NullMiddlebox, 0.0, 1.0, 7);
+        for _ in 0..50 {
+            let v = injector.process(&pkt(), Direction::ToServer, 0);
+            let forwarded = v.forward.expect("corrupt ≠ drop");
+            assert!(!forwarded.checksums_ok(), "corruption must be detectable");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut injector = FaultInjector::new(NullMiddlebox, 0.5, 0.0, seed);
+            (0..64)
+                .map(|_| injector.process(&pkt(), Direction::ToServer, 0).forward.is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,198 @@
+//! Packet trace capture.
+//!
+//! Every packet movement in a simulation is recorded here. The harness
+//! renders Figure-1/Figure-2-style waterfalls from these traces, the
+//! tests assert on them, and follow-up experiments (e.g. "did the
+//! censor inject a RST?") read them directly.
+
+use crate::{Direction, Side};
+use packet::Packet;
+
+/// Where in the path a trace event happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePoint {
+    /// At the client or server host.
+    Endpoint(Side),
+    /// At the middlebox.
+    Middlebox,
+    /// Somewhere along a link (TTL deaths).
+    Wire,
+}
+
+/// One observed packet movement.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// An endpoint emitted a packet.
+    Sent {
+        /// Simulated microseconds.
+        t: u64,
+        /// Originating side.
+        side: Side,
+        /// The packet as sent.
+        pkt: Packet,
+    },
+    /// A packet was handed to an endpoint's stack.
+    Delivered {
+        /// Simulated microseconds.
+        t: u64,
+        /// Receiving side.
+        side: Side,
+        /// The packet as delivered.
+        pkt: Packet,
+    },
+    /// The middlebox saw the packet and let it continue.
+    Forwarded {
+        /// Simulated microseconds.
+        t: u64,
+        /// Travel direction.
+        dir: Direction,
+        /// The packet as seen by the middlebox.
+        pkt: Packet,
+    },
+    /// The middlebox swallowed the packet (in-path drop / blackhole).
+    DroppedByMiddlebox {
+        /// Simulated microseconds.
+        t: u64,
+        /// Travel direction.
+        dir: Direction,
+        /// The dropped packet.
+        pkt: Packet,
+    },
+    /// The middlebox fabricated a packet toward one side.
+    Injected {
+        /// Simulated microseconds.
+        t: u64,
+        /// Which endpoint the injection is aimed at.
+        toward: Side,
+        /// The injected packet.
+        pkt: Packet,
+    },
+    /// A packet's TTL reached zero before its destination.
+    TtlExpired {
+        /// Simulated microseconds.
+        t: u64,
+        /// Travel direction.
+        dir: Direction,
+        /// Whether it died before or after the middlebox.
+        reached_middlebox: bool,
+        /// The dying packet.
+        pkt: Packet,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn time(&self) -> u64 {
+        match self {
+            TraceEvent::Sent { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::Forwarded { t, .. }
+            | TraceEvent::DroppedByMiddlebox { t, .. }
+            | TraceEvent::Injected { t, .. }
+            | TraceEvent::TtlExpired { t, .. } => *t,
+        }
+    }
+
+    /// The packet involved.
+    pub fn packet(&self) -> &Packet {
+        match self {
+            TraceEvent::Sent { pkt, .. }
+            | TraceEvent::Delivered { pkt, .. }
+            | TraceEvent::Forwarded { pkt, .. }
+            | TraceEvent::DroppedByMiddlebox { pkt, .. }
+            | TraceEvent::Injected { pkt, .. }
+            | TraceEvent::TtlExpired { pkt, .. } => pkt,
+        }
+    }
+}
+
+/// A full simulation trace.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Events in chronological (processing) order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Record an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All packets delivered to `side`, in order.
+    pub fn delivered_to(&self, side: Side) -> Vec<&Packet> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Delivered { side: s, pkt, .. } if *s == side => Some(pkt),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All packets the middlebox injected toward `side`.
+    pub fn injected_toward(&self, side: Side) -> Vec<&Packet> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Injected { toward, pkt, .. } if *toward == side => Some(pkt),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Did the middlebox drop anything?
+    pub fn middlebox_dropped_any(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DroppedByMiddlebox { .. }))
+    }
+
+    /// Did the middlebox inject anything at all?
+    pub fn middlebox_injected_any(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Injected { .. }))
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::TcpFlags;
+
+    fn pkt() -> Packet {
+        Packet::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, TcpFlags::SYN, 0, 0, vec![])
+    }
+
+    #[test]
+    fn accessors_filter_correctly() {
+        let mut trace = Trace::default();
+        trace.push(TraceEvent::Sent {
+            t: 0,
+            side: Side::Client,
+            pkt: pkt(),
+        });
+        trace.push(TraceEvent::Delivered {
+            t: 5,
+            side: Side::Server,
+            pkt: pkt(),
+        });
+        trace.push(TraceEvent::Injected {
+            t: 6,
+            toward: Side::Client,
+            pkt: pkt(),
+        });
+        assert_eq!(trace.delivered_to(Side::Server).len(), 1);
+        assert_eq!(trace.delivered_to(Side::Client).len(), 0);
+        assert_eq!(trace.injected_toward(Side::Client).len(), 1);
+        assert!(trace.middlebox_injected_any());
+        assert!(!trace.middlebox_dropped_any());
+        assert_eq!(trace.count(|e| e.time() > 0), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Application-layer tamper fields: `DNS:*` and `FTP:*`.
+//!
+//! The paper's appendix: "In its original implementation, Geneva's
+//! `tamper` supported modifications of IPv4 and TCP; we explain in §4
+//! how we extend this to also support … UDP, DNS, and FTP." This
+//! module supplies the DNS and FTP field accessors. (IPv6 is a
+//! documented non-goal: §4.2 runs every experiment over IPv4.)
+//!
+//! The codecs here are deliberately minimal — just enough structure to
+//! locate and rewrite the tamperable fields — and intentionally
+//! self-contained so the `packet` crate stays dependency-free (the
+//! full-fidelity DNS/FTP implementations live in the `appproto`
+//! crate).
+//!
+//! Supported fields:
+//!
+//! * `DNS:id` — the transaction id (16-bit);
+//! * `DNS:qname` — the question name; setting it re-encodes the
+//!   question section (and fixes the TCP length prefix when the
+//!   message is TCP-framed);
+//! * `FTP:command` — the first complete CRLF-terminated line of the
+//!   payload.
+
+use crate::packet::{Packet, Transport};
+
+/// Where the DNS message sits inside the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DnsFraming {
+    /// UDP: the payload is the message.
+    Raw,
+    /// TCP: two length-prefix bytes, then the message.
+    TcpFramed,
+}
+
+fn dns_framing(packet: &Packet) -> Option<(DnsFraming, usize)> {
+    match packet.transport {
+        Transport::Udp(_) => {
+            if packet.payload.len() >= 12 {
+                Some((DnsFraming::Raw, 0))
+            } else {
+                None
+            }
+        }
+        Transport::Tcp(_) => {
+            if packet.payload.len() >= 14 {
+                let framed =
+                    u16::from_be_bytes([packet.payload[0], packet.payload[1]]) as usize;
+                if packet.payload.len() >= 2 + framed.min(12) {
+                    return Some((DnsFraming::TcpFramed, 2));
+                }
+                None
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Decode the QNAME labels at `msg[12..]`; returns (name, label bytes
+/// consumed including the root byte).
+fn decode_qname(msg: &[u8]) -> Option<(String, usize)> {
+    let mut at = 12;
+    let mut name = String::new();
+    loop {
+        let len = usize::from(*msg.get(at)?);
+        at += 1;
+        if len == 0 {
+            break;
+        }
+        if len > 63 {
+            return None;
+        }
+        let label = msg.get(at..at + len)?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(std::str::from_utf8(label).ok()?);
+        at += len;
+    }
+    Some((name, at - 12))
+}
+
+fn encode_qname(name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.len() + 2);
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        out.push(label.len().min(63) as u8);
+        out.extend_from_slice(&label.as_bytes()[..label.len().min(63)]);
+    }
+    out.push(0);
+    out
+}
+
+/// Read `DNS:id`.
+pub fn dns_id(packet: &Packet) -> Option<u16> {
+    let (_, off) = dns_framing(packet)?;
+    let msg = packet.payload.get(off..)?;
+    Some(u16::from_be_bytes([*msg.first()?, *msg.get(1)?]))
+}
+
+/// Write `DNS:id`.
+pub fn set_dns_id(packet: &mut Packet, id: u16) -> bool {
+    let Some((_, off)) = dns_framing(packet) else {
+        return false;
+    };
+    if packet.payload.len() < off + 2 {
+        return false;
+    }
+    packet.payload[off..off + 2].copy_from_slice(&id.to_be_bytes());
+    true
+}
+
+/// Read `DNS:qname`.
+pub fn dns_qname(packet: &Packet) -> Option<String> {
+    let (_, off) = dns_framing(packet)?;
+    decode_qname(&packet.payload[off..]).map(|(name, _)| name)
+}
+
+/// Write `DNS:qname`, re-encoding the question and (for TCP framing)
+/// the length prefix.
+pub fn set_dns_qname(packet: &mut Packet, name: &str) -> bool {
+    let Some((framing, off)) = dns_framing(packet) else {
+        return false;
+    };
+    let msg = &packet.payload[off..];
+    let Some((_, old_len)) = decode_qname(msg) else {
+        return false;
+    };
+    let mut rebuilt = Vec::with_capacity(packet.payload.len());
+    rebuilt.extend_from_slice(&msg[..12]);
+    rebuilt.extend_from_slice(&encode_qname(name));
+    rebuilt.extend_from_slice(&msg[12 + old_len..]);
+    packet.payload = match framing {
+        DnsFraming::Raw => rebuilt,
+        DnsFraming::TcpFramed => {
+            let mut framed = Vec::with_capacity(rebuilt.len() + 2);
+            framed.extend_from_slice(&(rebuilt.len() as u16).to_be_bytes());
+            framed.extend_from_slice(&rebuilt);
+            framed
+        }
+    };
+    true
+}
+
+/// Read `FTP:command` — the first complete CRLF-terminated line.
+pub fn ftp_command(packet: &Packet) -> Option<String> {
+    let text = std::str::from_utf8(&packet.payload).ok()?;
+    let end = text.find("\r\n")?;
+    Some(text[..end].to_string())
+}
+
+/// Write `FTP:command`, replacing the first line (appends CRLF if the
+/// payload had none).
+pub fn set_ftp_command(packet: &mut Packet, command: &str) -> bool {
+    let text = String::from_utf8_lossy(&packet.payload).into_owned();
+    let rest = match text.find("\r\n") {
+        Some(end) => text[end..].to_string(),
+        None => "\r\n".to_string(),
+    };
+    packet.payload = format!("{command}{rest}").into_bytes();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::TcpFlags;
+
+    /// A raw DNS query message for `name` (id 0x1234, one A question).
+    fn dns_query(name: &str) -> Vec<u8> {
+        let mut msg = vec![0x12, 0x34, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0];
+        msg.extend_from_slice(&encode_qname(name));
+        msg.extend_from_slice(&[0, 1, 0, 1]);
+        msg
+    }
+
+    fn udp_query(name: &str) -> Packet {
+        let mut p = Packet::udp([1; 4], 40000, [8, 8, 8, 8], 53, dns_query(name));
+        p.finalize();
+        p
+    }
+
+    fn tcp_query(name: &str) -> Packet {
+        let msg = dns_query(name);
+        let mut framed = (msg.len() as u16).to_be_bytes().to_vec();
+        framed.extend_from_slice(&msg);
+        let mut p = Packet::tcp([1; 4], 40000, [8, 8, 8, 8], 53, TcpFlags::PSH_ACK, 1, 2, framed);
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn dns_fields_over_udp() {
+        let mut p = udp_query("www.wikipedia.org");
+        assert_eq!(dns_id(&p), Some(0x1234));
+        assert_eq!(dns_qname(&p).as_deref(), Some("www.wikipedia.org"));
+        assert!(set_dns_id(&mut p, 0xBEEF));
+        assert_eq!(dns_id(&p), Some(0xBEEF));
+        assert!(set_dns_qname(&mut p, "example.org"));
+        assert_eq!(dns_qname(&p).as_deref(), Some("example.org"));
+        // Question tail (QTYPE/QCLASS) preserved.
+        assert!(p.payload.ends_with(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn dns_fields_over_tcp_fix_the_length_prefix() {
+        let mut p = tcp_query("www.wikipedia.org");
+        assert_eq!(dns_qname(&p).as_deref(), Some("www.wikipedia.org"));
+        assert!(set_dns_qname(&mut p, "a.b"));
+        assert_eq!(dns_qname(&p).as_deref(), Some("a.b"));
+        let framed = u16::from_be_bytes([p.payload[0], p.payload[1]]) as usize;
+        assert_eq!(framed, p.payload.len() - 2, "length prefix refreshed");
+    }
+
+    #[test]
+    fn non_dns_payloads_are_rejected() {
+        let mut p = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::PSH_ACK, 1, 2, b"short".to_vec());
+        assert_eq!(dns_qname(&p), None);
+        assert!(!set_dns_qname(&mut p, "x"));
+        assert_eq!(p.payload, b"short");
+    }
+
+    #[test]
+    fn ftp_command_round_trip() {
+        let mut p = Packet::tcp(
+            [1; 4], 40000, [2; 4], 21, TcpFlags::PSH_ACK, 1, 2,
+            b"RETR ultrasurf\r\nQUIT\r\n".to_vec(),
+        );
+        assert_eq!(ftp_command(&p).as_deref(), Some("RETR ultrasurf"));
+        assert!(set_ftp_command(&mut p, "RETR readme.txt"));
+        assert_eq!(p.payload, b"RETR readme.txt\r\nQUIT\r\n");
+        assert_eq!(ftp_command(&p).as_deref(), Some("RETR readme.txt"));
+    }
+
+    #[test]
+    fn ftp_command_on_lineless_payload_appends_crlf() {
+        let mut p = Packet::tcp([1; 4], 1, [2; 4], 21, TcpFlags::PSH_ACK, 1, 2, b"RETR ult".to_vec());
+        assert_eq!(ftp_command(&p), None, "no complete line yet");
+        assert!(set_ftp_command(&mut p, "NOOP"));
+        assert_eq!(p.payload, b"NOOP\r\n");
+    }
+}

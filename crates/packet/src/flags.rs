@@ -1,0 +1,206 @@
+//! TCP flag bitfield with Geneva-compatible string forms.
+//!
+//! Geneva names flag sets with single letters concatenated in a canonical
+//! order (`"SA"` for SYN+ACK, `"R"` for RST, `""` for no flags). Both the
+//! DSL parser and the censor models compare flags constantly, so this type
+//! is `Copy` and all operations are branch-light.
+
+/// The nine TCP flag bits (including ECN's NS bit, carried in the
+/// reserved area of the offset byte; Geneva does not manipulate NS but we
+/// keep the low eight classic bits addressable).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: the acknowledgment number is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: the urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+    /// ECE: ECN echo.
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CWR: congestion window reduced.
+    pub const CWR: TcpFlags = TcpFlags(0x80);
+
+    /// No flags set — Geneva's `tamper{TCP:flags:replace:}` ("Null
+    /// Flags", paper Strategy 11).
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// SYN+ACK, the packet every server-side strategy triggers on.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    /// PSH+ACK, the shape of a data-bearing request packet.
+    pub const PSH_ACK: TcpFlags = TcpFlags(0x18);
+    /// FIN+PSH+ACK, the shape of Airtel's and Kazakhstan's block-page
+    /// injection packets.
+    pub const FIN_PSH_ACK: TcpFlags = TcpFlags(0x19);
+    /// RST+ACK, a common censor tear-down shape.
+    pub const RST_ACK: TcpFlags = TcpFlags(0x14);
+
+    /// True if every bit of `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any bit of `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is this a bare SYN (SYN set, ACK clear)?
+    pub fn is_syn(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+
+    /// Is this a SYN+ACK?
+    pub fn is_syn_ack(self) -> bool {
+        self.contains(TcpFlags::SYN) && self.contains(TcpFlags::ACK)
+    }
+
+    /// Parse Geneva's letter string (`"SA"`, `"R"`, `""`, …).
+    ///
+    /// Letters may appear in any order; unknown letters yield `None`.
+    /// `N` maps to ECE and `C` to CWR following Geneva's conventions
+    /// (Geneva uses scapy letters: F S R P A U E C).
+    pub fn from_geneva(s: &str) -> Option<TcpFlags> {
+        let mut flags = TcpFlags::NONE;
+        for ch in s.chars() {
+            flags = flags
+                | match ch {
+                    'F' => TcpFlags::FIN,
+                    'S' => TcpFlags::SYN,
+                    'R' => TcpFlags::RST,
+                    'P' => TcpFlags::PSH,
+                    'A' => TcpFlags::ACK,
+                    'U' => TcpFlags::URG,
+                    'E' => TcpFlags::ECE,
+                    'C' => TcpFlags::CWR,
+                    _ => return None,
+                };
+        }
+        Some(flags)
+    }
+
+    /// Render in Geneva letter form, canonical order `FSRPAUEC`.
+    pub fn to_geneva(self) -> String {
+        let mut s = String::new();
+        for (bit, ch) in [
+            (TcpFlags::FIN, 'F'),
+            (TcpFlags::SYN, 'S'),
+            (TcpFlags::RST, 'R'),
+            (TcpFlags::PSH, 'P'),
+            (TcpFlags::ACK, 'A'),
+            (TcpFlags::URG, 'U'),
+            (TcpFlags::ECE, 'E'),
+            (TcpFlags::CWR, 'C'),
+        ] {
+            if self.contains(bit) {
+                s.push(ch);
+            }
+        }
+        s
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitAnd for TcpFlags {
+    type Output = TcpFlags;
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl std::fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == 0 {
+            return write!(f, "TcpFlags(∅)");
+        }
+        write!(f, "TcpFlags({})", self.to_geneva())
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (bit, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+            (TcpFlags::ECE, "ECE"),
+            (TcpFlags::CWR, "CWR"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "/")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(no flags)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geneva_round_trip_all_combinations() {
+        for bits in 0u16..=0xFF {
+            let flags = TcpFlags(bits as u8);
+            let s = flags.to_geneva();
+            assert_eq!(TcpFlags::from_geneva(&s), Some(flags), "bits {bits:#04x}");
+        }
+    }
+
+    #[test]
+    fn parse_out_of_order_letters() {
+        assert_eq!(TcpFlags::from_geneva("AS"), Some(TcpFlags::SYN_ACK));
+        assert_eq!(TcpFlags::from_geneva("SA"), Some(TcpFlags::SYN_ACK));
+    }
+
+    #[test]
+    fn empty_string_is_null_flags() {
+        assert_eq!(TcpFlags::from_geneva(""), Some(TcpFlags::NONE));
+        assert_eq!(TcpFlags::NONE.to_geneva(), "");
+    }
+
+    #[test]
+    fn unknown_letter_rejected() {
+        assert_eq!(TcpFlags::from_geneva("SAX"), None);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(TcpFlags::SYN.is_syn());
+        assert!(!TcpFlags::SYN_ACK.is_syn());
+        assert!(TcpFlags::SYN_ACK.is_syn_ack());
+        assert!(TcpFlags::PSH_ACK.contains(TcpFlags::ACK));
+        assert!(!TcpFlags::PSH_ACK.contains(TcpFlags::SYN));
+        assert!(TcpFlags::FIN_PSH_ACK.intersects(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn display_is_humane() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN/ACK");
+        assert_eq!(TcpFlags::NONE.to_string(), "(no flags)");
+    }
+}

@@ -1,0 +1,309 @@
+//! IPv4 header: parse, build, serialize.
+//!
+//! All fields are plain public data so the Geneva engine can tamper with
+//! any of them, including normally-derived ones. Serialization offers a
+//! choice between recomputing derived fields (`serialize`) and emitting
+//! stored values verbatim (`serialize_raw`) — the latter is what lets a
+//! strategy ship a deliberately bad checksum or length.
+
+use crate::checksum::internet_checksum;
+use crate::{Error, Result};
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// A parsed (or constructed) IPv4 header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Version nibble; always 4 for packets we build, but tamperable.
+    pub version: u8,
+    /// Header length in 32-bit words (5 without options).
+    pub ihl: u8,
+    /// DSCP/ECN byte (historically ToS).
+    pub tos: u8,
+    /// Total length of the datagram in bytes (header + payload).
+    pub total_length: u16,
+    /// Identification field, used for fragment reassembly.
+    pub identification: u16,
+    /// Reserved/DF/MF control bits (top 3 bits of the flags+offset word).
+    pub flags: u8,
+    /// Fragment offset in 8-byte units (low 13 bits of the same word).
+    pub fragment_offset: u16,
+    /// Time to live; decremented at every simulated hop.
+    pub ttl: u8,
+    /// Payload protocol ([`PROTO_TCP`] or [`PROTO_UDP`] here).
+    pub protocol: u8,
+    /// Header checksum as stored; may be deliberately wrong.
+    pub checksum: u16,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// Raw bytes of IP options, if any (kept opaque).
+    pub options: Vec<u8>,
+}
+
+impl Ipv4Header {
+    /// Don't Fragment control bit.
+    pub const FLAG_DF: u8 = 0b010;
+    /// More Fragments control bit.
+    pub const FLAG_MF: u8 = 0b001;
+
+    /// A fresh header with sane defaults (TTL 64, DF set, no options).
+    /// `total_length` must be fixed up at serialize time or via
+    /// [`Ipv4Header::set_payload_len`].
+    pub fn new(src: [u8; 4], dst: [u8; 4], protocol: u8) -> Self {
+        Ipv4Header {
+            version: 4,
+            ihl: 5,
+            tos: 0,
+            total_length: 20,
+            identification: 0,
+            flags: Self::FLAG_DF,
+            fragment_offset: 0,
+            ttl: 64,
+            protocol,
+            checksum: 0,
+            src,
+            dst,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes as described by `ihl`.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.ihl) * 4
+    }
+
+    /// Set `total_length` from a payload byte count.
+    pub fn set_payload_len(&mut self, payload_len: usize) {
+        self.total_length = (self.header_len() + payload_len) as u16;
+    }
+
+    /// True when the MF bit or a nonzero fragment offset marks this
+    /// header as part of a fragmented datagram.
+    pub fn is_fragment(&self) -> bool {
+        self.fragment_offset != 0 || self.flags & Self::FLAG_MF != 0
+    }
+
+    /// Parse a header from the front of `data`. Returns the header and
+    /// the number of bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Ipv4Header, usize)> {
+        if data.len() < 20 {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: 20,
+                got: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(Error::BadVersion(version));
+        }
+        let ihl = data[0] & 0x0F;
+        let header_len = usize::from(ihl) * 4;
+        if ihl < 5 {
+            return Err(Error::BadLength {
+                layer: "ipv4",
+                what: "ihl < 5",
+            });
+        }
+        if data.len() < header_len {
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: header_len,
+                got: data.len(),
+            });
+        }
+        let flags_frag = u16::from_be_bytes([data[6], data[7]]);
+        let header = Ipv4Header {
+            version,
+            ihl,
+            tos: data[1],
+            total_length: u16::from_be_bytes([data[2], data[3]]),
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            flags: (flags_frag >> 13) as u8,
+            fragment_offset: flags_frag & 0x1FFF,
+            ttl: data[8],
+            protocol: data[9],
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: [data[12], data[13], data[14], data[15]],
+            dst: [data[16], data[17], data[18], data[19]],
+            options: data[20..header_len].to_vec(),
+        };
+        Ok((header, header_len))
+    }
+
+    /// Serialize with `ihl`, `total_length` (given the payload length)
+    /// and `checksum` recomputed. This is the path normal traffic takes.
+    pub fn serialize(&self, payload_len: usize) -> Vec<u8> {
+        let mut h = self.clone();
+        h.ihl = (5 + self.options.len().div_ceil(4)) as u8;
+        h.total_length = (h.header_len() + payload_len) as u16;
+        h.checksum = 0;
+        let mut bytes = h.serialize_raw();
+        let ck = internet_checksum(&bytes);
+        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        bytes
+    }
+
+    /// Serialize exactly the stored field values — no recomputation.
+    /// Options are zero-padded to a 4-byte boundary.
+    pub fn serialize_raw(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(20 + self.options.len());
+        bytes.push((self.version << 4) | (self.ihl & 0x0F));
+        bytes.push(self.tos);
+        bytes.extend_from_slice(&self.total_length.to_be_bytes());
+        bytes.extend_from_slice(&self.identification.to_be_bytes());
+        let flags_frag =
+            (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
+        bytes.extend_from_slice(&flags_frag.to_be_bytes());
+        bytes.push(self.ttl);
+        bytes.push(self.protocol);
+        bytes.extend_from_slice(&self.checksum.to_be_bytes());
+        bytes.extend_from_slice(&self.src);
+        bytes.extend_from_slice(&self.dst);
+        bytes.extend_from_slice(&self.options);
+        while bytes.len() % 4 != 0 {
+            bytes.push(0);
+        }
+        bytes
+    }
+
+    /// Does the stored checksum verify over the serialized header?
+    pub fn checksum_ok(&self) -> bool {
+        crate::checksum::verifies(&self.serialize_raw())
+    }
+
+    /// Decrement TTL by `hops` the way a router does, applying the
+    /// RFC 1624 *incremental* checksum update (`HC' = ~(~HC + ~m + m')`).
+    ///
+    /// Incremental update preserves checksum validity AND invalidity: a
+    /// packet that left its origin with a deliberately bad checksum
+    /// stays bad across hops — routers never "repair" checksums, which
+    /// is what keeps corrupted-checksum insertion packets broken when
+    /// they reach the endpoint.
+    pub fn decrement_ttl(&mut self, hops: u8) {
+        let old_word = (u16::from(self.ttl) << 8) | u16::from(self.protocol);
+        self.ttl = self.ttl.saturating_sub(hops);
+        let new_word = (u16::from(self.ttl) << 8) | u16::from(self.protocol);
+        let sum = u32::from(!self.checksum) + u32::from(!old_word) + u32::from(new_word);
+        let mut folded = sum;
+        while folded > 0xFFFF {
+            folded = (folded & 0xFFFF) + (folded >> 16);
+        }
+        self.checksum = !(folded as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        let mut h = Ipv4Header::new([192, 168, 0, 1], [10, 0, 0, 2], PROTO_TCP);
+        h.identification = 0x1c46;
+        h
+    }
+
+    #[test]
+    fn round_trip_no_options() {
+        let h = sample();
+        let bytes = h.serialize(100);
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 20);
+        assert_eq!(parsed.total_length, 120);
+        assert_eq!(parsed.src, h.src);
+        assert_eq!(parsed.dst, h.dst);
+        assert_eq!(parsed.ttl, 64);
+        assert!(parsed.checksum_ok());
+    }
+
+    #[test]
+    fn round_trip_with_options() {
+        let mut h = sample();
+        h.options = vec![0x01, 0x01, 0x01]; // three NOPs, padded to 4
+        let bytes = h.serialize(0);
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 24);
+        assert_eq!(parsed.ihl, 6);
+        assert!(parsed.checksum_ok());
+    }
+
+    #[test]
+    fn serialize_raw_preserves_bad_checksum() {
+        let mut h = sample();
+        h.checksum = 0xDEAD;
+        let bytes = h.serialize_raw();
+        assert_eq!(&bytes[10..12], &[0xDE, 0xAD]);
+        let (parsed, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed.checksum, 0xDEAD);
+        assert!(!parsed.checksum_ok());
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        assert!(matches!(
+            Ipv4Header::parse(&[0x45; 10]),
+            Err(Error::Truncated { layer: "ipv4", .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut bytes = sample().serialize(0);
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(Ipv4Header::parse(&bytes), Err(Error::BadVersion(6))));
+    }
+
+    #[test]
+    fn parse_rejects_tiny_ihl() {
+        let mut bytes = sample().serialize(0);
+        bytes[0] = 0x44; // ihl 4
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::BadLength { layer: "ipv4", .. })
+        ));
+    }
+
+    #[test]
+    fn decrement_ttl_keeps_checksum_valid() {
+        let h = sample();
+        let bytes = h.serialize(0);
+        let (mut parsed, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert!(parsed.checksum_ok());
+        for hops in [1u8, 3, 7] {
+            parsed.decrement_ttl(hops);
+            assert!(parsed.checksum_ok(), "after -{hops}");
+        }
+        assert_eq!(parsed.ttl, 64 - 11);
+        let _ = h.serialize(0);
+    }
+
+    #[test]
+    fn decrement_ttl_keeps_bad_checksum_bad() {
+        let h = sample();
+        let bytes = h.serialize(0);
+        let (mut parsed, _) = Ipv4Header::parse(&bytes).unwrap();
+        parsed.checksum ^= 0x0404; // deliberately corrupt
+        assert!(!parsed.checksum_ok());
+        parsed.decrement_ttl(5);
+        assert!(!parsed.checksum_ok(), "routers must not repair checksums");
+        let _ = h.serialize(0);
+    }
+
+    #[test]
+    fn fragment_bits_round_trip() {
+        let mut h = sample();
+        h.flags = Ipv4Header::FLAG_MF;
+        h.fragment_offset = 185; // 1480 bytes / 8
+        let bytes = h.serialize(8);
+        let (parsed, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed.flags, Ipv4Header::FLAG_MF);
+        assert_eq!(parsed.fragment_offset, 185);
+        assert!(parsed.is_fragment());
+        assert!(!sample().is_fragment());
+    }
+}

@@ -1,0 +1,243 @@
+//! IPv6 header codec.
+//!
+//! The paper's appendix notes that their extended Geneva `tamper`
+//! supports IPv6 — even though every §4.2 experiment runs over IPv4
+//! ("all over IPv4"). We mirror that situation exactly: this module is
+//! a complete fixed-header IPv6 codec with named field access (the
+//! tamper surface), while the simulator and all experiments stay IPv4.
+//! Extension headers are out of scope (as they are for Geneva's
+//! tamper, which addresses fixed header fields).
+
+use crate::checksum::ones_complement_sum;
+use crate::{Error, Result};
+
+/// A parsed (or constructed) IPv6 fixed header (RFC 8200 §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Version nibble; always 6 for packets we build, but tamperable.
+    pub version: u8,
+    /// Traffic class (DSCP/ECN).
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after the fixed header).
+    pub payload_length: u16,
+    /// Next header (protocol) number.
+    pub next_header: u8,
+    /// Hop limit (IPv6's TTL).
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: [u8; 16],
+    /// Destination address.
+    pub dst: [u8; 16],
+}
+
+impl Ipv6Header {
+    /// A fresh header with sane defaults (hop limit 64).
+    pub fn new(src: [u8; 16], dst: [u8; 16], next_header: u8) -> Self {
+        Ipv6Header {
+            version: 6,
+            traffic_class: 0,
+            flow_label: 0,
+            payload_length: 0,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Parse from the front of `data`; returns the header and the 40
+    /// bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Ipv6Header, usize)> {
+        if data.len() < 40 {
+            return Err(Error::Truncated {
+                layer: "ipv6",
+                needed: 40,
+                got: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 6 {
+            return Err(Error::BadVersion(version));
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        dst.copy_from_slice(&data[24..40]);
+        Ok((
+            Ipv6Header {
+                version,
+                traffic_class: (data[0] << 4) | (data[1] >> 4),
+                flow_label: (u32::from(data[1] & 0x0F) << 16)
+                    | (u32::from(data[2]) << 8)
+                    | u32::from(data[3]),
+                payload_length: u16::from_be_bytes([data[4], data[5]]),
+                next_header: data[6],
+                hop_limit: data[7],
+                src,
+                dst,
+            },
+            40,
+        ))
+    }
+
+    /// Serialize with `payload_length` recomputed from `payload_len`.
+    pub fn serialize(&self, payload_len: usize) -> Vec<u8> {
+        let mut h = self.clone();
+        h.payload_length = payload_len as u16;
+        h.serialize_raw()
+    }
+
+    /// Serialize the stored fields verbatim (IPv6 has no header
+    /// checksum, so raw vs derived only differs in `payload_length`).
+    pub fn serialize_raw(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(40);
+        bytes.push((self.version << 4) | (self.traffic_class >> 4));
+        bytes.push(((self.traffic_class & 0x0F) << 4) | ((self.flow_label >> 16) as u8 & 0x0F));
+        bytes.push((self.flow_label >> 8) as u8);
+        bytes.push(self.flow_label as u8);
+        bytes.extend_from_slice(&self.payload_length.to_be_bytes());
+        bytes.push(self.next_header);
+        bytes.push(self.hop_limit);
+        bytes.extend_from_slice(&self.src);
+        bytes.extend_from_slice(&self.dst);
+        bytes
+    }
+
+    /// Router behavior: decrement the hop limit. IPv6 has no header
+    /// checksum to maintain, so this is a plain saturating decrement.
+    pub fn decrement_hop_limit(&mut self, hops: u8) {
+        self.hop_limit = self.hop_limit.saturating_sub(hops);
+    }
+
+    /// TCP/UDP checksum over the IPv6 pseudo-header (RFC 8200 §8.1)
+    /// plus the transport segment.
+    pub fn transport_checksum(&self, segment: &[u8]) -> u16 {
+        let mut pseudo = Vec::with_capacity(40);
+        pseudo.extend_from_slice(&self.src);
+        pseudo.extend_from_slice(&self.dst);
+        pseudo.extend_from_slice(&(segment.len() as u32).to_be_bytes());
+        pseudo.extend_from_slice(&[0, 0, 0, self.next_header]);
+        let sum = u32::from(ones_complement_sum(&pseudo))
+            + u32::from(ones_complement_sum(segment));
+        let mut folded = sum;
+        while folded > 0xFFFF {
+            folded = (folded & 0xFFFF) + (folded >> 16);
+        }
+        !(folded as u16)
+    }
+
+    /// Geneva-style named field read (`version`, `tc`, `fl`, `plen`,
+    /// `nh`, `hlim`).
+    pub fn get_field(&self, name: &str) -> Result<u64> {
+        Ok(match name {
+            "version" => u64::from(self.version),
+            "tc" => u64::from(self.traffic_class),
+            "fl" => u64::from(self.flow_label),
+            "plen" => u64::from(self.payload_length),
+            "nh" => u64::from(self.next_header),
+            "hlim" => u64::from(self.hop_limit),
+            _ => return Err(Error::UnknownField(format!("IP6:{name}"))),
+        })
+    }
+
+    /// Geneva-style named field write.
+    pub fn set_field(&mut self, name: &str, value: u64) -> Result<()> {
+        match name {
+            "version" => self.version = (value & 0x0F) as u8,
+            "tc" => self.traffic_class = value as u8,
+            "fl" => self.flow_label = (value & 0xF_FFFF) as u32,
+            "plen" => self.payload_length = value as u16,
+            "nh" => self.next_header = value as u8,
+            "hlim" => self.hop_limit = value as u8,
+            _ => return Err(Error::UnknownField(format!("IP6:{name}"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        let mut h = Ipv6Header::new([0x20; 16], [0xfd; 16], crate::ipv4::PROTO_TCP);
+        h.traffic_class = 0xA5;
+        h.flow_label = 0x5_1234;
+        h
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let bytes = h.serialize(100);
+        assert_eq!(bytes.len(), 40);
+        let (parsed, consumed) = Ipv6Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 40);
+        assert_eq!(parsed.version, 6);
+        assert_eq!(parsed.traffic_class, 0xA5);
+        assert_eq!(parsed.flow_label, 0x5_1234);
+        assert_eq!(parsed.payload_length, 100);
+        assert_eq!(parsed.hop_limit, 64);
+        assert_eq!(parsed.src, [0x20; 16]);
+    }
+
+    #[test]
+    fn rejects_v4_and_short_buffers() {
+        assert!(matches!(
+            Ipv6Header::parse(&[0x45; 40]),
+            Err(Error::BadVersion(4))
+        ));
+        assert!(Ipv6Header::parse(&[0x60; 39]).is_err());
+    }
+
+    #[test]
+    fn hop_limit_decrement_saturates() {
+        let mut h = sample();
+        h.hop_limit = 3;
+        h.decrement_hop_limit(2);
+        assert_eq!(h.hop_limit, 1);
+        h.decrement_hop_limit(9);
+        assert_eq!(h.hop_limit, 0);
+    }
+
+    #[test]
+    fn transport_checksum_round_trips() {
+        let h = sample();
+        let mut seg = vec![0u8; 20];
+        seg[0..2].copy_from_slice(&443u16.to_be_bytes());
+        let ck = h.transport_checksum(&seg);
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(h.transport_checksum(&seg), 0, "inserting the sum zeroes it");
+    }
+
+    #[test]
+    fn named_field_access() {
+        let mut h = sample();
+        assert_eq!(h.get_field("hlim").unwrap(), 64);
+        h.set_field("hlim", 9).unwrap();
+        assert_eq!(h.hop_limit, 9);
+        h.set_field("fl", 0xFFFF_FFFF).unwrap();
+        assert_eq!(h.flow_label, 0xF_FFFF, "flow label masked to 20 bits");
+        assert!(h.get_field("bogus").is_err());
+        assert!(h.set_field("bogus", 1).is_err());
+    }
+
+    #[test]
+    fn every_field_bit_survives_serialization() {
+        // Exhaustive-ish: mutate each field, round-trip, compare.
+        for (name, value) in [
+            ("tc", 0x3Cu64),
+            ("fl", 0x0_BEEF),
+            ("plen", 1280),
+            ("nh", 17),
+            ("hlim", 1),
+        ] {
+            let mut h = sample();
+            h.set_field(name, value).unwrap();
+            let (parsed, _) = Ipv6Header::parse(&h.serialize_raw()).unwrap();
+            assert_eq!(parsed.get_field(name).unwrap(), value, "{name}");
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The composite [`Packet`]: one IPv4 datagram carrying TCP or UDP.
+//!
+//! This is the unit the whole workspace passes around — the Geneva
+//! engine rewrites it, the simulator routes it, endpoints and censors
+//! parse it. A `Packet` keeps headers in structured form so field access
+//! is cheap, and only flattens to bytes at the (simulated) wire.
+
+use crate::flags::TcpFlags;
+use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::{Error, Result};
+
+/// The transport layer of a [`Packet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A TCP segment header.
+    Tcp(TcpHeader),
+    /// A UDP datagram header.
+    Udp(UdpHeader),
+}
+
+/// One IPv4 packet: network header, transport header, payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// TCP or UDP header.
+    pub transport: Transport,
+    /// Application payload (after the transport header).
+    pub payload: Vec<u8>,
+}
+
+/// A bidirectional flow identifier: the 4-tuple with the two endpoints
+/// ordered canonically so both directions map to the same key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Lower (addr, port) endpoint.
+    pub a: ([u8; 4], u16),
+    /// Higher (addr, port) endpoint.
+    pub b: ([u8; 4], u16),
+}
+
+impl Packet {
+    /// Build a TCP packet with correct lengths/checksums-on-serialize.
+    #[allow(clippy::too_many_arguments)] // a flat 4-tuple+TCP constructor reads best
+    pub fn tcp(
+        src: [u8; 4],
+        src_port: u16,
+        dst: [u8; 4],
+        dst_port: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload: Vec<u8>,
+    ) -> Packet {
+        let mut ip = Ipv4Header::new(src, dst, PROTO_TCP);
+        let mut tcp = TcpHeader::new(src_port, dst_port, flags);
+        tcp.seq = seq;
+        tcp.ack = ack;
+        ip.set_payload_len(tcp.real_header_len() + payload.len());
+        Packet {
+            ip,
+            transport: Transport::Tcp(tcp),
+            payload,
+        }
+    }
+
+    /// Build a UDP packet.
+    pub fn udp(
+        src: [u8; 4],
+        src_port: u16,
+        dst: [u8; 4],
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Packet {
+        let mut ip = Ipv4Header::new(src, dst, PROTO_UDP);
+        ip.set_payload_len(8 + payload.len());
+        Packet {
+            ip,
+            transport: Transport::Udp(UdpHeader::new(src_port, dst_port)),
+            payload,
+        }
+    }
+
+    /// Shared access to the TCP header, if this is a TCP packet.
+    pub fn tcp_header(&self) -> Option<&TcpHeader> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h),
+            Transport::Udp(_) => None,
+        }
+    }
+
+    /// Mutable access to the TCP header, if this is a TCP packet.
+    pub fn tcp_header_mut(&mut self) -> Option<&mut TcpHeader> {
+        match &mut self.transport {
+            Transport::Tcp(h) => Some(h),
+            Transport::Udp(_) => None,
+        }
+    }
+
+    /// Shared access to the UDP header, if this is a UDP packet.
+    pub fn udp_header(&self) -> Option<&UdpHeader> {
+        match &self.transport {
+            Transport::Udp(h) => Some(h),
+            Transport::Tcp(_) => None,
+        }
+    }
+
+    /// Source (addr, port).
+    pub fn src(&self) -> ([u8; 4], u16) {
+        (self.ip.src, self.src_port())
+    }
+
+    /// Destination (addr, port).
+    pub fn dst(&self) -> ([u8; 4], u16) {
+        (self.ip.dst, self.dst_port())
+    }
+
+    /// Transport source port.
+    pub fn src_port(&self) -> u16 {
+        match &self.transport {
+            Transport::Tcp(h) => h.src_port,
+            Transport::Udp(h) => h.src_port,
+        }
+    }
+
+    /// Transport destination port.
+    pub fn dst_port(&self) -> u16 {
+        match &self.transport {
+            Transport::Tcp(h) => h.dst_port,
+            Transport::Udp(h) => h.dst_port,
+        }
+    }
+
+    /// The canonical bidirectional flow key for this packet.
+    pub fn flow_key(&self) -> FlowKey {
+        let x = self.src();
+        let y = self.dst();
+        if x <= y {
+            FlowKey { a: x, b: y }
+        } else {
+            FlowKey { a: y, b: x }
+        }
+    }
+
+    /// TCP flags if TCP, else empty flags.
+    pub fn flags(&self) -> TcpFlags {
+        self.tcp_header().map(|h| h.flags).unwrap_or(TcpFlags::NONE)
+    }
+
+    /// Serialize the full packet, recomputing all derived fields
+    /// (IP length/checksum, TCP offset/checksum, UDP length/checksum).
+    pub fn serialize(&self) -> Vec<u8> {
+        let transport_bytes = match &self.transport {
+            Transport::Tcp(h) => h.serialize(self.ip.src, self.ip.dst, &self.payload),
+            Transport::Udp(h) => h.serialize(self.ip.src, self.ip.dst, &self.payload),
+        };
+        let mut bytes = self.ip.serialize(transport_bytes.len());
+        bytes.extend_from_slice(&transport_bytes);
+        bytes
+    }
+
+    /// Serialize emitting every stored field verbatim — preserving
+    /// deliberately broken checksums, lengths, and offsets.
+    pub fn serialize_raw(&self) -> Vec<u8> {
+        let mut bytes = self.ip.serialize_raw();
+        match &self.transport {
+            Transport::Tcp(h) => bytes.extend_from_slice(&h.serialize_raw()),
+            Transport::Udp(h) => bytes.extend_from_slice(&h.serialize_raw()),
+        }
+        bytes.extend_from_slice(&self.payload);
+        bytes
+    }
+
+    /// Parse a full packet from wire bytes. The payload extent follows
+    /// the *IP total length* when it is consistent with the buffer,
+    /// mirroring what real stacks do.
+    pub fn parse(data: &[u8]) -> Result<Packet> {
+        let (ip, ip_len) = Ipv4Header::parse(data)?;
+        let end = usize::from(ip.total_length).min(data.len()).max(ip_len);
+        let rest = &data[ip_len..end];
+        let (transport, consumed) = match ip.protocol {
+            PROTO_TCP => {
+                let (h, n) = TcpHeader::parse(rest)?;
+                (Transport::Tcp(h), n)
+            }
+            PROTO_UDP => {
+                let (h, n) = UdpHeader::parse(rest)?;
+                (Transport::Udp(h), n)
+            }
+            _ => {
+                return Err(Error::BadLength {
+                    layer: "ip",
+                    what: "unsupported protocol",
+                })
+            }
+        };
+        Ok(Packet {
+            ip,
+            transport,
+            payload: rest[consumed..].to_vec(),
+        })
+    }
+
+    /// Do both the IP and transport checksums verify as stored?
+    ///
+    /// Note this validates the *structured* representation: a packet
+    /// built via [`Packet::tcp`] has zero checksums until serialized, so
+    /// this is primarily meaningful for parsed packets or after a
+    /// [`Packet::finalize`].
+    pub fn checksums_ok(&self) -> bool {
+        let ip_ok = self.ip.checksum_ok();
+        let transport_ok = match &self.transport {
+            Transport::Tcp(h) => h.checksum_ok(self.ip.src, self.ip.dst, &self.payload),
+            Transport::Udp(h) => h.checksum_ok(self.ip.src, self.ip.dst, &self.payload),
+        };
+        ip_ok && transport_ok
+    }
+
+    /// Recompute every derived field *in place* (lengths, offsets,
+    /// checksums), making the structured form wire-consistent. Geneva's
+    /// `tamper` calls this after edits unless the tampered field is
+    /// itself a checksum or length.
+    pub fn finalize(&mut self) {
+        let fixed = Packet::parse(&self.serialize()).expect("self-serialized packet must parse");
+        *self = fixed;
+    }
+
+    /// Human-oriented one-line summary, used by trace rendering.
+    pub fn summary(&self) -> String {
+        let dir = format!(
+            "{}.{} > {}.{}",
+            fmt_addr(self.ip.src),
+            self.src_port(),
+            fmt_addr(self.ip.dst),
+            self.dst_port()
+        );
+        match &self.transport {
+            Transport::Tcp(h) => format!(
+                "{dir} TCP {} seq={} ack={} win={} len={}",
+                h.flags,
+                h.seq,
+                h.ack,
+                h.window,
+                self.payload.len()
+            ),
+            Transport::Udp(_) => format!("{dir} UDP len={}", self.payload.len()),
+        }
+    }
+}
+
+fn fmt_addr(a: [u8; 4]) -> String {
+    format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tcp() -> Packet {
+        Packet::tcp(
+            [10, 0, 0, 1],
+            44321,
+            [93, 184, 216, 34],
+            80,
+            TcpFlags::PSH_ACK,
+            1000,
+            2000,
+            b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n".to_vec(),
+        )
+    }
+
+    #[test]
+    fn serialize_parse_round_trip_tcp() {
+        let p = sample_tcp();
+        let bytes = p.serialize();
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed.payload, p.payload);
+        assert_eq!(parsed.flags(), TcpFlags::PSH_ACK);
+        assert_eq!(parsed.tcp_header().unwrap().seq, 1000);
+        assert!(parsed.checksums_ok());
+    }
+
+    #[test]
+    fn serialize_parse_round_trip_udp() {
+        let p = Packet::udp([1, 1, 1, 1], 53, [2, 2, 2, 2], 9999, b"dns".to_vec());
+        let parsed = Packet::parse(&p.serialize()).unwrap();
+        assert_eq!(parsed.payload, b"dns");
+        assert!(parsed.checksums_ok());
+    }
+
+    #[test]
+    fn flow_key_is_direction_agnostic() {
+        let fwd = sample_tcp();
+        let rev = Packet::tcp(
+            [93, 184, 216, 34],
+            80,
+            [10, 0, 0, 1],
+            44321,
+            TcpFlags::ACK,
+            2000,
+            1030,
+            vec![],
+        );
+        assert_eq!(fwd.flow_key(), rev.flow_key());
+    }
+
+    #[test]
+    fn corrupt_checksum_survives_raw_serialization() {
+        let mut p = sample_tcp();
+        p.finalize();
+        assert!(p.checksums_ok());
+        p.tcp_header_mut().unwrap().checksum ^= 0xFFFF;
+        let bytes = p.serialize_raw();
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert!(!parsed.checksums_ok(), "bad checksum must persist on the wire");
+    }
+
+    #[test]
+    fn finalize_recomputes_derived_fields() {
+        let mut p = sample_tcp();
+        p.ip.total_length = 0;
+        p.tcp_header_mut().unwrap().checksum = 0xAAAA;
+        p.finalize();
+        assert!(p.checksums_ok());
+        assert_eq!(
+            usize::from(p.ip.total_length),
+            20 + 20 + p.payload.len()
+        );
+    }
+
+    #[test]
+    fn parse_respects_ip_total_length() {
+        // Trailing garbage beyond total_length must not leak into payload.
+        let p = sample_tcp();
+        let mut bytes = p.serialize();
+        bytes.extend_from_slice(&[0xEE; 16]);
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed.payload, p.payload);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_protocol() {
+        let mut p = sample_tcp();
+        p.ip.protocol = 47; // GRE
+        assert!(Packet::parse(&p.serialize()).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_flags_and_ports() {
+        let s = sample_tcp().summary();
+        assert!(s.contains("PSH"), "{s}");
+        assert!(s.contains("80"), "{s}");
+    }
+}

@@ -1,0 +1,376 @@
+//! TCP header and options: parse, build, serialize.
+//!
+//! Options get first-class treatment because two of the paper's eleven
+//! strategies manipulate them directly: Strategy 8 ("TCP Window
+//! Reduction") *removes* the window-scale option while shrinking the
+//! advertised window, and the GA mutates `TCP:options-*` fields freely.
+
+use crate::checksum::pseudo_header_checksum;
+use crate::flags::TcpFlags;
+use crate::{Error, Result};
+
+/// A single TCP option, parsed into the kinds Geneva manipulates plus an
+/// opaque fallback for everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Kind 1 — padding / alignment.
+    Nop,
+    /// Kind 2 — maximum segment size (SYN-only in real stacks).
+    Mss(u16),
+    /// Kind 3 — window scale shift count.
+    WindowScale(u8),
+    /// Kind 4 — SACK permitted.
+    SackPermitted,
+    /// Kind 8 — timestamps (TSval, TSecr).
+    Timestamps(u32, u32),
+    /// Anything else, kept verbatim as (kind, data).
+    Unknown(u8, Vec<u8>),
+}
+
+impl TcpOption {
+    /// Geneva field-name suffix for this option (`options-<name>`).
+    pub fn geneva_name(&self) -> &'static str {
+        match self {
+            TcpOption::Nop => "nop",
+            TcpOption::Mss(_) => "mss",
+            TcpOption::WindowScale(_) => "wscale",
+            TcpOption::SackPermitted => "sackok",
+            TcpOption::Timestamps(..) => "timestamp",
+            TcpOption::Unknown(..) => "unknown",
+        }
+    }
+}
+
+/// A parsed (or constructed) TCP header.
+///
+/// `data_offset` is stored explicitly so tampering can desynchronize it
+/// from the real header length; [`TcpHeader::serialize`] recomputes it,
+/// [`TcpHeader::serialize_raw`] does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header length in 32-bit words as stored on the wire.
+    pub data_offset: u8,
+    /// The reserved low nibble of the offset byte, preserved verbatim so
+    /// re-serialization is byte-faithful (checksums must notice flips
+    /// even in reserved bits).
+    pub reserved: u8,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised receive window (unscaled).
+    pub window: u16,
+    /// Checksum as stored; may be deliberately wrong.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Parsed options in wire order.
+    pub options: Vec<TcpOption>,
+}
+
+impl TcpHeader {
+    /// A header with the given ports and flags; everything else zeroed
+    /// except a default 64 KiB-ish window.
+    pub fn new(src_port: u16, dst_port: u16, flags: TcpFlags) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            data_offset: 5,
+            reserved: 0,
+            flags,
+            window: 64240,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Find the first option of a given Geneva name.
+    pub fn option(&self, geneva_name: &str) -> Option<&TcpOption> {
+        self.options.iter().find(|o| o.geneva_name() == geneva_name)
+    }
+
+    /// Remove all options with the given Geneva name; returns how many
+    /// were removed. Used by `tamper{TCP:options-wscale:replace:}`.
+    pub fn remove_option(&mut self, geneva_name: &str) -> usize {
+        let before = self.options.len();
+        self.options.retain(|o| o.geneva_name() != geneva_name);
+        before - self.options.len()
+    }
+
+    /// Byte length of the serialized options (padded to 4-byte multiple).
+    pub fn options_len(&self) -> usize {
+        let raw: usize = self
+            .options
+            .iter()
+            .map(|o| match o {
+                TcpOption::Nop => 1,
+                TcpOption::Mss(_) => 4,
+                TcpOption::WindowScale(_) => 3,
+                TcpOption::SackPermitted => 2,
+                TcpOption::Timestamps(..) => 10,
+                TcpOption::Unknown(_, data) => 2 + data.len(),
+            })
+            .sum();
+        raw.div_ceil(4) * 4
+    }
+
+    /// Header length in bytes implied by the *options actually present*
+    /// (not by the stored `data_offset`).
+    pub fn real_header_len(&self) -> usize {
+        20 + self.options_len()
+    }
+
+    /// Parse from the front of `data`; returns the header and bytes
+    /// consumed (the wire `data_offset`, which governs where the payload
+    /// starts even if it disagrees with the option bytes present).
+    pub fn parse(data: &[u8]) -> Result<(TcpHeader, usize)> {
+        if data.len() < 20 {
+            return Err(Error::Truncated {
+                layer: "tcp",
+                needed: 20,
+                got: data.len(),
+            });
+        }
+        let data_offset = data[12] >> 4;
+        let header_len = usize::from(data_offset) * 4;
+        if data_offset < 5 {
+            return Err(Error::BadLength {
+                layer: "tcp",
+                what: "data offset < 5",
+            });
+        }
+        if data.len() < header_len {
+            return Err(Error::Truncated {
+                layer: "tcp",
+                needed: header_len,
+                got: data.len(),
+            });
+        }
+        let options = parse_options(&data[20..header_len]);
+        let header = TcpHeader {
+            reserved: data[12] & 0x0F,
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            data_offset,
+            flags: TcpFlags(data[13]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+            urgent: u16::from_be_bytes([data[18], data[19]]),
+            options,
+        };
+        Ok((header, header_len))
+    }
+
+    /// Serialize with `data_offset` and `checksum` recomputed for the
+    /// given addressing and payload.
+    pub fn serialize(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> Vec<u8> {
+        let mut h = self.clone();
+        h.data_offset = (h.real_header_len() / 4) as u8;
+        h.checksum = 0;
+        let mut segment = h.serialize_raw();
+        segment.extend_from_slice(payload);
+        let ck = pseudo_header_checksum(src, dst, crate::ipv4::PROTO_TCP, &segment);
+        segment[16..18].copy_from_slice(&ck.to_be_bytes());
+        segment
+    }
+
+    /// Serialize the header exactly as stored (no payload, no checksum
+    /// or offset recomputation). Options are emitted and zero-padded.
+    pub fn serialize_raw(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.real_header_len());
+        bytes.extend_from_slice(&self.src_port.to_be_bytes());
+        bytes.extend_from_slice(&self.dst_port.to_be_bytes());
+        bytes.extend_from_slice(&self.seq.to_be_bytes());
+        bytes.extend_from_slice(&self.ack.to_be_bytes());
+        bytes.push((self.data_offset << 4) | (self.reserved & 0x0F));
+        bytes.push(self.flags.0);
+        bytes.extend_from_slice(&self.window.to_be_bytes());
+        bytes.extend_from_slice(&self.checksum.to_be_bytes());
+        bytes.extend_from_slice(&self.urgent.to_be_bytes());
+        serialize_options(&self.options, &mut bytes);
+        while (bytes.len() - 20) % 4 != 0 {
+            bytes.push(0);
+        }
+        bytes
+    }
+
+    /// Verify the stored checksum against the given addressing and
+    /// payload. Endpoints call this to decide whether to drop a packet;
+    /// several censors skip it — that asymmetry powers insertion packets.
+    pub fn checksum_ok(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> bool {
+        let mut segment = self.serialize_raw();
+        segment.extend_from_slice(payload);
+        pseudo_header_checksum(src, dst, crate::ipv4::PROTO_TCP, &segment) == 0
+    }
+}
+
+fn parse_options(mut data: &[u8]) -> Vec<TcpOption> {
+    let mut options = Vec::new();
+    while let Some(&kind) = data.first() {
+        match kind {
+            0 => break, // end of options list
+            1 => {
+                options.push(TcpOption::Nop);
+                data = &data[1..];
+            }
+            _ => {
+                let Some(&len) = data.get(1) else { break };
+                let len = usize::from(len);
+                if len < 2 || len > data.len() {
+                    break; // malformed; stop parsing, keep what we have
+                }
+                let body = &data[2..len];
+                options.push(match (kind, body) {
+                    (2, [a, b]) => TcpOption::Mss(u16::from_be_bytes([*a, *b])),
+                    (3, [s]) => TcpOption::WindowScale(*s),
+                    (4, []) => TcpOption::SackPermitted,
+                    (8, body) if body.len() == 8 => TcpOption::Timestamps(
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    ),
+                    _ => TcpOption::Unknown(kind, body.to_vec()),
+                });
+                data = &data[len..];
+            }
+        }
+    }
+    options
+}
+
+fn serialize_options(options: &[TcpOption], out: &mut Vec<u8>) {
+    for option in options {
+        match option {
+            TcpOption::Nop => out.push(1),
+            TcpOption::Mss(mss) => {
+                out.extend_from_slice(&[2, 4]);
+                out.extend_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::WindowScale(shift) => out.extend_from_slice(&[3, 3, *shift]),
+            TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+            TcpOption::Timestamps(tsval, tsecr) => {
+                out.extend_from_slice(&[8, 10]);
+                out.extend_from_slice(&tsval.to_be_bytes());
+                out.extend_from_slice(&tsecr.to_be_bytes());
+            }
+            TcpOption::Unknown(kind, data) => {
+                out.push(*kind);
+                out.push((data.len() + 2) as u8);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [10, 0, 0, 1];
+    const DST: [u8; 4] = [10, 0, 0, 2];
+
+    fn syn_ack_with_options() -> TcpHeader {
+        let mut h = TcpHeader::new(80, 50123, TcpFlags::SYN_ACK);
+        h.seq = 0x11223344;
+        h.ack = 0x55667788;
+        h.options = vec![
+            TcpOption::Mss(1460),
+            TcpOption::SackPermitted,
+            TcpOption::Timestamps(100, 200),
+            TcpOption::Nop,
+            TcpOption::WindowScale(7),
+        ];
+        h
+    }
+
+    #[test]
+    fn round_trip_with_options_and_payload() {
+        let h = syn_ack_with_options();
+        let bytes = h.serialize(SRC, DST, b"hello");
+        let (parsed, consumed) = TcpHeader::parse(&bytes).unwrap();
+        assert_eq!(&bytes[consumed..], b"hello");
+        assert_eq!(parsed.src_port, 80);
+        assert_eq!(parsed.dst_port, 50123);
+        assert_eq!(parsed.seq, 0x11223344);
+        assert_eq!(parsed.flags, TcpFlags::SYN_ACK);
+        assert_eq!(parsed.options, h.options);
+        assert!(parsed.checksum_ok(SRC, DST, b"hello"));
+    }
+
+    #[test]
+    fn checksum_fails_on_wrong_payload() {
+        let h = syn_ack_with_options();
+        let bytes = h.serialize(SRC, DST, b"hello");
+        let (parsed, _) = TcpHeader::parse(&bytes).unwrap();
+        assert!(!parsed.checksum_ok(SRC, DST, b"hellp"));
+        // Note: merely *swapping* src and dst would NOT change the
+        // checksum (ones' complement addition commutes), so we perturb
+        // an address instead.
+        assert!(!parsed.checksum_ok([10, 0, 0, 3], DST, b"hello"));
+    }
+
+    #[test]
+    fn serialize_raw_preserves_bad_offset_and_checksum() {
+        let mut h = TcpHeader::new(80, 1234, TcpFlags::ACK);
+        h.data_offset = 9; // lies: there are no options
+        h.checksum = 0xBEEF;
+        let bytes = h.serialize_raw();
+        assert_eq!(bytes[12] >> 4, 9);
+        assert_eq!(&bytes[16..18], &[0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn remove_option_drops_wscale_only() {
+        let mut h = syn_ack_with_options();
+        assert_eq!(h.remove_option("wscale"), 1);
+        assert!(h.option("wscale").is_none());
+        assert!(h.option("mss").is_some());
+        assert_eq!(h.remove_option("wscale"), 0);
+    }
+
+    #[test]
+    fn malformed_option_length_stops_cleanly() {
+        // MSS option claiming length 40 in a 4-byte options area.
+        let opts = parse_options(&[2, 40, 0, 0]);
+        assert!(opts.is_empty());
+        // Option with length 0 must not loop forever.
+        let opts = parse_options(&[5, 0, 1, 1]);
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn end_of_options_terminates() {
+        let opts = parse_options(&[1, 0, 2, 4]);
+        assert_eq!(opts, vec![TcpOption::Nop]);
+    }
+
+    #[test]
+    fn parse_rejects_short_and_bad_offset() {
+        assert!(TcpHeader::parse(&[0; 10]).is_err());
+        let mut bytes = TcpHeader::new(1, 2, TcpFlags::SYN).serialize(SRC, DST, b"");
+        bytes[12] = 0x40; // data offset 4
+        assert!(matches!(
+            TcpHeader::parse(&bytes),
+            Err(Error::BadLength { layer: "tcp", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_option_round_trips() {
+        let mut h = TcpHeader::new(1, 2, TcpFlags::SYN);
+        h.options = vec![TcpOption::Unknown(254, vec![0xAA, 0xBB])];
+        let bytes = h.serialize(SRC, DST, b"");
+        let (parsed, _) = TcpHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed.options, h.options);
+    }
+}

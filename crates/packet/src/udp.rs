@@ -1,0 +1,127 @@
+//! UDP header: parse, build, serialize.
+//!
+//! UDP is carried along mostly for completeness of the Geneva field
+//! space (the original Geneva supports `UDP:*` fields) and for DNS
+//! experiments that contrast UDP with the paper's DNS-over-TCP focus.
+
+use crate::checksum::pseudo_header_checksum;
+use crate::{Error, Result};
+
+/// A parsed (or constructed) UDP header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload as stored; may be tampered.
+    pub length: u16,
+    /// Checksum as stored; may be deliberately wrong (0 = disabled).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// A fresh header; `length` is fixed at serialize time.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: 8,
+            checksum: 0,
+        }
+    }
+
+    /// Parse from the front of `data`; returns header and bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(UdpHeader, usize)> {
+        if data.len() < 8 {
+            return Err(Error::Truncated {
+                layer: "udp",
+                needed: 8,
+                got: data.len(),
+            });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length: u16::from_be_bytes([data[4], data[5]]),
+                checksum: u16::from_be_bytes([data[6], data[7]]),
+            },
+            8,
+        ))
+    }
+
+    /// Serialize with `length` and `checksum` recomputed.
+    pub fn serialize(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> Vec<u8> {
+        let mut h = self.clone();
+        h.length = (8 + payload.len()) as u16;
+        h.checksum = 0;
+        let mut segment = h.serialize_raw();
+        segment.extend_from_slice(payload);
+        let mut ck = pseudo_header_checksum(src, dst, crate::ipv4::PROTO_UDP, &segment);
+        if ck == 0 {
+            ck = 0xFFFF; // RFC 768: transmitted-zero means "no checksum"
+        }
+        segment[6..8].copy_from_slice(&ck.to_be_bytes());
+        segment
+    }
+
+    /// Serialize the stored fields verbatim.
+    pub fn serialize_raw(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(8);
+        bytes.extend_from_slice(&self.src_port.to_be_bytes());
+        bytes.extend_from_slice(&self.dst_port.to_be_bytes());
+        bytes.extend_from_slice(&self.length.to_be_bytes());
+        bytes.extend_from_slice(&self.checksum.to_be_bytes());
+        bytes
+    }
+
+    /// Verify the stored checksum (`0` counts as valid per RFC 768).
+    pub fn checksum_ok(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> bool {
+        if self.checksum == 0 {
+            return true;
+        }
+        let mut segment = self.serialize_raw();
+        segment.extend_from_slice(payload);
+        pseudo_header_checksum(src, dst, crate::ipv4::PROTO_UDP, &segment) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [1, 2, 3, 4];
+    const DST: [u8; 4] = [5, 6, 7, 8];
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::new(53, 40000);
+        let bytes = h.serialize(SRC, DST, b"query");
+        let (parsed, consumed) = UdpHeader::parse(&bytes).unwrap();
+        assert_eq!(consumed, 8);
+        assert_eq!(parsed.src_port, 53);
+        assert_eq!(parsed.length, 13);
+        assert!(parsed.checksum_ok(SRC, DST, b"query"));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut h = UdpHeader::new(1, 2);
+        h.checksum = 0;
+        assert!(h.checksum_ok(SRC, DST, b"anything"));
+    }
+
+    #[test]
+    fn wrong_checksum_rejected() {
+        let h = UdpHeader::new(53, 40000);
+        let bytes = h.serialize(SRC, DST, b"query");
+        let (parsed, _) = UdpHeader::parse(&bytes).unwrap();
+        assert!(!parsed.checksum_ok(SRC, DST, b"queryX"));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(UdpHeader::parse(&[0; 7]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate the §7 client-compatibility matrix: every strategy
+//! against 17 client operating systems on a censor-free network.
+//!
+//! ```sh
+//! cargo run --release --example client_compat
+//! ```
+
+use harness::experiments::{client_compat, network_compat};
+
+fn main() {
+    let report = client_compat(2024);
+    println!("{}", report.render());
+    println!(
+        "strategies breaking any OS: {:?} (paper: 5, 9, 10 — Windows & macOS only)",
+        report.broken_strategies()
+    );
+    for id in report.broken_strategies() {
+        println!("  strategy {id} fails on: {}", report.failing_oses(id).join(", "));
+    }
+    println!();
+    let networks = network_compat(4242);
+    println!("{}", networks.render());
+    println!("(paper: wifi all pass; T-Mobile breaks 1 & 3; AT&T breaks 1, 2 & 3)");
+}

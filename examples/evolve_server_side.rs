@@ -1,0 +1,71 @@
+//! Evolve server-side strategies from scratch, the paper's §4.1
+//! methodology: a genetic algorithm triggered on SYN+ACK packets,
+//! trained against a censor.
+//!
+//! ```sh
+//! cargo run --release --example evolve_server_side -- [china|india|iran|kazakhstan] [protocol]
+//! ```
+
+use appproto::AppProtocol;
+use censor::Country;
+use evolve::{evolve, GaConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let country = match args.get(1).map(String::as_str) {
+        Some("india") => Country::India,
+        Some("iran") => Country::Iran,
+        Some("kazakhstan") => Country::Kazakhstan,
+        _ => Country::China,
+    };
+    let protocol = match args.get(2).map(String::as_str) {
+        Some("dns") => AppProtocol::DnsTcp,
+        Some("ftp") => AppProtocol::Ftp,
+        Some("https") => AppProtocol::Https,
+        Some("smtp") => AppProtocol::Smtp,
+        _ => AppProtocol::Http,
+    };
+
+    let mut config = GaConfig::new(country, protocol, 2020);
+    config.population = 120;
+    config.generations = 30;
+    config.trials_per_eval = 10;
+
+    println!(
+        "evolving server-side strategies against {country} / {protocol} \
+         (population {}, ≤{} generations, {} trials/eval)…\n",
+        config.population, config.generations, config.trials_per_eval
+    );
+
+    let result = evolve(&config);
+    // Prune vestigial nodes, like Geneva does before reporting.
+    let mut cache = evolve::FitnessCache::new(country, protocol, 20, 777);
+    let minimized = evolve::minimize(&result.best, &mut cache, 0.05);
+
+    println!("generations run : {}", result.history.len());
+    println!("distinct genomes: {}", result.distinct_evaluated);
+    println!("trials simulated: {}", result.trials_spent);
+    println!("fitness history : {}",
+        result
+            .history
+            .iter()
+            .map(|f| format!("{f:.0}"))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+    println!("\nbest strategy (found at generation {}):", result.best_generation);
+    println!("  {}", result.best.strategy);
+    println!("minimized:");
+    println!("  {}", minimized.strategy);
+    print!("  {}", geneva::explain(&minimized.strategy));
+    println!(
+        "  evasion rate {:.0}% over {} trials (fitness {:.1})",
+        result.best_eval.rate() * 100.0,
+        result.best_eval.trials,
+        result.best_eval.fitness
+    );
+    println!("\npaper strategies for comparison:");
+    for named in geneva::library::server_side() {
+        println!("  {:>2}. {:<28} {}", named.id, named.name, named.text.trim());
+    }
+}

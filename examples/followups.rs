@@ -1,0 +1,21 @@
+//! Regenerate the §5 follow-up (mechanism-confirmation) experiments
+//! and the §3 generalization experiment.
+//!
+//! ```sh
+//! cargo run --release --example followups -- [trials]
+//! ```
+
+use harness::experiments::{followups, overhead, residual, section3, table1};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+
+    println!("{}", table1());
+    println!("{}", section3(trials, 0x3333).render());
+    println!("{}", followups(trials, 0x5555).render());
+    println!("{}", residual(17).render());
+    println!("{}", overhead(6).render());
+}

@@ -1,0 +1,17 @@
+//! Robustness extension: strategies on lossy paths, plus the §2.1
+//! DNS-over-UDP race.
+//!
+//! ```sh
+//! cargo run --release --example lossy_network -- [trials]
+//! ```
+
+use harness::experiments::{dns_race, robustness};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    println!("{}", robustness(trials, 0xB0B).render());
+    println!("{}", dns_race(5).render());
+}

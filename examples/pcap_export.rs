@@ -1,0 +1,44 @@
+//! Export a strategy's packet exchange as a libpcap capture — open it
+//! in Wireshark and read the handshake the way the paper's authors
+//! read tcpdump.
+//!
+//! ```sh
+//! cargo run --example pcap_export -- [strategy-id] [out.pcap]
+//! ```
+
+use appproto::AppProtocol;
+use censor::Country;
+use harness::{run_trial, TrialConfig};
+use netsim::pcap::{parse_pcap, to_pcap, CaptureAt};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| format!("strategy{id}.pcap"));
+    let strategy = geneva::library::by_id(id).unwrap_or_else(|| {
+        eprintln!("strategy id must be 0–11; got {id}, using Strategy 1");
+        geneva::library::STRATEGY_1.strategy()
+    });
+
+    let result = (0..32)
+        .map(|seed| run_trial(&TrialConfig::new(Country::China, AppProtocol::Http, strategy.clone(), seed)))
+        .max_by_key(|r| u8::from(r.evaded()))
+        .expect("some run");
+
+    for at in [CaptureAt::Client, CaptureAt::Middlebox, CaptureAt::Server] {
+        let bytes = to_pcap(&result.trace, at);
+        let n = parse_pcap(&bytes).map(|(_, r)| r.len()).unwrap_or(0);
+        let suffix = match at {
+            CaptureAt::Client => "client",
+            CaptureAt::Middlebox => "censor",
+            CaptureAt::Server => "server",
+        };
+        let file = format!("{path}.{suffix}");
+        std::fs::write(&file, &bytes).expect("write pcap");
+        println!("{file}: {n} packets ({} bytes)", bytes.len());
+    }
+    println!("outcome: {:?}", result.outcome);
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figures 1 and 2: packet waterfalls for all strategies.
+//!
+//! ```sh
+//! cargo run --release --example waterfalls
+//! ```
+
+fn main() {
+    println!("==== Figure 1: server-side evasion strategies in China ====\n");
+    println!("{}", harness::experiments::figure1(7));
+    println!("==== Figure 2: strategies against Kazakhstan's HTTP censor ====\n");
+    println!("{}", harness::experiments::figure2(7));
+}

@@ -1,0 +1,133 @@
+//! `cay` — the command-line front end to the reproduction.
+//!
+//! ```text
+//! cay strategies                 list the paper's 11 strategies (+ variants)
+//! cay table1                     Table 1 (vantage points / protocols)
+//! cay table2 [trials]            Table 2 (success rates)
+//! cay waterfalls                 Figures 1 & 2 (packet diagrams)
+//! cay multibox [trials]          Figure 3 + §6 TTL probes
+//! cay followups [trials]         §3 + §5 follow-ups + residual censorship
+//! cay compat                     §7 OS and carrier matrices
+//! cay dnsrace                    §2.1 UDP-vs-TCP DNS background
+//! cay evolve [country] [proto]   §4.1 genetic algorithm
+//! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
+//! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
+//! ```
+
+use appproto::AppProtocol;
+use censor::Country;
+use harness::experiments;
+use harness::{run_trial, success_rate, TrialConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials = |default: u32| -> u32 {
+        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    match args.first().map(String::as_str) {
+        Some("strategies") => {
+            println!("The paper's 11 server-side strategies:");
+            for named in geneva::library::server_side() {
+                println!("  {:>2}. {:<30} {}", named.id, named.name, named.text.trim());
+                print!("      {}", geneva::explain(&named.strategy()));
+            }
+            println!("\nVariant species (§5):");
+            for named in geneva::library::variants() {
+                println!("  {:>2}. {:<30} {}", named.id, named.name, named.text.trim());
+            }
+        }
+        Some("table1") => print!("{}", experiments::table1()),
+        Some("table2") => print!("{}", experiments::table2(trials(200), 0xBADC_0FFE).render()),
+        Some("waterfalls") => {
+            println!("{}", experiments::figure1(7));
+            println!("{}", experiments::figure2(7));
+        }
+        Some("multibox") => {
+            println!("{}", experiments::multibox(trials(150), 0x600D).render());
+            println!("{}", experiments::ttl_probe(5).render());
+        }
+        Some("followups") => {
+            println!("{}", experiments::section3(trials(100), 0x3333).render());
+            println!("{}", experiments::followups(trials(100), 0x5555).render());
+            println!("{}", experiments::residual(17).render());
+            println!("{}", experiments::overhead(6).render());
+        }
+        Some("compat") => {
+            println!("{}", experiments::client_compat(2024).render());
+            println!("{}", experiments::network_compat(4242).render());
+        }
+        Some("dnsrace") => print!("{}", experiments::dns_race(5).render()),
+        Some("evolve") => {
+            let country = match args.get(1).map(String::as_str) {
+                Some("india") => Country::India,
+                Some("iran") => Country::Iran,
+                Some("kazakhstan") => Country::Kazakhstan,
+                _ => Country::China,
+            };
+            let protocol = match args.get(2).map(String::as_str) {
+                Some("dns") => AppProtocol::DnsTcp,
+                Some("ftp") => AppProtocol::Ftp,
+                Some("https") => AppProtocol::Https,
+                Some("smtp") => AppProtocol::Smtp,
+                _ => AppProtocol::Http,
+            };
+            let mut config = evolve::GaConfig::new(country, protocol, 2020);
+            config.population = 120;
+            config.generations = 25;
+            let result = evolve::evolve(&config);
+            println!(
+                "best after {} generations: {}\n  evasion {:.0}% (fitness {:.1})",
+                result.history.len(),
+                result.best.strategy,
+                result.best_eval.rate() * 100.0,
+                result.best_eval.fitness
+            );
+        }
+        Some("run") => {
+            let Some(text) = args.get(1) else {
+                eprintln!("usage: cay run '<strategy-dsl>'");
+                std::process::exit(2);
+            };
+            match geneva::parse_strategy(text) {
+                Ok(strategy) => {
+                    let cfg = TrialConfig::new(Country::China, AppProtocol::Http, strategy, 0);
+                    let rate = success_rate(&cfg, 200, 42);
+                    println!("vs GFW/HTTP over 200 trials: {rate}");
+                }
+                Err(e) => {
+                    eprintln!("strategy does not parse: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("pcap") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("strategy1.pcap");
+            // Capture a run where the strategy actually evades.
+            let result = (0..32)
+                .map(|seed| {
+                    run_trial(&TrialConfig::new(
+                        Country::China,
+                        AppProtocol::Http,
+                        geneva::library::STRATEGY_1.strategy(),
+                        seed,
+                    ))
+                })
+                .find(|r| r.evaded())
+                .expect("strategy 1 succeeds within 32 seeds");
+            let bytes = netsim::pcap::to_pcap(&result.trace, netsim::pcap::CaptureAt::Middlebox);
+            std::fs::write(path, &bytes).expect("write pcap");
+            println!(
+                "wrote {} bytes ({} packets at the censor's vantage) to {path}; outcome {:?}",
+                bytes.len(),
+                netsim::pcap::parse_pcap(&bytes).map(|(_, r)| r.len()).unwrap_or(0),
+                result.outcome
+            );
+        }
+        _ => {
+            eprintln!(
+                "usage: cay <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|run|pcap> [args]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

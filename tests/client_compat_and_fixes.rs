@@ -1,0 +1,25 @@
+//! Integration test for §7: strategy × OS compatibility and the
+//! insertion-packet fix.
+
+use harness::experiments::client_compat;
+
+#[test]
+fn payload_on_synack_breaks_windows_and_macos_only() {
+    let report = client_compat(77);
+    assert_eq!(
+        report.broken_strategies(),
+        vec![5, 9, 10],
+        "{}",
+        report.render()
+    );
+    // Exactly the 9 Windows/macOS profiles fail, for each of the three.
+    for id in [5u32, 9, 10] {
+        assert_eq!(report.failing_oses(id).len(), 9, "strategy {id}");
+    }
+}
+
+#[test]
+fn corrupted_checksum_fix_restores_all_oses() {
+    let report = client_compat(77);
+    assert!(report.all_fixed(), "{}", report.render());
+}

@@ -1,0 +1,56 @@
+//! Integration test: the genetic algorithm rediscovers working
+//! server-side strategies against the censor models, which is the
+//! paper's §4.1 methodology end-to-end.
+
+use appproto::AppProtocol;
+use censor::Country;
+use evolve::{evolve, GaConfig};
+
+#[test]
+fn ga_defeats_kazakhstan() {
+    // Kazakhstan admits several one/two-node 100% strategies (null
+    // flags, window reduction) — a compact GA finds one reliably.
+    let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 0xEE);
+    config.population = 48;
+    config.generations = 14;
+    config.trials_per_eval = 4;
+    let result = evolve(&config);
+    assert!(
+        result.best_eval.rate() >= 0.75,
+        "best {} rate {:.2}",
+        result.best.strategy,
+        result.best_eval.rate()
+    );
+}
+
+#[test]
+fn ga_beats_gfw_smtp() {
+    // SMTP is the easiest GFW target (window reduction = 100%,
+    // RST-based resync = ~70%).
+    let mut config = GaConfig::new(Country::China, AppProtocol::Smtp, 0xAB);
+    config.population = 48;
+    config.generations = 14;
+    config.trials_per_eval = 5;
+    let result = evolve(&config);
+    assert!(
+        result.best_eval.rate() >= 0.6,
+        "best {} rate {:.2}",
+        result.best.strategy,
+        result.best_eval.rate()
+    );
+}
+
+#[test]
+fn fitness_history_is_monotone_in_the_best() {
+    let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 0xCD);
+    config.population = 24;
+    config.generations = 8;
+    config.trials_per_eval = 3;
+    let result = evolve(&config);
+    // The running max of per-generation bests never decreases.
+    let mut best_so_far = f64::MIN;
+    for &f in &result.history {
+        best_so_far = best_so_far.max(f);
+    }
+    assert!(result.best_eval.fitness >= best_so_far - 1e-9);
+}

@@ -1,0 +1,64 @@
+//! Integration tests for Figures 1–3: waterfall contents and the
+//! TTL-probe co-location result.
+
+use harness::experiments::{figure1, figure2, multibox, ttl_probe};
+
+#[test]
+fn figure1_waterfalls_show_the_papers_packet_sequences() {
+    let text = figure1(7);
+    // Strategy 1's signature: the server's SYN+ACK became RST + SYN,
+    // and the client answered with a simultaneous-open SYN+ACK.
+    assert!(text.contains("Strategy 1"), "{text}");
+    assert!(text.contains("◀── RST"), "{text}");
+    assert!(text.contains("◀── SYN\n") || text.contains("◀── SYN "), "{text}");
+    assert!(text.contains("SYN/ACK ──▶"), "{text}");
+    // Strategy 6's FIN with a random load.
+    assert!(text.contains("FIN (w/ load"), "{text}");
+    // Strategy 8 (window reduction): the query leaves in pieces — at
+    // least two client data segments in its waterfall.
+    let s8 = text.split("Strategy 8").nth(1).expect("strategy 8 section");
+    let segments = s8.matches("ACK/PSH").count();
+    assert!(segments >= 3, "expected a segmented query, got {segments} in\n{s8}");
+}
+
+#[test]
+fn figure2_kazakhstan_waterfalls() {
+    let text = figure2(7);
+    assert!(text.contains("Strategy 9"), "{text}");
+    // Triple load: three payload-carrying SYN+ACKs from the server.
+    let s9 = text.split("Strategy 10").next().unwrap();
+    assert!(
+        s9.matches("SYN/ACK (w/ load").count() >= 3,
+        "triple load missing:\n{s9}"
+    );
+    // Double GET: the benign GET prefix rides the SYN+ACK.
+    assert!(text.contains("(GET load)"), "{text}");
+    // All four strategies evade.
+    assert_eq!(text.matches("— evaded").count(), 4, "{text}");
+}
+
+#[test]
+fn ttl_probes_localize_all_boxes_at_the_same_hop() {
+    let report = ttl_probe(3);
+    assert!(report.all_collocated(), "{}", report.render());
+    for (proto, hops) in &report.hops {
+        assert_eq!(*hops, Some(report.true_hops), "{proto}");
+    }
+}
+
+#[test]
+fn multibox_spread_is_the_figure3_evidence() {
+    let report = multibox(40, 0xF16);
+    let render = report.render();
+    for row in &report.rows {
+        let multi = harness::experiments::multibox::MultiboxStrategyRow::spread(&row.multi_box);
+        let single = harness::experiments::multibox::MultiboxStrategyRow::spread(&row.single_box);
+        if row.strategy_id == 5 || row.strategy_id == 8 {
+            assert!(
+                multi > single + 0.15,
+                "strategy {}: multi {multi} vs single {single}\n{render}",
+                row.strategy_id
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Integration test for the paper's §3 negative result: client-side
+//! strategies do not generalize to the server side.
+//!
+//! The mechanism (not a table entry!) in our model: a server-side
+//! insertion packet arms the GFW's resynchronization state, but the
+//! resync then lands on an ordinary, correct-sequence client packet —
+//! leaving the censor synchronized. Only strategies that *change the
+//! client's behavior* (simultaneous open, induced RSTs, window-driven
+//! segmentation) put a wrong value under the landing.
+
+use harness::experiments::section3;
+
+#[test]
+fn client_side_strategies_work_their_server_analogs_do_not() {
+    let report = section3(60, 0xDEAD);
+
+    // Control arm: the classic client-side insertion strategies all
+    // beat the GFW handily.
+    let mut client_winners = 0;
+    for entry in &report.client_side {
+        if entry.name.contains("Teardown") || entry.name.contains("Desync") {
+            assert!(
+                entry.rate.rate() > 0.75,
+                "client-side '{}' only {}",
+                entry.name,
+                entry.rate
+            );
+            client_winners += 1;
+        }
+    }
+    assert!(client_winners >= 4, "need several client-side controls");
+
+    // The negative result: every server-side analog is statistically
+    // indistinguishable from no evasion.
+    assert!(!report.server_side_analogs.is_empty());
+    for entry in &report.server_side_analogs {
+        assert!(
+            entry.rate.rate() <= report.baseline.rate() + 0.12,
+            "server-side analog '{}' unexpectedly works: {} (baseline {})",
+            entry.name,
+            entry.rate,
+            report.baseline
+        );
+    }
+}
