@@ -7,6 +7,9 @@
 //! success rate — a 50 % strategy reaches ~87.5 % with 3 total tries.
 //! We model the paper's testing choice: 3 tries max.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use endpoint::{ClientApp, ServerApp, ServerSession};
 
 /// The answer address our resolver hands out; the client checks it.
@@ -235,6 +238,7 @@ impl ServerSession for DnsServerSession {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -296,10 +300,17 @@ mod tests {
     #[test]
     fn udp_message_helpers_round_trip() {
         let q = build_query_message("www.wikipedia.org", 0x9999);
-        assert_eq!(parse_query_name_udp(&q).as_deref(), Some("www.wikipedia.org"));
+        assert_eq!(
+            parse_query_name_udp(&q).as_deref(),
+            Some("www.wikipedia.org")
+        );
         let truthful = build_response_message(&q, ANSWER_IP).unwrap();
         assert_eq!(response_answer(&truthful), Some(ANSWER_IP));
-        assert_eq!(parse_query_name_udp(&truthful), None, "responses are not queries");
+        assert_eq!(
+            parse_query_name_udp(&truthful),
+            None,
+            "responses are not queries"
+        );
         let lemon = build_response_message(&q, LEMON_IP).unwrap();
         assert_eq!(response_answer(&lemon), Some(LEMON_IP));
     }

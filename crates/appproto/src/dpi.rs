@@ -98,9 +98,7 @@ pub fn forbidden_in(proto: AppProtocol, data: &[u8], keyword: &str) -> bool {
 pub fn is_complete_unit(proto: AppProtocol, payload: &[u8]) -> bool {
     match proto {
         AppProtocol::Ftp | AppProtocol::Smtp => payload.ends_with(b"\r\n"),
-        AppProtocol::Http => {
-            crate::http::contains(payload, b"\r\n\r\n")
-        }
+        AppProtocol::Http => crate::http::contains(payload, b"\r\n\r\n"),
         AppProtocol::DnsTcp => {
             payload.len() >= 2
                 && payload.len() >= 2 + usize::from(u16::from_be_bytes([payload[0], payload[1]]))
@@ -114,6 +112,7 @@ pub fn is_complete_unit(proto: AppProtocol, payload: &[u8]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use endpoint::ClientApp;
 
@@ -129,7 +128,11 @@ mod tests {
         let query = crate::dns::build_query("www.wikipedia.org", 7);
         assert!(forbidden_in(AppProtocol::DnsTcp, &query, "wikipedia"));
         // FTP
-        assert!(forbidden_in(AppProtocol::Ftp, b"RETR ultrasurf\r\n", "ultrasurf"));
+        assert!(forbidden_in(
+            AppProtocol::Ftp,
+            b"RETR ultrasurf\r\n",
+            "ultrasurf"
+        ));
         // SMTP
         assert!(forbidden_in(
             AppProtocol::Smtp,
@@ -151,7 +154,11 @@ mod tests {
     #[test]
     fn innocuous_requests_pass() {
         let mut ok = crate::http::HttpClientApp::for_keyword_query("kittens");
-        assert!(!forbidden_in(AppProtocol::Http, &ok.request(0), "ultrasurf"));
+        assert!(!forbidden_in(
+            AppProtocol::Http,
+            &ok.request(0),
+            "ultrasurf"
+        ));
         let hello = crate::tls::client_hello("example.org", 1);
         assert!(!forbidden_in(AppProtocol::Https, &hello, "wikipedia"));
     }

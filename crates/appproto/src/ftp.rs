@@ -65,10 +65,9 @@ impl FtpClientApp {
                         .push(format!("RETR {}\r\n", self.filename).into_bytes());
                     self.state = FtpClientState::WaitRetrOk;
                 }
-                (FtpClientState::WaitRetrOk, "226")
-                    if line.contains("genuine-origin-ftp") => {
-                        self.state = FtpClientState::Done;
-                    }
+                (FtpClientState::WaitRetrOk, "226") if line.contains("genuine-origin-ftp") => {
+                    self.state = FtpClientState::Done;
+                }
                 _ => {} // intermediate replies (150 etc.) or noise
             }
         }
@@ -156,6 +155,7 @@ pub fn parse_retr_filename(stream: &[u8]) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     /// Drive client and server sessions against each other in memory.
@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn partial_retr_line_not_matched() {
-        assert_eq!(parse_retr_filename(b"RETR ultra"), None, "no CRLF yet? still extracted?");
+        assert_eq!(
+            parse_retr_filename(b"RETR ultra"),
+            None,
+            "no CRLF yet? still extracted?"
+        );
     }
 
     #[test]

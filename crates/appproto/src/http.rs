@@ -167,7 +167,11 @@ pub fn request_is_forbidden(stream: &[u8], keyword: &str) -> bool {
     match parse_request(stream) {
         Some(req) => {
             req.target.contains(keyword)
-                || req.host.as_deref().map(|h| h.contains(keyword)).unwrap_or(false)
+                || req
+                    .host
+                    .as_deref()
+                    .map(|h| h.contains(keyword))
+                    .unwrap_or(false)
         }
         None => false,
     }
@@ -186,6 +190,7 @@ pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

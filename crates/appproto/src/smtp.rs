@@ -63,10 +63,9 @@ impl SmtpClientApp {
                         .push(format!("RCPT TO:<{}>\r\n", self.rcpt).into_bytes());
                     self.state = SmtpClientState::WaitRcptOk;
                 }
-                (SmtpClientState::WaitRcptOk, "250")
-                    if line.contains("genuine-origin-smtp") => {
-                        self.state = SmtpClientState::Done;
-                    }
+                (SmtpClientState::WaitRcptOk, "250") if line.contains("genuine-origin-smtp") => {
+                    self.state = SmtpClientState::Done;
+                }
                 _ => {}
             }
         }
@@ -153,6 +152,7 @@ pub fn parse_rcpt(stream: &[u8]) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn run_session(rcpt: &str) -> (SmtpClientApp, Vec<u8>) {

@@ -8,6 +8,9 @@
 //! input, and a ServerHello-shaped reply that stands in for "the
 //! correct, unaltered data".
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use endpoint::{ClientApp, ServerApp, ServerSession};
 
 /// Marker bytes inside our stand-in ServerHello (certificate blob) that
@@ -211,6 +214,7 @@ impl ServerSession for TlsServerSession {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

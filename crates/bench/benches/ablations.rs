@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
 //! * `ablation_resync` — the paper's revised three-rule
@@ -55,12 +56,8 @@ fn ablation_multibox(c: &mut Criterion) {
             b.iter(|| {
                 let mut spread_proxy = 0i64;
                 for proto in AppProtocol::all() {
-                    let mut cfg = TrialConfig::new(
-                        Country::China,
-                        proto,
-                        library::STRATEGY_5.strategy(),
-                        0,
-                    );
+                    let mut cfg =
+                        TrialConfig::new(Country::China, proto, library::STRATEGY_5.strategy(), 0);
                     cfg.censor_variant = variant;
                     let successes = success_rate(&cfg, BENCH_TRIALS, 5).successes as i64;
                     spread_proxy += successes;
@@ -75,8 +72,16 @@ fn ablation_multibox(c: &mut Criterion) {
 fn ablation_insertion(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_insertion");
     let cases = [
-        ("s9_plain_linux", library::STRATEGY_9.text, OsProfile::linux()),
-        ("s9_plain_windows", library::STRATEGY_9.text, OsProfile::windows()),
+        (
+            "s9_plain_linux",
+            library::STRATEGY_9.text,
+            OsProfile::linux(),
+        ),
+        (
+            "s9_plain_windows",
+            library::STRATEGY_9.text,
+            OsProfile::windows(),
+        ),
         (
             "s9_fixed_windows",
             library::client_compat_fix(9).unwrap().text,
@@ -89,12 +94,8 @@ fn ablation_insertion(c: &mut Criterion) {
             b.iter(|| {
                 let mut ok = 0u32;
                 for seed in 0..BENCH_TRIALS as u64 {
-                    let cfg = TrialConfig::private_network(
-                        AppProtocol::Http,
-                        strategy.clone(),
-                        os,
-                        seed,
-                    );
+                    let cfg =
+                        TrialConfig::private_network(AppProtocol::Http, strategy.clone(), os, seed);
                     ok += u32::from(run_trial(&cfg).evaded());
                 }
                 black_box(ok)

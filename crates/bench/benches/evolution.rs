@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Bench target for the **§4.1 methodology**: the genetic algorithm's
 //! per-generation cost and a short end-to-end evolution run.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Bench targets for **Figure 1** (China waterfalls), **Figure 2**
 //! (Kazakhstan waterfalls), and **Figure 3** (multi-box evidence +
 //! TTL-probe localization).

@@ -1,9 +1,10 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Micro-benchmarks: the per-packet costs under everything else —
 //! packet codec, Geneva engine application, censor DPI, and a whole
 //! end-to-end simulated trial.
 
 use appproto::AppProtocol;
-use censor::{Gfw, Country};
+use censor::{Country, Gfw};
 use criterion::{criterion_group, criterion_main, Criterion};
 use geneva::{library, Engine};
 use harness::{run_trial, TrialConfig};
@@ -59,14 +60,24 @@ fn geneva_engine(c: &mut Criterion) {
         p.finalize();
         p
     };
-    for named in [library::STRATEGY_1, library::STRATEGY_6, library::STRATEGY_8] {
+    for named in [
+        library::STRATEGY_1,
+        library::STRATEGY_6,
+        library::STRATEGY_8,
+    ] {
         group.bench_function(format!("apply_strategy_{}", named.id), |b| {
             let mut engine = Engine::new(named.strategy(), 7);
             b.iter(|| black_box(engine.apply_outbound(&syn_ack).len()))
         });
     }
     group.bench_function("parse_strategy", |b| {
-        b.iter(|| black_box(geneva::parse_strategy(library::STRATEGY_6.text).unwrap().size()))
+        b.iter(|| {
+            black_box(
+                geneva::parse_strategy(library::STRATEGY_6.text)
+                    .unwrap()
+                    .size(),
+            )
+        })
     });
     group.finish();
 }
@@ -75,11 +86,23 @@ fn censor_dpi(c: &mut Criterion) {
     let mut group = c.benchmark_group("censor_dpi");
     let request = appproto::http::HttpClientApp::for_keyword_query("ultrasurf").request_bytes();
     group.bench_function("http_matcher", |b| {
-        b.iter(|| black_box(appproto::forbidden_in(AppProtocol::Http, &request, "ultrasurf")))
+        b.iter(|| {
+            black_box(appproto::forbidden_in(
+                AppProtocol::Http,
+                &request,
+                "ultrasurf",
+            ))
+        })
     });
     let hello = appproto::tls::client_hello("www.wikipedia.org", 1);
     group.bench_function("sni_matcher", |b| {
-        b.iter(|| black_box(appproto::forbidden_in(AppProtocol::Https, &hello, "wikipedia")))
+        b.iter(|| {
+            black_box(appproto::forbidden_in(
+                AppProtocol::Https,
+                &hello,
+                "wikipedia",
+            ))
+        })
     });
     group.bench_function("gfw_process_packet", |b| {
         let mut gfw = Gfw::standard(7);

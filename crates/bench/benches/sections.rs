@@ -1,10 +1,13 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Bench targets for the section-level experiments: **§3** (client-side
 //! strategies do not generalize), the **§5 follow-ups**, and **§7**
 //! (client compatibility).
 
 use bench::{experiment_criterion, BENCH_TRIALS};
 use criterion::{criterion_group, criterion_main, Criterion};
-use harness::experiments::{client_compat, dns_race, followups, network_compat, overhead, residual, robustness, section3};
+use harness::experiments::{
+    client_compat, dns_race, followups, network_compat, overhead, residual, robustness, section3,
+};
 use std::hint::black_box;
 
 fn section3_bench(c: &mut Criterion) {

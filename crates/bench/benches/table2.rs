@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Bench target for **Table 2**: regenerate each country's block of
 //! strategy-success rates. The printed numbers (via `--nocapture`-like
 //! stderr) are secondary here; the bench measures the cost of the
@@ -38,7 +39,12 @@ fn table2_headline_cells(c: &mut Criterion) {
         ("S5-china-ftp", Country::China, AppProtocol::Ftp, 5),
         ("S8-china-smtp", Country::China, AppProtocol::Smtp, 8),
         ("S8-india-http", Country::India, AppProtocol::Http, 8),
-        ("S9-kazakhstan-http", Country::Kazakhstan, AppProtocol::Http, 9),
+        (
+            "S9-kazakhstan-http",
+            Country::Kazakhstan,
+            AppProtocol::Http,
+            9,
+        ),
     ];
     let mut group = c.benchmark_group("table2_cells");
     for (name, country, proto, id) in cells {

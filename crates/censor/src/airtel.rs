@@ -11,6 +11,9 @@
 //!   an HTTP 200 block page in a FIN+PSH+ACK packet, plus a follow-up
 //!   RST "for good measure" (Yadav et al., confirmed by the paper).
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use appproto::http;
 use netsim::{Direction, Middlebox, Verdict};
 use packet::{Packet, TcpFlags};
@@ -93,6 +96,7 @@ impl Middlebox for AirtelCensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn request_pkt(dst_port: u16, payload: &[u8]) -> Packet {
@@ -117,12 +121,21 @@ mod tests {
     #[test]
     fn injects_block_page_and_rst_on_port_80() {
         let mut censor = AirtelCensor::new();
-        let verdict = censor.process(&request_pkt(80, &forbidden_request()), Direction::ToServer, 0);
-        assert!(verdict.forward.is_some(), "on-path: request still forwarded");
+        let verdict = censor.process(
+            &request_pkt(80, &forbidden_request()),
+            Direction::ToServer,
+            0,
+        );
+        assert!(
+            verdict.forward.is_some(),
+            "on-path: request still forwarded"
+        );
         assert_eq!(verdict.inject_to_client.len(), 2);
         assert_eq!(verdict.inject_to_client[0].flags(), TcpFlags::FIN_PSH_ACK);
-        assert!(String::from_utf8_lossy(&verdict.inject_to_client[0].payload)
-            .contains(appproto::http::BLOCK_MARKER));
+        assert!(
+            String::from_utf8_lossy(&verdict.inject_to_client[0].payload)
+                .contains(appproto::http::BLOCK_MARKER)
+        );
         assert_eq!(verdict.inject_to_client[1].flags(), TcpFlags::RST);
         assert_eq!(censor.censor_events, 1);
     }
@@ -130,7 +143,11 @@ mod tests {
     #[test]
     fn other_ports_are_free() {
         let mut censor = AirtelCensor::new();
-        let verdict = censor.process(&request_pkt(8080, &forbidden_request()), Direction::ToServer, 0);
+        let verdict = censor.process(
+            &request_pkt(8080, &forbidden_request()),
+            Direction::ToServer,
+            0,
+        );
         assert!(verdict.inject_to_client.is_empty());
     }
 
@@ -138,7 +155,11 @@ mod tests {
     fn stateless_no_handshake_needed() {
         // First packet the censor ever sees is the request: still fires.
         let mut censor = AirtelCensor::new();
-        let verdict = censor.process(&request_pkt(80, &forbidden_request()), Direction::ToServer, 0);
+        let verdict = censor.process(
+            &request_pkt(80, &forbidden_request()),
+            Direction::ToServer,
+            0,
+        );
         assert!(!verdict.inject_to_client.is_empty());
     }
 
@@ -148,7 +169,10 @@ mod tests {
         let req = forbidden_request();
         for chunk in req.chunks(10) {
             let verdict = censor.process(&request_pkt(80, chunk), Direction::ToServer, 0);
-            assert!(verdict.inject_to_client.is_empty(), "per-packet DPI must miss");
+            assert!(
+                verdict.inject_to_client.is_empty(),
+                "per-packet DPI must miss"
+            );
         }
         assert_eq!(censor.censor_events, 0);
     }

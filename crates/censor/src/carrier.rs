@@ -100,6 +100,7 @@ impl Middlebox for CarrierMiddlebox {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::TcpFlags;
 
@@ -113,7 +114,10 @@ mod tests {
     fn wifi_is_transparent() {
         let mut mb = CarrierMiddlebox::new(Carrier::Wifi);
         for flags in [TcpFlags::SYN, TcpFlags::RST, TcpFlags::SYN_ACK] {
-            assert!(mb.process(&s2c(flags), Direction::ToClient, 0).forward.is_some());
+            assert!(mb
+                .process(&s2c(flags), Direction::ToClient, 0)
+                .forward
+                .is_some());
         }
         assert_eq!(mb.dropped, 0);
     }
@@ -122,25 +126,49 @@ mod tests {
     fn tmobile_allows_only_initial_server_syn() {
         let mut mb = CarrierMiddlebox::new(Carrier::TMobile);
         // Strategy 2's shape: SYN first — allowed.
-        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 0).forward.is_some());
+        assert!(mb
+            .process(&s2c(TcpFlags::SYN), Direction::ToClient, 0)
+            .forward
+            .is_some());
         // Strategy 1's shape on a fresh flow: RST first, then SYN — SYN dropped.
         let mut mb = CarrierMiddlebox::new(Carrier::TMobile);
-        assert!(mb.process(&s2c(TcpFlags::RST), Direction::ToClient, 0).forward.is_some());
-        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 1).forward.is_none());
+        assert!(mb
+            .process(&s2c(TcpFlags::RST), Direction::ToClient, 0)
+            .forward
+            .is_some());
+        assert!(mb
+            .process(&s2c(TcpFlags::SYN), Direction::ToClient, 1)
+            .forward
+            .is_none());
         assert_eq!(mb.dropped, 1);
     }
 
     #[test]
     fn att_drops_every_server_syn() {
         let mut mb = CarrierMiddlebox::new(Carrier::Att);
-        assert!(mb.process(&s2c(TcpFlags::SYN), Direction::ToClient, 0).forward.is_none());
-        assert!(mb.process(&s2c(TcpFlags::SYN_ACK), Direction::ToClient, 1).forward.is_some());
+        assert!(mb
+            .process(&s2c(TcpFlags::SYN), Direction::ToClient, 0)
+            .forward
+            .is_none());
+        assert!(mb
+            .process(&s2c(TcpFlags::SYN_ACK), Direction::ToClient, 1)
+            .forward
+            .is_some());
     }
 
     #[test]
     fn client_direction_untouched() {
         let mut mb = CarrierMiddlebox::new(Carrier::Att);
-        let mut syn = Packet::tcp([10, 0, 0, 1], 40000, [20, 0, 0, 9], 80, TcpFlags::SYN, 1, 0, vec![]);
+        let mut syn = Packet::tcp(
+            [10, 0, 0, 1],
+            40000,
+            [20, 0, 0, 9],
+            80,
+            TcpFlags::SYN,
+            1,
+            0,
+            vec![],
+        );
         syn.finalize();
         assert!(mb.process(&syn, Direction::ToServer, 0).forward.is_some());
     }

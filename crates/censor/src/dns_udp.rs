@@ -52,13 +52,7 @@ impl Middlebox for DnsUdpInjector {
         }
         if let Some(forged) = dns::build_response_message(&pkt.payload, dns::LEMON_IP) {
             self.injections += 1;
-            let mut lemon = Packet::udp(
-                pkt.ip.dst,
-                udp.dst_port,
-                pkt.ip.src,
-                udp.src_port,
-                forged,
-            );
+            let mut lemon = Packet::udp(pkt.ip.dst, udp.dst_port, pkt.ip.src, udp.src_port, forged);
             lemon.finalize();
             // On-path: the query still reaches the resolver; the
             // forgery just arrives first.
@@ -70,6 +64,7 @@ impl Middlebox for DnsUdpInjector {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn query_pkt(name: &str) -> Packet {

@@ -26,6 +26,9 @@
 //! does not — it merely arms rule 2. This asymmetry is why client-side
 //! strategies do not generalize to the server side.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 pub mod params;
 
 pub use params::GfwBoxParams;
@@ -243,9 +246,7 @@ impl GfwBox {
             // --- packets from the server: resync-state events ---
             let flags = tcp.flags;
             // A server SYN+ACK can LAND an armed rule-1 resync.
-            if flags.is_syn_ack()
-                && tcb.arm == Some(ResyncTarget::NextServerSynAckOrClientAck)
-            {
+            if flags.is_syn_ack() && tcb.arm == Some(ResyncTarget::NextServerSynAckOrClientAck) {
                 tcb.arm = None;
                 // The box adopts the SYN+ACK's ack number as the
                 // client's next byte (garbage ack ⇒ blind censor).
@@ -445,6 +446,7 @@ impl Middlebox for Gfw {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use appproto::AppProtocol;
 
@@ -459,7 +461,16 @@ mod tests {
         ack: u32,
         payload: &[u8],
     ) -> Packet {
-        let mut p = Packet::tcp(from.0, from.1, to.0, to.1, flags, seq, ack, payload.to_vec());
+        let mut p = Packet::tcp(
+            from.0,
+            from.1,
+            to.0,
+            to.1,
+            flags,
+            seq,
+            ack,
+            payload.to_vec(),
+        );
         p.finalize();
         p
     }
@@ -615,13 +626,27 @@ mod tests {
         b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
         b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9001, b""), 2);
         b.observe(
-            &pkt(SERVER, CLIENT, TcpFlags::PSH_ACK, 9001, 1001, b"220 ready\r\n"),
+            &pkt(
+                SERVER,
+                CLIENT,
+                TcpFlags::PSH_ACK,
+                9001,
+                1001,
+                b"220 ready\r\n",
+            ),
             3,
         );
         // Client ACKs the banner (rule-1 landing, correct seq).
         b.observe(&pkt(CLIENT, SERVER, TcpFlags::ACK, 1001, 9012, b""), 4);
         let (c, _) = b.observe(
-            &pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9012, b"RETR ultrasurf\r\n"),
+            &pkt(
+                CLIENT,
+                SERVER,
+                TcpFlags::PSH_ACK,
+                1001,
+                9012,
+                b"RETR ultrasurf\r\n",
+            ),
             5,
         );
         assert!(!c.is_empty(), "still synchronized ⇒ still censoring");
@@ -631,10 +656,16 @@ mod tests {
     fn residual_censorship_kills_followup_connections() {
         let mut b = http_box(1);
         run_plain(&mut b); // censor event at t≈3, residual until 90 s
-        // A brand-new connection (different client port) shortly after:
+                           // A brand-new connection (different client port) shortly after:
         let client2 = ([10, 0, 0, 1], 40001);
-        b.observe(&pkt(client2, SERVER, TcpFlags::SYN, 5000, 0, b""), 1_000_000);
-        b.observe(&pkt(SERVER, client2, TcpFlags::SYN_ACK, 7000, 5001, b""), 1_000_001);
+        b.observe(
+            &pkt(client2, SERVER, TcpFlags::SYN, 5000, 0, b""),
+            1_000_000,
+        );
+        b.observe(
+            &pkt(SERVER, client2, TcpFlags::SYN_ACK, 7000, 5001, b""),
+            1_000_001,
+        );
         let (c, s) = b.observe(
             &pkt(client2, SERVER, TcpFlags::ACK, 5001, 7001, b""),
             1_000_002,
@@ -642,7 +673,10 @@ mod tests {
         assert!(!c.is_empty() && !s.is_empty(), "residual teardown");
         // After expiry (90 s), a new connection is untouched.
         let client3 = ([10, 0, 0, 1], 40002);
-        b.observe(&pkt(client3, SERVER, TcpFlags::SYN, 6000, 0, b""), 95_000_000);
+        b.observe(
+            &pkt(client3, SERVER, TcpFlags::SYN, 6000, 0, b""),
+            95_000_000,
+        );
         let (c, _) = b.observe(
             &pkt(client3, SERVER, TcpFlags::ACK, 6001, 0, b""),
             95_000_001,
@@ -658,7 +692,10 @@ mod tests {
         let query = appproto::dns::build_query("www.wikipedia.org", 7);
         b.observe(&pkt(CLIENT, SERVER, TcpFlags::SYN, 1000, 0, b""), 0);
         b.observe(&pkt(SERVER, CLIENT, TcpFlags::SYN_ACK, 9000, 1001, b""), 1);
-        let (c, _) = b.observe(&pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, &query), 2);
+        let (c, _) = b.observe(
+            &pkt(CLIENT, SERVER, TcpFlags::PSH_ACK, 1001, 9001, &query),
+            2,
+        );
         assert!(!c.is_empty(), "query censored");
         // Immediate follow-up on a fresh connection is NOT blocked.
         let client2 = ([10, 0, 0, 1], 40001);
@@ -700,6 +737,9 @@ mod tests {
             &pkt(client2, SERVER, TcpFlags::PSH_ACK, 1011, 9001, &line[10..]),
             6,
         );
-        assert!(c1.is_empty() && c2.is_empty(), "segmentation defeats SMTP box");
+        assert!(
+            c1.is_empty() && c2.is_empty(),
+            "segmentation defeats SMTP box"
+        );
     }
 }

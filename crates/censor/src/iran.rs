@@ -84,6 +84,7 @@ impl Middlebox for IranCensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::TcpFlags;
 

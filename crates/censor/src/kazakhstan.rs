@@ -21,6 +21,9 @@
 //!   a forbidden request, the censor processes it and responds (the
 //!   first one only breaks it out of its handshake state).
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use appproto::http;
 use netsim::{Direction, Middlebox, Verdict};
 use packet::packet::FlowKey;
@@ -130,9 +133,9 @@ impl Middlebox for KazakhstanCensor {
                 if !flow.client_data_seen && !flow.ignored {
                     let flags = tcp.flags;
                     // Null/esoteric flags break the handshake model.
-                    if !flags.intersects(
-                        TcpFlags::FIN | TcpFlags::RST | TcpFlags::SYN | TcpFlags::ACK,
-                    ) {
+                    if !flags
+                        .intersects(TcpFlags::FIN | TcpFlags::RST | TcpFlags::SYN | TcpFlags::ACK)
+                    {
                         flow.ignored = true;
                         return Verdict::pass(pkt.clone());
                     }
@@ -194,6 +197,7 @@ impl Middlebox for KazakhstanCensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     const CLIENT: ([u8; 4], u16) = ([10, 0, 0, 1], 40000);
@@ -201,7 +205,14 @@ mod tests {
 
     fn c2s(flags: TcpFlags, seq: u32, payload: &[u8]) -> Packet {
         let mut p = Packet::tcp(
-            CLIENT.0, CLIENT.1, SERVER.0, SERVER.1, flags, seq, 9001, payload.to_vec(),
+            CLIENT.0,
+            CLIENT.1,
+            SERVER.0,
+            SERVER.1,
+            flags,
+            seq,
+            9001,
+            payload.to_vec(),
         );
         p.finalize();
         p
@@ -209,7 +220,14 @@ mod tests {
 
     fn s2c(flags: TcpFlags, seq: u32, payload: &[u8]) -> Packet {
         let mut p = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, flags, seq, 1001, payload.to_vec(),
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            flags,
+            seq,
+            1001,
+            payload.to_vec(),
         );
         p.finalize();
         p
@@ -233,7 +251,11 @@ mod tests {
         assert_eq!(verdict.inject_to_client.len(), 1);
         assert_eq!(verdict.inject_to_client[0].flags(), TcpFlags::FIN_PSH_ACK);
         // Subsequent client packets swallowed for 15 s…
-        let verdict = censor.process(&c2s(TcpFlags::ACK, 2000, b"x"), Direction::ToServer, 1_000_000);
+        let verdict = censor.process(
+            &c2s(TcpFlags::ACK, 2000, b"x"),
+            Direction::ToServer,
+            1_000_000,
+        );
         assert!(verdict.forward.is_none());
         // …and released afterwards.
         let verdict = censor.process(
@@ -281,7 +303,10 @@ mod tests {
                 Direction::ToServer,
                 10,
             );
-            assert!(verdict.forward.is_none(), "{count} payloads: still censored");
+            assert!(
+                verdict.forward.is_none(),
+                "{count} payloads: still censored"
+            );
         }
     }
 
@@ -309,7 +334,11 @@ mod tests {
         // One GET only.
         let mut censor = KazakhstanCensor::new();
         censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
-        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTTP1."), Direction::ToClient, 1);
+        censor.process(
+            &s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTTP1."),
+            Direction::ToClient,
+            1,
+        );
         let verdict = censor.process(
             &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
             Direction::ToServer,
@@ -321,7 +350,11 @@ mod tests {
         let mut censor = KazakhstanCensor::new();
         censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
         for i in 0..2 {
-            censor.process(&s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTT"), Direction::ToClient, 1 + i);
+            censor.process(
+                &s2c(TcpFlags::SYN_ACK, 9000, b"GET / HTT"),
+                Direction::ToClient,
+                1 + i,
+            );
         }
         let verdict = censor.process(
             &c2s(TcpFlags::PSH_ACK, 1001, &forbidden_request()),
@@ -351,10 +384,18 @@ mod tests {
         censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
         let forbidden = forbidden_request();
         // First forbidden GET from the server: no response.
-        let v1 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 1);
+        let v1 = censor.process(
+            &s2c(TcpFlags::SYN_ACK, 9000, &forbidden),
+            Direction::ToClient,
+            1,
+        );
         assert!(v1.inject_to_server.is_empty());
         // Second forbidden GET: censor answers the server.
-        let v2 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 2);
+        let v2 = censor.process(
+            &s2c(TcpFlags::SYN_ACK, 9000, &forbidden),
+            Direction::ToClient,
+            2,
+        );
         assert_eq!(v2.inject_to_server.len(), 1);
         assert_eq!(censor.probe_responses, 1);
     }
@@ -365,9 +406,20 @@ mod tests {
         censor.process(&c2s(TcpFlags::SYN, 1000, b""), Direction::ToServer, 0);
         let forbidden = forbidden_request();
         let benign = http::HttpClientApp::for_blocked_host("example.org").request_bytes();
-        censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &forbidden), Direction::ToClient, 1);
-        let v2 = censor.process(&s2c(TcpFlags::SYN_ACK, 9000, &benign), Direction::ToClient, 2);
-        assert!(v2.inject_to_server.is_empty(), "second request is the processed one");
+        censor.process(
+            &s2c(TcpFlags::SYN_ACK, 9000, &forbidden),
+            Direction::ToClient,
+            1,
+        );
+        let v2 = censor.process(
+            &s2c(TcpFlags::SYN_ACK, 9000, &benign),
+            Direction::ToClient,
+            2,
+        );
+        assert!(
+            v2.inject_to_server.is_empty(),
+            "second request is the processed one"
+        );
         assert_eq!(censor.probe_responses, 0);
     }
 
@@ -378,7 +430,8 @@ mod tests {
         let req = forbidden_request();
         let mut seq = 1001;
         for chunk in req.chunks(10) {
-            let verdict = censor.process(&c2s(TcpFlags::PSH_ACK, seq, chunk), Direction::ToServer, 5);
+            let verdict =
+                censor.process(&c2s(TcpFlags::PSH_ACK, seq, chunk), Direction::ToServer, 5);
             assert!(verdict.forward.is_some());
             seq += chunk.len() as u32;
         }
@@ -389,7 +442,13 @@ mod tests {
     fn non_port_80_is_free() {
         let mut censor = KazakhstanCensor::new();
         let mut p = Packet::tcp(
-            CLIENT.0, CLIENT.1, SERVER.0, 8080, TcpFlags::PSH_ACK, 1001, 0,
+            CLIENT.0,
+            CLIENT.1,
+            SERVER.0,
+            8080,
+            TcpFlags::PSH_ACK,
+            1001,
+            0,
             forbidden_request(),
         );
         p.finalize();

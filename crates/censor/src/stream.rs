@@ -19,6 +19,9 @@
 //! Both modes still *track* the sequence cursor, which is what the
 //! desynchronization strategies (1–7) poison via `resync_to`.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use std::collections::BTreeMap;
 
 /// How a censor inspects the bytes it tracks.
@@ -106,7 +109,8 @@ impl CensorStream {
 
     fn append(&mut self, payload: &[u8]) {
         let room = self.max_bytes.saturating_sub(self.buffer.len());
-        self.buffer.extend_from_slice(&payload[..payload.len().min(room)]);
+        self.buffer
+            .extend_from_slice(&payload[..payload.len().min(room)]);
         self.expected = self.expected.wrapping_add(payload.len() as u32);
     }
 
@@ -143,6 +147,7 @@ impl CensorStream {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -172,7 +177,9 @@ mod tests {
     fn early_segments_are_discarded_not_trimmed() {
         // The seq−1 experiment: data one byte early must never surface.
         let mut s = CensorStream::new(1000, InspectMode::Stream);
-        assert!(s.push(999, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n").is_empty());
+        assert!(s
+            .push(999, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n")
+            .is_empty());
         assert_eq!(s.expected(), 1000);
         let mut p = CensorStream::new(1000, InspectMode::PerPacket);
         assert!(p.push(999, b"whole request").is_empty());
@@ -185,7 +192,9 @@ mod tests {
         s.resync_to(999);
         // Real data arrives at 1000: a one-byte gap the censor waits on
         // forever (Stream) or ignores (PerPacket).
-        assert!(s.push(1000, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n").is_empty());
+        assert!(s
+            .push(1000, b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n")
+            .is_empty());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Property tests: censor models must be total — no packet sequence,
 //! however deranged (it's produced by a genetic algorithm!), may crash
 //! them, and on-path censors must never block traffic.
@@ -31,14 +32,16 @@ fn arb_packet() -> impl Strategy<Value = FuzzPacket> {
             Just(b"RCPT TO:<xiazai@upup.info>\r\n".to_vec()),
         ],
     )
-        .prop_map(|(from_client, flags, seq, ack, sport, payload)| FuzzPacket {
-            from_client,
-            flags,
-            seq,
-            ack,
-            sport,
-            payload,
-        })
+        .prop_map(
+            |(from_client, flags, seq, ack, sport, payload)| FuzzPacket {
+                from_client,
+                flags,
+                seq,
+                ack,
+                sport,
+                payload,
+            },
+        )
 }
 
 fn build(fp: &FuzzPacket) -> (Packet, Direction) {

@@ -26,6 +26,9 @@
 //! the simulated path is lossless except for deliberate censor drops,
 //! which are precisely the failures the experiments measure.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::profile::OsProfile;
 use crate::reassembly::StreamAssembler;
 use crate::seq::{seq_in_window, seq_lt};
@@ -113,7 +116,12 @@ const OWN_WSCALE: u8 = 7;
 
 impl TcpConn {
     /// A client connection; call [`TcpConn::open`] to emit the SYN.
-    pub fn client(local: ([u8; 4], u16), remote: ([u8; 4], u16), isn: u32, profile: OsProfile) -> Self {
+    pub fn client(
+        local: ([u8; 4], u16),
+        remote: ([u8; 4], u16),
+        isn: u32,
+        profile: OsProfile,
+    ) -> Self {
         TcpConn::new(Role::Client, local, remote, isn, profile)
     }
 
@@ -124,7 +132,13 @@ impl TcpConn {
         conn
     }
 
-    fn new(role: Role, local: ([u8; 4], u16), remote: ([u8; 4], u16), isn: u32, profile: OsProfile) -> Self {
+    fn new(
+        role: Role,
+        local: ([u8; 4], u16),
+        remote: ([u8; 4], u16),
+        isn: u32,
+        profile: OsProfile,
+    ) -> Self {
         TcpConn {
             state: TcpState::SynSent, // client default; server overrides
             profile,
@@ -260,8 +274,7 @@ impl TcpConn {
 
     /// Are all queued bytes acknowledged by the peer?
     pub fn all_sent_and_acked(&self) -> bool {
-        self.sent_off == self.send_queue.len()
-            && self.snd_una == self.snd_nxt
+        self.sent_off == self.send_queue.len() && self.snd_una == self.snd_nxt
     }
 
     fn effective_peer_window(&self) -> u32 {
@@ -304,9 +317,7 @@ impl TcpConn {
         if tcp.dst_port != self.local.1 {
             return;
         }
-        if self.state != TcpState::Listen
-            && (pkt.ip.src, tcp.src_port) != self.remote
-        {
+        if self.state != TcpState::Listen && (pkt.ip.src, tcp.src_port) != self.remote {
             return;
         }
         let tcp = tcp.clone();
@@ -334,7 +345,11 @@ impl TcpConn {
             // Window in a SYN/SYN+ACK is never scaled.
             self.peer_window = u32::from(tcp.window);
         } else {
-            let shift = if self.wscale_negotiated { self.peer_wscale } else { 0 };
+            let shift = if self.wscale_negotiated {
+                self.peer_wscale
+            } else {
+                0
+            };
             self.peer_window = u32::from(tcp.window) << shift;
         }
     }
@@ -546,6 +561,7 @@ impl TcpConn {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::profile::OsProfile;
 
@@ -600,7 +616,16 @@ mod tests {
         let mut c = client();
         let mut out = Vec::new();
         c.open(&mut out);
-        let rst = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::RST, 5000, 0, vec![]);
+        let rst = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::RST,
+            5000,
+            0,
+            vec![],
+        );
         let replies = deliver(&mut c, &[rst]);
         assert!(replies.is_empty());
         assert_eq!(c.state, TcpState::SynSent);
@@ -613,8 +638,14 @@ mod tests {
         let mut out = Vec::new();
         c.open(&mut out);
         let rst = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::RST_ACK, 0, 1001, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::RST_ACK,
+            0,
+            1001,
+            vec![],
         );
         deliver(&mut c, &[rst]);
         assert_eq!(c.state, TcpState::Reset);
@@ -627,19 +658,34 @@ mod tests {
         let mut out = Vec::new();
         c.open(&mut out);
         let bad = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::SYN_ACK, 7000, 0xDEAD_BEEF, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::SYN_ACK,
+            7000,
+            0xDEAD_BEEF,
+            vec![],
         );
         let replies = deliver(&mut c, &[bad]);
         assert_eq!(replies.len(), 1);
         let rst = replies[0].tcp_header().unwrap();
         assert_eq!(replies[0].flags(), TcpFlags::RST);
-        assert_eq!(rst.seq, 0xDEAD_BEEF, "induced RST carries the bogus ack as seq");
+        assert_eq!(
+            rst.seq, 0xDEAD_BEEF,
+            "induced RST carries the bogus ack as seq"
+        );
         assert_eq!(c.state, TcpState::SynSent, "connection survives");
         // The genuine SYN+ACK still completes the handshake.
         let good = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::SYN_ACK, 7000, 1001, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::SYN_ACK,
+            7000,
+            1001,
+            vec![],
         );
         let replies = deliver(&mut c, &[good]);
         assert!(c.is_established());
@@ -651,7 +697,16 @@ mod tests {
         let mut c = client();
         let mut out = Vec::new();
         c.open(&mut out); // iss = 1000
-        let syn = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::SYN, 9000, 0, vec![]);
+        let syn = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::SYN,
+            9000,
+            0,
+            vec![],
+        );
         let replies = deliver(&mut c, &[syn]);
         assert_eq!(replies.len(), 1);
         let sa = replies[0].tcp_header().unwrap();
@@ -661,7 +716,16 @@ mod tests {
         assert_eq!(c.state, TcpState::SynRcvd);
         assert!(c.via_simultaneous_open);
         // Server's plain ACK completes it; first data byte is iss+1.
-        let ack = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::ACK, 9001, 1001, vec![]);
+        let ack = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::ACK,
+            9001,
+            1001,
+            vec![],
+        );
         deliver(&mut c, &[ack]);
         assert!(c.is_established());
         let mut out = Vec::new();
@@ -674,10 +738,25 @@ mod tests {
         let mut c = client();
         let mut out = Vec::new();
         c.open(&mut out);
-        let null = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::NONE, 1, 0, vec![]);
+        let null = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::NONE,
+            1,
+            0,
+            vec![],
+        );
         let fin = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::FIN, 2, 0, b"garbage".to_vec(),
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::FIN,
+            2,
+            0,
+            b"garbage".to_vec(),
         );
         let replies = deliver(&mut c, &[null, fin]);
         assert!(replies.is_empty());
@@ -691,12 +770,23 @@ mod tests {
             let mut out = Vec::new();
             c.open(&mut out);
             let sa = Packet::tcp(
-                SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-                TcpFlags::SYN_ACK, 7000, 1001, b"\xde\xad".to_vec(),
+                SERVER.0,
+                SERVER.1,
+                CLIENT.0,
+                CLIENT.1,
+                TcpFlags::SYN_ACK,
+                7000,
+                1001,
+                b"\xde\xad".to_vec(),
             );
             deliver(&mut c, &[sa]);
             if should_break {
-                assert_eq!(c.broken, Some(BreakReason::SynAckPayload), "{}", profile.name);
+                assert_eq!(
+                    c.broken,
+                    Some(BreakReason::SynAckPayload),
+                    "{}",
+                    profile.name
+                );
             } else {
                 assert!(c.is_established(), "{}", profile.name);
                 assert!(c.take_received().is_empty(), "payload must be ignored");
@@ -710,10 +800,25 @@ mod tests {
             let mut c = TcpConn::client(CLIENT, SERVER, 1000, profile);
             let mut out = Vec::new();
             c.open(&mut out);
-            let syn1 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::SYN, 9000, 0, vec![]);
+            let syn1 = Packet::tcp(
+                SERVER.0,
+                SERVER.1,
+                CLIENT.0,
+                CLIENT.1,
+                TcpFlags::SYN,
+                9000,
+                0,
+                vec![],
+            );
             let syn2 = Packet::tcp(
-                SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-                TcpFlags::SYN, 9000, 0, b"\xca\xfe".to_vec(),
+                SERVER.0,
+                SERVER.1,
+                CLIENT.0,
+                CLIENT.1,
+                TcpFlags::SYN,
+                9000,
+                0,
+                b"\xca\xfe".to_vec(),
             );
             let replies = deliver(&mut c, &[syn1, syn2]);
             assert!(c.broken.is_none(), "{}", profile.name);
@@ -730,8 +835,14 @@ mod tests {
         c.open(&mut out);
         // SYN+ACK advertising a 10-byte window, no wscale (Strategy 8).
         let mut sa = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::SYN_ACK, 7000, 1001, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::SYN_ACK,
+            7000,
+            1001,
+            vec![],
         );
         sa.tcp_header_mut().unwrap().window = 10;
         sa.finalize();
@@ -743,8 +854,14 @@ mod tests {
         assert_eq!(out[0].payload, b"GET /?q=ul");
         // Server ACKs the 10 bytes and opens the window.
         let ack = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::ACK, 7001, 1001 + 10, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::ACK,
+            7001,
+            1001 + 10,
+            vec![],
         );
         let more = deliver(&mut c, &[ack]);
         let sent: Vec<u8> = more.iter().flat_map(|p| p.payload.clone()).collect();
@@ -756,8 +873,14 @@ mod tests {
         let (mut c, mut s) = (client(), server());
         run_handshake(&mut c, &mut s);
         let rst = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::RST, c_rcv_nxt(&c), 0, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::RST,
+            c_rcv_nxt(&c),
+            0,
+            vec![],
         );
         deliver(&mut c, &[rst]);
         assert_eq!(c.broken, Some(BreakReason::RstReceived));
@@ -772,8 +895,14 @@ mod tests {
         let (mut c, mut s) = (client(), server());
         run_handshake(&mut c, &mut s);
         let stray = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::SYN_ACK, 4242, 1001, b"load".to_vec(),
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::SYN_ACK,
+            4242,
+            1001,
+            b"load".to_vec(),
         );
         let replies = deliver(&mut c, &[stray]);
         assert_eq!(replies.len(), 1);
@@ -786,8 +915,26 @@ mod tests {
         let (mut c, mut s) = (client(), server());
         run_handshake(&mut c, &mut s);
         let base = s_snd(&s);
-        let seg2 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::PSH_ACK, base + 3, 1001, b"lo!".to_vec());
-        let seg1 = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, CLIENT.1, TcpFlags::PSH_ACK, base, 1001, b"hel".to_vec());
+        let seg2 = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::PSH_ACK,
+            base + 3,
+            1001,
+            b"lo!".to_vec(),
+        );
+        let seg1 = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::PSH_ACK,
+            base,
+            1001,
+            b"hel".to_vec(),
+        );
         deliver(&mut c, &[seg2, seg1]);
         assert_eq!(c.take_received(), b"hello!");
     }
@@ -801,8 +948,14 @@ mod tests {
         let (mut c, mut s) = (client(), server());
         run_handshake(&mut c, &mut s);
         let fin = Packet::tcp(
-            SERVER.0, SERVER.1, CLIENT.0, CLIENT.1,
-            TcpFlags::FIN_PSH_ACK, s.snd_nxt(), 1001, vec![],
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            CLIENT.1,
+            TcpFlags::FIN_PSH_ACK,
+            s.snd_nxt(),
+            1001,
+            vec![],
         );
         let replies = deliver(&mut c, &[fin]);
         assert!(c.peer_fin);
@@ -813,7 +966,16 @@ mod tests {
     #[test]
     fn listen_ignores_non_syn() {
         let mut s = server();
-        let ack = Packet::tcp(CLIENT.0, CLIENT.1, SERVER.0, SERVER.1, TcpFlags::ACK, 1, 1, vec![]);
+        let ack = Packet::tcp(
+            CLIENT.0,
+            CLIENT.1,
+            SERVER.0,
+            SERVER.1,
+            TcpFlags::ACK,
+            1,
+            1,
+            vec![],
+        );
         let replies = deliver(&mut s, &[ack]);
         assert!(replies.is_empty());
         assert_eq!(s.state, TcpState::Listen);
@@ -828,11 +990,17 @@ mod tests {
         let mut out = Vec::new();
         c.open(&mut out);
         let _synack = deliver(&mut s, &out); // server now SYN_RCVD, iss 9000
-        // Client never saw the SYN+ACK (strategy replaced it); instead it
-        // did simultaneous open and sends SYN+ACK seq=1000 ack=9001.
+                                             // Client never saw the SYN+ACK (strategy replaced it); instead it
+                                             // did simultaneous open and sends SYN+ACK seq=1000 ack=9001.
         let simopen_sa = Packet::tcp(
-            CLIENT.0, CLIENT.1, SERVER.0, SERVER.1,
-            TcpFlags::SYN_ACK, 1000, 9001, vec![],
+            CLIENT.0,
+            CLIENT.1,
+            SERVER.0,
+            SERVER.1,
+            TcpFlags::SYN_ACK,
+            1000,
+            9001,
+            vec![],
         );
         let replies = deliver(&mut s, &[simopen_sa]);
         assert!(s.is_established());
@@ -846,7 +1014,16 @@ mod tests {
         let (mut c, _s) = (client(), server());
         let mut out = Vec::new();
         c.open(&mut out);
-        let other = Packet::tcp(SERVER.0, SERVER.1, CLIENT.0, 40001, TcpFlags::SYN_ACK, 1, 1001, vec![]);
+        let other = Packet::tcp(
+            SERVER.0,
+            SERVER.1,
+            CLIENT.0,
+            40001,
+            TcpFlags::SYN_ACK,
+            1,
+            1001,
+            vec![],
+        );
         let replies = deliver(&mut c, &[other]);
         assert!(replies.is_empty());
         assert_eq!(c.state, TcpState::SynSent);

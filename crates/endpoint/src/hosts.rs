@@ -21,6 +21,9 @@
 //! shim (the `geneva` crate's `StrategicEndpoint`) rewrites what it
 //! emits.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::conn::{BreakReason, TcpConn, TcpState};
 use crate::profile::OsProfile;
 use netsim::{Endpoint, Io};
@@ -281,7 +284,9 @@ impl<A: ClientApp> ClientHost<A> {
         if self.outcome.is_some() {
             return;
         }
-        let Some(conn) = self.conn.as_mut() else { return };
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
 
         // Pull freshly delivered bytes into the app.
         let data = conn.take_received();
@@ -365,7 +370,12 @@ impl<A: ClientApp> Endpoint for ClientHost<A> {
         }
         if now >= self.attempt_deadline {
             // Deadline: classify the stall.
-            let failure = if self.conn.as_ref().map(|c| c.broken.is_some()).unwrap_or(false) {
+            let failure = if self
+                .conn
+                .as_ref()
+                .map(|c| c.broken.is_some())
+                .unwrap_or(false)
+            {
                 Outcome::Reset
             } else {
                 Outcome::Timeout
@@ -436,7 +446,10 @@ impl<A: ServerApp> ServerHost<A> {
     /// The full client byte stream observed on each connection
     /// (diagnostics for tests and follow-up experiments).
     pub fn request_streams(&self) -> Vec<&[u8]> {
-        self.conns.values().map(|c| c.request_buf.as_slice()).collect()
+        self.conns
+            .values()
+            .map(|c| c.request_buf.as_slice())
+            .collect()
     }
 }
 
@@ -519,7 +532,6 @@ impl<A: ServerApp> Endpoint for ServerHost<A> {
     }
 }
 
-
 // Boxed sessions plug directly into the hosts: `Box<dyn ClientApp>`
 // and `Box<dyn ServerApp>` are themselves apps.
 impl ClientApp for Box<dyn ClientApp> {
@@ -554,6 +566,7 @@ impl ServerApp for Box<dyn ServerApp> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use netsim::sim::NullMiddlebox;
     use netsim::Simulation;

@@ -104,6 +104,7 @@ pub fn all_profiles() -> &'static [OsProfile] {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -116,8 +117,7 @@ mod tests {
         for p in all_profiles() {
             let should_break = matches!(p.family, OsFamily::Windows | OsFamily::MacOs);
             assert_eq!(
-                !p.ignores_synack_payload,
-                should_break,
+                !p.ignores_synack_payload, should_break,
                 "{} has wrong synack-payload behavior",
                 p.name
             );

@@ -7,6 +7,9 @@
 //! instantiate one, which is exactly the deficiency Strategy 8
 //! exploits.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::seq::seq_lt;
 use std::collections::BTreeMap;
 
@@ -92,7 +95,10 @@ impl StreamAssembler {
             if offset > self.base_offset {
                 break; // gap
             }
-            let (offset, chunk) = self.pending.pop_first().unwrap();
+            let (offset, chunk) = self
+                .pending
+                .pop_first()
+                .expect("first_key_value saw an entry");
             self.buffered -= chunk.len();
             let skip = (self.base_offset - offset) as usize;
             if skip >= chunk.len() {
@@ -114,6 +120,7 @@ impl StreamAssembler {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

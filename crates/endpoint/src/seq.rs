@@ -5,7 +5,15 @@
 //! `a < b` iff `(b - a) mod 2³²` is in `(0, 2³¹)`.
 
 /// `a < b` on the sequence ring.
+///
+/// Serial-number comparison (RFC 1982) is undefined when the two
+/// numbers sit exactly half the ring apart — both `a < b` and `b < a`
+/// would be false. Debug builds reject the ambiguous compare.
 pub fn seq_lt(a: u32, b: u32) -> bool {
+    debug_assert!(
+        b.wrapping_sub(a) != 0x8000_0000,
+        "ambiguous compare: {a:#010x} and {b:#010x} are antipodal on the sequence ring"
+    );
     a != b && b.wrapping_sub(a) < 0x8000_0000
 }
 
@@ -25,12 +33,21 @@ pub fn seq_geq(a: u32, b: u32) -> bool {
 }
 
 /// Is `x` within the half-open window `[lo, lo + len)` on the ring?
+///
+/// A window wider than half the ring would make membership disagree
+/// with serial-number ordering; real TCP windows (≤ 2¹⁶ · 2¹⁴ with
+/// scaling) are far inside the bound.
 pub fn seq_in_window(x: u32, lo: u32, len: u32) -> bool {
+    debug_assert!(
+        len <= 0x8000_0000,
+        "window of {len} bytes covers more than half the sequence ring"
+    );
     len != 0 && x.wrapping_sub(lo) < len
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -59,5 +76,31 @@ mod tests {
         assert!(seq_in_window(2, 0xFFFF_FFFE, 10)); // window spans the wrap
         assert!(!seq_in_window(9, 0xFFFF_FFFE, 10));
         assert!(!seq_in_window(0, 0, 0)); // empty window holds nothing
+    }
+
+    #[test]
+    fn ordering_is_antisymmetric_off_the_antipode() {
+        // For any non-antipodal pair, exactly one of <, ==, > holds.
+        for (a, b) in [(0u32, 1u32), (0xFFFF_FFF0, 0x10), (7, 7), (0, 0x7FFF_FFFF)] {
+            let outcomes = [seq_lt(a, b), a == b, seq_gt(a, b)]
+                .iter()
+                .filter(|&&x| x)
+                .count();
+            assert_eq!(outcomes, 1, "trichotomy failed for ({a:#x}, {b:#x})");
+        }
+    }
+
+    #[test]
+    fn half_ring_window_is_still_accepted() {
+        // The largest unambiguous window: exactly half the ring.
+        assert!(seq_in_window(0x7FFF_FFFF, 0, 0x8000_0000));
+        assert!(!seq_in_window(0x8000_0000, 0, 0x8000_0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "antipodal")]
+    #[cfg(debug_assertions)]
+    fn antipodal_compare_panics_in_debug_builds() {
+        let _ = seq_lt(0, 0x8000_0000);
     }
 }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Property tests: the endpoint TCP state machine must survive any
 //! packet sequence a strategy (or a hostile censor) can throw at it.
 //!
@@ -30,12 +31,7 @@ fn arb_packet() -> impl Strategy<Value = FuzzPacket> {
     (
         any::<u8>(),
         // Bias sequence numbers toward the live window.
-        prop_oneof![
-            Just(9000u32),
-            Just(9001u32),
-            9000u32..9100,
-            any::<u32>(),
-        ],
+        prop_oneof![Just(9000u32), Just(9001u32), 9000u32..9100, any::<u32>(),],
         prop_oneof![Just(1001u32), Just(1000u32), any::<u32>()],
         any::<u16>(),
         prop::collection::vec(any::<u8>(), 0..40),

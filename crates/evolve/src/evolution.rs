@@ -1,6 +1,6 @@
 //! The generation loop: tournament selection, elitism, convergence.
 
-use crate::fitness::{FitnessCache, FitnessEval};
+use crate::fitness::{CacheKeying, FitnessCache, FitnessEval};
 use crate::genome::Genome;
 use appproto::AppProtocol;
 use censor::Country;
@@ -34,6 +34,11 @@ pub struct GaConfig {
     /// the SYN+ACK trigger for DNS/HTTP/HTTPS/SMTP; FTP's interactive
     /// exchange leaves more server packets to trigger on).
     pub evolve_triggers: bool,
+    /// Key the fitness memo on canonical forms (`strata`), so
+    /// semantically equivalent genomes are never re-simulated. Off
+    /// falls back to literal-text keying; per-genome fitness is
+    /// identical either way, only simulator time changes.
+    pub dedup: bool,
 }
 
 impl GaConfig {
@@ -50,6 +55,7 @@ impl GaConfig {
             tournament: 4,
             elitism: 0.08,
             evolve_triggers: protocol == AppProtocol::Ftp,
+            dedup: true,
         }
     }
 
@@ -78,6 +84,24 @@ pub struct EvolutionResult {
     pub distinct_evaluated: usize,
     /// Total simulated trials spent.
     pub trials_spent: u64,
+    /// Fitness-memo hits (evaluations answered without simulating).
+    pub cache_hits: u64,
+    /// Fitness-memo misses.
+    pub cache_misses: u64,
+    /// Evaluations skipped because `strata` lints proved futility.
+    pub static_rejects: u64,
+}
+
+impl EvolutionResult {
+    /// Fraction of evaluations answered from the fitness memo.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Run the genetic algorithm.
@@ -88,7 +112,12 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
         config.protocol,
         config.trials_per_eval,
         config.seed ^ 0xF17,
-    );
+    )
+    .with_keying(if config.dedup {
+        CacheKeying::Canonical
+    } else {
+        CacheKeying::Text
+    });
 
     let mut population: Vec<Genome> = (0..config.population)
         .map(|_| Genome::random(&mut rng))
@@ -129,6 +158,7 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
         // Select and reproduce.
         let mut ranked = scored;
         ranked.sort_by(|a, b| b.1.fitness.total_cmp(&a.1.fitness));
+        #[allow(clippy::cast_possible_truncation)] // elitism ∈ [0,1] ⇒ fits usize
         let elites = ((config.population as f64) * config.elitism).ceil() as usize;
         let mut next: Vec<Genome> = ranked.iter().take(elites).map(|(g, _)| g.clone()).collect();
 
@@ -166,11 +196,15 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
         history,
         distinct_evaluated: cache.distinct_evaluated(),
         trials_spent: cache.trials_spent,
+        cache_hits: cache.cache_hits,
+        cache_misses: cache.cache_misses,
+        static_rejects: cache.static_rejects,
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -188,7 +222,12 @@ mod tests {
             result.best.strategy,
             result.best_eval.rate(),
             result.history.len(),
-            result.history.iter().map(|f| format!("{f:.1}")).collect::<Vec<_>>().join(", ")
+            result
+                .history
+                .iter()
+                .map(|f| format!("{f:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 
@@ -226,6 +265,31 @@ mod tests {
             result.best.strategy,
             result.best_eval.rate()
         );
+    }
+
+    #[test]
+    fn dedup_saves_trials_without_changing_the_trajectory() {
+        // Canonical keying and literal-text keying must walk the exact
+        // same GA trajectory (trial seeds derive from canonical text in
+        // both modes); dedup can only save simulator time.
+        let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 31);
+        config.population = 16;
+        config.generations = 5;
+        config.trials_per_eval = 3;
+        config.patience = 10;
+        let deduped = evolve(&config);
+        config.dedup = false;
+        let text = evolve(&config);
+        assert_eq!(deduped.best.strategy, text.best.strategy);
+        assert_eq!(deduped.best_eval.fitness, text.best_eval.fitness);
+        assert_eq!(deduped.history, text.history);
+        assert!(
+            deduped.trials_spent <= text.trials_spent,
+            "dedup spent {} trials, text keying {}",
+            deduped.trials_spent,
+            text.trials_spent
+        );
+        assert!(deduped.cache_hits + deduped.cache_misses > 0);
     }
 
     #[test]

@@ -3,15 +3,33 @@
 //! Geneva's fitness rewards strategies that evade while staying small
 //! (bloated trees mutate poorly and deploy expensively). We evaluate
 //! against the censor models through the same `harness::run_trial`
-//! pipeline every other experiment uses, and cache evaluations by the
-//! genome's canonical DSL text — populations converge, so late
-//! generations are mostly cache hits.
+//! pipeline every other experiment uses, and memoize evaluations.
+//!
+//! Two layers of simulator-time savings, both powered by `strata`:
+//!
+//! * **Equivalence dedup** — the memo keys on the *canonical* form of
+//!   a genome ([`strata::canonicalize_strategy`]), so genomes that
+//!   differ only in dead genetic material (inert subtrees, shadowed
+//!   tampers, no-op chains) share one evaluation. Trial seeds also
+//!   derive from the canonical text, which keeps per-genome fitness
+//!   identical whether dedup is on or off — dedup can only *save*
+//!   trials, never change the GA's trajectory.
+//! * **Static futility gate** — genomes whose lints prove they can
+//!   never beat the identity strategy (e.g. they sever the handshake)
+//!   are assigned their exact fitness (zero successes) without
+//!   simulating a single trial.
+//!
+//! Raw trial outcomes are cached; the parsimony penalty is applied
+//! per-genome from its own (uncanonicalized) size, so a bloated
+//! genome still scores below its trim twin even when they share a
+//! cache entry.
 
 use crate::genome::Genome;
 use appproto::AppProtocol;
 use censor::Country;
 use harness::{run_trial, TrialConfig};
 use std::collections::HashMap;
+use strata::{canonicalize_strategy, lint_with_context, LintContext, Severity};
 
 /// One genome's evaluated fitness.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +53,17 @@ impl FitnessEval {
     }
 }
 
+/// How the fitness memo keys genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKeying {
+    /// Key on the genome's literal DSL text (pre-`strata` behavior):
+    /// equivalent-but-differently-written genomes are re-simulated.
+    Text,
+    /// Key on the canonical form: semantically equivalent genomes
+    /// share one evaluation.
+    Canonical,
+}
+
 /// Caching fitness evaluator for one (country, protocol) target.
 pub struct FitnessCache {
     /// Censor under attack.
@@ -45,57 +74,108 @@ pub struct FitnessCache {
     pub trials: u32,
     /// Per-node-count penalty subtracted from the percent success.
     pub complexity_penalty: f64,
+    /// Memo keying mode.
+    pub keying: CacheKeying,
+    /// Skip simulation for provably futile genomes.
+    pub static_gate: bool,
     seed: u64,
-    cache: HashMap<String, FitnessEval>,
+    cache: HashMap<String, (u32, u32)>,
+    lint_ctx: LintContext,
     /// Total simulated trials spent (diagnostics).
     pub trials_spent: u64,
+    /// Evaluations answered from the memo.
+    pub cache_hits: u64,
+    /// Evaluations that had to simulate (or statically reject).
+    pub cache_misses: u64,
+    /// Evaluations skipped entirely because lints proved futility.
+    pub static_rejects: u64,
 }
 
 impl FitnessCache {
-    /// New evaluator.
+    /// New evaluator with canonical dedup and the futility gate on.
     pub fn new(country: Country, protocol: AppProtocol, trials: u32, seed: u64) -> Self {
         FitnessCache {
             country,
             protocol,
             trials,
             complexity_penalty: 0.6,
+            keying: CacheKeying::Canonical,
+            static_gate: true,
             seed,
             cache: HashMap::new(),
+            lint_ctx: LintContext::default(),
             trials_spent: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            static_rejects: 0,
         }
+    }
+
+    /// Same evaluator, keyed on literal text (for A/B comparison).
+    pub fn with_keying(mut self, keying: CacheKeying) -> Self {
+        self.keying = keying;
+        self
     }
 
     /// Evaluate (or recall) a genome's fitness.
     pub fn evaluate(&mut self, genome: &Genome) -> FitnessEval {
-        let key = genome.strategy.to_string();
-        if let Some(hit) = self.cache.get(&key) {
-            return *hit;
-        }
-        let mut successes = 0;
-        for i in 0..self.trials {
-            let mut cfg = TrialConfig::new(
-                self.country,
-                self.protocol,
-                genome.strategy.clone(),
-                self.seed ^ (u64::from(i) * 104_729),
-            );
-            cfg.seed ^= fxhash(&key); // decorrelate equal-seed genomes
-            if run_trial(&cfg).evaded() {
-                successes += 1;
-            }
-        }
-        self.trials_spent += u64::from(self.trials);
-        let rate = f64::from(successes) / f64::from(self.trials.max(1));
-        let eval = FitnessEval {
-            successes,
-            trials: self.trials,
-            fitness: rate * 100.0 - self.complexity_penalty * genome.size() as f64,
+        let canonical = canonicalize_strategy(&genome.strategy);
+        let canonical_text = canonical.to_string();
+        let key = match self.keying {
+            CacheKeying::Text => genome.strategy.to_string(),
+            CacheKeying::Canonical => canonical_text.clone(),
         };
-        self.cache.insert(key, eval);
-        eval
+        if let Some(&(successes, trials)) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            return self.eval_from(successes, trials, genome);
+        }
+        self.cache_misses += 1;
+
+        let futile = self.static_gate && {
+            lint_with_context(&canonical, &self.lint_ctx)
+                .iter()
+                .any(|d| d.severity == Severity::Error && d.proves_futile)
+        };
+        let (successes, trials) = if futile {
+            // The lints prove no trial can succeed; record the exact
+            // outcome simulation would have produced, for free.
+            self.static_rejects += 1;
+            (0, self.trials)
+        } else {
+            let mut successes = 0;
+            for i in 0..self.trials {
+                let mut cfg = TrialConfig::new(
+                    self.country,
+                    self.protocol,
+                    genome.strategy.clone(),
+                    self.seed ^ (u64::from(i) * 104_729),
+                );
+                // Derive trial seeds from the *canonical* text so
+                // equivalent genomes see identical trials no matter
+                // how the memo is keyed.
+                cfg.seed ^= fxhash(&canonical_text);
+                if run_trial(&cfg).evaded() {
+                    successes += 1;
+                }
+            }
+            self.trials_spent += u64::from(self.trials);
+            (successes, self.trials)
+        };
+        self.cache.insert(key, (successes, trials));
+        self.eval_from(successes, trials, genome)
     }
 
-    /// Number of distinct genomes evaluated.
+    fn eval_from(&self, successes: u32, trials: u32, genome: &Genome) -> FitnessEval {
+        let rate = f64::from(successes) / f64::from(trials.max(1));
+        FitnessEval {
+            successes,
+            trials,
+            fitness: rate * 100.0 - self.complexity_penalty * genome.size() as f64,
+        }
+    }
+
+    /// Number of distinct cache keys evaluated (canonical equivalence
+    /// classes under [`CacheKeying::Canonical`]).
     pub fn distinct_evaluated(&self) -> usize {
         self.cache.len()
     }
@@ -112,6 +192,7 @@ fn fxhash(s: &str) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use geneva::library;
 
@@ -146,6 +227,73 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(cache.trials_spent, spent, "second call must be cached");
         assert_eq!(cache.distinct_evaluated(), 1);
+        assert_eq!(cache.cache_hits, 1);
+        assert_eq!(cache.cache_misses, 1);
+    }
+
+    #[test]
+    fn equivalent_genomes_share_one_evaluation() {
+        let mut cache = FitnessCache::new(Country::China, AppProtocol::Http, 5, 7);
+        let trim = Genome {
+            strategy: library::STRATEGY_1.strategy(),
+        };
+        // Strategy 1 plus dead genetic material: an inert duplicate
+        // branch that canonicalizes away.
+        let bloated_text = trim
+            .strategy
+            .to_string()
+            .replace("-| \\/ ", "-|[TCP:flags:SA]-drop-| \\/ ");
+        let bloated = Genome {
+            strategy: geneva::parse_strategy(&bloated_text).expect("parses"),
+        };
+        let a = cache.evaluate(&trim);
+        let spent = cache.trials_spent;
+        let b = cache.evaluate(&bloated);
+        assert_eq!(
+            cache.trials_spent, spent,
+            "equivalent genome must be a cache hit"
+        );
+        assert_eq!(cache.cache_hits, 1);
+        assert_eq!(a.successes, b.successes, "shared trial outcome");
+        assert!(a.fitness > b.fitness, "parsimony still separates them");
+    }
+
+    #[test]
+    fn text_keying_resimulates_equivalent_genomes() {
+        let mut cache = FitnessCache::new(Country::China, AppProtocol::Http, 5, 7)
+            .with_keying(CacheKeying::Text);
+        let trim = Genome {
+            strategy: library::STRATEGY_1.strategy(),
+        };
+        let bloated_text = trim
+            .strategy
+            .to_string()
+            .replace("-| \\/ ", "-|[TCP:flags:SA]-drop-| \\/ ");
+        let bloated = Genome {
+            strategy: geneva::parse_strategy(&bloated_text).expect("parses"),
+        };
+        let a = cache.evaluate(&trim);
+        let b = cache.evaluate(&bloated);
+        assert_eq!(cache.cache_misses, 2);
+        // Canonical-text seeding makes the re-simulation land on the
+        // very same trial outcomes.
+        assert_eq!(a.successes, b.successes);
+    }
+
+    #[test]
+    fn statically_futile_genomes_skip_simulation() {
+        let mut cache = FitnessCache::new(Country::China, AppProtocol::Http, 8, 7);
+        let severed = Genome {
+            strategy: geneva::parse_strategy("[TCP:flags:SA]-drop-| \\/ ").expect("parses"),
+        };
+        let eval = cache.evaluate(&severed);
+        assert_eq!(
+            cache.trials_spent, 0,
+            "no simulator time for futile genomes"
+        );
+        assert_eq!(cache.static_rejects, 1);
+        assert_eq!(eval.successes, 0);
+        assert!(eval.fitness < 0.0, "only the parsimony penalty remains");
     }
 
     #[test]

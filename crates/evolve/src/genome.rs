@@ -61,7 +61,7 @@ fn random_value(field: &FieldRef, rng: &mut StdRng) -> FieldValue {
                 FieldValue::Str(letters.to_string())
             }
         }
-        "window" => FieldValue::Num([0u64, 1, 2, 10, 64, 1000][rng.gen_range(0..6)]),
+        "window" => FieldValue::Num([0u64, 1, 2, 10, 64, 1000][rng.gen_range(0usize..6)]),
         "ttl" => FieldValue::Num(rng.gen_range(1..16)),
         "load" => {
             if rng.gen_bool(0.5) {
@@ -100,7 +100,11 @@ fn random_tamper(rng: &mut StdRng, next: Action) -> Action {
 /// A random action subtree, depth-bounded.
 pub fn random_action(rng: &mut StdRng, depth: usize) -> Action {
     if depth == 0 {
-        return if rng.gen_bool(0.9) { Action::Send } else { Action::Drop };
+        return if rng.gen_bool(0.9) {
+            Action::Send
+        } else {
+            Action::Drop
+        };
     }
     match rng.gen_range(0..10) {
         0..=2 => Action::Send,
@@ -229,9 +233,12 @@ fn nth_subtree(action: &Action, n: usize) -> &Action {
         match action {
             Action::Send | Action::Drop => None,
             Action::Tamper { next, .. } => walk(next, n),
-            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
-                walk(a, n).or_else(|| walk(b, n))
-            }
+            Action::Duplicate(a, b)
+            | Action::Fragment {
+                first: a,
+                second: b,
+                ..
+            } => walk(a, n).or_else(|| walk(b, n)),
         }
     }
     let mut k = n;
@@ -254,9 +261,12 @@ fn swap_nth(action: &mut Action, n: usize, with: &mut Action) {
         match action {
             Action::Send | Action::Drop => false,
             Action::Tamper { next, .. } => walk(next, n, with),
-            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
-                walk(a, n, with) || walk(b, n, with)
-            }
+            Action::Duplicate(a, b)
+            | Action::Fragment {
+                first: a,
+                second: b,
+                ..
+            } => walk(a, n, with) || walk(b, n, with),
         }
     }
     let mut k = n;
@@ -330,9 +340,12 @@ fn point_mutate_nth(action: &mut Action, n: usize, rng: &mut StdRng) {
         match action {
             Action::Send | Action::Drop => false,
             Action::Tamper { next, .. } => walk(next, n, rng),
-            Action::Duplicate(a, b) | Action::Fragment { first: a, second: b, .. } => {
-                walk(a, n, rng) || walk(b, n, rng)
-            }
+            Action::Duplicate(a, b)
+            | Action::Fragment {
+                first: a,
+                second: b,
+                ..
+            } => walk(a, n, rng) || walk(b, n, rng),
         }
     }
     let mut k = n;
@@ -341,6 +354,7 @@ fn point_mutate_nth(action: &mut Action, n: usize, rng: &mut StdRng) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use rand::SeedableRng;
 
@@ -354,8 +368,7 @@ mod tests {
         for _ in 0..200 {
             let genome = Genome::random(&mut r);
             let text = genome.strategy.to_string();
-            let reparsed = geneva::parse_strategy(&text)
-                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            let reparsed = geneva::parse_strategy(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(reparsed, genome.strategy);
         }
     }
@@ -416,7 +429,10 @@ mod tests {
         for _ in 0..50 {
             genome.mutate(&mut r);
         }
-        assert_eq!(genome.strategy.outbound[0].trigger, Trigger::tcp_flags("SA"));
+        assert_eq!(
+            genome.strategy.outbound[0].trigger,
+            Trigger::tcp_flags("SA")
+        );
         assert!(genome.strategy.inbound.is_empty());
     }
 }

@@ -38,6 +38,7 @@ pub fn minimize(genome: &Genome, cache: &mut FitnessCache, tolerance: f64) -> Ge
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use appproto::AppProtocol;
     use censor::Country;
@@ -66,7 +67,10 @@ mod tests {
         assert!(after.rate() > 0.9, "minimization must not lose efficacy");
         // The null-flags tamper is the load-bearing node; it survives.
         assert!(
-            minimized.strategy.to_string().contains("tamper{TCP:flags:replace:}"),
+            minimized
+                .strategy
+                .to_string()
+                .contains("tamper{TCP:flags:replace:}"),
             "{}",
             minimized.strategy
         );

@@ -9,6 +9,36 @@
 use packet::field::{FieldRef, FieldValue};
 use packet::Proto;
 
+/// A byte range into strategy source text. Produced by the parser for
+/// every AST node (in preorder), consumed by `strata` diagnostics and
+/// by `ParseError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (implicit `send` slots, EOF errors).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// How `tamper` rewrites its field.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TamperMode {
@@ -74,6 +104,25 @@ impl Action {
         }
     }
 
+    /// Visit this subtree in preorder (node before children, children
+    /// left to right) — the same order the parser records spans in, so
+    /// the n-th visited node pairs with the n-th span of its part.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Action)) {
+        visit(self);
+        match self {
+            Action::Send | Action::Drop => {}
+            Action::Tamper { next, .. } => next.walk(visit),
+            Action::Duplicate(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Action::Fragment { first, second, .. } => {
+                first.walk(visit);
+                second.walk(visit);
+            }
+        }
+    }
+
     /// Number of nodes in this subtree (complexity metric for the GA's
     /// parsimony pressure).
     pub fn size(&self) -> usize {
@@ -102,9 +151,7 @@ impl std::fmt::Display for Action {
                         field.to_syntax(),
                         value.to_syntax()
                     )?,
-                    TamperMode::Corrupt => {
-                        write!(f, "tamper{{{}:corrupt}}", field.to_syntax())?
-                    }
+                    TamperMode::Corrupt => write!(f, "tamper{{{}:corrupt}}", field.to_syntax())?,
                 }
                 if !matches!(**next, Action::Send) {
                     write!(f, "({})", SubAction(next))?;
@@ -236,11 +283,21 @@ impl std::fmt::Display for Strategy {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::{Packet, TcpFlags};
 
     fn syn_ack() -> Packet {
-        Packet::tcp([1, 1, 1, 1], 80, [2, 2, 2, 2], 999, TcpFlags::SYN_ACK, 5, 6, vec![])
+        Packet::tcp(
+            [1, 1, 1, 1],
+            80,
+            [2, 2, 2, 2],
+            999,
+            TcpFlags::SYN_ACK,
+            5,
+            6,
+            vec![],
+        )
     }
 
     #[test]
@@ -260,8 +317,14 @@ mod tests {
             outbound: vec![StrategyPart {
                 trigger: Trigger::tcp_flags("SA"),
                 action: Action::Duplicate(
-                    Box::new(Action::replace("TCP:flags", packet::FieldValue::Str("R".into()))),
-                    Box::new(Action::replace("TCP:flags", packet::FieldValue::Str("S".into()))),
+                    Box::new(Action::replace(
+                        "TCP:flags",
+                        packet::FieldValue::Str("R".into()),
+                    )),
+                    Box::new(Action::replace(
+                        "TCP:flags",
+                        packet::FieldValue::Str("S".into()),
+                    )),
                 ),
             }],
             inbound: vec![],
@@ -274,7 +337,8 @@ mod tests {
 
     #[test]
     fn send_renders_empty_in_arg_lists() {
-        let action = Action::Duplicate(Box::new(Action::Send), Box::new(Action::corrupt("TCP:ack")));
+        let action =
+            Action::Duplicate(Box::new(Action::Send), Box::new(Action::corrupt("TCP:ack")));
         assert_eq!(action.to_string(), "duplicate(,tamper{TCP:ack:corrupt})");
     }
 

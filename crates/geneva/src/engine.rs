@@ -13,51 +13,51 @@
 //! while `tamper{TCP:chksum:corrupt}` must produce an *invalid* one
 //! (an insertion packet only the censor processes).
 //!
-//! `corrupt` draws random bits of the field's width from a seeded RNG,
-//! so experiments replay deterministically.
+//! `corrupt` draws random bits of the field's width from a PRNG seeded
+//! by (engine seed, packet bytes, field name), so experiments replay
+//! deterministically. Deriving the stream *per corruption site* rather
+//! than sequentially means a corrupt's output never depends on how many
+//! other corrupts ran before it — which is what lets `strata` delete
+//! dead subtrees while preserving engine output byte-for-byte.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::ast::{Action, Strategy, TamperMode};
 use packet::field::{FieldKind, FieldRef, FieldValue};
 use packet::{Packet, Proto, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A strategy plus the RNG that powers its `corrupt` tampers.
+/// A strategy plus the seed that powers its `corrupt` tampers.
 pub struct Engine {
     /// The strategy being applied.
     pub strategy: Strategy,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl Engine {
     /// Build an engine with a deterministic seed.
     pub fn new(strategy: Strategy, seed: u64) -> Engine {
-        Engine {
-            strategy,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        Engine { strategy, seed }
     }
 
     /// Apply the outbound ruleset to one packet the host wants to send.
     /// Returns the packets that actually hit the wire, in order.
     pub fn apply_outbound(&mut self, pkt: &Packet) -> Vec<Packet> {
-        Self::apply(&self.strategy.outbound, pkt, &mut self.rng)
+        Self::apply(&self.strategy.outbound, pkt, self.seed)
     }
 
     /// Apply the inbound ruleset to one received packet.
     pub fn apply_inbound(&mut self, pkt: &Packet) -> Vec<Packet> {
-        Self::apply(&self.strategy.inbound, pkt, &mut self.rng)
+        Self::apply(&self.strategy.inbound, pkt, self.seed)
     }
 
-    fn apply(
-        parts: &[crate::ast::StrategyPart],
-        pkt: &Packet,
-        rng: &mut StdRng,
-    ) -> Vec<Packet> {
+    fn apply(parts: &[crate::ast::StrategyPart], pkt: &Packet, seed: u64) -> Vec<Packet> {
         for part in parts {
             if part.trigger.matches(pkt) {
                 let mut out = Vec::new();
-                run(&part.action, pkt.clone(), rng, &mut out);
+                run(&part.action, pkt.clone(), seed, &mut out);
                 return out;
             }
         }
@@ -66,17 +66,17 @@ impl Engine {
 }
 
 /// Execute one action subtree on one packet.
-fn run(action: &Action, pkt: Packet, rng: &mut StdRng, out: &mut Vec<Packet>) {
+fn run(action: &Action, pkt: Packet, seed: u64, out: &mut Vec<Packet>) {
     match action {
         Action::Send => out.push(pkt),
         Action::Drop => {}
         Action::Duplicate(first, second) => {
-            run(first, pkt.clone(), rng, out);
-            run(second, pkt, rng, out);
+            run(first, pkt.clone(), seed, out);
+            run(second, pkt, seed, out);
         }
         Action::Tamper { field, mode, next } => {
-            let tampered = tamper(pkt, field, mode, rng);
-            run(next, tampered, rng, out);
+            let tampered = tamper(pkt, field, mode, seed);
+            run(next, tampered, seed, out);
         }
         Action::Fragment {
             proto,
@@ -84,29 +84,27 @@ fn run(action: &Action, pkt: Packet, rng: &mut StdRng, out: &mut Vec<Packet>) {
             in_order,
             first,
             second,
-        } =>
-
- {
+        } => {
             let (a, b) = split(pkt, *proto, *offset);
             match b {
                 Some(b) if *in_order => {
-                    run(first, a, rng, out);
-                    run(second, b, rng, out);
+                    run(first, a, seed, out);
+                    run(second, b, seed, out);
                 }
                 Some(b) => {
-                    run(second, b, rng, out);
-                    run(first, a, rng, out);
+                    run(second, b, seed, out);
+                    run(first, a, seed, out);
                 }
-                None => run(first, a, rng, out), // nothing to split
+                None => run(first, a, seed, out), // nothing to split
             }
         }
     }
 }
 
-fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, rng: &mut StdRng) -> Packet {
+fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Packet {
     let value = match mode {
         TamperMode::Replace(v) => v.clone(),
-        TamperMode::Corrupt => corrupt_value(field, &pkt, rng),
+        TamperMode::Corrupt => corrupt_value(field, &pkt, seed),
     };
     let _ = field.set(&mut pkt, &value);
     if !field.is_derived() {
@@ -118,7 +116,15 @@ fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, rng: &mut StdRng
 /// A random value of the field's width. Payload corruption keeps the
 /// current length (or invents a short random payload when empty — the
 /// paper's `tamper{TCP:load:corrupt}` on an empty SYN+ACK).
-fn corrupt_value(field: &FieldRef, pkt: &Packet, rng: &mut StdRng) -> FieldValue {
+///
+/// The randomness is a pure function of (engine seed, packet bytes,
+/// field): the PRNG is re-derived at every corruption site instead of
+/// being threaded through the tree walk. Corrupt values therefore don't
+/// shift when unrelated actions are added or removed elsewhere in the
+/// strategy — the invariant `strata::canonicalize` relies on.
+fn corrupt_value(field: &FieldRef, pkt: &Packet, seed: u64) -> FieldValue {
+    let mut rng = site_rng(field, pkt, seed);
+    let rng = &mut rng;
     match field.kind().unwrap_or(FieldKind::U16) {
         FieldKind::U8 => FieldValue::Num(u64::from(rng.gen::<u8>())),
         FieldKind::U16 => FieldValue::Num(u64::from(rng.gen::<u16>())),
@@ -134,6 +140,21 @@ fn corrupt_value(field: &FieldRef, pkt: &Packet, rng: &mut StdRng) -> FieldValue
             FieldValue::Bytes((0..len).map(|_| rng.gen()).collect())
         }
     }
+}
+
+/// Derive the PRNG for one corruption site by folding the packet's raw
+/// bytes and the field name into the engine seed (FNV-1a).
+fn site_rng(field: &FieldRef, pkt: &Packet, seed: u64) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&pkt.serialize_raw());
+    eat(field.to_syntax().as_bytes());
+    StdRng::seed_from_u64(seed ^ hash)
 }
 
 /// Split a packet at the TCP or IP layer.
@@ -184,6 +205,7 @@ fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::parse_strategy;
 
@@ -269,8 +291,10 @@ mod tests {
 
     #[test]
     fn corrupt_is_deterministic_per_seed() {
-        let out1 = engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
-        let out2 = engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
+        let out1 =
+            engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
+        let out2 =
+            engine("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").apply_outbound(&syn_ack());
         assert_eq!(out1, out2);
         let mut e3 = Engine::new(
             parse_strategy("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/ ").unwrap(),
@@ -331,7 +355,8 @@ mod tests {
 
     #[test]
     fn strategy_9_triple_load() {
-        let mut e = engine("[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \\/ ");
+        let mut e =
+            engine("[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \\/ ");
         let out = e.apply_outbound(&syn_ack());
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|p| !p.payload.is_empty()));
@@ -362,19 +387,13 @@ mod tests {
         // The appendix extension: tamper supports DNS fields. Rewrite
         // the query name of any DNS packet heading to port 53.
         let mut e = engine("[UDP:dport:53]-tamper{DNS:qname:replace:example.org}-| \\/ ");
-        let mut query = Packet::udp(
-            [10, 0, 0, 1],
-            40000,
-            [8, 8, 8, 8],
-            53,
-            {
-                // A raw DNS query for a forbidden name.
-                let mut msg = vec![0x12, 0x34, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0];
-                msg.extend_from_slice(b"\x03www\x09wikipedia\x03org\x00");
-                msg.extend_from_slice(&[0, 1, 0, 1]);
-                msg
-            },
-        );
+        let mut query = Packet::udp([10, 0, 0, 1], 40000, [8, 8, 8, 8], 53, {
+            // A raw DNS query for a forbidden name.
+            let mut msg = vec![0x12, 0x34, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0];
+            msg.extend_from_slice(b"\x03www\x09wikipedia\x03org\x00");
+            msg.extend_from_slice(&[0, 1, 0, 1]);
+            msg
+        });
         query.finalize();
         let out = e.apply_outbound(&query);
         assert_eq!(out.len(), 1);

@@ -75,13 +75,15 @@ pub fn explain_action(action: &Action) -> String {
             in_order,
             first,
             second,
-        } => format!(
+        } => {
+            format!(
             "split it at the {} layer at offset {offset} ({}), first piece: {}; second piece: {}",
             proto.token(),
             if *in_order { "in order" } else { "out of order" },
             explain_action(first),
             explain_action(second)
-        ),
+        )
+        }
     }
 }
 
@@ -103,6 +105,7 @@ fn field_phrase(field: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::library;
     use crate::parse_strategy;
@@ -112,8 +115,14 @@ mod tests {
         let text = explain(&library::STRATEGY_1.strategy());
         assert!(text.contains("On outbound SYN+ACK packets"), "{text}");
         assert!(text.contains("two copies"), "{text}");
-        assert!(text.to_lowercase().contains("set the tcp flags to \"r\""), "{text}");
-        assert!(text.to_lowercase().contains("set the tcp flags to \"s\""), "{text}");
+        assert!(
+            text.to_lowercase().contains("set the tcp flags to \"r\""),
+            "{text}"
+        );
+        assert!(
+            text.to_lowercase().contains("set the tcp flags to \"s\""),
+            "{text}"
+        );
     }
 
     #[test]

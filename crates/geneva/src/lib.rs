@@ -58,24 +58,35 @@ pub mod library;
 pub mod parser;
 pub mod wrapper;
 
-pub use ast::{Action, Strategy, StrategyPart, TamperMode, Trigger};
+pub use ast::{Action, Span, Strategy, StrategyPart, TamperMode, Trigger};
 pub use engine::Engine;
 pub use explain::explain;
-pub use parser::parse_strategy;
+pub use parser::{parse_strategy, parse_strategy_spanned, PartSpans, StrategySpans};
 pub use wrapper::StrategicEndpoint;
 
 /// Errors from parsing strategy text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Byte offset in the input where parsing failed.
-    pub at: usize,
+    /// Byte range in the input the error points at (zero-width at EOF).
+    pub span: Span,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    /// Byte offset where parsing failed.
+    pub fn at(&self) -> usize {
+        self.span.start
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "parse error at byte {}: {}",
+            self.span.start, self.message
+        )
     }
 }
 

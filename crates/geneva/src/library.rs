@@ -37,14 +37,16 @@ impl NamedStrategy {
 pub const STRATEGY_1: NamedStrategy = NamedStrategy {
     id: 1,
     name: "Sim. Open, Injected RST",
-    text: "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ ",
+    text:
+        "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ ",
 };
 
 /// Strategy 2 — Simultaneous Open, Injected Load (China).
 pub const STRATEGY_2: NamedStrategy = NamedStrategy {
     id: 2,
     name: "Sim. Open, Injected Load",
-    text: "[TCP:flags:SA]-tamper{TCP:flags:replace:S}(duplicate(,tamper{TCP:load:corrupt}),)-| \\/ ",
+    text:
+        "[TCP:flags:SA]-tamper{TCP:flags:replace:S}(duplicate(,tamper{TCP:load:corrupt}),)-| \\/ ",
 };
 
 /// Strategy 3 — Corrupted ACK, Simultaneous Open (China).
@@ -86,7 +88,8 @@ pub const STRATEGY_7: NamedStrategy = NamedStrategy {
 pub const STRATEGY_8: NamedStrategy = NamedStrategy {
     id: 8,
     name: "TCP Window Reduction",
-    text: "[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \\/ ",
+    text:
+        "[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \\/ ",
 };
 
 /// Strategy 9 — Triple Load (Kazakhstan).
@@ -113,8 +116,17 @@ pub const STRATEGY_11: NamedStrategy = NamedStrategy {
 /// All 11 server-side strategies, in paper order.
 pub fn server_side() -> [NamedStrategy; 11] {
     [
-        STRATEGY_1, STRATEGY_2, STRATEGY_3, STRATEGY_4, STRATEGY_5, STRATEGY_6, STRATEGY_7,
-        STRATEGY_8, STRATEGY_9, STRATEGY_10, STRATEGY_11,
+        STRATEGY_1,
+        STRATEGY_2,
+        STRATEGY_3,
+        STRATEGY_4,
+        STRATEGY_5,
+        STRATEGY_6,
+        STRATEGY_7,
+        STRATEGY_8,
+        STRATEGY_9,
+        STRATEGY_10,
+        STRATEGY_11,
     ]
 }
 
@@ -233,11 +245,26 @@ pub enum AnalogPosition {
 /// The insertion-packet shapes §3 translates to server-side.
 pub const INSERTION_SHAPES: [(&str, &str); 5] = [
     // (name, tamper chain applied to the duplicated SYN+ACK)
-    ("TTL-limited RST", "tamper{TCP:flags:replace:R}(tamper{IP:ttl:replace:9},)"),
-    ("TTL-limited RST+ACK", "tamper{TCP:flags:replace:RA}(tamper{IP:ttl:replace:9},)"),
-    ("bad-checksum RST", "tamper{TCP:flags:replace:R}(tamper{TCP:chksum:corrupt},)"),
-    ("bad-checksum RST+ACK", "tamper{TCP:flags:replace:RA}(tamper{TCP:chksum:corrupt},)"),
-    ("TTL-limited junk load", "tamper{TCP:load:corrupt}(tamper{IP:ttl:replace:9},)"),
+    (
+        "TTL-limited RST",
+        "tamper{TCP:flags:replace:R}(tamper{IP:ttl:replace:9},)",
+    ),
+    (
+        "TTL-limited RST+ACK",
+        "tamper{TCP:flags:replace:RA}(tamper{IP:ttl:replace:9},)",
+    ),
+    (
+        "bad-checksum RST",
+        "tamper{TCP:flags:replace:R}(tamper{TCP:chksum:corrupt},)",
+    ),
+    (
+        "bad-checksum RST+ACK",
+        "tamper{TCP:flags:replace:RA}(tamper{TCP:chksum:corrupt},)",
+    ),
+    (
+        "TTL-limited junk load",
+        "tamper{TCP:load:corrupt}(tamper{IP:ttl:replace:9},)",
+    ),
 ];
 
 /// Generate the §3 server-side analogs: each insertion shape, sent
@@ -263,6 +290,7 @@ pub fn server_side_analogs() -> Vec<(String, AnalogPosition, Strategy)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::ast::Action;
 

@@ -17,28 +17,66 @@
 //! `send` — Geneva's strategies lean on this heavily
 //! (`duplicate(,tamper{...})`, trailing `(X,)`, bare `duplicate`).
 
-use crate::ast::{Action, Strategy, StrategyPart, TamperMode, Trigger};
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
+use crate::ast::{Action, Span, Strategy, StrategyPart, TamperMode, Trigger};
 use crate::ParseError;
 use packet::field::{FieldRef, FieldValue};
 use packet::Proto;
 
+/// Source spans for one `trigger ⇒ action` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartSpans {
+    /// The whole pair, `[` through `-|`.
+    pub part: Span,
+    /// The `[trigger]` segment, brackets included.
+    pub trigger: Span,
+    /// One span per action-tree node, **preorder** (node before
+    /// children, children left to right) — the order `Action::walk`
+    /// visits, so the n-th visited node pairs with `actions[n]`.
+    /// Implicit `send` slots get zero-width spans at their position.
+    pub actions: Vec<Span>,
+}
+
+/// Source spans for every part of a parsed strategy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrategySpans {
+    /// Spans of the outbound parts, in order.
+    pub outbound: Vec<PartSpans>,
+    /// Spans of the inbound parts, in order.
+    pub inbound: Vec<PartSpans>,
+}
+
 /// Parse a full strategy string.
 pub fn parse_strategy(input: &str) -> Result<Strategy, ParseError> {
+    parse_strategy_spanned(input).map(|(strategy, _)| strategy)
+}
+
+/// Parse a full strategy string, also returning a byte-offset span for
+/// every part and every action node (what `strata` diagnostics point
+/// at).
+pub fn parse_strategy_spanned(input: &str) -> Result<(Strategy, StrategySpans), ParseError> {
     let mut p = Parser {
         input: input.as_bytes(),
         at: 0,
     };
     let mut strategy = Strategy::default();
+    let mut spans = StrategySpans::default();
     p.skip_ws();
     while p.peek() == Some(b'[') {
-        strategy.outbound.push(p.pair()?);
+        let (part, part_spans) = p.pair()?;
+        strategy.outbound.push(part);
+        spans.outbound.push(part_spans);
         p.skip_ws();
     }
     if p.peek() == Some(b'\\') {
         p.expect_str("\\/")?;
         p.skip_ws();
         while p.peek() == Some(b'[') {
-            strategy.inbound.push(p.pair()?);
+            let (part, part_spans) = p.pair()?;
+            strategy.inbound.push(part);
+            spans.inbound.push(part_spans);
             p.skip_ws();
         }
     }
@@ -46,7 +84,7 @@ pub fn parse_strategy(input: &str) -> Result<Strategy, ParseError> {
     if p.at != p.input.len() {
         return Err(p.err("trailing input"));
     }
-    Ok(strategy)
+    Ok((strategy, spans))
 }
 
 struct Parser<'a> {
@@ -57,7 +95,7 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
         ParseError {
-            at: self.at,
+            span: Span::point(self.at),
             message: message.to_string(),
         }
     }
@@ -117,7 +155,8 @@ impl<'a> Parser<'a> {
         std::str::from_utf8(&self.input[start..self.at]).unwrap_or("")
     }
 
-    fn pair(&mut self) -> Result<StrategyPart, ParseError> {
+    fn pair(&mut self) -> Result<(StrategyPart, PartSpans), ParseError> {
+        let part_start = self.at;
         self.expect(b'[')?;
         let proto_str = self.until(b":").to_string();
         self.expect(b':')?;
@@ -125,25 +164,45 @@ impl<'a> Parser<'a> {
         self.expect(b':')?;
         let value = self.until(b"]").to_string();
         self.expect(b']')?;
-        let proto =
-            Proto::parse(&proto_str).ok_or_else(|| self.err("unknown trigger protocol"))?;
+        let trigger_span = Span::new(part_start, self.at);
+        let proto = Proto::parse(&proto_str).ok_or_else(|| self.err("unknown trigger protocol"))?;
         let field = FieldRef::new(proto, &field_str);
         field
             .kind()
             .map_err(|e| self.err(&format!("bad trigger field: {e}")))?;
         self.expect(b'-')?;
-        let action = self.action()?;
+        let mut actions = Vec::new();
+        let action = self.action(&mut actions)?;
         self.expect_str("-|")?;
-        Ok(StrategyPart {
-            trigger: Trigger { field, value },
-            action,
-        })
+        debug_assert_eq!(actions.len(), action.size(), "span/node count mismatch");
+        Ok((
+            StrategyPart {
+                trigger: Trigger { field, value },
+                action,
+            },
+            PartSpans {
+                part: Span::new(part_start, self.at),
+                trigger: trigger_span,
+                actions,
+            },
+        ))
     }
 
-    fn action(&mut self) -> Result<Action, ParseError> {
+    /// Parse one action subtree, appending one span per node to
+    /// `spans` in preorder.
+    fn action(&mut self, spans: &mut Vec<Span>) -> Result<Action, ParseError> {
         self.skip_ws();
+        let start = self.at;
+        let index = spans.len();
+        spans.push(Span::point(start)); // placeholder until the node ends
+        let action = self.action_inner(spans)?;
+        spans[index] = Span::new(start, self.at);
+        Ok(action)
+    }
+
+    fn action_inner(&mut self, spans: &mut Vec<Span>) -> Result<Action, ParseError> {
         if self.eat_keyword("duplicate") {
-            let (a, b) = self.two_args()?;
+            let (a, b) = self.two_args(spans)?;
             return Ok(Action::Duplicate(Box::new(a), Box::new(b)));
         }
         if self.eat_keyword("fragment") {
@@ -160,7 +219,7 @@ impl<'a> Parser<'a> {
                 .parse()
                 .map_err(|_| self.err("bad fragment offset"))?;
             let in_order = matches!(order_str.as_str(), "True" | "true" | "1");
-            let (first, second) = self.two_args()?;
+            let (first, second) = self.two_args(spans)?;
             return Ok(Action::Fragment {
                 proto,
                 // Geneva uses -1 for "middle"; we clamp at apply time.
@@ -197,12 +256,18 @@ impl<'a> Parser<'a> {
                 .kind()
                 .map_err(|e| self.err(&format!("bad tamper field: {e}")))?;
             let next = if self.peek() == Some(b'(') {
-                let (only, extra) = self.two_args()?;
+                let before = spans.len();
+                let (only, extra) = self.two_args(spans)?;
                 if !matches!(extra, Action::Send) {
                     return Err(self.err("tamper takes one subtree"));
                 }
+                // `extra` is a bare send: drop its span so the span
+                // stream stays aligned with the one-child AST.
+                debug_assert_eq!(spans.len(), before + only.size() + 1);
+                spans.pop();
                 only
             } else {
+                spans.push(Span::point(self.at)); // implicit send child
                 Action::Send
             };
             return Ok(Action::Tamper {
@@ -221,25 +286,32 @@ impl<'a> Parser<'a> {
         Ok(Action::Send)
     }
 
-    /// Parse `( a? , b? )` — both optional — or nothing at all.
-    fn two_args(&mut self) -> Result<(Action, Action), ParseError> {
+    /// Parse `( a? , b? )` — both optional — or nothing at all. Every
+    /// slot contributes its subtree's spans (implicit sends a
+    /// zero-width span), first subtree before second.
+    fn two_args(&mut self, spans: &mut Vec<Span>) -> Result<(Action, Action), ParseError> {
         if self.peek() != Some(b'(') {
+            spans.push(Span::point(self.at));
+            spans.push(Span::point(self.at));
             return Ok((Action::Send, Action::Send));
         }
         self.expect(b'(')?;
         let first = if matches!(self.peek(), Some(b',') | Some(b')')) {
+            spans.push(Span::point(self.at));
             Action::Send
         } else {
-            self.action()?
+            self.action(spans)?
         };
         let second = if self.peek() == Some(b',') {
             self.bump();
             if self.peek() == Some(b')') {
+                spans.push(Span::point(self.at));
                 Action::Send
             } else {
-                self.action()?
+                self.action(spans)?
             }
         } else {
+            spans.push(Span::point(self.at));
             Action::Send
         };
         self.expect(b')')?;
@@ -281,13 +353,14 @@ fn parse_value(s: &str) -> FieldValue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn round_trip(text: &str) -> Strategy {
         let parsed = parse_strategy(text).unwrap_or_else(|e| panic!("{text}: {e}"));
         let rendered = parsed.to_string();
-        let reparsed = parse_strategy(&rendered)
-            .unwrap_or_else(|e| panic!("re-parse of {rendered:?}: {e}"));
+        let reparsed =
+            parse_strategy(&rendered).unwrap_or_else(|e| panic!("re-parse of {rendered:?}: {e}"));
         assert_eq!(parsed, reparsed, "round trip changed meaning for {text}");
         parsed
     }
@@ -347,7 +420,8 @@ mod tests {
 
     #[test]
     fn parses_string_replace_value_with_spaces() {
-        let s = round_trip("[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)-| \\/ ");
+        let s =
+            round_trip("[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)-| \\/ ");
         match &s.outbound[0].action {
             Action::Tamper { mode, .. } => {
                 assert_eq!(
@@ -379,9 +453,7 @@ mod tests {
 
     #[test]
     fn parses_inbound_section() {
-        let s = round_trip(
-            "[TCP:flags:SA]-drop-| \\/ [TCP:flags:R]-drop-|",
-        );
+        let s = round_trip("[TCP:flags:SA]-drop-| \\/ [TCP:flags:R]-drop-|");
         assert_eq!(s.outbound.len(), 1);
         assert_eq!(s.inbound.len(), 1);
     }

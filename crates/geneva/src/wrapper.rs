@@ -56,6 +56,7 @@ impl<E: Endpoint> Endpoint for StrategicEndpoint<E> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::library::STRATEGY_1;
     use packet::TcpFlags;
@@ -84,8 +85,7 @@ mod tests {
 
     #[test]
     fn outbound_syn_ack_is_rewritten() {
-        let mut wrapped =
-            StrategicEndpoint::new(SynAcker, Engine::new(STRATEGY_1.strategy(), 7));
+        let mut wrapped = StrategicEndpoint::new(SynAcker, Engine::new(STRATEGY_1.strategy(), 7));
         let syn = Packet::tcp([1; 4], 1111, [2; 4], 80, TcpFlags::SYN, 50, 0, vec![]);
         let mut io = Io::default();
         wrapped.on_packet(syn, 0, &mut io);
@@ -96,10 +96,8 @@ mod tests {
 
     #[test]
     fn identity_engine_is_transparent() {
-        let mut wrapped = StrategicEndpoint::new(
-            SynAcker,
-            Engine::new(crate::ast::Strategy::identity(), 7),
-        );
+        let mut wrapped =
+            StrategicEndpoint::new(SynAcker, Engine::new(crate::ast::Strategy::identity(), 7));
         let syn = Packet::tcp([1; 4], 1111, [2; 4], 80, TcpFlags::SYN, 50, 0, vec![]);
         let mut io = Io::default();
         wrapped.on_packet(syn, 0, &mut io);

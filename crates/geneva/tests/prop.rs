@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Property tests for the Geneva DSL and engine.
 //!
 //! Invariants:
@@ -81,14 +82,15 @@ fn arb_action() -> impl Strategy<Value = Action> {
             arb_tamper(inner.clone()),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Action::Duplicate(Box::new(a), Box::new(b))),
-            (1usize..20, any::<bool>(), inner.clone(), inner)
-                .prop_map(|(offset, in_order, a, b)| Action::Fragment {
+            (1usize..20, any::<bool>(), inner.clone(), inner).prop_map(
+                |(offset, in_order, a, b)| Action::Fragment {
                     proto: packet::Proto::Tcp,
                     offset,
                     in_order,
                     first: Box::new(a),
                     second: Box::new(b),
-                }),
+                }
+            ),
         ]
         .boxed()
     })

@@ -31,10 +31,26 @@ pub struct GeoEntry {
 /// deployment would load MaxMind or similar).
 pub fn demo_geo_table() -> Vec<GeoEntry> {
     vec![
-        GeoEntry { prefix: [10, 7, 0, 0], len: 16, country: Country::China },
-        GeoEntry { prefix: [10, 91, 0, 0], len: 16, country: Country::India },
-        GeoEntry { prefix: [10, 98, 0, 0], len: 16, country: Country::Iran },
-        GeoEntry { prefix: [10, 77, 0, 0], len: 16, country: Country::Kazakhstan },
+        GeoEntry {
+            prefix: [10, 7, 0, 0],
+            len: 16,
+            country: Country::China,
+        },
+        GeoEntry {
+            prefix: [10, 91, 0, 0],
+            len: 16,
+            country: Country::India,
+        },
+        GeoEntry {
+            prefix: [10, 98, 0, 0],
+            len: 16,
+            country: Country::Iran,
+        },
+        GeoEntry {
+            prefix: [10, 77, 0, 0],
+            len: 16,
+            country: Country::Kazakhstan,
+        },
     ]
 }
 
@@ -45,7 +61,11 @@ pub fn locate(addr: [u8; 4], table: &[GeoEntry]) -> Option<Country> {
         .iter()
         .filter(|e| {
             let net = u32::from_be_bytes(e.prefix);
-            let mask = if e.len == 0 { 0 } else { u32::MAX << (32 - e.len) };
+            let mask = if e.len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - e.len)
+            };
             ip & mask == net & mask
         })
         .max_by_key(|e| e.len)
@@ -101,6 +121,7 @@ pub fn pick_for_client(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -151,8 +172,7 @@ mod tests {
                     continue;
                 };
                 let evading = TrialConfig::new(country, *proto, top.strategy(), 0);
-                let baseline =
-                    TrialConfig::new(country, *proto, geneva::Strategy::identity(), 0);
+                let baseline = TrialConfig::new(country, *proto, geneva::Strategy::identity(), 0);
                 let with = success_rate(&evading, 60, 9).rate();
                 let without = success_rate(&baseline, 60, 9).rate();
                 assert!(

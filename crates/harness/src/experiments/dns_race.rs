@@ -101,7 +101,12 @@ pub fn dns_race(seed: u64) -> DnsRaceReport {
     use crate::trial::{run_trial, TrialConfig};
     use appproto::AppProtocol;
     use censor::Country;
-    let base = TrialConfig::new(Country::China, AppProtocol::DnsTcp, Strategy::identity(), seed);
+    let base = TrialConfig::new(
+        Country::China,
+        AppProtocol::DnsTcp,
+        Strategy::identity(),
+        seed,
+    );
     let tcp_no_evasion = run_trial(&base).outcome;
     // Find a seed where Strategy 1 evades (it succeeds ~87% with
     // retries, so the first few seeds suffice).
@@ -147,6 +152,7 @@ impl DnsRaceReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

@@ -121,17 +121,15 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
         ));
     }
     // Three copies, only the LAST with a payload.
-    let one_of_three = parse_strategy(
-        "[TCP:flags:SA]-duplicate(duplicate,tamper{TCP:load:corrupt})-| \\/ ",
-    )
-    .expect("parses");
+    let one_of_three =
+        parse_strategy("[TCP:flags:SA]-duplicate(duplicate,tamper{TCP:load:corrupt})-| \\/ ")
+            .expect("parses");
     let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, one_of_three, 0);
     let s9_one_of_three_loads = success_rate(&cfg, trials, base_seed ^ 0x90F);
     // A 1-byte payload on all three.
-    let tiny = parse_strategy(
-        "[TCP:flags:SA]-tamper{TCP:load:replace:x}(duplicate(duplicate,),)-| \\/ ",
-    )
-    .expect("parses");
+    let tiny =
+        parse_strategy("[TCP:flags:SA]-tamper{TCP:load:replace:x}(duplicate(duplicate,),)-| \\/ ")
+            .expect("parses");
     let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, tiny, 0);
     let s9_one_byte_load = success_rate(&cfg, trials, base_seed ^ 0x91F);
 
@@ -218,6 +216,7 @@ impl FollowupReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -247,10 +246,26 @@ mod tests {
             report.render()
         );
         // Strategy 9: exactly ≥3 loads work.
-        let by_count: Vec<f64> = report.s9_load_counts.iter().map(|(_, r)| r.rate()).collect();
-        assert!(by_count[0] < 0.1 && by_count[1] < 0.1, "{}", report.render());
-        assert!(by_count[2] > 0.9 && by_count[3] > 0.9, "{}", report.render());
-        assert!(report.s9_one_of_three_loads.rate() < 0.1, "{}", report.render());
+        let by_count: Vec<f64> = report
+            .s9_load_counts
+            .iter()
+            .map(|(_, r)| r.rate())
+            .collect();
+        assert!(
+            by_count[0] < 0.1 && by_count[1] < 0.1,
+            "{}",
+            report.render()
+        );
+        assert!(
+            by_count[2] > 0.9 && by_count[3] > 0.9,
+            "{}",
+            report.render()
+        );
+        assert!(
+            report.s9_one_of_three_loads.rate() < 0.1,
+            "{}",
+            report.render()
+        );
         assert!(report.s9_one_byte_load.rate() > 0.9, "{}", report.render());
         // Strategy 10: the dot matters; one GET is not enough.
         assert!(report.s10_variants[0].1.rate() > 0.9);

@@ -95,7 +95,11 @@ pub fn figure2(seed: u64) -> String {
                 "Strategy {}: {} (HTTP, Kazakhstan) — {}",
                 named.id,
                 named.name,
-                if result.evaded() { "evaded" } else { "censored" }
+                if result.evaded() {
+                    "evaded"
+                } else {
+                    "censored"
+                }
             ),
             &result.trace,
         ));

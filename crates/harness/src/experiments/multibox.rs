@@ -85,7 +85,10 @@ impl MultiboxReport {
             "strategy", "model", "DNS", "FTP", "HTTP", "HTTPS", "SMTP", "spread"
         ));
         for row in &self.rows {
-            for (model, rates) in [("multi-box", &row.multi_box), ("single-box", &row.single_box)] {
+            for (model, rates) in [
+                ("multi-box", &row.multi_box),
+                ("single-box", &row.single_box),
+            ] {
                 out.push_str(&format!("{:<10}{:<14}", row.strategy_id, model));
                 for (_, estimate) in rates {
                     out.push_str(&format!("{:>6}%", estimate.percent()));
@@ -102,6 +105,7 @@ impl MultiboxReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

@@ -48,7 +48,11 @@ fn server_emissions(strategy: Strategy, seed: u64) -> (i64, i64, i64) {
         {
             packets += 1;
             bytes += pkt.serialize_raw().len() as i64;
-            if !pkt.payload.is_empty() && pkt.tcp_header().map(|t| t.flags.is_syn_ack() || t.flags.is_syn()).unwrap_or(false)
+            if !pkt.payload.is_empty()
+                && pkt
+                    .tcp_header()
+                    .map(|t| t.flags.is_syn_ack() || t.flags.is_syn())
+                    .unwrap_or(false)
             {
                 payloads += 1;
             }
@@ -91,7 +95,11 @@ pub fn overhead(seeds: u64) -> OverheadReport {
 impl OverheadReport {
     /// The §8 claim: at most three extra payloads.
     pub fn max_extra_payloads(&self) -> i64 {
-        self.rows.iter().map(|r| r.extra_payloads).max().unwrap_or(0)
+        self.rows
+            .iter()
+            .map(|r| r.extra_payloads)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Render as text.
@@ -118,16 +126,13 @@ impl OverheadReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
     fn at_most_three_extra_payloads_and_small_byte_cost() {
         let report = overhead(6);
-        assert!(
-            report.max_extra_payloads() <= 3,
-            "{}",
-            report.render()
-        );
+        assert!(report.max_extra_payloads() <= 3, "{}", report.render());
         for row in &report.rows {
             // Handshake-only manipulation: a handful of extra packets,
             // never a flood.

@@ -100,8 +100,7 @@ impl ClientApp for TwoPhase {
         self.active().on_data(data);
     }
     fn satisfied(&self) -> bool {
-        self.phase >= 1
-            && self.benign.satisfied()
+        self.phase >= 1 && self.benign.satisfied()
     }
     fn max_attempts(&self) -> u32 {
         2
@@ -219,6 +218,7 @@ impl ResidualReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

@@ -41,18 +41,13 @@ pub struct RobustnessReport {
     pub rows: Vec<RobustnessRow>,
 }
 
-fn run_one(
-    strategy: Strategy,
-    censored: bool,
-    loss: f64,
-    seed: u64,
-) -> bool {
-    let port = 20000 + (seed % 999) as u16;
+fn run_one(strategy: Strategy, censored: bool, loss: f64, seed: u64) -> bool {
+    let port = 20000 + u16::try_from(seed % 999).expect("< 999");
     let mut client_host = ClientHost::new(
         appproto::client_app(AppProtocol::Http, "ultrasurf"),
         OsProfile::linux(),
         CLIENT_ADDR,
-        41000 + (seed % 499) as u16,
+        41000 + u16::try_from(seed % 499).expect("< 499"),
         (SERVER_ADDR, port),
         seed ^ 0xC11E,
     );
@@ -84,16 +79,32 @@ pub fn robustness(trials: u32, base_seed: u64) -> RobustnessReport {
     for loss in [0.0, 0.05, 0.10, 0.20] {
         let mut row = RobustnessRow {
             loss,
-            no_censor: RateEstimate { successes: 0, trials },
-            strategy1: RateEstimate { successes: 0, trials },
-            no_evasion: RateEstimate { successes: 0, trials },
+            no_censor: RateEstimate {
+                successes: 0,
+                trials,
+            },
+            strategy1: RateEstimate {
+                successes: 0,
+                trials,
+            },
+            no_evasion: RateEstimate {
+                successes: 0,
+                trials,
+            },
         };
+        #[allow(clippy::cast_possible_truncation)] // loss ∈ [0,1], scaled to [0,1000]
+        let loss_tag = (loss * 1000.0).round().clamp(0.0, 1000.0) as u64;
         for i in 0..trials {
-            let seed = base_seed ^ (u64::from(i) * 7919) ^ ((loss * 1000.0) as u64) << 20;
+            let seed = base_seed ^ (u64::from(i) * 7919) ^ loss_tag << 20;
             if run_one(Strategy::identity(), false, loss, seed) {
                 row.no_censor.successes += 1;
             }
-            if run_one(geneva::library::STRATEGY_1.strategy(), true, loss, seed ^ 0x51) {
+            if run_one(
+                geneva::library::STRATEGY_1.strategy(),
+                true,
+                loss,
+                seed ^ 0x51,
+            ) {
                 row.strategy1.successes += 1;
             }
             if run_one(Strategy::identity(), true, loss, seed ^ 0x52) {
@@ -129,6 +140,7 @@ impl RobustnessReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -137,7 +149,11 @@ mod tests {
         let render = report.render();
         let r0 = &report.rows[0];
         assert!(r0.no_censor.rate() > 0.95, "{render}");
-        let r10 = report.rows.iter().find(|r| (r.loss - 0.10).abs() < 1e-9).unwrap();
+        let r10 = report
+            .rows
+            .iter()
+            .find(|r| (r.loss - 0.10).abs() < 1e-9)
+            .unwrap();
         assert!(
             r10.no_censor.rate() > 0.8,
             "10% loss should be survivable: {render}"

@@ -73,7 +73,9 @@ pub fn section3(trials: u32, base_seed: u64) -> Section3Report {
         let rate = success_rate(
             &cfg,
             trials,
-            base_seed ^ (name.len() as u64) ^ ((position == AnalogPosition::AfterSynAck) as u64) << 17,
+            base_seed
+                ^ (name.len() as u64)
+                ^ ((position == AnalogPosition::AfterSynAck) as u64) << 17,
         );
         let position_name = match position {
             AnalogPosition::BeforeSynAck => "before SYN+ACK",
@@ -120,6 +122,7 @@ impl Section3Report {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -143,10 +146,6 @@ mod tests {
         }
         // The negative result: no analog beats baseline by more than
         // noise.
-        assert!(
-            report.analogs_all_fail(0.15),
-            "{}",
-            report.render()
-        );
+        assert!(report.analogs_all_fail(0.15), "{}", report.render());
     }
 }

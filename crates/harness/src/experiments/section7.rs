@@ -127,13 +127,19 @@ impl ClientCompatReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use endpoint::OsFamily;
 
     #[test]
     fn exactly_5_9_10_break_and_only_on_windows_macos() {
         let report = client_compat(2024);
-        assert_eq!(report.broken_strategies(), vec![5, 9, 10], "{}", report.render());
+        assert_eq!(
+            report.broken_strategies(),
+            vec![5, 9, 10],
+            "{}",
+            report.render()
+        );
         for id in [5, 9, 10] {
             let failing = report.failing_oses(id);
             assert!(!failing.is_empty());

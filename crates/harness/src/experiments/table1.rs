@@ -52,6 +52,7 @@ pub fn protocol_matrix() -> Vec<(Country, Vec<AppProtocol>)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

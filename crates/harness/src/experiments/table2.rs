@@ -134,12 +134,17 @@ impl Table2 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
     fn china_has_nine_rows_kazakhstan_five() {
         let t = table2(2, 1); // tiny: structural test only
-        let china: Vec<_> = t.rows.iter().filter(|r| r.country == Country::China).collect();
+        let china: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|r| r.country == Country::China)
+            .collect();
         assert_eq!(china.len(), 9);
         let kz: Vec<_> = t
             .rows
@@ -159,11 +164,7 @@ mod tests {
             .find(|r| r.country == Country::India && r.strategy_id == 8)
             .unwrap();
         for (proto, estimate) in &row.rates {
-            assert_eq!(
-                estimate.is_some(),
-                *proto == AppProtocol::Http,
-                "{proto}"
-            );
+            assert_eq!(estimate.is_some(), *proto == AppProtocol::Http, "{proto}");
         }
     }
 }

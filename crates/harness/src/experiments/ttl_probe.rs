@@ -39,7 +39,9 @@ impl ProbeClient {
     }
 
     fn probe(&mut self, io: &mut Io) {
-        let Some(conn) = self.conn.as_ref() else { return };
+        let Some(conn) = self.conn.as_ref() else {
+            return;
+        };
         if !conn.is_established() || self.elicited_at.is_some() {
             return;
         }
@@ -193,7 +195,10 @@ impl TtlProbeReport {
         out.push_str("§6 TTL-limited probe localization (China)\n");
         for (proto, hop) in &self.hops {
             match hop {
-                Some(h) => out.push_str(&format!("  {:<6} censorship elicited at TTL {h}\n", proto.name())),
+                Some(h) => out.push_str(&format!(
+                    "  {:<6} censorship elicited at TTL {h}\n",
+                    proto.name()
+                )),
                 None => out.push_str(&format!("  {:<6} no censorship elicited\n", proto.name())),
             }
         }
@@ -208,6 +213,7 @@ impl TtlProbeReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

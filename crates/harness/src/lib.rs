@@ -44,9 +44,11 @@
 pub mod deploy;
 pub mod experiments;
 pub mod rates;
+pub mod screen;
 pub mod trial;
 pub mod waterfall;
 
 pub use rates::{success_rate, RateEstimate};
+pub use screen::{context_for, ScreenedTrial, Screener};
 pub use trial::{run_trial, CensorVariant, TrialConfig, TrialResult};
 pub use waterfall::render_waterfall;

@@ -21,8 +21,9 @@ impl RateEstimate {
     }
 
     /// Rendered as the paper's integer percentages.
+    #[allow(clippy::cast_possible_truncation)] // clamped to [0,100]
     pub fn percent(&self) -> u32 {
-        (self.rate() * 100.0).round() as u32
+        (self.rate() * 100.0).round().clamp(0.0, 100.0) as u32
     }
 
     /// A ~95 % normal-approximation half-width, for sanity bands.
@@ -56,6 +57,7 @@ pub fn success_rate(cfg: &TrialConfig, trials: u32, base_seed: u64) -> RateEstim
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use appproto::AppProtocol;
     use censor::Country;

@@ -1,0 +1,169 @@
+//! Lint-before-trial gate: run `strata` over a strategy before
+//! spending simulator time on it.
+//!
+//! The screener does three things per [`TrialConfig`]:
+//!
+//! 1. builds the [`LintContext`] the trial actually implies — path
+//!    hop counts from the config's [`netsim::PathConfig`] and RST
+//!    resync behavior from the censor variant (the revised §5 GFW
+//!    model ignores server RSTs; the old Wang-et-al. model tears the
+//!    TCB down);
+//! 2. runs the full [`strata::analyze_with_context`] pipeline and
+//!    keeps counters (screened / statically rejected / simulated);
+//! 3. only forwards to [`run_trial`] when the lints could not prove
+//!    the strategy futile.
+//!
+//! A statically rejected trial reports `evaded = false` without
+//! touching the simulator — exactly the outcome simulation would
+//! have produced, by the soundness of the `handshake-severed` lint.
+
+use crate::trial::{run_trial, CensorVariant, TrialConfig, TrialResult};
+use censor::Country;
+use strata::{analyze_with_context, Analysis, LintContext};
+
+/// One screened trial: the static verdict, plus the simulation result
+/// when the gate let it through.
+#[derive(Debug, Clone)]
+pub struct ScreenedTrial {
+    /// Full static analysis of the strategy.
+    pub analysis: Analysis,
+    /// `None` when the gate rejected the trial statically.
+    pub result: Option<TrialResult>,
+}
+
+impl ScreenedTrial {
+    /// Did the connection evade censorship? Statically rejected
+    /// trials cannot have.
+    pub fn evaded(&self) -> bool {
+        self.result.as_ref().is_some_and(TrialResult::evaded)
+    }
+}
+
+/// The lint context a trial's configuration implies.
+pub fn context_for(cfg: &TrialConfig) -> LintContext {
+    let censor_resyncs_on_rst = match (cfg.country, cfg.censor_variant) {
+        (_, CensorVariant::GfwOldResyncModel) => Some(true),
+        // The revised §5 model: server RSTs do not tear down the TCB.
+        (Some(Country::China), _) => Some(false),
+        _ => None,
+    };
+    LintContext {
+        hops_to_middlebox: cfg.path.mb_to_server_hops,
+        hops_to_client: cfg.path.mb_to_server_hops + cfg.path.client_to_mb_hops,
+        censor_resyncs_on_rst,
+        ..LintContext::default()
+    }
+}
+
+/// Counting gate around [`run_trial`].
+#[derive(Debug, Default, Clone)]
+pub struct Screener {
+    /// Trials offered to the gate.
+    pub screened: u64,
+    /// Trials rejected without simulation.
+    pub rejected: u64,
+    /// Trials that went on to simulate.
+    pub simulated: u64,
+}
+
+impl Screener {
+    /// Fresh gate with zeroed counters.
+    pub fn new() -> Screener {
+        Screener::default()
+    }
+
+    /// Analyze, then simulate only if the strategy survives.
+    pub fn run(&mut self, cfg: &TrialConfig) -> ScreenedTrial {
+        self.screened += 1;
+        let analysis = analyze_with_context(&cfg.strategy, &context_for(cfg));
+        if analysis.statically_futile {
+            self.rejected += 1;
+            return ScreenedTrial {
+                analysis,
+                result: None,
+            };
+        }
+        self.simulated += 1;
+        ScreenedTrial {
+            analysis,
+            result: Some(run_trial(cfg)),
+        }
+    }
+
+    /// Fraction of screened trials rejected without simulation.
+    pub fn reject_rate(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.screened as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
+    use super::*;
+    use appproto::AppProtocol;
+    use geneva::parse_strategy;
+
+    fn cfg(strategy: &str) -> TrialConfig {
+        TrialConfig::new(
+            Country::China,
+            AppProtocol::Http,
+            parse_strategy(strategy).expect("parses"),
+            7,
+        )
+    }
+
+    #[test]
+    fn futile_strategy_is_rejected_without_simulation() {
+        let mut gate = Screener::new();
+        let trial = gate.run(&cfg("[TCP:flags:SA]-drop-| \\/ "));
+        assert!(trial.analysis.statically_futile);
+        assert!(trial.result.is_none());
+        assert!(!trial.evaded());
+        assert_eq!((gate.screened, gate.rejected, gate.simulated), (1, 1, 0));
+        assert!((gate.reject_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn live_strategy_passes_through_to_the_simulator() {
+        let mut gate = Screener::new();
+        let trial = gate.run(&cfg(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ",
+        ));
+        assert!(!trial.analysis.statically_futile);
+        assert!(trial.result.is_some());
+        assert_eq!((gate.screened, gate.rejected, gate.simulated), (1, 0, 1));
+    }
+
+    #[test]
+    fn context_reflects_censor_variant() {
+        let mut c = cfg(" \\/ ");
+        assert_eq!(context_for(&c).censor_resyncs_on_rst, Some(false));
+        c.censor_variant = CensorVariant::GfwOldResyncModel;
+        assert_eq!(context_for(&c).censor_resyncs_on_rst, Some(true));
+        c.censor_variant = CensorVariant::Standard;
+        c.country = None;
+        assert_eq!(context_for(&c).censor_resyncs_on_rst, None);
+        assert_eq!(context_for(&c).hops_to_middlebox, c.path.mb_to_server_hops);
+    }
+
+    #[test]
+    fn rejection_agrees_with_simulation() {
+        // The gate's soundness claim, checked dynamically: a rejected
+        // strategy really does fail every simulated trial.
+        let futile = cfg("[TCP:flags:SA]-tamper{TCP:chksum:corrupt}-| \\/ ");
+        let mut gate = Screener::new();
+        assert!(gate.run(&futile).analysis.statically_futile);
+        for seed in 0..10 {
+            let mut c = futile.clone();
+            c.seed = seed;
+            assert!(
+                !run_trial(&c).evaded(),
+                "seed {seed} evaded despite futility proof"
+            );
+        }
+    }
+}

@@ -78,7 +78,12 @@ impl TrialConfig {
     }
 
     /// A private-network trial (no censor): §7 client compatibility.
-    pub fn private_network(protocol: AppProtocol, strategy: Strategy, os: OsProfile, seed: u64) -> Self {
+    pub fn private_network(
+        protocol: AppProtocol,
+        strategy: Strategy,
+        os: OsProfile,
+        seed: u64,
+    ) -> Self {
         let mut cfg = TrialConfig::new(Country::China, protocol, strategy, seed);
         cfg.country = None;
         cfg.os = os;
@@ -127,6 +132,7 @@ impl TrialConfig {
 }
 
 /// The result of one trial.
+#[derive(Debug, Clone)]
 pub struct TrialResult {
     /// The client's final outcome.
     pub outcome: Outcome,
@@ -176,7 +182,9 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     let client = StrategicEndpoint::new(
         client_host,
         Engine::new(
-            cfg.client_strategy.clone().unwrap_or_else(Strategy::identity),
+            cfg.client_strategy
+                .clone()
+                .unwrap_or_else(Strategy::identity),
             cfg.seed ^ 0xC0DE,
         ),
     );
@@ -190,8 +198,12 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             Some(carrier) => Box_::Censor(Box::new(CarrierMiddlebox::new(carrier))),
             None => Box_::None(NullMiddlebox),
         },
-        (Some(Country::China), CensorVariant::GfwSingleBox) => Box_::Censor(Box::new(Gfw::single_box_ablation(cfg.seed ^ 0xCE50))),
-        (Some(Country::China), CensorVariant::GfwOldResyncModel) => Box_::Censor(Box::new(Gfw::old_resync_model(cfg.seed ^ 0xCE50))),
+        (Some(Country::China), CensorVariant::GfwSingleBox) => {
+            Box_::Censor(Box::new(Gfw::single_box_ablation(cfg.seed ^ 0xCE50)))
+        }
+        (Some(Country::China), CensorVariant::GfwOldResyncModel) => {
+            Box_::Censor(Box::new(Gfw::old_resync_model(cfg.seed ^ 0xCE50)))
+        }
         (Some(country), _) => Box_::Censor(country.build(cfg.seed ^ 0xCE50)),
     };
 
@@ -231,13 +243,15 @@ fn server_app_for(proto: AppProtocol) -> Box<dyn ServerApp> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use geneva::library;
 
     #[test]
     fn no_censor_every_protocol_succeeds() {
         for proto in AppProtocol::all() {
-            let cfg = TrialConfig::private_network(proto, Strategy::identity(), OsProfile::linux(), 7);
+            let cfg =
+                TrialConfig::private_network(proto, Strategy::identity(), OsProfile::linux(), 7);
             let result = run_trial(&cfg);
             assert_eq!(result.outcome, Outcome::Success, "{proto}");
             assert!(result.server_responded, "{proto}");
@@ -284,7 +298,11 @@ mod tests {
             for seed in 0..5 {
                 let cfg = TrialConfig::new(country, AppProtocol::Http, strategy.clone(), seed);
                 let result = run_trial(&cfg);
-                assert!(result.evaded(), "{country} seed {seed}: {:?}", result.outcome);
+                assert!(
+                    result.evaded(),
+                    "{country} seed {seed}: {:?}",
+                    result.outcome
+                );
             }
         }
     }
@@ -300,7 +318,11 @@ mod tests {
 
     #[test]
     fn kazakhstan_strategies_9_10_11_work() {
-        for named in [library::STRATEGY_9, library::STRATEGY_10, library::STRATEGY_11] {
+        for named in [
+            library::STRATEGY_9,
+            library::STRATEGY_10,
+            library::STRATEGY_11,
+        ] {
             for seed in 0..5 {
                 let cfg = TrialConfig::new(
                     Country::Kazakhstan,
@@ -322,7 +344,12 @@ mod tests {
     #[test]
     fn kazakhstan_strategies_9_10_11_unmodified_fails() {
         // Control: without a strategy Kazakhstan censors.
-        let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, Strategy::identity(), 9);
+        let cfg = TrialConfig::new(
+            Country::Kazakhstan,
+            AppProtocol::Http,
+            Strategy::identity(),
+            9,
+        );
         assert!(!run_trial(&cfg).evaded());
     }
 

@@ -44,7 +44,10 @@ fn looks_like_get(payload: &[u8]) -> bool {
 pub fn render_waterfall(title: &str, trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!("{:<10}{:<28}{:>28}\n", "t(ms)", "Client", "Server"));
+    out.push_str(&format!(
+        "{:<10}{:<28}{:>28}\n",
+        "t(ms)", "Client", "Server"
+    ));
     out.push_str(&format!("{}\n", "-".repeat(WIDTH)));
     for event in &trace.events {
         match event {
@@ -74,7 +77,10 @@ pub fn render_waterfall(title: &str, trace: &Trace) -> String {
             }
             TraceEvent::TtlExpired { t, pkt, .. } => {
                 let time = format!("{:<10.3}", *t as f64 / 1000.0);
-                out.push_str(&format!("{time}    [ttl expired in transit: {}]\n", label(pkt)));
+                out.push_str(&format!(
+                    "{time}    [ttl expired in transit: {}]\n",
+                    label(pkt)
+                ));
             }
             _ => {}
         }
@@ -84,6 +90,7 @@ pub fn render_waterfall(title: &str, trace: &Trace) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use netsim::Trace;
     use packet::TcpFlags;

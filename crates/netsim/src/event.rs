@@ -96,6 +96,7 @@ impl EventQueue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn wake(side: Side) -> Event {

@@ -58,11 +58,11 @@ impl<M: Middlebox> Middlebox for FaultInjector<M> {
             // fields works; payload is the common case.
             if mangled.payload.is_empty() {
                 if let Some(tcp) = mangled.tcp_header_mut() {
-                    tcp.seq ^= 1 << self.rng.gen_range(0..16);
+                    tcp.seq ^= 1u32 << self.rng.gen_range(0u32..16);
                 }
             } else {
                 let at = self.rng.gen_range(0..mangled.payload.len());
-                mangled.payload[at] ^= 1 << self.rng.gen_range(0..8);
+                mangled.payload[at] ^= 1u8 << self.rng.gen_range(0u8..8);
             }
             // NOT finalized: the stored checksum no longer matches.
             return self.inner.process(&mangled, dir, now);
@@ -73,12 +73,22 @@ impl<M: Middlebox> Middlebox for FaultInjector<M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::sim::NullMiddlebox;
     use packet::TcpFlags;
 
     fn pkt() -> Packet {
-        let mut p = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::PSH_ACK, 10, 20, b"hello".to_vec());
+        let mut p = Packet::tcp(
+            [1; 4],
+            1,
+            [2; 4],
+            2,
+            TcpFlags::PSH_ACK,
+            10,
+            20,
+            b"hello".to_vec(),
+        );
         p.finalize();
         p
     }
@@ -125,7 +135,12 @@ mod tests {
         let run = |seed| {
             let mut injector = FaultInjector::new(NullMiddlebox, 0.5, 0.0, seed);
             (0..64)
-                .map(|_| injector.process(&pkt(), Direction::ToServer, 0).forward.is_some())
+                .map(|_| {
+                    injector
+                        .process(&pkt(), Direction::ToServer, 0)
+                        .forward
+                        .is_some()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));

@@ -6,6 +6,9 @@
 //! tcpdump output. The writer is self-contained (no libpcap
 //! dependency) and covers the subset of the format we produce.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::trace::{Trace, TraceEvent};
 use crate::Side;
 
@@ -40,10 +43,30 @@ pub fn to_pcap(trace: &Trace, at: CaptureAt) -> Vec<u8> {
     for event in &trace.events {
         #[allow(clippy::match_like_matches_macro)] // the arm table reads as a policy
         let visible = match (at, event) {
-            (CaptureAt::Client, TraceEvent::Sent { side: Side::Client, .. })
-            | (CaptureAt::Client, TraceEvent::Delivered { side: Side::Client, .. })
-            | (CaptureAt::Server, TraceEvent::Sent { side: Side::Server, .. })
-            | (CaptureAt::Server, TraceEvent::Delivered { side: Side::Server, .. })
+            (
+                CaptureAt::Client,
+                TraceEvent::Sent {
+                    side: Side::Client, ..
+                },
+            )
+            | (
+                CaptureAt::Client,
+                TraceEvent::Delivered {
+                    side: Side::Client, ..
+                },
+            )
+            | (
+                CaptureAt::Server,
+                TraceEvent::Sent {
+                    side: Side::Server, ..
+                },
+            )
+            | (
+                CaptureAt::Server,
+                TraceEvent::Delivered {
+                    side: Side::Server, ..
+                },
+            )
             | (CaptureAt::Middlebox, TraceEvent::Forwarded { .. })
             | (CaptureAt::Middlebox, TraceEvent::DroppedByMiddlebox { .. })
             | (CaptureAt::Middlebox, TraceEvent::Injected { .. }) => true,
@@ -95,12 +118,22 @@ pub fn parse_pcap(data: &[u8]) -> Option<(u32, Vec<PcapRecord>)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::{Packet, TcpFlags};
 
     fn traced_exchange() -> Trace {
         let mut trace = Trace::default();
-        let mut syn = Packet::tcp([10, 0, 0, 1], 1, [2, 2, 2, 2], 80, TcpFlags::SYN, 5, 0, vec![]);
+        let mut syn = Packet::tcp(
+            [10, 0, 0, 1],
+            1,
+            [2, 2, 2, 2],
+            80,
+            TcpFlags::SYN,
+            5,
+            0,
+            vec![],
+        );
         syn.finalize();
         trace.push(TraceEvent::Sent {
             t: 1_500_000,
@@ -138,7 +171,9 @@ mod tests {
         let trace = traced_exchange();
         let client = parse_pcap(&to_pcap(&trace, CaptureAt::Client)).unwrap().1;
         let server = parse_pcap(&to_pcap(&trace, CaptureAt::Server)).unwrap().1;
-        let mb = parse_pcap(&to_pcap(&trace, CaptureAt::Middlebox)).unwrap().1;
+        let mb = parse_pcap(&to_pcap(&trace, CaptureAt::Middlebox))
+            .unwrap()
+            .1;
         assert_eq!(client.len(), 1);
         assert_eq!(server.len(), 1);
         assert_eq!(mb.len(), 1);

@@ -133,7 +133,7 @@ impl Default for PathConfig {
         PathConfig {
             client_to_mb_hops: 4,
             mb_to_server_hops: 8,
-            client_to_mb_latency: 10_000,  // 10 ms
+            client_to_mb_latency: 10_000, // 10 ms
             mb_to_server_latency: 40_000, // 40 ms
         }
     }
@@ -359,6 +359,7 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::TcpFlags;
 
@@ -520,11 +521,7 @@ mod tests {
                 path(),
             );
             sim.run(1_000_000);
-            assert_eq!(
-                !sim.server.received.is_empty(),
-                reaches_server,
-                "ttl={ttl}"
-            );
+            assert_eq!(!sim.server.received.is_empty(), reaches_server, "ttl={ttl}");
         }
     }
 
@@ -588,7 +585,8 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulation::with_path(Waker::default(), Echoer::default(), NullMiddlebox, path());
+        let mut sim =
+            Simulation::with_path(Waker::default(), Echoer::default(), NullMiddlebox, path());
         sim.run(1_000_000);
         assert_eq!(sim.client.fired, vec![100, 150, 200]);
     }
@@ -606,8 +604,7 @@ mod tests {
                 io.wake_at(now + 1);
             }
         }
-        let mut sim =
-            Simulation::with_path(Forever, Echoer::default(), NullMiddlebox, path());
+        let mut sim = Simulation::with_path(Forever, Echoer::default(), NullMiddlebox, path());
         sim.max_events = 500;
         sim.run(u64::MAX);
         // Terminates despite the endless wake chain.

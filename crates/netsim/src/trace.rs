@@ -163,11 +163,21 @@ impl Trace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use packet::TcpFlags;
 
     fn pkt() -> Packet {
-        Packet::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, TcpFlags::SYN, 0, 0, vec![])
+        Packet::tcp(
+            [1, 1, 1, 1],
+            1,
+            [2, 2, 2, 2],
+            2,
+            TcpFlags::SYN,
+            0,
+            0,
+            vec![],
+        )
     }
 
     #[test]

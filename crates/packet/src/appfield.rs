@@ -21,6 +21,9 @@
 //! * `FTP:command` — the first complete CRLF-terminated line of the
 //!   payload.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::packet::{Packet, Transport};
 
 /// Where the DNS message sits inside the payload.
@@ -43,8 +46,7 @@ fn dns_framing(packet: &Packet) -> Option<(DnsFraming, usize)> {
         }
         Transport::Tcp(_) => {
             if packet.payload.len() >= 14 {
-                let framed =
-                    u16::from_be_bytes([packet.payload[0], packet.payload[1]]) as usize;
+                let framed = u16::from_be_bytes([packet.payload[0], packet.payload[1]]) as usize;
                 if packet.payload.len() >= 2 + framed.min(12) {
                     return Some((DnsFraming::TcpFramed, 2));
                 }
@@ -162,6 +164,7 @@ pub fn set_ftp_command(packet: &mut Packet, command: &str) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
     use crate::flags::TcpFlags;
 
@@ -183,7 +186,16 @@ mod tests {
         let msg = dns_query(name);
         let mut framed = (msg.len() as u16).to_be_bytes().to_vec();
         framed.extend_from_slice(&msg);
-        let mut p = Packet::tcp([1; 4], 40000, [8, 8, 8, 8], 53, TcpFlags::PSH_ACK, 1, 2, framed);
+        let mut p = Packet::tcp(
+            [1; 4],
+            40000,
+            [8, 8, 8, 8],
+            53,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
+            framed,
+        );
         p.finalize();
         p
     }
@@ -213,7 +225,16 @@ mod tests {
 
     #[test]
     fn non_dns_payloads_are_rejected() {
-        let mut p = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::PSH_ACK, 1, 2, b"short".to_vec());
+        let mut p = Packet::tcp(
+            [1; 4],
+            1,
+            [2; 4],
+            2,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
+            b"short".to_vec(),
+        );
         assert_eq!(dns_qname(&p), None);
         assert!(!set_dns_qname(&mut p, "x"));
         assert_eq!(p.payload, b"short");
@@ -222,7 +243,13 @@ mod tests {
     #[test]
     fn ftp_command_round_trip() {
         let mut p = Packet::tcp(
-            [1; 4], 40000, [2; 4], 21, TcpFlags::PSH_ACK, 1, 2,
+            [1; 4],
+            40000,
+            [2; 4],
+            21,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
             b"RETR ultrasurf\r\nQUIT\r\n".to_vec(),
         );
         assert_eq!(ftp_command(&p).as_deref(), Some("RETR ultrasurf"));
@@ -233,7 +260,16 @@ mod tests {
 
     #[test]
     fn ftp_command_on_lineless_payload_appends_crlf() {
-        let mut p = Packet::tcp([1; 4], 1, [2; 4], 21, TcpFlags::PSH_ACK, 1, 2, b"RETR ult".to_vec());
+        let mut p = Packet::tcp(
+            [1; 4],
+            1,
+            [2; 4],
+            21,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
+            b"RETR ult".to_vec(),
+        );
         assert_eq!(ftp_command(&p), None, "no complete line yet");
         assert!(set_ftp_command(&mut p, "NOOP"));
         assert_eq!(p.payload, b"NOOP\r\n");

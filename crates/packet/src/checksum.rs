@@ -6,9 +6,19 @@
 //! whose checksum is wrong, while several censors *accept* them — the
 //! asymmetry that makes "insertion packets" work (paper §7).
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 /// Ones' complement sum over a byte slice, padding an odd trailing byte
 /// with a zero low octet, folded to 16 bits but **not** complemented.
 pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    // 2¹⁶ words of 0xFFFF still fit the 32-bit accumulator without
+    // wrapping; anything near an IP datagram is far inside the bound.
+    debug_assert!(
+        data.len() <= 0x2_0000,
+        "{} bytes would overflow the 32-bit checksum accumulator",
+        data.len()
+    );
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for chunk in &mut chunks {
@@ -22,9 +32,17 @@ pub fn ones_complement_sum(data: &[u8]) -> u16 {
 
 /// Fold a 32-bit accumulator down to 16 bits with end-around carry.
 fn fold(mut sum: u32) -> u16 {
+    let before = sum;
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
+    // End-around carry is reduction mod 2¹⁶ − 1 (because 2¹⁶ ≡ 1), so
+    // folding must preserve the accumulator's residue.
+    debug_assert_eq!(
+        sum % 0xFFFF,
+        before % 0xFFFF,
+        "end-around carry changed the ones' complement value"
+    );
     sum as u16
 }
 
@@ -36,12 +54,14 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 /// TCP/UDP checksum over the IPv4 pseudo-header plus the transport
 /// segment (`segment` = transport header with a zeroed checksum field,
 /// followed by the payload).
-pub fn pseudo_header_checksum(
-    src: [u8; 4],
-    dst: [u8; 4],
-    protocol: u8,
-    segment: &[u8],
-) -> u16 {
+pub fn pseudo_header_checksum(src: [u8; 4], dst: [u8; 4], protocol: u8, segment: &[u8]) -> u16 {
+    // The pseudo-header length field is 16 bits; a longer segment
+    // would silently checksum as its length mod 2¹⁶.
+    debug_assert!(
+        segment.len() <= usize::from(u16::MAX),
+        "transport segment of {} bytes overflows the pseudo-header length field",
+        segment.len()
+    );
     let mut pseudo = [0u8; 12];
     pseudo[0..4].copy_from_slice(&src);
     pseudo[4..8].copy_from_slice(&dst);
@@ -61,6 +81,7 @@ pub fn verifies(data: &[u8]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]
@@ -124,6 +145,14 @@ mod tests {
         // Recomputing over the segment with the checksum in place should
         // now produce zero (property of ones' complement arithmetic).
         assert_eq!(pseudo_header_checksum(src, dst, 6, &seg), 0);
+    }
+
+    #[test]
+    fn repeated_end_around_carries_fold_correctly() {
+        // 2048 words of 0xFFFF sum to 0x07FF_F800, which needs more
+        // than one fold pass; the residue is 0, so the folded ones'
+        // complement value is 0xFFFF (the non-zero representation).
+        assert_eq!(ones_complement_sum(&vec![0xFF; 4096]), 0xFFFF);
     }
 
     #[test]

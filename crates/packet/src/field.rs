@@ -12,6 +12,9 @@
 //!   when absent; writing `Empty` *removes* the option (that is exactly
 //!   how Strategy 8 strips `wscale`).
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::flags::TcpFlags;
 use crate::packet::{Packet, Transport};
 use crate::tcp::TcpOption;
@@ -210,8 +213,9 @@ impl FieldRef {
     /// payload that isn't the expected protocol reads as `Empty`.
     fn get_app(&self, p: &Packet) -> Result<FieldValue> {
         let value = match (self.proto, self.name.as_str()) {
-            (Proto::Dns, "id") => crate::appfield::dns_id(p)
-                .map(|id| FieldValue::Num(u64::from(id))),
+            (Proto::Dns, "id") => {
+                crate::appfield::dns_id(p).map(|id| FieldValue::Num(u64::from(id)))
+            }
             (Proto::Dns, "qname") => crate::appfield::dns_qname(p).map(FieldValue::Str),
             (Proto::Ftp, "command") => crate::appfield::ftp_command(p).map(FieldValue::Str),
             _ => return Err(Error::UnknownField(self.to_syntax())),
@@ -451,6 +455,7 @@ fn numeric(value: &FieldValue) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn sample() -> Packet {
@@ -464,10 +469,7 @@ mod tests {
             222,
             vec![],
         );
-        p.tcp_header_mut().unwrap().options = vec![
-            TcpOption::Mss(1460),
-            TcpOption::WindowScale(7),
-        ];
+        p.tcp_header_mut().unwrap().options = vec![TcpOption::Mss(1460), TcpOption::WindowScale(7)];
         p
     }
 
@@ -511,7 +513,8 @@ mod tests {
         let mut p = sample();
         let load = FieldRef::parse("TCP:load").unwrap();
         assert_eq!(load.get(&p).unwrap(), FieldValue::Empty);
-        load.set(&mut p, &FieldValue::Bytes(b"abc".to_vec())).unwrap();
+        load.set(&mut p, &FieldValue::Bytes(b"abc".to_vec()))
+            .unwrap();
         assert_eq!(p.payload, b"abc");
         assert_eq!(load.get(&p).unwrap(), FieldValue::Bytes(b"abc".to_vec()));
     }
@@ -550,7 +553,9 @@ mod tests {
     fn all_fields_have_valid_kinds() {
         for proto in [Proto::Ip, Proto::Tcp, Proto::Udp] {
             for field in FieldRef::all_for(proto) {
-                field.kind().expect("every advertised field must have a kind");
+                field
+                    .kind()
+                    .expect("every advertised field must have a kind");
             }
         }
     }

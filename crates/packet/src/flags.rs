@@ -160,6 +160,7 @@ impl std::fmt::Display for TcpFlags {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     #[test]

@@ -6,6 +6,9 @@
 //! stored values verbatim (`serialize_raw`) — the latter is what lets a
 //! strategy ship a deliberately bad checksum or length.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::checksum::internet_checksum;
 use crate::{Error, Result};
 
@@ -157,8 +160,7 @@ impl Ipv4Header {
         bytes.push(self.tos);
         bytes.extend_from_slice(&self.total_length.to_be_bytes());
         bytes.extend_from_slice(&self.identification.to_be_bytes());
-        let flags_frag =
-            (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
+        let flags_frag = (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
         bytes.extend_from_slice(&flags_frag.to_be_bytes());
         bytes.push(self.ttl);
         bytes.push(self.protocol);
@@ -200,6 +202,7 @@ impl Ipv4Header {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn sample() -> Ipv4Header {
@@ -255,7 +258,10 @@ mod tests {
     fn parse_rejects_wrong_version() {
         let mut bytes = sample().serialize(0);
         bytes[0] = 0x65; // version 6
-        assert!(matches!(Ipv4Header::parse(&bytes), Err(Error::BadVersion(6))));
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(Error::BadVersion(6))
+        ));
     }
 
     #[test]

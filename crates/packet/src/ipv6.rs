@@ -8,6 +8,9 @@
 //! Extension headers are out of scope (as they are for Geneva's
 //! tamper, which addresses fixed header fields).
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::checksum::ones_complement_sum;
 use crate::{Error, Result};
 
@@ -119,8 +122,7 @@ impl Ipv6Header {
         pseudo.extend_from_slice(&self.dst);
         pseudo.extend_from_slice(&(segment.len() as u32).to_be_bytes());
         pseudo.extend_from_slice(&[0, 0, 0, self.next_header]);
-        let sum = u32::from(ones_complement_sum(&pseudo))
-            + u32::from(ones_complement_sum(segment));
+        let sum = u32::from(ones_complement_sum(&pseudo)) + u32::from(ones_complement_sum(segment));
         let mut folded = sum;
         while folded > 0xFFFF {
             folded = (folded & 0xFFFF) + (folded >> 16);
@@ -159,6 +161,7 @@ impl Ipv6Header {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn sample() -> Ipv6Header {

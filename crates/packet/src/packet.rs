@@ -256,6 +256,7 @@ fn fmt_addr(a: [u8; 4]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     fn sample_tcp() -> Packet {
@@ -314,7 +315,10 @@ mod tests {
         p.tcp_header_mut().unwrap().checksum ^= 0xFFFF;
         let bytes = p.serialize_raw();
         let parsed = Packet::parse(&bytes).unwrap();
-        assert!(!parsed.checksums_ok(), "bad checksum must persist on the wire");
+        assert!(
+            !parsed.checksums_ok(),
+            "bad checksum must persist on the wire"
+        );
     }
 
     #[test]
@@ -324,10 +328,7 @@ mod tests {
         p.tcp_header_mut().unwrap().checksum = 0xAAAA;
         p.finalize();
         assert!(p.checksums_ok());
-        assert_eq!(
-            usize::from(p.ip.total_length),
-            20 + 20 + p.payload.len()
-        );
+        assert_eq!(usize::from(p.ip.total_length), 20 + 20 + p.payload.len());
     }
 
     #[test]

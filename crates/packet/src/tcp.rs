@@ -5,6 +5,9 @@
 //! Reduction") *removes* the window-scale option while shrinking the
 //! advertised window, and the GA mutates `TCP:options-*` fields freely.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::checksum::pseudo_header_checksum;
 use crate::flags::TcpFlags;
 use crate::{Error, Result};
@@ -274,6 +277,7 @@ fn serialize_options(options: &[TcpOption], out: &mut Vec<u8>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     const SRC: [u8; 4] = [10, 0, 0, 1];

@@ -4,6 +4,9 @@
 //! space (the original Geneva supports `UDP:*` fields) and for DNS
 //! experiments that contrast UDP with the paper's DNS-over-TCP focus.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
 use crate::checksum::pseudo_header_checksum;
 use crate::{Error, Result};
 
@@ -89,6 +92,7 @@ impl UdpHeader {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
     use super::*;
 
     const SRC: [u8; 4] = [1, 2, 3, 4];

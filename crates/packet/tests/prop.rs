@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Property-based tests for the packet codec.
 //!
 //! Invariants:

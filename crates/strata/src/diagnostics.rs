@@ -1,0 +1,62 @@
+//! Diagnostic types shared by all lint rules.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing; the strategy still does something.
+    Warning,
+    /// The strategy (or the flagged part of it) provably cannot work.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Byte-range spans are the parser's: one per AST node, in preorder.
+pub use geneva::Span;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `"no-op-chain"`.
+    pub code: &'static str,
+    /// Byte range in the strategy source the finding points at.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Optional replacement / fix hint.
+    pub suggestion: Option<String>,
+    /// True when this diagnostic alone proves the whole strategy can
+    /// never outperform the identity strategy. Only meaningful with
+    /// [`Severity::Error`].
+    pub proves_futile: bool,
+}
+
+impl Diagnostic {
+    /// Render like `error[checksum-futile] at 12..30: message`.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!(
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        );
+        if let Some(snippet) = source.get(self.span.start..self.span.end) {
+            if !snippet.is_empty() {
+                out.push_str(&format!("\n  --> `{snippet}`"));
+            }
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n  suggestion: {s}"));
+        }
+        out
+    }
+}

@@ -1,0 +1,61 @@
+//! `strata` — static analysis for Geneva strategies.
+//!
+//! Three passes over the `geneva::ast` tree, run before a strategy
+//! ever reaches the simulator:
+//!
+//! 1. [`canonicalize`] rewrites a strategy to a normal form that
+//!    preserves engine semantics byte-for-byte, collapsing dead
+//!    subtrees and folding shadowed tampers, and exposes a stable
+//!    [`CanonKey`] equivalence hash;
+//! 2. [`lint`] emits a stream of [`Diagnostic`]s — machine-readable
+//!    findings with severities, stable codes, and byte-offset spans
+//!    into the strategy source;
+//! 3. [`analyze`] combines both into the verdict the evolution
+//!    harness consumes (canonical form + key + diagnostics + an
+//!    is-it-even-worth-simulating flag).
+
+pub mod canon;
+pub mod diagnostics;
+pub mod lints;
+
+pub use canon::{canonicalize, canonicalize_strategy, CanonKey};
+pub use diagnostics::{Diagnostic, Severity};
+pub use lints::{lint, lint_with_context, LintContext};
+
+/// Everything the harness wants to know about a strategy before
+/// spending simulator time on it.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The strategy rewritten to canonical form.
+    pub canonical: geneva::Strategy,
+    /// Equivalence-class hash of the canonical form.
+    pub key: CanonKey,
+    /// All lint findings, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// True when some `Severity::Error` diagnostic proves the strategy
+    /// cannot possibly beat the identity strategy (e.g. it is a
+    /// semantic no-op, or every emitted packet dies in transit).
+    pub statically_futile: bool,
+}
+
+/// Run the full pipeline on one strategy.
+pub fn analyze(strategy: &geneva::Strategy) -> Analysis {
+    analyze_with_context(strategy, &LintContext::default())
+}
+
+/// Run the full pipeline with scenario context (country, protocol)
+/// enabling the context-dependent lints.
+pub fn analyze_with_context(strategy: &geneva::Strategy, ctx: &LintContext) -> Analysis {
+    let canonical = canonicalize_strategy(strategy);
+    let key = CanonKey::of(&canonical);
+    let diagnostics = lint_with_context(strategy, ctx);
+    let statically_futile = diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error && d.proves_futile);
+    Analysis {
+        canonical,
+        key,
+        diagnostics,
+        statically_futile,
+    }
+}

@@ -1,0 +1,936 @@
+//! Lint rules over Geneva strategy trees.
+//!
+//! Each rule has a stable machine-readable code and fires
+//! [`Diagnostic`]s with byte-offset spans into the strategy's DSL
+//! source. Rules fall into three groups:
+//!
+//! * **trigger rules** look only at a part's trigger
+//!   (`dead-branch`, `shadowed-trigger`,
+//!   `client-side-action-in-server-strategy`);
+//! * **node rules** look at one action node at a time
+//!   (`ttl-unreachable`, `degenerate-fragment`, `dup-amplification`,
+//!   `checksum-futile` on inbound);
+//! * **path rules** enumerate every root-to-`send` path through an
+//!   action tree and reason about the packet each path emits
+//!   (`checksum-futile`, `synack-payload-compat`, `resync-invariant`,
+//!   `handshake-severed`, `no-op-chain`).
+//!
+//! Severity is [`Severity::Warning`] unless the rule *proves* the
+//! strategy cannot beat the identity strategy, in which case it is
+//! [`Severity::Error`] with `proves_futile` set — the signal
+//! `evolve`'s fitness cache uses to skip simulation entirely.
+
+use geneva::{
+    parse_strategy_spanned, Action, ParseError, PartSpans, Span, Strategy, StrategyPart,
+    StrategySpans, TamperMode, Trigger,
+};
+use packet::field::{FieldKind, FieldValue};
+use packet::{Proto, TcpFlags};
+
+use crate::canon::{canonicalize, is_inert};
+use crate::diagnostics::{Diagnostic, Severity};
+
+/// Scenario knowledge that unlocks the context-dependent lints.
+///
+/// The defaults describe the simulated path (`netsim::PathConfig`)
+/// and claim nothing about the censor, so context-free callers (the
+/// `lint` CLI) still get the topology-aware rules.
+#[derive(Debug, Clone)]
+pub struct LintContext {
+    /// Router hops from the strategic server to the censoring
+    /// middlebox. A server-emitted packet with TTL below this dies
+    /// before the censor ever sees it.
+    pub hops_to_middlebox: u8,
+    /// Router hops from the server all the way to the client. A
+    /// packet with TTL below this can influence the censor but never
+    /// reaches the client.
+    pub hops_to_client: u8,
+    /// TTL the engine's packets carry when no tamper touches it.
+    pub default_ttl: u8,
+    /// Whether the modeled censor tears down / resynchronizes its TCB
+    /// on injected RSTs. `None` = unknown censor, RST lints stay
+    /// quiet.
+    pub censor_resyncs_on_rst: Option<bool>,
+}
+
+impl Default for LintContext {
+    fn default() -> Self {
+        let path = netsim::PathConfig::default();
+        LintContext {
+            hops_to_middlebox: path.mb_to_server_hops,
+            hops_to_client: path.mb_to_server_hops + path.client_to_mb_hops,
+            default_ttl: 64,
+            censor_resyncs_on_rst: None,
+        }
+    }
+}
+
+/// Parse strategy text and lint it with default context. The returned
+/// spans index straight into `source`, so [`Diagnostic::render`] can
+/// quote the offending snippet.
+pub fn lint(source: &str) -> Result<Vec<Diagnostic>, ParseError> {
+    let (strategy, spans) = parse_strategy_spanned(source)?;
+    Ok(lint_spanned(&strategy, &spans, &LintContext::default()))
+}
+
+/// Lint an already-parsed strategy. Spans are recovered by re-parsing
+/// the strategy's canonical `Display` text (Display/parse round-trips
+/// exactly), so they index into `strategy.to_string()`.
+pub fn lint_with_context(strategy: &Strategy, ctx: &LintContext) -> Vec<Diagnostic> {
+    let text = strategy.to_string();
+    match parse_strategy_spanned(&text) {
+        Ok((reparsed, spans)) => lint_spanned(&reparsed, &spans, ctx),
+        // Display text always re-parses; if it somehow does not, lint
+        // with empty spans rather than losing the findings.
+        Err(_) => lint_spanned(strategy, &StrategySpans::default(), ctx),
+    }
+}
+
+/// The real worker: strategy + node spans + context → findings.
+pub fn lint_spanned(
+    strategy: &Strategy,
+    spans: &StrategySpans,
+    ctx: &LintContext,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_direction(&strategy.outbound, &spans.outbound, true, ctx, &mut out);
+    lint_direction(&strategy.inbound, &spans.inbound, false, ctx, &mut out);
+    out.sort_by_key(|d| (d.span.start, d.span.end));
+    out
+}
+
+fn lint_direction(
+    parts: &[StrategyPart],
+    spans: &[PartSpans],
+    outbound: bool,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, part) in parts.iter().enumerate() {
+        let ps = spans.get(i);
+        let part_span = ps.map(|s| s.part).unwrap_or_default();
+        let trigger_span = ps.map(|s| s.trigger).unwrap_or_default();
+        let node_spans: &[Span] = ps.map(|s| s.actions.as_slice()).unwrap_or(&[]);
+
+        // -- trigger rules ------------------------------------------------
+        lint_dead_branch(&part.trigger, trigger_span, out);
+        lint_shadowed_trigger(parts, i, trigger_span, out);
+        if outbound {
+            lint_client_side_trigger(&part.trigger, trigger_span, out);
+        }
+
+        // -- node rules ---------------------------------------------------
+        let mut nodes = Vec::new();
+        part.action.walk(&mut |a| nodes.push(a));
+        for (j, node) in nodes.iter().enumerate() {
+            let span = node_spans.get(j).copied().unwrap_or(part_span);
+            lint_node(node, span, outbound, ctx, out);
+        }
+        lint_dup_amplification(&part.action, part_span, out);
+
+        // -- path rules ---------------------------------------------------
+        if outbound {
+            let paths = enumerate_paths(&part.action, ctx);
+            lint_no_op_chain(&part.action, part_span, out);
+            lint_checksum_futile_part(&paths, part_span, out);
+            lint_handshake_severed(part, &paths, part_span, ctx, out);
+            lint_synack_payload(part, &paths, part_span, out);
+            lint_resync_invariant(part, &paths, part_span, ctx, out);
+        } else {
+            lint_no_op_chain(&part.action, part_span, out);
+        }
+    }
+}
+
+fn diag(
+    severity: Severity,
+    code: &'static str,
+    span: Span,
+    message: String,
+    suggestion: Option<String>,
+    proves_futile: bool,
+) -> Diagnostic {
+    Diagnostic {
+        severity,
+        code,
+        span,
+        message,
+        suggestion,
+        proves_futile,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trigger rules
+// ---------------------------------------------------------------------------
+
+/// `dead-branch`: the trigger compares against a value the field can
+/// never render as, so the part can never fire.
+///
+/// Triggers match by *exact string equality* against the field's
+/// canonical syntax (`Trigger::matches` compares `to_syntax()`
+/// output), so `TCP:sport:070` (leading zero), `TCP:sport:99999`
+/// (exceeds u16) and `TCP:flags:AS` (non-canonical letter order — the
+/// stack renders `SA`) are all unmatchable.
+fn lint_dead_branch(trigger: &Trigger, span: Span, out: &mut Vec<Diagnostic>) {
+    let Ok(kind) = trigger.field.kind() else {
+        return;
+    };
+    let value = trigger.value.as_str();
+    let reason: Option<String> = match kind {
+        FieldKind::U8 | FieldKind::U16 | FieldKind::U32 | FieldKind::OptionNum => {
+            let max: u64 = match kind {
+                FieldKind::U8 => u64::from(u8::MAX),
+                FieldKind::U16 => u64::from(u16::MAX),
+                _ => u64::from(u32::MAX),
+            };
+            match value.parse::<u64>() {
+                Err(_) => Some(format!("`{value}` is not a decimal number")),
+                Ok(n) if n.to_string() != value => {
+                    Some(format!("`{value}` is not canonical decimal (use `{n}`)"))
+                }
+                Ok(n) if n > max => Some(format!(
+                    "{n} exceeds the field's maximum of {max}, no packet can carry it"
+                )),
+                Ok(_) => None,
+            }
+        }
+        FieldKind::Flags => match TcpFlags::from_geneva(value) {
+            None => Some(format!("`{value}` is not a valid TCP flag combination")),
+            Some(flags) if flags.to_geneva() != value => Some(format!(
+                "`{value}` is not in canonical flag order (the stack renders `{}`)",
+                flags.to_geneva()
+            )),
+            Some(_) => None,
+        },
+        FieldKind::Bytes => None,
+    };
+    if let Some(reason) = reason {
+        out.push(diag(
+            Severity::Warning,
+            "dead-branch",
+            span,
+            format!(
+                "trigger [{}:{}] can never match: {}",
+                trigger.field.to_syntax(),
+                value,
+                reason
+            ),
+            None,
+            false,
+        ));
+    }
+}
+
+/// `shadowed-trigger`: a later part repeats an earlier part's trigger.
+/// The engine applies the *first* matching part, so the later one is
+/// unreachable.
+fn lint_shadowed_trigger(
+    parts: &[StrategyPart],
+    index: usize,
+    span: Span,
+    out: &mut Vec<Diagnostic>,
+) {
+    let me = &parts[index].trigger;
+    let shadowed_by = parts[..index]
+        .iter()
+        .position(|p| p.trigger.field == me.field && p.trigger.value == me.value);
+    if let Some(first) = shadowed_by {
+        out.push(diag(
+            Severity::Warning,
+            "shadowed-trigger",
+            span,
+            format!(
+                "trigger [{}:{}] is shadowed by part {} with the same trigger; \
+                 only the first matching part runs",
+                me.field.to_syntax(),
+                me.value,
+                first + 1
+            ),
+            Some("delete this part or merge its action into the earlier one".into()),
+            false,
+        ));
+    }
+}
+
+/// `client-side-action-in-server-strategy`: an outbound trigger on a
+/// bare SYN. Servers never *emit* bare SYNs (their handshake packet is
+/// the SYN+ACK), so this is client-side genetic material that can
+/// never fire when the strategy is deployed server-side — the paper's
+/// §3 observation that client strategies do not transplant directly.
+fn lint_client_side_trigger(trigger: &Trigger, span: Span, out: &mut Vec<Diagnostic>) {
+    if trigger.field.proto == Proto::Tcp && trigger.field.name == "flags" && trigger.value == "S" {
+        out.push(diag(
+            Severity::Warning,
+            "client-side-action-in-server-strategy",
+            span,
+            "outbound trigger on a bare SYN: servers do not emit SYNs, so this part \
+             never fires server-side"
+                .into(),
+            Some("trigger on the server's SYN+ACK instead: [TCP:flags:SA]".into()),
+            false,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node rules
+// ---------------------------------------------------------------------------
+
+fn lint_node(
+    node: &Action,
+    span: Span,
+    outbound: bool,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    match node {
+        // `ttl-unreachable`: the tampered packet dies before the
+        // middlebox, so it cannot even confuse the censor.
+        Action::Tamper {
+            field,
+            mode: TamperMode::Replace(value),
+            ..
+        } if field.proto == Proto::Ip && field.name == "ttl" => {
+            let ttl = match value {
+                FieldValue::Num(n) => Some(*n),
+                FieldValue::Str(s) => s.parse::<u64>().ok(),
+                _ => None,
+            };
+            if let Some(ttl) = ttl {
+                if ttl < u64::from(ctx.hops_to_middlebox) {
+                    out.push(diag(
+                        Severity::Warning,
+                        "ttl-unreachable",
+                        span,
+                        format!(
+                            "TTL {ttl} is below the {} hops to the middlebox; the packet \
+                             expires before the censor sees it",
+                            ctx.hops_to_middlebox
+                        ),
+                        Some(format!(
+                            "use a TTL in {}..{} to reach the censor but not the client",
+                            ctx.hops_to_middlebox, ctx.hops_to_client
+                        )),
+                        false,
+                    ));
+                }
+            }
+        }
+        // `degenerate-fragment`: the engine only splits TCP segments
+        // and IP datagrams; for UDP/DNS/FTP it runs the first subtree
+        // on the whole packet and the second subtree never executes.
+        Action::Fragment { proto, .. } if matches!(proto, Proto::Udp | Proto::Dns | Proto::Ftp) => {
+            out.push(diag(
+                Severity::Warning,
+                "degenerate-fragment",
+                span,
+                format!(
+                    "fragment{{{}}} never splits: only the first subtree runs and the \
+                     second is dead code",
+                    proto.token()
+                ),
+                Some("fragment on TCP or IP, or replace with the first subtree".into()),
+                false,
+            ));
+        }
+        // `checksum-futile` (inbound flavour): packets we *receive*
+        // already cleared the censor; corrupting their checksum only
+        // makes our own stack discard them.
+        Action::Tamper { field, .. } if !outbound && field.name == "chksum" => {
+            out.push(diag(
+                Severity::Warning,
+                "checksum-futile",
+                span,
+                format!(
+                    "corrupting {} on an inbound packet is futile: the censor already \
+                     processed it, only this host's stack sees the damage",
+                    field.to_syntax()
+                ),
+                None,
+                false,
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// `dup-amplification`: worst-case emitted-packet count of the tree.
+/// Strategies that explode one trigger packet into many are slow to
+/// simulate and trivially fingerprintable on the wire.
+fn lint_dup_amplification(action: &Action, span: Span, out: &mut Vec<Diagnostic>) {
+    const LIMIT: usize = 8;
+    let n = max_emission(action);
+    if n >= LIMIT {
+        out.push(diag(
+            Severity::Warning,
+            "dup-amplification",
+            span,
+            format!(
+                "this tree can emit up to {n} packets per trigger packet \
+                 (amplification threshold {LIMIT})"
+            ),
+            Some("collapse duplicate/fragment chains".into()),
+            false,
+        ));
+    }
+}
+
+/// Worst-case number of packets a subtree emits for one input packet.
+fn max_emission(action: &Action) -> usize {
+    match action {
+        Action::Send => 1,
+        Action::Drop => 0,
+        Action::Tamper { next, .. } => max_emission(next),
+        Action::Duplicate(a, b) => max_emission(a) + max_emission(b),
+        Action::Fragment { first, second, .. } => max_emission(first) + max_emission(second),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path rules
+// ---------------------------------------------------------------------------
+
+/// What we statically know about the packet one root-to-`send` path
+/// emits.
+#[derive(Debug, Clone)]
+struct PathFact {
+    /// The checksum is *definitely* broken when the packet leaves
+    /// (a chksum tamper not followed by a re-finalizing tamper or a
+    /// fragment split).
+    chksum_broken: bool,
+    /// The packet's TTL, when statically known.
+    ttl: Option<u64>,
+    /// A non-clearing tamper touched the TCP payload on this path.
+    adds_payload: bool,
+    /// TCP flags at emission: `None` = unknown (corrupted),
+    /// `Some(s)` = canonical flag letters (possibly inherited from
+    /// the trigger).
+    flags: Option<Option<String>>,
+}
+
+/// Enumerate the facts for every `send` leaf of `action`. `Drop`
+/// leaves emit nothing and produce no fact.
+fn enumerate_paths(action: &Action, ctx: &LintContext) -> Vec<PathFact> {
+    let mut out = Vec::new();
+    let seed = PathFact {
+        chksum_broken: false,
+        ttl: Some(u64::from(ctx.default_ttl)),
+        adds_payload: false,
+        flags: Some(None),
+    };
+    walk_paths(action, seed, &mut out);
+    out
+}
+
+fn walk_paths(action: &Action, mut fact: PathFact, out: &mut Vec<PathFact>) {
+    match action {
+        Action::Send => out.push(fact),
+        Action::Drop => {}
+        Action::Duplicate(a, b) => {
+            walk_paths(a, fact.clone(), out);
+            walk_paths(b, fact, out);
+        }
+        Action::Fragment { first, second, .. } => {
+            // When the split happens both pieces are re-finalized, so
+            // a previously broken checksum is repaired; when it does
+            // not, only `first` runs on the untouched packet. Either
+            // way the checksum is no longer *definitely* broken.
+            let mut piece = fact.clone();
+            piece.chksum_broken = false;
+            walk_paths(first, piece.clone(), out);
+            walk_paths(second, piece, out);
+        }
+        Action::Tamper { field, mode, next } => {
+            if field.name == "chksum" {
+                // Both corrupt and replace leave a wrong sum with
+                // overwhelming probability, and mark the field so
+                // serialization keeps the damage.
+                fact.chksum_broken = true;
+            } else if !field.is_derived() {
+                // Tampering a plain field re-finalizes the packet,
+                // repairing any earlier checksum damage.
+                fact.chksum_broken = false;
+            }
+            if field.proto == Proto::Ip && field.name == "ttl" {
+                fact.ttl = match mode {
+                    TamperMode::Replace(FieldValue::Num(n)) => Some(*n),
+                    TamperMode::Replace(FieldValue::Str(s)) => s.parse::<u64>().ok(),
+                    _ => None,
+                };
+            }
+            if field.proto == Proto::Tcp && field.name == "load" {
+                let clears = match mode {
+                    TamperMode::Replace(FieldValue::Empty) => true,
+                    TamperMode::Replace(FieldValue::Str(s)) => s.is_empty(),
+                    TamperMode::Replace(FieldValue::Bytes(b)) => b.is_empty(),
+                    _ => false,
+                };
+                if !clears {
+                    fact.adds_payload = true;
+                }
+            }
+            if field.proto == Proto::Tcp && field.name == "flags" {
+                fact.flags = match mode {
+                    TamperMode::Corrupt => None,
+                    TamperMode::Replace(v) => {
+                        TcpFlags::from_geneva(&v.to_syntax()).map(|f| Some(f.to_geneva()))
+                    }
+                };
+            }
+            walk_paths(next, fact, out);
+        }
+    }
+}
+
+/// Flags a path's packet carries, given the trigger it matched.
+/// `None` = statically unknown.
+fn emitted_flags(part: &StrategyPart, fact: &PathFact) -> Option<String> {
+    match &fact.flags {
+        None => None,
+        Some(None) => {
+            // Untouched: inherited from the trigger when the trigger
+            // pins TCP flags.
+            let t = &part.trigger;
+            if t.field.proto == Proto::Tcp && t.field.name == "flags" {
+                TcpFlags::from_geneva(&t.value).map(|f| f.to_geneva())
+            } else {
+                None
+            }
+        }
+        Some(Some(s)) => Some(s.clone()),
+    }
+}
+
+/// `no-op-chain`: the whole action tree canonicalizes to a bare
+/// `send` — elaborate genetic material that does exactly nothing.
+fn lint_no_op_chain(action: &Action, span: Span, out: &mut Vec<Diagnostic>) {
+    if !matches!(action, Action::Send) && matches!(canonicalize(action), Action::Send) {
+        out.push(diag(
+            Severity::Warning,
+            "no-op-chain",
+            span,
+            "this action tree is semantically `send`: every branch either forwards \
+             the packet unchanged or cancels out"
+                .into(),
+            Some("replace the tree with `send` (or delete the part)".into()),
+            false,
+        ));
+    }
+}
+
+/// `checksum-futile` (outbound flavour): *every* packet this part
+/// emits leaves with a broken checksum, so the client's stack drops
+/// them all and the part degenerates to `drop`.
+fn lint_checksum_futile_part(paths: &[PathFact], span: Span, out: &mut Vec<Diagnostic>) {
+    if !paths.is_empty() && paths.iter().all(|p| p.chksum_broken) {
+        out.push(diag(
+            Severity::Warning,
+            "checksum-futile",
+            span,
+            "every packet this part emits has a corrupted checksum; the client drops \
+             them all, so the part behaves like `drop`"
+                .into(),
+            Some(
+                "keep at least one branch with a valid checksum so the client still \
+                 receives the real packet"
+                    .into(),
+            ),
+            false,
+        ));
+    }
+}
+
+/// `handshake-severed`: the part triggers on the server's SYN+ACK and
+/// *no* emitted packet can complete the handshake — either the tree
+/// emits nothing (inert), or every emission is checksum-broken,
+/// TTL-dead before the client, or carries flags that cannot advance a
+/// client out of SYN_SENT. "Can advance" includes a bare SYN: clients
+/// answer it with a SYN+ACK of their own (simultaneous open, paper §5
+/// — this is exactly how Strategy 1's `replace:S` branch completes).
+/// Corrupted flags are unknowable at lint time and therefore can
+/// never *prove* severance.
+fn lint_handshake_severed(
+    part: &StrategyPart,
+    paths: &[PathFact],
+    span: Span,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let t = &part.trigger;
+    let on_synack = t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "SA";
+    if !on_synack {
+        return;
+    }
+    let deliverable = |p: &PathFact| {
+        !p.chksum_broken
+            && p.ttl.is_none_or(|ttl| ttl >= u64::from(ctx.hops_to_client))
+            && match emitted_flags(part, p).as_deref() {
+                // Corrupt leaves the flags unknowable — possibly viable.
+                None => true,
+                Some(f) => f == "SA" || f == "S",
+            }
+    };
+    let severed = if paths.is_empty() {
+        // Inert tree: the SYN+ACK is swallowed entirely.
+        is_inert(&part.action)
+    } else {
+        !paths.iter().any(deliverable)
+    };
+    if severed {
+        let why = if paths.is_empty() {
+            "it drops every SYN+ACK"
+        } else {
+            "every emitted packet is checksum-broken, TTL-dead before the client, \
+             or flagged so it cannot advance the handshake (neither SYN+ACK nor \
+             a simultaneous-open SYN)"
+        };
+        out.push(diag(
+            Severity::Error,
+            "handshake-severed",
+            span,
+            format!(
+                "this part destroys the handshake: {why}; no connection can ever \
+                 complete, so the strategy cannot beat the identity strategy"
+            ),
+            Some("keep one untampered branch that delivers the real SYN+ACK".into()),
+            true,
+        ));
+    }
+}
+
+/// `synack-payload-compat`: a path delivers the real SYN+ACK *with
+/// payload attached*. Linux-family clients ignore SYN+ACK payloads,
+/// but Windows and macOS stacks break the connection (§7 of the
+/// paper), so the strategy silently loses those client populations.
+fn lint_synack_payload(
+    part: &StrategyPart,
+    paths: &[PathFact],
+    span: Span,
+    out: &mut Vec<Diagnostic>,
+) {
+    let t = &part.trigger;
+    let on_synack = t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "SA";
+    if !on_synack {
+        return;
+    }
+    let risky = paths.iter().any(|p| {
+        p.adds_payload && !p.chksum_broken && emitted_flags(part, p).as_deref() == Some("SA")
+    });
+    if risky {
+        let intolerant: Vec<&str> = endpoint::profile::all_profiles()
+            .iter()
+            .filter(|p| !p.ignores_synack_payload)
+            .map(|p| p.name)
+            .collect();
+        if !intolerant.is_empty() {
+            out.push(diag(
+                Severity::Warning,
+                "synack-payload-compat",
+                span,
+                format!(
+                    "a delivered SYN+ACK carries payload; {} client profiles \
+                     (e.g. {}) abort the handshake on that",
+                    intolerant.len(),
+                    intolerant.first().copied().unwrap_or("?")
+                ),
+                Some(
+                    "corrupt the checksum of the payload-bearing copy so clients \
+                     discard it (the paper's §7 fix)"
+                        .into(),
+                ),
+                false,
+            ));
+        }
+    }
+}
+
+/// `resync-invariant`: the part injects an RST expecting the censor to
+/// tear down or resynchronize its TCB, but the configured censor model
+/// ignores RSTs — the injection premise does not hold.
+fn lint_resync_invariant(
+    part: &StrategyPart,
+    paths: &[PathFact],
+    span: Span,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.censor_resyncs_on_rst != Some(false) {
+        return;
+    }
+    let injects_rst = paths
+        .iter()
+        .any(|p| emitted_flags(part, p).as_deref() == Some("R"));
+    let keeps_real = paths
+        .iter()
+        .any(|p| emitted_flags(part, p).as_deref() != Some("R"));
+    if injects_rst && keeps_real {
+        out.push(diag(
+            Severity::Warning,
+            "resync-invariant",
+            span,
+            "this part injects a RST to desynchronize the censor, but the modeled \
+             censor does not resynchronize on RSTs; the injected packet has no effect"
+                .into(),
+            Some(
+                "target a censor model that tears down on RST, or evolve a \
+                  different desync primitive"
+                    .into(),
+            ),
+            false,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
+    use super::*;
+    use geneva::parse_strategy;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint(src).expect("parses").iter().map(|d| d.code).collect()
+    }
+
+    fn codes_ctx(src: &str, ctx: &LintContext) -> Vec<&'static str> {
+        let strategy = parse_strategy(src).expect("parses");
+        lint_with_context(&strategy, ctx)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn no_op_chain_fires_on_cancelling_tree() {
+        let c = codes("[TCP:flags:SA]-duplicate(drop,)-| \\/ ");
+        assert!(c.contains(&"no-op-chain"), "{c:?}");
+    }
+
+    #[test]
+    fn no_op_chain_quiet_on_real_duplicate() {
+        let c = codes("[TCP:flags:SA]-duplicate(,)-| \\/ ");
+        assert!(!c.contains(&"no-op-chain"), "{c:?}");
+    }
+
+    #[test]
+    fn dead_branch_fires_on_out_of_range_port() {
+        let c = codes("[TCP:sport:70000]-drop-| \\/ ");
+        assert!(c.contains(&"dead-branch"), "{c:?}");
+    }
+
+    #[test]
+    fn dead_branch_fires_on_non_canonical_flags() {
+        let c = codes("[TCP:flags:AS]-duplicate(,)-| \\/ ");
+        assert!(c.contains(&"dead-branch"), "{c:?}");
+    }
+
+    #[test]
+    fn dead_branch_quiet_on_matchable_trigger() {
+        let c = codes("[TCP:flags:SA]-duplicate(,)-| \\/ ");
+        assert!(!c.contains(&"dead-branch"), "{c:?}");
+    }
+
+    #[test]
+    fn shadowed_trigger_fires_on_repeat() {
+        let c = codes("[TCP:ack:0]-duplicate(,)-|[TCP:ack:0]-drop-| \\/ ");
+        assert!(c.contains(&"shadowed-trigger"), "{c:?}");
+    }
+
+    #[test]
+    fn shadowed_trigger_quiet_on_distinct_triggers() {
+        let c = codes("[TCP:ack:0]-duplicate(,)-|[TCP:ack:1]-drop-| \\/ ");
+        assert!(!c.contains(&"shadowed-trigger"), "{c:?}");
+    }
+
+    #[test]
+    fn checksum_futile_fires_when_every_path_is_broken() {
+        let c = codes("[TCP:ack:0]-tamper{TCP:chksum:corrupt}-| \\/ ");
+        assert!(c.contains(&"checksum-futile"), "{c:?}");
+    }
+
+    #[test]
+    fn checksum_futile_fires_on_inbound_checksum_tamper() {
+        let c = codes(" \\/ [TCP:flags:SA]-tamper{TCP:chksum:corrupt}-|");
+        assert!(c.contains(&"checksum-futile"), "{c:?}");
+    }
+
+    #[test]
+    fn checksum_futile_quiet_when_a_clean_copy_survives() {
+        // The paper's insertion shape: corrupt only the duplicate.
+        let c = codes("[TCP:flags:SA]-duplicate(tamper{TCP:chksum:corrupt},)-| \\/ ");
+        assert!(!c.contains(&"checksum-futile"), "{c:?}");
+    }
+
+    #[test]
+    fn ttl_unreachable_fires_below_middlebox_distance() {
+        let c = codes("[TCP:flags:SA]-duplicate(tamper{IP:ttl:replace:2},)-| \\/ ");
+        assert!(c.contains(&"ttl-unreachable"), "{c:?}");
+    }
+
+    #[test]
+    fn ttl_unreachable_quiet_for_insertion_range_ttl() {
+        // 10 hops: past the middlebox (8) but short of the client (12).
+        let c = codes("[TCP:flags:SA]-duplicate(tamper{IP:ttl:replace:10},)-| \\/ ");
+        assert!(!c.contains(&"ttl-unreachable"), "{c:?}");
+    }
+
+    #[test]
+    fn dup_amplification_fires_at_eight_leaves() {
+        let c = codes(
+            "[TCP:flags:SA]-duplicate(duplicate(duplicate(,),duplicate(,)),\
+             duplicate(duplicate(,),duplicate(,)))-| \\/ ",
+        );
+        assert!(c.contains(&"dup-amplification"), "{c:?}");
+    }
+
+    #[test]
+    fn dup_amplification_quiet_below_threshold() {
+        let c = codes("[TCP:flags:SA]-duplicate(duplicate(,),)-| \\/ ");
+        assert!(!c.contains(&"dup-amplification"), "{c:?}");
+    }
+
+    #[test]
+    fn client_side_trigger_fires_on_outbound_bare_syn() {
+        let c = codes("[TCP:flags:S]-duplicate(,)-| \\/ ");
+        assert!(
+            c.contains(&"client-side-action-in-server-strategy"),
+            "{c:?}"
+        );
+    }
+
+    #[test]
+    fn client_side_trigger_quiet_on_inbound_syn() {
+        // Inbound SYNs are exactly what a server receives.
+        let c = codes(" \\/ [TCP:flags:S]-duplicate(,)-|");
+        assert!(
+            !c.contains(&"client-side-action-in-server-strategy"),
+            "{c:?}"
+        );
+    }
+
+    #[test]
+    fn resync_invariant_fires_against_non_resyncing_censor() {
+        let ctx = LintContext {
+            censor_resyncs_on_rst: Some(false),
+            ..LintContext::default()
+        };
+        let c = codes_ctx(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ",
+            &ctx,
+        );
+        assert!(c.contains(&"resync-invariant"), "{c:?}");
+    }
+
+    #[test]
+    fn resync_invariant_quiet_without_censor_knowledge() {
+        let c = codes("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ");
+        assert!(!c.contains(&"resync-invariant"), "{c:?}");
+    }
+
+    #[test]
+    fn synack_payload_fires_on_payload_bearing_synack() {
+        let c = codes("[TCP:flags:SA]-tamper{TCP:load:replace:AAA}-| \\/ ");
+        assert!(c.contains(&"synack-payload-compat"), "{c:?}");
+    }
+
+    #[test]
+    fn synack_payload_quiet_when_payload_copy_is_checksum_broken() {
+        // §7 fix: the payload-bearing duplicate has a corrupted
+        // checksum, so intolerant clients discard it.
+        let c = codes(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:load:replace:AAA}\
+             (tamper{TCP:chksum:corrupt}),)-| \\/ ",
+        );
+        assert!(!c.contains(&"synack-payload-compat"), "{c:?}");
+    }
+
+    #[test]
+    fn degenerate_fragment_fires_on_udp() {
+        let c = codes("[UDP:sport:53]-fragment{UDP:8:True}(,)-| \\/ ");
+        assert!(c.contains(&"degenerate-fragment"), "{c:?}");
+    }
+
+    #[test]
+    fn degenerate_fragment_quiet_on_tcp_segmentation() {
+        let c = codes("[TCP:flags:PA]-fragment{TCP:8:True}(,)-| \\/ ");
+        assert!(!c.contains(&"degenerate-fragment"), "{c:?}");
+    }
+
+    #[test]
+    fn handshake_severed_fires_on_dropped_synack() {
+        let diags = lint("[TCP:flags:SA]-drop-| \\/ ").expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "handshake-severed")
+            .expect("fires");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.proves_futile);
+    }
+
+    #[test]
+    fn handshake_severed_fires_when_all_copies_are_broken() {
+        let c = codes("[TCP:flags:SA]-tamper{TCP:chksum:corrupt}-| \\/ ");
+        assert!(c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn handshake_severed_quiet_when_real_synack_survives() {
+        let c = codes("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ");
+        assert!(!c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn handshake_severed_fires_when_no_emission_can_advance_syn_sent() {
+        // Only a FIN reaches the client: not a SYN+ACK, not a
+        // simultaneous-open SYN — the handshake never completes.
+        let c = codes("[TCP:flags:SA]-tamper{TCP:flags:replace:F}-| \\/ ");
+        assert!(c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn handshake_severed_quiet_on_simultaneous_open_and_corrupt_flags() {
+        // Strategy 1's `replace:S` branch completes the handshake via
+        // simultaneous open; corrupted flags are unknowable. Neither
+        // proves severance.
+        let sim_open =
+            codes("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})-| \\/ ");
+        assert!(!sim_open.contains(&"handshake-severed"), "{sim_open:?}");
+        let corrupt = codes("[TCP:flags:SA]-tamper{TCP:flags:corrupt}-| \\/ ");
+        assert!(!corrupt.contains(&"handshake-severed"), "{corrupt:?}");
+    }
+
+    #[test]
+    fn no_paper_strategy_is_statically_futile() {
+        // The futility prover must be sound: every §5 strategy beats
+        // the identity strategy in the paper's measurements, so none
+        // may ever be rejected statically.
+        for named in geneva::library::server_side() {
+            let analysis = crate::analyze(&named.strategy());
+            assert!(
+                !analysis.statically_futile,
+                "{} wrongly proven futile: {:?}",
+                named.name, analysis.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "[TCP:sport:70000]-drop-| \\/ ";
+        let diags = lint(src).expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "dead-branch")
+            .expect("fires");
+        assert_eq!(&src[d.span.start..d.span.end], "[TCP:sport:70000]");
+    }
+
+    #[test]
+    fn analysis_marks_futile_strategies() {
+        let severed = parse_strategy("[TCP:flags:SA]-drop-| \\/ ").expect("parses");
+        assert!(crate::analyze(&severed).statically_futile);
+        let fine = parse_strategy("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ")
+            .expect("parses");
+        assert!(!crate::analyze(&fine).statically_futile);
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
         report.broken_strategies()
     );
     for id in report.broken_strategies() {
-        println!("  strategy {id} fails on: {}", report.failing_oses(id).join(", "));
+        println!(
+            "  strategy {id} fails on: {}",
+            report.failing_oses(id).join(", ")
+        );
     }
     println!();
     let networks = network_compat(4242);

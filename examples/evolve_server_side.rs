@@ -45,7 +45,8 @@ fn main() {
     println!("generations run : {}", result.history.len());
     println!("distinct genomes: {}", result.distinct_evaluated);
     println!("trials simulated: {}", result.trials_spent);
-    println!("fitness history : {}",
+    println!(
+        "fitness history : {}",
         result
             .history
             .iter()
@@ -53,7 +54,10 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" → ")
     );
-    println!("\nbest strategy (found at generation {}):", result.best_generation);
+    println!(
+        "\nbest strategy (found at generation {}):",
+        result.best_generation
+    );
     println!("  {}", result.best.strategy);
     println!("minimized:");
     println!("  {}", minimized.strategy);
@@ -66,6 +70,11 @@ fn main() {
     );
     println!("\npaper strategies for comparison:");
     for named in geneva::library::server_side() {
-        println!("  {:>2}. {:<28} {}", named.id, named.name, named.text.trim());
+        println!(
+            "  {:>2}. {:<28} {}",
+            named.id,
+            named.name,
+            named.text.trim()
+        );
     }
 }

@@ -24,7 +24,14 @@ fn main() {
     });
 
     let result = (0..32)
-        .map(|seed| run_trial(&TrialConfig::new(Country::China, AppProtocol::Http, strategy.clone(), seed)))
+        .map(|seed| {
+            run_trial(&TrialConfig::new(
+                Country::China,
+                AppProtocol::Http,
+                strategy.clone(),
+                seed,
+            ))
+        })
         .max_by_key(|r| u8::from(r.evaded()))
         .expect("some run");
 

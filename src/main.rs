@@ -10,6 +10,7 @@
 //! cay compat                     §7 OS and carrier matrices
 //! cay dnsrace                    §2.1 UDP-vs-TCP DNS background
 //! cay evolve [country] [proto]   §4.1 genetic algorithm
+//! cay lint <strategy-dsl>        static analysis: canonical form + diagnostics
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
 //! ```
@@ -21,19 +22,28 @@ use harness::{run_trial, success_rate, TrialConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trials = |default: u32| -> u32 {
-        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
-    };
+    let trials =
+        |default: u32| -> u32 { args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default) };
     match args.first().map(String::as_str) {
         Some("strategies") => {
             println!("The paper's 11 server-side strategies:");
             for named in geneva::library::server_side() {
-                println!("  {:>2}. {:<30} {}", named.id, named.name, named.text.trim());
+                println!(
+                    "  {:>2}. {:<30} {}",
+                    named.id,
+                    named.name,
+                    named.text.trim()
+                );
                 print!("      {}", geneva::explain(&named.strategy()));
             }
             println!("\nVariant species (§5):");
             for named in geneva::library::variants() {
-                println!("  {:>2}. {:<30} {}", named.id, named.name, named.text.trim());
+                println!(
+                    "  {:>2}. {:<30} {}",
+                    named.id,
+                    named.name,
+                    named.text.trim()
+                );
             }
         }
         Some("table1") => print!("{}", experiments::table1()),
@@ -82,6 +92,49 @@ fn main() {
                 result.best_eval.rate() * 100.0,
                 result.best_eval.fitness
             );
+            println!(
+                "  fitness memo: {:.0}% hit rate ({} hits / {} misses), \
+                 {} genomes statically rejected, {} trials simulated",
+                result.cache_hit_rate() * 100.0,
+                result.cache_hits,
+                result.cache_misses,
+                result.static_rejects,
+                result.trials_spent
+            );
+        }
+        Some("lint") => {
+            let Some(text) = args.get(1) else {
+                eprintln!("usage: cay lint '<strategy-dsl>'");
+                std::process::exit(2);
+            };
+            match strata::lint(text) {
+                Ok(diagnostics) => {
+                    let strategy = geneva::parse_strategy(text).expect("lint parsed it");
+                    let analysis = strata::analyze(&strategy);
+                    if diagnostics.is_empty() {
+                        println!("clean: no findings");
+                    }
+                    for d in &diagnostics {
+                        println!("{}", d.render(text));
+                    }
+                    println!("canonical: {}", analysis.canonical);
+                    println!("canon key: {}", analysis.key);
+                    if analysis.statically_futile {
+                        println!(
+                            "verdict:   statically futile — cannot beat the identity strategy"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("strategy does not parse: {e}");
+                    if let Some(caret) = text.get(e.span.start..).map(|_| e.span.start) {
+                        eprintln!("  {text}");
+                        eprintln!("  {}^", " ".repeat(caret));
+                    }
+                    std::process::exit(2);
+                }
+            }
         }
         Some("run") => {
             let Some(text) = args.get(1) else {
@@ -119,13 +172,15 @@ fn main() {
             println!(
                 "wrote {} bytes ({} packets at the censor's vantage) to {path}; outcome {:?}",
                 bytes.len(),
-                netsim::pcap::parse_pcap(&bytes).map(|(_, r)| r.len()).unwrap_or(0),
+                netsim::pcap::parse_pcap(&bytes)
+                    .map(|(_, r)| r.len())
+                    .unwrap_or(0),
                 result.outcome
             );
         }
         _ => {
             eprintln!(
-                "usage: cay <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|run|pcap> [args]"
+                "usage: cay <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap> [args]"
             );
             std::process::exit(2);
         }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! The DESIGN.md ablations as assertions (the benches measure cost;
 //! these check the *claims*).
 
@@ -64,15 +65,17 @@ fn insertion_fix_ablation() {
     let plain = library::STRATEGY_9.strategy();
     let fixed = library::client_compat_fix(9).unwrap().strategy();
     let works = |strategy: geneva::Strategy| {
-        (0..5).filter(|seed| {
-            let cfg = harness::TrialConfig::private_network(
-                AppProtocol::Http,
-                strategy.clone(),
-                OsProfile::windows(),
-                *seed,
-            );
-            run_trial(&cfg).evaded()
-        }).count()
+        (0..5)
+            .filter(|seed| {
+                let cfg = harness::TrialConfig::private_network(
+                    AppProtocol::Http,
+                    strategy.clone(),
+                    OsProfile::windows(),
+                    *seed,
+                );
+                run_trial(&cfg).evaded()
+            })
+            .count()
     };
     assert_eq!(works(plain), 0, "plain S9 breaks Windows every time");
     assert_eq!(works(fixed), 5, "fixed S9 works every time");

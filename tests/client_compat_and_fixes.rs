@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Integration test for §7: strategy × OS compatibility and the
 //! insertion-packet fix.
 

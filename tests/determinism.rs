@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Whole-pipeline determinism: same seed, same everything. This is
 //! what makes every reported number in EXPERIMENTS.md reproducible
 //! bit-for-bit.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Integration test: the genetic algorithm rediscovers working
 //! server-side strategies against the censor models, which is the
 //! paper's §4.1 methodology end-to-end.

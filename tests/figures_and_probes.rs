@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Integration tests for Figures 1–3: waterfall contents and the
 //! TTL-probe co-location result.
 
@@ -10,7 +11,10 @@ fn figure1_waterfalls_show_the_papers_packet_sequences() {
     // and the client answered with a simultaneous-open SYN+ACK.
     assert!(text.contains("Strategy 1"), "{text}");
     assert!(text.contains("◀── RST"), "{text}");
-    assert!(text.contains("◀── SYN\n") || text.contains("◀── SYN "), "{text}");
+    assert!(
+        text.contains("◀── SYN\n") || text.contains("◀── SYN "),
+        "{text}"
+    );
     assert!(text.contains("SYN/ACK ──▶"), "{text}");
     // Strategy 6's FIN with a random load.
     assert!(text.contains("FIN (w/ load"), "{text}");
@@ -18,7 +22,10 @@ fn figure1_waterfalls_show_the_papers_packet_sequences() {
     // least two client data segments in its waterfall.
     let s8 = text.split("Strategy 8").nth(1).expect("strategy 8 section");
     let segments = s8.matches("ACK/PSH").count();
-    assert!(segments >= 3, "expected a segmented query, got {segments} in\n{s8}");
+    assert!(
+        segments >= 3,
+        "expected a segmented query, got {segments} in\n{s8}"
+    );
 }
 
 #[test]

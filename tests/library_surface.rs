@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! The downstream-user walkthrough: exercise the whole public API the
 //! way the README advertises it — parse, explain, simulate, measure,
 //! render, capture, deploy.

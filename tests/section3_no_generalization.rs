@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Integration test for the paper's §3 negative result: client-side
 //! strategies do not generalize to the server side.
 //!

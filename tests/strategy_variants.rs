@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! §5's variant species behave like their parent strategies.
 
 use appproto::AppProtocol;

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
 //! Integration test: the reproduced Table 2 has the paper's *shape* —
 //! who wins, by roughly what factor, where the crossovers fall.
 //!
@@ -26,7 +27,10 @@ fn no_evasion_is_censored_everywhere() {
     assert!(rate(Country::China, AppProtocol::Http, 0) < 0.10);
     assert!(rate(Country::China, AppProtocol::Https, 0) < 0.10);
     let smtp = rate(Country::China, AppProtocol::Smtp, 0);
-    assert!((0.1..0.45).contains(&smtp), "SMTP baseline miss ≈26%, got {smtp}");
+    assert!(
+        (0.1..0.45).contains(&smtp),
+        "SMTP baseline miss ≈26%, got {smtp}"
+    );
     assert_eq!(rate(Country::India, AppProtocol::Http, 0), 0.0);
     assert_eq!(rate(Country::Iran, AppProtocol::Http, 0), 0.0);
     assert_eq!(rate(Country::Kazakhstan, AppProtocol::Http, 0), 0.0);
@@ -48,8 +52,14 @@ fn corrupt_ack_family_is_ftp_specific() {
     // Strategies 3/4/5 ride the FTP stack's corrupt-ack bug; they are
     // near-baseline for HTTP and HTTPS (paper: 4-5%).
     for id in [3u32, 4, 5] {
-        assert!(rate(Country::China, AppProtocol::Http, id) < 0.15, "S{id} HTTP");
-        assert!(rate(Country::China, AppProtocol::Https, id) < 0.15, "S{id} HTTPS");
+        assert!(
+            rate(Country::China, AppProtocol::Http, id) < 0.15,
+            "S{id} HTTP"
+        );
+        assert!(
+            rate(Country::China, AppProtocol::Https, id) < 0.15,
+            "S{id} HTTPS"
+        );
     }
     // Strategy 5 is the FTP champion (97%), far above Strategy 4 (33%).
     let s5 = rate(Country::China, AppProtocol::Ftp, 5);

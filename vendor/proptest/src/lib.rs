@@ -1,0 +1,731 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy-combinator surface this workspace uses —
+//! `any`, ranges, tuples, `Just`, `prop_map`, `prop_flat_map`,
+//! `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, `BoxedStrategy` — plus the `proptest!`,
+//! `prop_assert!` and `prop_assert_eq!` macros, driven by a seeded
+//! deterministic PRNG.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **no shrinking** — a failing case reports the generated inputs via
+//!   the assertion message and the per-test seed is derived from the
+//!   test name, so failures replay exactly on re-run;
+//! - value distributions are simpler (uniform rather than
+//!   bias-to-edge-cases).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value` from a PRNG.
+    ///
+    /// Upstream proptest separates `Strategy` from `ValueTree`
+    /// (for shrinking); without shrinking the strategy can produce
+    /// final values directly.
+    pub trait Strategy: Clone + 'static {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+        where
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map {
+                inner: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Generate a value, then generate from the strategy `f`
+        /// derives from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, S2>
+        where
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            FlatMap {
+                inner: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf, and `f`
+        /// wraps an inner strategy into one more composite layer. The
+        /// result nests at most `depth` layers, so generation always
+        /// terminates. `_desired_size` and `_expected_branch_size` are
+        /// accepted for signature compatibility; layering alone bounds
+        /// the tree here.
+        fn prop_recursive<F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Mix the leaf back in at every layer so expected tree
+                // size stays modest even at full depth.
+                strat = Union::new(vec![(1, leaf.clone()), (2, f(strat))]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase into a clonable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, used behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform over the whole domain of `T` (`any::<u32>()` etc.).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: rand::Standard + 'static>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: rand::Standard + 'static> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Clone + 'static,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Clone + 'static,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    pub struct Map<S: Strategy, O> {
+        inner: S,
+        f: Rc<dyn Fn(S::Value) -> O>,
+    }
+
+    impl<S: Strategy, O> Clone for Map<S, O> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S: Strategy, O: 'static> Strategy for Map<S, O> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `strategy.prop_flat_map(f)`.
+    pub struct FlatMap<S: Strategy, S2> {
+        inner: S,
+        f: Rc<dyn Fn(S::Value) -> S2>,
+    }
+
+    impl<S: Strategy, S2> Clone for FlatMap<S, S2> {
+        fn clone(&self) -> Self {
+            FlatMap {
+                inner: self.inner.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S: Strategy, S2: Strategy> Strategy for FlatMap<S, S2> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice among strategies of a common value type; the
+    /// expansion of `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// `arms` are `(weight, strategy)` pairs; weights need not sum
+        /// to anything in particular but must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+            let mut roll = rng.gen_range(0..total);
+            for (weight, strat) in &self.arms {
+                if roll < *weight {
+                    return strat.generate(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("roll exceeded total weight")
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+    impl_tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8
+    );
+    impl_tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9
+    );
+    impl_tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10
+    );
+    impl_tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10,
+        L / 11
+    );
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                elem: self.elem.clone(),
+                size: self.size,
+            }
+        }
+    }
+
+    /// `prop::collection::vec(element_strategy, 0..600)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`prop::sample::select`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(vec![...])`.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() from an empty list");
+        Select { options }
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind `proptest!`.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property; produced by `prop_assert!`-family macros and
+    /// by `?` on test-body `Result`s.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl<E: std::error::Error> From<E> for TestCaseError {
+        fn from(e: E) -> Self {
+            TestCaseError(e.to_string())
+        }
+    }
+
+    /// Derive the base RNG seed for a named test: the
+    /// `PROPTEST_RNG_SEED` env var when set, else an FNV-1a hash of the
+    /// test name. Both are stable across runs, so failures reproduce.
+    pub fn seed_for(name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(n) = seed.parse::<u64>() {
+                return n;
+            }
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Run `case` for `config.cases` iterations over one deterministic
+    /// RNG stream; panic (failing the `#[test]`) on the first `Err`.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        for i in 0..config.cases {
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest {name} failed at case {i}/{} (seed {}): {e}",
+                    config.cases,
+                    seed_for(name),
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`,
+    /// `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                #[allow(unreachable_code)]
+                let mut __proptest_case = move ||
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                __proptest_case()
+            });
+        }
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// `TestCaseError` rather than a panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "prop_assert_eq failed ({}):\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("prop_assert_ne failed: both sides are {:?}", __l,),
+            ));
+        }
+    }};
+}
+
+/// Weighted (`3 => strat`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn oneof_and_collections(v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b == 1 || b == 2));
+        }
+
+        #[test]
+        fn maps_and_tuples((a, b) in (0u16..100, 0u16..100).prop_map(|(x, y)| (x + 1000, y))) {
+            prop_assert!((1000..1100).contains(&a), "a was {}", a);
+            prop_assert!(b < 100);
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(x in any::<u32>()) {
+            if x % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in any::<bool>()) {
+            prop_assert!(matches!(x, true | false));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+                .boxed()
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never expanded past the leaf");
+    }
+
+    #[test]
+    fn select_is_total() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::sample::select(vec!["a", "b", "c"]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&strat.generate(&mut rng)));
+        }
+    }
+}
