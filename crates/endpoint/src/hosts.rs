@@ -31,7 +31,10 @@ use packet::{Packet, TcpFlags};
 use std::collections::HashMap;
 
 /// Client-side application session (one protocol exchange).
-pub trait ClientApp {
+///
+/// `Send` is a supertrait: boxed apps ride inside hosts that
+/// `harness::pool` moves onto worker threads.
+pub trait ClientApp: Send {
     /// The request bytes for the given attempt (0-based). DNS retries
     /// re-issue the same query; other protocols are single-attempt.
     /// Server-greets-first protocols (FTP, SMTP) return nothing here
@@ -67,13 +70,15 @@ pub trait ClientApp {
 }
 
 /// Server-side application: a factory of per-connection sessions.
-pub trait ServerApp {
+/// `Send` for the same reason as [`ClientApp`].
+pub trait ServerApp: Send {
     /// Create a session for a freshly accepted connection.
     fn new_session(&mut self) -> Box<dyn ServerSession>;
 }
 
-/// One server-side protocol conversation.
-pub trait ServerSession {
+/// One server-side protocol conversation. `Send` for the same reason
+/// as [`ClientApp`].
+pub trait ServerSession: Send {
     /// Bytes the server volunteers as soon as the handshake completes
     /// (FTP's `220` banner, SMTP's greeting). Default: silent.
     fn greeting(&mut self) -> Vec<u8> {
@@ -91,7 +96,7 @@ pub struct OneShotServer<F>(pub F);
 
 impl<F> ServerApp for OneShotServer<F>
 where
-    F: Fn(&[u8]) -> Option<Vec<u8>> + Clone + 'static,
+    F: Fn(&[u8]) -> Option<Vec<u8>> + Clone + Send + 'static,
 {
     fn new_session(&mut self) -> Box<dyn ServerSession> {
         Box::new(OneShotSession {
@@ -108,7 +113,7 @@ struct OneShotSession<F> {
 
 impl<F> ServerSession for OneShotSession<F>
 where
-    F: Fn(&[u8]) -> Option<Vec<u8>>,
+    F: Fn(&[u8]) -> Option<Vec<u8>> + Send,
 {
     fn on_data(&mut self, stream_so_far: &[u8]) -> Vec<u8> {
         if self.done {

@@ -39,6 +39,10 @@ pub struct GaConfig {
     /// falls back to literal-text keying; per-genome fitness is
     /// identical either way, only simulator time changes.
     pub dedup: bool,
+    /// Worker count for fitness evaluation; `None` uses the
+    /// process-wide pool default (`--jobs` / available parallelism).
+    /// The GA trajectory is bit-identical for any value.
+    pub jobs: Option<usize>,
 }
 
 impl GaConfig {
@@ -56,6 +60,7 @@ impl GaConfig {
             elitism: 0.08,
             evolve_triggers: protocol == AppProtocol::Ftp,
             dedup: true,
+            jobs: None,
         }
     }
 
@@ -118,6 +123,9 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
     } else {
         CacheKeying::Text
     });
+    if let Some(jobs) = config.jobs {
+        cache = cache.with_jobs(jobs);
+    }
 
     let mut population: Vec<Genome> = (0..config.population)
         .map(|_| Genome::random(&mut rng))
@@ -128,11 +136,10 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
     let mut stale = 0u32;
 
     for generation in 0..config.generations {
-        // Evaluate.
-        let scored: Vec<(Genome, FitnessEval)> = population
-            .iter()
-            .map(|g| (g.clone(), cache.evaluate(g)))
-            .collect();
+        // Evaluate the generation in one parallel batch — identical
+        // to per-genome serial evaluation for any worker count.
+        let evals = cache.evaluate_population(&population);
+        let scored: Vec<(Genome, FitnessEval)> = population.iter().cloned().zip(evals).collect();
 
         let gen_best = scored
             .iter()
@@ -290,6 +297,28 @@ mod tests {
             text.trials_spent
         );
         assert!(deduped.cache_hits + deduped.cache_misses > 0);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_trajectory() {
+        // The whole point of the pool contract: running fitness
+        // evaluation on 1, 2, or 8 workers walks the same GA path.
+        let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 31);
+        config.population = 16;
+        config.generations = 4;
+        config.trials_per_eval = 3;
+        config.patience = 10;
+        config.jobs = Some(1);
+        let serial = evolve(&config);
+        for jobs in [2, 8] {
+            config.jobs = Some(jobs);
+            let parallel = evolve(&config);
+            assert_eq!(serial.best.strategy, parallel.best.strategy, "jobs={jobs}");
+            assert_eq!(serial.history, parallel.history, "jobs={jobs}");
+            assert_eq!(serial.trials_spent, parallel.trials_spent, "jobs={jobs}");
+            assert_eq!(serial.cache_hits, parallel.cache_hits, "jobs={jobs}");
+            assert_eq!(serial.cache_misses, parallel.cache_misses, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::genome::Genome;
 use appproto::AppProtocol;
 use censor::Country;
-use harness::{run_trial, TrialConfig};
+use harness::{cell_tag, derive_trial_seed, pool, run_trial, Pool, TrialConfig};
 use std::collections::HashMap;
 use strata::{canonicalize_strategy, lint_with_context, LintContext, Severity};
 
@@ -79,16 +79,52 @@ pub struct FitnessCache {
     /// Skip simulation for provably futile genomes.
     pub static_gate: bool,
     seed: u64,
+    jobs: Option<usize>,
     cache: HashMap<String, (u32, u32)>,
     lint_ctx: LintContext,
     /// Total simulated trials spent (diagnostics).
     pub trials_spent: u64,
+    /// Trials that hit the simulator's event cap instead of finishing
+    /// — a nonzero count means some fitness value is an artifact of
+    /// the livelock guard, not a measured rate.
+    pub truncated_trials: u64,
     /// Evaluations answered from the memo.
     pub cache_hits: u64,
     /// Evaluations that had to simulate (or statically reject).
     pub cache_misses: u64,
     /// Evaluations skipped entirely because lints proved futility.
     pub static_rejects: u64,
+}
+
+/// Simulate one memo key's trials. Seeds derive from the *canonical*
+/// text via the harness's central splitmix64 mixer — the same formula
+/// on the serial and parallel paths, so a genome's outcome never
+/// depends on which path (or worker) evaluated it. Returns
+/// `(successes, truncated)`.
+fn simulate_key(
+    country: Country,
+    protocol: AppProtocol,
+    trials: u32,
+    base_seed: u64,
+    strategy: &geneva::Strategy,
+    canonical_text: &str,
+) -> (u32, u32) {
+    let tag = cell_tag(canonical_text);
+    let mut successes = 0;
+    let mut truncated = 0;
+    for i in 0..trials {
+        let mut cfg = TrialConfig::new(country, protocol, strategy.clone(), 0);
+        cfg.seed = derive_trial_seed(base_seed, tag, i);
+        let result = run_trial(&cfg);
+        if result.evaded() {
+            successes += 1;
+        }
+        if result.truncated {
+            truncated += 1;
+        }
+    }
+    pool::record_trials(u64::from(trials));
+    (successes, truncated)
 }
 
 impl FitnessCache {
@@ -102,9 +138,11 @@ impl FitnessCache {
             keying: CacheKeying::Canonical,
             static_gate: true,
             seed,
+            jobs: None,
             cache: HashMap::new(),
             lint_ctx: LintContext::default(),
             trials_spent: 0,
+            truncated_trials: 0,
             cache_hits: 0,
             cache_misses: 0,
             static_rejects: 0,
@@ -115,6 +153,22 @@ impl FitnessCache {
     pub fn with_keying(mut self, keying: CacheKeying) -> Self {
         self.keying = keying;
         self
+    }
+
+    /// Pin the worker count used by [`evaluate_population`] instead of
+    /// the process-wide default (tests compare explicit counts).
+    ///
+    /// [`evaluate_population`]: FitnessCache::evaluate_population
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    fn pool(&self) -> Pool {
+        match self.jobs {
+            Some(n) => Pool::with_jobs(n),
+            None => Pool::global(),
+        }
     }
 
     /// Evaluate (or recall) a genome's fitness.
@@ -142,27 +196,113 @@ impl FitnessCache {
             self.static_rejects += 1;
             (0, self.trials)
         } else {
-            let mut successes = 0;
-            for i in 0..self.trials {
-                let mut cfg = TrialConfig::new(
-                    self.country,
-                    self.protocol,
-                    genome.strategy.clone(),
-                    self.seed ^ (u64::from(i) * 104_729),
-                );
-                // Derive trial seeds from the *canonical* text so
-                // equivalent genomes see identical trials no matter
-                // how the memo is keyed.
-                cfg.seed ^= fxhash(&canonical_text);
-                if run_trial(&cfg).evaded() {
-                    successes += 1;
-                }
-            }
+            let (successes, truncated) = simulate_key(
+                self.country,
+                self.protocol,
+                self.trials,
+                self.seed,
+                &genome.strategy,
+                &canonical_text,
+            );
             self.trials_spent += u64::from(self.trials);
+            self.truncated_trials += u64::from(truncated);
             (successes, self.trials)
         };
         self.cache.insert(key, (successes, trials));
         self.eval_from(successes, trials, genome)
+    }
+
+    /// Evaluate a whole generation at once: unique uncached keys fan
+    /// out across the pool, everything else is served from the memo.
+    ///
+    /// Bit-identical to calling [`evaluate`] on each genome in order,
+    /// for any worker count: per-key trial seeds come from the same
+    /// canonical-text derivation, hit/miss/reject counters replicate
+    /// the serial accounting (first occurrence of a key is the miss,
+    /// the rest are hits), and results merge into the memo in
+    /// canonical-key order rather than completion order.
+    ///
+    /// [`evaluate`]: FitnessCache::evaluate
+    pub fn evaluate_population(&mut self, genomes: &[Genome]) -> Vec<FitnessEval> {
+        struct PendingKey {
+            key: String,
+            canonical_text: String,
+            strategy: geneva::Strategy,
+        }
+
+        // Pass 1 (serial, cheap): canonicalize, run the static gate,
+        // and collect the unique keys that actually need simulation.
+        let mut per_genome_keys = Vec::with_capacity(genomes.len());
+        let mut pending: Vec<PendingKey> = Vec::new();
+        let mut pending_keys: HashMap<String, ()> = HashMap::new();
+        for genome in genomes {
+            let canonical = canonicalize_strategy(&genome.strategy);
+            let canonical_text = canonical.to_string();
+            let key = match self.keying {
+                CacheKeying::Text => genome.strategy.to_string(),
+                CacheKeying::Canonical => canonical_text.clone(),
+            };
+            if self.cache.contains_key(&key) || pending_keys.contains_key(&key) {
+                self.cache_hits += 1;
+            } else {
+                self.cache_misses += 1;
+                let futile = self.static_gate && {
+                    lint_with_context(&canonical, &self.lint_ctx)
+                        .iter()
+                        .any(|d| d.severity == Severity::Error && d.proves_futile)
+                };
+                if futile {
+                    self.static_rejects += 1;
+                    self.cache.insert(key.clone(), (0, self.trials));
+                } else {
+                    pending_keys.insert(key.clone(), ());
+                    pending.push(PendingKey {
+                        key: key.clone(),
+                        canonical_text,
+                        strategy: genome.strategy.clone(),
+                    });
+                }
+            }
+            per_genome_keys.push(key);
+        }
+
+        // Pass 2: simulate the unique missing keys concurrently. Each
+        // key is a pure function of (target, trials, seed, canonical
+        // text) — worker scheduling cannot touch the outcome.
+        let (country, protocol, trials, base_seed) =
+            (self.country, self.protocol, self.trials, self.seed);
+        let results = self.pool().map_indexed(pending.len(), |i| {
+            let p = &pending[i];
+            simulate_key(
+                country,
+                protocol,
+                trials,
+                base_seed,
+                &p.strategy,
+                &p.canonical_text,
+            )
+        });
+
+        // Pass 3: merge into the memo in canonical-key order, so the
+        // memo (and the counters) grow identically no matter which
+        // worker finished first.
+        let mut merged: Vec<(&PendingKey, (u32, u32))> = pending.iter().zip(results).collect();
+        merged.sort_by(|a, b| a.0.key.cmp(&b.0.key));
+        for (p, (successes, truncated)) in merged {
+            self.trials_spent += u64::from(self.trials);
+            self.truncated_trials += u64::from(truncated);
+            self.cache.insert(p.key.clone(), (successes, self.trials));
+        }
+
+        // Pass 4: score every genome from the now-complete memo.
+        genomes
+            .iter()
+            .zip(per_genome_keys)
+            .map(|(genome, key)| {
+                let &(successes, trials) = self.cache.get(&key).expect("merged above");
+                self.eval_from(successes, trials, genome)
+            })
+            .collect()
     }
 
     fn eval_from(&self, successes: u32, trials: u32, genome: &Genome) -> FitnessEval {
@@ -179,15 +319,6 @@ impl FitnessCache {
     pub fn distinct_evaluated(&self) -> usize {
         self.cache.len()
     }
-}
-
-/// Tiny deterministic string hash (FxHash-style) for seed derivation.
-fn fxhash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -294,6 +425,56 @@ mod tests {
         assert_eq!(cache.static_rejects, 1);
         assert_eq!(eval.successes, 0);
         assert!(eval.fitness < 0.0, "only the parsimony penalty remains");
+    }
+
+    #[test]
+    fn population_evaluation_matches_serial_for_any_worker_count() {
+        // A population with a duplicate, a canonical twin, and a
+        // statically futile genome — every memo path exercised.
+        let bloated_text = library::STRATEGY_1
+            .strategy()
+            .to_string()
+            .replace("-| \\/ ", "-|[TCP:flags:SA]-drop-| \\/ ");
+        let genomes = vec![
+            Genome {
+                strategy: library::STRATEGY_1.strategy(),
+            },
+            Genome {
+                strategy: library::STRATEGY_11.strategy(),
+            },
+            Genome {
+                strategy: library::STRATEGY_1.strategy(),
+            },
+            Genome {
+                strategy: geneva::parse_strategy(&bloated_text).expect("parses"),
+            },
+            Genome {
+                strategy: geneva::parse_strategy("[TCP:flags:SA]-drop-| \\/ ").expect("parses"),
+            },
+        ];
+
+        let mut serial = FitnessCache::new(Country::China, AppProtocol::Http, 6, 99);
+        let serial_evals: Vec<FitnessEval> = genomes.iter().map(|g| serial.evaluate(g)).collect();
+
+        for jobs in [1, 2, 8] {
+            let mut cache =
+                FitnessCache::new(Country::China, AppProtocol::Http, 6, 99).with_jobs(jobs);
+            let evals = cache.evaluate_population(&genomes);
+            assert_eq!(evals, serial_evals, "jobs={jobs}");
+            assert_eq!(cache.cache_hits, serial.cache_hits, "jobs={jobs}");
+            assert_eq!(cache.cache_misses, serial.cache_misses, "jobs={jobs}");
+            assert_eq!(cache.static_rejects, serial.static_rejects, "jobs={jobs}");
+            assert_eq!(cache.trials_spent, serial.trials_spent, "jobs={jobs}");
+            assert_eq!(
+                cache.truncated_trials, serial.truncated_trials,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                cache.distinct_evaluated(),
+                serial.distinct_evaluated(),
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

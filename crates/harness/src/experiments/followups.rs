@@ -1,7 +1,9 @@
 //! §5 follow-up experiments: the instrumented-client confirmations the
 //! paper used to *explain* why each strategy works.
 
-use crate::rates::{success_rate, RateEstimate};
+use crate::pool::{self, Pool};
+use crate::rates::{success_rate_tagged, RateEstimate};
+use crate::seed::{cell_tag, derive_trial_seed};
 use crate::trial::{run_trial, TrialConfig};
 use appproto::AppProtocol;
 use censor::Country;
@@ -44,21 +46,33 @@ pub struct FollowupReport {
 pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
     // --- seq−1 confirmation (Strategy 1, China HTTP) ---
     // The measurement here is "was the request CENSORED", so we count
-    // trials whose trace shows censor injections.
-    let censored_fraction = |cfg: &TrialConfig, salt: u64| {
-        let mut censored = 0;
-        for i in 0..trials {
+    // trials whose trace shows censor injections. Trials fan out on
+    // the pool exactly like `success_rate` does.
+    let censored_fraction = |cfg: &TrialConfig, label: &str| {
+        let tag = cell_tag(&format!("followups/{label}"));
+        let outcomes = Pool::global().map_indexed(trials as usize, |i| {
             let mut c = cfg.clone();
-            c.seed = base_seed ^ salt ^ (u64::from(i) * 6151);
-            let result = run_trial(&c);
-            if result.trace.middlebox_injected_any() {
-                censored += 1;
+            #[allow(clippy::cast_possible_truncation)] // i < trials: u32
+            let index = i as u32;
+            c.seed = derive_trial_seed(base_seed, tag, index);
+            run_trial(&c).trace.middlebox_injected_any()
+        });
+        pool::record_trials(u64::from(trials));
+        let mut estimate = RateEstimate::of(0, trials);
+        for censored in outcomes {
+            if censored {
+                estimate.successes += 1;
             }
         }
-        RateEstimate {
-            successes: censored,
+        estimate
+    };
+    let rate = |cfg: &TrialConfig, label: &str| {
+        success_rate_tagged(
+            cfg,
             trials,
-        }
+            base_seed,
+            cell_tag(&format!("followups/{label}")),
+        )
     };
     let mut cfg = TrialConfig::new(
         Country::China,
@@ -67,10 +81,10 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
         0,
     );
     cfg.client_seq_adjust = -1;
-    let seq_minus_one_with_strategy = censored_fraction(&cfg, 0x51);
+    let seq_minus_one_with_strategy = censored_fraction(&cfg, "seq-1/strategy1");
     let mut cfg_control = cfg.clone();
     cfg_control.strategy = geneva::Strategy::identity();
-    let seq_minus_one_without_strategy = censored_fraction(&cfg_control, 0x52);
+    let seq_minus_one_without_strategy = censored_fraction(&cfg_control, "seq-1/identity");
 
     // --- induced-RST ablation: Strategy 5 (FTP) vs Strategy 6 (HTTP) ---
     let s5 = TrialConfig::new(
@@ -79,10 +93,10 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
         library::STRATEGY_5.strategy(),
         0,
     );
-    let s5_normal = success_rate(&s5, trials, base_seed ^ 0x55);
+    let s5_normal = rate(&s5, "s5/normal");
     let mut s5_drop = s5.clone();
     s5_drop.client_drop_own_rst = true;
-    let s5_drop_rst = success_rate(&s5_drop, trials, base_seed ^ 0x56);
+    let s5_drop_rst = rate(&s5_drop, "s5/drop-rst");
 
     let s6 = TrialConfig::new(
         Country::China,
@@ -90,10 +104,10 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
         library::STRATEGY_6.strategy(),
         0,
     );
-    let s6_normal = success_rate(&s6, trials, base_seed ^ 0x66);
+    let s6_normal = rate(&s6, "s6/normal");
     let mut s6_drop = s6.clone();
     s6_drop.client_drop_own_rst = true;
-    let s6_drop_rst = success_rate(&s6_drop, trials, base_seed ^ 0x67);
+    let s6_drop_rst = rate(&s6_drop, "s6/drop-rst");
 
     // --- Strategy 9 load-count controls (Kazakhstan) ---
     let load_variant = |copies: u32| {
@@ -115,23 +129,20 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
             load_variant(copies),
             0,
         );
-        s9_load_counts.push((
-            copies,
-            success_rate(&cfg, trials, base_seed ^ (0x900 + u64::from(copies))),
-        ));
+        s9_load_counts.push((copies, rate(&cfg, &format!("s9/loads-{copies}"))));
     }
     // Three copies, only the LAST with a payload.
     let one_of_three =
         parse_strategy("[TCP:flags:SA]-duplicate(duplicate,tamper{TCP:load:corrupt})-| \\/ ")
             .expect("parses");
     let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, one_of_three, 0);
-    let s9_one_of_three_loads = success_rate(&cfg, trials, base_seed ^ 0x90F);
+    let s9_one_of_three_loads = rate(&cfg, "s9/one-of-three");
     // A 1-byte payload on all three.
     let tiny =
         parse_strategy("[TCP:flags:SA]-tamper{TCP:load:replace:x}(duplicate(duplicate,),)-| \\/ ")
             .expect("parses");
     let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, tiny, 0);
-    let s9_one_byte_load = success_rate(&cfg, trials, base_seed ^ 0x91F);
+    let s9_one_byte_load = rate(&cfg, "s9/one-byte");
 
     // --- Strategy 10 well-formedness controls (Kazakhstan) ---
     let mut s10_variants = Vec::new();
@@ -156,10 +167,7 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
     ] {
         let strategy = parse_strategy(&text).expect("variant parses");
         let cfg = TrialConfig::new(Country::Kazakhstan, AppProtocol::Http, strategy, 0);
-        s10_variants.push((
-            label.to_string(),
-            success_rate(&cfg, trials, base_seed ^ (label.len() as u64)),
-        ));
+        s10_variants.push((label.to_string(), rate(&cfg, &format!("s10/{label}"))));
     }
 
     FollowupReport {
@@ -177,6 +185,32 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
 }
 
 impl FollowupReport {
+    /// Total event-cap-truncated trials across every measurement —
+    /// must be 0 for the paper experiments.
+    pub fn truncated_trials(&self) -> u32 {
+        let singles = [
+            self.seq_minus_one_with_strategy,
+            self.seq_minus_one_without_strategy,
+            self.s5_drop_rst,
+            self.s5_normal,
+            self.s6_drop_rst,
+            self.s6_normal,
+            self.s9_one_of_three_loads,
+            self.s9_one_byte_load,
+        ];
+        singles.iter().map(|e| e.truncated).sum::<u32>()
+            + self
+                .s9_load_counts
+                .iter()
+                .map(|(_, e)| e.truncated)
+                .sum::<u32>()
+            + self
+                .s10_variants
+                .iter()
+                .map(|(_, e)| e.truncated)
+                .sum::<u32>()
+    }
+
     /// Render as text.
     pub fn render(&self) -> String {
         let mut out = String::new();

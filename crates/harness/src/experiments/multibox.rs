@@ -11,7 +11,9 @@
 //!    censorship at the same hop count (see
 //!    `crate::experiments::ttl_probe`).
 
-use crate::rates::{success_rate, RateEstimate};
+use crate::pool::Pool;
+use crate::rates::{success_rate_in, RateEstimate};
+use crate::seed::cell_tag;
 use crate::trial::{CensorVariant, TrialConfig};
 use appproto::AppProtocol;
 use censor::Country;
@@ -47,29 +49,48 @@ pub struct MultiboxReport {
 }
 
 /// Measure the per-protocol spread of strategies 1, 5, and 8 under
-/// both GFW models.
+/// both GFW models. All (strategy, protocol, model) cells run
+/// concurrently on the pool with decorrelated per-cell seeds.
 pub fn multibox(trials: u32, base_seed: u64) -> MultiboxReport {
-    let mut rows = Vec::new();
-    for id in [1u32, 5, 8] {
+    const IDS: [u32; 3] = [1, 5, 8];
+    let protos = AppProtocol::all();
+
+    let mut cells: Vec<(TrialConfig, u64)> = Vec::new();
+    for id in IDS {
         let strategy = library::by_id(id).expect("library id");
-        let mut multi_box = Vec::new();
-        let mut single_box = Vec::new();
-        for proto in AppProtocol::all() {
-            let mut cfg = TrialConfig::new(Country::China, proto, strategy.clone(), 0);
-            multi_box.push((
-                proto,
-                success_rate(&cfg, trials, base_seed ^ (u64::from(id) << 24)),
-            ));
-            cfg.censor_variant = CensorVariant::GfwSingleBox;
-            single_box.push((
-                proto,
-                success_rate(&cfg, trials, base_seed ^ (u64::from(id) << 25)),
-            ));
+        for model in ["multi", "single"] {
+            for proto in protos {
+                let mut cfg = TrialConfig::new(Country::China, proto, strategy.clone(), 0);
+                if model == "single" {
+                    cfg.censor_variant = CensorVariant::GfwSingleBox;
+                }
+                let tag = cell_tag(&format!("multibox/{id}/{model}/{proto}"));
+                cells.push((cfg, tag));
+            }
         }
+    }
+
+    let pool = Pool::global();
+    let estimates: Vec<RateEstimate> = pool.map_indexed(cells.len(), |i| {
+        let (cfg, tag) = &cells[i];
+        success_rate_in(&pool, cfg, trials, base_seed, *tag)
+    });
+
+    let per_model = protos.len();
+    let mut rows = Vec::new();
+    for (s, id) in IDS.into_iter().enumerate() {
+        let base = s * 2 * per_model;
+        let pack = |offset: usize| {
+            protos
+                .into_iter()
+                .enumerate()
+                .map(|(p, proto)| (proto, estimates[base + offset + p]))
+                .collect()
+        };
         rows.push(MultiboxStrategyRow {
             strategy_id: id,
-            multi_box,
-            single_box,
+            multi_box: pack(0),
+            single_box: pack(per_model),
         });
     }
     MultiboxReport { rows }

@@ -12,7 +12,9 @@
 //!    toward the baseline rather than cliff-dropping, because a lost
 //!    SYN+ACK is retransmitted and the strategy re-fires.
 
+use crate::pool::{self, Pool};
 use crate::rates::RateEstimate;
+use crate::seed::{cell_tag, derive_trial_seed};
 use crate::trial::{CLIENT_ADDR, SERVER_ADDR};
 use appproto::AppProtocol;
 use censor::Gfw;
@@ -73,46 +75,54 @@ fn run_one(strategy: Strategy, censored: bool, loss: f64, seed: u64) -> bool {
     sim.client.inner.outcome().is_success()
 }
 
-/// Sweep loss ∈ {0, 5, 10, 20 %} with `trials` per cell.
+/// Sweep loss ∈ {0, 5, 10, 20 %} with `trials` per cell. Every
+/// (loss, arm) cell runs on the pool with seeds derived from its
+/// label, so neither the sweep point nor the arm shares a trial
+/// sequence with its neighbours.
 pub fn robustness(trials: u32, base_seed: u64) -> RobustnessReport {
-    let mut rows = Vec::new();
-    for loss in [0.0, 0.05, 0.10, 0.20] {
-        let mut row = RobustnessRow {
-            loss,
-            no_censor: RateEstimate {
-                successes: 0,
-                trials,
-            },
-            strategy1: RateEstimate {
-                successes: 0,
-                trials,
-            },
-            no_evasion: RateEstimate {
-                successes: 0,
-                trials,
-            },
-        };
-        #[allow(clippy::cast_possible_truncation)] // loss ∈ [0,1], scaled to [0,1000]
-        let loss_tag = (loss * 1000.0).round().clamp(0.0, 1000.0) as u64;
-        for i in 0..trials {
-            let seed = base_seed ^ (u64::from(i) * 7919) ^ loss_tag << 20;
-            if run_one(Strategy::identity(), false, loss, seed) {
-                row.no_censor.successes += 1;
+    const LOSSES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+    const ARMS: [&str; 3] = ["no-censor", "strategy1", "no-evasion"];
+
+    let mut cells: Vec<(f64, usize, u64)> = Vec::new();
+    for loss in LOSSES {
+        for (arm, label) in ARMS.iter().enumerate() {
+            let tag = cell_tag(&format!("robustness/{label}/loss-{:.0}", loss * 100.0));
+            cells.push((loss, arm, tag));
+        }
+    }
+
+    let pool = Pool::global();
+    let estimates: Vec<RateEstimate> = pool.map_indexed(cells.len(), |c| {
+        let (loss, arm, tag) = cells[c];
+        let hits = pool.map_indexed(trials as usize, |i| {
+            #[allow(clippy::cast_possible_truncation)] // i < trials: u32
+            let seed = derive_trial_seed(base_seed, tag, i as u32);
+            match arm {
+                0 => run_one(Strategy::identity(), false, loss, seed),
+                1 => run_one(geneva::library::STRATEGY_1.strategy(), true, loss, seed),
+                _ => run_one(Strategy::identity(), true, loss, seed),
             }
-            if run_one(
-                geneva::library::STRATEGY_1.strategy(),
-                true,
-                loss,
-                seed ^ 0x51,
-            ) {
-                row.strategy1.successes += 1;
-            }
-            if run_one(Strategy::identity(), true, loss, seed ^ 0x52) {
-                row.no_evasion.successes += 1;
+        });
+        pool::record_trials(u64::from(trials));
+        let mut estimate = RateEstimate::of(0, trials);
+        for hit in hits {
+            if hit {
+                estimate.successes += 1;
             }
         }
-        rows.push(row);
-    }
+        estimate
+    });
+
+    let rows = LOSSES
+        .iter()
+        .enumerate()
+        .map(|(l, &loss)| RobustnessRow {
+            loss,
+            no_censor: estimates[l * ARMS.len()],
+            strategy1: estimates[l * ARMS.len() + 1],
+            no_evasion: estimates[l * ARMS.len() + 2],
+        })
+        .collect();
     RobustnessReport { rows }
 }
 

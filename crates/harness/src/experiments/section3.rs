@@ -14,7 +14,9 @@
 //!    synchronized; only simultaneous open (a *client-behavior*
 //!    change the §5 strategies induce) makes the landing go wrong.
 
-use crate::rates::{success_rate, RateEstimate};
+use crate::pool::Pool;
+use crate::rates::{success_rate_in, RateEstimate};
+use crate::seed::cell_tag;
 use crate::trial::TrialConfig;
 use appproto::AppProtocol;
 use censor::Country;
@@ -42,7 +44,10 @@ pub struct Section3Report {
     pub baseline: RateEstimate,
 }
 
-/// Run the §3 experiment against the GFW's HTTP censorship.
+/// Run the §3 experiment against the GFW's HTTP censorship. Every
+/// entry (baseline, client-side controls, server-side analogs) is one
+/// pool cell; seeds derive from the entry's name, so no two entries
+/// share a trial sequence.
 pub fn section3(trials: u32, base_seed: u64) -> Section3Report {
     let baseline_cfg = TrialConfig::new(
         Country::China,
@@ -50,49 +55,51 @@ pub fn section3(trials: u32, base_seed: u64) -> Section3Report {
         geneva::Strategy::identity(),
         0,
     );
-    let baseline = success_rate(&baseline_cfg, trials, base_seed);
 
-    let mut client_side = Vec::new();
+    // Flat cell list: (name, deployment, config).
+    let mut cells: Vec<(String, &'static str, TrialConfig)> =
+        vec![("baseline".to_string(), "baseline", baseline_cfg.clone())];
     for named in library::client_side() {
         // Segmentation has no server analog and is client-specific;
         // include it in the client-side control set all the same.
         let mut cfg = baseline_cfg.clone();
         cfg.client_strategy = Some(named.strategy());
-        let rate = success_rate(&cfg, trials, base_seed ^ u64::from(named.id));
-        client_side.push(Section3Entry {
-            name: named.name.to_string(),
-            deployment: "client",
-            rate,
-        });
+        cells.push((named.name.to_string(), "client", cfg));
     }
-
-    let mut server_side_analogs = Vec::new();
     for (name, position, strategy) in library::server_side_analogs() {
         let mut cfg = baseline_cfg.clone();
         cfg.strategy = strategy;
-        let rate = success_rate(
-            &cfg,
-            trials,
-            base_seed
-                ^ (name.len() as u64)
-                ^ ((position == AnalogPosition::AfterSynAck) as u64) << 17,
-        );
         let position_name = match position {
             AnalogPosition::BeforeSynAck => "before SYN+ACK",
             AnalogPosition::AfterSynAck => "after SYN+ACK",
         };
-        server_side_analogs.push(Section3Entry {
-            name: format!("{name} ({position_name})"),
-            deployment: "server",
-            rate,
-        });
+        cells.push((format!("{name} ({position_name})"), "server", cfg));
     }
 
-    Section3Report {
-        client_side,
-        server_side_analogs,
-        baseline,
+    let pool = Pool::global();
+    let rates: Vec<RateEstimate> = pool.map_indexed(cells.len(), |i| {
+        let (name, deployment, cfg) = &cells[i];
+        let tag = cell_tag(&format!("section3/{deployment}/{name}"));
+        success_rate_in(&pool, cfg, trials, base_seed, tag)
+    });
+
+    let mut report = Section3Report {
+        client_side: Vec::new(),
+        server_side_analogs: Vec::new(),
+        baseline: rates[0],
+    };
+    for ((name, deployment, _), rate) in cells.into_iter().zip(rates).skip(1) {
+        let entry = Section3Entry {
+            name,
+            deployment,
+            rate,
+        };
+        match deployment {
+            "client" => report.client_side.push(entry),
+            _ => report.server_side_analogs.push(entry),
+        }
     }
+    report
 }
 
 impl Section3Report {

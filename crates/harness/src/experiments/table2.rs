@@ -1,7 +1,9 @@
 //! Table 2: success rates of all server-side strategies, per country
 //! and protocol — the paper's headline result.
 
-use crate::rates::{success_rate, RateEstimate};
+use crate::pool::Pool;
+use crate::rates::{success_rate_in, RateEstimate};
+use crate::seed::cell_tag;
 use crate::trial::TrialConfig;
 use appproto::AppProtocol;
 use censor::Country;
@@ -52,34 +54,55 @@ fn strategy_by_id(id: u32) -> (String, Strategy) {
 }
 
 /// Regenerate Table 2 with `trials` trials per (country, strategy,
-/// protocol) cell.
+/// protocol) cell. Cells are evaluated concurrently on the pool and
+/// reassembled in paper order, so the table is bit-identical for any
+/// worker count.
 pub fn table2(trials: u32, base_seed: u64) -> Table2 {
-    let mut rows = Vec::new();
+    // Lay the table out first: every measured cell becomes an index
+    // into a flat work list; "–" cells stay `None`.
+    let mut cells: Vec<(TrialConfig, u64)> = Vec::new();
+    let mut skeleton = Vec::new();
     for country in Country::all() {
         let censored = country.censored_protocols();
         for id in strategies_for(country) {
             let (name, strategy) = strategy_by_id(id);
-            let mut rates = Vec::new();
+            let mut slots = Vec::new();
             for proto in AppProtocol::all() {
                 if !censored.contains(&proto) {
-                    rates.push((proto, None));
+                    // India/Iran/Kazakhstan rows other than HTTP(S)
+                    // exist only for the protocols they censor; the
+                    // paper leaves the rest at 100 % (uncensored) in
+                    // the no-evasion row.
+                    slots.push((proto, None));
                     continue;
                 }
-                // India/Iran/Kazakhstan rows other than HTTP(S) exist
-                // only for the protocols they censor; the paper leaves
-                // the rest at 100 % (uncensored) in the no-evasion row.
                 let cfg = TrialConfig::new(country, proto, strategy.clone(), 0);
-                let estimate = success_rate(&cfg, trials, base_seed ^ (u64::from(id) << 32));
-                rates.push((proto, Some(estimate)));
+                let tag = cell_tag(&format!("table2/{}/{id}/{proto}", country.name()));
+                slots.push((proto, Some(cells.len())));
+                cells.push((cfg, tag));
             }
-            rows.push(Table2Row {
-                country,
-                strategy_id: id,
-                name,
-                rates,
-            });
+            skeleton.push((country, id, name, slots));
         }
     }
+
+    let pool = Pool::global();
+    let estimates: Vec<RateEstimate> = pool.map_indexed(cells.len(), |i| {
+        let (cfg, tag) = &cells[i];
+        success_rate_in(&pool, cfg, trials, base_seed, *tag)
+    });
+
+    let rows = skeleton
+        .into_iter()
+        .map(|(country, strategy_id, name, slots)| Table2Row {
+            country,
+            strategy_id,
+            name,
+            rates: slots
+                .into_iter()
+                .map(|(proto, slot)| (proto, slot.map(|i| estimates[i])))
+                .collect(),
+        })
+        .collect();
     Table2 { rows, trials }
 }
 
@@ -95,6 +118,18 @@ impl Table2 {
                     .find(|(p, _)| *p == proto)
                     .and_then(|(_, e)| e.map(|e| e.rate()))
             })
+    }
+
+    /// Total event-cap-truncated trials across all measured cells.
+    /// The paper experiments must report 0 — a nonzero count means
+    /// some cell's rate is an artifact of the livelock guard.
+    pub fn truncated_trials(&self) -> u32 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.rates.iter())
+            .filter_map(|(_, e)| e.as_ref())
+            .map(|e| e.truncated)
+            .sum()
     }
 
     /// Render in the paper's layout.
@@ -153,6 +188,7 @@ mod tests {
             .collect();
         assert_eq!(kz.len(), 5);
         assert!(t.render().contains("China"));
+        assert_eq!(t.truncated_trials(), 0, "paper cells must never truncate");
     }
 
     #[test]

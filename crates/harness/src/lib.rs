@@ -7,6 +7,11 @@
 //!   one, an OS profile, instrumentation knobs), run the simulation,
 //!   classify the outcome;
 //! * [`rates`] — seeded success-rate estimation over many trials;
+//! * [`pool`] — the deterministic parallel trial executor every rate
+//!   and experiment fans out on (results are bit-identical for any
+//!   worker count);
+//! * [`seed`] — centralized splitmix64 per-trial seed derivation, so
+//!   nearby experiment cells never see correlated seed sequences;
 //! * [`waterfall`] — render a trace as a Figure-1/2-style packet
 //!   waterfall;
 //! * [`experiments`] — one driver per table/figure/section result:
@@ -43,12 +48,16 @@
 
 pub mod deploy;
 pub mod experiments;
+pub mod pool;
 pub mod rates;
 pub mod screen;
+pub mod seed;
 pub mod trial;
 pub mod waterfall;
 
-pub use rates::{success_rate, RateEstimate};
+pub use pool::{Pool, Throughput};
+pub use rates::{success_rate, success_rate_in, success_rate_tagged, RateEstimate};
 pub use screen::{context_for, ScreenedTrial, Screener};
+pub use seed::{cell_tag, derive_trial_seed};
 pub use trial::{run_trial, CensorVariant, TrialConfig, TrialResult};
 pub use waterfall::render_waterfall;

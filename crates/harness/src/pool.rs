@@ -1,0 +1,257 @@
+//! `pool` — a deterministic parallel trial executor.
+//!
+//! Every trial in this repository is an independent, seeded, pure
+//! function of its [`crate::TrialConfig`] — the ideal fan-out workload.
+//! The pool runs `n` indexed tasks across worker threads
+//! (`std::thread::scope`, no external dependencies) and returns their
+//! results **in index order**, so any reduction over the results is
+//! bit-identical regardless of worker count:
+//!
+//! * work is handed out via an atomic index counter — which *worker*
+//!   runs task `i` varies between runs, but task `i` itself is a pure
+//!   function of `i` (trial seeds come from
+//!   [`crate::seed::derive_trial_seed`], never from execution order);
+//! * each worker buffers `(index, result)` pairs; after the scope
+//!   joins, results are scattered back into an index-ordered `Vec`.
+//!
+//! Nested calls (an experiment parallelizes over cells, and each cell's
+//! `success_rate` would parallelize over trials) degrade gracefully:
+//! a `map_indexed` issued *from inside a pool worker* runs serially on
+//! that worker, capping total threads at the configured job count.
+//!
+//! The process-wide default worker count is set once at startup from
+//! `--jobs N` (see [`set_jobs`]); `0`/unset means "available
+//! parallelism". Tests that compare worker counts construct explicit
+//! [`Pool`]s instead of touching the global.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Process-wide default job count; 0 = auto (available parallelism).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Trials executed since process start (throughput instrumentation).
+static TRIALS_RUN: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// True while the current thread is a pool worker: nested
+    /// `map_indexed` calls run serially instead of spawning again.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Set the process-wide default worker count (the CLI's `--jobs N`).
+/// `0` restores "available parallelism".
+pub fn set_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The effective default worker count.
+pub fn jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Record `n` executed trials (throughput instrumentation). Called by
+/// every trial-running loop, serial or parallel.
+pub fn record_trials(n: u64) {
+    TRIALS_RUN.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Trials executed since process start.
+pub fn trials_run() -> u64 {
+    TRIALS_RUN.load(Ordering::Relaxed)
+}
+
+/// A deterministic fan-out executor with a fixed worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` workers (clamped to ≥ 1).
+    pub fn with_jobs(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The process-default pool (`--jobs N`, else available
+    /// parallelism).
+    pub fn global() -> Pool {
+        Pool::with_jobs(jobs())
+    }
+
+    /// This pool's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(0..n)` across the pool and return results in index
+    /// order. The output is bit-identical for any worker count because
+    /// `f` must be a pure function of its index — the pool only
+    /// changes *where* each index runs, never *what* it computes.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let serial = self.workers == 1 || n <= 1 || IN_POOL_WORKER.with(std::cell::Cell::get);
+        if serial {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n);
+        let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        IN_POOL_WORKER.with(|flag| flag.set(true));
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                buckets.push(handle.join().expect("pool worker panicked"));
+            }
+        });
+
+        // Scatter back into index order — the step that makes the
+        // reduction independent of scheduling.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, value) in buckets.into_iter().flatten() {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index produced"))
+            .collect()
+    }
+}
+
+/// Wall-clock + trial-count instrumentation for one run, emitted as
+/// JSON so `BENCH_*.json` trajectories can track throughput across
+/// PRs.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// What ran (experiment or subcommand name).
+    pub label: String,
+    /// Trials executed during the measured run.
+    pub trials: u64,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Trials per wall-clock second.
+    pub trials_per_sec: f64,
+    /// Worker count in effect.
+    pub workers: usize,
+}
+
+impl Throughput {
+    /// Measure `f`, counting the trials it records via
+    /// [`record_trials`].
+    pub fn measure<T>(label: &str, f: impl FnOnce() -> T) -> (T, Throughput) {
+        let trials_before = trials_run();
+        let start = Instant::now();
+        let value = f();
+        let wall = start.elapsed();
+        let trials = trials_run() - trials_before;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        (
+            value,
+            Throughput {
+                label: label.to_string(),
+                trials,
+                wall_ms,
+                trials_per_sec: if wall.as_secs_f64() > 0.0 {
+                    trials as f64 / wall.as_secs_f64()
+                } else {
+                    0.0
+                },
+                workers: jobs(),
+            },
+        )
+    }
+
+    /// Render as one JSON object (hand-rolled; the workspace is
+    /// offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"trials\":{},\"wall_ms\":{:.1},\"trials_per_sec\":{:.1},\"workers\":{}}}",
+            self.label.replace('"', "'"),
+            self.trials,
+            self.wall_ms,
+            self.trials_per_sec,
+            self.workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)] // test code
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let pool = Pool::with_jobs(workers);
+            let out = pool.map_indexed(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let serial = Pool::with_jobs(1).map_indexed(257, f);
+        for workers in [2, 4, 8] {
+            assert_eq!(Pool::with_jobs(workers).map_indexed(257, f), serial);
+        }
+    }
+
+    #[test]
+    fn nested_map_runs_serially_not_exponentially() {
+        let pool = Pool::with_jobs(4);
+        let out = pool.map_indexed(8, |i| {
+            // Inner call from a worker thread: must not spawn again.
+            let inner = Pool::with_jobs(4).map_indexed(8, |j| i * 8 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let pool = Pool::with_jobs(8);
+        assert_eq!(pool.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn throughput_counts_recorded_trials() {
+        let (sum, t) = Throughput::measure("unit", || {
+            record_trials(17);
+            21 + 21
+        });
+        assert_eq!(sum, 42);
+        assert_eq!(t.trials, 17);
+        assert!(t.workers >= 1);
+        let json = t.to_json();
+        assert!(json.contains("\"label\":\"unit\""), "{json}");
+        assert!(json.contains("\"trials\":17"), "{json}");
+        assert!(json.contains("\"workers\":"), "{json}");
+    }
+}

@@ -1,5 +1,7 @@
-//! Seeded success-rate estimation.
+//! Seeded success-rate estimation, fanned out over the trial pool.
 
+use crate::pool::{self, Pool};
+use crate::seed::derive_trial_seed;
 use crate::trial::{run_trial, TrialConfig};
 
 /// A success-rate estimate over `trials` seeded runs.
@@ -9,9 +11,22 @@ pub struct RateEstimate {
     pub successes: u32,
     /// Total trials.
     pub trials: u32,
+    /// Trials the simulator cut off at its event cap (livelock guard).
+    /// Always 0 for the paper's experiments — a nonzero count means
+    /// the estimate is measuring the cutoff, not the protocols.
+    pub truncated: u32,
 }
 
 impl RateEstimate {
+    /// An estimate of `successes` out of `trials`, none truncated.
+    pub fn of(successes: u32, trials: u32) -> RateEstimate {
+        RateEstimate {
+            successes,
+            trials,
+            truncated: 0,
+        }
+    }
+
     /// Fraction in [0, 1].
     pub fn rate(&self) -> f64 {
         if self.trials == 0 {
@@ -26,13 +41,34 @@ impl RateEstimate {
         (self.rate() * 100.0).round().clamp(0.0, 100.0) as u32
     }
 
-    /// A ~95 % normal-approximation half-width, for sanity bands.
+    /// A ~95 % half-width from the Wilson score interval.
+    ///
+    /// The normal approximation (`1.96·√(p(1−p)/n)`) collapses to 0 at
+    /// p = 0 or 1, printing "0/300" as a certainty. Wilson keeps
+    /// rule-of-three-style behavior at the extremes: at p̂ = 0 the
+    /// half-width is z²/(2(n+z²)) ≈ 1.9/n, never zero for finite n.
     pub fn margin(&self) -> f64 {
         if self.trials == 0 {
             return 1.0;
         }
+        let n = f64::from(self.trials);
         let p = self.rate();
-        1.96 * (p * (1.0 - p) / f64::from(self.trials)).sqrt()
+        let z = 1.96_f64;
+        let z2 = z * z;
+        z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n)
+    }
+
+    /// The Wilson 95 % interval itself, clamped to [0, 1].
+    pub fn wilson_interval(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = f64::from(self.trials);
+        let p = self.rate();
+        let z2 = 1.96_f64 * 1.96;
+        let center = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+        let half = self.margin();
+        ((center - half).max(0.0), (center + half).min(1.0))
     }
 }
 
@@ -42,17 +78,52 @@ impl std::fmt::Display for RateEstimate {
     }
 }
 
-/// Run `trials` trials of `cfg` with seeds `base_seed..base_seed+trials`.
+/// Run `trials` seeded trials of `cfg` on the process-default pool.
+/// Trial `i` uses seed `derive_trial_seed(base_seed, 0, i)`.
 pub fn success_rate(cfg: &TrialConfig, trials: u32, base_seed: u64) -> RateEstimate {
-    let mut successes = 0;
-    for i in 0..trials {
+    success_rate_in(&Pool::global(), cfg, trials, base_seed, 0)
+}
+
+/// [`success_rate`] with an explicit cell tag, decorrelating this
+/// cell's seed sequence from every other cell sharing `base_seed`.
+pub fn success_rate_tagged(
+    cfg: &TrialConfig,
+    trials: u32,
+    base_seed: u64,
+    cell_tag: u64,
+) -> RateEstimate {
+    success_rate_in(&Pool::global(), cfg, trials, base_seed, cell_tag)
+}
+
+/// [`success_rate_tagged`] on an explicit pool. The reduction is a
+/// fold over index-ordered per-trial outcomes, so the estimate is
+/// bit-identical for any worker count.
+pub fn success_rate_in(
+    pool: &Pool,
+    cfg: &TrialConfig,
+    trials: u32,
+    base_seed: u64,
+    cell_tag: u64,
+) -> RateEstimate {
+    let outcomes = pool.map_indexed(trials as usize, |i| {
         let mut c = cfg.clone();
-        c.seed = base_seed + u64::from(i) * 7919;
-        if run_trial(&c).evaded() {
-            successes += 1;
+        #[allow(clippy::cast_possible_truncation)] // i < trials: u32
+        let index = i as u32;
+        c.seed = derive_trial_seed(base_seed, cell_tag, index);
+        let result = run_trial(&c);
+        (result.evaded(), result.truncated)
+    });
+    pool::record_trials(u64::from(trials));
+    let mut estimate = RateEstimate::of(0, trials);
+    for (evaded, truncated) in outcomes {
+        if evaded {
+            estimate.successes += 1;
+        }
+        if truncated {
+            estimate.truncated += 1;
         }
     }
-    RateEstimate { successes, trials }
+    estimate
 }
 
 #[cfg(test)]
@@ -65,10 +136,7 @@ mod tests {
 
     #[test]
     fn estimate_arithmetic() {
-        let e = RateEstimate {
-            successes: 54,
-            trials: 100,
-        };
+        let e = RateEstimate::of(54, 100);
         assert_eq!(e.percent(), 54);
         assert!((e.rate() - 0.54).abs() < 1e-9);
         assert!(e.margin() > 0.0 && e.margin() < 0.2);
@@ -76,10 +144,41 @@ mod tests {
     }
 
     #[test]
+    fn margin_is_never_zero_at_the_extremes() {
+        // "0/300" is not a certainty: Wilson keeps a rule-of-three
+        // style band where the normal approximation collapses to 0.
+        for (successes, trials) in [(0u32, 300u32), (300, 300), (0, 10), (50, 50)] {
+            let e = RateEstimate::of(successes, trials);
+            assert!(
+                e.margin() > 0.0,
+                "{successes}/{trials} produced a zero margin"
+            );
+        }
+        // Rule-of-three scale: 0/300 half-width ≈ z²/(2(n+z²)) ≈ 0.6 %.
+        let e = RateEstimate::of(0, 300);
+        assert!((0.002..0.02).contains(&e.margin()), "{}", e.margin());
+        // And the interval stays inside [0, 1].
+        let (lo, hi) = e.wilson_interval();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = RateEstimate::of(300, 300).wilson_interval();
+        assert!(lo > 0.95 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_agrees_with_normal_approximation_mid_range() {
+        let e = RateEstimate::of(150, 300);
+        let normal = 1.96 * (0.5 * 0.5 / 300.0_f64).sqrt();
+        assert!((e.margin() - normal).abs() < 0.005, "{}", e.margin());
+    }
+
+    #[test]
     fn no_evasion_china_http_is_near_zero() {
         let cfg = TrialConfig::new(Country::China, AppProtocol::Http, Strategy::identity(), 0);
         let e = success_rate(&cfg, 60, 100);
         assert!(e.rate() < 0.15, "no-evasion rate {e}");
+        assert_eq!(e.truncated, 0);
     }
 
     #[test]
@@ -95,5 +194,36 @@ mod tests {
             (0.35..=0.75).contains(&e.rate()),
             "strategy 1 rate {e} out of band"
         );
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_the_estimate() {
+        let cfg = TrialConfig::new(
+            Country::China,
+            AppProtocol::Http,
+            library::STRATEGY_1.strategy(),
+            0,
+        );
+        let serial = success_rate_in(&Pool::with_jobs(1), &cfg, 40, 7, 0x7AB);
+        for workers in [2, 8] {
+            let parallel = success_rate_in(&Pool::with_jobs(workers), &cfg, 40, 7, 0x7AB);
+            assert_eq!(serial, parallel, "jobs={workers}");
+        }
+    }
+
+    #[test]
+    fn cell_tags_decorrelate_estimates() {
+        let cfg = TrialConfig::new(
+            Country::China,
+            AppProtocol::Http,
+            library::STRATEGY_1.strategy(),
+            0,
+        );
+        // Same base seed, different tags ⇒ different trial sequences
+        // (with overwhelming probability for a ~50 % strategy).
+        let a = success_rate_tagged(&cfg, 60, 7, 1);
+        let b = success_rate_tagged(&cfg, 60, 7, 2);
+        assert!((0.2..=0.8).contains(&a.rate()));
+        assert!((0.2..=0.8).contains(&b.rate()));
     }
 }

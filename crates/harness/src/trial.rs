@@ -45,6 +45,9 @@ pub struct TrialConfig {
     /// clean lab network; carriers only apply when `country` is
     /// `None`, matching the paper's non-censoring-country tests).
     pub carrier: Option<Carrier>,
+    /// Override the simulator's event cap (`None` = the default
+    /// livelock guard). Tests use a tiny cap to force truncation.
+    pub event_cap: Option<u64>,
 }
 
 /// Censor-model variants for the ablation benches.
@@ -74,6 +77,7 @@ impl TrialConfig {
             server_port: None,
             censor_variant: CensorVariant::Standard,
             carrier: None,
+            event_cap: None,
         }
     }
 
@@ -143,6 +147,13 @@ pub struct TrialResult {
     /// Total censorship events the middlebox logged (0 for the
     /// private network).
     pub censor_events: u64,
+    /// Why the simulation stopped.
+    pub stop: netsim::StopReason,
+    /// The simulator's event cap cut this trial short: the outcome
+    /// reflects the cutoff, not the protocols. A pathological strategy
+    /// provoking a retransmit/RST storm used to be silently scored
+    /// "censored"; consumers now count these separately.
+    pub truncated: bool,
 }
 
 impl TrialResult {
@@ -210,17 +221,25 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     match middlebox {
         Box_::None(mb) => {
             let mut sim = Simulation::with_path(client, server, mb, cfg.path);
-            sim.run(30_000_000);
+            if let Some(cap) = cfg.event_cap {
+                sim.max_events = cap;
+            }
+            let stop = sim.run(30_000_000);
             TrialResult {
                 outcome: sim.client.inner.outcome(),
                 server_responded: sim.server.inner.responded_any(),
                 censor_events: 0,
+                stop,
+                truncated: stop.truncated(),
                 trace: sim.trace,
             }
         }
         Box_::Censor(mb) => {
             let mut sim = Simulation::with_path(client, server, mb, cfg.path);
-            sim.run(30_000_000);
+            if let Some(cap) = cfg.event_cap {
+                sim.max_events = cap;
+            }
+            let stop = sim.run(30_000_000);
             TrialResult {
                 outcome: sim.client.inner.outcome(),
                 server_responded: sim.server.inner.responded_any(),
@@ -231,6 +250,8 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
                             | netsim::TraceEvent::DroppedByMiddlebox { .. }
                     )
                 }) as u64,
+                stop,
+                truncated: stop.truncated(),
                 trace: sim.trace,
             }
         }
@@ -358,6 +379,26 @@ mod tests {
         let mut cfg = TrialConfig::new(Country::Iran, AppProtocol::Http, Strategy::identity(), 5);
         cfg.server_port = Some(8080);
         assert!(run_trial(&cfg).evaded(), "non-default port escapes Iran");
+    }
+
+    #[test]
+    fn tiny_event_cap_forces_and_flags_truncation() {
+        let mut cfg = TrialConfig::new(
+            Country::China,
+            AppProtocol::Http,
+            library::STRATEGY_1.strategy(),
+            3,
+        );
+        cfg.event_cap = Some(4); // a handshake alone needs more events
+        let result = run_trial(&cfg);
+        assert!(result.truncated, "4-event cap must truncate");
+        assert_eq!(result.stop, netsim::StopReason::EventLimit);
+
+        // The same trial under the default guard completes untruncated.
+        cfg.event_cap = None;
+        let result = run_trial(&cfg);
+        assert!(!result.truncated);
+        assert_ne!(result.stop, netsim::StopReason::EventLimit);
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl EventQueue {
         self.heap.pop().map(|Reverse(e)| (e.at, e.event))
     }
 
+    /// The timestamp of the earliest pending event, without removing
+    /// it. Lets the simulation stop at a horizon *without* discarding
+    /// the first over-horizon event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -22,9 +22,12 @@
 //!   injection, and TTL death is recorded for waterfall rendering and
 //!   assertions.
 //!
-//! The simulator is single-threaded on purpose: determinism is a core
-//! requirement (seeded success-rate experiments, GA fitness), and the
-//! workloads are tiny (tens of packets per connection).
+//! Each simulation is single-threaded on purpose: determinism is a
+//! core requirement (seeded success-rate experiments, GA fitness), and
+//! the workloads are tiny (tens of packets per connection).
+//! Parallelism lives one layer up — `harness::pool` runs many
+//! independent seeded simulations across worker threads, which is why
+//! [`Endpoint`] and [`Middlebox`] carry `Send` supertraits.
 
 pub mod event;
 pub mod fault;
@@ -34,7 +37,7 @@ pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use fault::FaultInjector;
-pub use sim::{Endpoint, Io, Middlebox, PathConfig, Simulation, Verdict};
+pub use sim::{Endpoint, Io, Middlebox, PathConfig, Simulation, StopReason, Verdict};
 pub use trace::{Trace, TraceEvent, TracePoint};
 
 /// Which way a packet is traveling through the path.

@@ -196,6 +196,55 @@ mod tests {
     }
 
     #[test]
+    fn golden_bytes_header_and_one_record() {
+        // Byte-exact libpcap framing: a parse-back round trip can't
+        // catch a writer and parser drifting from the format *together*,
+        // so pin the exact bytes Wireshark/libpcap expect.
+        let mut trace = Trace::default();
+        let mut pkt = Packet::tcp(
+            [10, 0, 0, 1],
+            1,
+            [2, 2, 2, 2],
+            80,
+            TcpFlags::SYN,
+            5,
+            0,
+            vec![],
+        );
+        pkt.finalize();
+        let wire = pkt.serialize_raw();
+        trace.push(TraceEvent::Sent {
+            t: 3_000_007, // 3 s + 7 µs
+            side: Side::Client,
+            pkt,
+        });
+        let pcap = to_pcap(&trace, CaptureAt::Client);
+
+        // Global header: magic, 2.4, thiszone 0, sigfigs 0, snaplen
+        // 65535, LINKTYPE_RAW (101) — all little-endian.
+        let golden_header: [u8; 24] = [
+            0xD4, 0xC3, 0xB2, 0xA1, // magic 0xA1B2C3D4, LE
+            0x02, 0x00, // version major 2
+            0x04, 0x00, // version minor 4
+            0x00, 0x00, 0x00, 0x00, // thiszone
+            0x00, 0x00, 0x00, 0x00, // sigfigs
+            0xFF, 0xFF, 0x00, 0x00, // snaplen 65535
+            0x65, 0x00, 0x00, 0x00, // linktype 101 (raw IP)
+        ];
+        assert_eq!(&pcap[..24], &golden_header);
+
+        // Record header: ts_sec=3, ts_usec=7, incl_len=orig_len=|wire|.
+        let mut golden_record = Vec::new();
+        golden_record.extend_from_slice(&3u32.to_le_bytes());
+        golden_record.extend_from_slice(&7u32.to_le_bytes());
+        golden_record.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        golden_record.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        golden_record.extend_from_slice(&wire);
+        assert_eq!(&pcap[24..], &golden_record[..]);
+        assert_eq!(pcap.len(), 24 + 16 + wire.len());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_pcap(b"not a pcap").is_none());
         assert!(parse_pcap(&[]).is_none());

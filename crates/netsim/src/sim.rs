@@ -53,7 +53,10 @@ impl Io {
 }
 
 /// A host stack attached to one end of the path.
-pub trait Endpoint {
+///
+/// `Send` is a supertrait so whole simulations (endpoints, middlebox,
+/// queue) can be moved into `harness::pool` worker threads.
+pub trait Endpoint: Send {
     /// Called once at t=0 before any packet flows.
     fn on_start(&mut self, now: u64, io: &mut Io);
 
@@ -92,7 +95,10 @@ impl Verdict {
 }
 
 /// A censor (or any middlebox) on the path.
-pub trait Middlebox {
+///
+/// `Send` is a supertrait so boxed censor models can cross into
+/// `harness::pool` worker threads.
+pub trait Middlebox: Send {
     /// Render a verdict for one packet crossing the box.
     fn process(&mut self, pkt: &Packet, dir: Direction, now: u64) -> Verdict;
 }
@@ -165,6 +171,36 @@ impl PathConfig {
     }
 }
 
+/// Why [`Simulation::run`] stopped.
+///
+/// Callers that score trial outcomes must distinguish a drained queue
+/// (the exchange genuinely finished) from a horizon or event-cap stop
+/// (the exchange was *truncated* — its outcome is a property of the
+/// cutoff, not of the protocols). Before this enum existed, a
+/// pathological strategy that provoked a retransmit/RST storm was
+/// silently cut at `max_events` and scored as if the client had been
+/// censored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained: every scheduled event was processed.
+    Drained,
+    /// The next event lies beyond `max_time`. The event is left in the
+    /// queue (not discarded), so a subsequent `run` with a larger
+    /// horizon continues exactly where this one stopped.
+    TimeLimit,
+    /// `max_events` was reached with work still pending — a livelock
+    /// guard, and a signal the trial result is truncated.
+    EventLimit,
+}
+
+impl StopReason {
+    /// True when the simulation stopped with events still pending
+    /// because of the livelock guard.
+    pub fn truncated(self) -> bool {
+        matches!(self, StopReason::EventLimit)
+    }
+}
+
 /// A complete two-endpoint, one-middlebox simulation.
 pub struct Simulation<C, S, M> {
     /// The client stack.
@@ -180,6 +216,7 @@ pub struct Simulation<C, S, M> {
     queue: EventQueue,
     now: u64,
     events_processed: u64,
+    booted: bool,
     /// Hard cap on processed events, guarding against livelock.
     pub max_events: u64,
 }
@@ -201,6 +238,7 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
             queue: EventQueue::new(),
             now: 0,
             events_processed: 0,
+            booted: false,
             max_events: 100_000,
         }
     }
@@ -210,26 +248,44 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
         self.now
     }
 
-    /// Run until the event queue drains or `max_time` passes.
-    /// Returns the simulated end time.
-    pub fn run(&mut self, max_time: u64) -> u64 {
-        // Boot both endpoints.
-        let mut io = Io::default();
-        self.server.on_start(0, &mut io);
-        self.flush(Side::Server, io);
-        let mut io = Io::default();
-        self.client.on_start(0, &mut io);
-        self.flush(Side::Client, io);
+    /// Events dispatched so far (diagnostics; compare `max_events`).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
 
-        while let Some((t, event)) = self.queue.pop() {
-            if t > max_time || self.events_processed >= self.max_events {
-                break;
+    /// Run until the event queue drains, `max_time` passes, or the
+    /// `max_events` livelock guard trips. Returns why it stopped; the
+    /// simulated end time stays readable via [`Simulation::now`].
+    ///
+    /// Horizon stops *peek* rather than pop: the first over-horizon
+    /// event stays queued, so calling `run` again with a larger
+    /// horizon resumes losslessly.
+    pub fn run(&mut self, max_time: u64) -> StopReason {
+        if !self.booted {
+            self.booted = true;
+            let mut io = Io::default();
+            self.server.on_start(0, &mut io);
+            self.flush(Side::Server, io);
+            let mut io = Io::default();
+            self.client.on_start(0, &mut io);
+            self.flush(Side::Client, io);
+        }
+
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                return StopReason::Drained;
+            };
+            if t > max_time {
+                return StopReason::TimeLimit;
             }
+            if self.events_processed >= self.max_events {
+                return StopReason::EventLimit;
+            }
+            let (t, event) = self.queue.pop().expect("peeked above");
             self.now = t;
             self.events_processed += 1;
             self.dispatch(event);
         }
-        self.now
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -606,7 +662,47 @@ mod tests {
         }
         let mut sim = Simulation::with_path(Forever, Echoer::default(), NullMiddlebox, path());
         sim.max_events = 500;
-        sim.run(u64::MAX);
-        // Terminates despite the endless wake chain.
+        let stop = sim.run(u64::MAX);
+        // Terminates despite the endless wake chain — and says why.
+        assert_eq!(stop, StopReason::EventLimit);
+        assert!(stop.truncated());
+        assert_eq!(sim.events_processed(), 500);
+    }
+
+    #[test]
+    fn stop_reasons_distinguish_drain_from_horizon() {
+        let mut sim = Simulation::with_path(
+            Pinger {
+                ttl: 64,
+                ..Default::default()
+            },
+            Echoer::default(),
+            NullMiddlebox,
+            path(),
+        );
+        assert_eq!(sim.run(1_000_000), StopReason::Drained);
+        assert!(!StopReason::Drained.truncated());
+    }
+
+    #[test]
+    fn horizon_stop_requeues_the_over_horizon_event() {
+        // The SYN takes 10 µs to reach the middlebox; a 5 µs horizon
+        // stops before it. The event must NOT be discarded: resuming
+        // with a larger horizon delivers it and the echo comes back.
+        let mut sim = Simulation::with_path(
+            Pinger {
+                ttl: 64,
+                ..Default::default()
+            },
+            Echoer::default(),
+            NullMiddlebox,
+            path(),
+        );
+        assert_eq!(sim.run(5), StopReason::TimeLimit);
+        assert!(sim.server.received.is_empty());
+        assert_eq!(sim.run(1_000_000), StopReason::Drained);
+        assert_eq!(sim.server.received.len(), 1, "horizon stop lost the SYN");
+        assert_eq!(sim.client.received.len(), 1);
+        assert_eq!(sim.now(), 60);
     }
 }

@@ -3,22 +3,23 @@
 //! trained against a censor.
 //!
 //! ```sh
-//! cargo run --release --example evolve_server_side -- [china|india|iran|kazakhstan] [protocol]
+//! cargo run --release --example evolve_server_side -- [--jobs N] [china|india|iran|kazakhstan] [protocol]
 //! ```
 
 use appproto::AppProtocol;
 use censor::Country;
 use evolve::{evolve, GaConfig};
+use harness::Throughput;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let country = match args.get(1).map(String::as_str) {
+    let args = come_as_you_are::cli::args_with_jobs();
+    let country = match args.first().map(String::as_str) {
         Some("india") => Country::India,
         Some("iran") => Country::Iran,
         Some("kazakhstan") => Country::Kazakhstan,
         _ => Country::China,
     };
-    let protocol = match args.get(2).map(String::as_str) {
+    let protocol = match args.get(1).map(String::as_str) {
         Some("dns") => AppProtocol::DnsTcp,
         Some("ftp") => AppProtocol::Ftp,
         Some("https") => AppProtocol::Https,
@@ -37,7 +38,8 @@ fn main() {
         config.population, config.generations, config.trials_per_eval
     );
 
-    let result = evolve(&config);
+    let (result, throughput) = Throughput::measure("evolve", || evolve(&config));
+    eprintln!("{}", throughput.to_json());
     // Prune vestigial nodes, like Geneva does before reporting.
     let mut cache = evolve::FitnessCache::new(country, protocol, 20, 777);
     let minimized = evolve::minimize(&result.best, &mut cache, 0.05);

@@ -2,20 +2,22 @@
 //! and the §3 generalization experiment.
 //!
 //! ```sh
-//! cargo run --release --example followups -- [trials]
+//! cargo run --release --example followups -- [--jobs N] [trials]
 //! ```
 
 use harness::experiments::{followups, overhead, residual, section3, table1};
+use harness::Throughput;
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args = come_as_you_are::cli::args_with_jobs();
+    let trials: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
 
     println!("{}", table1());
-    println!("{}", section3(trials, 0x3333).render());
-    println!("{}", followups(trials, 0x5555).render());
+    let ((), throughput) = Throughput::measure("followups", || {
+        println!("{}", section3(trials, 0x3333).render());
+        println!("{}", followups(trials, 0x5555).render());
+    });
     println!("{}", residual(17).render());
     println!("{}", overhead(6).render());
+    eprintln!("{}", throughput.to_json());
 }

@@ -3,17 +3,17 @@
 //! single-box ablation, and TTL-probe co-location.
 //!
 //! ```sh
-//! cargo run --release --example multibox -- [trials]
+//! cargo run --release --example multibox -- [--jobs N] [trials]
 //! ```
 
 use harness::experiments::{multibox, ttl_probe};
+use harness::Throughput;
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
-    let report = multibox(trials, 0x600D);
+    let args = come_as_you_are::cli::args_with_jobs();
+    let trials: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(150);
+    let (report, throughput) = Throughput::measure("multibox", || multibox(trials, 0x600D));
+    eprintln!("{}", throughput.to_json());
     println!("{}", report.render());
     println!(
         "reading: under the real (multi-box) GFW the same TCP-level strategy\n\

@@ -2,20 +2,20 @@
 //! per country and protocol.
 //!
 //! ```sh
-//! cargo run --release --example table2 -- [trials]
+//! cargo run --release --example table2 -- [--jobs N] [trials]
 //! ```
 //!
 //! The paper's numbers came from live censors; ours come from the
 //! behavioral censor models. Compare shapes, not decimals.
 
 use harness::experiments::table2;
+use harness::Throughput;
 
 fn main() {
-    let trials: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
-    let table = table2(trials, 0xBADC_0FFE);
+    let args = come_as_you_are::cli::args_with_jobs();
+    let trials: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let (table, throughput) = Throughput::measure("table2", || table2(trials, 0xBADC_0FFE));
+    eprintln!("{}", throughput.to_json());
     println!("{}", table.render());
     println!("Paper values (Table 2) for comparison:");
     println!("China   S1: 89/52/54/14/70   S2: 83/36/54/55/59   S3: 26/65/4/4/23");

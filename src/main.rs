@@ -13,17 +13,31 @@
 //! cay lint <strategy-dsl>        static analysis: canonical form + diagnostics
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
+//! cay bench [trials] [out.json]  pool throughput baseline (jobs=1 vs jobs=N)
 //! ```
+//!
+//! Every subcommand accepts `--jobs N` to pin the trial-executor
+//! worker count (default: available parallelism); results are
+//! bit-identical for any value. Subcommands that simulate trials
+//! print one throughput JSON line to stderr.
 
 use appproto::AppProtocol;
 use censor::Country;
 use harness::experiments;
-use harness::{run_trial, success_rate, TrialConfig};
+use harness::{run_trial, success_rate, Throughput, TrialConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = come_as_you_are::cli::args_with_jobs();
+    let command = args.first().cloned().unwrap_or_default();
     let trials =
         |default: u32| -> u32 { args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default) };
+    let ((), throughput) = Throughput::measure(&command, || dispatch(&args, &trials));
+    if throughput.trials > 0 {
+        eprintln!("{}", throughput.to_json());
+    }
+}
+
+fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
     match args.first().map(String::as_str) {
         Some("strategies") => {
             println!("The paper's 11 server-side strategies:");
@@ -178,9 +192,64 @@ fn main() {
                 result.outcome
             );
         }
+        Some("bench") => {
+            let trials_per_run = trials(300);
+            let out_path = args.get(2).map(String::as_str).unwrap_or("BENCH_pool.json");
+            let cfg = TrialConfig::new(
+                Country::China,
+                AppProtocol::Http,
+                geneva::library::STRATEGY_1.strategy(),
+                0,
+            );
+            let tag = harness::cell_tag("bench/pool");
+            let auto = harness::pool::jobs();
+            // Always include a many-worker run so the bit-identity
+            // contract is exercised even on small machines; the
+            // speedup is read from the jobs=auto run.
+            let mut worker_counts = vec![1, 8];
+            if !worker_counts.contains(&auto) {
+                worker_counts.push(auto);
+            }
+            let mut runs = Vec::new();
+            let mut estimates = Vec::new();
+            for &workers in &worker_counts {
+                let pool = harness::Pool::with_jobs(workers);
+                let (estimate, mut t) =
+                    Throughput::measure(&format!("bench/jobs={workers}"), || {
+                        harness::success_rate_in(&pool, &cfg, trials_per_run, 0xBE9C, tag)
+                    });
+                t.workers = workers;
+                println!("{}", t.to_json());
+                runs.push(t);
+                estimates.push(estimate);
+            }
+            let identical = estimates.windows(2).all(|w| w[0] == w[1]);
+            assert!(identical, "estimates must not depend on worker count");
+            let auto_run = runs
+                .iter()
+                .rposition(|t| t.workers == auto)
+                .expect("auto run present");
+            let speedup = if auto_run > 0 && runs[auto_run].wall_ms > 0.0 {
+                runs[0].wall_ms / runs[auto_run].wall_ms
+            } else {
+                1.0
+            };
+            let json = format!(
+                "{{\"bench\":\"pool\",\"trials_per_run\":{},\"estimates_identical\":{},\"speedup\":{:.2},\"runs\":[{}]}}\n",
+                trials_per_run,
+                identical,
+                speedup,
+                runs.iter()
+                    .map(Throughput::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            std::fs::write(out_path, &json).expect("write bench json");
+            println!("wrote {out_path}: speedup {speedup:.2}x at jobs={auto}, estimates identical");
+        }
         _ => {
             eprintln!(
-                "usage: cay <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap> [args]"
+                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap|bench> [args]"
             );
             std::process::exit(2);
         }

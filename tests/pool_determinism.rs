@@ -1,0 +1,58 @@
+//! The pool's contract, end to end: worker count is invisible in every
+//! result, and no paper experiment ever hits the simulator's event cap.
+
+#![allow(clippy::unwrap_used)]
+
+use appproto::AppProtocol;
+use censor::Country;
+use come_as_you_are::{evolve, geneva, harness};
+use harness::experiments;
+use harness::{cell_tag, success_rate_in, Pool, TrialConfig};
+
+#[test]
+fn success_rate_is_bit_identical_for_any_worker_count() {
+    let cfg = TrialConfig::new(
+        Country::China,
+        AppProtocol::Http,
+        geneva::library::STRATEGY_1.strategy(),
+        0,
+    );
+    let tag = cell_tag("pool-determinism/strategy1");
+    let serial = success_rate_in(&Pool::with_jobs(1), &cfg, 60, 0xD15C, tag);
+    for workers in [2, 8] {
+        let parallel = success_rate_in(&Pool::with_jobs(workers), &cfg, 60, 0xD15C, tag);
+        assert_eq!(serial, parallel, "workers={workers}");
+    }
+    // Sanity: the estimate itself is meaningful, not vacuously equal.
+    assert!(serial.trials == 60 && serial.successes > 0);
+}
+
+#[test]
+fn evolution_trajectory_is_identical_serial_vs_parallel() {
+    let mut config = evolve::GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 77);
+    config.population = 14;
+    config.generations = 3;
+    config.trials_per_eval = 3;
+    config.patience = 10;
+    config.jobs = Some(1);
+    let serial = evolve::evolve(&config);
+    config.jobs = Some(8);
+    let parallel = evolve::evolve(&config);
+    assert_eq!(serial.best.strategy, parallel.best.strategy);
+    assert_eq!(serial.history, parallel.history);
+    assert_eq!(serial.trials_spent, parallel.trials_spent);
+    assert_eq!(serial.cache_hits, parallel.cache_hits);
+    assert_eq!(serial.cache_misses, parallel.cache_misses);
+}
+
+#[test]
+fn paper_experiments_never_truncate() {
+    let table = experiments::table2(3, 0xBADC_0FFE);
+    assert_eq!(table.truncated_trials(), 0, "table 2 cells must finish");
+    let report = experiments::followups(3, 0x5555);
+    assert_eq!(
+        report.truncated_trials(),
+        0,
+        "follow-up measurements must finish"
+    );
+}
