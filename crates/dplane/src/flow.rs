@@ -1,0 +1,345 @@
+//! The sharded flow table: per-flow strategy state keyed by 4-tuple.
+//!
+//! ## The shard contract
+//!
+//! Sharding here mirrors the `harness::pool` contract: parallel
+//! *structure* must never change *results*. Concretely, for a fixed
+//! packet sequence the set of flows created, the set and order of
+//! evictions, every flow's (program, seed) state, and therefore the
+//! aggregate metrics are bit-identical for **any** shard count —
+//! proptested in `tests/flow_props.rs`. Three mechanisms make it hold:
+//!
+//! * **Deterministic placement** — a flow's shard is an FNV-1a hash of
+//!   its canonical [`FlowKey`] modulo the shard count, not an insertion
+//!   order or a runtime-salted hash.
+//! * **Global LRU clock** — every touch stamps the entry with a
+//!   monotonic tick from a table-wide counter. Capacity eviction
+//!   removes the globally least-recent entry (ticks are unique, so the
+//!   victim is unambiguous) wherever it lives, rather than the
+//!   least-recent entry of the incoming packet's shard.
+//! * **Pure re-classification** — a flow's state is a pure function of
+//!   its key (the classifier consults a static geo table; the seed is
+//!   derived from the key), so an evicted flow that returns rebuilds
+//!   the exact state it lost.
+//!
+//! Idle expiry is exact per flow: a packet arriving after the timeout
+//! finds its stale entry expired and re-classifies, regardless of when
+//! the periodic sweep last ran. The sweep only reclaims memory for
+//! flows that never return.
+
+use crate::metrics::ShardMetrics;
+use crate::program::Program;
+use packet::FlowKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sizing and expiry knobs for a [`FlowTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Number of shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Maximum live flows across all shards (clamped to ≥ 1).
+    pub capacity: usize,
+    /// Idle expiry in simulated microseconds: a flow unseen for longer
+    /// than this re-classifies on return.
+    pub idle_timeout: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            shards: 1,
+            capacity: 65_536,
+            idle_timeout: 120_000_000, // 120 s
+        }
+    }
+}
+
+/// Per-flow state: the compiled program (or `None` = pass-through) and
+/// the corrupt seed, plus bookkeeping for LRU and idle expiry.
+#[derive(Debug, Clone)]
+struct FlowEntry {
+    program: Option<Arc<Program>>,
+    seed: u64,
+    last_seen: u64,
+    last_tick: u64,
+    packets: u64,
+}
+
+struct Shard {
+    flows: HashMap<FlowKey, FlowEntry>,
+    metrics: ShardMetrics,
+}
+
+/// What a lookup returned: the flow's strategy state plus where it
+/// lives (for metric attribution).
+#[derive(Debug, Clone)]
+pub struct Touch {
+    /// The flow's compiled program, if any.
+    pub program: Option<Arc<Program>>,
+    /// The flow's corrupt seed.
+    pub seed: u64,
+    /// The shard the flow lives on.
+    pub shard: usize,
+    /// True when this packet created (or re-created) the flow.
+    pub created: bool,
+}
+
+/// The sharded flow table. See the module docs for the determinism
+/// contract.
+pub struct FlowTable {
+    shards: Vec<Shard>,
+    cfg: FlowConfig,
+    tick: u64,
+    len: usize,
+    next_sweep: u64,
+}
+
+impl FlowTable {
+    /// Build an empty table. Shard count and capacity are clamped to
+    /// at least 1.
+    pub fn new(cfg: FlowConfig) -> FlowTable {
+        let cfg = FlowConfig {
+            shards: cfg.shards.max(1),
+            capacity: cfg.capacity.max(1),
+            idle_timeout: cfg.idle_timeout,
+        };
+        FlowTable {
+            shards: (0..cfg.shards)
+                .map(|_| Shard {
+                    flows: HashMap::new(),
+                    metrics: ShardMetrics::default(),
+                })
+                .collect(),
+            cfg,
+            tick: 0,
+            len: 0,
+            next_sweep: 0,
+        }
+    }
+
+    /// Live flow count across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no flows are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard placement: FNV-1a of the canonical key.
+    pub fn shard_of(&self, key: &FlowKey) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&key.a.0);
+        eat(&key.a.1.to_be_bytes());
+        eat(&key.b.0);
+        eat(&key.b.1.to_be_bytes());
+        usize::try_from(hash % self.shards.len() as u64).unwrap_or(0)
+    }
+
+    /// Look up (creating if needed) the flow for `key` at time `now`.
+    /// `classify` runs only on creation and returns the flow's
+    /// (program, seed) — it must be a pure function of the key for the
+    /// shard contract to hold.
+    pub fn touch<F>(&mut self, key: FlowKey, now: u64, classify: F) -> Touch
+    where
+        F: FnOnce() -> (Option<Arc<Program>>, u64),
+    {
+        self.maybe_sweep(now);
+        let shard = self.shard_of(&key);
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Exact idle expiry for this key, independent of sweep timing.
+        let stale = self.shards[shard]
+            .flows
+            .get(&key)
+            .is_some_and(|e| now.saturating_sub(e.last_seen) > self.cfg.idle_timeout);
+        if stale {
+            self.shards[shard].flows.remove(&key);
+            self.shards[shard].metrics.evicted_idle += 1;
+            self.len -= 1;
+        }
+
+        let created = if let Some(entry) = self.shards[shard].flows.get_mut(&key) {
+            entry.last_seen = now;
+            entry.last_tick = tick;
+            entry.packets += 1;
+            false
+        } else {
+            if self.len >= self.cfg.capacity {
+                self.evict_lru();
+            }
+            let (program, seed) = classify();
+            self.shards[shard].flows.insert(
+                key,
+                FlowEntry {
+                    program,
+                    seed,
+                    last_seen: now,
+                    last_tick: tick,
+                    packets: 1,
+                },
+            );
+            self.shards[shard].metrics.flows_created += 1;
+            self.len += 1;
+            true
+        };
+        self.shards[shard].metrics.packets += 1;
+
+        let entry = self.shards[shard]
+            .flows
+            .get(&key)
+            .expect("entry just inserted or touched");
+        Touch {
+            program: entry.program.clone(),
+            seed: entry.seed,
+            shard,
+            created,
+        }
+    }
+
+    /// Count one strategy application against `shard`.
+    pub fn note_apply(&mut self, shard: usize, key: strata::CanonKey) {
+        if let Some(s) = self.shards.get_mut(shard) {
+            *s.metrics.applies.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Count one pass-through packet against `shard`.
+    pub fn note_pass(&mut self, shard: usize) {
+        if let Some(s) = self.shards.get_mut(shard) {
+            s.metrics.pass_through += 1;
+        }
+    }
+
+    /// Per-shard metrics, in shard order.
+    pub fn metrics(&self) -> Vec<ShardMetrics> {
+        self.shards.iter().map(|s| s.metrics.clone()).collect()
+    }
+
+    /// Evict the globally least-recently-used flow. Ticks are unique,
+    /// so the victim — and thus the whole eviction sequence — does not
+    /// depend on shard count or hash-map iteration order.
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(usize, FlowKey, u64)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (key, entry) in &shard.flows {
+                if victim.is_none_or(|(_, _, t)| entry.last_tick < t) {
+                    victim = Some((i, *key, entry.last_tick));
+                }
+            }
+        }
+        if let Some((i, key, _)) = victim {
+            self.shards[i].flows.remove(&key);
+            self.shards[i].metrics.evicted_lru += 1;
+            self.len -= 1;
+        }
+    }
+
+    /// Periodic reclaim of flows that went idle and never returned.
+    /// Runs at most every `idle_timeout / 2` of simulated time; the set
+    /// of removed flows is a pure function of packet timestamps.
+    fn maybe_sweep(&mut self, now: u64) {
+        if now < self.next_sweep {
+            return;
+        }
+        let interval = (self.cfg.idle_timeout / 2).max(1);
+        self.next_sweep = now.saturating_add(interval);
+        let timeout = self.cfg.idle_timeout;
+        for shard in &mut self.shards {
+            let before = shard.flows.len();
+            shard
+                .flows
+                .retain(|_, e| now.saturating_sub(e.last_seen) <= timeout);
+            let removed = before - shard.flows.len();
+            shard.metrics.evicted_idle += removed as u64;
+            self.len -= removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey {
+            a: ([10, 0, 0, n], 1000),
+            b: ([93, 184, 216, 34], 80),
+        }
+    }
+
+    fn table(shards: usize, capacity: usize, idle: u64) -> FlowTable {
+        FlowTable::new(FlowConfig {
+            shards,
+            capacity,
+            idle_timeout: idle,
+        })
+    }
+
+    #[test]
+    fn capacity_evicts_least_recent_globally() {
+        let mut t = table(4, 2, u64::MAX);
+        t.touch(key(1), 0, || (None, 1));
+        t.touch(key(2), 1, || (None, 2));
+        t.touch(key(1), 2, || (None, 1)); // refresh 1: victim is now 2
+        t.touch(key(3), 3, || (None, 3));
+        assert_eq!(t.len(), 2);
+        let evicted: u64 = t.metrics().iter().map(|m| m.evicted_lru).sum();
+        assert_eq!(evicted, 1);
+        // Flow 2 was the victim: touching it again re-creates it.
+        let touch = t.touch(key(2), 4, || (None, 2));
+        assert!(touch.created);
+    }
+
+    #[test]
+    fn idle_flows_expire_exactly() {
+        let mut t = table(2, 16, 100);
+        t.touch(key(1), 0, || (None, 1));
+        // 100 µs later: exactly at the timeout, still alive.
+        assert!(!t.touch(key(1), 100, || (None, 1)).created);
+        // 101 µs of silence: expired, re-created.
+        let touch = t.touch(key(1), 201, || (None, 9));
+        assert!(touch.created);
+        assert_eq!(touch.seed, 9, "re-classified state");
+        let idle: u64 = t.metrics().iter().map(|m| m.evicted_idle).sum();
+        assert_eq!(idle, 1);
+    }
+
+    #[test]
+    fn sweep_reclaims_flows_that_never_return() {
+        let mut t = table(2, 16, 100);
+        t.touch(key(1), 0, || (None, 1));
+        t.touch(key(2), 0, || (None, 2));
+        // Much later, a third flow's packet triggers the sweep.
+        t.touch(key(3), 10_000, || (None, 3));
+        assert_eq!(t.len(), 1, "idle flows reclaimed");
+    }
+
+    #[test]
+    fn classify_runs_once_per_flow() {
+        let mut t = table(1, 16, u64::MAX);
+        let mut calls = 0;
+        for now in 0..5 {
+            t.touch(key(1), now, || {
+                calls += 1;
+                (None, 0)
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+}

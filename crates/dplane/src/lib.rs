@@ -1,0 +1,313 @@
+//! `dplane` — a compiled, sharded server-side evasion data plane.
+//!
+//! The paper's deployment story (§8) is an ESNI-style provider applying
+//! evasion strategies *server-side* for millions of unmodified clients,
+//! choosing a strategy per client from the SYN alone. The per-trial
+//! interpreter (`geneva::Engine`) is the semantics; this crate is the
+//! production-shaped path:
+//!
+//! * [`Program`] — strategies canonicalized through `strata` and
+//!   lowered to flat, allocation-free instruction programs
+//!   ([`program`]).
+//! * [`FlowTable`] — a sharded, 4-tuple-keyed flow table with idle
+//!   timeout and capacity LRU, deterministic under any shard count
+//!   ([`flow`]).
+//! * [`PacketIo`] — the packet boundary, with in-sim
+//!   ([`sim::DplaneEndpoint`]) and pcap-replay ([`io::PcapReplay`])
+//!   backends.
+//! * [`MetricsReport`] — per-shard counters exported as JSON
+//!   (`cay dplane`).
+//!
+//! [`Dplane`] ties them together: classify a new flow's client (via any
+//! [`Classifier`], e.g. `harness::deploy::pick_for_client` behind a
+//! closure), compile-or-reuse its strategy, and rewrite its packets.
+//! Everything is deterministic: same packets in, same packets and same
+//! aggregate metrics out, for any shard count — byte-identical to the
+//! interpreter.
+
+pub mod flow;
+pub mod io;
+pub mod metrics;
+pub mod program;
+pub mod sim;
+
+pub use flow::{FlowConfig, FlowTable, Touch};
+pub use io::{PacketIo, PcapReplay, VecIo};
+pub use metrics::{MetricsReport, ShardMetrics};
+pub use program::{CompiledPart, Matcher, Op, Program, ProgramCache};
+pub use sim::DplaneEndpoint;
+
+use geneva::Strategy;
+use packet::{FlowKey, Packet};
+use std::sync::Arc;
+
+/// Decides the strategy for a newly seen flow. Runs once per flow
+/// (on the first packet — the client's SYN in every experiment); must
+/// be a pure function of the packet's flow identity so that evicted
+/// flows re-classify identically on return.
+pub trait Classifier: Send {
+    /// The strategy for the flow `first_pkt` opened, or `None` for
+    /// pass-through.
+    fn classify(&mut self, first_pkt: &Packet) -> Option<Arc<Strategy>>;
+}
+
+impl<F> Classifier for F
+where
+    F: FnMut(&Packet) -> Option<Arc<Strategy>> + Send,
+{
+    fn classify(&mut self, first_pkt: &Packet) -> Option<Arc<Strategy>> {
+        self(first_pkt)
+    }
+}
+
+/// The trivial classifier: every flow gets the same strategy (or
+/// none). This is how a single-strategy trial routes through the data
+/// plane.
+pub struct FixedClassifier(pub Option<Arc<Strategy>>);
+
+impl Classifier for FixedClassifier {
+    fn classify(&mut self, _first_pkt: &Packet) -> Option<Arc<Strategy>> {
+        self.0.clone()
+    }
+}
+
+/// How per-flow corrupt seeds are derived.
+#[derive(Debug, Clone, Copy)]
+pub enum SeedMode {
+    /// Every flow uses this exact seed — the interpreter-equivalence
+    /// mode (a trial's engine has one seed).
+    Fixed(u64),
+    /// Each flow's seed is a splitmix64 mix of this base with the flow
+    /// key, so corruption differs across clients but is reproducible
+    /// per flow (and identical after eviction + return).
+    PerFlow(u64),
+}
+
+/// Data-plane configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DplaneConfig {
+    /// Flow-table sizing and expiry.
+    pub flow: FlowConfig,
+    /// Corrupt-seed derivation.
+    pub seed: SeedMode,
+}
+
+impl Default for DplaneConfig {
+    fn default() -> DplaneConfig {
+        DplaneConfig {
+            flow: FlowConfig::default(),
+            seed: SeedMode::PerFlow(0),
+        }
+    }
+}
+
+/// The assembled data plane: classifier → program cache → flow table →
+/// compiled execution, with per-shard metrics.
+pub struct Dplane<C: Classifier> {
+    classifier: C,
+    programs: ProgramCache,
+    flows: FlowTable,
+    scratch: Vec<Packet>,
+    seed_mode: SeedMode,
+}
+
+impl<C: Classifier> Dplane<C> {
+    /// Build a data plane.
+    pub fn new(cfg: DplaneConfig, classifier: C) -> Dplane<C> {
+        Dplane {
+            classifier,
+            programs: ProgramCache::new(),
+            flows: FlowTable::new(cfg.flow),
+            scratch: Vec::new(),
+            seed_mode: cfg.seed,
+        }
+    }
+
+    /// Rewrite one packet the server is sending; emissions append to
+    /// `out`.
+    pub fn process_outbound(&mut self, pkt: &Packet, now: u64, out: &mut Vec<Packet>) {
+        self.process(pkt, now, out, true);
+    }
+
+    /// Rewrite one packet arriving at the server; emissions append to
+    /// `out`.
+    pub fn process_inbound(&mut self, pkt: &Packet, now: u64, out: &mut Vec<Packet>) {
+        self.process(pkt, now, out, false);
+    }
+
+    fn process(&mut self, pkt: &Packet, now: u64, out: &mut Vec<Packet>, outbound: bool) {
+        let key = pkt.flow_key();
+        let seed = match self.seed_mode {
+            SeedMode::Fixed(seed) => seed,
+            SeedMode::PerFlow(base) => flow_seed(base, &key),
+        };
+        let Dplane {
+            classifier,
+            programs,
+            flows,
+            scratch,
+            ..
+        } = self;
+        let touch = flows.touch(key, now, || {
+            let program = classifier
+                .classify(pkt)
+                .map(|s| programs.get_or_compile(&s));
+            (program, seed)
+        });
+        match touch.program {
+            Some(program) => {
+                flows.note_apply(touch.shard, program.key);
+                if outbound {
+                    program.apply_outbound(pkt, touch.seed, out, scratch);
+                } else {
+                    program.apply_inbound(pkt, touch.seed, out, scratch);
+                }
+            }
+            None => {
+                flows.note_pass(touch.shard);
+                out.push(pkt.clone());
+            }
+        }
+    }
+
+    /// Drain a [`PacketIo`] source through the data plane. Packets
+    /// whose IPv4 source is `server_addr` take the outbound ruleset;
+    /// everything else is inbound. Returns the number of packets
+    /// processed.
+    pub fn pump<I: PacketIo>(&mut self, io: &mut I, server_addr: [u8; 4]) -> u64 {
+        let mut out = Vec::new();
+        let mut processed = 0;
+        while let Some((now, pkt)) = io.recv() {
+            out.clear();
+            if pkt.ip.src == server_addr {
+                self.process_outbound(&pkt, now, &mut out);
+            } else {
+                self.process_inbound(&pkt, now, &mut out);
+            }
+            for emitted in out.drain(..) {
+                io.emit(now, emitted);
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Live flow count.
+    pub fn flows_live(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Export all counters.
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport {
+            shards: self.flows.metrics(),
+            flows_live: self.flows.len(),
+            cache_hits: self.programs.hits,
+            cache_misses: self.programs.misses,
+            strategies: self
+                .programs
+                .programs()
+                .map(|(key, program)| (*key, program.canonical_text.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-flow seed: splitmix64 over the base XOR an FNV-1a hash of the
+/// canonical flow key. Pure in (base, key), so eviction and return
+/// rebuild the same seed.
+fn flow_seed(base: u64, key: &FlowKey) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&key.a.0);
+    eat(&key.a.1.to_be_bytes());
+    eat(&key.b.0);
+    eat(&key.b.1.to_be_bytes());
+    let mut z = (base ^ hash).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+    use packet::TcpFlags;
+
+    fn syn(client: [u8; 4]) -> Packet {
+        let mut p = Packet::tcp(
+            client,
+            40000,
+            [93, 184, 216, 34],
+            80,
+            TcpFlags::SYN,
+            1,
+            0,
+            vec![],
+        );
+        p.finalize();
+        p
+    }
+
+    fn syn_ack(client: [u8; 4]) -> Packet {
+        let mut p = Packet::tcp(
+            [93, 184, 216, 34],
+            80,
+            client,
+            40000,
+            TcpFlags::SYN_ACK,
+            100,
+            2,
+            vec![],
+        );
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn classifies_once_and_rewrites_outbound() {
+        let strategy = Arc::new(geneva::library::STRATEGY_1.strategy());
+        let mut dp = Dplane::new(DplaneConfig::default(), FixedClassifier(Some(strategy)));
+        let client = [10, 7, 0, 2];
+        let mut out = Vec::new();
+        dp.process_inbound(&syn(client), 0, &mut out);
+        assert_eq!(out.len(), 1, "no inbound rules: SYN passes");
+        out.clear();
+        dp.process_outbound(&syn_ack(client), 10, &mut out);
+        assert_eq!(out.len(), 2, "strategy 1 emits RST then SYN");
+        assert_eq!(out[0].flags(), TcpFlags::RST);
+        let m = dp.metrics();
+        assert_eq!(m.totals().flows_created, 1, "one flow, both directions");
+        assert_eq!((m.cache_hits, m.cache_misses), (0, 1));
+    }
+
+    #[test]
+    fn per_flow_seeds_are_stable_across_eviction() {
+        let key = syn([10, 7, 0, 2]).flow_key();
+        assert_eq!(flow_seed(42, &key), flow_seed(42, &key));
+        assert_ne!(flow_seed(42, &key), flow_seed(43, &key));
+        // Both directions share the canonical key, hence the seed.
+        assert_eq!(
+            syn([10, 7, 0, 2]).flow_key(),
+            syn_ack([10, 7, 0, 2]).flow_key()
+        );
+    }
+
+    #[test]
+    fn pump_splits_directions_by_server_addr() {
+        let strategy = Arc::new(geneva::library::STRATEGY_1.strategy());
+        let mut dp = Dplane::new(DplaneConfig::default(), FixedClassifier(Some(strategy)));
+        let client = [10, 7, 0, 2];
+        let mut io = VecIo::new([(0, syn(client)), (10, syn_ack(client))]);
+        let processed = dp.pump(&mut io, [93, 184, 216, 34]);
+        assert_eq!(processed, 2);
+        // SYN passed through + RST & SYN from the rewritten SYN+ACK.
+        assert_eq!(io.output.len(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-shard counters and their JSON export.
+//!
+//! Shard counters are plain integers bumped on the packet path — no
+//! atomics, because a [`crate::FlowTable`] is driven from one thread
+//! and determinism is the contract. The *aggregate* over all shards is
+//! bit-identical for any shard count (asserted by proptest and by
+//! `cay bench`); the per-shard split is what changes.
+
+use std::collections::BTreeMap;
+use strata::CanonKey;
+
+/// Counters for one shard of the flow table.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Packets routed through flows on this shard (both directions).
+    pub packets: u64,
+    /// Flow entries created.
+    pub flows_created: u64,
+    /// Flow entries evicted by the capacity LRU.
+    pub evicted_lru: u64,
+    /// Flow entries evicted by the idle timeout.
+    pub evicted_idle: u64,
+    /// Packets that passed through untouched (flow has no strategy).
+    pub pass_through: u64,
+    /// Strategy applications, keyed by compiled-program identity.
+    pub applies: BTreeMap<CanonKey, u64>,
+}
+
+impl ShardMetrics {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.packets += other.packets;
+        self.flows_created += other.flows_created;
+        self.evicted_lru += other.evicted_lru;
+        self.evicted_idle += other.evicted_idle;
+        self.pass_through += other.pass_through;
+        for (key, n) in &other.applies {
+            *self.applies.entry(*key).or_insert(0) += n;
+        }
+    }
+}
+
+/// A point-in-time export of a data plane's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardMetrics>,
+    /// Live flow count at export time.
+    pub flows_live: usize,
+    /// Program-cache hits (a new flow reused a compiled program).
+    pub cache_hits: u64,
+    /// Program-cache misses (a new flow compiled a program).
+    pub cache_misses: u64,
+    /// Canonical DSL text per program key — labels for `applies`.
+    pub strategies: BTreeMap<CanonKey, String>,
+}
+
+impl MetricsReport {
+    /// Fold all shards into one totals row.
+    pub fn totals(&self) -> ShardMetrics {
+        let mut total = ShardMetrics::default();
+        for shard in &self.shards {
+            total.merge(shard);
+        }
+        total
+    }
+
+    /// Hand-rolled JSON (the workspace has no serde); keys are stable
+    /// and maps are ordered, so equal reports render equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"shards\":[");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            shard_json(&mut out, i, shard);
+        }
+        out.push_str("],\"totals\":");
+        shard_json(&mut out, usize::MAX, &self.totals());
+        out.push_str(&format!(
+            ",\"flows_live\":{},\"program_cache\":{{\"hits\":{},\"misses\":{}}}",
+            self.flows_live, self.cache_hits, self.cache_misses
+        ));
+        out.push_str(",\"strategies\":{");
+        for (i, (key, text)) in self.strategies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{key}\":\"{}\"", escape_json(text)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn shard_json(out: &mut String, index: usize, m: &ShardMetrics) {
+    out.push('{');
+    if index != usize::MAX {
+        out.push_str(&format!("\"shard\":{index},"));
+    }
+    out.push_str(&format!(
+        "\"packets\":{},\"flows_created\":{},\"evicted_lru\":{},\"evicted_idle\":{},\"pass_through\":{},\"applies\":{{",
+        m.packets, m.flows_created, m.evicted_lru, m.evicted_idle, m.pass_through
+    ));
+    for (i, (key, n)) in m.applies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":{n}"));
+    }
+    out.push_str("}}");
+}
+
+/// Minimal JSON string escaping — strategy DSL text contains `\` and
+/// could contain `"` via replace values.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_fold_all_shards() {
+        let mut a = ShardMetrics {
+            packets: 3,
+            ..ShardMetrics::default()
+        };
+        a.applies.insert(CanonKey(1), 2);
+        let mut b = ShardMetrics {
+            packets: 4,
+            ..ShardMetrics::default()
+        };
+        b.applies.insert(CanonKey(1), 1);
+        b.applies.insert(CanonKey(2), 5);
+        let report = MetricsReport {
+            shards: vec![a, b],
+            flows_live: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            strategies: BTreeMap::new(),
+        };
+        let totals = report.totals();
+        assert_eq!(totals.packets, 7);
+        assert_eq!(totals.applies[&CanonKey(1)], 3);
+        assert_eq!(totals.applies[&CanonKey(2)], 5);
+    }
+
+    #[test]
+    fn json_escapes_dsl_backslashes() {
+        assert_eq!(escape_json("a\\/b \"q\""), "a\\\\/b \\\"q\\\"");
+        let report = MetricsReport {
+            shards: vec![ShardMetrics::default()],
+            flows_live: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            strategies: [(CanonKey(0xAB), "x \\/ y".to_string())].into(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"00000000000000ab\":\"x \\\\/ y\""));
+        assert!(json.contains("\"program_cache\":{\"hits\":2,\"misses\":3}"));
+    }
+}

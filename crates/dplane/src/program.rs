@@ -1,0 +1,547 @@
+//! The strategy compiler: Geneva action trees lowered to flat programs.
+//!
+//! The interpreter (`geneva::Engine`) walks the strategy AST for every
+//! packet: each trigger test renders the packet field *and* the trigger
+//! value to fresh `String`s, every application allocates a fresh output
+//! `Vec`, and the recursive tree walk touches cold `Box`ed nodes. At
+//! data-plane rates that is the whole budget. A [`Program`] pays those
+//! costs once, at compile time:
+//!
+//! * Triggers become [`Matcher`]s — the common cases (`TCP:flags:SA`,
+//!   numeric equality) compile to branch-and-compare with **zero**
+//!   allocation; impossible triggers (a non-canonical value spelling
+//!   that the engine's string comparison can never produce) compile to
+//!   [`Matcher::Never`] and cost one enum discriminant test.
+//! * Action trees become a flat instruction vector for a small stack
+//!   machine ([`Op`]). Each compiled subtree consumes exactly the
+//!   top-of-stack packet; `fragment`'s runtime "nothing to split" case
+//!   is a conditional jump to a duplicated copy of the `first` body.
+//!
+//! Compilation goes through `strata::canonicalize_strategy`, so the
+//! program executes the *canonical* form and [`CanonKey`] is the cache
+//! identity. Equivalence with the interpreter is structural, not
+//! hopeful: the tamper/corrupt/split primitives are the exported
+//! `geneva::engine` functions themselves, and the per-site corrupt PRNG
+//! makes their output independent of execution order. A differential
+//! proptest (`tests/differential.rs`) pins `compiled(pkt) ==
+//! Engine::apply_*(pkt)` byte-for-byte across the strategy library and
+//! generated strategies.
+
+use geneva::ast::{Action, StrategyPart, TamperMode, Trigger};
+use geneva::Strategy;
+use packet::field::{FieldKind, FieldRef, FieldValue};
+use packet::{Packet, Proto, TcpFlags};
+use std::collections::HashMap;
+use std::sync::Arc;
+use strata::CanonKey;
+
+/// One instruction of the packet stack machine.
+///
+/// The machine's invariant: the compiled body of an action consumes
+/// exactly one stack packet (net) and appends its emissions to the
+/// output vector. Jump targets are absolute indices into the program.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Pop the top packet and append it to the output (`send`).
+    Emit,
+    /// Pop the top packet and discard it (`drop`).
+    Pop,
+    /// Push a copy of the top packet (`duplicate` — the copy is
+    /// processed first, exactly like the engine's left branch).
+    Dup,
+    /// Rewrite one field of the top packet via `geneva::engine::tamper`.
+    Tamper {
+        /// The field to rewrite.
+        field: FieldRef,
+        /// Replace-with-value or corrupt-with-site-PRNG.
+        mode: TamperMode,
+    },
+    /// Try to split the top packet (`fragment`). On a successful split
+    /// the two pieces replace it — execution-order piece on top — and
+    /// control falls through. When the packet is too small to split it
+    /// stays put and control jumps to `nosplit`, which addresses a
+    /// duplicated compilation of the `first` subtree (the engine runs
+    /// `first` on the unsplit packet).
+    Split {
+        /// Split layer (`TCP` segmentation or `IP` fragmentation).
+        proto: Proto,
+        /// Byte offset of the cut.
+        offset: usize,
+        /// Paper's `in_order` flag: `false` swaps emission order, i.e.
+        /// the `second` piece is processed first.
+        in_order: bool,
+        /// Jump target for the nothing-to-split case.
+        nosplit: usize,
+    },
+    /// Unconditional jump (skips the duplicated no-split tail).
+    Jump(usize),
+}
+
+/// A compiled trigger. Variants are ordered hottest-first: the paper's
+/// strategies trigger on `TCP:flags`, so the data plane's per-packet
+/// cost is one `Option` test and a byte compare.
+#[derive(Debug, Clone)]
+pub enum Matcher {
+    /// `TCP:flags` equality against a canonical flag set. Non-TCP
+    /// packets read the field as `Empty` (renders `""`), so they match
+    /// exactly when the expected set is empty.
+    Flags(TcpFlags),
+    /// Numeric field equality. Only canonical decimal spellings can
+    /// ever match the engine's string compare, so the comparison is
+    /// `u64 == u64` with no rendering.
+    Num(FieldRef, u64),
+    /// The empty value `""` on a numeric/option field: matches exactly
+    /// when the field reads [`FieldValue::Empty`] (absent option, or a
+    /// transport mismatch).
+    Empty(FieldRef),
+    /// Statically impossible: the trigger value is a spelling the
+    /// field's renderer never produces (e.g. `TCP:seq:007`).
+    Never,
+    /// Fallback for cold field kinds (payload bytes, app-layer): the
+    /// engine's own string comparison.
+    Generic(Trigger),
+}
+
+impl Matcher {
+    /// Compile one trigger. Equivalence contract: for every packet,
+    /// `compile(t).matches(pkt) == t.matches(pkt)`.
+    fn compile(trigger: &Trigger) -> Matcher {
+        let value = trigger.value.as_str();
+        match trigger.field.kind() {
+            Ok(FieldKind::Flags) => match TcpFlags::from_geneva(value) {
+                // The engine compares against `to_geneva` output, so a
+                // non-canonical letter order (`AS`) can never match.
+                Some(flags) if flags.to_geneva() == value => Matcher::Flags(flags),
+                _ => Matcher::Never,
+            },
+            Ok(FieldKind::U8 | FieldKind::U16 | FieldKind::U32 | FieldKind::OptionNum) => {
+                if value.is_empty() {
+                    return Matcher::Empty(trigger.field.clone());
+                }
+                match value.parse::<u64>() {
+                    Ok(n) if n.to_string() == value => Matcher::Num(trigger.field.clone(), n),
+                    _ => Matcher::Never,
+                }
+            }
+            _ => Matcher::Generic(trigger.clone()),
+        }
+    }
+
+    /// Does the packet satisfy this trigger?
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        match self {
+            Matcher::Flags(expect) => match pkt.tcp_header() {
+                Some(tcp) => tcp.flags == *expect,
+                None => *expect == TcpFlags::NONE,
+            },
+            Matcher::Num(field, n) => {
+                matches!(field.get(pkt), Ok(FieldValue::Num(m)) if m == *n)
+            }
+            Matcher::Empty(field) => matches!(field.get(pkt), Ok(FieldValue::Empty)),
+            Matcher::Never => false,
+            Matcher::Generic(trigger) => trigger.matches(pkt),
+        }
+    }
+}
+
+/// One compiled `trigger => ops` rule.
+#[derive(Debug, Clone)]
+pub struct CompiledPart {
+    /// The compiled trigger.
+    pub matcher: Matcher,
+    /// The flat action body.
+    pub ops: Vec<Op>,
+}
+
+/// A whole strategy lowered to flat form: two rulesets plus the
+/// canonical identity that names it in caches and metrics.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Compiled outbound ruleset (first match wins, no match = pass).
+    pub outbound: Vec<CompiledPart>,
+    /// Compiled inbound ruleset.
+    pub inbound: Vec<CompiledPart>,
+    /// Equivalence-class key of the canonical strategy.
+    pub key: CanonKey,
+    /// The canonical DSL text (metrics/debug labels).
+    pub canonical_text: String,
+}
+
+impl Program {
+    /// Canonicalize and compile a strategy.
+    pub fn compile(strategy: &Strategy) -> Program {
+        let canonical = strata::canonicalize_strategy(strategy);
+        let key = CanonKey::of(&canonical);
+        let canonical_text = canonical.to_string();
+        Program {
+            outbound: canonical.outbound.iter().map(compile_part).collect(),
+            inbound: canonical.inbound.iter().map(compile_part).collect(),
+            key,
+            canonical_text,
+        }
+    }
+
+    /// Apply the outbound ruleset, appending emissions to `out`.
+    /// `scratch` is the reusable stack (left empty on return).
+    pub fn apply_outbound(
+        &self,
+        pkt: &Packet,
+        seed: u64,
+        out: &mut Vec<Packet>,
+        scratch: &mut Vec<Packet>,
+    ) {
+        apply(&self.outbound, pkt, seed, out, scratch);
+    }
+
+    /// Apply the inbound ruleset, appending emissions to `out`.
+    pub fn apply_inbound(
+        &self,
+        pkt: &Packet,
+        seed: u64,
+        out: &mut Vec<Packet>,
+        scratch: &mut Vec<Packet>,
+    ) {
+        apply(&self.inbound, pkt, seed, out, scratch);
+    }
+
+    /// Convenience wrapper returning a fresh vector (tests, cold paths).
+    pub fn run_outbound(&self, pkt: &Packet, seed: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.apply_outbound(pkt, seed, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// Convenience wrapper returning a fresh vector (tests, cold paths).
+    pub fn run_inbound(&self, pkt: &Packet, seed: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.apply_inbound(pkt, seed, &mut out, &mut Vec::new());
+        out
+    }
+}
+
+fn apply(
+    parts: &[CompiledPart],
+    pkt: &Packet,
+    seed: u64,
+    out: &mut Vec<Packet>,
+    scratch: &mut Vec<Packet>,
+) {
+    for part in parts {
+        if part.matcher.matches(pkt) {
+            execute(&part.ops, pkt.clone(), seed, out, scratch);
+            return;
+        }
+    }
+    out.push(pkt.clone());
+}
+
+/// Run one compiled body on one packet.
+fn execute(ops: &[Op], pkt: Packet, seed: u64, out: &mut Vec<Packet>, stack: &mut Vec<Packet>) {
+    stack.clear();
+    stack.push(pkt);
+    let mut pc = 0;
+    while let Some(op) = ops.get(pc) {
+        pc += 1;
+        match op {
+            Op::Emit => {
+                if let Some(top) = stack.pop() {
+                    out.push(top);
+                }
+            }
+            Op::Pop => {
+                stack.pop();
+            }
+            Op::Dup => {
+                if let Some(top) = stack.last().cloned() {
+                    stack.push(top);
+                }
+            }
+            Op::Tamper { field, mode } => {
+                if let Some(top) = stack.pop() {
+                    stack.push(geneva::engine::tamper(top, field, mode, seed));
+                }
+            }
+            Op::Split {
+                proto,
+                offset,
+                in_order,
+                nosplit,
+            } => {
+                let Some(top) = stack.pop() else { break };
+                match geneva::engine::split(top, *proto, *offset) {
+                    (a, Some(b)) => {
+                        // Execution-order piece ends up on top.
+                        if *in_order {
+                            stack.push(b);
+                            stack.push(a);
+                        } else {
+                            stack.push(a);
+                            stack.push(b);
+                        }
+                    }
+                    (a, None) => {
+                        stack.push(a);
+                        pc = *nosplit;
+                    }
+                }
+            }
+            Op::Jump(target) => pc = *target,
+        }
+    }
+}
+
+fn compile_part(part: &StrategyPart) -> CompiledPart {
+    let mut ops = Vec::new();
+    compile_action(&part.action, &mut ops);
+    CompiledPart {
+        matcher: Matcher::compile(&part.trigger),
+        ops,
+    }
+}
+
+/// Lower one action subtree. Contract: the emitted code consumes the
+/// top-of-stack packet and mirrors `geneva::engine`'s tree walk.
+fn compile_action(action: &Action, ops: &mut Vec<Op>) {
+    match action {
+        Action::Send => ops.push(Op::Emit),
+        Action::Drop => ops.push(Op::Pop),
+        Action::Duplicate(first, second) => {
+            ops.push(Op::Dup);
+            compile_action(first, ops);
+            compile_action(second, ops);
+        }
+        Action::Tamper { field, mode, next } => {
+            ops.push(Op::Tamper {
+                field: field.clone(),
+                mode: mode.clone(),
+            });
+            compile_action(next, ops);
+        }
+        Action::Fragment {
+            proto,
+            offset,
+            in_order,
+            first,
+            second,
+        } => {
+            let split_at = ops.len();
+            ops.push(Op::Split {
+                proto: *proto,
+                offset: *offset,
+                in_order: *in_order,
+                nosplit: usize::MAX, // patched below
+            });
+            if *in_order {
+                compile_action(first, ops);
+                compile_action(second, ops);
+            } else {
+                compile_action(second, ops);
+                compile_action(first, ops);
+            }
+            let jump_at = ops.len();
+            ops.push(Op::Jump(usize::MAX)); // patched below
+            let nosplit = ops.len();
+            // The unsplit packet runs `first` alone, exactly like the
+            // engine's `None` arm — a duplicated body, not a shared one,
+            // because the split path must also run `second`.
+            compile_action(first, ops);
+            let end = ops.len();
+            if let Some(Op::Split {
+                nosplit: target, ..
+            }) = ops.get_mut(split_at)
+            {
+                *target = nosplit;
+            }
+            if let Some(Op::Jump(target)) = ops.get_mut(jump_at) {
+                *target = end;
+            }
+        }
+    }
+}
+
+/// A compile cache keyed by canonical equivalence class. Strategies
+/// that canonicalize identically (e.g. the same strategy deployed to
+/// two countries, or a mutated genome that collapses to a known form)
+/// share one compiled program.
+#[derive(Default)]
+pub struct ProgramCache {
+    map: HashMap<CanonKey, Arc<Program>>,
+    /// Lookups that found an existing program.
+    pub hits: u64,
+    /// Lookups that compiled a new program.
+    pub misses: u64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Fetch the compiled form of `strategy`, compiling at most once
+    /// per equivalence class.
+    pub fn get_or_compile(&mut self, strategy: &Strategy) -> Arc<Program> {
+        let key = CanonKey::of(&strata::canonicalize_strategy(strategy));
+        if let Some(program) = self.map.get(&key) {
+            self.hits += 1;
+            return Arc::clone(program);
+        }
+        self.misses += 1;
+        let program = Arc::new(Program::compile(strategy));
+        self.map.insert(key, Arc::clone(&program));
+        program
+    }
+
+    /// Number of distinct compiled programs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate (key, program) pairs — metrics labels.
+    pub fn programs(&self) -> impl Iterator<Item = (&CanonKey, &Arc<Program>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+    use geneva::parse_strategy;
+    use geneva::Engine;
+
+    fn syn_ack() -> Packet {
+        let mut p = Packet::tcp(
+            [93, 184, 216, 34],
+            80,
+            [10, 7, 0, 2],
+            40000,
+            TcpFlags::SYN_ACK,
+            9000,
+            1001,
+            vec![],
+        );
+        p.tcp_header_mut().unwrap().options = vec![
+            packet::TcpOption::Mss(1460),
+            packet::TcpOption::WindowScale(7),
+        ];
+        p.finalize();
+        p
+    }
+
+    fn data(payload: &[u8]) -> Packet {
+        let mut p = Packet::tcp(
+            [93, 184, 216, 34],
+            80,
+            [10, 7, 0, 2],
+            40000,
+            TcpFlags::PSH_ACK,
+            9000,
+            1001,
+            payload.to_vec(),
+        );
+        p.finalize();
+        p
+    }
+
+    fn assert_equiv(text: &str, pkt: &Packet, seed: u64) {
+        let strategy = parse_strategy(text).unwrap();
+        let program = Program::compile(&strategy);
+        let mut engine = Engine::new(strategy, seed);
+        assert_eq!(
+            program.run_outbound(pkt, seed),
+            engine.apply_outbound(pkt),
+            "compiled != interpreted for {text}"
+        );
+    }
+
+    #[test]
+    fn library_strategies_compile_equivalent() {
+        for named in geneva::library::server_side() {
+            let strategy = named.strategy();
+            let program = Program::compile(&strategy);
+            let mut engine = Engine::new(strategy, 7);
+            for pkt in [syn_ack(), data(b"GET / HTTP/1.1\r\n\r\n")] {
+                assert_eq!(
+                    program.run_outbound(&pkt, 7),
+                    engine.apply_outbound(&pkt),
+                    "strategy {} diverged",
+                    named.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_no_split_takes_first_branch() {
+        // A 1-byte payload cannot split: the engine runs `first` on the
+        // whole packet. `second` here would drop, so divergence shows.
+        assert_equiv(
+            "[TCP:flags:PA]-fragment{TCP:8:True}(tamper{TCP:window:replace:5},drop)-| \\/ ",
+            &data(b"x"),
+            3,
+        );
+        assert_equiv(
+            "[TCP:flags:PA]-fragment{TCP:8:False}(tamper{TCP:window:replace:5},drop)-| \\/ ",
+            &data(b"x"),
+            3,
+        );
+    }
+
+    #[test]
+    fn out_of_order_fragment_swaps_emission() {
+        assert_equiv(
+            "[TCP:flags:PA]-fragment{TCP:4:False}(,)-| \\/ ",
+            &data(b"abcdefgh"),
+            3,
+        );
+    }
+
+    #[test]
+    fn never_matcher_for_non_canonical_spellings() {
+        // "AS" parses as SYN+ACK but the engine renders "SA": no match.
+        let t = Trigger {
+            field: FieldRef::parse("TCP:flags").unwrap(),
+            value: "AS".to_string(),
+        };
+        assert!(matches!(Matcher::compile(&t), Matcher::Never));
+        assert!(!Matcher::compile(&t).matches(&syn_ack()));
+        assert!(!t.matches(&syn_ack()));
+
+        let t = Trigger {
+            field: FieldRef::parse("TCP:dport").unwrap(),
+            value: "080".to_string(),
+        };
+        assert!(matches!(Matcher::compile(&t), Matcher::Never));
+    }
+
+    #[test]
+    fn empty_matcher_tracks_absent_options() {
+        let t = Trigger {
+            field: FieldRef::parse("TCP:options-sackok").unwrap(),
+            value: String::new(),
+        };
+        let m = Matcher::compile(&t);
+        let pkt = syn_ack(); // mss + wscale, no sackok
+        assert_eq!(m.matches(&pkt), t.matches(&pkt));
+        assert!(m.matches(&pkt), "absent option reads Empty");
+    }
+
+    #[test]
+    fn cache_dedups_by_canonical_class() {
+        let mut cache = ProgramCache::new();
+        // Strategy plus a dead tail: same canonical class.
+        let a = parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/ ").unwrap();
+        let b = parse_strategy("[TCP:flags:SA]-duplicate(,)-| [TCP:flags:R]-send-| \\/ ").unwrap();
+        let pa = cache.get_or_compile(&a);
+        let pb = cache.get_or_compile(&b);
+        assert_eq!(pa.key, pb.key);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+}

@@ -1,0 +1,150 @@
+//! The in-sim `PacketIo` backend: a data plane bolted onto a
+//! `netsim::Endpoint`.
+//!
+//! [`DplaneEndpoint`] plays the same role as
+//! `geneva::StrategicEndpoint`, but routes the wrapped host's traffic
+//! through a [`Dplane`] — flow table, compiled programs, metrics and
+//! all — instead of a per-trial interpreter. With a
+//! [`FixedClassifier`] carrying the trial's strategy and a fixed seed
+//! equal to the trial's engine seed, the emitted packet sequence is
+//! bit-identical to the interpreter path; `harness` asserts this for
+//! the full Table 2 experiment.
+
+use crate::{Classifier, Dplane};
+use netsim::{Endpoint, Io};
+use packet::Packet;
+
+/// An endpoint whose wire interface is a [`Dplane`].
+pub struct DplaneEndpoint<E, C: Classifier> {
+    /// The unmodified inner host.
+    pub inner: E,
+    /// The data plane in front of it.
+    pub dplane: Dplane<C>,
+    /// Rewritten-inbound scratch (reused across packets).
+    rewritten: Vec<Packet>,
+}
+
+impl<E: Endpoint, C: Classifier> DplaneEndpoint<E, C> {
+    /// Put `dplane` in front of `inner`.
+    pub fn new(inner: E, dplane: Dplane<C>) -> Self {
+        DplaneEndpoint {
+            inner,
+            dplane,
+            rewritten: Vec::new(),
+        }
+    }
+
+    fn transform_out(&mut self, now: u64, io: &mut Io) {
+        let emitted = std::mem::take(&mut io.out);
+        for pkt in emitted {
+            self.dplane.process_outbound(&pkt, now, &mut io.out);
+        }
+    }
+}
+
+impl<E: Endpoint, C: Classifier> Endpoint for DplaneEndpoint<E, C> {
+    fn on_start(&mut self, now: u64, io: &mut Io) {
+        self.inner.on_start(now, io);
+        self.transform_out(now, io);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, now: u64, io: &mut Io) {
+        self.rewritten.clear();
+        let mut rewritten = std::mem::take(&mut self.rewritten);
+        self.dplane.process_inbound(&pkt, now, &mut rewritten);
+        for p in rewritten.drain(..) {
+            self.inner.on_packet(p, now, io);
+        }
+        self.rewritten = rewritten;
+        self.transform_out(now, io);
+    }
+
+    fn on_wake(&mut self, now: u64, io: &mut Io) {
+        self.inner.on_wake(now, io);
+        self.transform_out(now, io);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+    use crate::{DplaneConfig, FixedClassifier, SeedMode};
+    use packet::TcpFlags;
+    use std::sync::Arc;
+
+    /// An endpoint that replies to any packet with a SYN+ACK.
+    struct SynAcker;
+
+    impl Endpoint for SynAcker {
+        fn on_start(&mut self, _now: u64, _io: &mut Io) {}
+        fn on_packet(&mut self, pkt: Packet, _now: u64, io: &mut Io) {
+            let mut sa = Packet::tcp(
+                pkt.ip.dst,
+                pkt.dst_port(),
+                pkt.ip.src,
+                pkt.src_port(),
+                TcpFlags::SYN_ACK,
+                100,
+                pkt.tcp_header().map(|t| t.seq + 1).unwrap_or(0),
+                vec![],
+            );
+            sa.finalize();
+            io.send(sa);
+        }
+        fn on_wake(&mut self, _now: u64, _io: &mut Io) {}
+    }
+
+    #[test]
+    fn matches_strategic_endpoint_byte_for_byte() {
+        let strategy = geneva::library::STRATEGY_1.strategy();
+        let seed = 7;
+
+        let mut interpreted =
+            geneva::StrategicEndpoint::new(SynAcker, geneva::Engine::new(strategy.clone(), seed));
+        let mut compiled = DplaneEndpoint::new(
+            SynAcker,
+            Dplane::new(
+                DplaneConfig {
+                    seed: SeedMode::Fixed(seed),
+                    ..DplaneConfig::default()
+                },
+                FixedClassifier(Some(Arc::new(strategy))),
+            ),
+        );
+
+        let mut syn = Packet::tcp(
+            [10, 7, 0, 2],
+            1111,
+            [2; 4],
+            80,
+            TcpFlags::SYN,
+            50,
+            0,
+            vec![],
+        );
+        syn.finalize();
+        let (mut io_a, mut io_b) = (Io::default(), Io::default());
+        interpreted.on_packet(syn.clone(), 0, &mut io_a);
+        compiled.on_packet(syn, 0, &mut io_b);
+        assert_eq!(io_a.out, io_b.out);
+        assert_eq!(io_b.out.len(), 2, "strategy 1 emits RST then SYN");
+    }
+
+    #[test]
+    fn inbound_rules_shield_the_inner_host() {
+        let strategy = geneva::parse_strategy(" \\/ [TCP:flags:R]-drop-|").unwrap();
+        let mut wrapped = DplaneEndpoint::new(
+            SynAcker,
+            Dplane::new(
+                DplaneConfig::default(),
+                FixedClassifier(Some(Arc::new(strategy))),
+            ),
+        );
+        let mut rst = Packet::tcp([1; 4], 1, [2; 4], 2, TcpFlags::RST, 0, 0, vec![]);
+        rst.finalize();
+        let mut io = Io::default();
+        wrapped.on_packet(rst, 0, &mut io);
+        assert!(io.out.is_empty(), "inner never saw the RST");
+    }
+}

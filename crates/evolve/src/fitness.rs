@@ -29,6 +29,7 @@ use appproto::AppProtocol;
 use censor::Country;
 use harness::{cell_tag, derive_trial_seed, pool, run_trial, Pool, TrialConfig};
 use std::collections::HashMap;
+use std::sync::Arc;
 use strata::{canonicalize_strategy, lint_with_context, LintContext, Severity};
 
 /// One genome's evaluated fitness.
@@ -106,14 +107,16 @@ fn simulate_key(
     protocol: AppProtocol,
     trials: u32,
     base_seed: u64,
-    strategy: &geneva::Strategy,
+    strategy: Arc<geneva::Strategy>,
     canonical_text: &str,
 ) -> (u32, u32) {
     let tag = cell_tag(canonical_text);
+    // One config, re-seeded per trial: the strategy tree is shared via
+    // the `Arc`, never deep-cloned in this hot loop.
+    let mut cfg = TrialConfig::new(country, protocol, strategy, 0);
     let mut successes = 0;
     let mut truncated = 0;
     for i in 0..trials {
-        let mut cfg = TrialConfig::new(country, protocol, strategy.clone(), 0);
         cfg.seed = derive_trial_seed(base_seed, tag, i);
         let result = run_trial(&cfg);
         if result.evaded() {
@@ -201,7 +204,7 @@ impl FitnessCache {
                 self.protocol,
                 self.trials,
                 self.seed,
-                &genome.strategy,
+                Arc::new(genome.strategy.clone()),
                 &canonical_text,
             );
             self.trials_spent += u64::from(self.trials);
@@ -227,7 +230,7 @@ impl FitnessCache {
         struct PendingKey {
             key: String,
             canonical_text: String,
-            strategy: geneva::Strategy,
+            strategy: Arc<geneva::Strategy>,
         }
 
         // Pass 1 (serial, cheap): canonicalize, run the static gate,
@@ -259,7 +262,7 @@ impl FitnessCache {
                     pending.push(PendingKey {
                         key: key.clone(),
                         canonical_text,
-                        strategy: genome.strategy.clone(),
+                        strategy: Arc::new(genome.strategy.clone()),
                     });
                 }
             }
@@ -278,7 +281,7 @@ impl FitnessCache {
                 protocol,
                 trials,
                 base_seed,
-                &p.strategy,
+                Arc::clone(&p.strategy),
                 &p.canonical_text,
             )
         });

@@ -28,18 +28,28 @@ use packet::field::{FieldKind, FieldRef, FieldValue};
 use packet::{Packet, Proto, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A strategy plus the seed that powers its `corrupt` tampers.
+///
+/// The strategy is held behind an `Arc`: engines are constructed per
+/// trial in hot loops (`harness::trial`, `evolve::fitness`), and the
+/// tree itself never mutates, so sharing one allocation across
+/// thousands of trials beats cloning the tree each time. `new` accepts
+/// either an owned [`Strategy`] or an `Arc<Strategy>`.
 pub struct Engine {
     /// The strategy being applied.
-    pub strategy: Strategy,
+    pub strategy: Arc<Strategy>,
     seed: u64,
 }
 
 impl Engine {
     /// Build an engine with a deterministic seed.
-    pub fn new(strategy: Strategy, seed: u64) -> Engine {
-        Engine { strategy, seed }
+    pub fn new(strategy: impl Into<Arc<Strategy>>, seed: u64) -> Engine {
+        Engine {
+            strategy: strategy.into(),
+            seed,
+        }
     }
 
     /// Apply the outbound ruleset to one packet the host wants to send.
@@ -101,7 +111,10 @@ fn run(action: &Action, pkt: Packet, seed: u64, out: &mut Vec<Packet>) {
     }
 }
 
-fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Packet {
+/// Apply one tamper to one packet — the exact operation the tree walk
+/// performs, exported so `dplane`'s compiled programs share the code
+/// path (byte-identical output is a proven invariant, not a goal).
+pub fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Packet {
     let value = match mode {
         TamperMode::Replace(v) => v.clone(),
         TamperMode::Corrupt => corrupt_value(field, &pkt, seed),
@@ -121,8 +134,9 @@ fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Pa
 /// field): the PRNG is re-derived at every corruption site instead of
 /// being threaded through the tree walk. Corrupt values therefore don't
 /// shift when unrelated actions are added or removed elsewhere in the
-/// strategy — the invariant `strata::canonicalize` relies on.
-fn corrupt_value(field: &FieldRef, pkt: &Packet, seed: u64) -> FieldValue {
+/// strategy — the invariant `strata::canonicalize` relies on, and the
+/// reason `dplane` can execute tampers in any compiled order.
+pub fn corrupt_value(field: &FieldRef, pkt: &Packet, seed: u64) -> FieldValue {
     let mut rng = site_rng(field, pkt, seed);
     let rng = &mut rng;
     match field.kind().unwrap_or(FieldKind::U16) {
@@ -157,8 +171,9 @@ fn site_rng(field: &FieldRef, pkt: &Packet, seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ hash)
 }
 
-/// Split a packet at the TCP or IP layer.
-fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet>) {
+/// Split a packet at the TCP or IP layer. Exported for `dplane`'s
+/// compiled fragment ops.
+pub fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet>) {
     match proto {
         Proto::Tcp => {
             if pkt.payload.len() < 2 {

@@ -29,8 +29,8 @@ pub struct GeoEntry {
 
 /// The built-in demonstration table (documentation ranges; a real
 /// deployment would load MaxMind or similar).
-pub fn demo_geo_table() -> Vec<GeoEntry> {
-    vec![
+pub fn demo_geo_table() -> GeoTable {
+    GeoTable::new(vec![
         GeoEntry {
             prefix: [10, 7, 0, 0],
             len: 16,
@@ -51,25 +51,101 @@ pub fn demo_geo_table() -> Vec<GeoEntry> {
             len: 16,
             country: Country::Kazakhstan,
         },
-    ]
+    ])
 }
 
-/// Longest-prefix-match a client address against a geo table.
+fn mask_of(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len.min(32)))
+    }
+}
+
+/// A geolocation table with sorted-table longest-prefix-match lookup.
+///
+/// Entries are normalized (network masked to its prefix length) and
+/// grouped by prefix length, longest first; each group is sorted by
+/// network address. A lookup binary-searches one group per distinct
+/// length and returns on the first (i.e. longest) hit — `O(L log n)`
+/// for `L` distinct prefix lengths, instead of the old linear scan
+/// over every row per packet. On the data-plane fast path this runs
+/// once per flow (first SYN), over tables that in a real deployment
+/// hold hundreds of thousands of rows.
+#[derive(Debug, Clone, Default)]
+pub struct GeoTable {
+    /// `(masked network, prefix length, country)`, sorted by length
+    /// descending then network ascending; deduplicated on
+    /// `(network, length)` with later rows overriding earlier ones.
+    entries: Vec<(u32, u8, Country)>,
+    /// Contiguous `entries` run per distinct prefix length:
+    /// `(len, start, end)`, longest length first.
+    runs: Vec<(u8, usize, usize)>,
+}
+
+impl GeoTable {
+    /// Build the lookup structure from arbitrary-order rows.
+    pub fn new(rows: impl IntoIterator<Item = GeoEntry>) -> GeoTable {
+        let mut entries: Vec<(u32, u8, Country)> = rows
+            .into_iter()
+            .map(|e| {
+                let len = e.len.min(32);
+                (u32::from_be_bytes(e.prefix) & mask_of(len), len, e.country)
+            })
+            .collect();
+        // Stable sort + keep-last dedup: rows later in the input
+        // override earlier duplicates of the same (network, length).
+        entries.sort_by_key(|&(net, len, _)| (std::cmp::Reverse(len), net));
+        let mut deduped: Vec<(u32, u8, Country)> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            match deduped.last_mut() {
+                Some(last) if last.0 == entry.0 && last.1 == entry.1 => *last = entry,
+                _ => deduped.push(entry),
+            }
+        }
+        let mut runs = Vec::new();
+        let mut start = 0;
+        while start < deduped.len() {
+            let len = deduped[start].1;
+            let end = start + deduped[start..].iter().take_while(|e| e.1 == len).count();
+            runs.push((len, start, end));
+            start = end;
+        }
+        GeoTable {
+            entries: deduped,
+            runs,
+        }
+    }
+
+    /// Number of (deduplicated) rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest-prefix-match `addr`: the country of the most specific
+    /// covering prefix, or `None` when nothing covers it.
+    pub fn locate(&self, addr: [u8; 4]) -> Option<Country> {
+        let ip = u32::from_be_bytes(addr);
+        for &(len, start, end) in &self.runs {
+            let masked = ip & mask_of(len);
+            if let Ok(i) = self.entries[start..end].binary_search_by_key(&masked, |e| e.0) {
+                return Some(self.entries[start + i].2);
+            }
+        }
+        None
+    }
+}
+
+/// Longest-prefix-match a client address against unindexed rows
+/// (convenience; builds the sorted table per call — hot paths should
+/// hold a [`GeoTable`]).
 pub fn locate(addr: [u8; 4], table: &[GeoEntry]) -> Option<Country> {
-    let ip = u32::from_be_bytes(addr);
-    table
-        .iter()
-        .filter(|e| {
-            let net = u32::from_be_bytes(e.prefix);
-            let mask = if e.len == 0 {
-                0
-            } else {
-                u32::MAX << (32 - e.len)
-            };
-            ip & mask == net & mask
-        })
-        .max_by_key(|e| e.len)
-        .map(|e| e.country)
+    GeoTable::new(table.iter().copied()).locate(addr)
 }
 
 /// The paper's Table-2-derived ranking: the best strategies for a
@@ -106,9 +182,9 @@ pub fn recommend(country: Country, protocol: AppProtocol) -> Vec<NamedStrategy> 
 pub fn pick_for_client(
     client_addr: [u8; 4],
     protocol: AppProtocol,
-    table: &[GeoEntry],
+    table: &GeoTable,
 ) -> Option<NamedStrategy> {
-    let country = locate(client_addr, table)?;
+    let country = table.locate(client_addr)?;
     let ranked = recommend(country, protocol);
     if let Some(named) = ranked.into_iter().next() {
         if let Some(fixed) = library::client_compat_fix(named.id) {
@@ -126,15 +202,113 @@ mod tests {
 
     #[test]
     fn longest_prefix_match_works() {
-        let mut table = demo_geo_table();
-        table.push(GeoEntry {
-            prefix: [10, 7, 9, 0],
-            len: 24,
-            country: Country::Iran, // more specific override
-        });
-        assert_eq!(locate([10, 7, 1, 1], &table), Some(Country::China));
-        assert_eq!(locate([10, 7, 9, 5], &table), Some(Country::Iran));
-        assert_eq!(locate([8, 8, 8, 8], &table), None);
+        let table = GeoTable::new(
+            [
+                GeoEntry {
+                    prefix: [10, 7, 0, 0],
+                    len: 16,
+                    country: Country::China,
+                },
+                GeoEntry {
+                    prefix: [10, 7, 9, 0],
+                    len: 24,
+                    country: Country::Iran, // more specific override
+                },
+            ]
+            .into_iter()
+            .chain([
+                GeoEntry {
+                    prefix: [10, 91, 0, 0],
+                    len: 16,
+                    country: Country::India,
+                },
+                GeoEntry {
+                    prefix: [10, 77, 0, 0],
+                    len: 16,
+                    country: Country::Kazakhstan,
+                },
+            ]),
+        );
+        assert_eq!(table.locate([10, 7, 1, 1]), Some(Country::China));
+        assert_eq!(table.locate([10, 7, 9, 5]), Some(Country::Iran));
+        assert_eq!(table.locate([8, 8, 8, 8]), None);
+    }
+
+    #[test]
+    fn nested_prefixes_resolve_most_specific_first() {
+        // A /8 of one country containing a /16 of another, containing
+        // a /24 of a third — the LPM ladder must stop at the longest
+        // covering prefix, whatever order the rows arrive in.
+        let rows = vec![
+            GeoEntry {
+                prefix: [10, 50, 60, 0],
+                len: 24,
+                country: Country::Kazakhstan,
+            },
+            GeoEntry {
+                prefix: [10, 0, 0, 0],
+                len: 8,
+                country: Country::China,
+            },
+            GeoEntry {
+                prefix: [10, 50, 0, 0],
+                len: 16,
+                country: Country::Iran,
+            },
+        ];
+        for permutation in 0..3 {
+            let mut rotated = rows.clone();
+            rotated.rotate_left(permutation);
+            let table = GeoTable::new(rotated);
+            assert_eq!(table.locate([10, 1, 2, 3]), Some(Country::China));
+            assert_eq!(table.locate([10, 50, 1, 1]), Some(Country::Iran));
+            assert_eq!(table.locate([10, 50, 60, 9]), Some(Country::Kazakhstan));
+            assert_eq!(table.locate([11, 0, 0, 1]), None);
+        }
+    }
+
+    #[test]
+    fn unindexed_locate_agrees_with_table_and_handles_edges() {
+        let rows = vec![
+            GeoEntry {
+                prefix: [0, 0, 0, 0],
+                len: 0, // default route: covers everything
+                country: Country::India,
+            },
+            GeoEntry {
+                prefix: [10, 7, 0, 0],
+                len: 16,
+                country: Country::China,
+            },
+            // Unmasked host bits must be normalized away.
+            GeoEntry {
+                prefix: [10, 8, 3, 7],
+                len: 16,
+                country: Country::Iran,
+            },
+        ];
+        let table = GeoTable::new(rows.clone());
+        for addr in [[10, 7, 1, 1], [10, 8, 200, 200], [1, 2, 3, 4]] {
+            assert_eq!(table.locate(addr), locate(addr, &rows), "{addr:?}");
+        }
+        assert_eq!(table.locate([10, 7, 255, 255]), Some(Country::China));
+        assert_eq!(table.locate([10, 8, 0, 1]), Some(Country::Iran));
+        assert_eq!(table.locate([99, 99, 99, 99]), Some(Country::India));
+        // Duplicate (network, length): the later row wins.
+        let dup = GeoTable::new(vec![
+            GeoEntry {
+                prefix: [10, 7, 0, 0],
+                len: 16,
+                country: Country::China,
+            },
+            GeoEntry {
+                prefix: [10, 7, 0, 0],
+                len: 16,
+                country: Country::Iran,
+            },
+        ]);
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup.locate([10, 7, 0, 1]), Some(Country::Iran));
     }
 
     #[test]

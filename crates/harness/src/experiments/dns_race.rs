@@ -113,7 +113,7 @@ pub fn dns_race(seed: u64) -> DnsRaceReport {
     let mut tcp_with_strategy = Outcome::Timeout;
     for s in 0..10 {
         let mut cfg = base.clone();
-        cfg.strategy = geneva::library::STRATEGY_1.strategy();
+        cfg.strategy = geneva::library::STRATEGY_1.strategy().into();
         cfg.seed = seed + s;
         let outcome = run_trial(&cfg).outcome;
         tcp_with_strategy = outcome;

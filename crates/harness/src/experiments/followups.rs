@@ -83,7 +83,7 @@ pub fn followups(trials: u32, base_seed: u64) -> FollowupReport {
     cfg.client_seq_adjust = -1;
     let seq_minus_one_with_strategy = censored_fraction(&cfg, "seq-1/strategy1");
     let mut cfg_control = cfg.clone();
-    cfg_control.strategy = geneva::Strategy::identity();
+    cfg_control.strategy = geneva::Strategy::identity().into();
     let seq_minus_one_without_strategy = censored_fraction(&cfg_control, "seq-1/identity");
 
     // --- induced-RST ablation: Strategy 5 (FTP) vs Strategy 6 (HTTP) ---

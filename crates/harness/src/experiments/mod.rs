@@ -29,7 +29,7 @@ pub use robustness::{robustness, RobustnessReport};
 pub use section3::{section3, Section3Report};
 pub use section7::{client_compat, ClientCompatReport};
 pub use table1::table1;
-pub use table2::{table2, Table2};
+pub use table2::{table2, table2_via, Table2};
 pub use ttl_probe::{ttl_probe, TtlProbeReport};
 
 use crate::trial::{run_trial, TrialConfig};

@@ -63,12 +63,12 @@ pub fn section3(trials: u32, base_seed: u64) -> Section3Report {
         // Segmentation has no server analog and is client-specific;
         // include it in the client-side control set all the same.
         let mut cfg = baseline_cfg.clone();
-        cfg.client_strategy = Some(named.strategy());
+        cfg.client_strategy = Some(named.strategy().into());
         cells.push((named.name.to_string(), "client", cfg));
     }
     for (name, position, strategy) in library::server_side_analogs() {
         let mut cfg = baseline_cfg.clone();
-        cfg.strategy = strategy;
+        cfg.strategy = strategy.into();
         let position_name = match position {
             AnalogPosition::BeforeSynAck => "before SYN+ACK",
             AnalogPosition::AfterSynAck => "after SYN+ACK",

@@ -58,6 +58,15 @@ fn strategy_by_id(id: u32) -> (String, Strategy) {
 /// reassembled in paper order, so the table is bit-identical for any
 /// worker count.
 pub fn table2(trials: u32, base_seed: u64) -> Table2 {
+    table2_via(trials, base_seed, false)
+}
+
+/// [`table2`], optionally routing every server through the compiled
+/// `dplane` instead of the per-trial interpreter. The two paths are
+/// bit-identical (same seeds, same compiled semantics), so the table —
+/// every cell, not just the headline rates — must not change; a test
+/// asserts exactly that.
+pub fn table2_via(trials: u32, base_seed: u64, route_via_dplane: bool) -> Table2 {
     // Lay the table out first: every measured cell becomes an index
     // into a flat work list; "–" cells stay `None`.
     let mut cells: Vec<(TrialConfig, u64)> = Vec::new();
@@ -76,7 +85,8 @@ pub fn table2(trials: u32, base_seed: u64) -> Table2 {
                     slots.push((proto, None));
                     continue;
                 }
-                let cfg = TrialConfig::new(country, proto, strategy.clone(), 0);
+                let mut cfg = TrialConfig::new(country, proto, strategy.clone(), 0);
+                cfg.route_via_dplane = route_via_dplane;
                 let tag = cell_tag(&format!("table2/{}/{id}/{proto}", country.name()));
                 slots.push((proto, Some(cells.len())));
                 cells.push((cfg, tag));

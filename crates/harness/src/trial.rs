@@ -3,10 +3,13 @@
 
 use appproto::{http, tls, AppProtocol};
 use censor::{Carrier, CarrierMiddlebox, Country, Gfw};
+use dplane::{Dplane, DplaneConfig, DplaneEndpoint, FixedClassifier, SeedMode};
 use endpoint::{ClientApp, ClientHost, OsProfile, Outcome, ServerApp, ServerHost};
 use geneva::{Engine, StrategicEndpoint, Strategy};
 use netsim::sim::NullMiddlebox;
-use netsim::{Middlebox, PathConfig, Simulation, Trace};
+use netsim::{Endpoint, Io, Middlebox, PathConfig, Simulation, Trace};
+use packet::Packet;
+use std::sync::Arc;
 
 /// Addresses used throughout the experiments.
 pub const CLIENT_ADDR: [u8; 4] = [10, 7, 0, 2];
@@ -21,11 +24,12 @@ pub struct TrialConfig {
     pub country: Option<Country>,
     /// The application protocol under test.
     pub protocol: AppProtocol,
-    /// The server-side strategy (identity = no evasion).
-    pub strategy: Strategy,
+    /// The server-side strategy (identity = no evasion). Shared, not
+    /// owned: hot loops construct thousands of configs per strategy.
+    pub strategy: Arc<Strategy>,
     /// An optional client-side strategy (§3 experiments only; an
     /// unmodified client has none).
-    pub client_strategy: Option<Strategy>,
+    pub client_strategy: Option<Arc<Strategy>>,
     /// Client OS profile.
     pub os: OsProfile,
     /// RNG seed — same seed, same trial, bit for bit.
@@ -48,6 +52,10 @@ pub struct TrialConfig {
     /// Override the simulator's event cap (`None` = the default
     /// livelock guard). Tests use a tiny cap to force truncation.
     pub event_cap: Option<u64>,
+    /// Route the server's traffic through the compiled `dplane`
+    /// instead of the per-trial interpreter. Bit-identical results —
+    /// asserted by the Table 2 equivalence tests.
+    pub route_via_dplane: bool,
 }
 
 /// Censor-model variants for the ablation benches.
@@ -62,12 +70,18 @@ pub enum CensorVariant {
 }
 
 impl TrialConfig {
-    /// A standard censored-exchange trial.
-    pub fn new(country: Country, protocol: AppProtocol, strategy: Strategy, seed: u64) -> Self {
+    /// A standard censored-exchange trial. Accepts an owned
+    /// [`Strategy`] or a shared `Arc<Strategy>`.
+    pub fn new(
+        country: Country,
+        protocol: AppProtocol,
+        strategy: impl Into<Arc<Strategy>>,
+        seed: u64,
+    ) -> Self {
         TrialConfig {
             country: Some(country),
             protocol,
-            strategy,
+            strategy: strategy.into(),
             client_strategy: None,
             os: OsProfile::linux(),
             seed,
@@ -78,13 +92,14 @@ impl TrialConfig {
             censor_variant: CensorVariant::Standard,
             carrier: None,
             event_cap: None,
+            route_via_dplane: false,
         }
     }
 
     /// A private-network trial (no censor): §7 client compatibility.
     pub fn private_network(
         protocol: AppProtocol,
-        strategy: Strategy,
+        strategy: impl Into<Arc<Strategy>>,
         os: OsProfile,
         seed: u64,
     ) -> Self {
@@ -169,6 +184,46 @@ enum Box_ {
     Censor(Box<dyn Middlebox>),
 }
 
+/// The server behind either wire interface: the per-trial interpreter
+/// (`StrategicEndpoint`) or the compiled data plane (`DplaneEndpoint`).
+/// One enum keeps `run_trial`'s simulation code monomorphic.
+enum ServerWrap {
+    Interpreter(StrategicEndpoint<ServerHost<Box<dyn ServerApp>>>),
+    Dplane(DplaneEndpoint<ServerHost<Box<dyn ServerApp>>, FixedClassifier>),
+}
+
+impl ServerWrap {
+    fn responded_any(&self) -> bool {
+        match self {
+            ServerWrap::Interpreter(s) => s.inner.responded_any(),
+            ServerWrap::Dplane(s) => s.inner.responded_any(),
+        }
+    }
+}
+
+impl Endpoint for ServerWrap {
+    fn on_start(&mut self, now: u64, io: &mut Io) {
+        match self {
+            ServerWrap::Interpreter(s) => s.on_start(now, io),
+            ServerWrap::Dplane(s) => s.on_start(now, io),
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, now: u64, io: &mut Io) {
+        match self {
+            ServerWrap::Interpreter(s) => s.on_packet(pkt, now, io),
+            ServerWrap::Dplane(s) => s.on_packet(pkt, now, io),
+        }
+    }
+
+    fn on_wake(&mut self, now: u64, io: &mut Io) {
+        match self {
+            ServerWrap::Interpreter(s) => s.on_wake(now, io),
+            ServerWrap::Dplane(s) => s.on_wake(now, io),
+        }
+    }
+}
+
 /// Run one trial to completion (up to 30 simulated seconds).
 pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     let port = cfg.effective_port();
@@ -195,14 +250,27 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
         Engine::new(
             cfg.client_strategy
                 .clone()
-                .unwrap_or_else(Strategy::identity),
+                .unwrap_or_else(|| Arc::new(Strategy::identity())),
             cfg.seed ^ 0xC0DE,
         ),
     );
-    let server = StrategicEndpoint::new(
-        server_host,
-        Engine::new(cfg.strategy.clone(), cfg.seed ^ 0x5EED),
-    );
+    let server = if cfg.route_via_dplane {
+        ServerWrap::Dplane(DplaneEndpoint::new(
+            server_host,
+            Dplane::new(
+                DplaneConfig {
+                    seed: SeedMode::Fixed(cfg.seed ^ 0x5EED),
+                    ..DplaneConfig::default()
+                },
+                FixedClassifier(Some(Arc::clone(&cfg.strategy))),
+            ),
+        ))
+    } else {
+        ServerWrap::Interpreter(StrategicEndpoint::new(
+            server_host,
+            Engine::new(Arc::clone(&cfg.strategy), cfg.seed ^ 0x5EED),
+        ))
+    };
 
     let middlebox = match (cfg.country, cfg.censor_variant) {
         (None, _) => match cfg.carrier {
@@ -227,7 +295,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             let stop = sim.run(30_000_000);
             TrialResult {
                 outcome: sim.client.inner.outcome(),
-                server_responded: sim.server.inner.responded_any(),
+                server_responded: sim.server.responded_any(),
                 censor_events: 0,
                 stop,
                 truncated: stop.truncated(),
@@ -242,7 +310,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             let stop = sim.run(30_000_000);
             TrialResult {
                 outcome: sim.client.inner.outcome(),
-                server_responded: sim.server.inner.responded_any(),
+                server_responded: sim.server.responded_any(),
                 censor_events: sim.trace.count(|e| {
                     matches!(
                         e,

@@ -1,0 +1,109 @@
+//! The compiled data plane must be a drop-in replacement for the
+//! per-trial interpreter server: same seeds, same packets on the wire,
+//! same Table 2 — bit for bit, not just rate-for-rate.
+
+#![allow(clippy::unwrap_used)] // test code
+
+use appproto::AppProtocol;
+use censor::Country;
+use geneva::library;
+use harness::experiments::table2_via;
+use harness::{run_trial, TrialConfig};
+use netsim::pcap::{to_pcap, CaptureAt};
+
+/// Run the same trial through the interpreter and through `dplane`
+/// and demand byte-identical middlebox captures plus matching
+/// outcomes.
+fn assert_trial_identical(
+    country: Country,
+    proto: AppProtocol,
+    strategy: geneva::Strategy,
+    seed: u64,
+) {
+    let mut interp = TrialConfig::new(country, proto, strategy.clone(), seed);
+    interp.route_via_dplane = false;
+    let mut compiled = TrialConfig::new(country, proto, strategy, seed);
+    compiled.route_via_dplane = true;
+
+    let a = run_trial(&interp);
+    let b = run_trial(&compiled);
+
+    assert_eq!(
+        a.outcome, b.outcome,
+        "{country:?}/{proto} seed {seed}: outcome diverged"
+    );
+    assert_eq!(a.server_responded, b.server_responded);
+    assert_eq!(a.censor_events, b.censor_events);
+    assert_eq!(a.truncated, b.truncated);
+    for at in [CaptureAt::Client, CaptureAt::Server, CaptureAt::Middlebox] {
+        assert_eq!(
+            to_pcap(&a.trace, at),
+            to_pcap(&b.trace, at),
+            "{country:?}/{proto} seed {seed}: {at:?} capture diverged"
+        );
+    }
+}
+
+#[test]
+fn trials_bit_identical_via_dplane() {
+    // No evasion, a deterministic strategy, and the randomized-corrupt
+    // Strategy 1 (exercises the per-site tamper PRNG through the
+    // compiled path), across countries/protocols/seeds.
+    for seed in [1u64, 7, 42] {
+        assert_trial_identical(
+            Country::China,
+            AppProtocol::Http,
+            geneva::Strategy::identity(),
+            seed,
+        );
+        assert_trial_identical(
+            Country::China,
+            AppProtocol::Smtp,
+            library::STRATEGY_8.strategy(),
+            seed,
+        );
+        assert_trial_identical(
+            Country::China,
+            AppProtocol::Http,
+            library::STRATEGY_1.strategy(),
+            seed,
+        );
+    }
+    assert_trial_identical(
+        Country::Kazakhstan,
+        AppProtocol::Https,
+        library::STRATEGY_10.strategy(),
+        3,
+    );
+    assert_trial_identical(
+        Country::India,
+        AppProtocol::Http,
+        library::STRATEGY_8.strategy(),
+        5,
+    );
+}
+
+#[test]
+fn table2_bit_identical_via_dplane() {
+    // Small but real: every measured cell of the paper's headline
+    // table, twice — interpreter server vs. compiled dplane server —
+    // must agree cell-for-cell.
+    let interp = table2_via(2, 1, false);
+    let compiled = table2_via(2, 1, true);
+    assert_eq!(interp.rows.len(), compiled.rows.len());
+    for (ra, rb) in interp.rows.iter().zip(&compiled.rows) {
+        assert_eq!(ra.country, rb.country);
+        assert_eq!(ra.strategy_id, rb.strategy_id);
+        for ((pa, ea), (pb, eb)) in ra.rates.iter().zip(&rb.rates) {
+            assert_eq!(pa, pb);
+            assert_eq!(
+                ea.map(|e| (e.successes, e.trials)),
+                eb.map(|e| (e.successes, e.trials)),
+                "{:?} strategy {} {pa}: Table 2 cell diverged via dplane",
+                ra.country,
+                ra.strategy_id
+            );
+        }
+    }
+    assert_eq!(compiled.truncated_trials(), 0);
+}

@@ -57,7 +57,7 @@ pub use field::{FieldRef, FieldValue, Proto};
 pub use flags::TcpFlags;
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
-pub use packet::{Packet, Transport};
+pub use packet::{FlowKey, Packet, Transport};
 pub use tcp::{TcpHeader, TcpOption};
 pub use udp::UdpHeader;
 

@@ -14,16 +14,20 @@
 //! * [`geneva`] — the Geneva DSL and packet-manipulation engine.
 //! * [`censor`] — behavioral models of the GFW, Airtel, Iran, Kazakhstan.
 //! * [`evolve`] — the genetic algorithm discovering strategies.
+//! * [`strata`] — static analysis over Geneva strategies.
+//! * [`dplane`] — the compiled, sharded server-side evasion data plane.
 //! * [`harness`] — experiment drivers reproducing every table & figure.
 
 pub use appproto;
 pub use censor;
+pub use dplane;
 pub use endpoint;
 pub use evolve;
 pub use geneva;
 pub use harness;
 pub use netsim;
 pub use packet;
+pub use strata;
 
 /// Shared command-line plumbing for the `cay` binary and the examples.
 pub mod cli {

@@ -13,7 +13,9 @@
 //! cay lint <strategy-dsl>        static analysis: canonical form + diagnostics
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
+//! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON
 //! cay bench [trials] [out.json]  pool throughput baseline (jobs=1 vs jobs=N)
+//!                                + compiled-data-plane bench (BENCH_dplane.json)
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to pin the trial-executor
@@ -23,8 +25,15 @@
 
 use appproto::AppProtocol;
 use censor::Country;
+use dplane::{Dplane, DplaneConfig, FlowConfig, PcapReplay, Program, SeedMode, VecIo};
 use harness::experiments;
 use harness::{run_trial, success_rate, Throughput, TrialConfig};
+use packet::{Packet, TcpFlags};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The public server address every simulated exchange targets.
+const SERVER_ADDR: [u8; 4] = [93, 184, 216, 34];
 
 fn main() {
     let args = come_as_you_are::cli::args_with_jobs();
@@ -192,6 +201,49 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 result.outcome
             );
         }
+        Some("dplane") => {
+            // `cay dplane [shards]` runs a synthetic multi-country
+            // workload; `cay dplane <file.pcap> [shards]` replays a
+            // capture (e.g. one written by `cay pcap`). Either way the
+            // per-shard metrics print as one JSON document.
+            let (pcap_path, shards) = match args.get(1).map(String::as_str) {
+                Some(s) if s.parse::<usize>().is_ok() => (None, s.parse().unwrap_or(4)),
+                Some(s) => (
+                    Some(s),
+                    args.get(2).and_then(|x| x.parse().ok()).unwrap_or(4),
+                ),
+                None => (None, 4),
+            };
+            let cfg = DplaneConfig {
+                flow: FlowConfig {
+                    shards,
+                    ..FlowConfig::default()
+                },
+                seed: SeedMode::PerFlow(0x0D1A),
+            };
+            let mut dp = Dplane::new(cfg, geo_classifier());
+            match pcap_path {
+                Some(path) => {
+                    let data = std::fs::read(path).expect("read pcap file");
+                    let mut replay = PcapReplay::from_bytes(&data).expect("not a µs-pcap stream");
+                    let n = dp.pump(&mut replay, SERVER_ADDR);
+                    eprintln!(
+                        "replayed {n} packets from {path} ({} emitted, {} records skipped)",
+                        replay.emitted, replay.skipped
+                    );
+                }
+                None => {
+                    let mut io = VecIo::new(dplane_workload(64, 8));
+                    let n = dp.pump(&mut io, SERVER_ADDR);
+                    eprintln!(
+                        "synthetic workload: {n} packets in, {} out, {} flows live",
+                        io.output.len(),
+                        dp.flows_live()
+                    );
+                }
+            }
+            println!("{}", dp.metrics().to_json());
+        }
         Some("bench") => {
             let trials_per_run = trials(300);
             let out_path = args.get(2).map(String::as_str).unwrap_or("BENCH_pool.json");
@@ -246,12 +298,171 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
             );
             std::fs::write(out_path, &json).expect("write bench json");
             println!("wrote {out_path}: speedup {speedup:.2}x at jobs={auto}, estimates identical");
+
+            let dplane_path = args
+                .get(3)
+                .map(String::as_str)
+                .unwrap_or("BENCH_dplane.json");
+            let json = bench_dplane();
+            std::fs::write(dplane_path, &json).expect("write dplane bench json");
+            println!("wrote {dplane_path}");
         }
         _ => {
             eprintln!(
-                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap|bench> [args]"
+                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap|dplane|bench> [args]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// §8-style per-client classification for the data plane: locate the
+/// flow's client in the demo geo table and deploy the top recommended
+/// (client-OS-safe) strategy for that country; unknown clients pass
+/// through untouched.
+fn geo_classifier() -> impl FnMut(&Packet) -> Option<Arc<geneva::Strategy>> + Send {
+    let table = harness::deploy::demo_geo_table();
+    move |pkt: &Packet| {
+        harness::deploy::pick_for_client(pkt.ip.src, AppProtocol::Http, &table)
+            .map(|named| Arc::new(named.strategy()))
+    }
+}
+
+/// Synthetic multi-country workload: `flows` TCP flows from clients
+/// spread over the demo geo table's prefixes (plus unlisted clients
+/// that must pass through untouched), each a SYN, a request, and
+/// `responses` server data packets.
+fn dplane_workload(flows: u32, responses: u32) -> Vec<(u64, Packet)> {
+    // The 4 demo-table countries, plus one prefix the table does not
+    // cover at all.
+    let prefixes: [[u8; 2]; 5] = [[10, 7], [10, 91], [10, 98], [10, 77], [172, 16]];
+    let mut pkts = Vec::new();
+    let mut now = 0u64;
+    for i in 0..flows {
+        let [p0, p1] = prefixes[usize::try_from(i).unwrap_or(0) % prefixes.len()];
+        let client = [
+            p0,
+            p1,
+            1,
+            u8::try_from(i % 250).unwrap_or(0).wrapping_add(2),
+        ];
+        let port = 40_000 + u16::try_from(i % 20_000).unwrap_or(0);
+        now += 10;
+        let mut syn = Packet::tcp(client, port, SERVER_ADDR, 80, TcpFlags::SYN, 100, 0, vec![]);
+        syn.finalize();
+        pkts.push((now, syn));
+        now += 10;
+        let mut req = Packet::tcp(
+            client,
+            port,
+            SERVER_ADDR,
+            80,
+            TcpFlags::PSH_ACK,
+            101,
+            9001,
+            b"GET /forbidden HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec(),
+        );
+        req.finalize();
+        pkts.push((now, req));
+        let mut seq = 9001u32;
+        for _ in 0..responses {
+            now += 10;
+            let body = vec![b'x'; 200];
+            let len = u32::try_from(body.len()).unwrap_or(0);
+            let mut resp = Packet::tcp(
+                SERVER_ADDR,
+                80,
+                client,
+                port,
+                TcpFlags::PSH_ACK,
+                seq,
+                101,
+                body,
+            );
+            resp.finalize();
+            pkts.push((now, resp));
+            seq = seq.wrapping_add(len);
+        }
+    }
+    pkts
+}
+
+/// The compiled-data-plane bench behind `cay bench`: per-packet
+/// strategy application (interpreter vs. compiled program), then the
+/// assembled data plane at 1/2/8 shards over the same workload —
+/// asserting the aggregate metrics are bit-identical before reporting
+/// packets/second.
+fn bench_dplane() -> String {
+    let strategy = geneva::library::STRATEGY_1.strategy();
+    let workload = dplane_workload(64, 8);
+    let server_pkts: Vec<&Packet> = workload
+        .iter()
+        .filter(|(_, p)| p.ip.src == SERVER_ADDR)
+        .map(|(_, p)| p)
+        .collect();
+    let reps = 200u32;
+    let applications = server_pkts.len() as f64 * f64::from(reps);
+
+    let mut engine = geneva::Engine::new(strategy.clone(), 0xBE9C);
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for pkt in &server_pkts {
+            sink += engine.apply_outbound(pkt).len();
+        }
+    }
+    let interp_pps = applications / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let program = Program::compile(&strategy);
+    let (mut out, mut scratch) = (Vec::new(), Vec::new());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for pkt in &server_pkts {
+            out.clear();
+            program.apply_outbound(pkt, 0xBE9C, &mut out, &mut scratch);
+            sink += out.len();
+        }
+    }
+    let compiled_pps = applications / t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(sink > 0, "bench produced no packets");
+
+    let mut shard_runs = Vec::new();
+    let mut baseline = None;
+    for shards in [1usize, 2, 8] {
+        let cfg = DplaneConfig {
+            flow: FlowConfig {
+                shards,
+                ..FlowConfig::default()
+            },
+            seed: SeedMode::PerFlow(0x0D1A),
+        };
+        let mut dp = Dplane::new(cfg, geo_classifier());
+        let mut replay = PcapReplay::from_packets(workload.clone());
+        let t0 = Instant::now();
+        let n = dp.pump(&mut replay, SERVER_ADDR);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let report = dp.metrics();
+        let totals = report.totals();
+        match &baseline {
+            None => baseline = Some((totals, report.strategies.clone())),
+            Some((t, s)) => {
+                assert_eq!(*t, totals, "aggregate metrics depend on shard count");
+                assert_eq!(*s, report.strategies, "strategy set depends on shard count");
+            }
+        }
+        shard_runs.push(format!(
+            "{{\"shards\":{shards},\"packets\":{n},\"emitted\":{},\"pps\":{:.0}}}",
+            replay.emitted,
+            n as f64 / secs
+        ));
+    }
+    format!
+        ("{{\"bench\":\"dplane\",\"strategy\":{:?},\"applications\":{:.0},\"interp_pps\":{:.0},\"compiled_pps\":{:.0},\"compiled_speedup\":{:.2},\"shard_runs\":[{}]}}\n",
+        geneva::library::STRATEGY_1.name,
+        applications,
+        interp_pps,
+        compiled_pps,
+        compiled_pps / interp_pps.max(1e-9),
+        shard_runs.join(","),
+    )
 }
