@@ -16,8 +16,26 @@
 //! with reduced trial counts so `cargo bench` completes in minutes;
 //! crank the constants for tighter confidence intervals.
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc;
+
 /// Trials per cell used by the table/figure benches.
 pub const BENCH_TRIALS: u32 = 25;
+
+/// Allocation calls observed so far, when the binary was built with
+/// the `count-allocs` feature (and its counting global allocator is
+/// installed); `None` otherwise. Bench code subtracts two readings to
+/// report allocations per packet without caring about the feature.
+pub fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        Some(alloc::allocation_count())
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
 
 /// A Criterion configured for the heavy experiment drivers.
 pub fn experiment_criterion() -> criterion::Criterion {

@@ -31,7 +31,37 @@ use crate::metrics::ShardMetrics;
 use crate::program::Program;
 use packet::FlowKey;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// FNV-1a for the per-shard flow maps. The default SipHash costs more
+/// than the rest of the steady-state lookup combined, and its
+/// DoS-resistant random keying is exactly what the shard contract must
+/// avoid (plus iteration order is never observable here: eviction picks
+/// victims by tick, not by map order).
+#[derive(Clone)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// Sizing and expiry knobs for a [`FlowTable`].
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +97,7 @@ struct FlowEntry {
 }
 
 struct Shard {
-    flows: HashMap<FlowKey, FlowEntry>,
+    flows: HashMap<FlowKey, FlowEntry, FnvBuild>,
     metrics: ShardMetrics,
 }
 
@@ -107,7 +137,7 @@ impl FlowTable {
         FlowTable {
             shards: (0..cfg.shards)
                 .map(|_| Shard {
-                    flows: HashMap::new(),
+                    flows: HashMap::default(),
                     metrics: ShardMetrics::default(),
                 })
                 .collect(),
@@ -134,7 +164,11 @@ impl FlowTable {
     }
 
     /// Deterministic shard placement: FNV-1a of the canonical key.
+    /// (With one shard there is nothing to place — skip the hash.)
     pub fn shard_of(&self, key: &FlowKey) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -162,53 +196,59 @@ impl FlowTable {
         self.tick += 1;
         let tick = self.tick;
 
-        // Exact idle expiry for this key, independent of sweep timing.
-        let stale = self.shards[shard]
-            .flows
-            .get(&key)
-            .is_some_and(|e| now.saturating_sub(e.last_seen) > self.cfg.idle_timeout);
-        if stale {
-            self.shards[shard].flows.remove(&key);
-            self.shards[shard].metrics.evicted_idle += 1;
-            self.len -= 1;
-        }
-
-        let created = if let Some(entry) = self.shards[shard].flows.get_mut(&key) {
-            entry.last_seen = now;
-            entry.last_tick = tick;
-            entry.packets += 1;
-            false
-        } else {
-            if self.len >= self.cfg.capacity {
-                self.evict_lru();
+        // Steady-state fast path: a live, fresh entry costs exactly one
+        // map lookup. A stale entry expires here (exact idle expiry for
+        // this key, independent of sweep timing) and falls through to
+        // the creation path.
+        let timeout = self.cfg.idle_timeout;
+        let s = &mut self.shards[shard];
+        match s.flows.get_mut(&key) {
+            Some(entry) if now.saturating_sub(entry.last_seen) <= timeout => {
+                entry.last_seen = now;
+                entry.last_tick = tick;
+                entry.packets += 1;
+                let touch = Touch {
+                    program: entry.program.clone(),
+                    seed: entry.seed,
+                    shard,
+                    created: false,
+                };
+                s.metrics.packets += 1;
+                return touch;
             }
-            let (program, seed) = classify();
-            self.shards[shard].flows.insert(
-                key,
-                FlowEntry {
-                    program,
-                    seed,
-                    last_seen: now,
-                    last_tick: tick,
-                    packets: 1,
-                },
-            );
-            self.shards[shard].metrics.flows_created += 1;
-            self.len += 1;
-            true
-        };
-        self.shards[shard].metrics.packets += 1;
-
-        let entry = self.shards[shard]
-            .flows
-            .get(&key)
-            .expect("entry just inserted or touched");
-        Touch {
-            program: entry.program.clone(),
-            seed: entry.seed,
-            shard,
-            created,
+            Some(_) => {
+                s.flows.remove(&key);
+                s.metrics.evicted_idle += 1;
+                self.len -= 1;
+            }
+            None => {}
         }
+
+        if self.len >= self.cfg.capacity {
+            self.evict_lru();
+        }
+        let (program, seed) = classify();
+        let touch = Touch {
+            program: program.clone(),
+            seed,
+            shard,
+            created: true,
+        };
+        let s = &mut self.shards[shard];
+        s.flows.insert(
+            key,
+            FlowEntry {
+                program,
+                seed,
+                last_seen: now,
+                last_tick: tick,
+                packets: 1,
+            },
+        );
+        s.metrics.flows_created += 1;
+        s.metrics.packets += 1;
+        self.len += 1;
+        touch
     }
 
     /// Count one strategy application against `shard`.

@@ -137,10 +137,7 @@ impl<C: Classifier> Dplane<C> {
 
     fn process(&mut self, pkt: &Packet, now: u64, out: &mut Vec<Packet>, outbound: bool) {
         let key = pkt.flow_key();
-        let seed = match self.seed_mode {
-            SeedMode::Fixed(seed) => seed,
-            SeedMode::PerFlow(base) => flow_seed(base, &key),
-        };
+        let seed_mode = self.seed_mode;
         let Dplane {
             classifier,
             programs,
@@ -148,7 +145,14 @@ impl<C: Classifier> Dplane<C> {
             scratch,
             ..
         } = self;
+        // Seed derivation happens inside the creation closure: it is a
+        // pure function of the key, and the steady-state path (flow
+        // already live) never needs it.
         let touch = flows.touch(key, now, || {
+            let seed = match seed_mode {
+                SeedMode::Fixed(seed) => seed,
+                SeedMode::PerFlow(base) => flow_seed(base, &key),
+            };
             let program = classifier
                 .classify(pkt)
                 .map(|s| programs.get_or_compile(&s));

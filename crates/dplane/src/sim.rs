@@ -22,6 +22,10 @@ pub struct DplaneEndpoint<E, C: Classifier> {
     pub dplane: Dplane<C>,
     /// Rewritten-inbound scratch (reused across packets).
     rewritten: Vec<Packet>,
+    /// Outbound-emission scratch: the host's packets are swapped in
+    /// here while the data plane writes the transformed stream back
+    /// into `io.out`, so steady-state forwarding reuses both buffers.
+    emitted: Vec<Packet>,
 }
 
 impl<E: Endpoint, C: Classifier> DplaneEndpoint<E, C> {
@@ -31,12 +35,14 @@ impl<E: Endpoint, C: Classifier> DplaneEndpoint<E, C> {
             inner,
             dplane,
             rewritten: Vec::new(),
+            emitted: Vec::new(),
         }
     }
 
     fn transform_out(&mut self, now: u64, io: &mut Io) {
-        let emitted = std::mem::take(&mut io.out);
-        for pkt in emitted {
+        std::mem::swap(&mut io.out, &mut self.emitted);
+        io.out.clear();
+        for pkt in self.emitted.drain(..) {
             self.dplane.process_outbound(&pkt, now, &mut io.out);
         }
     }

@@ -864,7 +864,7 @@ mod tests {
             vec![],
         );
         let more = deliver(&mut c, &[ack]);
-        let sent: Vec<u8> = more.iter().flat_map(|p| p.payload.clone()).collect();
+        let sent: Vec<u8> = more.iter().flat_map(|p| p.payload.to_vec()).collect();
         assert_eq!(sent, b"trasurf HTTP/1.1\r\n\r\n");
     }
 

@@ -110,7 +110,7 @@ proptest! {
         let mut sent: Vec<(u32, Vec<u8>)> = out
             .iter()
             .filter(|p| !p.payload.is_empty())
-            .map(|p| (p.tcp_header().unwrap().seq, p.payload.clone()))
+            .map(|p| (p.tcp_header().unwrap().seq, p.payload.to_vec()))
             .collect();
         sent.sort_by_key(|(seq, _)| *seq);
         let mut stitched = Vec::new();

@@ -24,8 +24,9 @@
 // fields are specified modulo their width.
 #![allow(clippy::cast_possible_truncation)]
 use crate::ast::{Action, Strategy, TamperMode};
+use packet::checksum::{incremental_update, incremental_update32};
 use packet::field::{FieldKind, FieldRef, FieldValue};
-use packet::{Packet, Proto, TcpFlags};
+use packet::{Packet, Proto, TcpFlags, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -55,23 +56,38 @@ impl Engine {
     /// Apply the outbound ruleset to one packet the host wants to send.
     /// Returns the packets that actually hit the wire, in order.
     pub fn apply_outbound(&mut self, pkt: &Packet) -> Vec<Packet> {
-        Self::apply(&self.strategy.outbound, pkt, self.seed)
+        let mut out = Vec::new();
+        Self::apply(&self.strategy.outbound, pkt, self.seed, &mut out);
+        out
     }
 
     /// Apply the inbound ruleset to one received packet.
     pub fn apply_inbound(&mut self, pkt: &Packet) -> Vec<Packet> {
-        Self::apply(&self.strategy.inbound, pkt, self.seed)
+        let mut out = Vec::new();
+        Self::apply(&self.strategy.inbound, pkt, self.seed, &mut out);
+        out
     }
 
-    fn apply(parts: &[crate::ast::StrategyPart], pkt: &Packet, seed: u64) -> Vec<Packet> {
+    /// [`Engine::apply_outbound`] into a caller-owned buffer: appends
+    /// the emitted packets to `out` so steady-state callers can reuse
+    /// one allocation across the whole stream.
+    pub fn apply_outbound_into(&mut self, pkt: &Packet, out: &mut Vec<Packet>) {
+        Self::apply(&self.strategy.outbound, pkt, self.seed, out);
+    }
+
+    /// [`Engine::apply_inbound`] into a caller-owned buffer (appends).
+    pub fn apply_inbound_into(&mut self, pkt: &Packet, out: &mut Vec<Packet>) {
+        Self::apply(&self.strategy.inbound, pkt, self.seed, out);
+    }
+
+    fn apply(parts: &[crate::ast::StrategyPart], pkt: &Packet, seed: u64, out: &mut Vec<Packet>) {
         for part in parts {
             if part.trigger.matches(pkt) {
-                let mut out = Vec::new();
-                run(&part.action, pkt.clone(), seed, &mut out);
-                return out;
+                run(&part.action, pkt.clone(), seed, out);
+                return;
             }
         }
-        vec![pkt.clone()]
+        out.push(pkt.clone());
     }
 }
 
@@ -119,11 +135,84 @@ pub fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -
         TamperMode::Replace(v) => v.clone(),
         TamperMode::Corrupt => corrupt_value(field, &pkt, seed),
     };
+    if !field.is_derived() && tamper_incremental(&mut pkt, field, &value) {
+        return pkt;
+    }
     let _ = field.set(&mut pkt, &value);
     if !field.is_derived() {
         pkt.finalize();
     }
     pkt
+}
+
+/// The common single-field tampers (`IP:ttl`, `TCP:flags`, `TCP:seq`)
+/// patched with an RFC 1624 incremental checksum update instead of a
+/// full [`Packet::finalize`]. Returns `true` when the patch was applied
+/// (the packet is then exactly what `set` + `finalize` would produce).
+///
+/// The patch must reproduce `finalize` byte-for-byte, and `finalize`
+/// repairs invalid checksums and rewrites desynchronized derived
+/// fields, while an incremental update preserves whatever is stored.
+/// So the fast path only fires when finalize would change nothing but
+/// the tampered word: derived fields canonical and both stored
+/// checksums verifying. Stored `0xFFFF` is excluded — it verifies (it
+/// shares `0x0000`'s ones'-complement class) but is never the value a
+/// recompute writes, so patching it would preserve a byte `finalize`
+/// would rewrite.
+fn tamper_incremental(pkt: &mut Packet, field: &FieldRef, value: &FieldValue) -> bool {
+    #[derive(Clone, Copy)]
+    enum Site {
+        IpTtl,
+        TcpSeq,
+        TcpFlags,
+    }
+    let site = match (field.proto, field.name.as_str()) {
+        (Proto::Ip, "ttl") => Site::IpTtl,
+        (Proto::Tcp, "seq") => Site::TcpSeq,
+        (Proto::Tcp, "flags") => Site::TcpFlags,
+        _ => return false,
+    };
+    // UDP's zero-means-disabled checksum has its own finalize
+    // semantics; keep the fast path TCP-only.
+    let Transport::Tcp(tcp) = &pkt.transport else {
+        return false;
+    };
+    if pkt.ip.checksum == 0xFFFF || tcp.checksum == 0xFFFF {
+        return false;
+    }
+    let offset_byte = (tcp.data_offset << 4) | (tcp.reserved & 0x0F);
+    let old_seq = tcp.seq;
+    let old_flags_word = u16::from_be_bytes([offset_byte, tcp.flags.0]);
+    let old_ttl_word = u16::from_be_bytes([pkt.ip.ttl, pkt.ip.protocol]);
+    if !pkt.derived_fields_canonical() || !pkt.checksums_ok() {
+        return false;
+    }
+    // Replicate `set` exactly (range checks, flag-string parsing) by
+    // calling it; a rejected value leaves the packet untouched, and
+    // finalize on this already-canonical packet would be a no-op.
+    if field.set(pkt, value).is_err() {
+        return true;
+    }
+    match site {
+        Site::IpTtl => {
+            let new = u16::from_be_bytes([pkt.ip.ttl, pkt.ip.protocol]);
+            pkt.ip.checksum = incremental_update(pkt.ip.checksum, old_ttl_word, new);
+        }
+        Site::TcpSeq => {
+            let Transport::Tcp(tcp) = &mut pkt.transport else {
+                unreachable!("transport checked above");
+            };
+            tcp.checksum = incremental_update32(tcp.checksum, old_seq, tcp.seq);
+        }
+        Site::TcpFlags => {
+            let Transport::Tcp(tcp) = &mut pkt.transport else {
+                unreachable!("transport checked above");
+            };
+            let new = u16::from_be_bytes([offset_byte, tcp.flags.0]);
+            tcp.checksum = incremental_update(tcp.checksum, old_flags_word, new);
+        }
+    }
+    true
 }
 
 /// A random value of the field's width. Payload corruption keeps the
@@ -180,11 +269,13 @@ pub fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet
                 return (pkt, None);
             }
             let cut = offset.clamp(1, pkt.payload.len() - 1);
+            // Both fragments window the original payload's backing
+            // buffer — no bytes are copied.
             let mut first = pkt.clone();
-            first.payload = pkt.payload[..cut].to_vec();
+            first.payload = pkt.payload.slice(0..cut);
             first.finalize();
             let mut second = pkt;
-            second.payload = second.payload[cut..].to_vec();
+            second.payload = second.payload.slice(cut..second.payload.len());
             if let Some(tcp) = second.tcp_header_mut() {
                 tcp.seq = tcp.seq.wrapping_add(cut as u32);
             }
@@ -200,11 +291,11 @@ pub fn split(pkt: Packet, proto: Proto, offset: usize) -> (Packet, Option<Packet
             }
             let cut = (offset.max(8) / 8 * 8).min(pkt.payload.len() - 8);
             let mut first = pkt.clone();
-            first.payload = pkt.payload[..cut].to_vec();
+            first.payload = pkt.payload.slice(0..cut);
             first.ip.flags |= packet::Ipv4Header::FLAG_MF;
             first.finalize();
             let mut second = pkt;
-            second.payload = second.payload[cut..].to_vec();
+            second.payload = second.payload.slice(cut..second.payload.len());
             second.ip.fragment_offset = (cut / 8) as u16;
             if let Some(tcp) = second.tcp_header_mut() {
                 tcp.seq = tcp.seq.wrapping_add(cut as u32);
@@ -342,7 +433,7 @@ mod tests {
     fn tcp_segmentation_splits_payload_and_seq() {
         let mut pkt = syn_ack();
         pkt.tcp_header_mut().unwrap().flags = TcpFlags::PSH_ACK;
-        pkt.payload = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n".to_vec();
+        pkt.payload = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n".to_vec().into();
         pkt.finalize();
         let mut e = engine("[TCP:flags:PA]-fragment{TCP:10:True}(,)-| \\/ ");
         let out = e.apply_outbound(&pkt);
@@ -360,7 +451,7 @@ mod tests {
     fn out_of_order_segmentation_swaps_emission() {
         let mut pkt = syn_ack();
         pkt.tcp_header_mut().unwrap().flags = TcpFlags::PSH_ACK;
-        pkt.payload = b"abcdefgh".to_vec();
+        pkt.payload = b"abcdefgh".to_vec().into();
         pkt.finalize();
         let mut e = engine("[TCP:flags:PA]-fragment{TCP:4:False}(,)-| \\/ ");
         let out = e.apply_outbound(&pkt);

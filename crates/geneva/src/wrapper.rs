@@ -19,18 +19,30 @@ pub struct StrategicEndpoint<E> {
     pub inner: E,
     /// The strategy engine.
     pub engine: Engine,
+    /// Steady-state scratch: the emitted packets are swapped in here
+    /// while the rewritten stream is built back into `io.out`, so the
+    /// per-call buffer churn of `mem::take` never hits the allocator.
+    scratch: Vec<Packet>,
+    /// Scratch for the inbound rewrite of one received packet.
+    in_scratch: Vec<Packet>,
 }
 
 impl<E: Endpoint> StrategicEndpoint<E> {
     /// Wrap `inner` with `engine`.
     pub fn new(inner: E, engine: Engine) -> Self {
-        StrategicEndpoint { inner, engine }
+        StrategicEndpoint {
+            inner,
+            engine,
+            scratch: Vec::new(),
+            in_scratch: Vec::new(),
+        }
     }
 
     fn transform_out(&mut self, io: &mut Io) {
-        let emitted = std::mem::take(&mut io.out);
-        for pkt in emitted {
-            io.out.extend(self.engine.apply_outbound(&pkt));
+        std::mem::swap(&mut io.out, &mut self.scratch);
+        io.out.clear();
+        for pkt in self.scratch.drain(..) {
+            self.engine.apply_outbound_into(&pkt, &mut io.out);
         }
     }
 }
@@ -42,9 +54,13 @@ impl<E: Endpoint> Endpoint for StrategicEndpoint<E> {
     }
 
     fn on_packet(&mut self, pkt: Packet, now: u64, io: &mut Io) {
-        for rewritten in self.engine.apply_inbound(&pkt) {
-            self.inner.on_packet(rewritten, now, io);
+        let mut rewritten = std::mem::take(&mut self.in_scratch);
+        rewritten.clear();
+        self.engine.apply_inbound_into(&pkt, &mut rewritten);
+        for p in rewritten.drain(..) {
+            self.inner.on_packet(p, now, io);
         }
+        self.in_scratch = rewritten;
         self.transform_out(io);
     }
 

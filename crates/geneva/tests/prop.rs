@@ -165,3 +165,71 @@ proptest! {
         prop_assert_eq!(engine.apply_outbound(&pkt), vec![pkt]);
     }
 }
+
+// Invariant 4 (added with the incremental-checksum fast path): for the
+// fields `engine::tamper` may patch incrementally (IP:ttl, TCP:seq,
+// TCP:flags), its output is structurally and byte-identical to the
+// reference slow path — `FieldRef::set` followed by a full
+// `Packet::finalize` — on valid packets, on packets whose checksums
+// were deliberately broken (insertion packets), and on packets with
+// TCP options. The fast path must be an invisible optimization.
+proptest! {
+    #[test]
+    fn tamper_fast_path_matches_set_plus_finalize(
+        flags in any::<u8>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        with_options in any::<bool>(),
+        break_ip_ck in any::<bool>(),
+        break_tcp_ck in any::<u16>(),
+        which in 0usize..3,
+        raw in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut pkt = Packet::tcp(
+            [20, 0, 0, 9],
+            80,
+            [10, 0, 0, 1],
+            40000,
+            TcpFlags(flags),
+            seq,
+            ack,
+            payload,
+        );
+        if with_options {
+            pkt.tcp_header_mut().unwrap().options =
+                vec![packet::TcpOption::Mss(1460), packet::TcpOption::Nop];
+        }
+        pkt.finalize();
+        // Insertion-style packets carry deliberately broken checksums;
+        // the tamper semantics (finalize repairs them) must not change.
+        if break_ip_ck {
+            pkt.ip.checksum ^= 0x0F0F;
+        }
+        pkt.tcp_header_mut().unwrap().checksum ^= break_tcp_ck;
+
+        let (name, value) = match which {
+            0 => ("IP:ttl", FieldValue::Num(raw & 0xFF)),
+            1 => ("TCP:seq", FieldValue::Num(raw & 0xFFFF_FFFF)),
+            _ => (
+                "TCP:flags",
+                FieldValue::Str(TcpFlags(raw as u8).to_geneva()),
+            ),
+        };
+        let field = FieldRef::parse(name).unwrap();
+
+        let mut reference = pkt.clone();
+        let _ = field.set(&mut reference, &value);
+        reference.finalize();
+
+        let fast = geneva::engine::tamper(
+            pkt,
+            &field,
+            &TamperMode::Replace(value),
+            seed,
+        );
+        prop_assert_eq!(&fast, &reference, "structural divergence on {}", name);
+        prop_assert_eq!(fast.serialize(), reference.serialize());
+    }
+}

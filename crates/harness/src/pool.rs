@@ -103,9 +103,17 @@ impl Pool {
             return (0..n).map(f).collect();
         }
 
+        // Work is handed out in contiguous chunks rather than one index
+        // at a time: one atomic bump covers `chunk` tasks, each worker
+        // appends a chunk's results into a contiguous run, and the
+        // scatter step concatenates whole runs instead of placing every
+        // result through an `Option` slot. ~4 chunks per worker keeps
+        // dynamic load balancing while shrinking the per-task overhead
+        // that made many-worker runs slower than serial ones.
         let next = AtomicUsize::new(0);
         let workers = self.workers.min(n);
-        let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        let chunk = (n / (workers * 4)).max(1);
+        let mut buckets: Vec<Vec<(usize, Vec<T>)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -113,11 +121,14 @@ impl Pool {
                         IN_POOL_WORKER.with(|flag| flag.set(true));
                         let mut local = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
                                 break;
                             }
-                            local.push((i, f(i)));
+                            let end = (start + chunk).min(n);
+                            let mut run = Vec::with_capacity(end - start);
+                            run.extend((start..end).map(&f));
+                            local.push((start, run));
                         }
                         local
                     })
@@ -129,15 +140,17 @@ impl Pool {
         });
 
         // Scatter back into index order — the step that makes the
-        // reduction independent of scheduling.
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (i, value) in buckets.into_iter().flatten() {
-            slots[i] = Some(value);
+        // reduction independent of scheduling. Runs are disjoint and
+        // cover `0..n`, so sorting by start index and concatenating
+        // reproduces the serial order.
+        let mut runs: Vec<(usize, Vec<T>)> = buckets.into_iter().flatten().collect();
+        runs.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, run) in runs {
+            out.extend(run);
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every index produced"))
-            .collect()
+        debug_assert_eq!(out.len(), n);
+        out
     }
 }
 

@@ -68,7 +68,22 @@ impl RateEstimate {
         let z2 = 1.96_f64 * 1.96;
         let center = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
         let half = self.margin();
-        ((center - half).max(0.0), (center + half).min(1.0))
+        // At p̂ = 1 the upper bound is algebraically exact:
+        // (1 + z²/2n + z²/2n)/(1 + z²/n) ≡ 1 (symmetrically 0 at
+        // p̂ = 0), but the two divisions leave a one-ulp residue.
+        // Pin the endpoints so callers comparing against the exact
+        // boundary agree with the algebra.
+        let lo = if self.successes == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
+        let hi = if self.successes == self.trials {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
+        (lo, hi)
     }
 }
 

@@ -62,7 +62,7 @@ impl<M: Middlebox> Middlebox for FaultInjector<M> {
                 }
             } else {
                 let at = self.rng.gen_range(0..mangled.payload.len());
-                mangled.payload[at] ^= 1u8 << self.rng.gen_range(0u8..8);
+                mangled.payload.make_mut()[at] ^= 1u8 << self.rng.gen_range(0u8..8);
             }
             // NOT finalized: the stored checksum no longer matches.
             return self.inner.process(&mangled, dir, now);

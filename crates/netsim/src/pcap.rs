@@ -40,6 +40,7 @@ pub fn to_pcap(trace: &Trace, at: CaptureAt) -> Vec<u8> {
     out.extend_from_slice(&SNAPLEN.to_le_bytes());
     out.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
 
+    let mut bytes = Vec::new(); // per-record scratch, reused
     for event in &trace.events {
         #[allow(clippy::match_like_matches_macro)] // the arm table reads as a policy
         let visible = match (at, event) {
@@ -78,7 +79,8 @@ pub fn to_pcap(trace: &Trace, at: CaptureAt) -> Vec<u8> {
         let t = event.time();
         // Raw-serialize so deliberately broken checksums stay broken in
         // the capture, exactly as they were on the simulated wire.
-        let bytes = event.packet().serialize_raw();
+        bytes.clear();
+        event.packet().serialize_raw_into(&mut bytes);
         out.extend_from_slice(&((t / 1_000_000) as u32).to_le_bytes());
         out.extend_from_slice(&((t % 1_000_000) as u32).to_le_bytes());
         out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());

@@ -217,6 +217,10 @@ pub struct Simulation<C, S, M> {
     now: u64,
     events_processed: u64,
     booted: bool,
+    /// Reused per-event endpoint I/O buffer: the `out` vector's
+    /// capacity survives across events, so steady-state dispatch never
+    /// re-allocates it.
+    io: Io,
     /// Hard cap on processed events, guarding against livelock.
     pub max_events: u64,
 }
@@ -239,6 +243,7 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
             now: 0,
             events_processed: 0,
             booted: false,
+            io: Io::default(),
             max_events: 100_000,
         }
     }
@@ -263,12 +268,12 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
     pub fn run(&mut self, max_time: u64) -> StopReason {
         if !self.booted {
             self.booted = true;
-            let mut io = Io::default();
+            let mut io = std::mem::take(&mut self.io);
             self.server.on_start(0, &mut io);
-            self.flush(Side::Server, io);
-            let mut io = Io::default();
+            self.flush(Side::Server, &mut io);
             self.client.on_start(0, &mut io);
-            self.flush(Side::Client, io);
+            self.flush(Side::Client, &mut io);
+            self.io = io;
         }
 
         loop {
@@ -297,27 +302,30 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
                     side,
                     pkt: pkt.clone(),
                 });
-                let mut io = Io::default();
+                let mut io = std::mem::take(&mut self.io);
                 match side {
                     Side::Client => self.client.on_packet(pkt, self.now, &mut io),
                     Side::Server => self.server.on_packet(pkt, self.now, &mut io),
                 }
-                self.flush(side, io);
+                self.flush(side, &mut io);
+                self.io = io;
             }
             Event::Wake { side } => {
-                let mut io = Io::default();
+                let mut io = std::mem::take(&mut self.io);
                 match side {
                     Side::Client => self.client.on_wake(self.now, &mut io),
                     Side::Server => self.server.on_wake(self.now, &mut io),
                 }
-                self.flush(side, io);
+                self.flush(side, &mut io);
+                self.io = io;
             }
         }
     }
 
-    /// Transmit an endpoint's output and schedule its wake-up.
-    fn flush(&mut self, from: Side, io: Io) {
-        for pkt in io.out {
+    /// Transmit an endpoint's output and schedule its wake-up. Drains
+    /// `io` so the caller can reuse its buffers for the next event.
+    fn flush(&mut self, from: Side, io: &mut Io) {
+        for pkt in io.out.drain(..) {
             self.trace.push(TraceEvent::Sent {
                 t: self.now,
                 side: from,
@@ -325,7 +333,7 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
             });
             self.transmit(from, pkt);
         }
-        if let Some(at) = io.wake_at {
+        if let Some(at) = io.wake_at.take() {
             self.queue
                 .schedule(at.max(self.now), Event::Wake { side: from });
         }

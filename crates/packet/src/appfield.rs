@@ -107,7 +107,7 @@ pub fn set_dns_id(packet: &mut Packet, id: u16) -> bool {
     if packet.payload.len() < off + 2 {
         return false;
     }
-    packet.payload[off..off + 2].copy_from_slice(&id.to_be_bytes());
+    packet.payload.make_mut()[off..off + 2].copy_from_slice(&id.to_be_bytes());
     true
 }
 
@@ -139,7 +139,8 @@ pub fn set_dns_qname(packet: &mut Packet, name: &str) -> bool {
             framed.extend_from_slice(&rebuilt);
             framed
         }
-    };
+    }
+    .into();
     true
 }
 
@@ -158,7 +159,7 @@ pub fn set_ftp_command(packet: &mut Packet, command: &str) -> bool {
         Some(end) => text[end..].to_string(),
         None => "\r\n".to_string(),
     };
-    packet.payload = format!("{command}{rest}").into_bytes();
+    packet.payload = format!("{command}{rest}").into_bytes().into();
     true
 }
 

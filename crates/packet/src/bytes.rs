@@ -1,0 +1,337 @@
+//! Copy-on-write payload bytes.
+//!
+//! The packet hot path clones constantly: every simulated hop, every
+//! Geneva `duplicate`, every trace capture. With an owned `Vec<u8>`
+//! payload each of those clones re-allocates and copies the largest
+//! part of the packet. [`PayloadBuf`] makes `Packet::clone` a refcount
+//! bump instead: payload bytes live in an `Arc`-backed buffer, clones
+//! share it, and `split` hands out zero-copy sub-slices of the same
+//! backing storage. Mutation goes through [`PayloadBuf::make_mut`],
+//! which re-owns the bytes only when they are actually shared —
+//! classic copy-on-write.
+//!
+//! The buffer also memoizes its ones'-complement sum (the payload term
+//! of the TCP/UDP checksum). Checksumming is the only reason the hot
+//! path ever walks payload bytes, so caching the folded sum makes
+//! re-finalizing a cloned-and-tampered packet O(header) instead of
+//! O(packet).
+
+use crate::checksum::ones_complement_sum;
+use std::ops::{Deref, Range};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Sentinel meaning "ones'-complement sum not computed yet".
+const SUM_UNSET: u32 = u32::MAX;
+
+/// A cheaply-clonable, sliceable, copy-on-write byte buffer used as
+/// [`crate::Packet`] payload.
+///
+/// Dereferences to `&[u8]`, so read-only call sites are unchanged.
+/// Obtain mutable access via [`PayloadBuf::make_mut`].
+pub struct PayloadBuf {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+    /// Cached folded ones'-complement sum of this view ([`SUM_UNSET`]
+    /// when not yet computed). Interior-mutable so `&self` users
+    /// (serialization, checksum verification) can fill it lazily.
+    sum: AtomicU32,
+}
+
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl PayloadBuf {
+    /// The empty payload. Shares one global backing allocation, so
+    /// building empty-payload packets (SYNs, RSTs) allocates nothing.
+    pub fn empty() -> PayloadBuf {
+        PayloadBuf {
+            data: empty_arc(),
+            off: 0,
+            len: 0,
+            sum: AtomicU32::new(0),
+        }
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Copy the bytes out into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's backing storage.
+    /// This is what lets Geneva segment/fragment splits reuse one
+    /// allocation for both halves.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, matching slice indexing.
+    pub fn slice(&self, range: Range<usize>) -> PayloadBuf {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds for payload of {} bytes",
+            self.len
+        );
+        if range.start == range.end {
+            return PayloadBuf::empty();
+        }
+        let sum = if range.start == 0 && range.end == self.len {
+            self.sum.load(Ordering::Relaxed)
+        } else {
+            SUM_UNSET
+        };
+        PayloadBuf {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+            sum: AtomicU32::new(sum),
+        }
+    }
+
+    /// Mutable access to the bytes, re-owning them first if the
+    /// backing buffer is shared (copy-on-write). Invalidates the
+    /// cached checksum sum.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        self.sum.store(SUM_UNSET, Ordering::Relaxed);
+        let whole = self.off == 0 && self.len == self.data.len();
+        if !(whole && Arc::get_mut(&mut self.data).is_some()) {
+            let owned = self.as_slice().to_vec();
+            self.data = Arc::new(owned);
+            self.off = 0;
+        }
+        let vec = Arc::get_mut(&mut self.data).expect("uniquely owned after copy-on-write");
+        &mut vec[..]
+    }
+
+    /// Folded ones'-complement sum of the payload bytes (the payload
+    /// term of a TCP/UDP checksum), computed once and cached. Valid
+    /// because transport headers are even-length, so the payload always
+    /// starts on a 16-bit word boundary of the checksummed segment.
+    pub fn ones_sum(&self) -> u16 {
+        let cached = self.sum.load(Ordering::Relaxed);
+        if cached != SUM_UNSET {
+            // The cache only ever holds a folded 16-bit sum.
+            return (cached & 0xFFFF) as u16;
+        }
+        let sum = ones_complement_sum(self.as_slice());
+        self.sum.store(u32::from(sum), Ordering::Relaxed);
+        sum
+    }
+}
+
+impl Default for PayloadBuf {
+    fn default() -> PayloadBuf {
+        PayloadBuf::empty()
+    }
+}
+
+impl Clone for PayloadBuf {
+    fn clone(&self) -> PayloadBuf {
+        PayloadBuf {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: self.len,
+            sum: AtomicU32::new(self.sum.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Deref for PayloadBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PayloadBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PayloadBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PayloadBuf({:?})", self.as_slice())
+    }
+}
+
+impl From<Vec<u8>> for PayloadBuf {
+    fn from(v: Vec<u8>) -> PayloadBuf {
+        if v.is_empty() {
+            return PayloadBuf::empty();
+        }
+        let len = v.len();
+        PayloadBuf {
+            data: Arc::new(v),
+            off: 0,
+            len,
+            sum: AtomicU32::new(SUM_UNSET),
+        }
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(v: &[u8]) -> PayloadBuf {
+        PayloadBuf::from(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for PayloadBuf {
+    fn from(v: [u8; N]) -> PayloadBuf {
+        PayloadBuf::from(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for PayloadBuf {
+    fn from(v: &[u8; N]) -> PayloadBuf {
+        PayloadBuf::from(v.to_vec())
+    }
+}
+
+impl PartialEq for PayloadBuf {
+    fn eq(&self, other: &PayloadBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBuf {}
+
+impl PartialEq<[u8]> for PayloadBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for PayloadBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<PayloadBuf> for Vec<u8> {
+    fn eq(&self, other: &PayloadBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for PayloadBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for PayloadBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+
+    #[test]
+    fn empty_shares_one_allocation() {
+        let a = PayloadBuf::empty();
+        let b = PayloadBuf::from(Vec::new());
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_shares_backing_storage() {
+        let a = PayloadBuf::from(b"hello world".to_vec());
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_correct() {
+        let a = PayloadBuf::from(b"hello world".to_vec());
+        let hello = a.slice(0..5);
+        let world = a.slice(6..11);
+        assert!(Arc::ptr_eq(&a.data, &hello.data));
+        assert_eq!(hello, b"hello");
+        assert_eq!(world, b"world");
+        assert_eq!(world.slice(1..4), b"orl");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = PayloadBuf::from(b"abc".to_vec());
+        let _ = a.slice(0..4);
+    }
+
+    #[test]
+    fn make_mut_copies_only_when_shared() {
+        let mut a = PayloadBuf::from(b"abc".to_vec());
+        let before = Arc::as_ptr(&a.data);
+        a.make_mut()[0] = b'x';
+        assert_eq!(
+            Arc::as_ptr(&a.data),
+            before,
+            "unique buffer mutates in place"
+        );
+
+        let b = a.clone();
+        a.make_mut()[0] = b'y';
+        assert_eq!(a, b"ybc");
+        assert_eq!(b, b"xbc", "shared clone must not see the write");
+    }
+
+    #[test]
+    fn make_mut_on_a_window_reowns_just_the_view() {
+        let a = PayloadBuf::from(b"hello world".to_vec());
+        let mut w = a.slice(6..11);
+        w.make_mut()[0] = b'W';
+        assert_eq!(w, b"World");
+        assert_eq!(a, b"hello world");
+    }
+
+    #[test]
+    fn ones_sum_matches_direct_computation_and_survives_clone() {
+        let a = PayloadBuf::from(b"GET / HTTP/1.1\r\n\r\n".to_vec());
+        let expect = ones_complement_sum(a.as_slice());
+        assert_eq!(a.ones_sum(), expect);
+        let b = a.clone();
+        assert_eq!(b.sum.load(Ordering::Relaxed), u32::from(expect));
+        assert_eq!(b.ones_sum(), expect);
+    }
+
+    #[test]
+    fn ones_sum_invalidated_by_mutation() {
+        let mut a = PayloadBuf::from(b"aaaa".to_vec());
+        let before = a.ones_sum();
+        a.make_mut()[0] = b'z';
+        let after = a.ones_sum();
+        assert_ne!(before, after);
+        assert_eq!(after, ones_complement_sum(b"zaaa"));
+    }
+
+    #[test]
+    fn sub_slice_sums_are_not_inherited() {
+        let a = PayloadBuf::from(b"abcdef".to_vec());
+        let _ = a.ones_sum();
+        let s = a.slice(1..4);
+        assert_eq!(s.ones_sum(), ones_complement_sum(b"bcd"));
+        // A whole-view slice may inherit the cache — and must be right.
+        let whole = a.slice(0..6);
+        assert_eq!(whole.ones_sum(), ones_complement_sum(b"abcdef"));
+    }
+}

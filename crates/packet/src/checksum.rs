@@ -31,7 +31,7 @@ pub fn ones_complement_sum(data: &[u8]) -> u16 {
 }
 
 /// Fold a 32-bit accumulator down to 16 bits with end-around carry.
-fn fold(mut sum: u32) -> u16 {
+pub fn fold(mut sum: u32) -> u16 {
     let before = sum;
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
@@ -70,6 +70,50 @@ pub fn pseudo_header_checksum(src: [u8; 4], dst: [u8; 4], protocol: u8, segment:
     pseudo[10..12].copy_from_slice(&len.to_be_bytes());
 
     let sum = u32::from(ones_complement_sum(&pseudo)) + u32::from(ones_complement_sum(segment));
+    !fold(sum)
+}
+
+/// The ones'-complement sum of the 12-byte IPv4 pseudo-header alone
+/// (folded, not complemented). Combined with separately-computed header
+/// and payload sums via [`fold`], this reproduces
+/// [`pseudo_header_checksum`] without materializing the segment —
+/// ones'-complement addition is associative over 16-bit words, and both
+/// the pseudo-header and every transport header we emit are even-length,
+/// so the decomposition is exact.
+pub fn pseudo_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, segment_len: usize) -> u16 {
+    debug_assert!(
+        segment_len <= usize::from(u16::MAX),
+        "transport segment of {segment_len} bytes overflows the pseudo-header length field",
+    );
+    let sum = u32::from(u16::from_be_bytes([src[0], src[1]]))
+        + u32::from(u16::from_be_bytes([src[2], src[3]]))
+        + u32::from(u16::from_be_bytes([dst[0], dst[1]]))
+        + u32::from(u16::from_be_bytes([dst[2], dst[3]]))
+        + u32::from(protocol)
+        + u32::from(segment_len as u16); // mod 2¹⁶, like the wire field
+    fold(sum)
+}
+
+/// RFC 1624 incremental checksum update: given a stored checksum and a
+/// 16-bit word of the covered data changing from `old` to `new`, return
+/// the updated checksum (`HC' = ~(~HC + ~m + m')`, eqn. 3).
+///
+/// The update is *relative*: it preserves checksum validity AND
+/// invalidity. Callers that need "recompute" semantics (e.g. Geneva's
+/// `tamper`, which repairs checksums) must only take this path when the
+/// stored checksum already verifies.
+pub fn incremental_update(checksum: u16, old: u16, new: u16) -> u16 {
+    !fold(u32::from(!checksum) + u32::from(!old) + u32::from(new))
+}
+
+/// [`incremental_update`] for a 32-bit field (two adjacent 16-bit words,
+/// e.g. TCP `seq`/`ack`).
+pub fn incremental_update32(checksum: u16, old: u32, new: u32) -> u16 {
+    let sum = u32::from(!checksum)
+        + u32::from(!((old >> 16) as u16))
+        + u32::from(!((old & 0xFFFF) as u16))
+        + u32::from((new >> 16) as u16)
+        + u32::from((new & 0xFFFF) as u16);
     !fold(sum)
 }
 
@@ -153,6 +197,79 @@ mod tests {
         // than one fold pass; the residue is 0, so the folded ones'
         // complement value is 0xFFFF (the non-zero representation).
         assert_eq!(ones_complement_sum(&vec![0xFF; 4096]), 0xFFFF);
+    }
+
+    #[test]
+    fn pseudo_sum_decomposition_matches_monolithic() {
+        let src = [172, 16, 10, 99];
+        let dst = [93, 184, 216, 34];
+        let header = [0x13u8, 0x88, 0xc6, 0x38, 0x00, 0x19, 0x00, 0x00];
+        let payload = b"hello pseudo-header decomposition";
+        let mut segment = header.to_vec();
+        segment.extend_from_slice(payload);
+        let whole = pseudo_header_checksum(src, dst, 17, &segment);
+        let parts = !fold(
+            u32::from(pseudo_sum(src, dst, 17, segment.len()))
+                + u32::from(ones_complement_sum(&header))
+                + u32::from(ones_complement_sum(payload)),
+        );
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        // An IPv4-style header with the checksum at word 5.
+        let mut header: Vec<u8> = vec![
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let ck = internet_checksum(&header);
+        header[10..12].copy_from_slice(&ck.to_be_bytes());
+
+        // Mutate every 16-bit word (except the checksum itself) through
+        // a few representative values, comparing incremental vs full.
+        for word in (0..header.len() / 2).filter(|w| *w != 5) {
+            for new in [0x0000u16, 0x0001, 0x7FFF, 0xFFFE, 0xFFFF] {
+                let old = u16::from_be_bytes([header[word * 2], header[word * 2 + 1]]);
+                let inc = incremental_update(ck, old, new);
+
+                let mut mutated = header.clone();
+                mutated[word * 2..word * 2 + 2].copy_from_slice(&new.to_be_bytes());
+                mutated[10..12].copy_from_slice(&[0, 0]);
+                let full = internet_checksum(&mutated);
+                assert_eq!(inc, full, "word {word} -> {new:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update32_matches_two_word_updates() {
+        let ck = 0x1234u16;
+        let old = 0xDEAD_BEEFu32;
+        let new = 0x0102_0304u32;
+        let two_step = incremental_update(
+            incremental_update(ck, (old >> 16) as u16, (new >> 16) as u16),
+            (old & 0xFFFF) as u16,
+            (new & 0xFFFF) as u16,
+        );
+        assert_eq!(incremental_update32(ck, old, new), two_step);
+    }
+
+    #[test]
+    fn incremental_update_preserves_invalidity() {
+        let mut header: Vec<u8> = vec![
+            0x45, 0x00, 0x00, 0x14, 0x00, 0x01, 0x00, 0x00, 0x40, 0x06, 0x00, 0x00, 1, 2, 3, 4, 5,
+            6, 7, 8,
+        ];
+        let good = internet_checksum(&header);
+        let bad = good ^ 0x0101;
+        header[10..12].copy_from_slice(&bad.to_be_bytes());
+        // Update the TTL/protocol word incrementally on the *bad* sum.
+        let old = u16::from_be_bytes([header[8], header[9]]);
+        let updated = incremental_update(bad, old, 0x3F06);
+        header[8..10].copy_from_slice(&0x3F06u16.to_be_bytes());
+        header[10..12].copy_from_slice(&updated.to_be_bytes());
+        assert!(!verifies(&header), "the error offset must be preserved");
     }
 
     #[test]

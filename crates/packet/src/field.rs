@@ -259,7 +259,7 @@ impl FieldRef {
                 if p.payload.is_empty() {
                     FieldValue::Empty
                 } else {
-                    FieldValue::Bytes(p.payload.clone())
+                    FieldValue::Bytes(p.payload.to_vec())
                 }
             }
             name => {
@@ -291,7 +291,7 @@ impl FieldRef {
                 if p.payload.is_empty() {
                     FieldValue::Empty
                 } else {
-                    FieldValue::Bytes(p.payload.clone())
+                    FieldValue::Bytes(p.payload.to_vec())
                 }
             }
             _ => return Err(Error::UnknownField(self.to_syntax())),
@@ -359,10 +359,10 @@ impl FieldRef {
         if self.name == "load" {
             if let Transport::Tcp(_) = p.transport {
                 p.payload = match value {
-                    FieldValue::Bytes(b) => b.clone(),
-                    FieldValue::Str(s) => s.clone().into_bytes(),
-                    FieldValue::Num(n) => n.to_string().into_bytes(),
-                    FieldValue::Empty => Vec::new(),
+                    FieldValue::Bytes(b) => b.clone().into(),
+                    FieldValue::Str(s) => s.clone().into_bytes().into(),
+                    FieldValue::Num(n) => n.to_string().into_bytes().into(),
+                    FieldValue::Empty => crate::bytes::PayloadBuf::empty(),
                 };
             }
             return Ok(());
@@ -416,10 +416,10 @@ impl FieldRef {
         if self.name == "load" {
             if let Transport::Udp(_) = p.transport {
                 p.payload = match value {
-                    FieldValue::Bytes(b) => b.clone(),
-                    FieldValue::Str(s) => s.clone().into_bytes(),
-                    FieldValue::Num(n) => n.to_string().into_bytes(),
-                    FieldValue::Empty => Vec::new(),
+                    FieldValue::Bytes(b) => b.clone().into(),
+                    FieldValue::Str(s) => s.clone().into_bytes().into(),
+                    FieldValue::Num(n) => n.to_string().into_bytes().into(),
+                    FieldValue::Empty => crate::bytes::PayloadBuf::empty(),
                 };
             }
             return Ok(());

@@ -9,7 +9,7 @@
 // Wire formats truncate by definition: length, checksum, and offset
 // fields are specified modulo their width.
 #![allow(clippy::cast_possible_truncation)]
-use crate::checksum::internet_checksum;
+use crate::checksum::{fold, incremental_update, internet_checksum, ones_complement_sum};
 use crate::{Error, Result};
 
 /// IP protocol number for TCP.
@@ -142,41 +142,90 @@ impl Ipv4Header {
     /// Serialize with `ihl`, `total_length` (given the payload length)
     /// and `checksum` recomputed. This is the path normal traffic takes.
     pub fn serialize(&self, payload_len: usize) -> Vec<u8> {
-        let mut h = self.clone();
-        h.ihl = (5 + self.options.len().div_ceil(4)) as u8;
-        h.total_length = (h.header_len() + payload_len) as u16;
-        h.checksum = 0;
-        let mut bytes = h.serialize_raw();
-        let ck = internet_checksum(&bytes);
-        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        let mut bytes = Vec::with_capacity(20 + self.options.len() + 3);
+        self.serialize_into(payload_len, &mut bytes);
         bytes
+    }
+
+    /// [`Ipv4Header::serialize`], appending to a caller-owned buffer so
+    /// steady-state serialization reuses memory. Byte-identical output.
+    pub fn serialize_into(&self, payload_len: usize, out: &mut Vec<u8>) {
+        let start = out.len();
+        let ihl = (5 + self.options.len().div_ceil(4)) as u8;
+        let total_length = (usize::from(ihl) * 4 + payload_len) as u16;
+        out.push((self.version << 4) | (ihl & 0x0F));
+        out.push(self.tos);
+        out.extend_from_slice(&total_length.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let flags_frag = (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
+        out.extend_from_slice(&flags_frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum patched below
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.options);
+        while !(out.len() - start).is_multiple_of(4) {
+            out.push(0);
+        }
+        let ck = internet_checksum(&out[start..]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
     }
 
     /// Serialize exactly the stored field values — no recomputation.
     /// Options are zero-padded to a 4-byte boundary.
     pub fn serialize_raw(&self) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(20 + self.options.len());
-        bytes.push((self.version << 4) | (self.ihl & 0x0F));
-        bytes.push(self.tos);
-        bytes.extend_from_slice(&self.total_length.to_be_bytes());
-        bytes.extend_from_slice(&self.identification.to_be_bytes());
-        let flags_frag = (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
-        bytes.extend_from_slice(&flags_frag.to_be_bytes());
-        bytes.push(self.ttl);
-        bytes.push(self.protocol);
-        bytes.extend_from_slice(&self.checksum.to_be_bytes());
-        bytes.extend_from_slice(&self.src);
-        bytes.extend_from_slice(&self.dst);
-        bytes.extend_from_slice(&self.options);
-        while bytes.len() % 4 != 0 {
-            bytes.push(0);
-        }
+        let mut bytes = Vec::with_capacity(20 + self.options.len() + 3);
+        self.serialize_raw_into(&mut bytes);
         bytes
+    }
+
+    /// [`Ipv4Header::serialize_raw`], appending to a caller-owned buffer.
+    pub fn serialize_raw_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push((self.version << 4) | (self.ihl & 0x0F));
+        out.push(self.tos);
+        out.extend_from_slice(&self.total_length.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let flags_frag = (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
+        out.extend_from_slice(&flags_frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.options);
+        while !(out.len() - start).is_multiple_of(4) {
+            out.push(0);
+        }
+    }
+
+    /// Folded ones'-complement sum of the raw serialized header,
+    /// computed field-wise without allocating. Every field lands on a
+    /// 16-bit boundary of the wire form (options start at byte 20, and
+    /// their zero padding contributes nothing), so this equals
+    /// `ones_complement_sum(&self.serialize_raw())` exactly.
+    pub fn raw_sum(&self) -> u16 {
+        let flags_frag = (u16::from(self.flags & 0b111) << 13) | (self.fragment_offset & 0x1FFF);
+        let sum = u32::from(u16::from_be_bytes([
+            (self.version << 4) | (self.ihl & 0x0F),
+            self.tos,
+        ])) + u32::from(self.total_length)
+            + u32::from(self.identification)
+            + u32::from(flags_frag)
+            + u32::from(u16::from_be_bytes([self.ttl, self.protocol]))
+            + u32::from(self.checksum)
+            + u32::from(u16::from_be_bytes([self.src[0], self.src[1]]))
+            + u32::from(u16::from_be_bytes([self.src[2], self.src[3]]))
+            + u32::from(u16::from_be_bytes([self.dst[0], self.dst[1]]))
+            + u32::from(u16::from_be_bytes([self.dst[2], self.dst[3]]))
+            + u32::from(ones_complement_sum(&self.options));
+        fold(sum)
     }
 
     /// Does the stored checksum verify over the serialized header?
     pub fn checksum_ok(&self) -> bool {
-        crate::checksum::verifies(&self.serialize_raw())
+        self.raw_sum() == 0xFFFF
     }
 
     /// Decrement TTL by `hops` the way a router does, applying the
@@ -191,12 +240,7 @@ impl Ipv4Header {
         let old_word = (u16::from(self.ttl) << 8) | u16::from(self.protocol);
         self.ttl = self.ttl.saturating_sub(hops);
         let new_word = (u16::from(self.ttl) << 8) | u16::from(self.protocol);
-        let sum = u32::from(!self.checksum) + u32::from(!old_word) + u32::from(new_word);
-        let mut folded = sum;
-        while folded > 0xFFFF {
-            folded = (folded & 0xFFFF) + (folded >> 16);
-        }
-        self.checksum = !(folded as u16);
+        self.checksum = incremental_update(self.checksum, old_word, new_word);
     }
 }
 
@@ -298,6 +342,39 @@ mod tests {
         parsed.decrement_ttl(5);
         assert!(!parsed.checksum_ok(), "routers must not repair checksums");
         let _ = h.serialize(0);
+    }
+
+    #[test]
+    fn serialize_into_appends_identical_bytes() {
+        let mut h = sample();
+        h.options = vec![0x01, 0x01, 0x01];
+        let fresh = h.serialize(33);
+        let mut appended = vec![0xAA, 0xBB]; // pre-existing content survives
+        h.serialize_into(33, &mut appended);
+        assert_eq!(&appended[..2], &[0xAA, 0xBB]);
+        assert_eq!(&appended[2..], &fresh[..]);
+
+        let raw_fresh = h.serialize_raw();
+        let mut raw_appended = vec![0xCC];
+        h.serialize_raw_into(&mut raw_appended);
+        assert_eq!(&raw_appended[1..], &raw_fresh[..]);
+    }
+
+    #[test]
+    fn raw_sum_matches_serialized_sum() {
+        for options in [vec![], vec![0x01], vec![0x01, 0x01, 0x01], vec![7; 8]] {
+            let mut h = sample();
+            h.options = options;
+            h.checksum = 0x1234;
+            h.flags = 0xFF; // masking must match serialize_raw's
+            h.fragment_offset = 0xFFFF;
+            assert_eq!(
+                h.raw_sum(),
+                crate::checksum::ones_complement_sum(&h.serialize_raw()),
+                "options len {}",
+                h.options.len()
+            );
+        }
     }
 
     #[test]

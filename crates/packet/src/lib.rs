@@ -44,6 +44,7 @@
 //! ```
 
 pub mod appfield;
+pub mod bytes;
 pub mod checksum;
 pub mod field;
 pub mod flags;
@@ -53,6 +54,7 @@ pub mod packet;
 pub mod tcp;
 pub mod udp;
 
+pub use bytes::PayloadBuf;
 pub use field::{FieldRef, FieldValue, Proto};
 pub use flags::TcpFlags;
 pub use ipv4::Ipv4Header;

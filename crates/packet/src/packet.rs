@@ -5,9 +5,13 @@
 //! parse it. A `Packet` keeps headers in structured form so field access
 //! is cheap, and only flattens to bytes at the (simulated) wire.
 
+// Wire formats truncate by definition: length, checksum, and offset
+// fields are specified modulo their width.
+#![allow(clippy::cast_possible_truncation)]
+use crate::bytes::PayloadBuf;
 use crate::flags::TcpFlags;
 use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
-use crate::tcp::TcpHeader;
+use crate::tcp::{TcpHeader, TcpOption};
 use crate::udp::UdpHeader;
 use crate::{Error, Result};
 
@@ -21,6 +25,10 @@ pub enum Transport {
 }
 
 /// One IPv4 packet: network header, transport header, payload bytes.
+///
+/// The payload is a copy-on-write [`PayloadBuf`]: cloning a `Packet`
+/// bumps a refcount instead of copying bytes, and Geneva segment
+/// splits share one backing buffer between both halves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// IPv4 header.
@@ -28,7 +36,7 @@ pub struct Packet {
     /// TCP or UDP header.
     pub transport: Transport,
     /// Application payload (after the transport header).
-    pub payload: Vec<u8>,
+    pub payload: PayloadBuf,
 }
 
 /// A bidirectional flow identifier: the 4-tuple with the two endpoints
@@ -54,6 +62,7 @@ impl Packet {
         ack: u32,
         payload: Vec<u8>,
     ) -> Packet {
+        let payload = PayloadBuf::from(payload);
         let mut ip = Ipv4Header::new(src, dst, PROTO_TCP);
         let mut tcp = TcpHeader::new(src_port, dst_port, flags);
         tcp.seq = seq;
@@ -74,6 +83,7 @@ impl Packet {
         dst_port: u16,
         payload: Vec<u8>,
     ) -> Packet {
+        let payload = PayloadBuf::from(payload);
         let mut ip = Ipv4Header::new(src, dst, PROTO_UDP);
         ip.set_payload_len(8 + payload.len());
         Packet {
@@ -149,28 +159,53 @@ impl Packet {
         self.tcp_header().map(|h| h.flags).unwrap_or(TcpFlags::NONE)
     }
 
+    /// Byte length of the recomputed transport segment (header plus
+    /// payload), as `serialize` will emit it.
+    fn transport_wire_len(&self) -> usize {
+        match &self.transport {
+            Transport::Tcp(h) => h.real_header_len() + self.payload.len(),
+            Transport::Udp(_) => 8 + self.payload.len(),
+        }
+    }
+
     /// Serialize the full packet, recomputing all derived fields
     /// (IP length/checksum, TCP offset/checksum, UDP length/checksum).
     pub fn serialize(&self) -> Vec<u8> {
-        let transport_bytes = match &self.transport {
-            Transport::Tcp(h) => h.serialize(self.ip.src, self.ip.dst, &self.payload),
-            Transport::Udp(h) => h.serialize(self.ip.src, self.ip.dst, &self.payload),
-        };
-        let mut bytes = self.ip.serialize(transport_bytes.len());
-        bytes.extend_from_slice(&transport_bytes);
+        let mut bytes =
+            Vec::with_capacity(20 + self.ip.options.len() + 3 + self.transport_wire_len());
+        self.serialize_into(&mut bytes);
         bytes
+    }
+
+    /// [`Packet::serialize`], appending to a caller-owned buffer so the
+    /// steady-state wire path (forwarding, pcap emission) reuses one
+    /// allocation. Byte-identical output.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let transport_len = self.transport_wire_len();
+        self.ip.serialize_into(transport_len, out);
+        match &self.transport {
+            Transport::Tcp(h) => h.serialize_into(self.ip.src, self.ip.dst, &self.payload, out),
+            Transport::Udp(h) => h.serialize_into(self.ip.src, self.ip.dst, &self.payload, out),
+        }
     }
 
     /// Serialize emitting every stored field verbatim — preserving
     /// deliberately broken checksums, lengths, and offsets.
     pub fn serialize_raw(&self) -> Vec<u8> {
-        let mut bytes = self.ip.serialize_raw();
-        match &self.transport {
-            Transport::Tcp(h) => bytes.extend_from_slice(&h.serialize_raw()),
-            Transport::Udp(h) => bytes.extend_from_slice(&h.serialize_raw()),
-        }
-        bytes.extend_from_slice(&self.payload);
+        let mut bytes =
+            Vec::with_capacity(20 + self.ip.options.len() + 3 + self.transport_wire_len());
+        self.serialize_raw_into(&mut bytes);
         bytes
+    }
+
+    /// [`Packet::serialize_raw`], appending to a caller-owned buffer.
+    pub fn serialize_raw_into(&self, out: &mut Vec<u8>) {
+        self.ip.serialize_raw_into(out);
+        match &self.transport {
+            Transport::Tcp(h) => h.serialize_raw_into(out),
+            Transport::Udp(h) => h.serialize_raw_into(out),
+        }
+        out.extend_from_slice(&self.payload);
     }
 
     /// Parse a full packet from wire bytes. The payload extent follows
@@ -199,7 +234,7 @@ impl Packet {
         Ok(Packet {
             ip,
             transport,
-            payload: rest[consumed..].to_vec(),
+            payload: PayloadBuf::from(&rest[consumed..]),
         })
     }
 
@@ -211,9 +246,14 @@ impl Packet {
     /// [`Packet::finalize`].
     pub fn checksums_ok(&self) -> bool {
         let ip_ok = self.ip.checksum_ok();
+        let payload_sum = self.payload.ones_sum();
         let transport_ok = match &self.transport {
-            Transport::Tcp(h) => h.checksum_ok(self.ip.src, self.ip.dst, &self.payload),
-            Transport::Udp(h) => h.checksum_ok(self.ip.src, self.ip.dst, &self.payload),
+            Transport::Tcp(h) => {
+                h.checksum_ok_parts(self.ip.src, self.ip.dst, payload_sum, self.payload.len())
+            }
+            Transport::Udp(h) => {
+                h.checksum_ok_parts(self.ip.src, self.ip.dst, payload_sum, self.payload.len())
+            }
         };
         ip_ok && transport_ok
     }
@@ -222,9 +262,123 @@ impl Packet {
     /// checksums), making the structured form wire-consistent. Geneva's
     /// `tamper` calls this after edits unless the tampered field is
     /// itself a checksum or length.
+    ///
+    /// Semantically this is `parse(serialize())`. Packets in the
+    /// canonical shape real traffic takes go down an allocation-free
+    /// fast path that computes the same result field-wise; anything
+    /// exotic (wrong version, mismatched protocol, oversized options or
+    /// lengths, opaque options) falls back to the literal round trip,
+    /// preserving its exact canonicalization — and its panics.
     pub fn finalize(&mut self) {
+        if self.finalize_in_place() {
+            return;
+        }
         let fixed = Packet::parse(&self.serialize()).expect("self-serialized packet must parse");
         *self = fixed;
+    }
+
+    /// The fast path of [`Packet::finalize`]: recompute derived fields
+    /// directly when (and only when) doing so is bit-identical to the
+    /// serialize/parse round trip. Returns `false` when the packet's
+    /// shape requires the full fallback.
+    fn finalize_in_place(&mut self) -> bool {
+        // parse() rejects version != 4 and routes the transport bytes
+        // by ip.protocol; ihl and data_offset are 4-bit wire fields, so
+        // oversized option areas would truncate and shift the payload.
+        if self.ip.version != 4 || self.ip.options.len() > 40 {
+            return false;
+        }
+        match &self.transport {
+            Transport::Tcp(h) => {
+                let opaque = h
+                    .options
+                    .iter()
+                    .any(|o| matches!(o, TcpOption::Unknown(..)));
+                if self.ip.protocol != PROTO_TCP || opaque || h.real_header_len() > 60 {
+                    return false;
+                }
+            }
+            Transport::Udp(_) => {
+                if self.ip.protocol != PROTO_UDP {
+                    return false;
+                }
+            }
+        }
+        let transport_len = self.transport_wire_len();
+        let ip_header_len = 20 + self.ip.options.len().div_ceil(4) * 4;
+        if ip_header_len + transport_len > usize::from(u16::MAX) {
+            // total_length would wrap on the wire and parse() would
+            // truncate the payload accordingly; let the fallback do it.
+            return false;
+        }
+
+        // IP: exactly what parse() reads back after serialize().
+        // Options come back zero-padded to the 32-bit boundary, and the
+        // 3-bit flags / 13-bit fragment offset are masked by the wire.
+        while !self.ip.options.len().is_multiple_of(4) {
+            self.ip.options.push(0);
+        }
+        self.ip.ihl = (5 + self.ip.options.len() / 4) as u8;
+        self.ip.total_length = (ip_header_len + transport_len) as u16;
+        self.ip.flags &= 0b111;
+        self.ip.fragment_offset &= 0x1FFF;
+        self.ip.checksum = 0;
+        self.ip.checksum = !self.ip.raw_sum();
+
+        let payload_sum = self.payload.ones_sum();
+        let payload_len = self.payload.len();
+        match &mut self.transport {
+            Transport::Tcp(h) => {
+                h.data_offset = (h.real_header_len() / 4) as u8;
+                h.reserved &= 0x0F;
+                h.checksum = h.checksum_for(self.ip.src, self.ip.dst, payload_sum, payload_len);
+            }
+            Transport::Udp(h) => {
+                h.length = (8 + payload_len) as u16;
+                h.checksum = h.checksum_for(self.ip.src, self.ip.dst, payload_sum, payload_len);
+            }
+        }
+        true
+    }
+
+    /// True when every derived field already holds the value
+    /// [`Packet::finalize`] would recompute (checksums aside): options
+    /// padded to their 32-bit boundary, lengths and offsets in sync,
+    /// wire-masked bits clear, and the shape inside `finalize`'s
+    /// in-place gates. Under this shape — plus verifying, non-`0xFFFF`
+    /// stored checksums — a single-field mutation can patch checksums
+    /// with [`crate::checksum::incremental_update`] and the result is
+    /// byte-identical to a full re-finalize.
+    pub fn derived_fields_canonical(&self) -> bool {
+        if self.ip.version != 4
+            || self.ip.options.len() > 40
+            || !self.ip.options.len().is_multiple_of(4)
+            || usize::from(self.ip.ihl) != 5 + self.ip.options.len() / 4
+            || self.ip.flags & !0b111 != 0
+            || self.ip.fragment_offset & !0x1FFF != 0
+        {
+            return false;
+        }
+        let ip_header_len = 20 + self.ip.options.len();
+        let total = ip_header_len + self.transport_wire_len();
+        if total > usize::from(u16::MAX) || usize::from(self.ip.total_length) != total {
+            return false;
+        }
+        match &self.transport {
+            Transport::Tcp(h) => {
+                self.ip.protocol == PROTO_TCP
+                    && !h
+                        .options
+                        .iter()
+                        .any(|o| matches!(o, TcpOption::Unknown(..)))
+                    && h.real_header_len() <= 60
+                    && usize::from(h.data_offset) * 4 == h.real_header_len()
+                    && h.reserved & !0x0F == 0
+            }
+            Transport::Udp(h) => {
+                self.ip.protocol == PROTO_UDP && usize::from(h.length) == 8 + self.payload.len()
+            }
+        }
     }
 
     /// Human-oriented one-line summary, used by trace rendering.
@@ -329,6 +483,80 @@ mod tests {
         p.finalize();
         assert!(p.checksums_ok());
         assert_eq!(usize::from(p.ip.total_length), 20 + 20 + p.payload.len());
+    }
+
+    #[test]
+    fn serialize_into_appends_identical_bytes() {
+        let p = sample_tcp();
+        let mut out = vec![0x11, 0x22];
+        p.serialize_into(&mut out);
+        assert_eq!(&out[2..], &p.serialize()[..]);
+        let mut raw = vec![0x33];
+        p.serialize_raw_into(&mut raw);
+        assert_eq!(&raw[1..], &p.serialize_raw()[..]);
+    }
+
+    #[test]
+    fn in_place_finalize_matches_parse_of_serialize() {
+        // Exercise both canonical shapes and shapes that force the
+        // fallback; either way the result must equal the round trip.
+        let mut candidates = vec![
+            sample_tcp(),
+            Packet::udp([1, 1, 1, 1], 53, [2, 2, 2, 2], 9999, b"dns".to_vec()),
+            Packet::tcp([1; 4], 9, [2; 4], 10, TcpFlags::SYN, 0, 0, vec![]),
+        ];
+        // Desynchronized derived fields.
+        let mut desynced = sample_tcp();
+        desynced.ip.total_length = 9;
+        desynced.ip.ihl = 11;
+        desynced.ip.flags = 0xFF;
+        desynced.ip.fragment_offset = 0xFFFF;
+        desynced.tcp_header_mut().unwrap().data_offset = 13;
+        desynced.tcp_header_mut().unwrap().reserved = 0xAB;
+        desynced.tcp_header_mut().unwrap().checksum = 0x1234;
+        candidates.push(desynced);
+        // TCP options (typed) and IP options with padding.
+        let mut optioned = sample_tcp();
+        optioned.tcp_header_mut().unwrap().options = vec![
+            crate::tcp::TcpOption::Mss(1460),
+            crate::tcp::TcpOption::WindowScale(7),
+            crate::tcp::TcpOption::Nop,
+        ];
+        optioned.ip.options = vec![0x01, 0x01, 0x01];
+        candidates.push(optioned);
+        // Opaque TCP option: must take the fallback and still agree.
+        let mut opaque = sample_tcp();
+        opaque.tcp_header_mut().unwrap().options =
+            vec![crate::tcp::TcpOption::Unknown(254, vec![0xAA])];
+        candidates.push(opaque);
+        // Mismatched protocol: parse() restructures; fallback territory.
+        let mut crossed = sample_tcp();
+        crossed.ip.protocol = 17;
+        candidates.push(crossed);
+
+        for (i, pkt) in candidates.into_iter().enumerate() {
+            let expect =
+                Packet::parse(&pkt.serialize()).expect("self-serialized packet must parse");
+            let mut fast = pkt;
+            fast.finalize();
+            assert_eq!(fast, expect, "candidate {i}");
+            assert_eq!(
+                fast.serialize_raw(),
+                expect.serialize_raw(),
+                "candidate {i} wire bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_and_split_share_payload_storage() {
+        let p = sample_tcp();
+        let q = p.clone();
+        assert_eq!(
+            p.payload.as_slice().as_ptr(),
+            q.payload.as_slice().as_ptr(),
+            "clone must not copy payload bytes"
+        );
     }
 
     #[test]

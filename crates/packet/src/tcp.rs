@@ -8,7 +8,8 @@
 // Wire formats truncate by definition: length, checksum, and offset
 // fields are specified modulo their width.
 #![allow(clippy::cast_possible_truncation)]
-use crate::checksum::pseudo_header_checksum;
+use crate::bytes::PayloadBuf;
+use crate::checksum::{fold, ones_complement_sum, pseudo_sum};
 use crate::flags::TcpFlags;
 use crate::{Error, Result};
 
@@ -178,43 +179,207 @@ impl TcpHeader {
     /// Serialize with `data_offset` and `checksum` recomputed for the
     /// given addressing and payload.
     pub fn serialize(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> Vec<u8> {
-        let mut h = self.clone();
-        h.data_offset = (h.real_header_len() / 4) as u8;
-        h.checksum = 0;
-        let mut segment = h.serialize_raw();
-        segment.extend_from_slice(payload);
-        let ck = pseudo_header_checksum(src, dst, crate::ipv4::PROTO_TCP, &segment);
-        segment[16..18].copy_from_slice(&ck.to_be_bytes());
-        segment
+        let mut out = Vec::with_capacity(self.real_header_len() + payload.len());
+        self.serialize_into_parts(src, dst, payload, ones_complement_sum(payload), &mut out);
+        out
+    }
+
+    /// [`TcpHeader::serialize`], appending to a caller-owned buffer and
+    /// reusing the payload's cached checksum sum. Byte-identical output.
+    pub fn serialize_into(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload: &PayloadBuf,
+        out: &mut Vec<u8>,
+    ) {
+        self.serialize_into_parts(src, dst, payload, payload.ones_sum(), out);
+    }
+
+    fn serialize_into_parts(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload: &[u8],
+        payload_sum: u16,
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        let data_offset = (self.real_header_len() / 4) as u8;
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push((data_offset << 4) | (self.reserved & 0x0F));
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum patched below
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+        serialize_options(&self.options, out);
+        while !(out.len() - start - 20).is_multiple_of(4) {
+            out.push(0);
+        }
+        debug_assert_eq!(out.len() - start, self.real_header_len());
+        out.extend_from_slice(payload);
+        let ck = self.checksum_for(src, dst, payload_sum, payload.len());
+        out[start + 16..start + 18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// The checksum [`TcpHeader::serialize`] would store, computed from
+    /// the header fields and a pre-folded payload sum without
+    /// materializing the segment.
+    pub fn checksum_for(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload_sum: u16,
+        payload_len: usize,
+    ) -> u16 {
+        let data_offset = (self.real_header_len() / 4) as u8;
+        let seg_len = self.real_header_len() + payload_len;
+        let header_sum = self.fixed_words_sum(data_offset, 0) + u32::from(self.options_sum());
+        !fold(
+            u32::from(pseudo_sum(src, dst, crate::ipv4::PROTO_TCP, seg_len))
+                + header_sum
+                + u32::from(payload_sum),
+        )
     }
 
     /// Serialize the header exactly as stored (no payload, no checksum
     /// or offset recomputation). Options are emitted and zero-padded.
     pub fn serialize_raw(&self) -> Vec<u8> {
         let mut bytes = Vec::with_capacity(self.real_header_len());
-        bytes.extend_from_slice(&self.src_port.to_be_bytes());
-        bytes.extend_from_slice(&self.dst_port.to_be_bytes());
-        bytes.extend_from_slice(&self.seq.to_be_bytes());
-        bytes.extend_from_slice(&self.ack.to_be_bytes());
-        bytes.push((self.data_offset << 4) | (self.reserved & 0x0F));
-        bytes.push(self.flags.0);
-        bytes.extend_from_slice(&self.window.to_be_bytes());
-        bytes.extend_from_slice(&self.checksum.to_be_bytes());
-        bytes.extend_from_slice(&self.urgent.to_be_bytes());
-        serialize_options(&self.options, &mut bytes);
-        while (bytes.len() - 20) % 4 != 0 {
-            bytes.push(0);
-        }
+        self.serialize_raw_into(&mut bytes);
         bytes
+    }
+
+    /// [`TcpHeader::serialize_raw`], appending to a caller-owned buffer.
+    pub fn serialize_raw_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push((self.data_offset << 4) | (self.reserved & 0x0F));
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+        serialize_options(&self.options, out);
+        while !(out.len() - start - 20).is_multiple_of(4) {
+            out.push(0);
+        }
+    }
+
+    /// Folded ones'-complement sum of the 20 fixed header bytes as
+    /// stored, with `data_offset` and `checksum` overridable (the two
+    /// fields `serialize` recomputes).
+    fn fixed_words_sum(&self, data_offset: u8, checksum: u16) -> u32 {
+        u32::from(self.src_port)
+            + u32::from(self.dst_port)
+            + (self.seq >> 16)
+            + (self.seq & 0xFFFF)
+            + (self.ack >> 16)
+            + (self.ack & 0xFFFF)
+            + u32::from(u16::from_be_bytes([
+                (data_offset << 4) | (self.reserved & 0x0F),
+                self.flags.0,
+            ]))
+            + u32::from(self.window)
+            + u32::from(checksum)
+            + u32::from(self.urgent)
+    }
+
+    /// Folded ones'-complement sum of the serialized option bytes
+    /// (padding included — it is zeros, so it contributes nothing).
+    /// Options start at byte 20 of the header, an even offset, so this
+    /// sum composes with the fixed-word sum exactly.
+    fn options_sum(&self) -> u16 {
+        if self.options.is_empty() {
+            return 0;
+        }
+        let padded = self.options_len();
+        if padded <= 40 {
+            // Standards-conformant options fit the 40-byte option area;
+            // sum them via a stack buffer, allocation-free.
+            let mut buf = [0u8; 40];
+            let mut at = 0;
+            for option in &self.options {
+                at = write_option_slice(option, &mut buf, at);
+            }
+            debug_assert!(at <= padded);
+            ones_complement_sum(&buf[..padded])
+        } else {
+            let mut bytes = Vec::with_capacity(padded);
+            serialize_options(&self.options, &mut bytes);
+            ones_complement_sum(&bytes)
+        }
+    }
+
+    /// Folded ones'-complement sum of [`TcpHeader::serialize_raw`]'s
+    /// bytes, computed without allocating.
+    pub fn raw_sum(&self) -> u16 {
+        fold(self.fixed_words_sum(self.data_offset, self.checksum) + u32::from(self.options_sum()))
     }
 
     /// Verify the stored checksum against the given addressing and
     /// payload. Endpoints call this to decide whether to drop a packet;
     /// several censors skip it — that asymmetry powers insertion packets.
     pub fn checksum_ok(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> bool {
-        let mut segment = self.serialize_raw();
-        segment.extend_from_slice(payload);
-        pseudo_header_checksum(src, dst, crate::ipv4::PROTO_TCP, &segment) == 0
+        self.checksum_ok_parts(src, dst, ones_complement_sum(payload), payload.len())
+    }
+
+    /// [`TcpHeader::checksum_ok`] from a pre-folded payload sum, so the
+    /// hot path can verify without touching payload bytes.
+    pub fn checksum_ok_parts(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload_sum: u16,
+        payload_len: usize,
+    ) -> bool {
+        let seg_len = self.real_header_len() + payload_len;
+        let sum = u32::from(pseudo_sum(src, dst, crate::ipv4::PROTO_TCP, seg_len))
+            + u32::from(self.raw_sum())
+            + u32::from(payload_sum);
+        fold(sum) == 0xFFFF
+    }
+}
+
+/// [`serialize_options`] for one option into a fixed stack buffer;
+/// returns the new write cursor. Callers guarantee the buffer fits
+/// (`options_len() <= buf.len()`).
+fn write_option_slice(option: &TcpOption, buf: &mut [u8; 40], at: usize) -> usize {
+    match option {
+        TcpOption::Nop => {
+            buf[at] = 1;
+            at + 1
+        }
+        TcpOption::Mss(mss) => {
+            buf[at..at + 2].copy_from_slice(&[2, 4]);
+            buf[at + 2..at + 4].copy_from_slice(&mss.to_be_bytes());
+            at + 4
+        }
+        TcpOption::WindowScale(shift) => {
+            buf[at..at + 3].copy_from_slice(&[3, 3, *shift]);
+            at + 3
+        }
+        TcpOption::SackPermitted => {
+            buf[at..at + 2].copy_from_slice(&[4, 2]);
+            at + 2
+        }
+        TcpOption::Timestamps(tsval, tsecr) => {
+            buf[at..at + 2].copy_from_slice(&[8, 10]);
+            buf[at + 2..at + 6].copy_from_slice(&tsval.to_be_bytes());
+            buf[at + 6..at + 10].copy_from_slice(&tsecr.to_be_bytes());
+            at + 10
+        }
+        TcpOption::Unknown(kind, data) => {
+            buf[at] = *kind;
+            buf[at + 1] = (data.len() + 2) as u8;
+            buf[at + 2..at + 2 + data.len()].copy_from_slice(data);
+            at + 2 + data.len()
+        }
     }
 }
 
@@ -367,6 +532,42 @@ mod tests {
             TcpHeader::parse(&bytes),
             Err(Error::BadLength { layer: "tcp", .. })
         ));
+    }
+
+    #[test]
+    fn raw_sum_and_checksum_for_match_serialized_forms() {
+        let mut h = syn_ack_with_options();
+        h.reserved = 0x0A;
+        h.checksum = 0x9999;
+        h.data_offset = 11;
+        assert_eq!(
+            h.raw_sum(),
+            crate::checksum::ones_complement_sum(&h.serialize_raw())
+        );
+
+        // checksum_for equals the checksum serialize() embeds.
+        for payload in [&b""[..], b"x", b"hello world"] {
+            let bytes = h.serialize(SRC, DST, payload);
+            assert_eq!(
+                h.checksum_for(SRC, DST, ones_complement_sum(payload), payload.len()),
+                u16::from_be_bytes([bytes[16], bytes[17]]),
+                "payload {payload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serialize_into_appends_identical_bytes() {
+        let h = syn_ack_with_options();
+        let fresh = h.serialize(SRC, DST, b"payload!");
+        let mut out = vec![0xEE];
+        let payload = PayloadBuf::from(b"payload!".to_vec());
+        h.serialize_into(SRC, DST, &payload, &mut out);
+        assert_eq!(&out[1..], &fresh[..]);
+
+        let mut raw = vec![0xEE, 0xFF];
+        h.serialize_raw_into(&mut raw);
+        assert_eq!(&raw[2..], &h.serialize_raw()[..]);
     }
 
     #[test]

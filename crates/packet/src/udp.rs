@@ -7,7 +7,8 @@
 // Wire formats truncate by definition: length, checksum, and offset
 // fields are specified modulo their width.
 #![allow(clippy::cast_possible_truncation)]
-use crate::checksum::pseudo_header_checksum;
+use crate::bytes::PayloadBuf;
+use crate::checksum::{fold, ones_complement_sum, pseudo_sum};
 use crate::{Error, Result};
 
 /// A parsed (or constructed) UDP header.
@@ -56,37 +57,112 @@ impl UdpHeader {
 
     /// Serialize with `length` and `checksum` recomputed.
     pub fn serialize(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> Vec<u8> {
-        let mut h = self.clone();
-        h.length = (8 + payload.len()) as u16;
-        h.checksum = 0;
-        let mut segment = h.serialize_raw();
-        segment.extend_from_slice(payload);
-        let mut ck = pseudo_header_checksum(src, dst, crate::ipv4::PROTO_UDP, &segment);
+        let mut out = Vec::with_capacity(8 + payload.len());
+        self.serialize_into_parts(src, dst, payload, ones_complement_sum(payload), &mut out);
+        out
+    }
+
+    /// [`UdpHeader::serialize`], appending to a caller-owned buffer and
+    /// reusing the payload's cached checksum sum. Byte-identical output.
+    pub fn serialize_into(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload: &PayloadBuf,
+        out: &mut Vec<u8>,
+    ) {
+        self.serialize_into_parts(src, dst, payload, payload.ones_sum(), out);
+    }
+
+    fn serialize_into_parts(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload: &[u8],
+        payload_sum: u16,
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        let length = (8 + payload.len()) as u16;
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum patched below
+        out.extend_from_slice(payload);
+        let ck = self.checksum_for(src, dst, payload_sum, payload.len());
+        out[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// The checksum [`UdpHeader::serialize`] would store (including the
+    /// RFC 768 zero-means-disabled substitution), computed from a
+    /// pre-folded payload sum without materializing the segment.
+    pub fn checksum_for(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload_sum: u16,
+        payload_len: usize,
+    ) -> u16 {
+        let length = (8 + payload_len) as u16;
+        let sum = u32::from(pseudo_sum(
+            src,
+            dst,
+            crate::ipv4::PROTO_UDP,
+            8 + payload_len,
+        )) + u32::from(self.src_port)
+            + u32::from(self.dst_port)
+            + u32::from(length)
+            + u32::from(payload_sum);
+        let ck = !fold(sum);
         if ck == 0 {
-            ck = 0xFFFF; // RFC 768: transmitted-zero means "no checksum"
+            0xFFFF // RFC 768: transmitted-zero means "no checksum"
+        } else {
+            ck
         }
-        segment[6..8].copy_from_slice(&ck.to_be_bytes());
-        segment
     }
 
     /// Serialize the stored fields verbatim.
     pub fn serialize_raw(&self) -> Vec<u8> {
         let mut bytes = Vec::with_capacity(8);
-        bytes.extend_from_slice(&self.src_port.to_be_bytes());
-        bytes.extend_from_slice(&self.dst_port.to_be_bytes());
-        bytes.extend_from_slice(&self.length.to_be_bytes());
-        bytes.extend_from_slice(&self.checksum.to_be_bytes());
+        self.serialize_raw_into(&mut bytes);
         bytes
+    }
+
+    /// [`UdpHeader::serialize_raw`], appending to a caller-owned buffer.
+    pub fn serialize_raw_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
     }
 
     /// Verify the stored checksum (`0` counts as valid per RFC 768).
     pub fn checksum_ok(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> bool {
+        self.checksum_ok_parts(src, dst, ones_complement_sum(payload), payload.len())
+    }
+
+    /// [`UdpHeader::checksum_ok`] from a pre-folded payload sum.
+    pub fn checksum_ok_parts(
+        &self,
+        src: [u8; 4],
+        dst: [u8; 4],
+        payload_sum: u16,
+        payload_len: usize,
+    ) -> bool {
         if self.checksum == 0 {
             return true;
         }
-        let mut segment = self.serialize_raw();
-        segment.extend_from_slice(payload);
-        pseudo_header_checksum(src, dst, crate::ipv4::PROTO_UDP, &segment) == 0
+        let sum = u32::from(pseudo_sum(
+            src,
+            dst,
+            crate::ipv4::PROTO_UDP,
+            8 + payload_len,
+        )) + u32::from(self.src_port)
+            + u32::from(self.dst_port)
+            + u32::from(self.length)
+            + u32::from(self.checksum)
+            + u32::from(payload_sum);
+        fold(sum) == 0xFFFF
     }
 }
 

@@ -131,3 +131,102 @@ proptest! {
         }
     }
 }
+
+// Invariants added with the copy-on-write payload representation:
+// 5. serialize / serialize_into / parse agree with each other and with
+//    a packet whose payload was rebuilt as a fresh owned buffer, so the
+//    COW representation is unobservable on the wire.
+// 6. mutating a cloned payload never leaks into the original, slices
+//    see exactly the windowed bytes, and the memoized ones'-complement
+//    sum always matches direct computation.
+// 7. the RFC 1624 incremental checksum update equals a full recompute
+//    for every mutated word (16- and 32-bit), under the one condition
+//    real IP/TCP checksums always satisfy: some untouched word of the
+//    covered data is nonzero.
+proptest! {
+    #[test]
+    fn cow_serialize_paths_and_owned_rebuild_agree(p in arb_tcp_packet()) {
+        let mut canonical = p.clone();
+        canonical.finalize();
+        let bytes = canonical.serialize();
+        // serialize_into appends after any existing bytes.
+        let mut buf = vec![0xA5u8, 0x5A];
+        canonical.serialize_into(&mut buf);
+        prop_assert_eq!(&buf[2..], &bytes[..]);
+        // Rebuilding the payload as a freshly-owned buffer (the
+        // pre-COW representation) changes nothing on the wire.
+        let mut owned = canonical.clone();
+        owned.payload = owned.payload.to_vec().into();
+        prop_assert_eq!(owned.serialize(), bytes.clone());
+        prop_assert_eq!(Packet::parse(&bytes).unwrap(), canonical);
+    }
+
+    #[test]
+    fn cow_clone_isolation_and_slices(
+        payload in prop::collection::vec(any::<u8>(), 1..300),
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+        poke in 0usize..400,
+    ) {
+        let buf: packet::PayloadBuf = payload.clone().into();
+        let a = cut_a % (payload.len() + 1);
+        let b = cut_b % (payload.len() + 1);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert_eq!(buf.slice(lo..hi).to_vec(), payload[lo..hi].to_vec());
+        // Mutating a clone must not leak into the original.
+        let mut cloned = buf.clone();
+        let at = poke % payload.len();
+        cloned.make_mut()[at] ^= 0xFF;
+        prop_assert_eq!(buf.to_vec(), payload.clone());
+        prop_assert_eq!(cloned[at], payload[at] ^ 0xFF);
+        // The memoized checksum term tracks the bytes on both sides.
+        use packet::checksum::ones_complement_sum;
+        prop_assert_eq!(buf.ones_sum(), ones_complement_sum(&payload));
+        prop_assert_eq!(cloned.ones_sum(), ones_complement_sum(&cloned.to_vec()));
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute(
+        mut words in prop::collection::vec(any::<u16>(), 2..24),
+        anchor in any::<u16>(),
+        pick in 0usize..32,
+        new in any::<u16>(),
+    ) {
+        use packet::checksum::{incremental_update, internet_checksum};
+        // Real IP/TCP checksums always cover nonzero fixed words
+        // (version/IHL, protocol); word 0 stands in for those, which
+        // pins both the old and new checksum to the canonical
+        // representative of their ones'-complement class.
+        words[0] = anchor | 1;
+        let idx = 1 + pick % (words.len() - 1);
+        let checksum_of = |ws: &[u16]| {
+            let bytes: Vec<u8> = ws.iter().flat_map(|w| w.to_be_bytes()).collect();
+            internet_checksum(&bytes)
+        };
+        let before = checksum_of(&words);
+        let old = words[idx];
+        words[idx] = new;
+        prop_assert_eq!(incremental_update(before, old, new), checksum_of(&words));
+    }
+
+    #[test]
+    fn incremental_update32_matches_full_recompute(
+        mut words in prop::collection::vec(any::<u16>(), 3..24),
+        anchor in any::<u16>(),
+        pick in 0usize..32,
+        new in any::<u32>(),
+    ) {
+        use packet::checksum::{incremental_update32, internet_checksum};
+        words[0] = anchor | 1;
+        let idx = 1 + pick % (words.len() - 2);
+        let checksum_of = |ws: &[u16]| {
+            let bytes: Vec<u8> = ws.iter().flat_map(|w| w.to_be_bytes()).collect();
+            internet_checksum(&bytes)
+        };
+        let before = checksum_of(&words);
+        let old = (u32::from(words[idx]) << 16) | u32::from(words[idx + 1]);
+        words[idx] = (new >> 16) as u16;
+        words[idx + 1] = new as u16;
+        prop_assert_eq!(incremental_update32(before, old, new), checksum_of(&words));
+    }
+}

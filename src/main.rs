@@ -16,6 +16,8 @@
 //! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON
 //! cay bench [trials] [out.json]  pool throughput baseline (jobs=1 vs jobs=N)
 //!                                + compiled-data-plane bench (BENCH_dplane.json)
+//!                                + hot-path microbench (BENCH_hotpath.json;
+//!                                  allocations counted with --features count-allocs)
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to pin the trial-executor
@@ -34,6 +36,28 @@ use std::time::Instant;
 
 /// The public server address every simulated exchange targets.
 const SERVER_ADDR: [u8; 4] = [93, 184, 216, 34];
+
+/// With `--features count-allocs`, every allocation in the process is
+/// counted so `cay bench` can report allocations per packet.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
+
+/// Allocation counter reading (0 when counting is compiled out; the
+/// JSON reports `null` in that case so 0 is never mistaken for "no
+/// allocations").
+fn allocs_now() -> u64 {
+    bench::alloc_count().unwrap_or(0)
+}
+
+/// Render an allocations-per-unit ratio, `null` when not counting.
+fn allocs_json(delta: u64, units: f64) -> String {
+    if bench::alloc_count().is_some() && units > 0.0 {
+        format!("{:.3}", delta as f64 / units)
+    } else {
+        "null".to_string()
+    }
+}
 
 fn main() {
     let args = come_as_you_are::cli::args_with_jobs();
@@ -245,7 +269,11 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
             println!("{}", dp.metrics().to_json());
         }
         Some("bench") => {
-            let trials_per_run = trials(300);
+            // 2000 trials per run amortizes pool spin-up and thread
+            // hand-off so the jobs=N numbers reflect steady-state
+            // scaling rather than startup costs (300 finished in under
+            // 10 ms and measured mostly overhead).
+            let trials_per_run = trials(2000);
             let out_path = args.get(2).map(String::as_str).unwrap_or("BENCH_pool.json");
             let cfg = TrialConfig::new(
                 Country::China,
@@ -263,16 +291,29 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 worker_counts.push(auto);
             }
             let mut runs = Vec::new();
+            let mut run_jsons = Vec::new();
             let mut estimates = Vec::new();
             for &workers in &worker_counts {
                 let pool = harness::Pool::with_jobs(workers);
+                // Warm-up pass so the measured run sees a steady-state
+                // pool (threads started, per-worker state allocated).
+                harness::success_rate_in(&pool, &cfg, trials_per_run.min(64), 0xBE9C, tag);
+                let a0 = allocs_now();
                 let (estimate, mut t) =
                     Throughput::measure(&format!("bench/jobs={workers}"), || {
                         harness::success_rate_in(&pool, &cfg, trials_per_run, 0xBE9C, tag)
                     });
+                let allocs_per_trial = allocs_json(allocs_now() - a0, f64::from(trials_per_run));
                 t.workers = workers;
-                println!("{}", t.to_json());
+                let j = t.to_json();
+                let j = format!(
+                    "{},\"allocs_per_trial\":{}}}",
+                    &j[..j.len() - 1],
+                    allocs_per_trial
+                );
+                println!("{j}");
                 runs.push(t);
+                run_jsons.push(j);
                 estimates.push(estimate);
             }
             let identical = estimates.windows(2).all(|w| w[0] == w[1]);
@@ -291,10 +332,7 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 trials_per_run,
                 identical,
                 speedup,
-                runs.iter()
-                    .map(Throughput::to_json)
-                    .collect::<Vec<_>>()
-                    .join(",")
+                run_jsons.join(",")
             );
             std::fs::write(out_path, &json).expect("write bench json");
             println!("wrote {out_path}: speedup {speedup:.2}x at jobs={auto}, estimates identical");
@@ -306,6 +344,14 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
             let json = bench_dplane();
             std::fs::write(dplane_path, &json).expect("write dplane bench json");
             println!("wrote {dplane_path}");
+
+            let hotpath_path = args
+                .get(4)
+                .map(String::as_str)
+                .unwrap_or("BENCH_hotpath.json");
+            let json = bench_hotpath();
+            std::fs::write(hotpath_path, &json).expect("write hotpath bench json");
+            println!("wrote {hotpath_path}");
         }
         _ => {
             eprintln!(
@@ -464,5 +510,140 @@ fn bench_dplane() -> String {
         compiled_pps,
         compiled_pps / interp_pps.max(1e-9),
         shard_runs.join(","),
+    )
+}
+
+/// The allocation/hot-path microbench behind `cay bench`
+/// (BENCH_hotpath.json): per-packet strategy application with reused
+/// output buffers (interpreter vs. compiled program), the assembled
+/// data plane at 1/2/8 shards in steady state (a warm-up pump builds
+/// the flow table and scratch buffers; only the second pump is
+/// measured), and the trial pool at 1/2/8 jobs. With
+/// `--features count-allocs` each section also reports allocator
+/// entries per packet (or per trial); otherwise those fields are
+/// `null`.
+fn bench_hotpath() -> String {
+    let strategy = geneva::library::STRATEGY_1.strategy();
+    let workload = dplane_workload(64, 8);
+    let server_pkts: Vec<&Packet> = workload
+        .iter()
+        .filter(|(_, p)| p.ip.src == SERVER_ADDR)
+        .map(|(_, p)| p)
+        .collect();
+    let reps = 400u32;
+    let applications = server_pkts.len() as f64 * f64::from(reps);
+
+    // Per-packet interpreter path, output buffer reused across packets.
+    let mut engine = geneva::Engine::new(strategy.clone(), 0xBE9C);
+    let mut out: Vec<Packet> = Vec::new();
+    let mut sink = 0usize;
+    for pkt in &server_pkts {
+        out.clear();
+        engine.apply_outbound_into(pkt, &mut out);
+    }
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for pkt in &server_pkts {
+            out.clear();
+            engine.apply_outbound_into(pkt, &mut out);
+            sink += out.len();
+        }
+    }
+    let interp_pps = applications / t0.elapsed().as_secs_f64().max(1e-9);
+    let interp_allocs = allocs_json(allocs_now() - a0, applications);
+
+    // Per-packet compiled path, out + scratch reused across packets.
+    let program = Program::compile(&strategy);
+    let (mut out, mut scratch) = (Vec::new(), Vec::new());
+    for pkt in &server_pkts {
+        out.clear();
+        program.apply_outbound(pkt, 0xBE9C, &mut out, &mut scratch);
+    }
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for pkt in &server_pkts {
+            out.clear();
+            program.apply_outbound(pkt, 0xBE9C, &mut out, &mut scratch);
+            sink += out.len();
+        }
+    }
+    let compiled_pps = applications / t0.elapsed().as_secs_f64().max(1e-9);
+    let compiled_allocs = allocs_json(allocs_now() - a0, applications);
+    assert!(sink > 0, "hotpath bench produced no packets");
+
+    // Steady-state data plane forward path: the first pump admits the
+    // flows and sizes every per-shard buffer; the second pump over the
+    // same packets is what a long-lived deployment looks like, and is
+    // the region the allocs-per-packet budget applies to.
+    let mut dplane_runs = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let cfg = DplaneConfig {
+            flow: FlowConfig {
+                shards,
+                ..FlowConfig::default()
+            },
+            seed: SeedMode::PerFlow(0x0D1A),
+        };
+        let mut dp = Dplane::new(cfg, geo_classifier());
+        let mut warmup = PcapReplay::from_packets(workload.clone());
+        dp.pump(&mut warmup, SERVER_ADDR);
+        // One pump is ~640 packets (~0.1 ms) — far too short to time;
+        // replaying it many times makes the measured region long enough
+        // that scheduler noise stops dominating. Replay construction
+        // (the workload clone) happens outside the measured region.
+        let pump_reps = 50u32;
+        let mut replays: Vec<PcapReplay> = (0..pump_reps)
+            .map(|_| PcapReplay::from_packets(workload.clone()))
+            .collect();
+        let mut n = 0u64;
+        let a0 = allocs_now();
+        let t0 = Instant::now();
+        for replay in &mut replays {
+            n += dp.pump(replay, SERVER_ADDR);
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let allocs_per_packet = allocs_json(allocs_now() - a0, n as f64);
+        dplane_runs.push(format!(
+            "{{\"shards\":{shards},\"packets\":{n},\"pps\":{:.0},\"allocs_per_packet\":{allocs_per_packet}}}",
+            n as f64 / secs
+        ));
+    }
+
+    // Full trials through the pool at 1/2/8 jobs.
+    let cfg = TrialConfig::new(
+        Country::China,
+        AppProtocol::Http,
+        geneva::library::STRATEGY_1.strategy(),
+        0,
+    );
+    let tag = harness::cell_tag("bench/hotpath");
+    let pool_trials = 1000u32;
+    let mut pool_runs = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let pool = harness::Pool::with_jobs(jobs);
+        harness::success_rate_in(&pool, &cfg, 64, 0x407A, tag);
+        let a0 = allocs_now();
+        let t0 = Instant::now();
+        harness::success_rate_in(&pool, &cfg, pool_trials, 0x407A, tag);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let allocs_per_trial = allocs_json(allocs_now() - a0, f64::from(pool_trials));
+        pool_runs.push(format!(
+            "{{\"jobs\":{jobs},\"trials\":{pool_trials},\"trials_per_sec\":{:.0},\"allocs_per_trial\":{allocs_per_trial}}}",
+            f64::from(pool_trials) / secs
+        ));
+    }
+
+    format!(
+        "{{\"bench\":\"hotpath\",\"count_allocs\":{},\"per_packet\":{{\"applications\":{:.0},\"interp_pps\":{:.0},\"interp_allocs_per_packet\":{},\"compiled_pps\":{:.0},\"compiled_allocs_per_packet\":{}}},\"dplane\":[{}],\"pool\":[{}]}}\n",
+        bench::alloc_count().is_some(),
+        applications,
+        interp_pps,
+        interp_allocs,
+        compiled_pps,
+        compiled_allocs,
+        dplane_runs.join(","),
+        pool_runs.join(","),
     )
 }
