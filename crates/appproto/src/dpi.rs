@@ -47,6 +47,22 @@ impl AppProtocol {
         }
     }
 
+    /// Whether this protocol's exchange rides a TCP connection. All
+    /// five evaluated protocols do — DNS here is DNS over TCP
+    /// (RFC 7766), not UDP — so TCP-liveness lints (handshake, seq/ack
+    /// coherence, RST delivery) apply to every current protocol. A
+    /// future UDP transport would return `false` and those lints would
+    /// stand down.
+    pub fn transport_is_tcp(self) -> bool {
+        match self {
+            AppProtocol::DnsTcp
+            | AppProtocol::Ftp
+            | AppProtocol::Http
+            | AppProtocol::Https
+            | AppProtocol::Smtp => true,
+        }
+    }
+
     /// The forbidden token used in our experiments for this protocol
     /// (mirroring §4.2's choices).
     pub fn default_keyword(self) -> &'static str {

@@ -34,7 +34,9 @@ pub mod sim;
 pub use flow::{FlowConfig, FlowTable, Touch};
 pub use io::{PacketIo, PcapReplay, VecIo};
 pub use metrics::{MetricsReport, ShardMetrics};
-pub use program::{CompiledPart, Matcher, Op, Program, ProgramCache};
+pub use program::{
+    lower_ops, CompiledPart, Matcher, Op, Program, ProgramCache, ProgramProof, VerifyError,
+};
 pub use sim::DplaneEndpoint;
 
 use geneva::Strategy;
@@ -90,6 +92,12 @@ pub struct DplaneConfig {
     pub flow: FlowConfig,
     /// Corrupt-seed derivation.
     pub seed: SeedMode,
+    /// Skip the compile-time proof gate. Checked mode (the default)
+    /// refuses to install a program that fails
+    /// `strata::absint::verify_ops` — the flow passes through
+    /// unmodified and `verify_rejects` counts it. Unchecked mode
+    /// installs it anyway (the `--unchecked` escape hatch).
+    pub unchecked: bool,
 }
 
 impl Default for DplaneConfig {
@@ -97,6 +105,7 @@ impl Default for DplaneConfig {
         DplaneConfig {
             flow: FlowConfig::default(),
             seed: SeedMode::PerFlow(0),
+            unchecked: false,
         }
     }
 }
@@ -109,6 +118,7 @@ pub struct Dplane<C: Classifier> {
     flows: FlowTable,
     scratch: Vec<Packet>,
     seed_mode: SeedMode,
+    unchecked: bool,
 }
 
 impl<C: Classifier> Dplane<C> {
@@ -120,6 +130,7 @@ impl<C: Classifier> Dplane<C> {
             flows: FlowTable::new(cfg.flow),
             scratch: Vec::new(),
             seed_mode: cfg.seed,
+            unchecked: cfg.unchecked,
         }
     }
 
@@ -138,6 +149,7 @@ impl<C: Classifier> Dplane<C> {
     fn process(&mut self, pkt: &Packet, now: u64, out: &mut Vec<Packet>, outbound: bool) {
         let key = pkt.flow_key();
         let seed_mode = self.seed_mode;
+        let unchecked = self.unchecked;
         let Dplane {
             classifier,
             programs,
@@ -153,9 +165,17 @@ impl<C: Classifier> Dplane<C> {
                 SeedMode::Fixed(seed) => seed,
                 SeedMode::PerFlow(base) => flow_seed(base, &key),
             };
-            let program = classifier
-                .classify(pkt)
-                .map(|s| programs.get_or_compile(&s));
+            // Checked mode refuses unverifiable programs: the flow
+            // passes through unmodified (fail-safe — clients keep
+            // working, they just get no evasion) and the reject is
+            // counted in metrics.
+            let program = classifier.classify(pkt).and_then(|s| {
+                if unchecked {
+                    Some(programs.get_or_compile(&s))
+                } else {
+                    programs.get_or_verify(&s).ok()
+                }
+            });
             (program, seed)
         });
         match touch.program {
@@ -208,6 +228,7 @@ impl<C: Classifier> Dplane<C> {
             flows_live: self.flows.len(),
             cache_hits: self.programs.hits,
             cache_misses: self.programs.misses,
+            verify_rejects: self.programs.verify_rejects,
             strategies: self
                 .programs
                 .programs()

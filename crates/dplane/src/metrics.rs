@@ -51,6 +51,9 @@ pub struct MetricsReport {
     pub cache_hits: u64,
     /// Program-cache misses (a new flow compiled a program).
     pub cache_misses: u64,
+    /// Strategies refused by the compile-time proof gate (the flow
+    /// passed through unmodified).
+    pub verify_rejects: u64,
     /// Canonical DSL text per program key — labels for `applies`.
     pub strategies: BTreeMap<CanonKey, String>,
 }
@@ -79,8 +82,8 @@ impl MetricsReport {
         out.push_str("],\"totals\":");
         shard_json(&mut out, usize::MAX, &self.totals());
         out.push_str(&format!(
-            ",\"flows_live\":{},\"program_cache\":{{\"hits\":{},\"misses\":{}}}",
-            self.flows_live, self.cache_hits, self.cache_misses
+            ",\"flows_live\":{},\"program_cache\":{{\"hits\":{},\"misses\":{},\"verify_rejects\":{}}}",
+            self.flows_live, self.cache_hits, self.cache_misses, self.verify_rejects
         ));
         out.push_str(",\"strategies\":{");
         for (i, (key, text)) in self.strategies.iter().enumerate() {
@@ -152,6 +155,7 @@ mod tests {
             flows_live: 0,
             cache_hits: 0,
             cache_misses: 0,
+            verify_rejects: 0,
             strategies: BTreeMap::new(),
         };
         let totals = report.totals();
@@ -168,10 +172,11 @@ mod tests {
             flows_live: 1,
             cache_hits: 2,
             cache_misses: 3,
+            verify_rejects: 1,
             strategies: [(CanonKey(0xAB), "x \\/ y".to_string())].into(),
         };
         let json = report.to_json();
         assert!(json.contains("\"00000000000000ab\":\"x \\\\/ y\""));
-        assert!(json.contains("\"program_cache\":{\"hits\":2,\"misses\":3}"));
+        assert!(json.contains("\"program_cache\":{\"hits\":2,\"misses\":3,\"verify_rejects\":1}"));
     }
 }

@@ -28,11 +28,14 @@
 //! generated strategies.
 
 use geneva::ast::{Action, StrategyPart, TamperMode, Trigger};
+use geneva::engine::TamperHint;
 use geneva::Strategy;
 use packet::field::{FieldKind, FieldRef, FieldValue};
 use packet::{Packet, Proto, TcpFlags};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
+use strata::absint::{AbsOp, TamperKind};
 use strata::CanonKey;
 
 /// One instruction of the packet stack machine.
@@ -49,12 +52,18 @@ pub enum Op {
     /// Push a copy of the top packet (`duplicate` — the copy is
     /// processed first, exactly like the engine's left branch).
     Dup,
-    /// Rewrite one field of the top packet via `geneva::engine::tamper`.
+    /// Rewrite one field of the top packet via
+    /// `geneva::engine::tamper_hinted`.
     Tamper {
         /// The field to rewrite.
         field: FieldRef,
         /// Replace-with-value or corrupt-with-site-PRNG.
         mode: TamperMode,
+        /// Static validity of the packet this op receives, proved by
+        /// `strata::absint::verify_ops` during compilation.
+        /// `TrustedValid` lets the tamper skip the runtime
+        /// canonicality scans guarding the incremental-checksum patch.
+        hint: TamperHint,
     },
     /// Try to split the top packet (`fragment`). On a successful split
     /// the two pieces replace it — execution-order piece on top — and
@@ -153,6 +162,63 @@ pub struct CompiledPart {
     pub ops: Vec<Op>,
 }
 
+/// A verification failure pinned to the part that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// `"outbound"` or `"inbound"`.
+    pub direction: &'static str,
+    /// Zero-based part index within that ruleset.
+    pub part: usize,
+    /// The abstract interpreter's complaint.
+    pub error: strata::absint::VerifyError,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} part {}: {}", self.direction, self.part, self.error)
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// The aggregated proof obligations of a verified program: every part
+/// of both rulesets passed `strata::absint::verify_ops`, and these are
+/// the worst bounds over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramProof {
+    /// Maximum packet-stack depth any part can reach.
+    pub max_stack: usize,
+    /// Worst-case packets emitted per trigger packet.
+    pub max_emit: usize,
+}
+
+/// Mirror a compiled body into the neutral form `strata`'s abstract
+/// interpreter consumes. Field facts collapse to [`TamperKind`]: what
+/// the tamper does to checksum validity is the only per-op fact the
+/// stack-domain verifier needs.
+pub fn lower_ops(ops: &[Op]) -> Vec<AbsOp> {
+    ops.iter()
+        .map(|op| match op {
+            Op::Emit => AbsOp::Emit,
+            Op::Pop => AbsOp::Pop,
+            Op::Dup => AbsOp::Dup,
+            Op::Tamper { field, .. } => AbsOp::Tamper(if field.name == "chksum" {
+                TamperKind::BreaksChecksum
+            } else if field.is_derived() {
+                TamperKind::OtherDerived
+            } else {
+                TamperKind::Refinalizing
+            }),
+            Op::Split { nosplit, .. } => AbsOp::Split { nosplit: *nosplit },
+            Op::Jump(target) => AbsOp::Jump(*target),
+        })
+        .collect()
+}
+
 /// A whole strategy lowered to flat form: two rulesets plus the
 /// canonical identity that names it in caches and metrics.
 #[derive(Debug, Clone)]
@@ -165,20 +231,79 @@ pub struct Program {
     pub key: CanonKey,
     /// The canonical DSL text (metrics/debug labels).
     pub canonical_text: String,
+    /// Discharged proof obligations. `Some` whenever every part
+    /// verified — which includes everything this compiler emits itself
+    /// (its jump targets are forward by construction). `None` only
+    /// when [`Program::compile_unchecked`] swallowed a failure.
+    pub proof: Option<ProgramProof>,
 }
 
 impl Program {
-    /// Canonicalize and compile a strategy.
-    pub fn compile(strategy: &Strategy) -> Program {
+    /// Canonicalize, compile, and *verify* a strategy: every compiled
+    /// body must discharge the stack-discipline, termination, and
+    /// bounded-amplification obligations, or the program is refused.
+    pub fn compile(strategy: &Strategy) -> Result<Program, VerifyError> {
+        Program::build(strategy, true)
+    }
+
+    /// [`Program::compile`] without the proof gate: a body that fails
+    /// verification is installed anyway (and `proof` is `None`). The
+    /// `--unchecked` escape hatch; the compiler's own output always
+    /// verifies, so this differs only for hand-fed op sequences or a
+    /// future compiler bug.
+    pub fn compile_unchecked(strategy: &Strategy) -> Program {
+        match Program::build(strategy, false) {
+            Ok(program) => program,
+            Err(_) => unreachable!("build never fails when checked=false"),
+        }
+    }
+
+    fn build(strategy: &Strategy, checked: bool) -> Result<Program, VerifyError> {
         let canonical = strata::canonicalize_strategy(strategy);
         let key = CanonKey::of(&canonical);
         let canonical_text = canonical.to_string();
-        Program {
-            outbound: canonical.outbound.iter().map(compile_part).collect(),
-            inbound: canonical.inbound.iter().map(compile_part).collect(),
+        let mut outbound: Vec<CompiledPart> = canonical.outbound.iter().map(compile_part).collect();
+        let mut inbound: Vec<CompiledPart> = canonical.inbound.iter().map(compile_part).collect();
+        let mut proof = Some(ProgramProof {
+            max_stack: 0,
+            max_emit: 0,
+        });
+        for (direction, parts) in [("outbound", &mut outbound), ("inbound", &mut inbound)] {
+            for (index, part) in parts.iter_mut().enumerate() {
+                match strata::verify_ops(&lower_ops(&part.ops)) {
+                    Ok(part_proof) => {
+                        // The per-pc Valid facts become TrustedValid
+                        // hints on the tamper ops they license.
+                        for (op, valid) in part.ops.iter_mut().zip(&part_proof.tamper_valid) {
+                            if let (Op::Tamper { hint, .. }, true) = (op, *valid) {
+                                *hint = TamperHint::TrustedValid;
+                            }
+                        }
+                        if let Some(agg) = proof.as_mut() {
+                            agg.max_stack = agg.max_stack.max(part_proof.max_stack);
+                            agg.max_emit = agg.max_emit.max(part_proof.max_emit);
+                        }
+                    }
+                    Err(error) => {
+                        if checked {
+                            return Err(VerifyError {
+                                direction,
+                                part: index,
+                                error,
+                            });
+                        }
+                        proof = None;
+                    }
+                }
+            }
+        }
+        Ok(Program {
+            outbound,
+            inbound,
             key,
             canonical_text,
-        }
+            proof,
+        })
     }
 
     /// Apply the outbound ruleset, appending emissions to `out`.
@@ -256,9 +381,9 @@ fn execute(ops: &[Op], pkt: Packet, seed: u64, out: &mut Vec<Packet>, stack: &mu
                     stack.push(top);
                 }
             }
-            Op::Tamper { field, mode } => {
+            Op::Tamper { field, mode, hint } => {
                 if let Some(top) = stack.pop() {
-                    stack.push(geneva::engine::tamper(top, field, mode, seed));
+                    stack.push(geneva::engine::tamper_hinted(top, field, mode, seed, *hint));
                 }
             }
             Op::Split {
@@ -314,6 +439,9 @@ fn compile_action(action: &Action, ops: &mut Vec<Op>) {
             ops.push(Op::Tamper {
                 field: field.clone(),
                 mode: mode.clone(),
+                // Upgraded to TrustedValid after verification proves
+                // the incoming packet canonical on every path.
+                hint: TamperHint::Checked,
             });
             compile_action(next, ops);
         }
@@ -370,6 +498,10 @@ pub struct ProgramCache {
     pub hits: u64,
     /// Lookups that compiled a new program.
     pub misses: u64,
+    /// Lookups refused because verification failed (only
+    /// [`ProgramCache::get_or_verify`] refuses; rejects are never
+    /// cached, so a repeat offender counts every time).
+    pub verify_rejects: u64,
 }
 
 impl ProgramCache {
@@ -378,8 +510,8 @@ impl ProgramCache {
         ProgramCache::default()
     }
 
-    /// Fetch the compiled form of `strategy`, compiling at most once
-    /// per equivalence class.
+    /// Fetch the compiled form of `strategy`, compiling (unchecked) at
+    /// most once per equivalence class.
     pub fn get_or_compile(&mut self, strategy: &Strategy) -> Arc<Program> {
         let key = CanonKey::of(&strata::canonicalize_strategy(strategy));
         if let Some(program) = self.map.get(&key) {
@@ -387,9 +519,33 @@ impl ProgramCache {
             return Arc::clone(program);
         }
         self.misses += 1;
-        let program = Arc::new(Program::compile(strategy));
+        let program = Arc::new(Program::compile_unchecked(strategy));
         self.map.insert(key, Arc::clone(&program));
         program
+    }
+
+    /// [`ProgramCache::get_or_compile`] with the proof gate: a
+    /// strategy whose program fails verification is refused and *not*
+    /// cached. Everything already in the cache was verified (only
+    /// verified programs are inserted here), so hits stay cheap.
+    pub fn get_or_verify(&mut self, strategy: &Strategy) -> Result<Arc<Program>, VerifyError> {
+        let key = CanonKey::of(&strata::canonicalize_strategy(strategy));
+        if let Some(program) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(program));
+        }
+        match Program::compile(strategy) {
+            Ok(program) => {
+                self.misses += 1;
+                let program = Arc::new(program);
+                self.map.insert(key, Arc::clone(&program));
+                Ok(program)
+            }
+            Err(error) => {
+                self.verify_rejects += 1;
+                Err(error)
+            }
+        }
     }
 
     /// Number of distinct compiled programs.
@@ -451,7 +607,7 @@ mod tests {
 
     fn assert_equiv(text: &str, pkt: &Packet, seed: u64) {
         let strategy = parse_strategy(text).unwrap();
-        let program = Program::compile(&strategy);
+        let program = Program::compile(&strategy).unwrap();
         let mut engine = Engine::new(strategy, seed);
         assert_eq!(
             program.run_outbound(pkt, seed),
@@ -464,7 +620,7 @@ mod tests {
     fn library_strategies_compile_equivalent() {
         for named in geneva::library::server_side() {
             let strategy = named.strategy();
-            let program = Program::compile(&strategy);
+            let program = Program::compile(&strategy).unwrap();
             let mut engine = Engine::new(strategy, 7);
             for pkt in [syn_ack(), data(b"GET / HTTP/1.1\r\n\r\n")] {
                 assert_eq!(

@@ -89,7 +89,7 @@ fn shapes() -> Vec<Packet> {
 /// Interpreter vs. compiled, both directions, one (strategy, seed).
 fn assert_equivalent(strategy: &GenevaStrategy, seed: u64, label: &str) {
     let mut engine = Engine::new(strategy.clone(), seed);
-    let program = Program::compile(strategy);
+    let program = Program::compile(strategy).expect("library programs verify");
     for (i, pkt) in shapes().iter().enumerate() {
         let want_out = engine.apply_outbound(pkt);
         let got_out = program.run_outbound(pkt, seed);
@@ -262,7 +262,9 @@ proptest! {
     #[test]
     fn generated_strategies_are_equivalent(strategy in arb_strategy(), seed in any::<u64>()) {
         let mut engine = Engine::new(strategy.clone(), seed);
-        let program = Program::compile(&strategy);
+        // Checked compile doubles as a soundness property: programs the
+        // compiler builds always discharge their own proof obligations.
+        let program = Program::compile(&strategy).expect("compiled programs verify");
         for pkt in shapes() {
             prop_assert_eq!(engine.apply_outbound(&pkt), program.run_outbound(&pkt, seed));
             prop_assert_eq!(engine.apply_inbound(&pkt), program.run_inbound(&pkt, seed));

@@ -91,6 +91,7 @@ fn run_workload(
             idle_timeout: 50_000,
         },
         seed: SeedMode::PerFlow(0xF10),
+        unchecked: false,
     };
     let mut dp = Dplane::new(cfg, ByAddr);
     let mut now = 0u64;
@@ -120,6 +121,7 @@ proptest! {
         let cfg = DplaneConfig {
             flow: FlowConfig { shards: 3, capacity, idle_timeout: 50_000 },
             seed: SeedMode::PerFlow(0xF10),
+            unchecked: false,
         };
         let mut dp = Dplane::new(cfg, ByAddr);
         let mut now = 0u64;
@@ -149,6 +151,7 @@ proptest! {
         let cfg = DplaneConfig {
             flow: FlowConfig { shards: 2, capacity, idle_timeout: u64::MAX },
             seed: SeedMode::PerFlow(0xF10),
+            unchecked: false,
         };
         let mut dp = Dplane::new(cfg, ByAddr);
         let mut first = Vec::new();
@@ -198,6 +201,7 @@ fn idle_flows_expire_and_rebuild() {
             idle_timeout: 1_000,
         },
         seed: SeedMode::PerFlow(0xF10),
+        unchecked: false,
     };
     let mut dp = Dplane::new(cfg, ByAddr);
     let probe = packet_for(Event {

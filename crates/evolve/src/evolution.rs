@@ -107,6 +107,16 @@ impl EvolutionResult {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of memo misses the static prefilter answered without
+    /// simulating — the simulator time the futility proofs saved.
+    pub fn static_skip_rate(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.static_rejects as f64 / self.cache_misses as f64
+        }
+    }
 }
 
 /// Run the genetic algorithm.

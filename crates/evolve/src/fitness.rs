@@ -143,7 +143,12 @@ impl FitnessCache {
             seed,
             jobs: None,
             cache: HashMap::new(),
-            lint_ctx: LintContext::default(),
+            // TCP-liveness futility proofs only apply when the target
+            // exchange actually rides TCP.
+            lint_ctx: LintContext {
+                tcp_exchange: protocol.transport_is_tcp(),
+                ..LintContext::default()
+            },
             trials_spent: 0,
             truncated_trials: 0,
             cache_hits: 0,

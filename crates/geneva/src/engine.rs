@@ -127,15 +127,46 @@ fn run(action: &Action, pkt: Packet, seed: u64, out: &mut Vec<Packet>) {
     }
 }
 
+/// What a caller statically knows about the packet a tamper receives.
+/// The default (`Checked`) claims nothing: the incremental fast path
+/// re-checks canonicality at runtime. `TrustedValid` is a *proof
+/// token* — `dplane` sets it only on tamper ops whose top-of-stack
+/// packet `strata::absint` proved to be a fixed point of `finalize`
+/// on every execution path, which lets [`tamper_hinted`] skip the two
+/// O(packet) scans guarding the RFC 1624 patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TamperHint {
+    /// No static knowledge: verify canonicality before patching.
+    #[default]
+    Checked,
+    /// Statically proven canonical with verifying checksums.
+    TrustedValid,
+}
+
 /// Apply one tamper to one packet — the exact operation the tree walk
 /// performs, exported so `dplane`'s compiled programs share the code
 /// path (byte-identical output is a proven invariant, not a goal).
-pub fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Packet {
+pub fn tamper(pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -> Packet {
+    tamper_hinted(pkt, field, mode, seed, TamperHint::Checked)
+}
+
+/// [`tamper`] with a static validity hint. Byte-identical to `tamper`
+/// for every input: the hint only elides checks that the abstract
+/// interpreter proved would return `true` (and debug builds still
+/// assert they do).
+pub fn tamper_hinted(
+    mut pkt: Packet,
+    field: &FieldRef,
+    mode: &TamperMode,
+    seed: u64,
+    hint: TamperHint,
+) -> Packet {
     let value = match mode {
         TamperMode::Replace(v) => v.clone(),
         TamperMode::Corrupt => corrupt_value(field, &pkt, seed),
     };
-    if !field.is_derived() && tamper_incremental(&mut pkt, field, &value) {
+    let trusted = hint == TamperHint::TrustedValid;
+    if !field.is_derived() && tamper_incremental(&mut pkt, field, &value, trusted) {
         return pkt;
     }
     let _ = field.set(&mut pkt, &value);
@@ -159,7 +190,17 @@ pub fn tamper(mut pkt: Packet, field: &FieldRef, mode: &TamperMode, seed: u64) -
 /// shares `0x0000`'s ones'-complement class) but is never the value a
 /// recompute writes, so patching it would preserve a byte `finalize`
 /// would rewrite.
-fn tamper_incremental(pkt: &mut Packet, field: &FieldRef, value: &FieldValue) -> bool {
+///
+/// `trusted` elides the two O(packet) canonicality scans when the
+/// caller proved them statically ([`TamperHint::TrustedValid`]); the
+/// cheap word-level gates (TCP transport, stored `0xFFFF`) stay, and
+/// debug builds assert the proof.
+fn tamper_incremental(
+    pkt: &mut Packet,
+    field: &FieldRef,
+    value: &FieldValue,
+    trusted: bool,
+) -> bool {
     #[derive(Clone, Copy)]
     enum Site {
         IpTtl,
@@ -184,7 +225,12 @@ fn tamper_incremental(pkt: &mut Packet, field: &FieldRef, value: &FieldValue) ->
     let old_seq = tcp.seq;
     let old_flags_word = u16::from_be_bytes([offset_byte, tcp.flags.0]);
     let old_ttl_word = u16::from_be_bytes([pkt.ip.ttl, pkt.ip.protocol]);
-    if !pkt.derived_fields_canonical() || !pkt.checksums_ok() {
+    if trusted {
+        debug_assert!(
+            pkt.derived_fields_canonical() && pkt.checksums_ok(),
+            "TamperHint::TrustedValid on a non-canonical packet: the static proof is wrong"
+        );
+    } else if !pkt.derived_fields_canonical() || !pkt.checksums_ok() {
         return false;
     }
     // Replicate `set` exactly (range checks, flag-string parsing) by

@@ -51,6 +51,7 @@ pub fn context_for(cfg: &TrialConfig) -> LintContext {
         hops_to_middlebox: cfg.path.mb_to_server_hops,
         hops_to_client: cfg.path.mb_to_server_hops + cfg.path.client_to_mb_hops,
         censor_resyncs_on_rst,
+        tcp_exchange: cfg.protocol.transport_is_tcp(),
         ..LintContext::default()
     }
 }

@@ -179,7 +179,7 @@ fn canon_step(action: &Action) -> Action {
 ///   to `Empty`, and valid-UTF-8 bytes fold to the shorter `Str` form;
 /// * flag strings that `TcpFlags` can parse fold to its canonical
 ///   render order (`Str("AS")` ≡ `Str("SA")`).
-fn fold_value(field: &FieldRef, value: &FieldValue) -> FieldValue {
+pub(crate) fn fold_value(field: &FieldRef, value: &FieldValue) -> FieldValue {
     let kind = match field.kind() {
         Ok(kind) => kind,
         Err(_) => return value.clone(),

@@ -42,11 +42,25 @@ pub struct Diagnostic {
     pub proves_futile: bool,
 }
 
+/// 1-based (line, column) of a byte offset in `source`. Columns count
+/// bytes (the DSL is ASCII); offsets past the end land on the last
+/// line, one past its end — the convention editors expect for EOF
+/// diagnostics.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + before.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
 impl Diagnostic {
-    /// Render like `error[checksum-futile] at 12..30: message`.
+    /// Render like `error[checksum-futile] at 12..30 (line 1, col 13):
+    /// message`.
     pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
         let mut out = format!(
-            "{}[{}] at {}: {}",
+            "{}[{}] at {} (line {line}, col {col}): {}",
             self.severity, self.code, self.span, self.message
         );
         if let Some(snippet) = source.get(self.span.start..self.span.end) {

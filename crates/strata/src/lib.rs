@@ -13,14 +13,27 @@
 //! 3. [`analyze`] combines both into the verdict the evolution
 //!    harness consumes (canonical form + key + diagnostics + an
 //!    is-it-even-worth-simulating flag).
+//!
+//! Underneath the lints sits [`absint`], an abstract interpreter with
+//! two front ends: `FieldEffect` summaries over strategy trees (what
+//! each emitted packet provably looks like) and a stack-machine
+//! verifier over lowered `dplane` programs (no underflow, forward-only
+//! control flow, bounded amplification). [`report`] renders the
+//! combined verdicts as text, JSON, or SARIF for `cay verify`.
 
+pub mod absint;
 pub mod canon;
 pub mod diagnostics;
 pub mod lints;
+pub mod report;
 
+pub use absint::{
+    summarize, verify_ops, AbsOp, OpsProof, PathEffect, StrategySummary, TamperKind, VerifyError,
+};
 pub use canon::{canonicalize, canonicalize_strategy, CanonKey};
-pub use diagnostics::{Diagnostic, Severity};
-pub use lints::{lint, lint_with_context, LintContext};
+pub use diagnostics::{line_col, Diagnostic, Severity};
+pub use lints::{lint, lint_with_context, LintContext, AMPLIFICATION_LIMIT};
+pub use report::{ProgramFacts, ReportEntry};
 
 /// Everything the harness wants to know about a strategy before
 /// spending simulator time on it.

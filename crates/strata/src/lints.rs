@@ -10,10 +10,18 @@
 //! * **node rules** look at one action node at a time
 //!   (`ttl-unreachable`, `degenerate-fragment`, `dup-amplification`,
 //!   `checksum-futile` on inbound);
-//! * **path rules** enumerate every root-to-`send` path through an
-//!   action tree and reason about the packet each path emits
-//!   (`checksum-futile`, `synack-payload-compat`, `resync-invariant`,
-//!   `handshake-severed`, `no-op-chain`).
+//! * **path rules** reason about the abstract packet each
+//!   root-to-`send` path emits, using the [`crate::absint`]
+//!   `FieldEffect` summaries (`checksum-futile`,
+//!   `synack-payload-compat`, `resync-invariant`, `handshake-severed`,
+//!   `seq-desync-kills-client`, `ack-desync-kills-client`,
+//!   `deliverable-rst-resets-client`, `window-zero-stalls-client`,
+//!   `checksum-left-broken-reaches-client`, `no-op-chain`).
+//!
+//! Futility proofs about one part are suppressed when an *earlier*
+//! part could intercept the same packets (see `shielded_by_earlier`):
+//! first-match-wins means a proof about a shielded part says nothing
+//! about the strategy as a whole.
 //!
 //! Severity is [`Severity::Warning`] unless the rule *proves* the
 //! strategy cannot beat the identity strategy, in which case it is
@@ -27,8 +35,16 @@ use geneva::{
 use packet::field::{FieldKind, FieldValue};
 use packet::{Proto, TcpFlags};
 
+use crate::absint::{action_effects, max_emission, FieldEffect, PathEffect};
 use crate::canon::{canonicalize, is_inert};
 use crate::diagnostics::{Diagnostic, Severity};
+
+/// Emission count at which `dup-amplification` starts complaining.
+/// `cay verify` flags the compiled program's proved bound
+/// (`OpsProof::max_emit`) against the same threshold, so the tree walk
+/// and the abstract interpreter can never disagree about what counts
+/// as amplified.
+pub const AMPLIFICATION_LIMIT: usize = 8;
 
 /// Scenario knowledge that unlocks the context-dependent lints.
 ///
@@ -51,6 +67,12 @@ pub struct LintContext {
     /// on injected RSTs. `None` = unknown censor, RST lints stay
     /// quiet.
     pub censor_resyncs_on_rst: Option<bool>,
+    /// Whether the application exchange rides a TCP handshake + data
+    /// flow. All current application protocols do (DNS here is DNS
+    /// over TCP, RFC 7766), but the TCP-state-machine futility proofs
+    /// (`handshake-severed`, the desync/RST/data-flow rules) are only
+    /// sound when this holds, so it is an explicit knob.
+    pub tcp_exchange: bool,
 }
 
 impl Default for LintContext {
@@ -61,6 +83,7 @@ impl Default for LintContext {
             hops_to_client: path.mb_to_server_hops + path.client_to_mb_hops,
             default_ttl: 64,
             censor_resyncs_on_rst: None,
+            tcp_exchange: true,
         }
     }
 }
@@ -130,16 +153,36 @@ fn lint_direction(
 
         // -- path rules ---------------------------------------------------
         if outbound {
-            let paths = enumerate_paths(&part.action, ctx);
+            let paths = action_effects(&part.action);
+            let shielded = shielded_by_earlier(parts, i);
             lint_no_op_chain(&part.action, part_span, out);
             lint_checksum_futile_part(&paths, part_span, out);
-            lint_handshake_severed(part, &paths, part_span, ctx, out);
             lint_synack_payload(part, &paths, part_span, out);
             lint_resync_invariant(part, &paths, part_span, ctx, out);
+            lint_window_zero(part, &paths, part_span, ctx, out);
+            if !shielded && ctx.tcp_exchange {
+                lint_handshake_flow(part, &paths, part_span, ctx, out);
+                lint_data_flow_severed(part, &paths, part_span, ctx, out);
+            }
         } else {
             lint_no_op_chain(&part.action, part_span, out);
         }
     }
+}
+
+/// Could an *earlier* part intercept packets this part would match?
+/// An earlier part with the same trigger makes this part unreachable;
+/// an earlier part on a *different* field may co-match the same packet
+/// (e.g. `[IP:ttl:64]` before `[TCP:flags:SA]` can swallow the
+/// SYN+ACK first). Only an earlier part on the same field with a
+/// different value is provably disjoint (triggers are exact matches).
+/// A futility proof about a shielded part does not transfer to the
+/// whole strategy, so the proving lints stand down.
+fn shielded_by_earlier(parts: &[StrategyPart], index: usize) -> bool {
+    let me = &parts[index].trigger;
+    parts[..index]
+        .iter()
+        .any(|p| p.trigger.field != me.field || p.trigger.value == me.value)
 }
 
 fn diag(
@@ -359,16 +402,15 @@ fn lint_node(
 /// Strategies that explode one trigger packet into many are slow to
 /// simulate and trivially fingerprintable on the wire.
 fn lint_dup_amplification(action: &Action, span: Span, out: &mut Vec<Diagnostic>) {
-    const LIMIT: usize = 8;
     let n = max_emission(action);
-    if n >= LIMIT {
+    if n >= AMPLIFICATION_LIMIT {
         out.push(diag(
             Severity::Warning,
             "dup-amplification",
             span,
             format!(
                 "this tree can emit up to {n} packets per trigger packet \
-                 (amplification threshold {LIMIT})"
+                 (amplification threshold {AMPLIFICATION_LIMIT})"
             ),
             Some("collapse duplicate/fragment chains".into()),
             false,
@@ -376,130 +418,41 @@ fn lint_dup_amplification(action: &Action, span: Span, out: &mut Vec<Diagnostic>
     }
 }
 
-/// Worst-case number of packets a subtree emits for one input packet.
-fn max_emission(action: &Action) -> usize {
-    match action {
-        Action::Send => 1,
-        Action::Drop => 0,
-        Action::Tamper { next, .. } => max_emission(next),
-        Action::Duplicate(a, b) => max_emission(a) + max_emission(b),
-        Action::Fragment { first, second, .. } => max_emission(first) + max_emission(second),
-    }
-}
-
 // ---------------------------------------------------------------------------
-// Path rules
+// Path rules (over `absint::PathEffect` summaries)
 // ---------------------------------------------------------------------------
 
-/// What we statically know about the packet one root-to-`send` path
-/// emits.
-#[derive(Debug, Clone)]
-struct PathFact {
-    /// The checksum is *definitely* broken when the packet leaves
-    /// (a chksum tamper not followed by a re-finalizing tamper or a
-    /// fragment split).
-    chksum_broken: bool,
-    /// The packet's TTL, when statically known.
-    ttl: Option<u64>,
-    /// A non-clearing tamper touched the TCP payload on this path.
-    adds_payload: bool,
-    /// TCP flags at emission: `None` = unknown (corrupted),
-    /// `Some(s)` = canonical flag letters (possibly inherited from
-    /// the trigger).
-    flags: Option<Option<String>>,
+/// Does the trigger fire on the server's SYN+ACK?
+fn on_synack(part: &StrategyPart) -> bool {
+    let t = &part.trigger;
+    t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "SA"
 }
 
-/// Enumerate the facts for every `send` leaf of `action`. `Drop`
-/// leaves emit nothing and produce no fact.
-fn enumerate_paths(action: &Action, ctx: &LintContext) -> Vec<PathFact> {
-    let mut out = Vec::new();
-    let seed = PathFact {
-        chksum_broken: false,
-        ttl: Some(u64::from(ctx.default_ttl)),
-        adds_payload: false,
-        flags: Some(None),
-    };
-    walk_paths(action, seed, &mut out);
-    out
+/// Can a packet with these flags advance a client out of SYN_SENT?
+/// Any SYN-carrying, non-RST combination can: with ACK it is (a
+/// possibly option-decorated) SYN+ACK, without ACK it triggers
+/// simultaneous open (the client's state machine ignores the ack field
+/// on a bare SYN). Checking flag *bits* rather than exact strings is
+/// what keeps e.g. `SPA` — which establishes just like `SA` — from
+/// being "proven" dead.
+fn flags_advance_handshake(flags: TcpFlags) -> bool {
+    flags.contains(TcpFlags::SYN) && !flags.contains(TcpFlags::RST)
 }
 
-fn walk_paths(action: &Action, mut fact: PathFact, out: &mut Vec<PathFact>) {
-    match action {
-        Action::Send => out.push(fact),
-        Action::Drop => {}
-        Action::Duplicate(a, b) => {
-            walk_paths(a, fact.clone(), out);
-            walk_paths(b, fact, out);
-        }
-        Action::Fragment { first, second, .. } => {
-            // When the split happens both pieces are re-finalized, so
-            // a previously broken checksum is repaired; when it does
-            // not, only `first` runs on the untouched packet. Either
-            // way the checksum is no longer *definitely* broken.
-            let mut piece = fact.clone();
-            piece.chksum_broken = false;
-            walk_paths(first, piece.clone(), out);
-            walk_paths(second, piece, out);
-        }
-        Action::Tamper { field, mode, next } => {
-            if field.name == "chksum" {
-                // Both corrupt and replace leave a wrong sum with
-                // overwhelming probability, and mark the field so
-                // serialization keeps the damage.
-                fact.chksum_broken = true;
-            } else if !field.is_derived() {
-                // Tampering a plain field re-finalizes the packet,
-                // repairing any earlier checksum damage.
-                fact.chksum_broken = false;
-            }
-            if field.proto == Proto::Ip && field.name == "ttl" {
-                fact.ttl = match mode {
-                    TamperMode::Replace(FieldValue::Num(n)) => Some(*n),
-                    TamperMode::Replace(FieldValue::Str(s)) => s.parse::<u64>().ok(),
-                    _ => None,
-                };
-            }
-            if field.proto == Proto::Tcp && field.name == "load" {
-                let clears = match mode {
-                    TamperMode::Replace(FieldValue::Empty) => true,
-                    TamperMode::Replace(FieldValue::Str(s)) => s.is_empty(),
-                    TamperMode::Replace(FieldValue::Bytes(b)) => b.is_empty(),
-                    _ => false,
-                };
-                if !clears {
-                    fact.adds_payload = true;
-                }
-            }
-            if field.proto == Proto::Tcp && field.name == "flags" {
-                fact.flags = match mode {
-                    TamperMode::Corrupt => None,
-                    TamperMode::Replace(v) => {
-                        TcpFlags::from_geneva(&v.to_syntax()).map(|f| Some(f.to_geneva()))
-                    }
-                };
-            }
-            walk_paths(next, fact, out);
-        }
-    }
+/// The path's packet is not provably destroyed before the client:
+/// checksum not definitely broken and TTL not definitely short.
+fn reaches_client(p: &PathEffect, ctx: &LintContext) -> bool {
+    !p.checksum_broken()
+        && p.ttl(ctx.default_ttl)
+            .is_none_or(|ttl| ttl >= u64::from(ctx.hops_to_client))
 }
 
-/// Flags a path's packet carries, given the trigger it matched.
-/// `None` = statically unknown.
-fn emitted_flags(part: &StrategyPart, fact: &PathFact) -> Option<String> {
-    match &fact.flags {
-        None => None,
-        Some(None) => {
-            // Untouched: inherited from the trigger when the trigger
-            // pins TCP flags.
-            let t = &part.trigger;
-            if t.field.proto == Proto::Tcp && t.field.name == "flags" {
-                TcpFlags::from_geneva(&t.value).map(|f| f.to_geneva())
-            } else {
-                None
-            }
-        }
-        Some(Some(s)) => Some(s.clone()),
-    }
+/// The path's packet *definitely* arrives at the client: checksum
+/// provably verifying and TTL provably sufficient. (Corrupted TTLs
+/// make [`reaches_client`] true but this false.)
+fn definitely_reaches_client(p: &PathEffect, ctx: &LintContext) -> bool {
+    !p.checksum_broken()
+        && matches!(p.ttl(ctx.default_ttl), Some(ttl) if ttl >= u64::from(ctx.hops_to_client))
 }
 
 /// `no-op-chain`: the whole action tree canonicalizes to a bare
@@ -522,8 +475,8 @@ fn lint_no_op_chain(action: &Action, span: Span, out: &mut Vec<Diagnostic>) {
 /// `checksum-futile` (outbound flavour): *every* packet this part
 /// emits leaves with a broken checksum, so the client's stack drops
 /// them all and the part degenerates to `drop`.
-fn lint_checksum_futile_part(paths: &[PathFact], span: Span, out: &mut Vec<Diagnostic>) {
-    if !paths.is_empty() && paths.iter().all(|p| p.chksum_broken) {
+fn lint_checksum_futile_part(paths: &[PathEffect], span: Span, out: &mut Vec<Diagnostic>) {
+    if !paths.is_empty() && paths.iter().all(PathEffect::checksum_broken) {
         out.push(diag(
             Severity::Warning,
             "checksum-futile",
@@ -541,49 +494,69 @@ fn lint_checksum_futile_part(paths: &[PathFact], span: Span, out: &mut Vec<Diagn
     }
 }
 
-/// `handshake-severed`: the part triggers on the server's SYN+ACK and
-/// *no* emitted packet can complete the handshake — either the tree
-/// emits nothing (inert), or every emission is checksum-broken,
-/// TTL-dead before the client, or carries flags that cannot advance a
-/// client out of SYN_SENT. "Can advance" includes a bare SYN: clients
-/// answer it with a SYN+ACK of their own (simultaneous open, paper §5
-/// — this is exactly how Strategy 1's `replace:S` branch completes).
-/// Corrupted flags are unknowable at lint time and therefore can
-/// never *prove* severance.
-fn lint_handshake_severed(
+/// The TCP handshake-flow family: `handshake-severed`,
+/// `seq-desync-kills-client`, `ack-desync-kills-client`,
+/// `deliverable-rst-resets-client`. All fire on parts triggering on
+/// the server's SYN+ACK, and all prove futility — the caller already
+/// checked the part is unshielded and the exchange is TCP.
+///
+/// * **severed** — no emitted packet can even *carry* flags that
+///   advance a client out of SYN_SENT (tree inert, every copy
+///   destroyed in transit, or every surviving copy RST/FIN/ACK-only).
+///   "Can advance" includes a bare SYN: clients answer it with a
+///   SYN+ACK of their own (simultaneous open, paper §5 — exactly how
+///   Strategy 1's `replace:S` branch completes). Corrupted flags are
+///   unknowable at lint time and never prove severance.
+/// * **seq/ack desync** — some packet advances by flags, but every
+///   such packet desynchronizes the sequence space. A SYN+ACK with a
+///   rewritten `seq` makes the client ack `bogus+1`, which the server
+///   (expecting `iss+1`) ignores forever — it stays in SYN_RCVD
+///   retransmitting, and retransmissions are re-tampered identically
+///   (the corrupt PRNG is pure in the packet bytes), so the desync is
+///   permanent. A SYN+ACK with a rewritten `ack` fails the client's
+///   `ack == snd_nxt` check and is answered with a RST. Only paths
+///   with the relevant fields *untouched* are viable (a rewritten
+///   value landing on the true one is a ~2⁻³² accident, the same
+///   tolerance the engine's corrupt semantics already accept). A bare
+///   SYN needs only `seq` untouched — the client ignores its ack
+///   field.
+/// * **deliverable RST** — before any viable packet arrives, the
+///   client *definitely* receives a RST+ACK whose ack field is the
+///   engine's own (hence valid): SYN_SENT processes it as a valid
+///   reset and the connection dies permanently.
+///
+/// Fragments make per-path field facts approximate (the split may
+/// shift `seq`), so the desync/RST rules stand down on parts with any
+/// fragment path; severance (which only needs flags + deliverability)
+/// does not.
+fn lint_handshake_flow(
     part: &StrategyPart,
-    paths: &[PathFact],
+    paths: &[PathEffect],
     span: Span,
     ctx: &LintContext,
     out: &mut Vec<Diagnostic>,
 ) {
-    let t = &part.trigger;
-    let on_synack = t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "SA";
-    if !on_synack {
+    if !on_synack(part) {
         return;
     }
-    let deliverable = |p: &PathFact| {
-        !p.chksum_broken
-            && p.ttl.is_none_or(|ttl| ttl >= u64::from(ctx.hops_to_client))
-            && match emitted_flags(part, p).as_deref() {
-                // Corrupt leaves the flags unknowable — possibly viable.
-                None => true,
-                Some(f) => f == "SA" || f == "S",
-            }
+    let flags_ok = |p: &PathEffect| match p.emitted_flags(&part.trigger) {
+        // Corrupt leaves the flags unknowable — possibly viable.
+        None => true,
+        Some(f) => flags_advance_handshake(f),
     };
     let severed = if paths.is_empty() {
         // Inert tree: the SYN+ACK is swallowed entirely.
         is_inert(&part.action)
     } else {
-        !paths.iter().any(deliverable)
+        !paths.iter().any(|p| reaches_client(p, ctx) && flags_ok(p))
     };
     if severed {
         let why = if paths.is_empty() {
             "it drops every SYN+ACK"
         } else {
             "every emitted packet is checksum-broken, TTL-dead before the client, \
-             or flagged so it cannot advance the handshake (neither SYN+ACK nor \
-             a simultaneous-open SYN)"
+             or flagged so it cannot advance the handshake (no SYN bit, or a RST \
+             alongside it)"
         };
         out.push(diag(
             Severity::Error,
@@ -596,6 +569,187 @@ fn lint_handshake_severed(
             Some("keep one untampered branch that delivers the real SYN+ACK".into()),
             true,
         ));
+        return;
+    }
+    if paths.iter().any(|p| p.via_fragment) {
+        return;
+    }
+
+    // A path that actually completes the handshake: reaches the
+    // client, advances by flags, and keeps the sequence space intact.
+    let advances = |p: &PathEffect| {
+        if !reaches_client(p, ctx) {
+            return false;
+        }
+        let seq_ok = p.effect("TCP:seq").is_none();
+        let ack_ok = p.effect("TCP:ack").is_none();
+        match p.emitted_flags(&part.trigger) {
+            // Unknown flags: viable only if they can land on a bare
+            // SYN (ack ignored) or a SYN+ACK with both fields intact.
+            None => seq_ok,
+            Some(f) if flags_advance_handshake(f) => {
+                if f.contains(TcpFlags::ACK) {
+                    seq_ok && ack_ok
+                } else {
+                    seq_ok
+                }
+            }
+            Some(_) => false,
+        }
+    };
+    let advancing: Vec<usize> = (0..paths.len()).filter(|&i| advances(&paths[i])).collect();
+
+    if advancing.is_empty() {
+        // Not severed, so some path survives by flags — each such path
+        // must have been blocked by a seq/ack rewrite.
+        let blocked_on_seq = paths
+            .iter()
+            .any(|p| reaches_client(p, ctx) && flags_ok(p) && p.effect("TCP:seq").is_some());
+        let (code, field, consequence) = if blocked_on_seq {
+            (
+                "seq-desync-kills-client",
+                "seq",
+                "the client acknowledges the bogus sequence number, which the \
+                 server ignores forever — it stays in SYN_RCVD and no data can flow",
+            )
+        } else {
+            (
+                "ack-desync-kills-client",
+                "ack",
+                "the client rejects the wrong acknowledgment with a RST and the \
+                 handshake never completes",
+            )
+        };
+        out.push(diag(
+            Severity::Error,
+            code,
+            span,
+            format!(
+                "every handshake-advancing packet this part emits has a rewritten \
+                 TCP {field}: {consequence}; the strategy cannot beat the identity \
+                 strategy"
+            ),
+            Some(format!(
+                "keep one branch that leaves TCP:{field} untouched on a delivered \
+                 SYN+ACK (or bare SYN)"
+            )),
+            true,
+        ));
+        return;
+    }
+
+    // Handshake-viable packets exist — but does a lethal RST+ACK
+    // definitely arrive before the first of them?
+    let kills = |p: &PathEffect| {
+        definitely_reaches_client(p, ctx)
+            && p.effect("TCP:ack").is_none()
+            && matches!(
+                p.emitted_flags(&part.trigger),
+                Some(f) if f.contains(TcpFlags::RST) && f.contains(TcpFlags::ACK)
+            )
+    };
+    if let Some(k) = (0..paths.len()).find(|&i| kills(&paths[i])) {
+        if advancing.iter().all(|&i| i > k) {
+            out.push(diag(
+                Severity::Error,
+                "deliverable-rst-resets-client",
+                span,
+                "a RST+ACK with a valid acknowledgment definitely reaches the \
+                 client before any handshake-completing packet: SYN_SENT treats \
+                 it as a genuine reset and the connection dies; the strategy \
+                 cannot beat the identity strategy"
+                    .into(),
+                Some(
+                    "break the RST copy's checksum or shorten its TTL so only the \
+                     censor sees it (the paper's insertion shape)"
+                        .into(),
+                ),
+                true,
+            ));
+        }
+    }
+}
+
+/// `window-zero-stalls-client`: a delivered, handshake-advancing
+/// SYN+ACK advertises a zero receive window. The connection opens but
+/// the client cannot send data until a window update arrives —
+/// zombie-like stalls that waste the whole exchange timeout. Not a
+/// futility proof (persist-timer probes may eventually open the
+/// window), hence a warning.
+fn lint_window_zero(
+    part: &StrategyPart,
+    paths: &[PathEffect],
+    span: Span,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !on_synack(part) || !ctx.tcp_exchange {
+        return;
+    }
+    let stalls = paths.iter().any(|p| {
+        !p.checksum_broken()
+            && matches!(
+                p.emitted_flags(&part.trigger),
+                Some(f) if flags_advance_handshake(f)
+            )
+            && p.effect("TCP:window") == Some(&FieldEffect::Written(FieldValue::Num(0)))
+    });
+    if stalls {
+        out.push(diag(
+            Severity::Warning,
+            "window-zero-stalls-client",
+            span,
+            "a handshake-advancing packet advertises a zero receive window; the \
+             client connects but stalls waiting for a window update"
+                .into(),
+            Some("advertise a nonzero window on the delivered copy".into()),
+            false,
+        ));
+    }
+}
+
+/// `checksum-left-broken-reaches-client`: the part triggers on the
+/// server's data segments (`PSH+ACK` — every data-bearing packet the
+/// simulated server sends) and destroys all of them: each emitted copy
+/// is checksum-broken or TTL-dead before the client, or the tree emits
+/// nothing at all. Retransmissions re-match the same trigger and are
+/// re-tampered identically, so the client can never receive the
+/// response — the strategy cannot beat the identity strategy.
+fn lint_data_flow_severed(
+    part: &StrategyPart,
+    paths: &[PathEffect],
+    span: Span,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    let t = &part.trigger;
+    let on_data = t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "PA";
+    if !on_data {
+        return;
+    }
+    let severed = if paths.is_empty() {
+        is_inert(&part.action)
+    } else {
+        !paths.iter().any(|p| reaches_client(p, ctx))
+    };
+    if severed {
+        let why = if paths.is_empty() {
+            "it drops every data segment"
+        } else {
+            "every emitted copy is checksum-broken or TTL-dead before the client"
+        };
+        out.push(diag(
+            Severity::Error,
+            "checksum-left-broken-reaches-client",
+            span,
+            format!(
+                "this part destroys the server's data segments: {why}; the client \
+                 can never receive the response, so the strategy cannot beat the \
+                 identity strategy"
+            ),
+            Some("keep one copy that delivers the real segment intact".into()),
+            true,
+        ));
     }
 }
 
@@ -605,17 +759,17 @@ fn lint_handshake_severed(
 /// paper), so the strategy silently loses those client populations.
 fn lint_synack_payload(
     part: &StrategyPart,
-    paths: &[PathFact],
+    paths: &[PathEffect],
     span: Span,
     out: &mut Vec<Diagnostic>,
 ) {
-    let t = &part.trigger;
-    let on_synack = t.field.proto == Proto::Tcp && t.field.name == "flags" && t.value == "SA";
-    if !on_synack {
+    if !on_synack(part) {
         return;
     }
     let risky = paths.iter().any(|p| {
-        p.adds_payload && !p.chksum_broken && emitted_flags(part, p).as_deref() == Some("SA")
+        p.adds_payload()
+            && !p.checksum_broken()
+            && p.emitted_flags(&part.trigger) == Some(TcpFlags::SYN_ACK)
     });
     if risky {
         let intolerant: Vec<&str> = endpoint::profile::all_profiles()
@@ -650,7 +804,7 @@ fn lint_synack_payload(
 /// ignores RSTs — the injection premise does not hold.
 fn lint_resync_invariant(
     part: &StrategyPart,
-    paths: &[PathFact],
+    paths: &[PathEffect],
     span: Span,
     ctx: &LintContext,
     out: &mut Vec<Diagnostic>,
@@ -660,10 +814,10 @@ fn lint_resync_invariant(
     }
     let injects_rst = paths
         .iter()
-        .any(|p| emitted_flags(part, p).as_deref() == Some("R"));
+        .any(|p| p.emitted_flags(&part.trigger) == Some(TcpFlags::RST));
     let keeps_real = paths
         .iter()
-        .any(|p| emitted_flags(part, p).as_deref() != Some("R"));
+        .any(|p| p.emitted_flags(&part.trigger) != Some(TcpFlags::RST));
     if injects_rst && keeps_real {
         out.push(diag(
             Severity::Warning,
@@ -897,6 +1051,134 @@ mod tests {
         assert!(!sim_open.contains(&"handshake-severed"), "{sim_open:?}");
         let corrupt = codes("[TCP:flags:SA]-tamper{TCP:flags:corrupt}-| \\/ ");
         assert!(!corrupt.contains(&"handshake-severed"), "{corrupt:?}");
+    }
+
+    #[test]
+    fn handshake_severed_sound_on_decorated_synack() {
+        // SYN+PSH+ACK establishes exactly like SYN+ACK (the client
+        // checks flag bits, not exact strings) — must not be refuted.
+        let c = codes("[TCP:flags:SA]-tamper{TCP:flags:replace:SPA}-| \\/ ");
+        assert!(!c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn seq_desync_fires_when_every_advancing_copy_is_desynced() {
+        let diags = lint("[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| \\/ ").expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "seq-desync-kills-client")
+            .expect("fires");
+        assert!(d.proves_futile && d.severity == Severity::Error);
+    }
+
+    #[test]
+    fn seq_desync_quiet_when_clean_copy_survives() {
+        let c = codes(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:seq:corrupt}(tamper{TCP:chksum:corrupt}),)-| \\/ ",
+        );
+        assert!(!c.contains(&"seq-desync-kills-client"), "{c:?}");
+    }
+
+    #[test]
+    fn ack_desync_fires_on_ack_rewrite() {
+        let c = codes("[TCP:flags:SA]-tamper{TCP:ack:replace:99}-| \\/ ");
+        assert!(c.contains(&"ack-desync-kills-client"), "{c:?}");
+    }
+
+    #[test]
+    fn ack_rewrite_survives_via_simultaneous_open() {
+        // A bare SYN ignores the ack field, so an ack rewrite on a
+        // sim-open copy is harmless — must not be refuted.
+        let c =
+            codes("[TCP:flags:SA]-tamper{TCP:ack:corrupt}(tamper{TCP:flags:replace:S},)-| \\/ ");
+        assert!(!c.contains(&"ack-desync-kills-client"), "{c:?}");
+        assert!(!c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn deliverable_rst_fires_when_rst_ack_precedes_real_synack() {
+        let diags =
+            lint("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:RA},)-| \\/ ").expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "deliverable-rst-resets-client")
+            .expect("fires");
+        assert!(d.proves_futile);
+    }
+
+    #[test]
+    fn deliverable_rst_quiet_when_rst_copy_is_censor_only() {
+        // Insertion shape: the RST copy is checksum-broken, only the
+        // censor processes it.
+        let c = codes(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:RA}\
+             (tamper{TCP:chksum:corrupt}),)-| \\/ ",
+        );
+        assert!(!c.contains(&"deliverable-rst-resets-client"), "{c:?}");
+        // Bare RSTs (no ACK) are ignored in SYN_SENT: strategy 1 shape.
+        let bare = codes("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ");
+        assert!(!bare.contains(&"deliverable-rst-resets-client"), "{bare:?}");
+    }
+
+    #[test]
+    fn window_zero_warns_but_does_not_refute() {
+        let diags = lint("[TCP:flags:SA]-tamper{TCP:window:replace:0}-| \\/ ").expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "window-zero-stalls-client")
+            .expect("fires");
+        assert!(d.severity == Severity::Warning && !d.proves_futile);
+        let c = codes("[TCP:flags:SA]-tamper{TCP:window:replace:1000}-| \\/ ");
+        assert!(!c.contains(&"window-zero-stalls-client"), "{c:?}");
+    }
+
+    #[test]
+    fn data_flow_severed_fires_when_every_data_copy_dies() {
+        let diags = lint("[TCP:flags:PA]-tamper{TCP:chksum:corrupt}-| \\/ ").expect("parses");
+        let d = diags
+            .iter()
+            .find(|d| d.code == "checksum-left-broken-reaches-client")
+            .expect("fires");
+        assert!(d.proves_futile);
+        let dropped = lint("[TCP:flags:PA]-drop-| \\/ ").expect("parses");
+        assert!(dropped
+            .iter()
+            .any(|d| d.code == "checksum-left-broken-reaches-client"));
+    }
+
+    #[test]
+    fn data_flow_quiet_when_clean_segment_survives() {
+        let c = codes("[TCP:flags:PA]-duplicate(tamper{TCP:chksum:corrupt},)-| \\/ ");
+        assert!(!c.contains(&"checksum-left-broken-reaches-client"), "{c:?}");
+        // Segmentation refinalizes both pieces: deliverable.
+        let frag =
+            codes("[TCP:flags:PA]-tamper{TCP:chksum:corrupt}(fragment{TCP:8:True}(,),)-| \\/ ");
+        assert!(
+            !frag.contains(&"checksum-left-broken-reaches-client"),
+            "{frag:?}"
+        );
+    }
+
+    #[test]
+    fn futility_proofs_stand_down_on_shielded_parts() {
+        // An earlier different-field part may swallow the SYN+ACK
+        // first, so the later drop proves nothing about the strategy.
+        let c = codes("[IP:ttl:64]-duplicate(,)-|[TCP:flags:SA]-drop-| \\/ ");
+        assert!(!c.contains(&"handshake-severed"), "{c:?}");
+        // Same field, different value: provably disjoint — the proof
+        // stands.
+        let c = codes("[TCP:flags:S]-duplicate(,)-|[TCP:flags:SA]-drop-| \\/ ");
+        assert!(c.contains(&"handshake-severed"), "{c:?}");
+    }
+
+    #[test]
+    fn tcp_futility_proofs_respect_tcp_exchange_flag() {
+        let ctx = LintContext {
+            tcp_exchange: false,
+            ..LintContext::default()
+        };
+        let c = codes_ctx("[TCP:flags:SA]-drop-| \\/ ", &ctx);
+        assert!(!c.contains(&"handshake-severed"), "{c:?}");
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Rendering for `cay verify`: one [`ReportEntry`] per strategy,
+//! emitted as human-readable text, plain JSON, or SARIF 2.1.0 (the
+//! static-analysis interchange format CI annotators consume).
+//!
+//! JSON is hand-rolled — the workspace deliberately carries no serde —
+//! mirroring the `dplane::metrics` idiom.
+
+use crate::canon::CanonKey;
+use crate::diagnostics::{line_col, Diagnostic, Severity};
+use crate::lints::AMPLIFICATION_LIMIT;
+
+/// What the abstract interpreter proved (or failed to prove) about a
+/// strategy's compiled program. Kept as plain data so `strata` never
+/// needs to see `dplane`'s error types: the binary fills it in.
+#[derive(Debug, Clone)]
+pub struct ProgramFacts {
+    /// All proof obligations discharged.
+    pub verified: bool,
+    /// The verifier's complaint when `verified` is false.
+    pub error: Option<String>,
+    /// Proved worst-case packet-stack depth (0 when unverified).
+    pub max_stack: usize,
+    /// Proved worst-case emissions per trigger packet (0 when
+    /// unverified).
+    pub max_emit: usize,
+}
+
+/// One strategy's verification record.
+#[derive(Debug, Clone)]
+pub struct ReportEntry {
+    /// Display name (library strategy name, or `"cli"` for ad-hoc
+    /// input). Doubles as the SARIF artifact URI.
+    pub label: String,
+    /// The strategy source the diagnostics' spans index into.
+    pub source: String,
+    /// Canonical form.
+    pub canonical: String,
+    /// Equivalence key of the canonical form.
+    pub key: CanonKey,
+    /// Some error diagnostic proves the strategy futile.
+    pub statically_futile: bool,
+    /// Lint findings, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Compiled-program proof facts (`None` when the strategy did not
+    /// parse far enough to compile).
+    pub program: Option<ProgramFacts>,
+}
+
+impl ReportEntry {
+    /// This entry should fail a `cay verify` run: a futility proof,
+    /// any error-severity diagnostic, or a program that failed
+    /// verification.
+    pub fn failing(&self) -> bool {
+        self.statically_futile
+            || self
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error)
+            || self.program.as_ref().is_some_and(|p| !p.verified)
+    }
+}
+
+/// Human-readable report.
+pub fn render_text(entries: &[ReportEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!("== {} ==\n", e.label));
+        out.push_str(&format!("   source:    {}\n", e.source.trim_end()));
+        out.push_str(&format!("   canonical: {}\n", e.canonical.trim_end()));
+        out.push_str(&format!("   key:       {}\n", e.key));
+        match &e.program {
+            Some(p) if p.verified => {
+                out.push_str(&format!(
+                    "   program:   verified (max stack {}, max emit {})\n",
+                    p.max_stack, p.max_emit
+                ));
+                if p.max_emit >= AMPLIFICATION_LIMIT {
+                    out.push_str(&format!(
+                        "   warning[program-amplification]: proved emission bound {} \
+                         meets the amplification threshold {}\n",
+                        p.max_emit, AMPLIFICATION_LIMIT
+                    ));
+                }
+            }
+            Some(p) => {
+                out.push_str(&format!(
+                    "   program:   VERIFY FAILED: {}\n",
+                    p.error.as_deref().unwrap_or("unknown")
+                ));
+            }
+            None => {}
+        }
+        if e.statically_futile {
+            out.push_str("   verdict:   statically futile\n");
+        }
+        for d in &e.diagnostics {
+            for line in d.render(&e.source).lines() {
+                out.push_str(&format!("   {line}\n"));
+            }
+        }
+        if e.diagnostics.is_empty() {
+            out.push_str("   no findings\n");
+        }
+    }
+    let failing = entries.iter().filter(|e| e.failing()).count();
+    out.push_str(&format!(
+        "{} strategies, {} failing\n",
+        entries.len(),
+        failing
+    ));
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", esc(s)),
+        None => "null".into(),
+    }
+}
+
+/// Plain JSON report: `{"strategies": [...], "failing": n}`.
+pub fn render_json(entries: &[ReportEntry]) -> String {
+    let mut items = Vec::with_capacity(entries.len());
+    for e in entries {
+        let diags: Vec<String> = e
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let (line, col) = line_col(&e.source, d.span.start);
+                format!(
+                    "{{\"severity\":\"{}\",\"code\":\"{}\",\"start\":{},\"end\":{},\
+                     \"line\":{line},\"col\":{col},\"message\":\"{}\",\
+                     \"suggestion\":{},\"proves_futile\":{}}}",
+                    d.severity,
+                    d.code,
+                    d.span.start,
+                    d.span.end,
+                    esc(&d.message),
+                    opt_str(&d.suggestion),
+                    d.proves_futile
+                )
+            })
+            .collect();
+        let program = match &e.program {
+            Some(p) => format!(
+                "{{\"verified\":{},\"error\":{},\"max_stack\":{},\"max_emit\":{}}}",
+                p.verified,
+                opt_str(&p.error),
+                p.max_stack,
+                p.max_emit
+            ),
+            None => "null".into(),
+        };
+        items.push(format!(
+            "{{\"label\":\"{}\",\"source\":\"{}\",\"canonical\":\"{}\",\"key\":\"{}\",\
+             \"statically_futile\":{},\"diagnostics\":[{}],\"program\":{}}}",
+            esc(&e.label),
+            esc(&e.source),
+            esc(&e.canonical),
+            e.key,
+            e.statically_futile,
+            diags.join(","),
+            program
+        ));
+    }
+    let failing = entries.iter().filter(|e| e.failing()).count();
+    format!(
+        "{{\"strategies\":[{}],\"failing\":{}}}\n",
+        items.join(","),
+        failing
+    )
+}
+
+/// One SARIF result line.
+fn sarif_result(
+    rule: &str,
+    level: &str,
+    message: &str,
+    uri: &str,
+    source: &str,
+    start: usize,
+    end: usize,
+) -> String {
+    let (line, col) = line_col(source, start);
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\
+         \"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{line},\"startColumn\":{col},\
+         \"charOffset\":{start},\"charLength\":{}}}}}}}]}}",
+        esc(rule),
+        esc(message),
+        esc(uri),
+        end.saturating_sub(start)
+    )
+}
+
+/// SARIF 2.1.0 report. Diagnostics map one-to-one onto results; two
+/// synthetic rules surface program-level facts: `program-verify-failed`
+/// (the abstract interpreter refused the compiled program) and
+/// `program-amplification` (the proved emission bound meets the
+/// [`AMPLIFICATION_LIMIT`] threshold).
+pub fn render_sarif(entries: &[ReportEntry]) -> String {
+    let mut rules: Vec<&str> = Vec::new();
+    let note_rule = |rules: &mut Vec<&str>, id: &'static str| {
+        if !rules.contains(&id) {
+            rules.push(id);
+        }
+    };
+    let mut results = Vec::new();
+    for e in entries {
+        for d in &e.diagnostics {
+            let level = match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            results.push(sarif_result(
+                d.code,
+                level,
+                &d.message,
+                &e.label,
+                &e.source,
+                d.span.start,
+                d.span.end,
+            ));
+        }
+        match &e.program {
+            Some(p) if !p.verified => {
+                note_rule(&mut rules, "program-verify-failed");
+                results.push(sarif_result(
+                    "program-verify-failed",
+                    "error",
+                    &format!(
+                        "compiled program failed verification: {}",
+                        p.error.as_deref().unwrap_or("unknown")
+                    ),
+                    &e.label,
+                    &e.source,
+                    0,
+                    e.source.len(),
+                ));
+            }
+            Some(p) if p.max_emit >= AMPLIFICATION_LIMIT => {
+                note_rule(&mut rules, "program-amplification");
+                results.push(sarif_result(
+                    "program-amplification",
+                    "warning",
+                    &format!(
+                        "proved worst-case emission bound {} meets the amplification \
+                         threshold {AMPLIFICATION_LIMIT}",
+                        p.max_emit
+                    ),
+                    &e.label,
+                    &e.source,
+                    0,
+                    e.source.len(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    for e in entries {
+        for d in &e.diagnostics {
+            note_rule(&mut rules, d.code);
+        }
+    }
+    rules.sort_unstable();
+    let rules_json: Vec<String> = rules
+        .iter()
+        .map(|id| format!("{{\"id\":\"{}\"}}", esc(id)))
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"cay-verify\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
+        rules_json.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+    use crate::analyze;
+    use geneva::parse_strategy;
+
+    fn entry(source: &str, verified: bool) -> ReportEntry {
+        let strategy = parse_strategy(source).unwrap();
+        let a = analyze(&strategy);
+        ReportEntry {
+            label: "test".into(),
+            source: source.into(),
+            canonical: a.canonical.to_string(),
+            key: a.key,
+            statically_futile: a.statically_futile,
+            diagnostics: a.diagnostics,
+            program: Some(ProgramFacts {
+                verified,
+                error: (!verified).then(|| "op 1 jumps backward to 0".into()),
+                max_stack: 2,
+                max_emit: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn text_report_counts_failures() {
+        let ok = entry("[TCP:flags:SA]-duplicate(,)-| \\/ ", true);
+        let bad = entry("[TCP:flags:SA]-drop-| \\/ ", true);
+        let text = render_text(&[ok, bad]);
+        assert!(text.contains("2 strategies, 1 failing"), "{text}");
+        assert!(text.contains("handshake-severed"), "{text}");
+    }
+
+    #[test]
+    fn json_report_is_structurally_sound() {
+        let json = render_json(&[entry("[TCP:flags:SA]-drop-| \\/ ", true)]);
+        assert!(json.contains("\"statically_futile\":true"), "{json}");
+        assert!(json.contains("\"code\":\"handshake-severed\""), "{json}");
+        assert!(json.contains("\"line\":1"), "{json}");
+        // Balanced braces/brackets — the usual hand-rolled-JSON slip.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn sarif_report_carries_rules_and_locations() {
+        let sarif = render_sarif(&[entry("[TCP:flags:SA]-drop-| \\/ ", true)]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""), "{sarif}");
+        assert!(
+            sarif.contains("\"ruleId\":\"handshake-severed\""),
+            "{sarif}"
+        );
+        assert!(sarif.contains("\"startLine\":1"), "{sarif}");
+        assert!(sarif.contains("{\"id\":\"handshake-severed\"}"), "{sarif}");
+    }
+
+    #[test]
+    fn sarif_reports_verify_failures() {
+        let sarif = render_sarif(&[entry("[TCP:flags:SA]-duplicate(,)-| \\/ ", false)]);
+        assert!(
+            sarif.contains("\"ruleId\":\"program-verify-failed\""),
+            "{sarif}"
+        );
+        assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
+    }
+}

@@ -1,0 +1,141 @@
+#![allow(clippy::unwrap_used)] // test code
+//! Property tests for `strata::absint` front end B.
+//!
+//! The load-bearing invariant: a strategy's [`StrategySummary`] is a
+//! function of its *canonical* form — computing the summary before or
+//! after canonicalization, or on any equivalent spelling (dead genetic
+//! material appended, shadowed parts inserted), yields the identical
+//! summary. This is what licenses consumers to share summaries across
+//! every member of a [`CanonKey`] equivalence class.
+
+use geneva::ast::{Action, StrategyPart, TamperMode, Trigger};
+use packet::field::{FieldRef, FieldValue};
+use proptest::prelude::*;
+use strata::{canonicalize_strategy, summarize};
+
+const FIELDS: &[&str] = &[
+    "TCP:flags",
+    "TCP:seq",
+    "TCP:ack",
+    "TCP:window",
+    "TCP:chksum",
+    "TCP:load",
+    "TCP:urgptr",
+    "TCP:options-wscale",
+    "IP:ttl",
+];
+
+fn arb_value(field: &'static str) -> BoxedStrategy<FieldValue> {
+    match field {
+        "TCP:flags" => prop::sample::select(vec!["S", "SA", "R", "RA", "A", "PA"])
+            .prop_map(|s| FieldValue::Str(s.to_string()))
+            .boxed(),
+        "TCP:load" => prop_oneof![
+            Just(FieldValue::Empty),
+            Just(FieldValue::Str("x".to_string())),
+        ]
+        .boxed(),
+        _ => prop_oneof![
+            (0u64..65536).prop_map(FieldValue::Num),
+            // String spellings of numbers exercise value folding.
+            (0u64..65536).prop_map(|n| FieldValue::Str(n.to_string())),
+        ]
+        .boxed(),
+    }
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let leaf = prop_oneof![2 => Just(Action::Send), 1 => Just(Action::Drop)].boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let tamper = prop::sample::select(FIELDS.to_vec()).prop_flat_map({
+            let inner = inner.clone();
+            move |field| {
+                let inner = inner.clone();
+                prop_oneof![
+                    Just(TamperMode::Corrupt),
+                    arb_value(field).prop_map(TamperMode::Replace),
+                ]
+                .prop_flat_map(move |mode| {
+                    let mode = mode.clone();
+                    inner.clone().prop_map(move |n| Action::Tamper {
+                        field: FieldRef::parse(field).expect("valid"),
+                        mode: mode.clone(),
+                        next: Box::new(n),
+                    })
+                })
+            }
+        });
+        prop_oneof![
+            2 => tamper,
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Action::Duplicate(Box::new(a), Box::new(b))),
+            1 => (1usize..20, any::<bool>(), inner.clone(), inner)
+                .prop_map(|(offset, in_order, a, b)| Action::Fragment {
+                    proto: packet::Proto::Tcp,
+                    offset,
+                    in_order,
+                    first: Box::new(a),
+                    second: Box::new(b),
+                }),
+        ]
+        .boxed()
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = geneva::Strategy> {
+    (arb_action(), arb_action()).prop_map(|(a, b)| geneva::Strategy {
+        outbound: vec![
+            StrategyPart {
+                trigger: Trigger::tcp_flags("SA"),
+                action: a,
+            },
+            StrategyPart {
+                trigger: Trigger::tcp_flags("PA"),
+                action: b,
+            },
+        ],
+        inbound: vec![],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn summaries_are_invariant_under_canonicalization(strategy in arb_strategy()) {
+        let direct = summarize(&strategy);
+        let canonical = canonicalize_strategy(&strategy);
+        let via_canonical = summarize(&canonical);
+        prop_assert_eq!(&direct, &via_canonical,
+            "summary changed across canonicalization of `{}`", strategy);
+        // The summary's key IS the canonical key.
+        prop_assert_eq!(direct.key, strata::CanonKey::of(&canonical));
+    }
+
+    #[test]
+    fn dead_genetic_material_never_changes_the_summary(strategy in arb_strategy()) {
+        // A later part with an already-covered trigger is shadowed by
+        // first-match-wins and must not perturb the summary.
+        let mut bloated = strategy.clone();
+        bloated.outbound.push(StrategyPart {
+            trigger: Trigger::tcp_flags("SA"),
+            action: Action::Drop,
+        });
+        prop_assert_eq!(summarize(&strategy), summarize(&bloated),
+            "shadowed part changed the summary of `{}`", strategy);
+    }
+
+    #[test]
+    fn emission_bounds_agree_between_tree_and_summary(strategy in arb_strategy()) {
+        // Per-part max_emit in the summary equals the tree-level bound
+        // on the same canonical part.
+        let canonical = canonicalize_strategy(&strategy);
+        let summary = summarize(&canonical);
+        for (part, summarized) in canonical.outbound.iter().zip(&summary.outbound) {
+            prop_assert_eq!(
+                strata::absint::max_emission(&part.action),
+                summarized.max_emit
+            );
+        }
+    }
+}

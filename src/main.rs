@@ -11,6 +11,8 @@
 //! cay dnsrace                    §2.1 UDP-vs-TCP DNS background
 //! cay evolve [country] [proto]   §4.1 genetic algorithm
 //! cay lint <strategy-dsl>        static analysis: canonical form + diagnostics
+//! cay verify <dsl>|--library     lints + compiled-program proof obligations,
+//!                                as text, JSON, or SARIF (--format)
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
 //! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON
@@ -148,6 +150,10 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 result.static_rejects,
                 result.trials_spent
             );
+            println!(
+                "  static prefilter: {:.0}% of misses refuted without simulation",
+                result.static_skip_rate() * 100.0
+            );
         }
         Some("lint") => {
             let Some(text) = args.get(1) else {
@@ -181,6 +187,55 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                     }
                     std::process::exit(2);
                 }
+            }
+        }
+        Some("verify") => {
+            let format = args
+                .iter()
+                .position(|a| a == "--format")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("text");
+            if !matches!(format, "text" | "json" | "sarif") {
+                eprintln!("unknown --format {format:?}: expected text, json, or sarif");
+                std::process::exit(2);
+            }
+            let mut entries = Vec::new();
+            if args.iter().any(|a| a == "--library") {
+                for named in geneva::library::server_side()
+                    .iter()
+                    .chain(geneva::library::variants().iter())
+                {
+                    let label = format!("library/{}", named.name);
+                    match verify_entry(&label, named.text) {
+                        Ok(entry) => entries.push(entry),
+                        Err(e) => {
+                            eprintln!("{label} does not parse: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            } else {
+                let Some(text) = args.get(1).filter(|t| !t.starts_with("--")) else {
+                    eprintln!("usage: cay verify '<strategy-dsl>' [--format text|json|sarif]");
+                    eprintln!("       cay verify --library [--format text|json|sarif]");
+                    std::process::exit(2);
+                };
+                match verify_entry("cli", text) {
+                    Ok(entry) => entries.push(entry),
+                    Err(e) => {
+                        eprintln!("strategy does not parse: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            match format {
+                "json" => print!("{}", strata::report::render_json(&entries)),
+                "sarif" => print!("{}", strata::report::render_sarif(&entries)),
+                _ => print!("{}", strata::report::render_text(&entries)),
+            }
+            if entries.iter().any(strata::ReportEntry::failing) {
+                std::process::exit(1);
             }
         }
         Some("run") => {
@@ -230,7 +285,9 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
             // workload; `cay dplane <file.pcap> [shards]` replays a
             // capture (e.g. one written by `cay pcap`). Either way the
             // per-shard metrics print as one JSON document.
-            let (pcap_path, shards) = match args.get(1).map(String::as_str) {
+            let unchecked = args.iter().any(|a| a == "--unchecked");
+            let args: Vec<&String> = args.iter().filter(|a| *a != "--unchecked").collect();
+            let (pcap_path, shards) = match args.get(1).map(|s| s.as_str()) {
                 Some(s) if s.parse::<usize>().is_ok() => (None, s.parse().unwrap_or(4)),
                 Some(s) => (
                     Some(s),
@@ -244,6 +301,8 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                     ..FlowConfig::default()
                 },
                 seed: SeedMode::PerFlow(0x0D1A),
+                // `--unchecked` bypasses the compile-time proof gate.
+                unchecked,
             };
             let mut dp = Dplane::new(cfg, geo_classifier());
             match pcap_path {
@@ -355,11 +414,44 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
         }
         _ => {
             eprintln!(
-                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|run|pcap|dplane|bench> [args]"
+                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|verify|run|pcap|dplane|bench> [args]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Build one `cay verify` report entry: lint analysis plus the
+/// compiled program's discharged (or failed) proof obligations.
+fn verify_entry(label: &str, source: &str) -> Result<strata::ReportEntry, geneva::ParseError> {
+    let strategy = geneva::parse_strategy(source)?;
+    let analysis = strata::analyze(&strategy);
+    let program = match Program::compile(&strategy) {
+        Ok(program) => {
+            let proof = program.proof.expect("checked compile carries its proof");
+            strata::ProgramFacts {
+                verified: true,
+                error: None,
+                max_stack: proof.max_stack,
+                max_emit: proof.max_emit,
+            }
+        }
+        Err(e) => strata::ProgramFacts {
+            verified: false,
+            error: Some(e.to_string()),
+            max_stack: 0,
+            max_emit: 0,
+        },
+    };
+    Ok(strata::ReportEntry {
+        label: label.to_string(),
+        source: source.to_string(),
+        canonical: analysis.canonical.to_string(),
+        key: analysis.key,
+        statically_futile: analysis.statically_futile,
+        diagnostics: analysis.diagnostics,
+        program: Some(program),
+    })
 }
 
 /// §8-style per-client classification for the data plane: locate the
@@ -459,7 +551,7 @@ fn bench_dplane() -> String {
     }
     let interp_pps = applications / t0.elapsed().as_secs_f64().max(1e-9);
 
-    let program = Program::compile(&strategy);
+    let program = Program::compile(&strategy).expect("library strategy verifies");
     let (mut out, mut scratch) = (Vec::new(), Vec::new());
     let t0 = Instant::now();
     for _ in 0..reps {
@@ -481,6 +573,7 @@ fn bench_dplane() -> String {
                 ..FlowConfig::default()
             },
             seed: SeedMode::PerFlow(0x0D1A),
+            unchecked: false,
         };
         let mut dp = Dplane::new(cfg, geo_classifier());
         let mut replay = PcapReplay::from_packets(workload.clone());
@@ -554,7 +647,7 @@ fn bench_hotpath() -> String {
     let interp_allocs = allocs_json(allocs_now() - a0, applications);
 
     // Per-packet compiled path, out + scratch reused across packets.
-    let program = Program::compile(&strategy);
+    let program = Program::compile(&strategy).expect("library strategy verifies");
     let (mut out, mut scratch) = (Vec::new(), Vec::new());
     for pkt in &server_pkts {
         out.clear();
@@ -585,6 +678,7 @@ fn bench_hotpath() -> String {
                 ..FlowConfig::default()
             },
             seed: SeedMode::PerFlow(0x0D1A),
+            unchecked: false,
         };
         let mut dp = Dplane::new(cfg, geo_classifier());
         let mut warmup = PcapReplay::from_packets(workload.clone());

@@ -1,0 +1,111 @@
+#![allow(clippy::unwrap_used)] // test code
+//! Whole-library snapshot for `cay verify`: every built-in strategy
+//! (the paper's 11 plus the §5 variant species) lints without a false
+//! refutation, compiles through the proof gate, and renders into all
+//! three report formats without structural breakage.
+//!
+//! The paper deployed each of these strategies against real censors
+//! with real success rates — a strategy that works in the world and
+//! fails our static analysis is, by definition, an analysis bug.
+
+use strata::{ProgramFacts, ReportEntry, Severity};
+
+fn library_entries() -> Vec<ReportEntry> {
+    geneva::library::server_side()
+        .iter()
+        .chain(geneva::library::variants().iter())
+        .map(|named| {
+            let strategy = named.strategy();
+            let analysis = strata::analyze(&strategy);
+            let program = match dplane::Program::compile(&strategy) {
+                Ok(p) => {
+                    let proof = p.proof.expect("checked compile carries its proof");
+                    ProgramFacts {
+                        verified: true,
+                        error: None,
+                        max_stack: proof.max_stack,
+                        max_emit: proof.max_emit,
+                    }
+                }
+                Err(e) => ProgramFacts {
+                    verified: false,
+                    error: Some(e.to_string()),
+                    max_stack: 0,
+                    max_emit: 0,
+                },
+            };
+            ReportEntry {
+                label: format!("library/{}", named.name),
+                source: named.text.to_string(),
+                canonical: analysis.canonical.to_string(),
+                key: analysis.key,
+                statically_futile: analysis.statically_futile,
+                diagnostics: analysis.diagnostics,
+                program: Some(program),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn zero_false_refutations_and_all_programs_verify() {
+    let entries = library_entries();
+    assert!(
+        entries.len() >= 13,
+        "library shrank? {} entries",
+        entries.len()
+    );
+    for e in &entries {
+        assert!(
+            !e.statically_futile,
+            "{}: falsely proven futile\n{:?}",
+            e.label, e.diagnostics
+        );
+        assert!(
+            !e.diagnostics.iter().any(|d| d.severity == Severity::Error),
+            "{}: error-severity finding on a working strategy\n{:?}",
+            e.label,
+            e.diagnostics
+        );
+        let program = e.program.as_ref().expect("every entry compiled");
+        assert!(
+            program.verified,
+            "{}: proof gate refused a working strategy: {:?}",
+            e.label, program.error
+        );
+        assert!(
+            program.max_emit <= strata::AMPLIFICATION_LIMIT,
+            "{}: library strategy exceeds the amplification lint threshold ({})",
+            e.label,
+            program.max_emit
+        );
+        assert!(
+            !e.failing(),
+            "{}: report marks a working strategy failing",
+            e.label
+        );
+    }
+}
+
+#[test]
+fn all_three_report_formats_render_the_library() {
+    let entries = library_entries();
+
+    let text = strata::report::render_text(&entries);
+    assert!(
+        text.contains(&format!("{} strategies, 0 failing", entries.len())),
+        "{text}"
+    );
+
+    let json = strata::report::render_json(&entries);
+    assert!(json.contains("\"failing\":0"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let sarif = strata::report::render_sarif(&entries);
+    assert!(sarif.contains("\"version\":\"2.1.0\""));
+    assert!(sarif.contains("\"name\":\"cay-verify\""));
+    // A run with no error-level results: every result present must be
+    // a warning (compat advisories), never an error.
+    assert!(!sarif.contains("\"level\":\"error\""), "{sarif}");
+}
