@@ -22,6 +22,8 @@
 //!    a keyword split across TCP segments is only found by censors that
 //!    reassemble (the deficiency Strategy 8 exploits).
 
+#![forbid(unsafe_code)]
+
 pub mod dns;
 pub mod dpi;
 pub mod ftp;

@@ -21,6 +21,8 @@
 //! All stochastic behavior draws from per-censor seeded RNGs, so every
 //! experiment replays bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod airtel;
 pub mod carrier;
 pub mod dns_udp;

@@ -36,6 +36,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use strata::absint::{AbsOp, TamperKind};
+use strata::censor_model::{check_all, CensorId, Verdict};
 use strata::CanonKey;
 
 /// One instruction of the packet stack machine.
@@ -236,6 +237,11 @@ pub struct Program {
     /// (its jump targets are forward by construction). `None` only
     /// when [`Program::compile_unchecked`] swallowed a failure.
     pub proof: Option<ProgramProof>,
+    /// Per-censor static verdicts from the product model checker,
+    /// computed once at compile time. Programs are cached per
+    /// [`CanonKey`], so the verdicts ride the cache: a genome that
+    /// canonicalizes to a known class never re-runs the checker.
+    pub verdicts: Vec<(CensorId, Verdict)>,
 }
 
 impl Program {
@@ -262,6 +268,7 @@ impl Program {
         let canonical = strata::canonicalize_strategy(strategy);
         let key = CanonKey::of(&canonical);
         let canonical_text = canonical.to_string();
+        let verdicts = check_all(&strata::summarize(&canonical));
         let mut outbound: Vec<CompiledPart> = canonical.outbound.iter().map(compile_part).collect();
         let mut inbound: Vec<CompiledPart> = canonical.inbound.iter().map(compile_part).collect();
         let mut proof = Some(ProgramProof {
@@ -303,6 +310,7 @@ impl Program {
             key,
             canonical_text,
             proof,
+            verdicts,
         })
     }
 
@@ -699,5 +707,34 @@ mod tests {
         assert_eq!(pa.key, pb.key);
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn compiled_programs_carry_per_censor_verdicts() {
+        // Strategy 11 (null flags): the model checker proves the
+        // Kazakhstan HTTP filter writes the flow off, and the verdict
+        // travels with the cached program.
+        let s11 =
+            parse_strategy("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/ ").unwrap();
+        let mut cache = ProgramCache::new();
+        let program = cache.get_or_verify(&s11).unwrap();
+        assert!(program
+            .verdicts
+            .contains(&(CensorId::Kazakhstan, Verdict::ProvablyDesynced)));
+        // The stochastic GFW never receives a claim.
+        assert!(program
+            .verdicts
+            .contains(&(CensorId::Gfw, Verdict::Unknown)));
+
+        // A cache hit reuses the verdicts without re-checking.
+        let again = cache.get_or_verify(&s11).unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!(again.verdicts, program.verdicts);
+
+        // Identity: provably inert everywhere deterministic.
+        let identity = Program::compile(&parse_strategy(" \\/ ").unwrap()).unwrap();
+        assert!(identity
+            .verdicts
+            .contains(&(CensorId::Kazakhstan, Verdict::ProvablyInert)));
     }
 }

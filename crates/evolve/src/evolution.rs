@@ -43,6 +43,10 @@ pub struct GaConfig {
     /// process-wide pool default (`--jobs` / available parallelism).
     /// The GA trajectory is bit-identical for any value.
     pub jobs: Option<usize>,
+    /// Let the censor model checker answer `ProvablyInert` genomes
+    /// without simulating. Like `dedup`, this only saves simulator
+    /// time — the trajectory is identical either way.
+    pub censor_gate: bool,
 }
 
 impl GaConfig {
@@ -61,6 +65,7 @@ impl GaConfig {
             evolve_triggers: protocol == AppProtocol::Ftp,
             dedup: true,
             jobs: None,
+            censor_gate: true,
         }
     }
 
@@ -95,6 +100,9 @@ pub struct EvolutionResult {
     pub cache_misses: u64,
     /// Evaluations skipped because `strata` lints proved futility.
     pub static_rejects: u64,
+    /// Evaluations skipped because the censor model checker proved the
+    /// genome `ProvablyInert` against the training censor.
+    pub censor_static_rejects: u64,
 }
 
 impl EvolutionResult {
@@ -117,6 +125,18 @@ impl EvolutionResult {
             self.static_rejects as f64 / self.cache_misses as f64
         }
     }
+
+    /// Fraction of memo misses the per-censor model checker answered
+    /// without simulating (`ProvablyInert` against the training
+    /// censor). Zero against the stochastic GFW, where the checker
+    /// never claims anything.
+    pub fn censor_static_skip_rate(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.censor_static_rejects as f64 / self.cache_misses as f64
+        }
+    }
 }
 
 /// Run the genetic algorithm.
@@ -136,6 +156,7 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
     if let Some(jobs) = config.jobs {
         cache = cache.with_jobs(jobs);
     }
+    cache.censor_gate = config.censor_gate;
 
     let mut population: Vec<Genome> = (0..config.population)
         .map(|_| Genome::random(&mut rng))
@@ -216,6 +237,7 @@ pub fn evolve(config: &GaConfig) -> EvolutionResult {
         cache_hits: cache.cache_hits,
         cache_misses: cache.cache_misses,
         static_rejects: cache.static_rejects,
+        censor_static_rejects: cache.censor_static_rejects,
     }
 }
 
@@ -333,6 +355,36 @@ mod tests {
             assert_eq!(serial.cache_hits, parallel.cache_hits, "jobs={jobs}");
             assert_eq!(serial.cache_misses, parallel.cache_misses, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn censor_prefilter_saves_trials_without_changing_the_trajectory() {
+        // The acceptance bar for the per-censor gate: a Kazakhstan run
+        // skips a nonzero share of its memo misses statically, and the
+        // discovered strategies are untouched.
+        let mut config = GaConfig::new(Country::Kazakhstan, AppProtocol::Http, 31);
+        config.population = 16;
+        config.generations = 5;
+        config.trials_per_eval = 3;
+        config.patience = 10;
+        let gated = evolve(&config);
+        config.censor_gate = false;
+        let ungated = evolve(&config);
+        assert_eq!(gated.best.strategy, ungated.best.strategy);
+        assert_eq!(gated.best_eval.fitness, ungated.best_eval.fitness);
+        assert_eq!(gated.history, ungated.history);
+        assert!(
+            gated.censor_static_rejects > 0,
+            "expected inert genomes in the pool"
+        );
+        assert!(gated.censor_static_skip_rate() > 0.0);
+        assert_eq!(ungated.censor_static_rejects, 0);
+        assert!(
+            gated.trials_spent < ungated.trials_spent,
+            "gate spent {} trials, ungated {}",
+            gated.trials_spent,
+            ungated.trials_spent
+        );
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   never beat the identity strategy (e.g. they sever the handshake)
 //!   are assigned their exact fitness (zero successes) without
 //!   simulating a single trial.
+//! * **Per-censor inertness gate** — genomes the censor-product model
+//!   checker ([`strata::censor_model`]) proves `ProvablyInert` against
+//!   *this* cache's censor (the censor's view of the flow provably
+//!   equals the identity strategy's) are likewise assigned zero
+//!   successes for free. The proof implies exactly what simulation
+//!   would measure, so the GA trajectory is unchanged — only trials
+//!   are saved. Never applies to the stochastic GFW.
 //!
 //! Raw trial outcomes are cached; the parsimony penalty is applied
 //! per-genome from its own (uncanonicalized) size, so a bloated
@@ -30,7 +37,18 @@ use censor::Country;
 use harness::{cell_tag, derive_trial_seed, pool, run_trial, Pool, TrialConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
-use strata::{canonicalize_strategy, lint_with_context, LintContext, Severity};
+use strata::censor_model::{check, CensorId, Verdict};
+use strata::{canonicalize_strategy, lint_with_context, summarize, LintContext, Severity};
+
+/// The censor automaton guarding a country's traffic.
+fn censor_of(country: Country) -> CensorId {
+    match country {
+        Country::China => CensorId::Gfw,
+        Country::India => CensorId::Airtel,
+        Country::Iran => CensorId::Iran,
+        Country::Kazakhstan => CensorId::Kazakhstan,
+    }
+}
 
 /// One genome's evaluated fitness.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +97,13 @@ pub struct FitnessCache {
     pub keying: CacheKeying,
     /// Skip simulation for provably futile genomes.
     pub static_gate: bool,
+    /// Skip simulation for genomes the censor model checker proves
+    /// inert against this target's censor.
+    pub censor_gate: bool,
+    /// Which censor automaton guards this target, when the target
+    /// protocol is actually censored there (otherwise every genome
+    /// trivially "evades" and inertness proves nothing).
+    prefilter: Option<CensorId>,
     seed: u64,
     jobs: Option<usize>,
     cache: HashMap<String, (u32, u32)>,
@@ -95,6 +120,9 @@ pub struct FitnessCache {
     pub cache_misses: u64,
     /// Evaluations skipped entirely because lints proved futility.
     pub static_rejects: u64,
+    /// Evaluations skipped because the censor model proved the genome
+    /// inert against this target's censor.
+    pub censor_static_rejects: u64,
 }
 
 /// Simulate one memo key's trials. Seeds derive from the *canonical*
@@ -140,6 +168,11 @@ impl FitnessCache {
             complexity_penalty: 0.6,
             keying: CacheKeying::Canonical,
             static_gate: true,
+            censor_gate: true,
+            prefilter: country
+                .censored_protocols()
+                .contains(&protocol)
+                .then(|| censor_of(country)),
             seed,
             jobs: None,
             cache: HashMap::new(),
@@ -154,7 +187,21 @@ impl FitnessCache {
             cache_hits: 0,
             cache_misses: 0,
             static_rejects: 0,
+            censor_static_rejects: 0,
         }
+    }
+
+    /// Is this canonical strategy provably inert against the target's
+    /// censor? The model checker's `ProvablyInert` verdict means the
+    /// censor's view of the flow equals the identity strategy's —
+    /// deterministic censors (the checker never claims anything
+    /// against the stochastic GFW) therefore censor every trial, so
+    /// `(0, trials)` is the exact outcome simulation would record.
+    fn provably_inert(&self, canonical: &geneva::Strategy) -> bool {
+        self.censor_gate
+            && self
+                .prefilter
+                .is_some_and(|id| check(&summarize(canonical), id) == Verdict::ProvablyInert)
     }
 
     /// Same evaluator, keyed on literal text (for A/B comparison).
@@ -202,6 +249,11 @@ impl FitnessCache {
             // The lints prove no trial can succeed; record the exact
             // outcome simulation would have produced, for free.
             self.static_rejects += 1;
+            (0, self.trials)
+        } else if self.provably_inert(&canonical) {
+            // The censor model proves the censor sees an identity
+            // flow: zero successes, no simulation needed.
+            self.censor_static_rejects += 1;
             (0, self.trials)
         } else {
             let (successes, truncated) = simulate_key(
@@ -261,6 +313,9 @@ impl FitnessCache {
                 };
                 if futile {
                     self.static_rejects += 1;
+                    self.cache.insert(key.clone(), (0, self.trials));
+                } else if self.provably_inert(&canonical) {
+                    self.censor_static_rejects += 1;
                     self.cache.insert(key.clone(), (0, self.trials));
                 } else {
                     pending_keys.insert(key.clone(), ());
@@ -436,6 +491,59 @@ mod tests {
     }
 
     #[test]
+    fn provably_inert_genomes_skip_simulation_without_changing_scores() {
+        // Against deterministic Kazakhstan, the censor model proves
+        // identity-equivalent genomes inert; the gate must hand back
+        // the exact evaluation simulation would produce, minus the
+        // simulator time.
+        let genomes = [
+            Genome::from_action(geneva::Action::Send),
+            // Pure duplication: both copies are identity emissions.
+            Genome {
+                strategy: geneva::parse_strategy("[TCP:flags:A]-duplicate(,)-| \\/ ").unwrap(),
+            },
+            // Null flags (Strategy 11): provably *desynced*, not inert
+            // — must still simulate.
+            Genome {
+                strategy: library::STRATEGY_11.strategy(),
+            },
+            // Window tamper (Strategy 8 shape): Unknown — must still
+            // simulate.
+            Genome {
+                strategy: library::STRATEGY_8.strategy(),
+            },
+        ];
+
+        let mut gated = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 6, 13);
+        let mut ungated = FitnessCache::new(Country::Kazakhstan, AppProtocol::Http, 6, 13);
+        ungated.censor_gate = false;
+
+        let gated_evals: Vec<FitnessEval> = genomes.iter().map(|g| gated.evaluate(g)).collect();
+        let ungated_evals: Vec<FitnessEval> = genomes.iter().map(|g| ungated.evaluate(g)).collect();
+
+        assert_eq!(gated_evals, ungated_evals, "gate must not move fitness");
+        assert_eq!(gated.censor_static_rejects, 2, "identity + duplicate");
+        assert_eq!(ungated.censor_static_rejects, 0);
+        assert!(
+            gated.trials_spent < ungated.trials_spent,
+            "gate must save simulator time: {} !< {}",
+            gated.trials_spent,
+            ungated.trials_spent
+        );
+    }
+
+    #[test]
+    fn censor_gate_is_idle_when_the_protocol_is_not_censored() {
+        // Kazakhstan's model censors HTTP only: an HTTPS identity flow
+        // evades trivially, so inertness proves nothing and the
+        // prefilter must stand down.
+        let mut cache = FitnessCache::new(Country::Kazakhstan, AppProtocol::Https, 4, 13);
+        let eval = cache.evaluate(&Genome::from_action(geneva::Action::Send));
+        assert_eq!(cache.censor_static_rejects, 0);
+        assert!(eval.rate() > 0.9, "uncensored protocol sails through");
+    }
+
+    #[test]
     fn population_evaluation_matches_serial_for_any_worker_count() {
         // A population with a duplicate, a canonical twin, and a
         // statically futile genome — every memo path exercised.
@@ -472,6 +580,10 @@ mod tests {
             assert_eq!(cache.cache_hits, serial.cache_hits, "jobs={jobs}");
             assert_eq!(cache.cache_misses, serial.cache_misses, "jobs={jobs}");
             assert_eq!(cache.static_rejects, serial.static_rejects, "jobs={jobs}");
+            assert_eq!(
+                cache.censor_static_rejects, serial.censor_static_rejects,
+                "jobs={jobs}"
+            );
             assert_eq!(cache.trials_spent, serial.trials_spent, "jobs={jobs}");
             assert_eq!(
                 cache.truncated_trials, serial.truncated_trials,

@@ -16,6 +16,8 @@
 //! Everything is seeded and deterministic, like the rest of the
 //! workspace.
 
+#![forbid(unsafe_code)]
+
 pub mod evolution;
 pub mod fitness;
 pub mod genome;

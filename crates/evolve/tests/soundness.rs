@@ -91,3 +91,51 @@ fn refuted_genomes_never_evade_any_censor() {
         "only {refuted} of 520 random genomes were refuted — generator drift?"
     );
 }
+
+/// The same differential for the *per-censor* model checker: a
+/// [`Verdict::ProvablyInert`] claim against censor X means the genome's
+/// flow is byte-identical to baseline as far as X can observe, and the
+/// deterministic X censors baseline HTTP every time — so zero simulated
+/// successes against X, for every claimed genome in the population.
+/// (The GFW never receives a claim; the checker hard-codes `Unknown`
+/// for it, which the loop re-asserts.)
+#[test]
+fn per_censor_inert_claims_never_evade() {
+    use strata::censor_model::{check_all, CensorId, Verdict};
+
+    let mut rng = StdRng::seed_from_u64(0xAB50_1DEA);
+    let mut inert_claims = 0u32;
+    for _ in 0..520 {
+        let genome = Genome::random(&mut rng);
+        let summary = strata::summarize(&genome.strategy);
+        for (id, verdict) in check_all(&summary) {
+            if verdict != Verdict::ProvablyInert {
+                continue;
+            }
+            assert_ne!(
+                id,
+                CensorId::Gfw,
+                "no deterministic claim vs the stochastic GFW: `{}`",
+                genome.strategy
+            );
+            inert_claims += 1;
+            let country = match id {
+                CensorId::Gfw => Country::China,
+                CensorId::Airtel => Country::India,
+                CensorId::Iran => Country::Iran,
+                CensorId::Kazakhstan => Country::Kazakhstan,
+            };
+            let successes = simulated_successes(&genome.strategy, country, 6);
+            assert_eq!(
+                successes, 0,
+                "UNSOUND: `{}` proven inert vs {id} but evaded {successes}/6 times",
+                genome.strategy
+            );
+        }
+    }
+    assert!(
+        inert_claims >= 20,
+        "only {inert_claims} inert claims over 520 random genomes — \
+         the checker proved almost nothing, or the generator drifted"
+    );
+}

@@ -19,14 +19,20 @@
 
 use crate::trial::{run_trial, CensorVariant, TrialConfig, TrialResult};
 use censor::Country;
-use strata::{analyze_with_context, Analysis, LintContext};
+use strata::censor_model::{check, CensorId, Verdict};
+use strata::{analyze_with_context, summarize, Analysis, LintContext};
 
-/// One screened trial: the static verdict, plus the simulation result
+/// One screened trial: the static verdicts, plus the simulation result
 /// when the gate let it through.
 #[derive(Debug, Clone)]
 pub struct ScreenedTrial {
     /// Full static analysis of the strategy.
     pub analysis: Analysis,
+    /// The censor-product model checker's verdict against the trial's
+    /// censor. `None` when the trial has no known censor or the censor
+    /// does not censor the trial's protocol (inertness proves nothing
+    /// there — every flow sails through).
+    pub static_verdict: Option<Verdict>,
     /// `None` when the gate rejected the trial statically.
     pub result: Option<TrialResult>,
 }
@@ -39,18 +45,31 @@ impl ScreenedTrial {
     }
 }
 
-/// The lint context a trial's configuration implies.
+/// The censor automaton a trial's country maps onto.
+pub fn censor_for(country: Country) -> CensorId {
+    match country {
+        Country::China => CensorId::Gfw,
+        Country::India => CensorId::Airtel,
+        Country::Iran => CensorId::Iran,
+        Country::Kazakhstan => CensorId::Kazakhstan,
+    }
+}
+
+/// The lint context a trial's configuration implies. The censor-fact
+/// knobs come from the censor automaton (via [`LintContext::censor`])
+/// rather than a per-country table here; the one exception is the old
+/// Wang-et-al. GFW variant, which *does* tear the TCB down on server
+/// RSTs and overrides the automaton's fact explicitly.
 pub fn context_for(cfg: &TrialConfig) -> LintContext {
-    let censor_resyncs_on_rst = match (cfg.country, cfg.censor_variant) {
-        (_, CensorVariant::GfwOldResyncModel) => Some(true),
-        // The revised §5 model: server RSTs do not tear down the TCB.
-        (Some(Country::China), _) => Some(false),
+    let censor_resyncs_on_rst = match cfg.censor_variant {
+        CensorVariant::GfwOldResyncModel => Some(true),
         _ => None,
     };
     LintContext {
         hops_to_middlebox: cfg.path.mb_to_server_hops,
         hops_to_client: cfg.path.mb_to_server_hops + cfg.path.client_to_mb_hops,
         censor_resyncs_on_rst,
+        censor: cfg.country.map(censor_for),
         tcp_exchange: cfg.protocol.transport_is_tcp(),
         ..LintContext::default()
     }
@@ -77,16 +96,22 @@ impl Screener {
     pub fn run(&mut self, cfg: &TrialConfig) -> ScreenedTrial {
         self.screened += 1;
         let analysis = analyze_with_context(&cfg.strategy, &context_for(cfg));
+        let static_verdict = cfg
+            .country
+            .filter(|c| c.censored_protocols().contains(&cfg.protocol))
+            .map(|c| check(&summarize(&cfg.strategy), censor_for(c)));
         if analysis.statically_futile {
             self.rejected += 1;
             return ScreenedTrial {
                 analysis,
+                static_verdict,
                 result: None,
             };
         }
         self.simulated += 1;
         ScreenedTrial {
             analysis,
+            static_verdict,
             result: Some(run_trial(cfg)),
         }
     }
@@ -142,13 +167,47 @@ mod tests {
     #[test]
     fn context_reflects_censor_variant() {
         let mut c = cfg(" \\/ ");
-        assert_eq!(context_for(&c).censor_resyncs_on_rst, Some(false));
+        // The standard model passes no explicit fact: the Gfw
+        // automaton's `resyncs_on_server_rst: Some(false)` answers.
+        let ctx = context_for(&c);
+        assert_eq!(ctx.censor, Some(CensorId::Gfw));
+        assert_eq!(ctx.censor_resyncs_on_rst, None);
+        // The old Wang-et-al. variant really does resync: explicit
+        // override on top of the automaton.
         c.censor_variant = CensorVariant::GfwOldResyncModel;
         assert_eq!(context_for(&c).censor_resyncs_on_rst, Some(true));
         c.censor_variant = CensorVariant::Standard;
         c.country = None;
-        assert_eq!(context_for(&c).censor_resyncs_on_rst, None);
-        assert_eq!(context_for(&c).hops_to_middlebox, c.path.mb_to_server_hops);
+        let ctx = context_for(&c);
+        assert_eq!(ctx.censor, None);
+        assert_eq!(ctx.censor_resyncs_on_rst, None);
+        assert_eq!(ctx.hops_to_middlebox, c.path.mb_to_server_hops);
+    }
+
+    #[test]
+    fn screened_trials_carry_the_static_verdict() {
+        // Strategy 11's null flags vs Kazakhstan: provably desynced,
+        // and the simulated trial agrees by evading.
+        let mut c = cfg("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/ ");
+        c.country = Some(Country::Kazakhstan);
+        let mut gate = Screener::new();
+        let trial = gate.run(&c);
+        assert_eq!(trial.static_verdict, Some(Verdict::ProvablyDesynced));
+        assert!(trial.evaded());
+
+        // Identity vs Kazakhstan: provably inert, trial censored.
+        let mut c = cfg(" \\/ ");
+        c.country = Some(Country::Kazakhstan);
+        let trial = gate.run(&c);
+        assert_eq!(trial.static_verdict, Some(Verdict::ProvablyInert));
+        assert!(!trial.evaded());
+
+        // The stochastic GFW never gets a claim; no censor, no verdict.
+        let trial = gate.run(&cfg(" \\/ "));
+        assert_eq!(trial.static_verdict, Some(Verdict::Unknown));
+        let mut c = cfg(" \\/ ");
+        c.country = None;
+        assert_eq!(gate.run(&c).static_verdict, None);
     }
 
     #[test]

@@ -43,6 +43,8 @@
 //! assert_eq!(parsed.payload, pkt.payload);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod appfield;
 pub mod bytes;
 pub mod checksum;

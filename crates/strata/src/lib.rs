@@ -18,11 +18,18 @@
 //! two front ends: `FieldEffect` summaries over strategy trees (what
 //! each emitted packet provably looks like) and a stack-machine
 //! verifier over lowered `dplane` programs (no underflow, forward-only
-//! control flow, bounded amplification). [`report`] renders the
-//! combined verdicts as text, JSON, or SARIF for `cay verify`.
+//! control flow, bounded amplification). [`censor_model`] closes the
+//! loop per censor: declarative abstract automata for the paper's four
+//! censors plus a product-construction checker over the `absint`
+//! summaries, yielding three-valued per-censor verdicts. [`report`]
+//! renders the combined verdicts as text, JSON, or SARIF for
+//! `cay verify`.
+
+#![forbid(unsafe_code)]
 
 pub mod absint;
 pub mod canon;
+pub mod censor_model;
 pub mod diagnostics;
 pub mod lints;
 pub mod report;
@@ -31,9 +38,10 @@ pub use absint::{
     summarize, verify_ops, AbsOp, OpsProof, PathEffect, StrategySummary, TamperKind, VerifyError,
 };
 pub use canon::{canonicalize, canonicalize_strategy, CanonKey};
+pub use censor_model::{CensorId, Verdict};
 pub use diagnostics::{line_col, Diagnostic, Severity};
 pub use lints::{lint, lint_with_context, LintContext, AMPLIFICATION_LIMIT};
-pub use report::{ProgramFacts, ReportEntry};
+pub use report::{render_verdict_matrix, ProgramFacts, ReportEntry};
 
 /// Everything the harness wants to know about a strategy before
 /// spending simulator time on it.

@@ -37,6 +37,7 @@ use packet::{Proto, TcpFlags};
 
 use crate::absint::{action_effects, max_emission, FieldEffect, PathEffect};
 use crate::canon::{canonicalize, is_inert};
+use crate::censor_model::{automaton, CensorAutomaton, CensorId};
 use crate::diagnostics::{Diagnostic, Severity};
 
 /// Emission count at which `dup-amplification` starts complaining.
@@ -64,9 +65,18 @@ pub struct LintContext {
     /// TTL the engine's packets carry when no tamper touches it.
     pub default_ttl: u8,
     /// Whether the modeled censor tears down / resynchronizes its TCB
-    /// on injected RSTs. `None` = unknown censor, RST lints stay
-    /// quiet.
+    /// on injected RSTs. `None` = unknown; when unset, the fact is
+    /// read off the [`censor`](LintContext::censor) automaton instead.
+    /// An explicit value wins over the automaton (hypothetical-censor
+    /// analyses).
     pub censor_resyncs_on_rst: Option<bool>,
+    /// Which censor automaton guards the modeled path. Censor-aware
+    /// lints consult the automaton's declarative record
+    /// ([`crate::censor_model::automaton`]) — RST-resync behavior,
+    /// injection repertoire — instead of hard-coded per-censor lists.
+    /// `None` = unknown censor: censor-dependent rules stay quiet and
+    /// censor-dependent stand-downs stay off.
+    pub censor: Option<CensorId>,
     /// Whether the application exchange rides a TCP handshake + data
     /// flow. All current application protocols do (DNS here is DNS
     /// over TCP, RFC 7766), but the TCP-state-machine futility proofs
@@ -83,8 +93,24 @@ impl Default for LintContext {
             hops_to_client: path.mb_to_server_hops + path.client_to_mb_hops,
             default_ttl: 64,
             censor_resyncs_on_rst: None,
+            censor: None,
             tcp_exchange: true,
         }
+    }
+}
+
+impl LintContext {
+    /// The declarative automaton for the configured censor, if known.
+    fn automaton(&self) -> Option<&'static CensorAutomaton> {
+        self.censor.map(automaton)
+    }
+
+    /// Does the censor tear down / resynchronize tracking state on a
+    /// server-sent RST? Explicit knowledge wins; otherwise the censor
+    /// automaton's declarative fact answers.
+    fn resyncs_on_rst(&self) -> Option<bool> {
+        self.censor_resyncs_on_rst
+            .or_else(|| self.automaton().and_then(|a| a.resyncs_on_server_rst))
     }
 }
 
@@ -639,7 +665,18 @@ fn lint_handshake_flow(
     }
 
     // Handshake-viable packets exist — but does a lethal RST+ACK
-    // definitely arrive before the first of them?
+    // definitely arrive before the first of them? Against a censor
+    // whose automaton already injects RSTs toward *both* endpoints on
+    // detection (the GFW's teardown), a client-visible RST is the
+    // flow's ambient failure mode and this emission shape is the raw
+    // material of the RST-desync family the GA breeds there — the
+    // rule stands down and leaves the verdict to simulation.
+    if ctx
+        .automaton()
+        .is_some_and(|a| a.injects_rst_to_client && a.injects_rst_to_server)
+    {
+        return;
+    }
     let kills = |p: &PathEffect| {
         definitely_reaches_client(p, ctx)
             && p.effect("TCP:ack").is_none()
@@ -809,7 +846,7 @@ fn lint_resync_invariant(
     ctx: &LintContext,
     out: &mut Vec<Diagnostic>,
 ) {
-    if ctx.censor_resyncs_on_rst != Some(false) {
+    if ctx.resyncs_on_rst() != Some(false) {
         return;
     }
     let injects_rst = paths
@@ -979,6 +1016,63 @@ mod tests {
     fn resync_invariant_quiet_without_censor_knowledge() {
         let c = codes("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ");
         assert!(!c.contains(&"resync-invariant"), "{c:?}");
+    }
+
+    #[test]
+    fn resync_invariant_reads_the_censor_automaton() {
+        // Naming the censor is enough: the automaton's declarative
+        // `resyncs_on_server_rst: Some(false)` unlocks the rule with no
+        // hand-passed fact.
+        for id in crate::censor_model::CensorId::all() {
+            let ctx = LintContext {
+                censor: Some(id),
+                ..LintContext::default()
+            };
+            let c = codes_ctx(
+                "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ",
+                &ctx,
+            );
+            assert!(c.contains(&"resync-invariant"), "{id:?}: {c:?}");
+        }
+        // An explicit override beats the automaton (hypothetical
+        // resyncing variant of the same censor).
+        let ctx = LintContext {
+            censor: Some(crate::censor_model::CensorId::Gfw),
+            censor_resyncs_on_rst: Some(true),
+            ..LintContext::default()
+        };
+        let c = codes_ctx(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| \\/ ",
+            &ctx,
+        );
+        assert!(!c.contains(&"resync-invariant"), "{c:?}");
+    }
+
+    #[test]
+    fn deliverable_rst_stands_down_for_rst_injecting_censor() {
+        use crate::censor_model::CensorId;
+        let src = "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:RA},)-| \\/ ";
+        // The GFW automaton injects RSTs toward both endpoints: the
+        // deterministic claim yields to simulation.
+        let ctx = LintContext {
+            censor: Some(CensorId::Gfw),
+            ..LintContext::default()
+        };
+        let c = codes_ctx(src, &ctx);
+        assert!(!c.contains(&"deliverable-rst-resets-client"), "{c:?}");
+        // Censors without a bidirectional RST teardown keep the proof
+        // (and so does an unknown censor — see the context-free test).
+        for id in [CensorId::Airtel, CensorId::Iran, CensorId::Kazakhstan] {
+            let ctx = LintContext {
+                censor: Some(id),
+                ..LintContext::default()
+            };
+            let c = codes_ctx(src, &ctx);
+            assert!(
+                c.contains(&"deliverable-rst-resets-client"),
+                "{id:?}: {c:?}"
+            );
+        }
     }
 
     #[test]

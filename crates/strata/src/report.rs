@@ -6,6 +6,7 @@
 //! mirroring the `dplane::metrics` idiom.
 
 use crate::canon::CanonKey;
+use crate::censor_model::{CensorId, Verdict};
 use crate::diagnostics::{line_col, Diagnostic, Severity};
 use crate::lints::AMPLIFICATION_LIMIT;
 
@@ -41,6 +42,14 @@ pub struct ReportEntry {
     pub statically_futile: bool,
     /// Lint findings, in source order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-censor verdicts from the product model checker
+    /// ([`crate::censor_model::check_all`]); empty when no censor was
+    /// requested. Verdicts are informational — `ProvablyInert` means
+    /// the censor provably sees an identity flow, never that the
+    /// strategy is broken — so they do not affect [`failing`].
+    ///
+    /// [`failing`]: ReportEntry::failing
+    pub verdicts: Vec<(CensorId, Verdict)>,
     /// Compiled-program proof facts (`None` when the strategy did not
     /// parse far enough to compile).
     pub program: Option<ProgramFacts>,
@@ -90,6 +99,14 @@ pub fn render_text(entries: &[ReportEntry]) -> String {
             }
             None => {}
         }
+        if !e.verdicts.is_empty() {
+            let cells: Vec<String> = e
+                .verdicts
+                .iter()
+                .map(|(id, v)| format!("{}={}", id.name(), v.token()))
+                .collect();
+            out.push_str(&format!("   censors:   {}\n", cells.join(" ")));
+        }
         if e.statically_futile {
             out.push_str("   verdict:   statically futile\n");
         }
@@ -108,6 +125,52 @@ pub fn render_text(entries: &[ReportEntry]) -> String {
         entries.len(),
         failing
     ));
+    out
+}
+
+/// Render the per-censor verdict matrix: one row per strategy, one
+/// column per checked censor. The shape `cay verify --censor all`
+/// prints (and CI diffs against its committed snapshot).
+pub fn render_verdict_matrix(entries: &[ReportEntry]) -> String {
+    let censors: Vec<CensorId> = entries
+        .iter()
+        .find(|e| !e.verdicts.is_empty())
+        .map(|e| e.verdicts.iter().map(|(id, _)| *id).collect())
+        .unwrap_or_default();
+    if censors.is_empty() {
+        return "no per-censor verdicts (run with --censor)\n".to_string();
+    }
+    let label_w = entries
+        .iter()
+        .map(|e| e.label.len())
+        .chain(std::iter::once("strategy".len()))
+        .max()
+        .unwrap_or(0);
+    let col_w = censors
+        .iter()
+        .map(|id| id.name().len())
+        .chain(std::iter::once("desynced".len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = format!("{:label_w$}", "strategy");
+    for id in &censors {
+        out.push_str(&format!("  {:col_w$}", id.name()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + censors.len() * (col_w + 2)));
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!("{:label_w$}", e.label));
+        for id in &censors {
+            let token = e
+                .verdicts
+                .iter()
+                .find(|(v_id, _)| v_id == id)
+                .map_or("-", |(_, v)| v.token());
+            out.push_str(&format!("  {token:col_w$}"));
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -167,15 +230,27 @@ pub fn render_json(entries: &[ReportEntry]) -> String {
             ),
             None => "null".into(),
         };
+        let verdicts: Vec<String> = e
+            .verdicts
+            .iter()
+            .map(|(id, v)| {
+                format!(
+                    "{{\"censor\":\"{}\",\"verdict\":\"{}\"}}",
+                    id.name(),
+                    v.token()
+                )
+            })
+            .collect();
         items.push(format!(
             "{{\"label\":\"{}\",\"source\":\"{}\",\"canonical\":\"{}\",\"key\":\"{}\",\
-             \"statically_futile\":{},\"diagnostics\":[{}],\"program\":{}}}",
+             \"statically_futile\":{},\"diagnostics\":[{}],\"verdicts\":[{}],\"program\":{}}}",
             esc(&e.label),
             esc(&e.source),
             esc(&e.canonical),
             e.key,
             e.statically_futile,
             diags.join(","),
+            verdicts.join(","),
             program
         ));
     }
@@ -187,7 +262,9 @@ pub fn render_json(entries: &[ReportEntry]) -> String {
     )
 }
 
-/// One SARIF result line.
+/// One SARIF result line. `properties` is a pre-rendered JSON object
+/// for the result's property bag, or empty for none.
+#[allow(clippy::too_many_arguments)] // flat mirror of the SARIF result shape
 fn sarif_result(
     rule: &str,
     level: &str,
@@ -196,14 +273,20 @@ fn sarif_result(
     source: &str,
     start: usize,
     end: usize,
+    properties: &str,
 ) -> String {
     let (line, col) = line_col(source, start);
+    let props = if properties.is_empty() {
+        String::new()
+    } else {
+        format!(",\"properties\":{properties}")
+    };
     format!(
         "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
          \"locations\":[{{\"physicalLocation\":{{\
          \"artifactLocation\":{{\"uri\":\"{}\"}},\
          \"region\":{{\"startLine\":{line},\"startColumn\":{col},\
-         \"charOffset\":{start},\"charLength\":{}}}}}}}]}}",
+         \"charOffset\":{start},\"charLength\":{}}}}}}}]{props}}}",
         esc(rule),
         esc(message),
         esc(uri),
@@ -211,11 +294,104 @@ fn sarif_result(
     )
 }
 
-/// SARIF 2.1.0 report. Diagnostics map one-to-one onto results; two
-/// synthetic rules surface program-level facts: `program-verify-failed`
-/// (the abstract interpreter refused the compiled program) and
+/// Rule metadata for the SARIF `tool.driver.rules` table: a
+/// one-sentence `fullDescription` plus a `helpUri` into the design
+/// docs. Every lint code and synthetic rule the reporter can emit has
+/// a row (the `sarif_rules_all_have_help` test enforces it).
+fn rule_help(id: &str) -> (&'static str, &'static str) {
+    const LINTS_URI: &str = "DESIGN.md#7-strata-static-analysis-of-strategies";
+    const ABSINT_URI: &str =
+        "DESIGN.md#11-strataabsint-abstract-interpretation-and-proof-gated-compilation";
+    const CENSOR_URI: &str = "DESIGN.md#12-stratacensor_model-per-censor-product-model-checking";
+    match id {
+        "dead-branch" => (
+            "The trigger compares a field against a value it can never hold, so the part never fires.",
+            LINTS_URI,
+        ),
+        "shadowed-trigger" => (
+            "A later part repeats an earlier part's trigger; first-match-wins makes it unreachable.",
+            LINTS_URI,
+        ),
+        "client-side-action-in-server-strategy" => (
+            "The outbound tree triggers on a client-sent packet the server never forwards.",
+            LINTS_URI,
+        ),
+        "ttl-unreachable" => (
+            "The written TTL dies before the censoring middlebox, so the packet influences nothing.",
+            LINTS_URI,
+        ),
+        "degenerate-fragment" => (
+            "The fragment action cannot split the packet (offset 0 or past the payload).",
+            LINTS_URI,
+        ),
+        "checksum-futile" => (
+            "Every emitted copy carries a broken checksum, so no endpoint stack accepts any of them.",
+            LINTS_URI,
+        ),
+        "dup-amplification" => (
+            "Worst-case emission count per trigger packet meets the amplification threshold.",
+            LINTS_URI,
+        ),
+        "no-op-chain" => (
+            "The whole action tree canonicalizes to a bare send — it does exactly nothing.",
+            LINTS_URI,
+        ),
+        "handshake-severed" => (
+            "No emitted packet can advance the client out of SYN_SENT; no connection ever completes.",
+            LINTS_URI,
+        ),
+        "seq-desync-kills-client" => (
+            "Every handshake-advancing packet rewrites TCP seq; the server ignores the client's ack forever.",
+            LINTS_URI,
+        ),
+        "ack-desync-kills-client" => (
+            "Every handshake-advancing packet rewrites TCP ack; the client answers with a RST.",
+            LINTS_URI,
+        ),
+        "deliverable-rst-resets-client" => (
+            "A valid RST+ACK definitely reaches the client before any handshake-completing packet.",
+            LINTS_URI,
+        ),
+        "window-zero-stalls-client" => (
+            "The delivered SYN+ACK advertises a zero receive window; the client cannot send data.",
+            LINTS_URI,
+        ),
+        "checksum-left-broken-reaches-client" => (
+            "A data-bearing packet reaches the client with its checksum still broken and is dropped there.",
+            LINTS_URI,
+        ),
+        "synack-payload-compat" => (
+            "The real SYN+ACK is delivered carrying a payload; client stacks differ on accepting it.",
+            LINTS_URI,
+        ),
+        "resync-invariant" => (
+            "The part injects a RST to resynchronize the censor, but the modeled censor ignores RSTs.",
+            LINTS_URI,
+        ),
+        "program-verify-failed" => (
+            "The abstract interpreter could not discharge the compiled program's proof obligations.",
+            ABSINT_URI,
+        ),
+        "program-amplification" => (
+            "The proved worst-case emission bound meets the amplification threshold.",
+            ABSINT_URI,
+        ),
+        "censor-verdict" => (
+            "Per-censor verdicts from the censor-product model checker: provably inert, provably desynced, or unknown.",
+            CENSOR_URI,
+        ),
+        _ => ("", LINTS_URI),
+    }
+}
+
+/// SARIF 2.1.0 report. Diagnostics map one-to-one onto results; three
+/// synthetic rules surface analysis-level facts: `program-verify-failed`
+/// (the abstract interpreter refused the compiled program),
 /// `program-amplification` (the proved emission bound meets the
-/// [`AMPLIFICATION_LIMIT`] threshold).
+/// [`AMPLIFICATION_LIMIT`] threshold), and `censor-verdict` (one
+/// note-level result per entry carrying the per-censor verdict matrix
+/// in its property bag). Every rule in `tool.driver.rules` carries a
+/// `fullDescription` and a `helpUri` into `DESIGN.md`.
 pub fn render_sarif(entries: &[ReportEntry]) -> String {
     let mut rules: Vec<&str> = Vec::new();
     let note_rule = |rules: &mut Vec<&str>, id: &'static str| {
@@ -238,6 +414,30 @@ pub fn render_sarif(entries: &[ReportEntry]) -> String {
                 &e.source,
                 d.span.start,
                 d.span.end,
+                "",
+            ));
+        }
+        if !e.verdicts.is_empty() {
+            note_rule(&mut rules, "censor-verdict");
+            let summary: Vec<String> = e
+                .verdicts
+                .iter()
+                .map(|(id, v)| format!("{}={}", id.name(), v.token()))
+                .collect();
+            let props: Vec<String> = e
+                .verdicts
+                .iter()
+                .map(|(id, v)| format!("\"{}\":\"{}\"", id.name(), v.token()))
+                .collect();
+            results.push(sarif_result(
+                "censor-verdict",
+                "note",
+                &format!("per-censor static verdicts: {}", summary.join(", ")),
+                &e.label,
+                &e.source,
+                0,
+                e.source.len(),
+                &format!("{{\"verdicts\":{{{}}}}}", props.join(",")),
             ));
         }
         match &e.program {
@@ -254,6 +454,7 @@ pub fn render_sarif(entries: &[ReportEntry]) -> String {
                     &e.source,
                     0,
                     e.source.len(),
+                    "",
                 ));
             }
             Some(p) if p.max_emit >= AMPLIFICATION_LIMIT => {
@@ -270,6 +471,7 @@ pub fn render_sarif(entries: &[ReportEntry]) -> String {
                     &e.source,
                     0,
                     e.source.len(),
+                    "",
                 ));
             }
             _ => {}
@@ -283,7 +485,16 @@ pub fn render_sarif(entries: &[ReportEntry]) -> String {
     rules.sort_unstable();
     let rules_json: Vec<String> = rules
         .iter()
-        .map(|id| format!("{{\"id\":\"{}\"}}", esc(id)))
+        .map(|id| {
+            let (description, help_uri) = rule_help(id);
+            format!(
+                "{{\"id\":\"{}\",\"fullDescription\":{{\"text\":\"{}\"}},\
+                 \"helpUri\":\"{}\"}}",
+                esc(id),
+                esc(description),
+                esc(help_uri)
+            )
+        })
         .collect();
     format!(
         "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
@@ -311,6 +522,7 @@ mod tests {
             key: a.key,
             statically_futile: a.statically_futile,
             diagnostics: a.diagnostics,
+            verdicts: crate::censor_model::check_all(&crate::summarize(&strategy)),
             program: Some(ProgramFacts {
                 verified,
                 error: (!verified).then(|| "op 1 jumps backward to 0".into()),
@@ -357,7 +569,87 @@ mod tests {
             "{sarif}"
         );
         assert!(sarif.contains("\"startLine\":1"), "{sarif}");
-        assert!(sarif.contains("{\"id\":\"handshake-severed\"}"), "{sarif}");
+        assert!(sarif.contains("{\"id\":\"handshake-severed\""), "{sarif}");
+        // Rule metadata: every rule row documents itself.
+        assert!(
+            sarif.contains("\"fullDescription\":{\"text\":\"No emitted packet"),
+            "{sarif}"
+        );
+        assert!(
+            sarif.contains("\"helpUri\":\"DESIGN.md#7-strata-static-analysis-of-strategies\""),
+            "{sarif}"
+        );
+    }
+
+    #[test]
+    fn sarif_rules_all_have_help() {
+        for id in [
+            "dead-branch",
+            "shadowed-trigger",
+            "client-side-action-in-server-strategy",
+            "ttl-unreachable",
+            "degenerate-fragment",
+            "checksum-futile",
+            "dup-amplification",
+            "no-op-chain",
+            "handshake-severed",
+            "seq-desync-kills-client",
+            "ack-desync-kills-client",
+            "deliverable-rst-resets-client",
+            "window-zero-stalls-client",
+            "checksum-left-broken-reaches-client",
+            "synack-payload-compat",
+            "resync-invariant",
+            "program-verify-failed",
+            "program-amplification",
+            "censor-verdict",
+        ] {
+            let (description, uri) = rule_help(id);
+            assert!(!description.is_empty(), "no fullDescription for {id}");
+            assert!(uri.starts_with("DESIGN.md#"), "bad helpUri for {id}");
+        }
+    }
+
+    #[test]
+    fn verdicts_render_in_every_format() {
+        // Strategy 11's shape: provably desynced against Kazakhstan,
+        // unknown against the stochastic GFW.
+        let e = entry(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/ ",
+            true,
+        );
+        assert!(!e.verdicts.is_empty());
+
+        let text = render_text(std::slice::from_ref(&e));
+        assert!(text.contains("censors:"), "{text}");
+        assert!(text.contains("Kazakhstan=desynced"), "{text}");
+        assert!(text.contains("GFW=unknown"), "{text}");
+
+        let json = render_json(std::slice::from_ref(&e));
+        assert!(
+            json.contains("{\"censor\":\"Kazakhstan\",\"verdict\":\"desynced\"}"),
+            "{json}"
+        );
+
+        let sarif = render_sarif(std::slice::from_ref(&e));
+        assert!(sarif.contains("\"ruleId\":\"censor-verdict\""), "{sarif}");
+        assert!(sarif.contains("\"level\":\"note\""), "{sarif}");
+        assert!(sarif.contains("\"properties\":{\"verdicts\":{"), "{sarif}");
+        assert!(sarif.contains("\"Kazakhstan\":\"desynced\""), "{sarif}");
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+
+        let matrix = render_verdict_matrix(std::slice::from_ref(&e));
+        assert!(matrix.starts_with("strategy"), "{matrix}");
+        assert!(matrix.contains("GFW"), "{matrix}");
+        assert!(matrix.contains("desynced"), "{matrix}");
+    }
+
+    #[test]
+    fn verdict_matrix_without_verdicts_points_at_the_flag() {
+        let mut e = entry("[TCP:flags:SA]-duplicate(,)-| \\/ ", true);
+        e.verdicts.clear();
+        let matrix = render_verdict_matrix(&[e]);
+        assert!(matrix.contains("--censor"), "{matrix}");
     }
 
     #[test]

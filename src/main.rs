@@ -12,7 +12,9 @@
 //! cay evolve [country] [proto]   §4.1 genetic algorithm
 //! cay lint <strategy-dsl>        static analysis: canonical form + diagnostics
 //! cay verify <dsl>|--library     lints + compiled-program proof obligations,
-//!                                as text, JSON, or SARIF (--format)
+//!                                as text, JSON, or SARIF (--format); add
+//!                                --censor <name|all> for per-censor verdicts
+//!                                from the censor-product model checker
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
 //! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON
@@ -154,6 +156,13 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 "  static prefilter: {:.0}% of misses refuted without simulation",
                 result.static_skip_rate() * 100.0
             );
+            println!(
+                "  censor model: {:.0}% of misses proven inert vs {} without \
+                 simulation ({} genomes)",
+                result.censor_static_skip_rate() * 100.0,
+                country.name(),
+                result.censor_static_rejects
+            );
         }
         Some("lint") => {
             let Some(text) = args.get(1) else {
@@ -200,6 +209,24 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 eprintln!("unknown --format {format:?}: expected text, json, or sarif");
                 std::process::exit(2);
             }
+            let censors: Vec<strata::CensorId> = match args
+                .iter()
+                .position(|a| a == "--censor")
+                .map(|i| args.get(i + 1).map(String::as_str).unwrap_or(""))
+            {
+                None => Vec::new(),
+                Some("all") => strata::CensorId::all().to_vec(),
+                Some(name) => match strata::CensorId::parse(name) {
+                    Some(id) => vec![id],
+                    None => {
+                        eprintln!(
+                            "unknown --censor {name:?}: expected all, gfw, airtel, iran, \
+                             or kazakhstan"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+            };
             let mut entries = Vec::new();
             if args.iter().any(|a| a == "--library") {
                 for named in geneva::library::server_side()
@@ -207,7 +234,7 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                     .chain(geneva::library::variants().iter())
                 {
                     let label = format!("library/{}", named.name);
-                    match verify_entry(&label, named.text) {
+                    match verify_entry(&label, named.text, &censors) {
                         Ok(entry) => entries.push(entry),
                         Err(e) => {
                             eprintln!("{label} does not parse: {e}");
@@ -216,12 +243,34 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                     }
                 }
             } else {
-                let Some(text) = args.get(1).filter(|t| !t.starts_with("--")) else {
-                    eprintln!("usage: cay verify '<strategy-dsl>' [--format text|json|sarif]");
-                    eprintln!("       cay verify --library [--format text|json|sarif]");
+                // The strategy is the first positional operand: skip
+                // the flags and their values (`--censor all '<dsl>'`
+                // must still find the DSL).
+                let mut positional = None;
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--library" => i += 1,
+                        "--format" | "--censor" => i += 2,
+                        a if a.starts_with("--") => i += 1,
+                        _ => {
+                            positional = Some(&args[i]);
+                            break;
+                        }
+                    }
+                }
+                let Some(text) = positional else {
+                    eprintln!(
+                        "usage: cay verify '<strategy-dsl>' [--format text|json|sarif] \
+                         [--censor <name|all>]"
+                    );
+                    eprintln!(
+                        "       cay verify --library [--format text|json|sarif] \
+                         [--censor <name|all>]"
+                    );
                     std::process::exit(2);
                 };
-                match verify_entry("cli", text) {
+                match verify_entry("cli", text, &censors) {
                     Ok(entry) => entries.push(entry),
                     Err(e) => {
                         eprintln!("strategy does not parse: {e}");
@@ -232,7 +281,13 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
             match format {
                 "json" => print!("{}", strata::report::render_json(&entries)),
                 "sarif" => print!("{}", strata::report::render_sarif(&entries)),
-                _ => print!("{}", strata::report::render_text(&entries)),
+                _ => {
+                    print!("{}", strata::report::render_text(&entries));
+                    if !censors.is_empty() {
+                        println!();
+                        print!("{}", strata::render_verdict_matrix(&entries));
+                    }
+                }
             }
             if entries.iter().any(strata::ReportEntry::failing) {
                 std::process::exit(1);
@@ -421,11 +476,25 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
     }
 }
 
-/// Build one `cay verify` report entry: lint analysis plus the
-/// compiled program's discharged (or failed) proof obligations.
-fn verify_entry(label: &str, source: &str) -> Result<strata::ReportEntry, geneva::ParseError> {
+/// Build one `cay verify` report entry: lint analysis, per-censor
+/// model-checker verdicts for the requested censors, plus the compiled
+/// program's discharged (or failed) proof obligations.
+fn verify_entry(
+    label: &str,
+    source: &str,
+    censors: &[strata::CensorId],
+) -> Result<strata::ReportEntry, geneva::ParseError> {
     let strategy = geneva::parse_strategy(source)?;
     let analysis = strata::analyze(&strategy);
+    let verdicts = if censors.is_empty() {
+        Vec::new()
+    } else {
+        let summary = strata::summarize(&strategy);
+        censors
+            .iter()
+            .map(|&id| (id, strata::censor_model::check(&summary, id)))
+            .collect()
+    };
     let program = match Program::compile(&strategy) {
         Ok(program) => {
             let proof = program.proof.expect("checked compile carries its proof");
@@ -450,6 +519,7 @@ fn verify_entry(label: &str, source: &str) -> Result<strata::ReportEntry, geneva
         key: analysis.key,
         statically_futile: analysis.statically_futile,
         diagnostics: analysis.diagnostics,
+        verdicts,
         program: Some(program),
     })
 }

@@ -2,12 +2,15 @@
 //! Whole-library snapshot for `cay verify`: every built-in strategy
 //! (the paper's 11 plus the §5 variant species) lints without a false
 //! refutation, compiles through the proof gate, and renders into all
-//! three report formats without structural breakage.
+//! three report formats without structural breakage. The per-censor
+//! verdict matrix is additionally pinned against a committed golden
+//! snapshot so any model-checker drift shows up as a reviewable diff.
 //!
 //! The paper deployed each of these strategies against real censors
 //! with real success rates — a strategy that works in the world and
 //! fails our static analysis is, by definition, an analysis bug.
 
+use strata::censor_model::{check_all, Verdict};
 use strata::{ProgramFacts, ReportEntry, Severity};
 
 fn library_entries() -> Vec<ReportEntry> {
@@ -41,6 +44,7 @@ fn library_entries() -> Vec<ReportEntry> {
                 key: analysis.key,
                 statically_futile: analysis.statically_futile,
                 diagnostics: analysis.diagnostics,
+                verdicts: check_all(&strata::summarize(&strategy)),
                 program: Some(program),
             }
         })
@@ -106,6 +110,80 @@ fn all_three_report_formats_render_the_library() {
     assert!(sarif.contains("\"version\":\"2.1.0\""));
     assert!(sarif.contains("\"name\":\"cay-verify\""));
     // A run with no error-level results: every result present must be
-    // a warning (compat advisories), never an error.
+    // a warning (compat advisories) or a note (per-censor verdicts),
+    // never an error.
     assert!(!sarif.contains("\"level\":\"error\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\":\"censor-verdict\""), "{sarif}");
+}
+
+/// The committed golden matrix: `cay verify --library --censor all`
+/// must keep producing exactly this table. Regenerate by pasting the
+/// assertion's `-- actual --` output (or the CLI's) after a deliberate
+/// model change; the diff is the review artifact.
+#[test]
+fn verdict_matrix_matches_the_committed_snapshot() {
+    let entries = library_entries();
+    let matrix = strata::render_verdict_matrix(&entries);
+    let golden = include_str!("golden/verify_censor_matrix.txt");
+    assert_eq!(
+        matrix, golden,
+        "\n-- actual --\n{matrix}\n-- committed --\n{golden}"
+    );
+}
+
+/// Acceptance bar for the model checker itself: across the whole
+/// library, a `ProvablyInert` verdict means the strategy evades zero
+/// trials against that censor, and `ProvablyDesynced` means it evades
+/// every trial (the censor provably wrote the flow off, so no
+/// censorship event can fire). The GFW never receives a claim — its
+/// per-flow behavior is stochastic — so every claim here is against a
+/// deterministic censor and must hold exactly.
+#[test]
+fn verdicts_never_contradict_simulation() {
+    use appproto::AppProtocol;
+    use censor::Country;
+    use harness::{run_trial, TrialConfig};
+    use strata::CensorId;
+
+    let trials = 6u64;
+    let mut claims = 0u32;
+    for named in geneva::library::server_side()
+        .iter()
+        .chain(geneva::library::variants().iter())
+    {
+        let strategy = named.strategy();
+        for (id, verdict) in check_all(&strata::summarize(&strategy)) {
+            if verdict == Verdict::Unknown {
+                continue;
+            }
+            claims += 1;
+            let country = match id {
+                CensorId::Gfw => Country::China,
+                CensorId::Airtel => Country::India,
+                CensorId::Iran => Country::Iran,
+                CensorId::Kazakhstan => Country::Kazakhstan,
+            };
+            assert_ne!(id, CensorId::Gfw, "no deterministic claim vs the GFW");
+            let successes = (0..trials)
+                .filter(|&seed| {
+                    let cfg = TrialConfig::new(country, AppProtocol::Http, strategy.clone(), seed);
+                    run_trial(&cfg).evaded()
+                })
+                .count() as u64;
+            match verdict {
+                Verdict::ProvablyInert => assert_eq!(
+                    successes, 0,
+                    "{} proven inert vs {id} but evaded {successes}/{trials}",
+                    named.name
+                ),
+                Verdict::ProvablyDesynced => assert_eq!(
+                    successes, trials,
+                    "{} proven desynced vs {id} but evaded only {successes}/{trials}",
+                    named.name
+                ),
+                Verdict::Unknown => unreachable!(),
+            }
+        }
+    }
+    assert!(claims > 0, "the checker proved nothing about the library");
 }
