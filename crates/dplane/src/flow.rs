@@ -12,11 +12,16 @@
 //! * **Deterministic placement** — a flow's shard is an FNV-1a hash of
 //!   its canonical [`FlowKey`] modulo the shard count, not an insertion
 //!   order or a runtime-salted hash.
-//! * **Global LRU clock** — every touch stamps the entry with a
-//!   monotonic tick from a table-wide counter. Capacity eviction
-//!   removes the globally least-recent entry (ticks are unique, so the
-//!   victim is unambiguous) wherever it lives, rather than the
-//!   least-recent entry of the incoming packet's shard.
+//! * **Global LRU clock, per-shard index** — every touch stamps the
+//!   entry with a monotonic tick from a table-wide counter. Capacity
+//!   eviction removes the globally least-recent entry (ticks are
+//!   unique, so the victim is unambiguous) wherever it lives, rather
+//!   than the least-recent entry of the incoming packet's shard. The
+//!   victim is found in O(shards): each shard keeps a lazy tick-ordered
+//!   journal of its touches whose front (after skipping stale entries)
+//!   is that shard's least-recent live flow, and the global victim is
+//!   the minimum over shard fronts — no scan of the flow maps, and the
+//!   eviction is attributed to the shard that owns the victim.
 //! * **Pure re-classification** — a flow's state is a pure function of
 //!   its key (the classifier consults a static geo table; the seed is
 //!   derived from the key), so an evicted flow that returns rebuilds
@@ -30,7 +35,7 @@
 use crate::metrics::ShardMetrics;
 use crate::program::Program;
 use packet::FlowKey;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
@@ -99,6 +104,42 @@ struct FlowEntry {
 struct Shard {
     flows: HashMap<FlowKey, FlowEntry, FnvBuild>,
     metrics: ShardMetrics,
+    /// Lazy LRU journal: one `(tick, key)` record per touch, in tick
+    /// order. A record is *current* iff the flow is live and its
+    /// `last_tick` still equals the recorded tick; anything else is a
+    /// stale leftover from an earlier touch, skipped (and discarded)
+    /// when the front is consulted. The front current record is this
+    /// shard's least-recently-used live flow — which makes global LRU
+    /// eviction a min over shard fronts instead of a scan over every
+    /// flow in the table.
+    lru_log: VecDeque<(u64, FlowKey)>,
+}
+
+impl Shard {
+    /// Record a touch in the journal, compacting stale records once
+    /// the journal outgrows the live-flow count by 2× (amortized O(1)
+    /// per touch, zero steady-state allocation).
+    fn log_touch(&mut self, tick: u64, key: FlowKey) {
+        self.lru_log.push_back((tick, key));
+        if self.lru_log.len() > self.flows.len() * 2 + 8 {
+            let flows = &self.flows;
+            self.lru_log
+                .retain(|&(t, k)| flows.get(&k).is_some_and(|e| e.last_tick == t));
+        }
+    }
+
+    /// Drop stale records until the front is current (or the journal
+    /// is empty), then return the front: `(tick, key)` of this shard's
+    /// least-recently-used live flow.
+    fn lru_front(&mut self) -> Option<(u64, FlowKey)> {
+        while let Some(&(tick, key)) = self.lru_log.front() {
+            if self.flows.get(&key).is_some_and(|e| e.last_tick == tick) {
+                return Some((tick, key));
+            }
+            self.lru_log.pop_front();
+        }
+        None
+    }
 }
 
 /// What a lookup returned: the flow's strategy state plus where it
@@ -139,6 +180,7 @@ impl FlowTable {
                 .map(|_| Shard {
                     flows: HashMap::default(),
                     metrics: ShardMetrics::default(),
+                    lru_log: VecDeque::new(),
                 })
                 .collect(),
             cfg,
@@ -164,23 +206,8 @@ impl FlowTable {
     }
 
     /// Deterministic shard placement: FNV-1a of the canonical key.
-    /// (With one shard there is nothing to place — skip the hash.)
     pub fn shard_of(&self, key: &FlowKey) -> usize {
-        if self.shards.len() == 1 {
-            return 0;
-        }
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        eat(&key.a.0);
-        eat(&key.a.1.to_be_bytes());
-        eat(&key.b.0);
-        eat(&key.b.1.to_be_bytes());
-        usize::try_from(hash % self.shards.len() as u64).unwrap_or(0)
+        shard_index(key, self.shards.len())
     }
 
     /// Look up (creating if needed) the flow for `key` at time `now`.
@@ -214,6 +241,7 @@ impl FlowTable {
                     created: false,
                 };
                 s.metrics.packets += 1;
+                s.log_touch(tick, key);
                 return touch;
             }
             Some(_) => {
@@ -247,6 +275,7 @@ impl FlowTable {
         );
         s.metrics.flows_created += 1;
         s.metrics.packets += 1;
+        s.log_touch(tick, key);
         self.len += 1;
         touch
     }
@@ -273,18 +302,28 @@ impl FlowTable {
     /// Evict the globally least-recently-used flow. Ticks are unique,
     /// so the victim — and thus the whole eviction sequence — does not
     /// depend on shard count or hash-map iteration order.
+    ///
+    /// Cost is O(shards · amortized O(1)), not a scan of every flow:
+    /// each shard's LRU journal front is its per-shard minimum, the
+    /// global victim is the minimum over those fronts, and the eviction
+    /// is charged to the shard the victim actually lives on.
     fn evict_lru(&mut self) {
-        let mut victim: Option<(usize, FlowKey, u64)> = None;
-        for (i, shard) in self.shards.iter().enumerate() {
-            for (key, entry) in &shard.flows {
-                if victim.is_none_or(|(_, _, t)| entry.last_tick < t) {
-                    victim = Some((i, *key, entry.last_tick));
+        let mut victim: Option<(usize, u64)> = None;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some((tick, _)) = shard.lru_front() {
+                if victim.is_none_or(|(_, t)| tick < t) {
+                    victim = Some((i, tick));
                 }
             }
         }
-        if let Some((i, key, _)) = victim {
-            self.shards[i].flows.remove(&key);
-            self.shards[i].metrics.evicted_lru += 1;
+        if let Some((i, _)) = victim {
+            let shard = &mut self.shards[i];
+            let (_, key) = shard
+                .lru_log
+                .pop_front()
+                .expect("lru_front found a victim here");
+            shard.flows.remove(&key);
+            shard.metrics.evicted_lru += 1;
             self.len -= 1;
         }
     }
@@ -309,6 +348,32 @@ impl FlowTable {
             self.len -= removed;
         }
     }
+}
+
+/// Deterministic shard placement for `key` among `shards` shards:
+/// FNV-1a of the canonical flow key, modulo the shard count. (With one
+/// shard there is nothing to place — skip the hash.)
+///
+/// A free function so the threaded data plane's dispatcher can route
+/// packets to per-worker single-shard tables with exactly the placement
+/// a single `FlowTable` with that many shards would use — the property
+/// the threaded-vs-single-thread metrics equivalence tests rely on.
+pub fn shard_index(key: &FlowKey, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&key.a.0);
+    eat(&key.a.1.to_be_bytes());
+    eat(&key.b.0);
+    eat(&key.b.1.to_be_bytes());
+    usize::try_from(hash % shards as u64).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -368,6 +433,65 @@ mod tests {
         // Much later, a third flow's packet triggers the sweep.
         t.touch(key(3), 10_000, || (None, 3));
         assert_eq!(t.len(), 1, "idle flows reclaimed");
+    }
+
+    #[test]
+    fn churn_pins_per_shard_eviction_counts_across_shard_counts() {
+        // A churn workload (more distinct flows than capacity, with
+        // refreshes so victims aren't simply FIFO) replayed at several
+        // shard counts. Two properties pin the eviction semantics:
+        //
+        // * the *total* evicted_lru is shard-count-invariant (victim =
+        //   globally least-recent flow, wherever it lives);
+        // * each shard's evicted_lru equals the number of victims that
+        //   *live* on it per an independent global-LRU reference model
+        //   — i.e. evictions are attributed to the owning shard, not
+        //   whichever loop index found the victim.
+        const CAPACITY: usize = 8;
+        let workload: Vec<(u8, u64)> = (0..300u64)
+            .map(|step| ((step * 7 % 41) as u8, step))
+            .collect();
+
+        let mut totals = Vec::new();
+        for shards in [1usize, 2, 3, 8] {
+            let mut t = table(shards, CAPACITY, u64::MAX);
+
+            // Reference: a flat global LRU over (key, tick), with each
+            // eviction charged to shard_of(victim) for this topology.
+            let mut live: Vec<(FlowKey, u64)> = Vec::new();
+            let mut expect_evicted = vec![0u64; shards];
+            let mut tick = 0u64;
+
+            for &(n, now) in &workload {
+                let k = key(n);
+                tick += 1;
+                if let Some(slot) = live.iter_mut().find(|(lk, _)| *lk == k) {
+                    slot.1 = tick;
+                } else {
+                    if live.len() >= CAPACITY {
+                        let oldest = live
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, (_, lt))| *lt)
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        let (victim, _) = live.swap_remove(oldest);
+                        expect_evicted[t.shard_of(&victim)] += 1;
+                    }
+                    live.push((k, tick));
+                }
+                t.touch(k, now, || (None, u64::from(n)));
+            }
+
+            let got: Vec<u64> = t.metrics().iter().map(|m| m.evicted_lru).collect();
+            assert_eq!(got, expect_evicted, "shards={shards}");
+            totals.push(got.iter().sum::<u64>());
+        }
+        assert!(totals[0] > 0, "churn workload must actually evict");
+        assert!(
+            totals.iter().all(|&n| n == totals[0]),
+            "total evictions vary with shard count: {totals:?}"
+        );
     }
 
     #[test]

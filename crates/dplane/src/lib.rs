@@ -29,19 +29,22 @@ pub mod flow;
 pub mod io;
 pub mod metrics;
 pub mod program;
+pub mod ring;
 pub mod sim;
+pub mod threaded;
 
-pub use flow::{FlowConfig, FlowTable, Touch};
+pub use flow::{shard_index, FlowConfig, FlowTable, Touch};
 pub use io::{PacketIo, PcapReplay, VecIo};
 pub use metrics::{MetricsReport, ShardMetrics};
 pub use program::{
     lower_ops, CompiledPart, Matcher, Op, Program, ProgramCache, ProgramProof, VerifyError,
 };
 pub use sim::DplaneEndpoint;
+pub use threaded::{pump_threaded, ThreadedConfig};
 
 use geneva::Strategy;
 use packet::{FlowKey, Packet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Decides the strategy for a newly seen flow. Runs once per flow
 /// (on the first packet — the client's SYN in every experiment); must
@@ -112,9 +115,17 @@ impl Default for DplaneConfig {
 
 /// The assembled data plane: classifier → program cache → flow table →
 /// compiled execution, with per-shard metrics.
+///
+/// The program cache sits behind a mutex shared by reference: a
+/// single-threaded plane owns its cache alone (the lock is uncontended
+/// and taken only on flow *creation*, never on the steady-state packet
+/// path), while [`threaded::pump_threaded`] hands one cache to every
+/// shard worker so each canonical strategy compiles exactly once no
+/// matter which worker sees it first — keeping `cache_hits`/
+/// `cache_misses` identical to the single-threaded plane.
 pub struct Dplane<C: Classifier> {
     classifier: C,
-    programs: ProgramCache,
+    programs: Arc<Mutex<ProgramCache>>,
     flows: FlowTable,
     scratch: Vec<Packet>,
     seed_mode: SeedMode,
@@ -122,11 +133,21 @@ pub struct Dplane<C: Classifier> {
 }
 
 impl<C: Classifier> Dplane<C> {
-    /// Build a data plane.
+    /// Build a data plane with its own program cache.
     pub fn new(cfg: DplaneConfig, classifier: C) -> Dplane<C> {
+        Dplane::with_cache(cfg, classifier, Arc::new(Mutex::new(ProgramCache::new())))
+    }
+
+    /// Build a data plane over a shared program cache (the threaded
+    /// plane's workers all compile into one cache).
+    pub fn with_cache(
+        cfg: DplaneConfig,
+        classifier: C,
+        cache: Arc<Mutex<ProgramCache>>,
+    ) -> Dplane<C> {
         Dplane {
             classifier,
-            programs: ProgramCache::new(),
+            programs: cache,
             flows: FlowTable::new(cfg.flow),
             scratch: Vec::new(),
             seed_mode: cfg.seed,
@@ -170,10 +191,11 @@ impl<C: Classifier> Dplane<C> {
             // working, they just get no evasion) and the reject is
             // counted in metrics.
             let program = classifier.classify(pkt).and_then(|s| {
+                let mut cache = programs.lock().expect("program cache poisoned");
                 if unchecked {
-                    Some(programs.get_or_compile(&s))
+                    Some(cache.get_or_compile(&s))
                 } else {
-                    programs.get_or_verify(&s).ok()
+                    cache.get_or_verify(&s).ok()
                 }
             });
             (program, seed)
@@ -221,16 +243,23 @@ impl<C: Classifier> Dplane<C> {
         self.flows.len()
     }
 
+    /// This plane's flow-table counters, in shard order (no
+    /// program-cache fields — the threaded plane assembles a combined
+    /// report from many workers sharing one cache).
+    pub fn flow_metrics(&self) -> Vec<ShardMetrics> {
+        self.flows.metrics()
+    }
+
     /// Export all counters.
     pub fn metrics(&self) -> MetricsReport {
+        let cache = self.programs.lock().expect("program cache poisoned");
         MetricsReport {
             shards: self.flows.metrics(),
             flows_live: self.flows.len(),
-            cache_hits: self.programs.hits,
-            cache_misses: self.programs.misses,
-            verify_rejects: self.programs.verify_rejects,
-            strategies: self
-                .programs
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            verify_rejects: cache.verify_rejects,
+            strategies: cache
                 .programs()
                 .map(|(key, program)| (*key, program.canonical_text.clone()))
                 .collect(),

@@ -1,0 +1,256 @@
+//! Bounded SPSC rings: the packet handoff between the threaded data
+//! plane's dispatcher and its run-to-completion shard workers.
+//!
+//! Two layers:
+//!
+//! * [`RingBuf`] — the storage: a fixed-capacity circular buffer over
+//!   `Vec<Option<T>>` with explicit head/len wraparound. Safe code
+//!   only (no `UnsafeCell` slots), so the thread sanitizer and miri
+//!   have nothing to object to; the single-producer/single-consumer
+//!   discipline is enforced by the channel layer, not by `unsafe`.
+//! * [`channel`] — a blocking bounded channel around one `RingBuf`:
+//!   the producer blocks when the ring is full (backpressure instead
+//!   of unbounded queuing), the consumer blocks when it is empty, and
+//!   dropping the [`Sender`] closes the ring so consumers drain what
+//!   remains and then see `None`.
+//!
+//! Throughput comes from *batching*, not from lock-free slots: the
+//! threaded data plane moves `Vec`-batches of ~64 packets per ring
+//! slot, so the mutex/condvar cost is amortized across a whole batch
+//! (two orders of magnitude below per-packet handoff) and recycled
+//! batch buffers keep the steady state allocation-free.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A fixed-capacity single-threaded circular buffer. Push fails (and
+/// returns the item) when full; pop returns `None` when empty.
+#[derive(Debug)]
+pub struct RingBuf<T> {
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> RingBuf<T> {
+    /// A ring holding up to `capacity` items (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> RingBuf<T> {
+        let capacity = capacity.max(1);
+        RingBuf {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when a push would fail.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Append `item` at the tail, or hand it back when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        debug_assert!(self.slots[tail].is_none(), "tail slot occupied");
+        self.slots[tail] = Some(item);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Remove and return the head item (FIFO).
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "head slot empty");
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        item
+    }
+}
+
+struct Shared<T> {
+    ring: Mutex<State<T>>,
+    /// Signaled when space frees up (producer waits here).
+    space: Condvar,
+    /// Signaled when an item arrives or the ring closes (consumer
+    /// waits here).
+    items: Condvar,
+}
+
+struct State<T> {
+    buf: RingBuf<T>,
+    closed: bool,
+}
+
+/// The producing half of a bounded SPSC ring. Dropping it closes the
+/// ring.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of a bounded SPSC ring.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Build a bounded SPSC ring of `capacity` slots.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        ring: Mutex::new(State {
+            buf: RingBuf::with_capacity(capacity),
+            closed: false,
+        }),
+        space: Condvar::new(),
+        items: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `item`, blocking while the ring is full (backpressure).
+    /// Returns the item back if the receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut item = item;
+        let mut state = self.shared.ring.lock().expect("ring poisoned");
+        loop {
+            // Receiver dropped: nothing will ever drain the ring. The
+            // periodic timeout below exists purely to re-run this
+            // check — a receiver that dies mid-backpressure never
+            // signals `space`.
+            if Arc::strong_count(&self.shared) == 1 {
+                return Err(item);
+            }
+            match state.buf.push(item) {
+                Ok(()) => {
+                    drop(state);
+                    self.shared.items.notify_one();
+                    return Ok(());
+                }
+                Err(back) => {
+                    item = back;
+                    state = self
+                        .shared
+                        .space
+                        .wait_timeout(state, std::time::Duration::from_millis(50))
+                        .expect("ring poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.ring.lock() {
+            state.closed = true;
+        }
+        self.shared.items.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next item, blocking while the ring is empty.
+    /// Returns `None` once the ring is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.ring.lock().expect("ring poisoned");
+        loop {
+            if let Some(item) = state.buf.pop() {
+                drop(state);
+                self.shared.space.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.items.wait(state).expect("ring poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+
+    #[test]
+    fn ring_fifo_with_wraparound() {
+        let mut r = RingBuf::with_capacity(3);
+        // Fill, half-drain, refill — head wraps past the end.
+        assert!(r.push(1).is_ok());
+        assert!(r.push(2).is_ok());
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.push(3).is_ok());
+        assert!(r.push(4).is_ok());
+        assert!(r.is_full());
+        assert_eq!(r.push(5), Err(5));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(4));
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = RingBuf::with_capacity(0);
+        assert_eq!(r.capacity(), 1);
+        assert!(r.push(9).is_ok());
+        assert_eq!(r.push(10), Err(10));
+        assert_eq!(r.pop(), Some(9));
+    }
+
+    /// Producer/consumer across threads: every item arrives exactly
+    /// once, in order, through a ring far smaller than the stream —
+    /// the concurrent test the TSan CI job runs.
+    #[test]
+    fn channel_round_trips_in_order_under_backpressure() {
+        const N: u32 = 10_000;
+        let (tx, rx) = channel::<u32>(4);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+            assert_eq!(got, (0..N).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn close_drains_remaining_items() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed stays closed");
+    }
+}

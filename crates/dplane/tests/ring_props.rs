@@ -1,0 +1,76 @@
+//! Property tests for the SPSC ring ([`dplane::ring`]): FIFO order
+//! survives arbitrary interleavings of pushes and pops (wraparound),
+//! full/empty boundaries reject and report correctly, and the blocking
+//! channel round-trips whole streams through tiny rings.
+
+#![allow(clippy::unwrap_used)] // test code
+
+use dplane::ring::{channel, RingBuf};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Differential against `VecDeque`: an arbitrary push/pop script
+    /// drives the ring through every wraparound and boundary state,
+    /// and each step must agree with the unbounded reference — pushes
+    /// rejected exactly at capacity (returning the item), pops
+    /// yielding exactly the FIFO front, len/is_empty/is_full tracking
+    /// throughout.
+    #[test]
+    fn ring_agrees_with_vecdeque_reference(
+        capacity in 1usize..9,
+        script in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut ring = RingBuf::with_capacity(capacity);
+        let mut reference: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for push in script {
+            if push {
+                match ring.push(next) {
+                    Ok(()) => {
+                        prop_assert!(reference.len() < capacity, "push succeeded past capacity");
+                        reference.push_back(next);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, next, "rejected push must return the item");
+                        prop_assert_eq!(reference.len(), capacity, "push rejected below capacity");
+                    }
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(ring.pop(), reference.pop_front());
+            }
+            prop_assert_eq!(ring.len(), reference.len());
+            prop_assert_eq!(ring.is_empty(), reference.is_empty());
+            prop_assert_eq!(ring.is_full(), reference.len() == capacity);
+        }
+        // Drain: remaining items come out in FIFO order.
+        while let Some(want) = reference.pop_front() {
+            prop_assert_eq!(ring.pop(), Some(want));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+
+    /// The blocking channel delivers every item exactly once, in
+    /// order, for any (ring size, stream length) — including rings of
+    /// one slot, where every send waits on the previous recv.
+    #[test]
+    fn channel_round_trips_any_stream(
+        slots in 1usize..6,
+        n in 0u32..400,
+    ) {
+        let (tx, rx) = channel::<u32>(slots);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..n {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+            prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+            Ok(())
+        })?;
+    }
+}

@@ -52,6 +52,7 @@ pub mod pool;
 pub mod rates;
 pub mod screen;
 pub mod seed;
+pub mod steal;
 pub mod trial;
 pub mod waterfall;
 
@@ -59,5 +60,8 @@ pub use pool::{Pool, Throughput};
 pub use rates::{success_rate, success_rate_in, success_rate_tagged, RateEstimate};
 pub use screen::{context_for, ScreenedTrial, Screener};
 pub use seed::{cell_tag, derive_trial_seed};
-pub use trial::{run_trial, CensorVariant, TrialConfig, TrialResult};
+pub use trial::{
+    run_trial, run_trial_scratch, CensorVariant, TrialConfig, TrialResult, TrialScratch,
+    TrialVerdict,
+};
 pub use waterfall::render_waterfall;

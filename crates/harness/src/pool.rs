@@ -7,12 +7,21 @@
 //! results **in index order**, so any reduction over the results is
 //! bit-identical regardless of worker count:
 //!
-//! * work is handed out via an atomic index counter — which *worker*
+//! * work is handed out through chunk-granular **work-stealing
+//!   queues** ([`crate::steal`]): each worker owns a contiguous block
+//!   of the index space pre-split into chunks, pops locally, and
+//!   steals half a victim's backlog when it drains — which *worker*
 //!   runs task `i` varies between runs, but task `i` itself is a pure
 //!   function of `i` (trial seeds come from
 //!   [`crate::seed::derive_trial_seed`], never from execution order);
-//! * each worker buffers `(index, result)` pairs; after the scope
-//!   joins, results are scattered back into an index-ordered `Vec`.
+//! * each worker buffers `(start, results)` runs; after the scope
+//!   joins, runs are scattered back into an index-ordered `Vec`.
+//!
+//! Workers that need per-worker state — scratch arenas the trial loop
+//! reuses across its whole share of the batch — go through
+//! [`Pool::map_indexed_scratch`]: the scratch factory runs once per
+//! worker, not once per task, so the allocation cost of worker state
+//! is `O(workers)`, never `O(n)`.
 //!
 //! Nested calls (an experiment parallelizes over cells, and each cell's
 //! `success_rate` would parallelize over trials) degrade gracefully:
@@ -24,6 +33,7 @@
 //! parallelism". Tests that compare worker counts construct explicit
 //! [`Pool`]s instead of touching the global.
 
+use crate::steal::{seed_queues, ChunkQueue};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -68,6 +78,8 @@ pub fn trials_run() -> u64 {
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     workers: usize,
+    /// Explicit chunk size (`None` = sized from `n` and `workers`).
+    chunk: Option<usize>,
 }
 
 impl Pool {
@@ -75,6 +87,7 @@ impl Pool {
     pub fn with_jobs(workers: usize) -> Pool {
         Pool {
             workers: workers.max(1),
+            chunk: None,
         }
     }
 
@@ -84,9 +97,26 @@ impl Pool {
         Pool::with_jobs(jobs())
     }
 
+    /// Pin the work-stealing chunk size (clamped to ≥ 1). Results are
+    /// bit-identical for any value — the knob exists for the
+    /// adversarial-chunking proptests and for benchmarks.
+    pub fn with_chunk(mut self, chunk: usize) -> Pool {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
     /// This pool's worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The chunk size used for a batch of `n` tasks over `workers`
+    /// workers: explicit override, else ~8 chunks per worker capped at
+    /// 64 tasks — small enough that a straggler's backlog is worth
+    /// stealing, large enough that queue traffic stays negligible.
+    fn chunk_for(&self, n: usize, workers: usize) -> usize {
+        self.chunk
+            .unwrap_or_else(|| (n / (workers * 8)).clamp(1, 64))
     }
 
     /// Run `f(0..n)` across the pool and return results in index
@@ -98,36 +128,64 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indexed_scratch(n, || (), |(), i| f(i))
+    }
+
+    /// [`Pool::map_indexed`] with a per-worker scratch arena:
+    /// `make_scratch` runs **once per worker** (once total on the
+    /// serial path) and the resulting state is threaded through every
+    /// task that worker runs, so buffers warmed by one trial are
+    /// reused by the next instead of being re-created `n` times.
+    ///
+    /// Determinism contract: `f(scratch, i)` must return the same
+    /// value for a fresh scratch and a reused one — scratch holds
+    /// *capacity* (buffers, arenas), never *state* that leaks between
+    /// tasks. Under that contract the output is bit-identical for any
+    /// worker count, chunk size, and steal interleaving.
+    pub fn map_indexed_scratch<T, S, F, G>(&self, n: usize, make_scratch: G, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut S, usize) -> T + Sync,
+        G: Fn() -> S + Sync,
+    {
         let serial = self.workers == 1 || n <= 1 || IN_POOL_WORKER.with(std::cell::Cell::get);
         if serial {
-            return (0..n).map(f).collect();
+            let mut scratch = make_scratch();
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
         }
 
-        // Work is handed out in contiguous chunks rather than one index
-        // at a time: one atomic bump covers `chunk` tasks, each worker
-        // appends a chunk's results into a contiguous run, and the
-        // scatter step concatenates whole runs instead of placing every
-        // result through an `Option` slot. ~4 chunks per worker keeps
-        // dynamic load balancing while shrinking the per-task overhead
-        // that made many-worker runs slower than serial ones.
-        let next = AtomicUsize::new(0);
+        // Chunk-granular work stealing (see `crate::steal`): each
+        // worker owns a contiguous block of `0..n` pre-split into
+        // chunks, pops locally, and steals half a victim's backlog
+        // when its own queue drains — stragglers no longer gate the
+        // batch, and the steady state touches no shared counter.
         let workers = self.workers.min(n);
-        let chunk = (n / (workers * 4)).max(1);
+        let chunk = self.chunk_for(n, workers);
+        let queues: Vec<ChunkQueue> = seed_queues(n, workers, chunk);
         let mut buckets: Vec<Vec<(usize, Vec<T>)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    let make_scratch = &make_scratch;
+                    scope.spawn(move || {
                         IN_POOL_WORKER.with(|flag| flag.set(true));
+                        let mut scratch = make_scratch();
                         let mut local = Vec::new();
                         loop {
-                            let start = next.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            let end = (start + chunk).min(n);
+                            // Local queue first; on empty, scan victims
+                            // in deterministic ring order and take half
+                            // their backlog. No chunk is ever re-queued
+                            // after it starts, so "all queues empty" is
+                            // a sound exit.
+                            let next = queues[w].pop().or_else(|| {
+                                (1..workers)
+                                    .find_map(|v| queues[(w + v) % workers].steal_half(&queues[w]))
+                            });
+                            let Some((start, end)) = next else { break };
                             let mut run = Vec::with_capacity(end - start);
-                            run.extend((start..end).map(&f));
+                            run.extend((start..end).map(|i| f(&mut scratch, i)));
                             local.push((start, run));
                         }
                         local

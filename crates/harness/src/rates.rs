@@ -2,7 +2,7 @@
 
 use crate::pool::{self, Pool};
 use crate::seed::derive_trial_seed;
-use crate::trial::{run_trial, TrialConfig};
+use crate::trial::{run_trial_scratch, TrialConfig, TrialScratch};
 
 /// A success-rate estimate over `trials` seeded runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,13 +120,16 @@ pub fn success_rate_in(
     base_seed: u64,
     cell_tag: u64,
 ) -> RateEstimate {
-    let outcomes = pool.map_indexed(trials as usize, |i| {
+    // Per-worker scratch: each pool worker grows one set of simulator
+    // buffers and recycles it across every trial it runs, so
+    // allocations per trial stay flat as workers are added.
+    let outcomes = pool.map_indexed_scratch(trials as usize, TrialScratch::new, |scratch, i| {
         let mut c = cfg.clone();
         #[allow(clippy::cast_possible_truncation)] // i < trials: u32
         let index = i as u32;
         c.seed = derive_trial_seed(base_seed, cell_tag, index);
-        let result = run_trial(&c);
-        (result.evaded(), result.truncated)
+        let verdict = run_trial_scratch(&c, scratch);
+        (verdict.evaded(), verdict.truncated)
     });
     pool::record_trials(u64::from(trials));
     let mut estimate = RateEstimate::of(0, trials);

@@ -1,0 +1,222 @@
+//! `steal` — chunk-granular work-stealing queues for the trial pool.
+//!
+//! The pool's old handout was a single atomic index counter: every
+//! worker bumped the same cache line for every chunk, and a worker that
+//! drew a long chunk near the end gated the whole batch while the other
+//! workers spun on an empty counter. Work stealing fixes both ends:
+//!
+//! * **Local-first** — the index space `0..n` is pre-split into one
+//!   contiguous block per worker, each block cut into chunk-sized
+//!   ranges. A worker pops from the *front* of its own queue, so the
+//!   steady state touches only worker-local state (one uncontended
+//!   mutex whose critical section is a `VecDeque` pop).
+//! * **Steal-half** — a worker that drains its queue picks victims in
+//!   a deterministic ring order and moves *half* of the victim's
+//!   remaining chunks (from the back, farthest from the owner's next
+//!   pop) into its own queue. Halving keeps the stolen work stealable
+//!   again, so a straggler's backlog spreads across all idle workers
+//!   in `O(log chunks)` steals instead of being nibbled one chunk at a
+//!   time.
+//!
+//! Determinism: chunks only describe *which indices* a worker runs —
+//! task `i` is a pure function of `i` — so the set of executed indices
+//! is exactly `0..n` regardless of steal order, and the pool's
+//! index-ordered scatter makes the reduction bit-identical for any
+//! worker count, chunk size, or scheduling interleaving (proptested in
+//! `tests/pool_props.rs`).
+//!
+//! Locking discipline: `pop` takes only the owner's lock; `steal_half`
+//! takes the victim's lock, drains the stolen ranges into a scratch
+//! `Vec`, releases, and only then takes the thief's own lock — no call
+//! path ever holds two queue locks, so cross-stealing cannot deadlock.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A half-open index range `[start, end)` — one chunk of pool work.
+pub type Chunk = (usize, usize);
+
+/// One worker's chunk queue. Owner pops the front; thieves take half
+/// from the back.
+#[derive(Debug, Default)]
+pub struct ChunkQueue {
+    chunks: Mutex<VecDeque<Chunk>>,
+}
+
+impl ChunkQueue {
+    /// An empty queue.
+    pub fn new() -> ChunkQueue {
+        ChunkQueue::default()
+    }
+
+    /// Seed the queue with `block` split into `chunk`-sized ranges
+    /// (the last range may be short). `chunk` is clamped to ≥ 1.
+    pub fn seed(&self, block: Chunk, chunk: usize) {
+        let chunk = chunk.max(1);
+        let mut q = self.chunks.lock().expect("chunk queue poisoned");
+        let (mut start, end) = block;
+        while start < end {
+            let stop = (start + chunk).min(end);
+            q.push_back((start, stop));
+            start = stop;
+        }
+    }
+
+    /// Owner-side pop: the next chunk in index order, front of the
+    /// queue.
+    pub fn pop(&self) -> Option<Chunk> {
+        self.chunks
+            .lock()
+            .expect("chunk queue poisoned")
+            .pop_front()
+    }
+
+    /// Number of queued chunks (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.chunks.lock().expect("chunk queue poisoned").len()
+    }
+
+    /// True when no chunks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Thief-side steal: move the back half (rounded up) of this
+    /// queue's chunks into `into`, returning the first stolen chunk for
+    /// the thief to run immediately. Returns `None` when there was
+    /// nothing to steal. Never holds both locks at once.
+    pub fn steal_half(&self, into: &ChunkQueue) -> Option<Chunk> {
+        let stolen: Vec<Chunk> = {
+            let mut victim = self.chunks.lock().expect("chunk queue poisoned");
+            let take = victim.len().div_ceil(2);
+            if take == 0 {
+                return None;
+            }
+            let keep = victim.len() - take;
+            victim.split_off(keep).into()
+        };
+        let mut iter = stolen.into_iter();
+        let first = iter.next();
+        let rest: Vec<Chunk> = iter.collect();
+        if !rest.is_empty() {
+            let mut own = into.chunks.lock().expect("chunk queue poisoned");
+            own.extend(rest);
+        }
+        first
+    }
+}
+
+/// Build one seeded queue per worker: `0..n` split into `workers`
+/// contiguous blocks (remainder spread over the leading blocks), each
+/// block cut into `chunk`-sized ranges.
+pub fn seed_queues(n: usize, workers: usize, chunk: usize) -> Vec<ChunkQueue> {
+    let workers = workers.max(1);
+    let queues: Vec<ChunkQueue> = (0..workers).map(|_| ChunkQueue::new()).collect();
+    let base = n / workers;
+    let extra = n % workers;
+    let mut start = 0;
+    for (w, queue) in queues.iter().enumerate() {
+        let len = base + usize::from(w < extra);
+        queue.seed((start, start + len), chunk);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+
+    fn drain(q: &ChunkQueue) -> Vec<Chunk> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn seed_splits_into_chunks_covering_the_block() {
+        let q = ChunkQueue::new();
+        q.seed((3, 17), 4);
+        assert_eq!(drain(&q), vec![(3, 7), (7, 11), (11, 15), (15, 17)]);
+    }
+
+    #[test]
+    fn seed_queues_cover_exactly_zero_to_n() {
+        for (n, workers, chunk) in [(0, 1, 1), (7, 3, 2), (100, 8, 16), (5, 8, 1)] {
+            let queues = seed_queues(n, workers, chunk);
+            assert_eq!(queues.len(), workers.max(1));
+            let mut seen = vec![false; n];
+            for q in &queues {
+                for (s, e) in drain(q) {
+                    for slot in &mut seen[s..e] {
+                        assert!(!*slot, "index covered twice");
+                        *slot = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "n={n} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn steal_takes_the_back_half() {
+        let victim = ChunkQueue::new();
+        victim.seed((0, 8), 2); // chunks (0,2) (2,4) (4,6) (6,8)
+        let thief = ChunkQueue::new();
+        let first = victim.steal_half(&thief).unwrap();
+        // Back half = (4,6),(6,8): thief runs (4,6) and queues (6,8).
+        assert_eq!(first, (4, 6));
+        assert_eq!(drain(&thief), vec![(6, 8)]);
+        // Owner keeps the front half, still in index order.
+        assert_eq!(drain(&victim), vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn steal_from_empty_returns_none() {
+        let victim = ChunkQueue::new();
+        let thief = ChunkQueue::new();
+        assert!(victim.steal_half(&thief).is_none());
+        assert!(thief.is_empty());
+    }
+
+    #[test]
+    fn single_chunk_steal_moves_it_whole() {
+        let victim = ChunkQueue::new();
+        victim.seed((0, 3), 8);
+        let thief = ChunkQueue::new();
+        assert_eq!(victim.steal_half(&thief), Some((0, 3)));
+        assert!(victim.is_empty());
+        assert!(thief.is_empty(), "nothing left over to queue");
+    }
+
+    /// Concurrent owners + thieves never lose or duplicate an index —
+    /// the test the TSan CI job runs under the thread sanitizer.
+    #[test]
+    fn concurrent_stealing_covers_every_index_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        const N: usize = 4096;
+        let queues = seed_queues(N, 4, 8);
+        let hits: Vec<AtomicU32> = (0..N).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..queues.len() {
+                let queues = &queues;
+                let hits = &hits;
+                scope.spawn(move || loop {
+                    let chunk = queues[w].pop().or_else(|| {
+                        (1..queues.len())
+                            .find_map(|v| queues[(w + v) % queues.len()].steal_half(&queues[w]))
+                    });
+                    match chunk {
+                        Some((s, e)) => {
+                            for hit in &hits[s..e] {
+                                hit.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

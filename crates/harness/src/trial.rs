@@ -150,6 +150,59 @@ impl TrialConfig {
     }
 }
 
+/// Recycled per-worker buffers for [`run_trial_scratch`]: the
+/// simulator's trace, event queue, and I/O buffers survive from one
+/// trial to the next, so a worker that runs thousands of trials grows
+/// its buffers once instead of re-allocating them per trial (the fix
+/// for allocs_per_trial *rising* with worker count — every worker used
+/// to pay the full warm-up for every trial it ran).
+///
+/// Recycling is invisible to results: buffers are cleared on the way
+/// into each simulation, so a scratch trial is bit-identical to a
+/// fresh [`run_trial`] — asserted by the pool determinism tests.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    buffers: netsim::SimBuffers,
+}
+
+impl TrialScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> TrialScratch {
+        TrialScratch::default()
+    }
+
+    /// The last trial's trace — readable until the next
+    /// [`run_trial_scratch`] call reuses the buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.buffers.trace
+    }
+}
+
+/// A trial's outcome without its trace ([`run_trial_scratch`]'s
+/// return): everything rate estimation folds over. The trace stays
+/// readable in the scratch via [`TrialScratch::trace`] until the next
+/// trial overwrites it.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialVerdict {
+    /// The client's final outcome.
+    pub outcome: Outcome,
+    /// Did the server application ever answer a complete request?
+    pub server_responded: bool,
+    /// Total censorship events the middlebox logged.
+    pub censor_events: u64,
+    /// Why the simulation stopped.
+    pub stop: netsim::StopReason,
+    /// The event cap cut this trial short (see [`TrialResult`]).
+    pub truncated: bool,
+}
+
+impl TrialVerdict {
+    /// The paper's success criterion.
+    pub fn evaded(&self) -> bool {
+        self.outcome.is_success()
+    }
+}
+
 /// The result of one trial.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
@@ -226,6 +279,24 @@ impl Endpoint for ServerWrap {
 
 /// Run one trial to completion (up to 30 simulated seconds).
 pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
+    let mut scratch = TrialScratch::new();
+    let verdict = run_trial_scratch(cfg, &mut scratch);
+    TrialResult {
+        outcome: verdict.outcome,
+        server_responded: verdict.server_responded,
+        censor_events: verdict.censor_events,
+        stop: verdict.stop,
+        truncated: verdict.truncated,
+        trace: scratch.buffers.trace,
+    }
+}
+
+/// [`run_trial`] with recycled buffers: identical results (the scratch
+/// is cleared on the way in), but the simulator's trace/queue/IO
+/// allocations are reused across calls instead of re-created per
+/// trial. This is the hot path [`crate::rates::success_rate_in`] runs
+/// through the pool's per-worker scratch arenas.
+pub fn run_trial_scratch(cfg: &TrialConfig, scratch: &mut TrialScratch) -> TrialVerdict {
     let port = cfg.effective_port();
     let mut client_host = ClientHost::new(
         cfg.client_app(),
@@ -286,29 +357,31 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
         (Some(country), _) => Box_::Censor(country.build(cfg.seed ^ 0xCE50)),
     };
 
+    let buffers = std::mem::take(&mut scratch.buffers);
     match middlebox {
         Box_::None(mb) => {
-            let mut sim = Simulation::with_path(client, server, mb, cfg.path);
+            let mut sim = Simulation::with_path_buffers(client, server, mb, cfg.path, buffers);
             if let Some(cap) = cfg.event_cap {
                 sim.max_events = cap;
             }
             let stop = sim.run(30_000_000);
-            TrialResult {
+            let verdict = TrialVerdict {
                 outcome: sim.client.inner.outcome(),
                 server_responded: sim.server.responded_any(),
                 censor_events: 0,
                 stop,
                 truncated: stop.truncated(),
-                trace: sim.trace,
-            }
+            };
+            scratch.buffers = sim.into_buffers();
+            verdict
         }
         Box_::Censor(mb) => {
-            let mut sim = Simulation::with_path(client, server, mb, cfg.path);
+            let mut sim = Simulation::with_path_buffers(client, server, mb, cfg.path, buffers);
             if let Some(cap) = cfg.event_cap {
                 sim.max_events = cap;
             }
             let stop = sim.run(30_000_000);
-            TrialResult {
+            let verdict = TrialVerdict {
                 outcome: sim.client.inner.outcome(),
                 server_responded: sim.server.responded_any(),
                 censor_events: sim.trace.count(|e| {
@@ -320,8 +393,9 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
                 }) as u64,
                 stop,
                 truncated: stop.truncated(),
-                trace: sim.trace,
-            }
+            };
+            scratch.buffers = sim.into_buffers();
+            verdict
         }
     }
 }
@@ -467,6 +541,57 @@ mod tests {
         let result = run_trial(&cfg);
         assert!(!result.truncated);
         assert_ne!(result.stop, netsim::StopReason::EventLimit);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_trials() {
+        // One scratch recycled across censored/uncensored/dplane-routed
+        // trials must reproduce every fresh result, including traces:
+        // recycling is capacity-only, never state.
+        let mut scratch = TrialScratch::new();
+        let mut cfgs = vec![
+            TrialConfig::new(
+                Country::China,
+                AppProtocol::Http,
+                library::STRATEGY_1.strategy(),
+                77,
+            ),
+            TrialConfig::private_network(
+                AppProtocol::Http,
+                Strategy::identity(),
+                OsProfile::linux(),
+                3,
+            ),
+            TrialConfig::new(
+                Country::Kazakhstan,
+                AppProtocol::Http,
+                Strategy::identity(),
+                9,
+            ),
+        ];
+        let mut routed = TrialConfig::new(
+            Country::India,
+            AppProtocol::Http,
+            library::STRATEGY_8.strategy(),
+            5,
+        );
+        routed.route_via_dplane = true;
+        cfgs.push(routed);
+
+        for cfg in &cfgs {
+            let fresh = run_trial(cfg);
+            let recycled = run_trial_scratch(cfg, &mut scratch);
+            assert_eq!(fresh.outcome, recycled.outcome);
+            assert_eq!(fresh.server_responded, recycled.server_responded);
+            assert_eq!(fresh.censor_events, recycled.censor_events);
+            assert_eq!(fresh.stop, recycled.stop);
+            assert_eq!(fresh.truncated, recycled.truncated);
+            assert_eq!(
+                fresh.trace.events.len(),
+                scratch.trace().events.len(),
+                "recycled trace diverged"
+            );
+        }
     }
 
     #[test]

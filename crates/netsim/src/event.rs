@@ -99,6 +99,18 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Empty the queue for reuse, keeping the heap's allocation.
+    ///
+    /// Resets the FIFO-tiebreak sequence counter too: a recycled queue
+    /// must schedule events with the same sequence numbers a fresh one
+    /// would, or same-instant tiebreaks — and therefore whole
+    /// simulations — would depend on what the buffer was used for
+    /// before.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use fault::FaultInjector;
-pub use sim::{Endpoint, Io, Middlebox, PathConfig, Simulation, StopReason, Verdict};
+pub use sim::{Endpoint, Io, Middlebox, PathConfig, SimBuffers, Simulation, StopReason, Verdict};
 pub use trace::{Trace, TraceEvent, TracePoint};
 
 /// Which way a packet is traveling through the path.

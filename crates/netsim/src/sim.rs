@@ -43,6 +43,12 @@ impl Io {
         self.out.push(pkt);
     }
 
+    /// Empty the buffer for reuse, keeping the `out` allocation.
+    pub fn reset(&mut self) {
+        self.out.clear();
+        self.wake_at = None;
+    }
+
     /// Request a wake-up at absolute simulated time `at`.
     pub fn wake_at(&mut self, at: u64) {
         self.wake_at = Some(match self.wake_at {
@@ -201,6 +207,36 @@ impl StopReason {
     }
 }
 
+/// The heap-backed buffers a simulation churns through: the trace, the
+/// event queue, and the per-event endpoint I/O buffer.
+///
+/// A simulation built from recycled buffers
+/// ([`Simulation::with_path_buffers`]) reuses their allocations instead
+/// of growing fresh ones, and [`Simulation::into_buffers`] hands them
+/// back when the run is over — the loop that lets a trial harness run
+/// millions of simulations with O(workers) buffer growth instead of
+/// O(trials). Recycling is invisible to results: every buffer is
+/// cleared on the way in (including the event queue's FIFO-tiebreak
+/// counter), so a recycled simulation is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct SimBuffers {
+    /// The captured trace (still readable after `into_buffers`).
+    pub trace: Trace,
+    /// The time-ordered event queue.
+    pub queue: EventQueue,
+    /// The per-event endpoint I/O buffer.
+    pub io: Io,
+}
+
+impl SimBuffers {
+    /// Clear every buffer, keeping allocations.
+    fn reset(&mut self) {
+        self.trace.clear();
+        self.queue.clear();
+        self.io.reset();
+    }
+}
+
 /// A complete two-endpoint, one-middlebox simulation.
 pub struct Simulation<C, S, M> {
     /// The client stack.
@@ -233,18 +269,43 @@ impl<C: Endpoint, S: Endpoint, M: Middlebox> Simulation<C, S, M> {
 
     /// Build a simulation with explicit path geometry.
     pub fn with_path(client: C, server: S, middlebox: M, path: PathConfig) -> Self {
+        Self::with_path_buffers(client, server, middlebox, path, SimBuffers::default())
+    }
+
+    /// [`Simulation::with_path`] reusing recycled [`SimBuffers`] (e.g.
+    /// from a previous run's [`Simulation::into_buffers`]). The buffers
+    /// are cleared on the way in, so results are bit-identical to a
+    /// fresh simulation — only the allocations are recycled.
+    pub fn with_path_buffers(
+        client: C,
+        server: S,
+        middlebox: M,
+        path: PathConfig,
+        mut buffers: SimBuffers,
+    ) -> Self {
+        buffers.reset();
         Simulation {
             client,
             server,
             middlebox,
             path,
-            trace: Trace::default(),
-            queue: EventQueue::new(),
+            trace: buffers.trace,
+            queue: buffers.queue,
             now: 0,
             events_processed: 0,
             booted: false,
-            io: Io::default(),
+            io: buffers.io,
             max_events: 100_000,
+        }
+    }
+
+    /// Tear the simulation down, handing its buffers (including the
+    /// final trace, still readable) back for recycling.
+    pub fn into_buffers(self) -> SimBuffers {
+        SimBuffers {
+            trace: self.trace,
+            queue: self.queue,
+            io: self.io,
         }
     }
 

@@ -114,7 +114,13 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Record an event.
+    /// Empty the trace for reuse, keeping the event buffer's
+    /// allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Record one event.
     pub fn push(&mut self, event: TraceEvent) {
         self.events.push(event);
     }
