@@ -65,6 +65,13 @@ impl Country {
         ]
     }
 
+    /// Parse a case-insensitive country name (the geo-file spelling).
+    pub fn parse(s: &str) -> Option<Country> {
+        Country::all()
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {

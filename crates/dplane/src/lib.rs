@@ -263,6 +263,7 @@ impl<C: Classifier> Dplane<C> {
                 .programs()
                 .map(|(key, program)| (*key, program.canonical_text.clone()))
                 .collect(),
+            ..MetricsReport::default()
         }
     }
 }

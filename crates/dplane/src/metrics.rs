@@ -41,7 +41,20 @@ impl ShardMetrics {
 }
 
 /// A point-in-time export of a data plane's counters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// ## JSON compatibility rule (additive, presence-based)
+///
+/// [`MetricsReport::to_json`] is a public interface consumed by
+/// monitoring (`cay dplane`, `cay serve`, the `/metrics` endpoint).
+/// Fields are **never renamed or removed**; new facts are added as new
+/// keys, and facts that do not apply to a run are **omitted**, not
+/// rendered as `null`/`0` — consumers test key presence, not value
+/// sentinels. `uptime_ms`/`ingest_pps` exist only on the service path
+/// (a live process has a monotonic clock; an offline replay does not),
+/// so offline reports render without them and stay byte-comparable
+/// across versions. The stable field set is pinned by
+/// `json_field_set_is_stable` below.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MetricsReport {
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardMetrics>,
@@ -56,6 +69,14 @@ pub struct MetricsReport {
     pub verify_rejects: u64,
     /// Canonical DSL text per program key — labels for `applies`.
     pub strategies: BTreeMap<CanonKey, String>,
+    /// Milliseconds since the serving process started, derived from a
+    /// monotonic clock. `Some` only on the service path (`cay serve`);
+    /// offline runs have no uptime and omit the JSON key.
+    pub uptime_ms: Option<u64>,
+    /// Ingest rate in milli-packets-per-second (integer so the report
+    /// stays `Eq`; rendered as a decimal `ingest_pps`). `Some` only on
+    /// the service path, like [`MetricsReport::uptime_ms`].
+    pub ingest_pps_milli: Option<u64>,
 }
 
 impl MetricsReport {
@@ -92,7 +113,20 @@ impl MetricsReport {
             }
             out.push_str(&format!("\"{key}\":\"{}\"", escape_json(text)));
         }
-        out.push_str("}}");
+        out.push('}');
+        // Service-path facts are presence-based: omitted entirely when
+        // absent (see the compatibility rule on the type).
+        if let Some(uptime) = self.uptime_ms {
+            out.push_str(&format!(",\"uptime_ms\":{uptime}"));
+        }
+        if let Some(milli) = self.ingest_pps_milli {
+            out.push_str(&format!(
+                ",\"ingest_pps\":{}.{:03}",
+                milli / 1000,
+                milli % 1000
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -152,11 +186,7 @@ mod tests {
         b.applies.insert(CanonKey(2), 5);
         let report = MetricsReport {
             shards: vec![a, b],
-            flows_live: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            verify_rejects: 0,
-            strategies: BTreeMap::new(),
+            ..MetricsReport::default()
         };
         let totals = report.totals();
         assert_eq!(totals.packets, 7);
@@ -174,9 +204,102 @@ mod tests {
             cache_misses: 3,
             verify_rejects: 1,
             strategies: [(CanonKey(0xAB), "x \\/ y".to_string())].into(),
+            ..MetricsReport::default()
         };
         let json = report.to_json();
         assert!(json.contains("\"00000000000000ab\":\"x \\\\/ y\""));
         assert!(json.contains("\"program_cache\":{\"hits\":2,\"misses\":3,\"verify_rejects\":1}"));
+    }
+
+    /// Extract the top-level keys of a flat-ish JSON object the way a
+    /// presence-testing consumer would (depth-1 keys only).
+    fn top_level_keys(json: &str) -> Vec<String> {
+        let mut keys = Vec::new();
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut current = String::new();
+        let mut collecting = false;
+        let mut expect_key = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                    if collecting {
+                        keys.push(current.clone());
+                        collecting = false;
+                    }
+                } else if collecting {
+                    current.push(c);
+                }
+                continue;
+            }
+            match c {
+                '{' | '[' => {
+                    depth += 1;
+                    expect_key = depth == 1 && c == '{';
+                }
+                '}' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 1 => expect_key = true,
+                '"' => {
+                    in_str = true;
+                    if depth == 1 && expect_key {
+                        current.clear();
+                        collecting = true;
+                        expect_key = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        keys
+    }
+
+    /// The additive-JSON compatibility contract: offline reports render
+    /// exactly the historical field set; the service-path fields appear
+    /// only when populated, and nothing is ever renamed or removed.
+    #[test]
+    fn json_field_set_is_stable() {
+        let offline = MetricsReport {
+            shards: vec![ShardMetrics::default()],
+            ..MetricsReport::default()
+        };
+        assert_eq!(
+            top_level_keys(&offline.to_json()),
+            [
+                "shards",
+                "totals",
+                "flows_live",
+                "program_cache",
+                "strategies"
+            ],
+            "offline field set must never change"
+        );
+        let service = MetricsReport {
+            shards: vec![ShardMetrics::default()],
+            uptime_ms: Some(1234),
+            ingest_pps_milli: Some(2500),
+            ..MetricsReport::default()
+        };
+        assert_eq!(
+            top_level_keys(&service.to_json()),
+            [
+                "shards",
+                "totals",
+                "flows_live",
+                "program_cache",
+                "strategies",
+                "uptime_ms",
+                "ingest_pps"
+            ],
+            "service fields are additive and presence-based"
+        );
+        assert!(service.to_json().contains("\"ingest_pps\":2.500"));
+        assert!(!offline.to_json().contains("uptime_ms"));
+        assert!(!offline.to_json().contains("ingest_pps"));
     }
 }

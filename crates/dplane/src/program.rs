@@ -556,6 +556,33 @@ impl ProgramCache {
         }
     }
 
+    /// Look up a compiled program by canonical key without touching
+    /// the hit/miss counters — the control plane peeking at what is
+    /// installed, not a flow taking the packet path.
+    pub fn get(&self, key: &CanonKey) -> Option<Arc<Program>> {
+        self.map.get(key).map(Arc::clone)
+    }
+
+    /// Install an already-compiled program under its own canonical
+    /// key, without touching the hit/miss counters. This is the hot
+    /// reload surface: the control plane verifies a candidate with
+    /// [`Program::compile`] *outside* the cache (a refusal must leave
+    /// every counter byte-identical), then inserts the verified
+    /// program so the first flow of the new rollout takes a cache hit
+    /// instead of recompiling.
+    ///
+    /// Refuses (returns `false`, cache untouched) when the program
+    /// carries no proof — only verified programs may enter through
+    /// this door; the `--unchecked` path goes through
+    /// [`ProgramCache::get_or_compile`].
+    pub fn insert(&mut self, program: Arc<Program>) -> bool {
+        if program.proof.is_none() {
+            return false;
+        }
+        self.map.insert(program.key, program);
+        true
+    }
+
     /// Number of distinct compiled programs.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -707,6 +734,28 @@ mod tests {
         assert_eq!(pa.key, pb.key);
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn insert_preseeds_without_counting() {
+        // The reload surface: a program verified outside the cache is
+        // installed silently, and the first flow that wants it hits.
+        let s = parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/ ").unwrap();
+        let program = Arc::new(Program::compile(&s).unwrap());
+        let mut cache = ProgramCache::new();
+        assert!(cache.insert(Arc::clone(&program)));
+        assert_eq!((cache.hits, cache.misses, cache.len()), (0, 0, 1));
+        assert!(cache.get(&program.key).is_some());
+        assert_eq!((cache.hits, cache.misses), (0, 0), "get never counts");
+        let hit = cache.get_or_verify(&s).unwrap();
+        assert_eq!(hit.key, program.key);
+        assert_eq!((cache.hits, cache.misses), (1, 0));
+        // Unverified programs are refused at this door.
+        let unverified = Arc::new(Program {
+            proof: None,
+            ..(*program).clone()
+        });
+        assert!(!cache.insert(unverified));
     }
 
     #[test]

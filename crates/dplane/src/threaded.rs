@@ -218,6 +218,7 @@ where
             .programs()
             .map(|(key, program)| (*key, program.canonical_text.clone()))
             .collect(),
+        ..MetricsReport::default()
     };
     (processed, report)
 }

@@ -199,8 +199,19 @@ fn opt_str(s: &Option<String>) -> String {
 
 /// Plain JSON report: `{"strategies": [...], "failing": n}`.
 pub fn render_json(entries: &[ReportEntry]) -> String {
-    let mut items = Vec::with_capacity(entries.len());
-    for e in entries {
+    let items: Vec<String> = entries.iter().map(entry_json).collect();
+    let failing = entries.iter().filter(|e| e.failing()).count();
+    format!(
+        "{{\"strategies\":[{}],\"failing\":{}}}\n",
+        items.join(","),
+        failing
+    )
+}
+
+/// One [`ReportEntry`] as a JSON object — shared by [`render_json`]
+/// and the control plane's reload responses ([`render_reload_json`]).
+fn entry_json(e: &ReportEntry) -> String {
+    {
         let diags: Vec<String> = e
             .diagnostics
             .iter()
@@ -241,7 +252,7 @@ pub fn render_json(entries: &[ReportEntry]) -> String {
                 )
             })
             .collect();
-        items.push(format!(
+        format!(
             "{{\"label\":\"{}\",\"source\":\"{}\",\"canonical\":\"{}\",\"key\":\"{}\",\
              \"statically_futile\":{},\"diagnostics\":[{}],\"verdicts\":[{}],\"program\":{}}}",
             esc(&e.label),
@@ -252,13 +263,23 @@ pub fn render_json(entries: &[ReportEntry]) -> String {
             diags.join(","),
             verdicts.join(","),
             program
-        ));
+        )
     }
-    let failing = entries.iter().filter(|e| e.failing()).count();
+}
+
+/// The hot-reload verdict document served by `POST /config`: whether
+/// the new configuration was applied, the full verification record of
+/// every candidate strategy (diagnostics with spans, per-censor
+/// verdicts, compiled-program proof facts), and — when refused — the
+/// gate's complaint. A refusal response is the operator's only window
+/// into *why* the old program stayed live, so it carries the same
+/// entry detail as `cay verify --format json`.
+pub fn render_reload_json(applied: bool, entries: &[ReportEntry], error: Option<&str>) -> String {
+    let items: Vec<String> = entries.iter().map(entry_json).collect();
     format!(
-        "{{\"strategies\":[{}],\"failing\":{}}}\n",
-        items.join(","),
-        failing
+        "{{\"applied\":{applied},\"error\":{},\"strategies\":[{}]}}\n",
+        opt_str(&error.map(String::from)),
+        items.join(",")
     )
 }
 

@@ -1,0 +1,478 @@
+//! The socket front end: live frames in and out of the data plane.
+//!
+//! [`Bridge`] implements [`dplane::PacketIo`] over nonblocking
+//! `std::net` sockets. The encapsulation is *frame-in-datagram*: every
+//! UDP datagram carries exactly one raw IPv4 frame (the bytes
+//! [`packet::Packet::serialize_raw`] would produce), and a TCP ingress
+//! stream carries the same frames behind a 4-byte big-endian length
+//! prefix. This keeps the front end deployable without privileges — no
+//! raw sockets, no pcap, no tun device — while still moving the exact
+//! bytes the evasion programs produce, deliberately broken checksums
+//! included.
+//!
+//! Routing is learned, not configured: when a frame arrives, the
+//! bridge remembers *inner source address → socket peer*. Emissions
+//! whose inner destination matches a learned address go back to that
+//! peer; everything else is forwarded to the configured upstream (the
+//! protected origin server in a real deployment, the loopback echo
+//! harness in tests). Because the origin's own frames teach the bridge
+//! where the origin lives, a symmetric flow needs no static routes at
+//! all.
+//!
+//! The poll loop is plain readiness polling over nonblocking sockets
+//! (`WouldBlock` means "drained for now") — std-only by design, per
+//! the no-new-dependencies rule. Timestamps handed to the data plane
+//! are microseconds from a process-local monotonic epoch, so flow idle
+//! expiry sees real time.
+
+use packet::Packet;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::time::Instant;
+
+/// Largest encapsulated frame we accept (an IPv4 packet cannot exceed
+/// 65535 bytes; the TCP framing rejects anything claiming more).
+pub const MAX_FRAME: usize = 65_535;
+
+/// Upper bound on concurrently tracked TCP ingress connections.
+/// Learned peer routes index into the connection table, so closed
+/// slots are retired in place rather than removed; the cap keeps a
+/// connect-flood from growing the table without bound.
+pub const MAX_CONNS: usize = 1024;
+
+/// Where the bridge listens and where unroutable emissions go.
+#[derive(Debug, Clone)]
+pub struct BridgeConfig {
+    /// UDP bind address for frame-in-datagram ingress/egress.
+    pub udp: SocketAddr,
+    /// Optional TCP bind address for length-prefixed frame streams.
+    pub tcp: Option<SocketAddr>,
+    /// Default egress for emissions whose inner destination has no
+    /// learned peer (typically the origin server's bridge).
+    pub upstream: SocketAddr,
+}
+
+/// Counters the control plane folds into `/status`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeStats {
+    /// Frames decapsulated and queued for the data plane.
+    pub frames_in: u64,
+    /// Frames encapsulated and sent.
+    pub frames_out: u64,
+    /// Datagrams / stream frames that did not parse as IPv4 packets.
+    pub parse_errors: u64,
+    /// Emissions dropped because no peer and no upstream would take
+    /// them (send failure or closed connection).
+    pub unroutable: u64,
+    /// TCP ingress connections accepted.
+    pub tcp_accepted: u64,
+}
+
+/// Which socket a learned inner address lives behind.
+#[derive(Debug, Clone, Copy)]
+enum Peer {
+    /// A UDP peer at this socket address.
+    Udp(SocketAddr),
+    /// A TCP ingress connection, by index into `Bridge::conns`.
+    Tcp(usize),
+}
+
+/// One TCP ingress connection with its reassembly buffer.
+struct Conn {
+    stream: Option<TcpStream>,
+    rd: Vec<u8>,
+}
+
+/// A live socket [`dplane::PacketIo`]: `poll` drains the sockets into
+/// an internal queue, `recv` hands queued frames to the data plane,
+/// `emit` routes rewritten frames back out.
+pub struct Bridge {
+    udp: UdpSocket,
+    tcp: Option<TcpListener>,
+    conns: Vec<Conn>,
+    peers: HashMap<[u8; 4], Peer>,
+    upstream: SocketAddr,
+    epoch: Instant,
+    queue: VecDeque<(u64, Packet)>,
+    buf: Vec<u8>,
+    /// Live counters, exported via `/status`.
+    pub stats: BridgeStats,
+}
+
+impl Bridge {
+    /// Bind the front-end sockets (nonblocking). Port 0 works; the
+    /// bound addresses are readable via [`Bridge::udp_addr`] /
+    /// [`Bridge::tcp_addr`].
+    pub fn bind(cfg: &BridgeConfig) -> io::Result<Bridge> {
+        let udp = UdpSocket::bind(cfg.udp)?;
+        udp.set_nonblocking(true)?;
+        let tcp = match cfg.tcp {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        Ok(Bridge {
+            udp,
+            tcp,
+            conns: Vec::new(),
+            peers: HashMap::new(),
+            upstream: cfg.upstream,
+            epoch: Instant::now(),
+            queue: VecDeque::new(),
+            buf: vec![0u8; MAX_FRAME],
+            stats: BridgeStats::default(),
+        })
+    }
+
+    /// The bound UDP address (resolves port 0).
+    pub fn udp_addr(&self) -> io::Result<SocketAddr> {
+        self.udp.local_addr()
+    }
+
+    /// The bound TCP address, if a TCP listener was configured.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Microseconds since the bridge was bound — the data plane's
+    /// clock, so flow idle expiry tracks real time.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Frames queued but not yet pulled by the data plane.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drain every readable socket into the frame queue. Returns how
+    /// many frames were queued (0 means the sockets were idle).
+    pub fn poll(&mut self) -> usize {
+        let mut queued = 0;
+        queued += self.poll_udp();
+        self.accept_tcp();
+        queued += self.poll_conns();
+        queued
+    }
+
+    fn poll_udp(&mut self) -> usize {
+        let mut queued = 0;
+        loop {
+            match self.udp.recv_from(&mut self.buf) {
+                Ok((n, from)) => {
+                    let now = self.now_us();
+                    match Packet::parse(&self.buf[..n]) {
+                        Ok(pkt) => {
+                            self.peers.insert(pkt.ip.src, Peer::Udp(from));
+                            self.queue.push_back((now, pkt));
+                            self.stats.frames_in += 1;
+                            queued += 1;
+                        }
+                        Err(_) => self.stats.parse_errors += 1,
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        queued
+    }
+
+    fn accept_tcp(&mut self) {
+        let Some(listener) = &self.tcp else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.stats.tcp_accepted += 1;
+                    if self.conns.len() >= MAX_CONNS || stream.set_nonblocking(true).is_err() {
+                        // Drop it: over cap (or unusable). The peer sees
+                        // a closed connection and can retry later.
+                        continue;
+                    }
+                    self.conns.push(Conn {
+                        stream: Some(stream),
+                        rd: Vec::new(),
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn poll_conns(&mut self) -> usize {
+        let mut queued = 0;
+        for idx in 0..self.conns.len() {
+            let mut closed = false;
+            {
+                let Bridge { conns, buf, .. } = self;
+                let conn = &mut conns[idx];
+                if let Some(stream) = &mut conn.stream {
+                    loop {
+                        match stream.read(buf) {
+                            Ok(0) => {
+                                closed = true;
+                                break;
+                            }
+                            Ok(n) => conn.rd.extend_from_slice(&buf[..n]),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(_) => {
+                                closed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            queued += self.extract_frames(idx);
+            if closed {
+                self.conns[idx].stream = None;
+            }
+        }
+        queued
+    }
+
+    /// Pull complete `len:u32be ++ frame` records out of a connection's
+    /// reassembly buffer.
+    fn extract_frames(&mut self, idx: usize) -> usize {
+        let mut queued = 0;
+        loop {
+            let rd = &self.conns[idx].rd;
+            if rd.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([rd[0], rd[1], rd[2], rd[3]]) as usize;
+            if len == 0 || len > MAX_FRAME {
+                // Corrupt framing: poison the connection.
+                self.stats.parse_errors += 1;
+                self.conns[idx].rd.clear();
+                self.conns[idx].stream = None;
+                break;
+            }
+            if rd.len() < 4 + len {
+                break;
+            }
+            let frame: Vec<u8> = rd[4..4 + len].to_vec();
+            self.conns[idx].rd.drain(..4 + len);
+            let now = self.now_us();
+            match Packet::parse(&frame) {
+                Ok(pkt) => {
+                    self.peers.insert(pkt.ip.src, Peer::Tcp(idx));
+                    self.queue.push_back((now, pkt));
+                    self.stats.frames_in += 1;
+                    queued += 1;
+                }
+                Err(_) => self.stats.parse_errors += 1,
+            }
+        }
+        queued
+    }
+
+    fn send_frame(&mut self, dst: [u8; 4], bytes: &[u8]) {
+        let routed = match self.peers.get(&dst).copied() {
+            Some(Peer::Udp(addr)) => self.udp.send_to(bytes, addr).is_ok(),
+            Some(Peer::Tcp(idx)) => send_prefixed(&mut self.conns[idx], bytes),
+            None => self.udp.send_to(bytes, self.upstream).is_ok(),
+        };
+        if routed {
+            self.stats.frames_out += 1;
+        } else {
+            self.stats.unroutable += 1;
+        }
+    }
+}
+
+/// Write a length-prefixed frame to a nonblocking connection, retrying
+/// briefly on `WouldBlock`. A full send buffer for longer than the
+/// retry budget counts the frame unroutable (the slow peer loses it —
+/// same contract a congested wire gives a real middlebox).
+fn send_prefixed(conn: &mut Conn, bytes: &[u8]) -> bool {
+    let Some(stream) = &mut conn.stream else {
+        return false;
+    };
+    let mut msg = Vec::with_capacity(4 + bytes.len());
+    msg.extend_from_slice(&(u32::try_from(bytes.len()).unwrap_or(0)).to_be_bytes());
+    msg.extend_from_slice(bytes);
+    let mut off = 0;
+    let mut budget = 200u32; // ~200 ms worst case
+    while off < msg.len() {
+        match stream.write(&msg[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(_) => {
+                conn.stream = None;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl dplane::PacketIo for Bridge {
+    fn recv(&mut self) -> Option<(u64, Packet)> {
+        self.queue.pop_front()
+    }
+
+    fn emit(&mut self, _now: u64, pkt: Packet) {
+        // `serialize_raw`: the program's deliberately broken checksums
+        // and lengths must reach the wire verbatim — recomputing them
+        // here would undo the evasion.
+        let bytes = pkt.serialize_raw();
+        self.send_frame(pkt.ip.dst, &bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+    use dplane::PacketIo;
+    use packet::TcpFlags;
+
+    fn frame(src: [u8; 4], dst: [u8; 4]) -> Packet {
+        let mut p = Packet::tcp(src, 40000, dst, 80, TcpFlags::SYN, 1, 0, vec![]);
+        p.finalize();
+        p
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn udp_round_trip_learns_peers() {
+        let mut bridge = Bridge::bind(&BridgeConfig {
+            udp: loopback(),
+            tcp: None,
+            upstream: loopback(),
+        })
+        .unwrap();
+        let baddr = bridge.udp_addr().unwrap();
+        let client = UdpSocket::bind(loopback()).unwrap();
+        let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
+        client.send_to(&pkt.serialize_raw(), baddr).unwrap();
+        // Nonblocking poll loop: wait for the datagram to land.
+        let mut got = 0;
+        for _ in 0..200 {
+            got = bridge.poll();
+            if got > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, 1);
+        let (_, rx) = bridge.recv().unwrap();
+        assert_eq!(rx.serialize_raw(), pkt.serialize_raw());
+        // Emitting toward the learned inner address routes back to the
+        // client's socket.
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        let reply = frame([93, 184, 216, 34], [10, 7, 0, 2]);
+        bridge.emit(0, reply.clone());
+        let mut buf = [0u8; MAX_FRAME];
+        let (n, _) = client.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], reply.serialize_raw().as_slice());
+        assert_eq!(bridge.stats.frames_in, 1);
+        assert_eq!(bridge.stats.frames_out, 1);
+    }
+
+    #[test]
+    fn unknown_destination_goes_upstream() {
+        let upstream = UdpSocket::bind(loopback()).unwrap();
+        upstream
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        let mut bridge = Bridge::bind(&BridgeConfig {
+            udp: loopback(),
+            tcp: None,
+            upstream: upstream.local_addr().unwrap(),
+        })
+        .unwrap();
+        let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
+        bridge.emit(0, pkt.clone());
+        let mut buf = [0u8; MAX_FRAME];
+        let (n, _) = upstream.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], pkt.serialize_raw().as_slice());
+    }
+
+    #[test]
+    fn tcp_ingress_reassembles_length_prefixed_frames() {
+        let mut bridge = Bridge::bind(&BridgeConfig {
+            udp: loopback(),
+            tcp: Some(loopback()),
+            upstream: loopback(),
+        })
+        .unwrap();
+        let taddr = bridge.tcp_addr().unwrap();
+        let mut client = TcpStream::connect(taddr).unwrap();
+        let pkt = frame([10, 91, 0, 9], [93, 184, 216, 34]);
+        let bytes = pkt.serialize_raw();
+        let mut msg = (u32::try_from(bytes.len()).unwrap()).to_be_bytes().to_vec();
+        msg.extend_from_slice(&bytes);
+        // Split the write mid-frame to exercise reassembly.
+        client.write_all(&msg[..7]).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        bridge.poll();
+        assert_eq!(bridge.pending(), 0, "half a frame must not parse");
+        client.write_all(&msg[7..]).unwrap();
+        client.flush().unwrap();
+        let mut got = 0;
+        for _ in 0..200 {
+            got = bridge.poll();
+            if got > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, 1);
+        let (_, rx) = bridge.recv().unwrap();
+        assert_eq!(rx.serialize_raw(), bytes);
+        // The reply routes back over the same TCP connection.
+        let reply = frame([93, 184, 216, 34], [10, 91, 0, 9]);
+        bridge.emit(0, reply.clone());
+        let mut hdr = [0u8; 4];
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        client.read_exact(&mut hdr).unwrap();
+        let len = u32::from_be_bytes(hdr) as usize;
+        let mut body = vec![0u8; len];
+        client.read_exact(&mut body).unwrap();
+        assert_eq!(body, reply.serialize_raw());
+    }
+
+    #[test]
+    fn garbage_datagrams_count_parse_errors() {
+        let mut bridge = Bridge::bind(&BridgeConfig {
+            udp: loopback(),
+            tcp: None,
+            upstream: loopback(),
+        })
+        .unwrap();
+        let baddr = bridge.udp_addr().unwrap();
+        let client = UdpSocket::bind(loopback()).unwrap();
+        client.send_to(b"not an ipv4 frame", baddr).unwrap();
+        for _ in 0..200 {
+            bridge.poll();
+            if bridge.stats.parse_errors > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(bridge.stats.parse_errors, 1);
+        assert_eq!(bridge.pending(), 0);
+    }
+}

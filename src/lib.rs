@@ -16,6 +16,7 @@
 //! * [`evolve`] — the genetic algorithm discovering strategies.
 //! * [`strata`] — static analysis over Geneva strategies.
 //! * [`dplane`] — the compiled, sharded server-side evasion data plane.
+//! * [`svc`] — live-traffic socket front end + operator control plane.
 //! * [`harness`] — experiment drivers reproducing every table & figure.
 
 pub use appproto;
@@ -28,6 +29,7 @@ pub use harness;
 pub use netsim;
 pub use packet;
 pub use strata;
+pub use svc;
 
 /// Shared command-line plumbing for the `cay` binary and the examples.
 pub mod cli {

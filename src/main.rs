@@ -20,6 +20,12 @@
 //! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON;
 //!                                --threads N uses the run-to-completion threaded
 //!                                plane with N shard workers (same output bytes)
+//! cay serve [--udp A] [--tcp A] [--control A] [--upstream A]
+//!           [--geo file] [--rollout file]
+//!                                run the live service: socket front end
+//!                                (frame-in-datagram) + operator control plane
+//!                                (/ready /status /metrics, POST /config
+//!                                hot reload, POST /shutdown graceful drain)
 //! cay bench [trials] [out.json]  pool scaling bench (jobs 1/2/8 speedups vs the
 //!                                same-invocation jobs=1 baseline, scaling_factor)
 //!                                + compiled-data-plane bench incl. threaded
@@ -447,6 +453,7 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 println!("{}", dp.metrics().to_json());
             }
         }
+        Some("serve") => serve(args),
         Some("bench") => {
             // 2000 trials per run amortizes pool spin-up and thread
             // hand-off so the jobs=N numbers reflect steady-state
@@ -556,7 +563,7 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
         }
         _ => {
             eprintln!(
-                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|verify|run|pcap|dplane|bench> [args]"
+                "usage: cay [--jobs N] <strategies|table1|table2|waterfalls|multibox|followups|compat|dnsrace|evolve|lint|verify|run|pcap|dplane|serve|bench> [args]"
             );
             std::process::exit(2);
         }
@@ -609,6 +616,123 @@ fn verify_entry(
         verdicts,
         program: Some(program),
     })
+}
+
+/// `cay serve` — run the live service until an operator posts
+/// `/shutdown` (the SIGTERM stand-in; std cannot observe real signals
+/// without a libc binding). Prints the final drained metrics snapshot
+/// to stdout on exit, so a supervisor always gets a complete report.
+fn serve(args: &[String]) {
+    let mut udp = "127.0.0.1:7070".to_string();
+    let mut tcp: Option<String> = None;
+    let mut control = "127.0.0.1:7071".to_string();
+    let mut upstream = "127.0.0.1:7072".to_string();
+    let mut geo_path: Option<String> = None;
+    let mut rollout_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = || -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("serve: {} needs a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--udp" => udp = value(),
+            "--tcp" => tcp = Some(value()),
+            "--control" => control = value(),
+            "--upstream" => upstream = value(),
+            "--geo" => geo_path = Some(value()),
+            "--rollout" => rollout_path = Some(value()),
+            other => {
+                eprintln!(
+                    "serve: unknown argument {other}\n\
+                     usage: cay serve [--udp A] [--tcp A] [--control A] [--upstream A] \
+                     [--geo file] [--rollout file]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let addr = |s: &str, what: &str| -> std::net::SocketAddr {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("serve: bad {what} address: {s}");
+            std::process::exit(2);
+        })
+    };
+    // Geography: operator-supplied prefix table, or the demo table.
+    let geo = match &geo_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("serve: --geo {path}: {e}");
+                std::process::exit(2);
+            });
+            match harness::deploy::parse_geo_file(&text) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    // The spanned parse error (line:col) points at the
+                    // offending token in the operator's file.
+                    eprintln!("serve: --geo {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => harness::deploy::demo_geo_entries(),
+    };
+    // Initial rollout: an operator table, or 100% arms derived from
+    // the geo table's per-country top picks.
+    let rollout = match &rollout_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("serve: --rollout {path}: {e}");
+                std::process::exit(2);
+            });
+            match harness::deploy::RolloutTable::parse(&text) {
+                Ok(table) => table,
+                Err(e) => {
+                    eprintln!("serve: --rollout {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => harness::deploy::RolloutTable::from_geo(&geo, AppProtocol::Http),
+    };
+    let cfg = svc::ServeConfig {
+        bridge: svc::BridgeConfig {
+            udp: addr(&udp, "--udp"),
+            tcp: tcp.as_deref().map(|s| addr(s, "--tcp")),
+            upstream: addr(&upstream, "--upstream"),
+        },
+        control: addr(&control, "--control"),
+        core: svc::CoreConfig {
+            dplane: DplaneConfig {
+                seed: SeedMode::PerFlow(0x0D1A),
+                ..DplaneConfig::default()
+            },
+            server_addr: SERVER_ADDR,
+            protocol: AppProtocol::Http,
+            geo,
+            rollout,
+        },
+    };
+    let service = svc::Service::start(cfg).unwrap_or_else(|e| {
+        eprintln!("serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "serving: udp={} tcp={} control={} upstream={} ({} rollout rules)",
+        service.udp_addr,
+        service
+            .tcp_addr
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "off".to_string()),
+        service.control_addr,
+        upstream,
+        service.shared.rollout_rules(),
+    );
+    let report = service.join();
+    println!("{}", report.to_json());
 }
 
 /// §8-style per-client classification for the data plane: locate the
