@@ -24,6 +24,12 @@ pub trait PacketIo {
     fn recv(&mut self) -> Option<(u64, Packet)>;
     /// Accept one packet the data plane emitted at time `now`.
     fn emit(&mut self, now: u64, pkt: Packet);
+    /// End-of-pump hook: a batching backend (the live socket bridge)
+    /// pushes its queued emissions to the kernel here, in one
+    /// `sendmmsg` where it can. In-memory backends need nothing — the
+    /// default is a no-op, so emission ordering and bytes are
+    /// unchanged for every existing `PacketIo`.
+    fn flush(&mut self) {}
 }
 
 /// In-memory backend: feed a queue, collect the output.

@@ -44,7 +44,7 @@ pub use threaded::{pump_threaded, ThreadedConfig};
 
 use geneva::Strategy;
 use packet::{FlowKey, Packet};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Decides the strategy for a newly seen flow. Runs once per flow
 /// (on the first packet — the client's SYN in every experiment); must
@@ -116,16 +116,17 @@ impl Default for DplaneConfig {
 /// The assembled data plane: classifier → program cache → flow table →
 /// compiled execution, with per-shard metrics.
 ///
-/// The program cache sits behind a mutex shared by reference: a
-/// single-threaded plane owns its cache alone (the lock is uncontended
-/// and taken only on flow *creation*, never on the steady-state packet
-/// path), while [`threaded::pump_threaded`] hands one cache to every
-/// shard worker so each canonical strategy compiles exactly once no
-/// matter which worker sees it first — keeping `cache_hits`/
-/// `cache_misses` identical to the single-threaded plane.
+/// The program cache is shared by reference and internally
+/// synchronized (see [`ProgramCache`]): a single-threaded plane owns
+/// its cache alone, while [`threaded::pump_threaded`] hands one cache
+/// to every shard worker so each canonical strategy compiles exactly
+/// once no matter which worker sees it first — keeping `cache_hits`/
+/// `cache_misses` identical to the single-threaded plane. Flow
+/// creation takes only the cache's read lock once a strategy is
+/// compiled, so workers racing to create flows never serialize.
 pub struct Dplane<C: Classifier> {
     classifier: C,
-    programs: Arc<Mutex<ProgramCache>>,
+    programs: Arc<ProgramCache>,
     flows: FlowTable,
     scratch: Vec<Packet>,
     seed_mode: SeedMode,
@@ -135,16 +136,12 @@ pub struct Dplane<C: Classifier> {
 impl<C: Classifier> Dplane<C> {
     /// Build a data plane with its own program cache.
     pub fn new(cfg: DplaneConfig, classifier: C) -> Dplane<C> {
-        Dplane::with_cache(cfg, classifier, Arc::new(Mutex::new(ProgramCache::new())))
+        Dplane::with_cache(cfg, classifier, Arc::new(ProgramCache::new()))
     }
 
     /// Build a data plane over a shared program cache (the threaded
     /// plane's workers all compile into one cache).
-    pub fn with_cache(
-        cfg: DplaneConfig,
-        classifier: C,
-        cache: Arc<Mutex<ProgramCache>>,
-    ) -> Dplane<C> {
+    pub fn with_cache(cfg: DplaneConfig, classifier: C, cache: Arc<ProgramCache>) -> Dplane<C> {
         Dplane {
             classifier,
             programs: cache,
@@ -191,11 +188,10 @@ impl<C: Classifier> Dplane<C> {
             // working, they just get no evasion) and the reject is
             // counted in metrics.
             let program = classifier.classify(pkt).and_then(|s| {
-                let mut cache = programs.lock().expect("program cache poisoned");
                 if unchecked {
-                    Some(cache.get_or_compile(&s))
+                    Some(programs.get_or_compile(&s))
                 } else {
-                    cache.get_or_verify(&s).ok()
+                    programs.get_or_verify(&s).ok()
                 }
             });
             (program, seed)
@@ -235,6 +231,7 @@ impl<C: Classifier> Dplane<C> {
             }
             processed += 1;
         }
+        io.flush();
         processed
     }
 
@@ -252,17 +249,13 @@ impl<C: Classifier> Dplane<C> {
 
     /// Export all counters.
     pub fn metrics(&self) -> MetricsReport {
-        let cache = self.programs.lock().expect("program cache poisoned");
         MetricsReport {
             shards: self.flows.metrics(),
             flows_live: self.flows.len(),
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            verify_rejects: cache.verify_rejects,
-            strategies: cache
-                .programs()
-                .map(|(key, program)| (*key, program.canonical_text.clone()))
-                .collect(),
+            cache_hits: self.programs.hits(),
+            cache_misses: self.programs.misses(),
+            verify_rejects: self.programs.verify_rejects(),
+            strategies: self.programs.strategies(),
             ..MetricsReport::default()
         }
     }

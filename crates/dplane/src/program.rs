@@ -34,7 +34,8 @@ use packet::field::{FieldKind, FieldRef, FieldValue};
 use packet::{Packet, Proto, TcpFlags};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use strata::absint::{AbsOp, TamperKind};
 use strata::censor_model::{check_all, CensorId, Verdict};
 use strata::CanonKey;
@@ -499,17 +500,35 @@ fn compile_action(action: &Action, ops: &mut Vec<Op>) {
 /// that canonicalize identically (e.g. the same strategy deployed to
 /// two countries, or a mutated genome that collapses to a known form)
 /// share one compiled program.
+///
+/// ## Concurrency model (read-mostly)
+///
+/// The cache is shared by reference across every shard worker of the
+/// threaded plane and between the live service's data thread and its
+/// control plane, so all methods take `&self`. The map sits behind an
+/// [`RwLock`]: the steady-state flow-creation path (strategy already
+/// compiled) takes only the **read** lock, so concurrent workers never
+/// serialize on it; the write lock is taken only to install a program
+/// that genuinely isn't there yet. A miss re-checks under the write
+/// lock before compiling, so each equivalence class compiles exactly
+/// once process-wide no matter how many workers race — and the
+/// hit/miss totals stay identical to a single-threaded run (one miss
+/// per distinct program, hits for everything else; the double-checked
+/// racer that loses the compile counts the hit a single-threaded run
+/// would have counted).
+///
+/// Counters are relaxed atomics: they order nothing, they only count.
 #[derive(Default)]
 pub struct ProgramCache {
-    map: HashMap<CanonKey, Arc<Program>>,
+    map: RwLock<HashMap<CanonKey, Arc<Program>>>,
     /// Lookups that found an existing program.
-    pub hits: u64,
+    hits: AtomicU64,
     /// Lookups that compiled a new program.
-    pub misses: u64,
+    misses: AtomicU64,
     /// Lookups refused because verification failed (only
     /// [`ProgramCache::get_or_verify`] refuses; rejects are never
     /// cached, so a repeat offender counts every time).
-    pub verify_rejects: u64,
+    verify_rejects: AtomicU64,
 }
 
 impl ProgramCache {
@@ -518,17 +537,52 @@ impl ProgramCache {
         ProgramCache::default()
     }
 
+    /// Lookups that found an existing program.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled a new program.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups refused by the proof gate.
+    pub fn verify_rejects(&self) -> u64 {
+        self.verify_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Read-lock lookup by pre-computed key, counting a hit on success.
+    fn lookup(&self, key: &CanonKey) -> Option<Arc<Program>> {
+        let found = self
+            .map
+            .read()
+            .expect("program cache poisoned")
+            .get(key)
+            .map(Arc::clone);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
     /// Fetch the compiled form of `strategy`, compiling (unchecked) at
     /// most once per equivalence class.
-    pub fn get_or_compile(&mut self, strategy: &Strategy) -> Arc<Program> {
+    pub fn get_or_compile(&self, strategy: &Strategy) -> Arc<Program> {
         let key = CanonKey::of(&strata::canonicalize_strategy(strategy));
-        if let Some(program) = self.map.get(&key) {
-            self.hits += 1;
+        if let Some(program) = self.lookup(&key) {
+            return program;
+        }
+        let mut map = self.map.write().expect("program cache poisoned");
+        // Double-check: a racing worker may have compiled it between
+        // our read miss and taking the write lock.
+        if let Some(program) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(program);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let program = Arc::new(Program::compile_unchecked(strategy));
-        self.map.insert(key, Arc::clone(&program));
+        map.insert(key, Arc::clone(&program));
         program
     }
 
@@ -536,21 +590,29 @@ impl ProgramCache {
     /// strategy whose program fails verification is refused and *not*
     /// cached. Everything already in the cache was verified (only
     /// verified programs are inserted here), so hits stay cheap.
-    pub fn get_or_verify(&mut self, strategy: &Strategy) -> Result<Arc<Program>, VerifyError> {
+    pub fn get_or_verify(&self, strategy: &Strategy) -> Result<Arc<Program>, VerifyError> {
         let key = CanonKey::of(&strata::canonicalize_strategy(strategy));
-        if let Some(program) = self.map.get(&key) {
-            self.hits += 1;
+        if let Some(program) = self.lookup(&key) {
+            return Ok(program);
+        }
+        let mut map = self.map.write().expect("program cache poisoned");
+        if let Some(program) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(program));
         }
+        // Compiling under the write lock serializes compilation of
+        // *distinct* new strategies, which is exactly the exactly-once
+        // guarantee: a rollout ships a handful of programs, flows ship
+        // millions of packets — the read path is what must scale.
         match Program::compile(strategy) {
             Ok(program) => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 let program = Arc::new(program);
-                self.map.insert(key, Arc::clone(&program));
+                map.insert(key, Arc::clone(&program));
                 Ok(program)
             }
             Err(error) => {
-                self.verify_rejects += 1;
+                self.verify_rejects.fetch_add(1, Ordering::Relaxed);
                 Err(error)
             }
         }
@@ -560,7 +622,11 @@ impl ProgramCache {
     /// the hit/miss counters — the control plane peeking at what is
     /// installed, not a flow taking the packet path.
     pub fn get(&self, key: &CanonKey) -> Option<Arc<Program>> {
-        self.map.get(key).map(Arc::clone)
+        self.map
+            .read()
+            .expect("program cache poisoned")
+            .get(key)
+            .map(Arc::clone)
     }
 
     /// Install an already-compiled program under its own canonical
@@ -575,27 +641,36 @@ impl ProgramCache {
     /// carries no proof — only verified programs may enter through
     /// this door; the `--unchecked` path goes through
     /// [`ProgramCache::get_or_compile`].
-    pub fn insert(&mut self, program: Arc<Program>) -> bool {
+    pub fn insert(&self, program: Arc<Program>) -> bool {
         if program.proof.is_none() {
             return false;
         }
-        self.map.insert(program.key, program);
+        self.map
+            .write()
+            .expect("program cache poisoned")
+            .insert(program.key, program);
         true
     }
 
     /// Number of distinct compiled programs.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.read().expect("program cache poisoned").len()
     }
 
     /// True when nothing has been compiled yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
-    /// Iterate (key, program) pairs — metrics labels.
-    pub fn programs(&self) -> impl Iterator<Item = (&CanonKey, &Arc<Program>)> {
-        self.map.iter()
+    /// Canonical DSL text per program key — the metrics labels, as the
+    /// ordered snapshot [`crate::MetricsReport`] embeds.
+    pub fn strategies(&self) -> std::collections::BTreeMap<CanonKey, String> {
+        self.map
+            .read()
+            .expect("program cache poisoned")
+            .iter()
+            .map(|(key, program)| (*key, program.canonical_text.clone()))
+            .collect()
     }
 }
 
@@ -725,7 +800,7 @@ mod tests {
 
     #[test]
     fn cache_dedups_by_canonical_class() {
-        let mut cache = ProgramCache::new();
+        let cache = ProgramCache::new();
         // Strategy plus a dead tail: same canonical class.
         let a = parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/ ").unwrap();
         let b = parse_strategy("[TCP:flags:SA]-duplicate(,)-| [TCP:flags:R]-send-| \\/ ").unwrap();
@@ -733,7 +808,7 @@ mod tests {
         let pb = cache.get_or_compile(&b);
         assert_eq!(pa.key, pb.key);
         assert_eq!(cache.len(), 1);
-        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]
@@ -742,14 +817,14 @@ mod tests {
         // installed silently, and the first flow that wants it hits.
         let s = parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/ ").unwrap();
         let program = Arc::new(Program::compile(&s).unwrap());
-        let mut cache = ProgramCache::new();
+        let cache = ProgramCache::new();
         assert!(cache.insert(Arc::clone(&program)));
-        assert_eq!((cache.hits, cache.misses, cache.len()), (0, 0, 1));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 1));
         assert!(cache.get(&program.key).is_some());
-        assert_eq!((cache.hits, cache.misses), (0, 0), "get never counts");
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "get never counts");
         let hit = cache.get_or_verify(&s).unwrap();
         assert_eq!(hit.key, program.key);
-        assert_eq!((cache.hits, cache.misses), (1, 0));
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
         // Unverified programs are refused at this door.
         let unverified = Arc::new(Program {
             proof: None,
@@ -765,7 +840,7 @@ mod tests {
         // travels with the cached program.
         let s11 =
             parse_strategy("[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/ ").unwrap();
-        let mut cache = ProgramCache::new();
+        let cache = ProgramCache::new();
         let program = cache.get_or_verify(&s11).unwrap();
         assert!(program
             .verdicts
@@ -777,7 +852,7 @@ mod tests {
 
         // A cache hit reuses the verdicts without re-checking.
         let again = cache.get_or_verify(&s11).unwrap();
-        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(again.verdicts, program.verdicts);
 
         // Identity: provably inert everywhere deterministic.

@@ -17,10 +17,11 @@
 //! and runs every packet **to completion** (classify → compile-or-hit
 //! → rewrite → stage emissions) with no further cross-thread handoff;
 //! flow state is partitioned, never shared, so the packet path takes
-//! no locks. The only shared state is the [`ProgramCache`] (locked
-//! once per *flow creation*, so each canonical strategy compiles
-//! exactly once process-wide) and the batch-buffer free list (locked
-//! once per ~`batch` packets).
+//! no locks. The only shared state is the [`ProgramCache`] (read-
+//! mostly: flow creation takes a read lock, and the write lock is held
+//! only while compiling a strategy the cache has never seen, so each
+//! canonical strategy compiles exactly once process-wide) and the
+//! batch-buffer free list (locked once per ~`batch` packets).
 //!
 //! ## Determinism contract
 //!
@@ -104,7 +105,7 @@ where
 {
     let workers = tcfg.workers.max(1);
     let batch_size = tcfg.batch.max(1);
-    let cache = Arc::new(Mutex::new(ProgramCache::new()));
+    let cache = Arc::new(ProgramCache::new());
 
     // Each worker's table is single-shard with its slice of the global
     // capacity: run-to-completion sharding — the worker *is* the shard.
@@ -206,18 +207,15 @@ where
     for (_, now, pkt) in merged {
         io.emit(now, pkt);
     }
+    io.flush();
 
-    let cache = cache.lock().expect("program cache poisoned");
     let report = MetricsReport {
         shards,
         flows_live,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-        verify_rejects: cache.verify_rejects,
-        strategies: cache
-            .programs()
-            .map(|(key, program)| (*key, program.canonical_text.clone()))
-            .collect(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        verify_rejects: cache.verify_rejects(),
+        strategies: cache.strategies(),
         ..MetricsReport::default()
     };
     (processed, report)

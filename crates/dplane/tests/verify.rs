@@ -108,9 +108,9 @@ fn unverifiable_strategies_are_refused_and_counted() {
         "unexpected error: {err}"
     );
 
-    let mut cache = ProgramCache::new();
+    let cache = ProgramCache::new();
     assert!(cache.get_or_verify(&Arc::new(bomb.clone())).is_err());
-    assert_eq!(cache.verify_rejects, 1);
+    assert_eq!(cache.verify_rejects(), 1);
     // The escape hatch still compiles it — with no proof attached.
     let unchecked = Program::compile_unchecked(&bomb);
     assert!(unchecked.proof.is_none());

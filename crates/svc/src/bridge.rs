@@ -19,16 +19,48 @@
 //! where the origin lives, a symmetric flow needs no static routes at
 //! all.
 //!
-//! The poll loop is plain readiness polling over nonblocking sockets
-//! (`WouldBlock` means "drained for now") — std-only by design, per
-//! the no-new-dependencies rule. Timestamps handed to the data plane
-//! are microseconds from a process-local monotonic epoch, so flow idle
-//! expiry sees real time.
+//! ## Two backends, one contract
+//!
+//! The bridge runs one of two interchangeable socket backends,
+//! selected at runtime ([`BackendChoice`]):
+//!
+//! * **epoll** (Linux, the default where it works): a single
+//!   level-triggered epoll instance watches the UDP socket, the TCP
+//!   listener, every ingress connection, and a wakeup eventfd. UDP
+//!   ingress drains in ≤[`RECV_BATCH`]-frame `recvmmsg` batches into a
+//!   preallocated arena (no per-datagram allocation in the I/O layer),
+//!   UDP egress leaves in `sendmmsg` batches, and a full socket buffer
+//!   arms `EPOLLOUT` instead of sleeping. Idle waits block in
+//!   `epoll_wait` until traffic or a [`crate::sys::Waker`] kick.
+//! * **poll** (portable fallback, also the test oracle): the original
+//!   readiness-poll loop over nonblocking `std::net` calls — one
+//!   syscall per datagram, timed idle sleeps. No `unsafe`, no
+//!   platform assumptions.
+//!
+//! Both backends feed the same parse → learn → queue path and the same
+//! egress queues, so the data plane cannot tell them apart — the
+//! dual-backend byte-identity test in `tests/service.rs` holds the two
+//! to bit-equal emissions.
+//!
+//! Egress is **queued on both backends**: `emit` serializes into a
+//! recycled buffer and enqueues; the actual sends happen in
+//! [`Bridge::flush`] (called by the data plane at the end of every
+//! pump via [`dplane::PacketIo::flush`]). A slow TCP peer accumulates
+//! into its per-connection write buffer (bounded by
+//! [`TCP_EGRESS_CAP`]; beyond that the connection is poisoned) rather
+//! than blocking the data thread — the 1ms sleep-retry loop this
+//! replaces is gone on both backends.
+//!
+//! Timestamps handed to the data plane are microseconds from a
+//! process-local monotonic epoch, so flow idle expiry sees real time.
 
+use crate::sys;
 use packet::Packet;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
 use std::time::Instant;
 
 /// Largest encapsulated frame we accept (an IPv4 packet cannot exceed
@@ -41,6 +73,67 @@ pub const MAX_FRAME: usize = 65_535;
 /// connect-flood from growing the table without bound.
 pub const MAX_CONNS: usize = 1024;
 
+/// Datagrams per `recvmmsg`/`sendmmsg` batch on the epoll backend.
+pub const RECV_BATCH: usize = 64;
+
+/// Cap on queued-but-unsent UDP egress frames; beyond this the newest
+/// frame is dropped (counted unroutable), the same contract a full
+/// NIC ring gives a real middlebox.
+pub const UDP_EGRESS_CAP: usize = 16_384;
+
+/// Cap on one TCP connection's unsent egress bytes. A peer slower
+/// than this is poisoned (connection dropped) rather than allowed to
+/// wedge the data thread's memory.
+pub const TCP_EGRESS_CAP: usize = 64 * 1024 * 1024;
+
+/// Upper edges of the `frames_per_batch` histogram buckets.
+pub const FPB_BUCKET_EDGES: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Which socket backend to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// epoll where supported (Linux, IPv4 sockets), else poll.
+    #[default]
+    Auto,
+    /// Require the epoll backend; binding fails where unsupported.
+    Epoll,
+    /// Force the portable readiness-poll backend.
+    Poll,
+}
+
+impl BackendChoice {
+    /// Parse an operator-facing name (`auto` / `epoll` / `poll`).
+    pub fn parse(s: &str) -> Option<BackendChoice> {
+        match s {
+            "auto" => Some(BackendChoice::Auto),
+            "epoll" => Some(BackendChoice::Epoll),
+            "poll" => Some(BackendChoice::Poll),
+            _ => None,
+        }
+    }
+}
+
+/// The backend a bridge actually runs (after `Auto` resolution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Event-driven: epoll + recvmmsg/sendmmsg + eventfd.
+    Epoll,
+    /// Portable readiness polling over plain `std::net`.
+    #[default]
+    Poll,
+}
+
+impl BackendKind {
+    /// Stable operator-facing name (appears in `/status`, Prometheus
+    /// labels, and `BENCH_svc.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Epoll => "epoll",
+            BackendKind::Poll => "poll",
+        }
+    }
+}
+
 /// Where the bridge listens and where unroutable emissions go.
 #[derive(Debug, Clone)]
 pub struct BridgeConfig {
@@ -51,6 +144,8 @@ pub struct BridgeConfig {
     /// Default egress for emissions whose inner destination has no
     /// learned peer (typically the origin server's bridge).
     pub upstream: SocketAddr,
+    /// Socket backend selection.
+    pub backend: BackendChoice,
 }
 
 /// Counters the control plane folds into `/status`.
@@ -58,15 +153,45 @@ pub struct BridgeConfig {
 pub struct BridgeStats {
     /// Frames decapsulated and queued for the data plane.
     pub frames_in: u64,
-    /// Frames encapsulated and sent.
+    /// Frames encapsulated and sent (UDP: handed to the kernel; TCP:
+    /// appended to a live connection's write buffer).
     pub frames_out: u64,
     /// Datagrams / stream frames that did not parse as IPv4 packets.
     pub parse_errors: u64,
     /// Emissions dropped because no peer and no upstream would take
-    /// them (send failure or closed connection).
+    /// them (send failure, closed connection, or egress cap).
     pub unroutable: u64,
     /// TCP ingress connections accepted.
     pub tcp_accepted: u64,
+    /// Syscalls made by this bridge (both backends count, via
+    /// [`crate::sys::SyscallCounter`]).
+    pub syscalls: u64,
+    /// Ingress batches that delivered at least one frame (a fallback
+    /// `recv_from` counts as a batch of 1).
+    pub recv_batches: u64,
+    /// Histogram of frames per ingress batch; bucket upper edges are
+    /// [`FPB_BUCKET_EDGES`].
+    pub frames_per_batch: [u64; 7],
+    /// Egress attempts that hit a full socket buffer and were deferred
+    /// (epoll: `EPOLLOUT` armed; poll: retried next flush).
+    pub egress_backpressure_events: u64,
+    /// The backend this bridge runs.
+    pub backend: BackendKind,
+}
+
+impl BridgeStats {
+    fn note_batch(&mut self, frames: usize) {
+        if frames == 0 {
+            return;
+        }
+        self.recv_batches += 1;
+        let frames = frames as u64;
+        let idx = FPB_BUCKET_EDGES
+            .iter()
+            .position(|&edge| frames <= edge)
+            .unwrap_or(FPB_BUCKET_EDGES.len() - 1);
+        self.frames_per_batch[idx] += 1;
+    }
 }
 
 /// Which socket a learned inner address lives behind.
@@ -78,15 +203,51 @@ enum Peer {
     Tcp(usize),
 }
 
-/// One TCP ingress connection with its reassembly buffer.
+/// One TCP ingress connection with its reassembly and write buffers.
 struct Conn {
     stream: Option<TcpStream>,
     rd: Vec<u8>,
+    /// Unsent egress bytes (length-prefixed frames); `wr_pos` is the
+    /// cursor of what the kernel has taken, so draining the front
+    /// never memmoves.
+    wr: Vec<u8>,
+    wr_pos: usize,
+    /// epoll backend: EPOLLOUT currently armed for this connection.
+    out_armed: bool,
 }
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.wr.len() - self.wr_pos
+    }
+}
+
+/// The epoll backend's owned state: the epoll instance, the recvmmsg
+/// arena, sendmmsg scratch, and the event buffer.
+#[cfg(target_os = "linux")]
+struct EpollState {
+    ep: sys::Epoll,
+    arena: sys::RecvArena,
+    scratch: sys::SendScratch,
+    events: Vec<sys::Event>,
+    /// EPOLLOUT currently armed on the UDP socket.
+    udp_out_armed: bool,
+}
+
+/// Event tokens for the epoll backend.
+#[cfg(target_os = "linux")]
+const TOKEN_UDP: u64 = 0;
+#[cfg(target_os = "linux")]
+const TOKEN_LISTENER: u64 = 1;
+#[cfg(target_os = "linux")]
+const TOKEN_WAKER: u64 = 2;
+#[cfg(target_os = "linux")]
+const TOKEN_CONN_BASE: u64 = 3;
 
 /// A live socket [`dplane::PacketIo`]: `poll` drains the sockets into
 /// an internal queue, `recv` hands queued frames to the data plane,
-/// `emit` routes rewritten frames back out.
+/// `emit` routes rewritten frames into the egress queues, and `flush`
+/// pushes those queues to the kernel.
 pub struct Bridge {
     udp: UdpSocket,
     tcp: Option<TcpListener>,
@@ -96,6 +257,14 @@ pub struct Bridge {
     epoch: Instant,
     queue: VecDeque<(u64, Packet)>,
     buf: Vec<u8>,
+    /// Queued UDP egress: destination + serialized frame.
+    udp_out: VecDeque<(SocketAddr, Vec<u8>)>,
+    /// Recycled egress buffers (capacity survives the round trip).
+    spare: Vec<Vec<u8>>,
+    ctr: sys::SyscallCounter,
+    waker: sys::Waker,
+    #[cfg(target_os = "linux")]
+    ep: Option<EpollState>,
     /// Live counters, exported via `/status`.
     pub stats: BridgeStats,
 }
@@ -103,7 +272,9 @@ pub struct Bridge {
 impl Bridge {
     /// Bind the front-end sockets (nonblocking). Port 0 works; the
     /// bound addresses are readable via [`Bridge::udp_addr`] /
-    /// [`Bridge::tcp_addr`].
+    /// [`Bridge::tcp_addr`]. With [`BackendChoice::Auto`] the epoll
+    /// backend is used where it can be (Linux, IPv4 bind); forcing
+    /// [`BackendChoice::Epoll`] elsewhere is a bind error.
     pub fn bind(cfg: &BridgeConfig) -> io::Result<Bridge> {
         let udp = UdpSocket::bind(cfg.udp)?;
         udp.set_nonblocking(true)?;
@@ -115,7 +286,7 @@ impl Bridge {
             }
             None => None,
         };
-        Ok(Bridge {
+        let mut bridge = Bridge {
             udp,
             tcp,
             conns: Vec::new(),
@@ -124,8 +295,94 @@ impl Bridge {
             epoch: Instant::now(),
             queue: VecDeque::new(),
             buf: vec![0u8; MAX_FRAME],
+            udp_out: VecDeque::new(),
+            spare: Vec::new(),
+            ctr: sys::SyscallCounter::new(),
+            waker: sys::Waker::default(),
+            #[cfg(target_os = "linux")]
+            ep: None,
             stats: BridgeStats::default(),
-        })
+        };
+        bridge.select_backend(cfg.backend)?;
+        Ok(bridge)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn select_backend(&mut self, choice: BackendChoice) -> io::Result<()> {
+        let want_epoll = match choice {
+            BackendChoice::Poll => false,
+            BackendChoice::Epoll => true,
+            // Auto: sendmmsg needs sockaddr_in, so the bind must be
+            // IPv4; anything else falls back to the portable loop.
+            BackendChoice::Auto => self.udp.local_addr().map(|a| a.is_ipv4()).unwrap_or(false),
+        };
+        if !want_epoll {
+            self.stats.backend = BackendKind::Poll;
+            return Ok(());
+        }
+        if !self.udp.local_addr()?.is_ipv4() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires an IPv4 UDP bind",
+            ));
+        }
+        let ep = sys::Epoll::new(self.ctr.clone())?;
+        ep.add(self.udp.as_raw_fd(), TOKEN_UDP, sys::EV_READ)?;
+        if let Some(listener) = &self.tcp {
+            ep.add(listener.as_raw_fd(), TOKEN_LISTENER, sys::EV_READ)?;
+        }
+        self.ep = Some(EpollState {
+            ep,
+            arena: sys::RecvArena::new(RECV_BATCH, MAX_FRAME),
+            scratch: sys::SendScratch::new(),
+            events: Vec::with_capacity(RECV_BATCH),
+            udp_out_armed: false,
+        });
+        self.stats.backend = BackendKind::Epoll;
+        Ok(())
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn select_backend(&mut self, choice: BackendChoice) -> io::Result<()> {
+        match choice {
+            BackendChoice::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend is Linux-only",
+            )),
+            _ => {
+                self.stats.backend = BackendKind::Poll;
+                Ok(())
+            }
+        }
+    }
+
+    /// The backend this bridge resolved to.
+    pub fn backend(&self) -> BackendKind {
+        self.stats.backend
+    }
+
+    /// Resize the epoll backend's `recvmmsg` arena (frames per batch).
+    /// `cay bench` uses this to sweep batch sizes; the poll backend has
+    /// no batching, so this is a no-op there.
+    pub fn set_recv_batch(&mut self, batch: usize) {
+        #[cfg(target_os = "linux")]
+        if let Some(st) = &mut self.ep {
+            st.arena = sys::RecvArena::new(batch.clamp(1, RECV_BATCH), MAX_FRAME);
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = batch;
+    }
+
+    /// Attach a wakeup handle: [`crate::sys::Waker::wake`] from any
+    /// thread interrupts a blocked [`Bridge::wait`] (epoll backend;
+    /// the poll backend never blocks longer than its idle sleep).
+    pub fn attach_waker(&mut self, waker: sys::Waker) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        if let (Some(st), Some(fd)) = (&self.ep, waker.fd()) {
+            st.ep.add(fd, TOKEN_WAKER, sys::EV_READ)?;
+        }
+        self.waker = waker;
+        Ok(())
     }
 
     /// The bound UDP address (resolves port 0).
@@ -149,9 +406,46 @@ impl Bridge {
         self.queue.len()
     }
 
-    /// Drain every readable socket into the frame queue. Returns how
-    /// many frames were queued (0 means the sockets were idle).
+    /// Egress frames queued but not yet handed to the kernel.
+    pub fn pending_out(&self) -> usize {
+        self.udp_out.len() + self.conns.iter().map(Conn::pending_out).sum::<usize>()
+    }
+
+    /// Drain every readable socket into the frame queue and push any
+    /// queued egress. Returns how many frames were queued (0 means the
+    /// sockets were idle).
     pub fn poll(&mut self) -> usize {
+        let queued = self.dispatch(0);
+        self.flush_egress();
+        self.stats.syscalls = self.ctr.get();
+        queued
+    }
+
+    /// Idle wait: block until traffic, a waker kick, or `timeout_ms`
+    /// (epoll backend — anything that arrived is already dispatched
+    /// into the queues when this returns); the poll backend sleeps its
+    /// historical 300µs tick instead. Returns frames queued.
+    pub fn wait(&mut self, timeout_ms: i32) -> usize {
+        #[cfg(target_os = "linux")]
+        if self.ep.is_some() {
+            let queued = self.dispatch(timeout_ms);
+            self.flush_egress();
+            self.stats.syscalls = self.ctr.get();
+            return queued;
+        }
+        let _ = timeout_ms;
+        std::thread::sleep(std::time::Duration::from_micros(300));
+        0
+    }
+
+    /// One dispatch pass: epoll backend waits up to `timeout_ms` and
+    /// services every returned event; poll backend scans all sockets.
+    fn dispatch(&mut self, timeout_ms: i32) -> usize {
+        #[cfg(target_os = "linux")]
+        if self.ep.is_some() {
+            return self.dispatch_epoll(timeout_ms);
+        }
+        let _ = timeout_ms;
         let mut queued = 0;
         queued += self.poll_udp();
         self.accept_tcp();
@@ -159,11 +453,79 @@ impl Bridge {
         queued
     }
 
+    #[cfg(target_os = "linux")]
+    fn dispatch_epoll(&mut self, timeout_ms: i32) -> usize {
+        let Some(mut st) = self.ep.take() else {
+            return 0;
+        };
+        let mut queued = 0;
+        st.events.clear();
+        if st.ep.wait(&mut st.events, timeout_ms).is_ok() {
+            for i in 0..st.events.len() {
+                let ev = st.events[i];
+                match ev.token {
+                    TOKEN_UDP => {
+                        if ev.readable() {
+                            queued += self.drain_udp_batched(&mut st);
+                        }
+                        if ev.writable() {
+                            self.flush_udp_epoll(&mut st);
+                        }
+                    }
+                    TOKEN_LISTENER => self.accept_tcp_epoll(&st),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        let idx = usize::try_from(token - TOKEN_CONN_BASE).unwrap_or(usize::MAX);
+                        if idx < self.conns.len() {
+                            if ev.readable() {
+                                queued += self.read_conn(idx);
+                            }
+                            if ev.writable() {
+                                let blocked = self.flush_conn(idx);
+                                self.arm_conn(&st, idx, blocked);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.ep = Some(st);
+        queued
+    }
+
+    /// Drain the UDP socket in recvmmsg batches until it reports
+    /// empty (a short batch means the kernel queue is drained).
+    #[cfg(target_os = "linux")]
+    fn drain_udp_batched(&mut self, st: &mut EpollState) -> usize {
+        let mut queued = 0;
+        while let Ok(n) = sys::recv_batch(self.udp.as_raw_fd(), &mut st.arena, &self.ctr) {
+            self.stats.note_batch(n);
+            let now = self.now_us();
+            for (bytes, from) in st.arena.frames() {
+                match Packet::parse(bytes) {
+                    Ok(pkt) => {
+                        self.peers.insert(pkt.ip.src, Peer::Udp(from));
+                        self.queue.push_back((now, pkt));
+                        self.stats.frames_in += 1;
+                        queued += 1;
+                    }
+                    Err(_) => self.stats.parse_errors += 1,
+                }
+            }
+            if n < st.arena.batch() {
+                break;
+            }
+        }
+        queued
+    }
+
     fn poll_udp(&mut self) -> usize {
         let mut queued = 0;
         loop {
+            self.ctr.bump();
             match self.udp.recv_from(&mut self.buf) {
                 Ok((n, from)) => {
+                    self.stats.note_batch(1);
                     let now = self.now_us();
                     match Packet::parse(&self.buf[..n]) {
                         Ok(pkt) => {
@@ -182,9 +544,25 @@ impl Bridge {
         queued
     }
 
+    /// Register a freshly accepted connection (epoll backend).
+    #[cfg(target_os = "linux")]
+    fn accept_tcp_epoll(&mut self, st: &EpollState) {
+        let before = self.conns.len();
+        self.accept_tcp();
+        for idx in before..self.conns.len() {
+            if let Some(stream) = &self.conns[idx].stream {
+                let token = TOKEN_CONN_BASE + idx as u64;
+                if st.ep.add(stream.as_raw_fd(), token, sys::EV_READ).is_err() {
+                    self.conns[idx].stream = None;
+                }
+            }
+        }
+    }
+
     fn accept_tcp(&mut self) {
         let Some(listener) = &self.tcp else { return };
         loop {
+            self.ctr.bump();
             match listener.accept() {
                 Ok((stream, _)) => {
                     self.stats.tcp_accepted += 1;
@@ -196,6 +574,9 @@ impl Bridge {
                     self.conns.push(Conn {
                         stream: Some(stream),
                         rd: Vec::new(),
+                        wr: Vec::new(),
+                        wr_pos: 0,
+                        out_armed: false,
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -204,33 +585,46 @@ impl Bridge {
         }
     }
 
-    fn poll_conns(&mut self) -> usize {
-        let mut queued = 0;
-        for idx in 0..self.conns.len() {
-            let mut closed = false;
-            {
-                let Bridge { conns, buf, .. } = self;
-                let conn = &mut conns[idx];
-                if let Some(stream) = &mut conn.stream {
-                    loop {
-                        match stream.read(buf) {
-                            Ok(0) => {
-                                closed = true;
-                                break;
-                            }
-                            Ok(n) => conn.rd.extend_from_slice(&buf[..n]),
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                            Err(_) => {
-                                closed = true;
-                                break;
-                            }
+    /// Drain one connection's read side, then extract frames. Closing
+    /// the stream drops its fd, which also deregisters it from any
+    /// epoll watching it.
+    fn read_conn(&mut self, idx: usize) -> usize {
+        let mut closed = false;
+        {
+            let Bridge {
+                conns, buf, ctr, ..
+            } = self;
+            let conn = &mut conns[idx];
+            if let Some(stream) = &mut conn.stream {
+                loop {
+                    ctr.bump();
+                    match stream.read(buf) {
+                        Ok(0) => {
+                            closed = true;
+                            break;
+                        }
+                        Ok(n) => conn.rd.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => {
+                            closed = true;
+                            break;
                         }
                     }
                 }
             }
-            queued += self.extract_frames(idx);
-            if closed {
-                self.conns[idx].stream = None;
+        }
+        let queued = self.extract_frames(idx);
+        if closed {
+            self.conns[idx].stream = None;
+        }
+        queued
+    }
+
+    fn poll_conns(&mut self) -> usize {
+        let mut queued = 0;
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].stream.is_some() {
+                queued += self.read_conn(idx);
             }
         }
         queued
@@ -272,51 +666,242 @@ impl Bridge {
         queued
     }
 
-    fn send_frame(&mut self, dst: [u8; 4], bytes: &[u8]) {
-        let routed = match self.peers.get(&dst).copied() {
-            Some(Peer::Udp(addr)) => self.udp.send_to(bytes, addr).is_ok(),
-            Some(Peer::Tcp(idx)) => send_prefixed(&mut self.conns[idx], bytes),
-            None => self.udp.send_to(bytes, self.upstream).is_ok(),
-        };
-        if routed {
-            self.stats.frames_out += 1;
-        } else {
-            self.stats.unroutable += 1;
+    /// Route one serialized frame into the egress queues. UDP frames
+    /// are counted `frames_out` when the kernel takes them; TCP frames
+    /// when they enter a live connection's write buffer.
+    fn route_frame(&mut self, dst: [u8; 4], bytes: Vec<u8>) {
+        match self.peers.get(&dst).copied() {
+            Some(Peer::Udp(addr)) => self.queue_udp(addr, bytes),
+            Some(Peer::Tcp(idx)) => {
+                self.queue_tcp(idx, &bytes);
+                self.recycle(bytes);
+            }
+            None => {
+                let upstream = self.upstream;
+                self.queue_udp(upstream, bytes);
+            }
         }
     }
-}
 
-/// Write a length-prefixed frame to a nonblocking connection, retrying
-/// briefly on `WouldBlock`. A full send buffer for longer than the
-/// retry budget counts the frame unroutable (the slow peer loses it —
-/// same contract a congested wire gives a real middlebox).
-fn send_prefixed(conn: &mut Conn, bytes: &[u8]) -> bool {
-    let Some(stream) = &mut conn.stream else {
-        return false;
-    };
-    let mut msg = Vec::with_capacity(4 + bytes.len());
-    msg.extend_from_slice(&(u32::try_from(bytes.len()).unwrap_or(0)).to_be_bytes());
-    msg.extend_from_slice(bytes);
-    let mut off = 0;
-    let mut budget = 200u32; // ~200 ms worst case
-    while off < msg.len() {
-        match stream.write(&msg[off..]) {
-            Ok(0) => return false,
-            Ok(n) => off += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if budget == 0 {
-                    return false;
+    fn queue_udp(&mut self, addr: SocketAddr, bytes: Vec<u8>) {
+        if self.udp_out.len() >= UDP_EGRESS_CAP {
+            self.stats.unroutable += 1;
+            self.recycle(bytes);
+            return;
+        }
+        self.udp_out.push_back((addr, bytes));
+    }
+
+    fn queue_tcp(&mut self, idx: usize, bytes: &[u8]) {
+        let conn = &mut self.conns[idx];
+        if conn.stream.is_none() {
+            self.stats.unroutable += 1;
+            return;
+        }
+        if conn.pending_out() + 4 + bytes.len() > TCP_EGRESS_CAP {
+            // Slower than the cap allows: poison the connection rather
+            // than buffer without bound.
+            conn.stream = None;
+            conn.wr.clear();
+            conn.wr_pos = 0;
+            self.stats.unroutable += 1;
+            return;
+        }
+        conn.wr
+            .extend_from_slice(&(u32::try_from(bytes.len()).unwrap_or(0)).to_be_bytes());
+        conn.wr.extend_from_slice(bytes);
+        self.stats.frames_out += 1;
+    }
+
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.spare.len() < RECV_BATCH * 2 {
+            buf.clear();
+            self.spare.push(buf);
+        }
+    }
+
+    /// Push every egress queue toward the kernel; what the socket
+    /// buffers refuse stays queued (epoll arms EPOLLOUT, poll retries
+    /// on the next flush).
+    fn flush_egress(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Some(mut st) = self.ep.take() {
+            self.flush_udp_epoll(&mut st);
+            for idx in 0..self.conns.len() {
+                if self.conns[idx].pending_out() > 0 {
+                    let blocked = self.flush_conn(idx);
+                    self.arm_conn(&st, idx, blocked);
                 }
-                budget -= 1;
-                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-            Err(_) => {
-                conn.stream = None;
-                return false;
+            self.ep = Some(st);
+            return;
+        }
+        self.flush_udp_poll();
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].pending_out() > 0 {
+                self.flush_conn(idx);
             }
         }
     }
-    true
+
+    /// sendmmsg the UDP egress queue; a refused batch arms EPOLLOUT so
+    /// the event loop resumes exactly when the socket drains.
+    #[cfg(target_os = "linux")]
+    fn flush_udp_epoll(&mut self, st: &mut EpollState) {
+        while !self.udp_out.is_empty() {
+            // Drop non-IPv4 destinations (the epoll backend binds
+            // IPv4-only, so these cannot be delivered).
+            while let Some((SocketAddr::V6(_), _)) = self.udp_out.front() {
+                if let Some((_, bytes)) = self.udp_out.pop_front() {
+                    self.stats.unroutable += 1;
+                    self.recycle(bytes);
+                }
+            }
+            if self.udp_out.is_empty() {
+                break;
+            }
+            let batch: Vec<(std::net::SocketAddrV4, &[u8])> = self
+                .udp_out
+                .iter()
+                .take(RECV_BATCH)
+                .map_while(|(addr, bytes)| match addr {
+                    SocketAddr::V4(v4) => Some((*v4, bytes.as_slice())),
+                    SocketAddr::V6(_) => None,
+                })
+                .collect();
+            let want = batch.len();
+            let sent =
+                match sys::send_batch(self.udp.as_raw_fd(), &mut st.scratch, &batch, &self.ctr) {
+                    Ok(n) => n,
+                    Err(_) => {
+                        // Hard send error: drop the head frame and
+                        // keep going — matches the poll backend.
+                        if let Some((_, bytes)) = self.udp_out.pop_front() {
+                            self.stats.unroutable += 1;
+                            self.recycle(bytes);
+                        }
+                        continue;
+                    }
+                };
+            self.stats.frames_out += sent as u64;
+            for _ in 0..sent {
+                if let Some((_, bytes)) = self.udp_out.pop_front() {
+                    self.recycle(bytes);
+                }
+            }
+            if sent < want {
+                // Socket buffer full: defer the rest to EPOLLOUT.
+                self.stats.egress_backpressure_events += 1;
+                if !st.udp_out_armed {
+                    let _ = st.ep.modify(
+                        self.udp.as_raw_fd(),
+                        TOKEN_UDP,
+                        sys::EV_READ | sys::EV_WRITE,
+                    );
+                    st.udp_out_armed = true;
+                }
+                return;
+            }
+        }
+        if st.udp_out_armed {
+            let _ = st.ep.modify(self.udp.as_raw_fd(), TOKEN_UDP, sys::EV_READ);
+            st.udp_out_armed = false;
+        }
+    }
+
+    /// Fallback UDP egress: one `send_to` per frame, deferring on
+    /// `WouldBlock` (the next flush retries — no sleeping).
+    fn flush_udp_poll(&mut self) {
+        while let Some((addr, bytes)) = self.udp_out.front() {
+            self.ctr.bump();
+            match self.udp.send_to(bytes, *addr) {
+                Ok(_) => {
+                    self.stats.frames_out += 1;
+                    if let Some((_, bytes)) = self.udp_out.pop_front() {
+                        self.recycle(bytes);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.stats.egress_backpressure_events += 1;
+                    return;
+                }
+                Err(_) => {
+                    self.stats.unroutable += 1;
+                    if let Some((_, bytes)) = self.udp_out.pop_front() {
+                        self.recycle(bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write one connection's buffered egress; returns true when the
+    /// kernel refused bytes (`WouldBlock`) and some remain queued.
+    fn flush_conn(&mut self, idx: usize) -> bool {
+        let Bridge {
+            conns, ctr, stats, ..
+        } = self;
+        let conn = &mut conns[idx];
+        let Some(stream) = &mut conn.stream else {
+            conn.wr.clear();
+            conn.wr_pos = 0;
+            return false;
+        };
+        let mut blocked = false;
+        let mut dead = false;
+        while conn.wr_pos < conn.wr.len() {
+            ctr.bump();
+            match stream.write(&conn.wr[conn.wr_pos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => conn.wr_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    blocked = true;
+                    stats.egress_backpressure_events += 1;
+                    break;
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            conn.stream = None;
+        }
+        if conn.stream.is_none() || conn.wr_pos >= conn.wr.len() {
+            conn.wr.clear();
+            conn.wr_pos = 0;
+        }
+        blocked
+    }
+
+    /// Arm (or disarm) EPOLLOUT for one connection after a flush.
+    #[cfg(target_os = "linux")]
+    fn arm_conn(&mut self, st: &EpollState, idx: usize, blocked: bool) {
+        let conn = &mut self.conns[idx];
+        let token = TOKEN_CONN_BASE + idx as u64;
+        let Some(stream) = &conn.stream else { return };
+        if blocked && !conn.out_armed {
+            if st
+                .ep
+                .modify(stream.as_raw_fd(), token, sys::EV_READ | sys::EV_WRITE)
+                .is_ok()
+            {
+                conn.out_armed = true;
+            }
+        } else if !blocked
+            && conn.out_armed
+            && st
+                .ep
+                .modify(stream.as_raw_fd(), token, sys::EV_READ)
+                .is_ok()
+        {
+            conn.out_armed = false;
+        }
+    }
 }
 
 impl dplane::PacketIo for Bridge {
@@ -328,8 +913,15 @@ impl dplane::PacketIo for Bridge {
         // `serialize_raw`: the program's deliberately broken checksums
         // and lengths must reach the wire verbatim — recomputing them
         // here would undo the evasion.
-        let bytes = pkt.serialize_raw();
-        self.send_frame(pkt.ip.dst, &bytes);
+        let mut bytes = self.spare.pop().unwrap_or_default();
+        bytes.clear();
+        pkt.serialize_raw_into(&mut bytes);
+        self.route_frame(pkt.ip.dst, bytes);
+    }
+
+    fn flush(&mut self) {
+        self.flush_egress();
+        self.stats.syscalls = self.ctr.get();
     }
 }
 
@@ -350,129 +942,207 @@ mod tests {
         "127.0.0.1:0".parse().unwrap()
     }
 
+    fn bind(backend: BackendChoice, tcp: bool, upstream: SocketAddr) -> Bridge {
+        Bridge::bind(&BridgeConfig {
+            udp: loopback(),
+            tcp: tcp.then(loopback),
+            upstream,
+            backend,
+        })
+        .unwrap()
+    }
+
+    fn both_backends() -> Vec<BackendChoice> {
+        if sys::EPOLL_SUPPORTED {
+            vec![BackendChoice::Epoll, BackendChoice::Poll]
+        } else {
+            vec![BackendChoice::Poll]
+        }
+    }
+
     #[test]
     fn udp_round_trip_learns_peers() {
-        let mut bridge = Bridge::bind(&BridgeConfig {
-            udp: loopback(),
-            tcp: None,
-            upstream: loopback(),
-        })
-        .unwrap();
-        let baddr = bridge.udp_addr().unwrap();
-        let client = UdpSocket::bind(loopback()).unwrap();
-        let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
-        client.send_to(&pkt.serialize_raw(), baddr).unwrap();
-        // Nonblocking poll loop: wait for the datagram to land.
-        let mut got = 0;
-        for _ in 0..200 {
-            got = bridge.poll();
-            if got > 0 {
-                break;
+        for backend in both_backends() {
+            let mut bridge = bind(backend, false, loopback());
+            let baddr = bridge.udp_addr().unwrap();
+            let client = UdpSocket::bind(loopback()).unwrap();
+            let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
+            client.send_to(&pkt.serialize_raw(), baddr).unwrap();
+            // Nonblocking poll loop: wait for the datagram to land.
+            let mut got = 0;
+            for _ in 0..200 {
+                got = bridge.poll();
+                if got > 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert_eq!(got, 1, "{:?}", backend);
+            let (_, rx) = bridge.recv().unwrap();
+            assert_eq!(rx.serialize_raw(), pkt.serialize_raw());
+            // Emitting toward the learned inner address routes back to
+            // the client's socket once flushed.
+            client
+                .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+                .unwrap();
+            let reply = frame([93, 184, 216, 34], [10, 7, 0, 2]);
+            bridge.emit(0, reply.clone());
+            bridge.flush();
+            let mut buf = [0u8; MAX_FRAME];
+            let (n, _) = client.recv_from(&mut buf).unwrap();
+            assert_eq!(&buf[..n], reply.serialize_raw().as_slice());
+            assert_eq!(bridge.stats.frames_in, 1);
+            assert_eq!(bridge.stats.frames_out, 1);
+            assert!(bridge.stats.recv_batches >= 1);
+            assert!(bridge.stats.syscalls > 0);
         }
-        assert_eq!(got, 1);
-        let (_, rx) = bridge.recv().unwrap();
-        assert_eq!(rx.serialize_raw(), pkt.serialize_raw());
-        // Emitting toward the learned inner address routes back to the
-        // client's socket.
-        client
-            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
-            .unwrap();
-        let reply = frame([93, 184, 216, 34], [10, 7, 0, 2]);
-        bridge.emit(0, reply.clone());
-        let mut buf = [0u8; MAX_FRAME];
-        let (n, _) = client.recv_from(&mut buf).unwrap();
-        assert_eq!(&buf[..n], reply.serialize_raw().as_slice());
-        assert_eq!(bridge.stats.frames_in, 1);
-        assert_eq!(bridge.stats.frames_out, 1);
     }
 
     #[test]
     fn unknown_destination_goes_upstream() {
-        let upstream = UdpSocket::bind(loopback()).unwrap();
-        upstream
-            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
-            .unwrap();
-        let mut bridge = Bridge::bind(&BridgeConfig {
-            udp: loopback(),
-            tcp: None,
-            upstream: upstream.local_addr().unwrap(),
-        })
-        .unwrap();
-        let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
-        bridge.emit(0, pkt.clone());
-        let mut buf = [0u8; MAX_FRAME];
-        let (n, _) = upstream.recv_from(&mut buf).unwrap();
-        assert_eq!(&buf[..n], pkt.serialize_raw().as_slice());
+        for backend in both_backends() {
+            let upstream = UdpSocket::bind(loopback()).unwrap();
+            upstream
+                .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+                .unwrap();
+            let mut bridge = bind(backend, false, upstream.local_addr().unwrap());
+            let pkt = frame([10, 7, 0, 2], [93, 184, 216, 34]);
+            bridge.emit(0, pkt.clone());
+            bridge.flush();
+            let mut buf = [0u8; MAX_FRAME];
+            let (n, _) = upstream.recv_from(&mut buf).unwrap();
+            assert_eq!(&buf[..n], pkt.serialize_raw().as_slice());
+        }
     }
 
     #[test]
     fn tcp_ingress_reassembles_length_prefixed_frames() {
-        let mut bridge = Bridge::bind(&BridgeConfig {
-            udp: loopback(),
-            tcp: Some(loopback()),
-            upstream: loopback(),
-        })
-        .unwrap();
-        let taddr = bridge.tcp_addr().unwrap();
-        let mut client = TcpStream::connect(taddr).unwrap();
-        let pkt = frame([10, 91, 0, 9], [93, 184, 216, 34]);
-        let bytes = pkt.serialize_raw();
-        let mut msg = (u32::try_from(bytes.len()).unwrap()).to_be_bytes().to_vec();
-        msg.extend_from_slice(&bytes);
-        // Split the write mid-frame to exercise reassembly.
-        client.write_all(&msg[..7]).unwrap();
-        client.flush().unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(10));
-        bridge.poll();
-        assert_eq!(bridge.pending(), 0, "half a frame must not parse");
-        client.write_all(&msg[7..]).unwrap();
-        client.flush().unwrap();
-        let mut got = 0;
-        for _ in 0..200 {
-            got = bridge.poll();
-            if got > 0 {
-                break;
+        for backend in both_backends() {
+            let mut bridge = bind(backend, true, loopback());
+            let taddr = bridge.tcp_addr().unwrap();
+            let mut client = TcpStream::connect(taddr).unwrap();
+            let pkt = frame([10, 91, 0, 9], [93, 184, 216, 34]);
+            let bytes = pkt.serialize_raw();
+            let mut msg = (u32::try_from(bytes.len()).unwrap()).to_be_bytes().to_vec();
+            msg.extend_from_slice(&bytes);
+            // Split the write mid-frame to exercise reassembly.
+            client.write_all(&msg[..7]).unwrap();
+            client.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            bridge.poll();
+            assert_eq!(bridge.pending(), 0, "half a frame must not parse");
+            client.write_all(&msg[7..]).unwrap();
+            client.flush().unwrap();
+            let mut got = 0;
+            for _ in 0..200 {
+                got = bridge.poll();
+                if got > 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert_eq!(got, 1, "{:?}", backend);
+            let (_, rx) = bridge.recv().unwrap();
+            assert_eq!(rx.serialize_raw(), bytes);
+            // The reply routes back over the same TCP connection.
+            let reply = frame([93, 184, 216, 34], [10, 91, 0, 9]);
+            bridge.emit(0, reply.clone());
+            bridge.flush();
+            let mut hdr = [0u8; 4];
+            client
+                .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+                .unwrap();
+            client.read_exact(&mut hdr).unwrap();
+            let len = u32::from_be_bytes(hdr) as usize;
+            let mut body = vec![0u8; len];
+            client.read_exact(&mut body).unwrap();
+            assert_eq!(body, reply.serialize_raw());
         }
-        assert_eq!(got, 1);
-        let (_, rx) = bridge.recv().unwrap();
-        assert_eq!(rx.serialize_raw(), bytes);
-        // The reply routes back over the same TCP connection.
-        let reply = frame([93, 184, 216, 34], [10, 91, 0, 9]);
-        bridge.emit(0, reply.clone());
-        let mut hdr = [0u8; 4];
-        client
-            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
-            .unwrap();
-        client.read_exact(&mut hdr).unwrap();
-        let len = u32::from_be_bytes(hdr) as usize;
-        let mut body = vec![0u8; len];
-        client.read_exact(&mut body).unwrap();
-        assert_eq!(body, reply.serialize_raw());
     }
 
     #[test]
     fn garbage_datagrams_count_parse_errors() {
-        let mut bridge = Bridge::bind(&BridgeConfig {
-            udp: loopback(),
-            tcp: None,
-            upstream: loopback(),
-        })
-        .unwrap();
+        for backend in both_backends() {
+            let mut bridge = bind(backend, false, loopback());
+            let baddr = bridge.udp_addr().unwrap();
+            let client = UdpSocket::bind(loopback()).unwrap();
+            client.send_to(b"not an ipv4 frame", baddr).unwrap();
+            for _ in 0..200 {
+                bridge.poll();
+                if bridge.stats.parse_errors > 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(bridge.stats.parse_errors, 1, "{:?}", backend);
+            assert_eq!(bridge.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn backend_selection_honors_forced_choices() {
+        let poll = bind(BackendChoice::Poll, false, loopback());
+        assert_eq!(poll.backend(), BackendKind::Poll);
+        if sys::EPOLL_SUPPORTED {
+            let ep = bind(BackendChoice::Epoll, false, loopback());
+            assert_eq!(ep.backend(), BackendKind::Epoll);
+            let auto = bind(BackendChoice::Auto, false, loopback());
+            assert_eq!(auto.backend(), BackendKind::Epoll);
+        } else {
+            assert!(Bridge::bind(&BridgeConfig {
+                udp: loopback(),
+                tcp: None,
+                upstream: loopback(),
+                backend: BackendChoice::Epoll,
+            })
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn batched_ingress_fills_histogram_buckets() {
+        if !sys::EPOLL_SUPPORTED {
+            return;
+        }
+        let mut bridge = bind(BackendChoice::Epoll, false, loopback());
         let baddr = bridge.udp_addr().unwrap();
         let client = UdpSocket::bind(loopback()).unwrap();
-        client.send_to(b"not an ipv4 frame", baddr).unwrap();
-        for _ in 0..200 {
-            bridge.poll();
-            if bridge.stats.parse_errors > 0 {
+        let pkt = frame([10, 7, 0, 3], [93, 184, 216, 34]);
+        let bytes = pkt.serialize_raw();
+        for _ in 0..32 {
+            client.send_to(&bytes, baddr).unwrap();
+        }
+        let mut total = 0;
+        for _ in 0..400 {
+            total += bridge.poll();
+            if total >= 32 {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        assert_eq!(bridge.stats.parse_errors, 1);
-        assert_eq!(bridge.pending(), 0);
+        assert_eq!(total, 32);
+        assert!(bridge.stats.recv_batches >= 1);
+        // Far fewer batches than frames — the whole point.
+        assert!(bridge.stats.recv_batches <= 32);
+        let histogram_total: u64 = bridge.stats.frames_per_batch.iter().sum();
+        assert_eq!(histogram_total, bridge.stats.recv_batches);
+    }
+
+    #[test]
+    fn waker_interrupts_blocked_wait() {
+        if !sys::EPOLL_SUPPORTED {
+            return;
+        }
+        let mut bridge = bind(BackendChoice::Epoll, false, loopback());
+        let waker = sys::Waker::new();
+        bridge.attach_waker(waker.clone()).unwrap();
+        let t0 = Instant::now();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            waker.wake();
+        });
+        // Blocks far short of the 5s timeout because the waker fires.
+        bridge.wait(5_000);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(2));
     }
 }

@@ -165,16 +165,16 @@ pub fn apply_config(shared: &SvcShared, text: &str) -> ReloadOutcome {
     let mut outcome = vet_config(text, &shared.geo, shared.protocol);
     match outcome.table.take() {
         Some((table, programs)) => {
-            {
-                let mut cache = shared.cache.lock().expect("program cache poisoned");
-                for program in programs {
-                    cache.insert(program);
-                }
+            for program in programs {
+                shared.cache.insert(program);
             }
             *shared.rollout.write().expect("rollout lock poisoned") = Arc::new(table);
             shared
                 .reloads
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Kick an idle data thread so the swap is visible in the
+            // next published snapshot, not after the idle-wait timeout.
+            shared.data_waker.wake();
         }
         None => {
             shared

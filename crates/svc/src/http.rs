@@ -20,6 +20,8 @@
 use crate::{control, SvcShared};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
@@ -117,11 +119,53 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
     let _ = stream.flush();
 }
 
-/// Serve the control plane until `shared.control_stop` is set. The
-/// listener is switched to nonblocking accepts so the stop flag is
-/// observed within a few milliseconds.
+/// Serve the control plane until `shared.control_stop` is set.
+///
+/// Where epoll exists the loop blocks on {listener, stop-waker} with
+/// no timeout — an idle control plane makes **zero timed wakeups**;
+/// [`crate::Service::join`] fires `shared.control_waker` after setting
+/// the stop flag. Elsewhere (or if epoll setup fails) it falls back to
+/// nonblocking accepts with a 3ms stop-flag poll.
 pub fn serve(listener: &TcpListener, shared: &SvcShared) {
     let _ = listener.set_nonblocking(true);
+    #[cfg(target_os = "linux")]
+    if serve_epoll(listener, shared).is_ok() {
+        return;
+    }
+    serve_polling(listener, shared);
+}
+
+#[cfg(target_os = "linux")]
+fn serve_epoll(listener: &TcpListener, shared: &SvcShared) -> std::io::Result<()> {
+    use crate::sys;
+    let wake_fd = shared.control_waker.fd().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::Unsupported, "no control waker fd")
+    })?;
+    let mut ep = sys::Epoll::new(sys::SyscallCounter::new())?;
+    ep.add(listener.as_raw_fd(), 0, sys::EV_READ)?;
+    ep.add(wake_fd, 1, sys::EV_READ)?;
+    let mut events = Vec::with_capacity(4);
+    loop {
+        if shared.control_stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        events.clear();
+        // Block until a connection or a waker kick — no timeout, so an
+        // idle control plane never wakes.
+        let _ = ep.wait(&mut events, -1);
+        for ev in &events {
+            if ev.token == 1 {
+                shared.control_waker.drain();
+            }
+        }
+        while let Ok((mut stream, _)) = listener.accept() {
+            let _ = stream.set_nonblocking(false);
+            handle(&mut stream, shared);
+        }
+    }
+}
+
+fn serve_polling(listener: &TcpListener, shared: &SvcShared) {
     loop {
         match listener.accept() {
             Ok((mut stream, _)) => {
@@ -196,7 +240,7 @@ fn handle(stream: &mut TcpStream, shared: &SvcShared) {
             ),
         },
         ("POST", "/shutdown") => {
-            shared.shutdown.store(true, Ordering::Relaxed);
+            shared.begin_shutdown();
             respond(stream, 200, "application/json", "{\"draining\":true}\n");
         }
         ("GET" | "POST", _) => {
@@ -228,12 +272,15 @@ fn status_json(shared: &SvcShared) -> String {
     let bridge = shared.bridge_stats.lock().map(|s| *s).unwrap_or_default();
     let uptime_ms = snapshot.uptime_ms.unwrap_or(0);
     let pps_milli = snapshot.ingest_pps_milli.unwrap_or(0);
+    let fpb: Vec<String> = bridge.frames_per_batch.iter().map(u64::to_string).collect();
     format!(
         "{{\"service\":\"cay-serve\",\"uptime_ms\":{uptime_ms},\"draining\":{},\
          \"packets\":{},\"ingest_pps\":{}.{:03},\"flows_live\":{},\
          \"rollout_rules\":{},\"reloads\":{},\"reload_rejects\":{},\
-         \"bridge\":{{\"frames_in\":{},\"frames_out\":{},\"parse_errors\":{},\
-         \"unroutable\":{},\"tcp_accepted\":{}}}}}\n",
+         \"bridge\":{{\"backend\":\"{}\",\"frames_in\":{},\"frames_out\":{},\
+         \"parse_errors\":{},\"unroutable\":{},\"tcp_accepted\":{},\
+         \"syscalls\":{},\"recv_batches\":{},\"frames_per_batch\":[{}],\
+         \"egress_backpressure_events\":{}}}}}\n",
         shared.draining.load(Ordering::Relaxed),
         shared.packets.load(Ordering::Relaxed),
         pps_milli / 1000,
@@ -242,11 +289,16 @@ fn status_json(shared: &SvcShared) -> String {
         shared.rollout_rules(),
         shared.reloads.load(Ordering::Relaxed),
         shared.reload_rejects.load(Ordering::Relaxed),
+        bridge.backend.name(),
         bridge.frames_in,
         bridge.frames_out,
         bridge.parse_errors,
         bridge.unroutable,
         bridge.tcp_accepted,
+        bridge.syscalls,
+        bridge.recv_batches,
+        fpb.join(","),
+        bridge.egress_backpressure_events,
     )
 }
 
@@ -310,6 +362,46 @@ pub fn prometheus(shared: &SvcShared, report: &dplane::MetricsReport) -> String 
         "Refused config reloads.",
         shared.reload_rejects.load(Ordering::Relaxed),
     );
+    let bridge = shared.bridge_stats.lock().map(|s| *s).unwrap_or_default();
+    counter(
+        "cay_bridge_syscalls_total",
+        "Syscalls made by the socket bridge.",
+        bridge.syscalls,
+    );
+    counter(
+        "cay_bridge_recv_batches_total",
+        "Ingress batches that delivered at least one frame.",
+        bridge.recv_batches,
+    );
+    counter(
+        "cay_bridge_egress_backpressure_events_total",
+        "Egress attempts deferred by a full socket buffer.",
+        bridge.egress_backpressure_events,
+    );
+    out.push_str(
+        "# HELP cay_bridge_frames_per_batch Ingress frames-per-batch histogram.\n\
+         # TYPE cay_bridge_frames_per_batch histogram\n",
+    );
+    let mut cumulative = 0u64;
+    for (edge, n) in crate::bridge::FPB_BUCKET_EDGES
+        .iter()
+        .zip(bridge.frames_per_batch.iter())
+    {
+        cumulative += n;
+        out.push_str(&format!(
+            "cay_bridge_frames_per_batch_bucket{{le=\"{edge}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "cay_bridge_frames_per_batch_bucket{{le=\"+Inf\"}} {cumulative}\n\
+         cay_bridge_frames_per_batch_count {cumulative}\n"
+    ));
+    out.push_str(&format!(
+        "# HELP cay_bridge_backend The socket backend in use.\n\
+         # TYPE cay_bridge_backend gauge\n\
+         cay_bridge_backend{{backend=\"{}\"}} 1\n",
+        bridge.backend.name()
+    ));
     out.push_str(&format!(
         "# HELP cay_flows_live Live flow-table entries.\n# TYPE cay_flows_live gauge\ncay_flows_live {}\n",
         report.flows_live

@@ -36,8 +36,9 @@
 pub mod bridge;
 pub mod control;
 pub mod http;
+pub mod sys;
 
-pub use bridge::{Bridge, BridgeConfig, BridgeStats};
+pub use bridge::{BackendChoice, BackendKind, Bridge, BridgeConfig, BridgeStats};
 pub use control::{apply_config, vet_config, ReloadOutcome};
 
 use dplane::{Classifier, Dplane, DplaneConfig, MetricsReport, PacketIo, ProgramCache};
@@ -68,7 +69,7 @@ pub struct SvcShared {
     pub rollout: RwLock<Arc<RolloutTable>>,
     /// The program cache the data plane compiles into; accepted
     /// reloads pre-seed it (counter-neutrally).
-    pub cache: Arc<Mutex<ProgramCache>>,
+    pub cache: Arc<ProgramCache>,
     /// Latest published metrics snapshot (what `/metrics` serves).
     pub snapshot: Mutex<MetricsReport>,
     /// Latest bridge counters (what `/status` serves).
@@ -84,6 +85,24 @@ pub struct SvcShared {
     pub protocol: appproto::AppProtocol,
     /// Client-prefix → country, for reload vetting.
     pub geo: GeoTable,
+    /// Kicks the data thread out of a blocked idle wait (epoll
+    /// backend; a no-op elsewhere). Fired on shutdown and on accepted
+    /// reloads so neither waits out the idle timeout.
+    pub data_waker: sys::Waker,
+    /// Kicks the control listener out of its blocked accept wait so
+    /// [`Service::join`] does not hang on an idle control plane.
+    pub control_waker: sys::Waker,
+}
+
+impl SvcShared {
+    /// Begin a graceful drain (what `POST /shutdown` and
+    /// [`Service::shutdown`] do): set the flag, then wake the data
+    /// thread so an idle service reacts immediately instead of at the
+    /// end of its idle-wait timeout.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.data_waker.wake();
+    }
 }
 
 impl SvcShared {
@@ -142,7 +161,7 @@ pub struct Core {
 impl Core {
     /// Build a core and publish its (empty) first snapshot.
     pub fn new(cfg: CoreConfig) -> Core {
-        let cache = Arc::new(Mutex::new(ProgramCache::new()));
+        let cache = Arc::new(ProgramCache::new());
         let shared = Arc::new(SvcShared {
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -157,6 +176,8 @@ impl Core {
             reload_rejects: AtomicU64::new(0),
             protocol: cfg.protocol,
             geo: GeoTable::new(cfg.geo),
+            data_waker: sys::Waker::new(),
+            control_waker: sys::Waker::new(),
         });
         let classifier = RolloutClassifier {
             shared: shared.clone(),
@@ -235,6 +256,8 @@ pub struct Service {
     pub tcp_addr: Option<SocketAddr>,
     /// Bound control-plane address (resolves port 0).
     pub control_addr: SocketAddr,
+    /// The socket backend the bridge resolved to.
+    pub backend: bridge::BackendKind,
     data: JoinHandle<MetricsReport>,
     control: JoinHandle<()>,
 }
@@ -242,13 +265,18 @@ pub struct Service {
 impl Service {
     /// Bind every socket and start the data + control threads.
     pub fn start(cfg: ServeConfig) -> io::Result<Service> {
-        let bridge = Bridge::bind(&cfg.bridge)?;
+        let mut bridge = Bridge::bind(&cfg.bridge)?;
         let udp_addr = bridge.udp_addr()?;
         let tcp_addr = bridge.tcp_addr();
         let listener = TcpListener::bind(cfg.control)?;
         let control_addr = listener.local_addr()?;
         let core = Core::new(cfg.core);
         let shared = core.shared.clone();
+        bridge.attach_waker(shared.data_waker.clone())?;
+        let backend = bridge.backend();
+        // Seed the published stats so `/status` names the right
+        // backend before the first data-loop publish.
+        *shared.bridge_stats.lock().expect("stats poisoned") = bridge.stats;
         let data = std::thread::Builder::new()
             .name("cay-data".into())
             .spawn(move || data_loop(core, bridge))?;
@@ -261,6 +289,7 @@ impl Service {
             udp_addr,
             tcp_addr,
             control_addr,
+            backend,
             data,
             control,
         })
@@ -268,7 +297,7 @@ impl Service {
 
     /// Trigger a graceful drain (same as `POST /shutdown`).
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.begin_shutdown();
     }
 
     /// Wait for the drain to finish and both threads to exit; returns
@@ -276,13 +305,16 @@ impl Service {
     pub fn join(self) -> MetricsReport {
         let report = self.data.join().unwrap_or_default();
         self.shared.control_stop.store(true, Ordering::Relaxed);
+        self.shared.control_waker.wake();
         let _ = self.control.join();
         report
     }
 }
 
-/// The data thread: poll sockets → pump the plane → publish, with a
-/// short sleep when idle, and a quiet-period drain on shutdown.
+/// The data thread: poll sockets → pump the plane → publish, then an
+/// idle wait (epoll: blocked in `epoll_wait` until traffic or a waker
+/// kick, bounded by the publish cadence; poll backend: the historical
+/// 300µs sleep), and a quiet-period drain on shutdown.
 fn data_loop(mut core: Core, mut bridge: Bridge) -> MetricsReport {
     let shared = core.shared.clone();
     let mut last_publish = Instant::now();
@@ -300,7 +332,7 @@ fn data_loop(mut core: Core, mut bridge: Bridge) -> MetricsReport {
             break;
         }
         if n == 0 {
-            std::thread::sleep(Duration::from_micros(300));
+            bridge.wait(250);
         }
     }
     // Drain: flows already admitted get their in-flight frames
@@ -315,7 +347,7 @@ fn data_loop(mut core: Core, mut bridge: Bridge) -> MetricsReport {
         if quiet_since.elapsed() >= DRAIN_QUIET {
             break;
         }
-        std::thread::sleep(Duration::from_millis(2));
+        bridge.wait(2);
     }
     // Flush the final snapshot — the metrics an operator scrapes after
     // shutdown are complete.
