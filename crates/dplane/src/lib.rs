@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod program;
 pub mod ring;
 pub mod sim;
+pub(crate) mod sync_shim;
 pub mod threaded;
 
 pub use flow::{shard_index, FlowConfig, FlowTable, Touch};

@@ -34,8 +34,10 @@ use packet::field::{FieldKind, FieldRef, FieldValue};
 use packet::{Packet, Proto, TcpFlags};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use crate::sync_shim::atomic::{AtomicU64, Ordering};
+use crate::sync_shim::{read_unpoisoned, write_unpoisoned, RwLock};
 use strata::absint::{AbsOp, TamperKind};
 use strata::censor_model::{check_all, CensorId, Verdict};
 use strata::CanonKey;
@@ -554,12 +556,7 @@ impl ProgramCache {
 
     /// Read-lock lookup by pre-computed key, counting a hit on success.
     fn lookup(&self, key: &CanonKey) -> Option<Arc<Program>> {
-        let found = self
-            .map
-            .read()
-            .expect("program cache poisoned")
-            .get(key)
-            .map(Arc::clone);
+        let found = read_unpoisoned(&self.map).get(key).map(Arc::clone);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -573,7 +570,7 @@ impl ProgramCache {
         if let Some(program) = self.lookup(&key) {
             return program;
         }
-        let mut map = self.map.write().expect("program cache poisoned");
+        let mut map = write_unpoisoned(&self.map);
         // Double-check: a racing worker may have compiled it between
         // our read miss and taking the write lock.
         if let Some(program) = map.get(&key) {
@@ -595,7 +592,7 @@ impl ProgramCache {
         if let Some(program) = self.lookup(&key) {
             return Ok(program);
         }
-        let mut map = self.map.write().expect("program cache poisoned");
+        let mut map = write_unpoisoned(&self.map);
         if let Some(program) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(program));
@@ -622,11 +619,7 @@ impl ProgramCache {
     /// the hit/miss counters — the control plane peeking at what is
     /// installed, not a flow taking the packet path.
     pub fn get(&self, key: &CanonKey) -> Option<Arc<Program>> {
-        self.map
-            .read()
-            .expect("program cache poisoned")
-            .get(key)
-            .map(Arc::clone)
+        read_unpoisoned(&self.map).get(key).map(Arc::clone)
     }
 
     /// Install an already-compiled program under its own canonical
@@ -645,16 +638,13 @@ impl ProgramCache {
         if program.proof.is_none() {
             return false;
         }
-        self.map
-            .write()
-            .expect("program cache poisoned")
-            .insert(program.key, program);
+        write_unpoisoned(&self.map).insert(program.key, program);
         true
     }
 
     /// Number of distinct compiled programs.
     pub fn len(&self) -> usize {
-        self.map.read().expect("program cache poisoned").len()
+        read_unpoisoned(&self.map).len()
     }
 
     /// True when nothing has been compiled yet.
@@ -665,9 +655,7 @@ impl ProgramCache {
     /// Canonical DSL text per program key — the metrics labels, as the
     /// ordered snapshot [`crate::MetricsReport`] embeds.
     pub fn strategies(&self) -> std::collections::BTreeMap<CanonKey, String> {
-        self.map
-            .read()
-            .expect("program cache poisoned")
+        read_unpoisoned(&self.map)
             .iter()
             .map(|(key, program)| (*key, program.canonical_text.clone()))
             .collect()

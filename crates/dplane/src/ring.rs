@@ -20,7 +20,37 @@
 //! (two orders of magnitude below per-packet handoff) and recycled
 //! batch buffers keep the steady state allocation-free.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, PoisonError};
+
+use crate::sync_shim::{lock_unpoisoned, Condvar, Mutex};
+
+/// Runtime-toggleable seeded bugs for weave's bug-injection
+/// self-test (`--features weave,mutants`). Toggles default to off so
+/// the correct paths stay in force; each mutant test runs in its own
+/// test binary so the process-global toggles cannot bleed across
+/// tests.
+#[cfg(feature = "mutants")]
+pub mod mutants {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// BUG(seeded): `Sender::send` forgets `items.notify_one()` after
+    /// a successful push — the classic lost wakeup. A consumer that
+    /// went to sleep on an empty ring never learns the item arrived.
+    pub static RING_DROP_NOTIFY: AtomicBool = AtomicBool::new(false);
+
+    /// BUG(seeded): `RingBuf::push` computes the tail slot one past
+    /// the correct wraparound position, clobbering or colliding with
+    /// a queued item once the ring wraps.
+    pub static RING_WRAP_OFF_BY_ONE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn drop_notify() -> bool {
+        RING_DROP_NOTIFY.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn wrap_off_by_one() -> bool {
+        RING_WRAP_OFF_BY_ONE.load(Ordering::Relaxed)
+    }
+}
 
 /// A fixed-capacity single-threaded circular buffer. Push fails (and
 /// returns the item) when full; pop returns `None` when empty.
@@ -63,12 +93,21 @@ impl<T> RingBuf<T> {
     }
 
     /// Append `item` at the tail, or hand it back when full.
+    // The tail-slot assert below is an internal-corruption tripwire
+    // (and the wraparound mutant's detection point in the weave
+    // self-test), not a recoverable condition the Err arm could carry.
+    #[allow(clippy::panic_in_result_fn)]
     pub fn push(&mut self, item: T) -> Result<(), T> {
         if self.is_full() {
             return Err(item);
         }
-        let tail = (self.head + self.len) % self.capacity();
-        debug_assert!(self.slots[tail].is_none(), "tail slot occupied");
+        #[allow(unused_mut)]
+        let mut tail = (self.head + self.len) % self.capacity();
+        #[cfg(feature = "mutants")]
+        if mutants::wrap_off_by_one() {
+            tail = (self.head + self.len + 1) % self.capacity();
+        }
+        assert!(self.slots[tail].is_none(), "tail slot occupied");
         self.slots[tail] = Some(item);
         self.len += 1;
         Ok(())
@@ -135,7 +174,7 @@ impl<T> Sender<T> {
     /// Returns the item back if the receiver is gone.
     pub fn send(&self, item: T) -> Result<(), T> {
         let mut item = item;
-        let mut state = self.shared.ring.lock().expect("ring poisoned");
+        let mut state = lock_unpoisoned(&self.shared.ring);
         loop {
             // Receiver dropped: nothing will ever drain the ring. The
             // periodic timeout below exists purely to re-run this
@@ -147,6 +186,10 @@ impl<T> Sender<T> {
             match state.buf.push(item) {
                 Ok(()) => {
                     drop(state);
+                    #[cfg(feature = "mutants")]
+                    if mutants::drop_notify() {
+                        return Ok(());
+                    }
                     self.shared.items.notify_one();
                     return Ok(());
                 }
@@ -156,7 +199,7 @@ impl<T> Sender<T> {
                         .shared
                         .space
                         .wait_timeout(state, std::time::Duration::from_millis(50))
-                        .expect("ring poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .0;
                 }
             }
@@ -166,9 +209,10 @@ impl<T> Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        if let Ok(mut state) = self.shared.ring.lock() {
-            state.closed = true;
-        }
+        // Recover from poison so a panicking producer still closes the
+        // ring — otherwise the consumer blocks forever on a channel
+        // that can never fill.
+        lock_unpoisoned(&self.shared.ring).closed = true;
         self.shared.items.notify_all();
     }
 }
@@ -177,7 +221,7 @@ impl<T> Receiver<T> {
     /// Dequeue the next item, blocking while the ring is empty.
     /// Returns `None` once the ring is closed *and* drained.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.shared.ring.lock().expect("ring poisoned");
+        let mut state = lock_unpoisoned(&self.shared.ring);
         loop {
             if let Some(item) = state.buf.pop() {
                 drop(state);
@@ -187,7 +231,11 @@ impl<T> Receiver<T> {
             if state.closed {
                 return None;
             }
-            state = self.shared.items.wait(state).expect("ring poisoned");
+            state = self
+                .shared
+                .items
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -229,6 +277,11 @@ mod tests {
     /// the concurrent test the TSan CI job runs.
     #[test]
     fn channel_round_trips_in_order_under_backpressure() {
+        // Miri interprets every instruction: keep the contract, shrink
+        // the stream.
+        #[cfg(miri)]
+        const N: u32 = 64;
+        #[cfg(not(miri))]
         const N: u32 = 10_000;
         let (tx, rx) = channel::<u32>(4);
         std::thread::scope(|scope| {

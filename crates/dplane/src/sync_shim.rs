@@ -1,0 +1,49 @@
+//! Cfg-gated sync facade: `std::sync` in production, `weave::sync`
+//! under the `weave` feature so model tests can explore every
+//! interleaving of the ring channels and the program cache.
+//!
+//! Production builds never see weave — the aliases below *are*
+//! `std::sync` types (zero cost, identical codegen). With
+//! `--features weave` the same source compiles against the
+//! model-checker shims, which fall through to std outside a
+//! `weave::explore` run.
+//!
+//! The `*_unpoisoned` helpers replace `.expect("ring poisoned")` /
+//! `.expect("program cache poisoned")` cascades: a panicking shard
+//! worker used to take every peer down with secondary `PoisonError`
+//! panics, burying the original backtrace. Recovering the guard is
+//! sound for these structures — every critical section leaves the
+//! ring/cache structurally valid (no partial states are published
+//! across an unwind), so peers can keep draining and the real panic
+//! surfaces alone.
+
+#[cfg(feature = "weave")]
+pub(crate) use weave::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(feature = "weave")]
+pub(crate) use weave::sync::atomic;
+
+#[cfg(not(feature = "weave"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(feature = "weave"))]
+pub(crate) use std::sync::atomic;
+
+use std::sync::PoisonError;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Take a read lock, recovering from poison.
+pub(crate) fn read_unpoisoned<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Take the write lock, recovering from poison.
+pub(crate) fn write_unpoisoned<T: ?Sized>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,44 @@
+//! Bug-injection self-test: the seeded lost wakeup in `Sender::send`
+//! (push without `items.notify_one`) must be caught by weave as a
+//! deadlock, and the counterexample token must replay deterministically.
+//!
+//! One mutant per test binary: the toggles are process-global.
+#![cfg(all(feature = "weave", feature = "mutants"))]
+
+use std::sync::atomic::Ordering;
+
+use dplane::ring::{channel, mutants};
+
+/// A consumer that parks on the empty ring before the producer's push
+/// never learns the item arrived: the consumer blocks forever on the
+/// items condvar and the producer blocks forever in `join` — the
+/// classic lost wakeup, observed as a deadlock. (The sender must stay
+/// alive across the join: dropping it closes the ring, and the close
+/// path's own notify would mask the missing one.)
+fn model() {
+    let (tx, rx) = channel::<u32>(1);
+    let consumer = weave::thread::spawn(move || rx.recv());
+    tx.send(7).expect("receiver alive");
+    assert_eq!(consumer.join().expect("consumer panicked"), Some(7));
+    drop(tx);
+}
+
+#[test]
+fn weave_detects_mutant_dropped_notify_with_replayable_token() {
+    mutants::RING_DROP_NOTIFY.store(true, Ordering::SeqCst);
+    let cfg = weave::Config::default();
+    let report = weave::explore(cfg.clone(), model);
+    eprintln!(
+        "weave[mutant_ring_drop_notify]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    let failure = report.failure.expect("weave must catch the lost wakeup");
+    assert_eq!(failure.kind, weave::FailureKind::Deadlock);
+    eprintln!("counterexample: {} — {}", failure.token, failure.message);
+    for _ in 0..2 {
+        let again = weave::replay(cfg.clone(), &failure.token, model)
+            .expect("replaying the counterexample must fail again");
+        assert_eq!(again.kind, failure.kind);
+        assert_eq!(again.token, failure.token, "replay must be deterministic");
+    }
+}

@@ -1,0 +1,48 @@
+//! Bug-injection self-test: the seeded wraparound off-by-one in
+//! `RingBuf::push` (tail computed one slot past the correct position)
+//! must be caught by weave as a panicking counterexample, with a
+//! deterministically replaying token.
+//!
+//! One mutant per test binary: the toggles are process-global.
+#![cfg(all(feature = "weave", feature = "mutants"))]
+
+use std::sync::atomic::Ordering;
+
+use dplane::ring::{channel, mutants};
+
+/// Three items through a capacity-2 ring. With the off-by-one, the
+/// first push lands one slot ahead of the head, so either the consumer
+/// receives out of order (FIFO assertion) or a later push lands on an
+/// occupied slot ("tail slot occupied") — both panics weave reports
+/// with the schedule that gets there.
+fn model() {
+    let (tx, rx) = channel::<u32>(2);
+    let producer = weave::thread::spawn(move || {
+        for i in 1..=3 {
+            tx.send(i).expect("receiver alive");
+        }
+    });
+    let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+    producer.join().expect("producer panicked");
+    assert_eq!(got, vec![1, 2, 3], "ring must stay FIFO without loss");
+}
+
+#[test]
+fn weave_detects_mutant_wrap_off_by_one_with_replayable_token() {
+    mutants::RING_WRAP_OFF_BY_ONE.store(true, Ordering::SeqCst);
+    let cfg = weave::Config::default();
+    let report = weave::explore(cfg.clone(), model);
+    eprintln!(
+        "weave[mutant_ring_wrap]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    let failure = report.failure.expect("weave must catch the wraparound bug");
+    assert_eq!(failure.kind, weave::FailureKind::Panic);
+    eprintln!("counterexample: {} — {}", failure.token, failure.message);
+    for _ in 0..2 {
+        let again = weave::replay(cfg.clone(), &failure.token, model)
+            .expect("replaying the counterexample must fail again");
+        assert_eq!(again.kind, failure.kind);
+        assert_eq!(again.token, failure.token, "replay must be deterministic");
+    }
+}

@@ -1,0 +1,68 @@
+//! Weave model test for [`dplane::ProgramCache`]: a rejected hot
+//! reload stays counter-neutral while flow-creation lookups race it on
+//! the read lock, in every (preemption-bounded) interleaving.
+//!
+//! Run with `cargo test -p dplane --features weave`. Without the
+//! feature this file compiles to nothing.
+#![cfg(feature = "weave")]
+
+use std::sync::Arc;
+
+use dplane::program::ProgramCache;
+use geneva::Strategy;
+
+/// 13 nested duplicates: 2^13 = 8192 emitted packets per trigger,
+/// over the 4096 amplification ceiling — the canonical strategy the
+/// proof gate refuses (same exemplar as `tests/verify.rs`).
+fn amplification_bomb() -> Strategy {
+    let mut text = String::from("duplicate");
+    for _ in 0..12 {
+        text = format!("duplicate({text},{text})");
+    }
+    geneva::parse_strategy(&format!("[TCP:flags:SA]-{text}-| \\/ ")).expect("bomb parses")
+}
+
+/// Whatever order the verify-reject and the flow-creation lookups land
+/// in, the counters read exactly like a single-threaded run: one miss
+/// (first compile), one hit (second lookup), one reject (the bomb),
+/// one cached program. A reject that leaked a miss, double-counted a
+/// hit, or left a half-installed entry shows up as a panic in some
+/// schedule.
+#[test]
+fn rejected_reload_is_counter_neutral_under_racing_lookups() {
+    let bomb = Arc::new(amplification_bomb());
+    let flow =
+        Arc::new(geneva::parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/ ").expect("parses"));
+    let cfg = weave::Config {
+        preemption_bound: Some(2),
+        ..weave::Config::default()
+    };
+    let report = weave::check(cfg, move || {
+        let cache = Arc::new(ProgramCache::new());
+        let reloader = {
+            let cache = Arc::clone(&cache);
+            let bomb = Arc::clone(&bomb);
+            weave::thread::spawn(move || {
+                cache
+                    .get_or_verify(&bomb)
+                    .expect_err("amplification bomb must be refused")
+            })
+        };
+        let first = cache.get_or_compile(&flow);
+        let second = cache.get_or_compile(&flow);
+        assert_eq!(first.key, second.key, "same equivalence class");
+        reloader.join().expect("reloader panicked");
+        assert_eq!(cache.len(), 1, "reject must not install anything");
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.verify_rejects()),
+            (1, 1, 1),
+            "counters must match a single-threaded run"
+        );
+    });
+    eprintln!(
+        "weave[cache_reject_neutral]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    assert!(report.failure.is_none());
+    assert!(report.schedules > 1, "model must actually branch");
+}

@@ -31,7 +31,30 @@
 //! path ever holds two queue locks, so cross-stealing cannot deadlock.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+
+use crate::sync_shim::{lock_unpoisoned, Mutex};
+
+/// Runtime-toggleable seeded bugs for weave's bug-injection
+/// self-test (`--features weave,mutants`). Every toggle defaults to
+/// off, so the correct code paths stay in force until a mutant test
+/// flips one — and each mutant test lives in its own test binary so
+/// the process-global toggles cannot bleed across tests.
+#[cfg(feature = "mutants")]
+pub mod mutants {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// BUG(seeded): `steal_half` plans its theft by *peeking* the
+    /// victim's back chunk under one lock acquisition and *removes*
+    /// under a second — a double-pop window. A concurrent thief (or
+    /// the owner) can take the planned chunk in between: both run it
+    /// (duplication) and an innocent chunk gets popped and dropped
+    /// (loss).
+    pub static STEAL_DOUBLE_POP: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn steal_double_pop() -> bool {
+        STEAL_DOUBLE_POP.load(Ordering::Relaxed)
+    }
+}
 
 /// A half-open index range `[start, end)` — one chunk of pool work.
 pub type Chunk = (usize, usize);
@@ -53,7 +76,7 @@ impl ChunkQueue {
     /// (the last range may be short). `chunk` is clamped to ≥ 1.
     pub fn seed(&self, block: Chunk, chunk: usize) {
         let chunk = chunk.max(1);
-        let mut q = self.chunks.lock().expect("chunk queue poisoned");
+        let mut q = lock_unpoisoned(&self.chunks);
         let (mut start, end) = block;
         while start < end {
             let stop = (start + chunk).min(end);
@@ -65,15 +88,12 @@ impl ChunkQueue {
     /// Owner-side pop: the next chunk in index order, front of the
     /// queue.
     pub fn pop(&self) -> Option<Chunk> {
-        self.chunks
-            .lock()
-            .expect("chunk queue poisoned")
-            .pop_front()
+        lock_unpoisoned(&self.chunks).pop_front()
     }
 
     /// Number of queued chunks (diagnostics/tests).
     pub fn len(&self) -> usize {
-        self.chunks.lock().expect("chunk queue poisoned").len()
+        lock_unpoisoned(&self.chunks).len()
     }
 
     /// True when no chunks are queued.
@@ -86,8 +106,16 @@ impl ChunkQueue {
     /// the thief to run immediately. Returns `None` when there was
     /// nothing to steal. Never holds both locks at once.
     pub fn steal_half(&self, into: &ChunkQueue) -> Option<Chunk> {
+        #[cfg(feature = "mutants")]
+        if mutants::steal_double_pop() {
+            // BUG(seeded): peek under one lock, remove under another.
+            let planned = lock_unpoisoned(&self.chunks).back().copied();
+            let chunk = planned?;
+            lock_unpoisoned(&self.chunks).pop_back();
+            return Some(chunk);
+        }
         let stolen: Vec<Chunk> = {
-            let mut victim = self.chunks.lock().expect("chunk queue poisoned");
+            let mut victim = lock_unpoisoned(&self.chunks);
             let take = victim.len().div_ceil(2);
             if take == 0 {
                 return None;
@@ -99,7 +127,7 @@ impl ChunkQueue {
         let first = iter.next();
         let rest: Vec<Chunk> = iter.collect();
         if !rest.is_empty() {
-            let mut own = into.chunks.lock().expect("chunk queue poisoned");
+            let mut own = lock_unpoisoned(&into.chunks);
             own.extend(rest);
         }
         first

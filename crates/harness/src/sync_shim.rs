@@ -1,0 +1,32 @@
+//! Cfg-gated sync facade: `std::sync` in production, `weave::sync`
+//! under the `weave` feature so model tests can explore every
+//! interleaving of this crate's concurrent structures.
+//!
+//! Production builds never see weave — the aliases below *are*
+//! `std::sync` types, so there is zero runtime or binary-size cost.
+//! With `--features weave`, the same source compiles against the
+//! model-checker shims; outside a `weave::explore` run those shims
+//! fall through to std, so the whole suite still works.
+//!
+//! The `*_unpoisoned` helpers replace `.lock().expect("poisoned")`
+//! cascades: when a worker panics while holding a lock, every other
+//! worker used to die on a secondary `PoisonError` panic, burying the
+//! original backtrace under a wall of noise. Recovering the guard
+//! lets the panicking thread surface its own story. The guarded data
+//! here (chunk queues of index ranges) stays structurally valid at
+//! every await-free critical section, so continuing past poison is
+//! sound — at worst a range the panicking worker had popped is simply
+//! gone, which the pool already treats as that worker's failure.
+
+#[cfg(feature = "weave")]
+pub(crate) use weave::sync::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "weave"))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+use std::sync::PoisonError;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,100 @@
+//! Weave model tests for the work-stealing chunk queues: across
+//! **every** interleaving of owner pops and thief steals, each seeded
+//! index is executed exactly once — no loss, no duplication.
+//!
+//! Run with `cargo test -p harness --features weave`. Without the
+//! feature this file compiles to nothing.
+#![cfg(feature = "weave")]
+
+use std::sync::Arc;
+
+use harness::steal::{seed_queues, ChunkQueue};
+use weave::sync::Mutex;
+
+/// The worker loop from the trial pool, miniaturized: pop local, steal
+/// from the other queue when dry, tally every index into `hits`.
+fn worker(queues: &[ChunkQueue], w: usize, hits: &Mutex<Vec<u32>>) {
+    loop {
+        let chunk = queues[w]
+            .pop()
+            .or_else(|| queues[1 - w].steal_half(&queues[w]));
+        match chunk {
+            Some((s, e)) => {
+                let mut tally = hits
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for hit in &mut tally[s..e] {
+                    *hit += 1;
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+fn exactly_once_model() {
+    const N: usize = 4;
+    // Two workers, single-index chunks: maximal steal/pop contention
+    // for the state-space size.
+    let queues = Arc::new(seed_queues(N, 2, 1));
+    let hits = Arc::new(Mutex::new(vec![0u32; N]));
+    let handles: Vec<_> = (0..2)
+        .map(|w| {
+            let queues = Arc::clone(&queues);
+            let hits = Arc::clone(&hits);
+            weave::thread::spawn(move || worker(&queues, w, &hits))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    let tally = hits
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(
+        tally.iter().all(|&h| h == 1),
+        "indices not covered exactly once: {tally:?}"
+    );
+}
+
+/// Every owner-pop/thief-steal race, preemption-bounded at 3 context
+/// switches (the double-pop mutant this guards against needs only 1).
+#[test]
+fn steal_covers_every_index_exactly_once() {
+    let cfg = weave::Config {
+        preemption_bound: Some(3),
+        ..weave::Config::default()
+    };
+    let report = weave::check(cfg, exactly_once_model);
+    eprintln!(
+        "weave[steal_exactly_once]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    assert!(report.failure.is_none());
+    assert!(report.schedules > 1, "model must actually branch");
+}
+
+/// A thief stealing from an empty victim is a clean miss in every
+/// interleaving — never a panic, never a phantom chunk.
+#[test]
+fn steal_from_drained_victim_is_clean() {
+    let report = weave::check(weave::Config::default(), || {
+        let queues = Arc::new(seed_queues(1, 2, 1)); // q0 one chunk, q1 empty
+        let q = Arc::clone(&queues);
+        let thief = weave::thread::spawn(move || q[0].steal_half(&q[1]));
+        let owned = queues[0].pop();
+        let stolen = thief.join().expect("thief panicked");
+        // Exactly one of them got the chunk.
+        assert!(
+            owned.is_some() != stolen.is_some(),
+            "chunk lost or duplicated: owned={owned:?} stolen={stolen:?}"
+        );
+        assert!(queues[1].is_empty());
+    });
+    eprintln!(
+        "weave[steal_drained]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    assert!(report.failure.is_none());
+    assert!(report.exhausted, "tiny model must be fully explored");
+}

@@ -33,6 +33,7 @@ pub mod censor_model;
 pub mod diagnostics;
 pub mod lints;
 pub mod report;
+pub mod unsafe_scan;
 
 pub use absint::{
     summarize, verify_ops, AbsOp, OpsProof, PathEffect, StrategySummary, TamperKind, VerifyError,
@@ -42,6 +43,7 @@ pub use censor_model::{CensorId, Verdict};
 pub use diagnostics::{line_col, Diagnostic, Severity};
 pub use lints::{lint, lint_with_context, LintContext, AMPLIFICATION_LIMIT};
 pub use report::{render_verdict_matrix, ProgramFacts, ReportEntry};
+pub use unsafe_scan::{scan_unsafe, UnsafeFinding, UnsafeScanReport, UNSAFE_ALLOWLIST};
 
 /// Everything the harness wants to know about a strategy before
 /// spending simulator time on it.

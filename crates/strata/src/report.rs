@@ -9,6 +9,7 @@ use crate::canon::CanonKey;
 use crate::censor_model::{CensorId, Verdict};
 use crate::diagnostics::{line_col, Diagnostic, Severity};
 use crate::lints::AMPLIFICATION_LIMIT;
+use crate::unsafe_scan::UnsafeScanReport;
 
 /// What the abstract interpreter proved (or failed to prove) about a
 /// strategy's compiled program. Kept as plain data so `strata` never
@@ -324,6 +325,7 @@ fn rule_help(id: &str) -> (&'static str, &'static str) {
     const ABSINT_URI: &str =
         "DESIGN.md#11-strataabsint-abstract-interpretation-and-proof-gated-compilation";
     const CENSOR_URI: &str = "DESIGN.md#12-stratacensor_model-per-censor-product-model-checking";
+    const UNSAFE_URI: &str = "DESIGN.md#17-the-unsafe-confinement-gate";
     match id {
         "dead-branch" => (
             "The trigger compares a field against a value it can never hold, so the part never fires.",
@@ -400,6 +402,10 @@ fn rule_help(id: &str) -> (&'static str, &'static str) {
         "censor-verdict" => (
             "Per-censor verdicts from the censor-product model checker: provably inert, provably desynced, or unknown.",
             CENSOR_URI,
+        ),
+        "unsafe-confinement" => (
+            "The `unsafe` keyword appears outside the workspace's audited files (the svc FFI shim and the bench counting allocator).",
+            UNSAFE_URI,
         ),
         _ => ("", LINTS_URI),
     }
@@ -526,6 +532,93 @@ pub fn render_sarif(entries: &[ReportEntry]) -> String {
     )
 }
 
+/// Human-readable unsafe-confinement report.
+pub fn render_unsafe_text(report: &UnsafeScanReport) -> String {
+    let mut out = format!(
+        "unsafe-confinement: {} files scanned, {} audited files, {} findings\n",
+        report.files_scanned,
+        report.allowed_files.len(),
+        report.findings.len()
+    );
+    for file in &report.allowed_files {
+        out.push_str(&format!("   audited:  {file}\n"));
+    }
+    for f in &report.findings {
+        let (line, col) = line_col(&f.source, f.offset);
+        out.push_str(&format!(
+            "   error[unsafe-confinement]: {}:{line}:{col}: {}\n",
+            f.file, f.excerpt
+        ));
+    }
+    if report.clean() {
+        out.push_str("   confinement holds\n");
+    }
+    out
+}
+
+/// Plain JSON unsafe-confinement report.
+pub fn render_unsafe_json(report: &UnsafeScanReport) -> String {
+    let allowed: Vec<String> = report
+        .allowed_files
+        .iter()
+        .map(|f| format!("\"{}\"", esc(f)))
+        .collect();
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let (line, col) = line_col(&f.source, f.offset);
+            format!(
+                "{{\"file\":\"{}\",\"offset\":{},\"line\":{line},\"col\":{col},\
+                 \"excerpt\":\"{}\"}}",
+                esc(&f.file),
+                f.offset,
+                esc(&f.excerpt)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"files_scanned\":{},\"allowed_files\":[{}],\"findings\":[{}],\"clean\":{}}}\n",
+        report.files_scanned,
+        allowed.join(","),
+        findings.join(","),
+        report.clean()
+    )
+}
+
+/// SARIF 2.1.0 unsafe-confinement report: one `unsafe-confinement`
+/// result per escaped keyword, under the same tool driver as the
+/// strategy reports so CI annotators treat both uniformly.
+pub fn render_unsafe_sarif(report: &UnsafeScanReport) -> String {
+    let results: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            sarif_result(
+                "unsafe-confinement",
+                "error",
+                &format!("keyword escaped the audited files: {}", f.excerpt),
+                &f.file,
+                &f.source,
+                f.offset,
+                f.offset + f.len,
+                "",
+            )
+        })
+        .collect();
+    let (description, help_uri) = rule_help("unsafe-confinement");
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"cay-verify\",\"rules\":[{{\"id\":\"unsafe-confinement\",\
+         \"fullDescription\":{{\"text\":\"{}\"}},\"helpUri\":\"{}\"}}]}}}},\
+         \"results\":[{}]}}]}}\n",
+        esc(description),
+        esc(help_uri),
+        results.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)] // test code
@@ -624,6 +717,7 @@ mod tests {
             "program-verify-failed",
             "program-amplification",
             "censor-verdict",
+            "unsafe-confinement",
         ] {
             let (description, uri) = rule_help(id);
             assert!(!description.is_empty(), "no fullDescription for {id}");
@@ -671,6 +765,62 @@ mod tests {
         e.verdicts.clear();
         let matrix = render_verdict_matrix(&[e]);
         assert!(matrix.contains("--censor"), "{matrix}");
+    }
+
+    #[test]
+    fn unsafe_scan_renders_in_every_format() {
+        use crate::unsafe_scan::{UnsafeFinding, UnsafeScanReport};
+        // Assembled at runtime so this test file never matches its own
+        // scanner.
+        let kw = ["un", "safe"].concat();
+        let source = format!("fn a() {{}}\n{kw} fn b() {{}}\n");
+        let report = UnsafeScanReport {
+            files_scanned: 2,
+            allowed_files: vec!["crates/svc/src/sys/ffi.rs".into()],
+            findings: vec![UnsafeFinding {
+                file: "crates/x/src/lib.rs".into(),
+                source: source.clone(),
+                offset: 10,
+                len: kw.len(),
+                excerpt: source.lines().nth(1).unwrap().to_string(),
+            }],
+        };
+
+        let text = render_unsafe_text(&report);
+        assert!(text.contains("2 files scanned"), "{text}");
+        assert!(
+            text.contains("audited:  crates/svc/src/sys/ffi.rs"),
+            "{text}"
+        );
+        assert!(
+            text.contains("error[unsafe-confinement]: crates/x/src/lib.rs:2:1"),
+            "{text}"
+        );
+
+        let json = render_unsafe_json(&report);
+        assert!(json.contains("\"clean\":false"), "{json}");
+        assert!(json.contains("\"line\":2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let sarif = render_unsafe_sarif(&report);
+        assert!(
+            sarif.contains("\"ruleId\":\"unsafe-confinement\""),
+            "{sarif}"
+        );
+        assert!(sarif.contains("\"startLine\":2"), "{sarif}");
+        assert!(
+            sarif.contains("\"helpUri\":\"DESIGN.md#17-the-unsafe-confinement-gate\""),
+            "{sarif}"
+        );
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+
+        let clean = UnsafeScanReport {
+            files_scanned: 2,
+            allowed_files: Vec::new(),
+            findings: Vec::new(),
+        };
+        assert!(render_unsafe_text(&clean).contains("confinement holds"));
+        assert!(render_unsafe_json(&clean).contains("\"clean\":true"));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Unsafe-confinement scan: the workspace's `unsafe`-audit gate as a
+//! strata check instead of a CI shell one-liner.
+//!
+//! The workspace rule: `unsafe` code lives in exactly two audited
+//! files — the raw-FFI shim `crates/svc/src/sys/ffi.rs` (epoll,
+//! recvmmsg/sendmmsg, eventfd) and the counting allocator
+//! `crates/bench/src/alloc.rs` — and nowhere else. Every other crate
+//! either carries `#![forbid(unsafe_code)]` or inherits the
+//! workspace-level `unsafe_code = "deny"` lint. This scan is the
+//! belt-and-suspenders layer on top of those attributes: it re-checks
+//! the sources themselves, so dropping an attribute (or adding an
+//! `#![allow]`) cannot silently widen the surface.
+//!
+//! The match is textual, deliberately mirroring the CI grep it
+//! replaces: the keyword followed by a space (so `unsafe_code` in lint
+//! attributes never matches, and backtick-quoted mentions in doc
+//! comments — the repo's idiom — do not either). `cay verify
+//! --unsafe-scan` runs it over `crates/` and reports findings through
+//! the same text/JSON/SARIF renderers as strategy verification, under
+//! the rule id `unsafe-confinement`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The audited files allowed to contain `unsafe` code.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/svc/src/sys/ffi.rs", "crates/bench/src/alloc.rs"];
+
+/// One occurrence of the keyword outside the allowlist.
+#[derive(Debug, Clone)]
+pub struct UnsafeFinding {
+    /// Root-relative path, `/`-separated (stable across hosts; doubles
+    /// as the SARIF artifact URI).
+    pub file: String,
+    /// Full file text (the renderers derive line/column from it).
+    pub source: String,
+    /// Byte offset of the keyword.
+    pub offset: usize,
+    /// Byte length of the matched keyword.
+    pub len: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+/// What one scan covered and found.
+#[derive(Debug, Clone, Default)]
+pub struct UnsafeScanReport {
+    /// Rust sources examined.
+    pub files_scanned: usize,
+    /// Allowlisted files that do contain the keyword — confinement
+    /// working as intended, listed so the report shows the audited
+    /// surface explicitly.
+    pub allowed_files: Vec<String>,
+    /// Keyword occurrences outside the allowlist. Any entry here fails
+    /// the gate.
+    pub findings: Vec<UnsafeFinding>,
+}
+
+impl UnsafeScanReport {
+    /// True when confinement holds.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The needle, assembled at runtime so this file never contains its
+/// own match (the scanner scans `strata` too).
+fn needle() -> String {
+    ["un", "safe "].concat()
+}
+
+/// Scan every `.rs` file under `root` for `unsafe` occurrences outside
+/// `allowlist` (paths relative to `root`'s parent — i.e. spelled like
+/// [`UNSAFE_ALLOWLIST`] when `root` is `crates`). Hidden directories
+/// and `target/` are skipped.
+pub fn scan_unsafe(root: &Path, allowlist: &[&str]) -> io::Result<UnsafeScanReport> {
+    let base = root.parent().unwrap_or(Path::new(""));
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let needle = needle();
+    let mut report = UnsafeScanReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(base)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let hits: Vec<usize> = match_indices(&source, &needle);
+        if hits.is_empty() {
+            continue;
+        }
+        if allowlist.contains(&rel.as_str()) {
+            report.allowed_files.push(rel);
+            continue;
+        }
+        for offset in hits {
+            let line_start = source[..offset].rfind('\n').map_or(0, |i| i + 1);
+            let line_end = source[offset..]
+                .find('\n')
+                .map_or(source.len(), |i| offset + i);
+            report.findings.push(UnsafeFinding {
+                file: rel.clone(),
+                source: source.clone(),
+                offset,
+                // Report the keyword alone, not its trailing space.
+                len: needle.len() - 1,
+                excerpt: source[line_start..line_end].trim().to_string(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn match_indices(haystack: &str, needle: &str) -> Vec<usize> {
+    haystack.match_indices(needle).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, text).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("strata-unsafe-scan-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn finds_keyword_outside_allowlist_only() {
+        let dir = tempdir("basic");
+        let kw = needle();
+        write(
+            &dir,
+            "crates/svc/src/sys/ffi.rs",
+            &format!("{kw}fn audited() {{}}\n"),
+        );
+        write(
+            &dir,
+            "crates/packet/src/lib.rs",
+            &format!("fn a() {{}}\n{kw}fn leaked() {{}}\n"),
+        );
+        write(&dir, "crates/packet/src/clean.rs", "fn b() {}\n");
+        let report = scan_unsafe(&dir.join("crates"), UNSAFE_ALLOWLIST).unwrap();
+        assert_eq!(report.files_scanned, 3);
+        assert_eq!(report.allowed_files, vec!["crates/svc/src/sys/ffi.rs"]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(!report.clean());
+        let f = &report.findings[0];
+        assert_eq!(f.file, "crates/packet/src/lib.rs");
+        assert_eq!(f.offset, 10);
+        assert!(f.excerpt.contains("leaked"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_attribute_and_quoted_mentions_do_not_match() {
+        let dir = tempdir("attr");
+        write(
+            &dir,
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Not a finding: `unsafe` in backticks.\n",
+        );
+        let report = scan_unsafe(&dir.join("crates"), UNSAFE_ALLOWLIST).unwrap();
+        assert!(report.clean(), "{:?}", report.findings);
+        assert_eq!(report.files_scanned, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The real gate, run against the real workspace when invoked from
+    /// its root (CI runs `cay verify --unsafe-scan`; this keeps the
+    /// library path honest too).
+    #[test]
+    fn workspace_confinement_holds() {
+        let crates = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("crates");
+        let report = scan_unsafe(&crates, UNSAFE_ALLOWLIST).unwrap();
+        assert!(
+            report.clean(),
+            "keyword escaped the audited files: {:?}",
+            report
+                .findings
+                .iter()
+                .map(|f| format!("{}:{}", f.file, f.excerpt.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.files_scanned > 50, "scan must have walked the tree");
+    }
+}

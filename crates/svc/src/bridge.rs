@@ -434,7 +434,12 @@ impl Bridge {
             return queued;
         }
         let _ = timeout_ms;
-        std::thread::sleep(std::time::Duration::from_micros(300));
+        // Poll fallback: park on the waker's portable gate instead of
+        // a blind sleep, so shutdown/hot-reload kicks interrupt the
+        // idle wait instead of racing it. The 300µs cap keeps socket
+        // scanning responsive with no fd readiness to lean on.
+        self.waker
+            .wait_timeout(std::time::Duration::from_micros(300));
         0
     }
 

@@ -1,0 +1,116 @@
+//! `WakeGate` — the portable half of [`crate::sys::Waker`]: a sticky
+//! cross-thread wakeup built from a mutex + condvar.
+//!
+//! The Linux waker is a sticky eventfd: `signal` makes the fd
+//! readable and it *stays* readable until drained, so a wake that
+//! arrives before the loop blocks is never lost. This gate reproduces
+//! exactly those semantics in portable safe code:
+//!
+//! * [`WakeGate::wake`] sets a pending flag **then** notifies — the
+//!   flag is the stickiness; a waiter that shows up late still sees
+//!   it.
+//! * [`WakeGate::wait_timeout`] blocks until the flag is set (or the
+//!   timeout lapses) and consumes it, like reading the eventfd.
+//! * [`WakeGate::consume`] is the non-blocking drain.
+//!
+//! On non-Linux hosts (and when eventfd creation fails) the gate *is*
+//! the waker, turning what used to be a fire-and-forget no-op into a
+//! real interruptible wakeup: the bridge's poll fallback parks on the
+//! gate instead of a blind `sleep`, so shutdown and hot-reload kicks
+//! cut the idle wait short instead of racing it.
+//!
+//! The gate is built on the crate's sync facade, so
+//! `cargo test -p svc --features weave` model-checks the
+//! shutdown/drain handshake across **every** interleaving — the model
+//! test in `tests/weave_drain.rs` proves a wake issued at any point
+//! relative to the waiter's check-then-park is never lost.
+
+use std::time::Duration;
+
+use crate::sync_shim::{lock_unpoisoned, Condvar, Mutex};
+use std::sync::Arc;
+
+/// Runtime-toggleable seeded bug for weave's bug-injection self-test
+/// (`--features weave,mutants`).
+#[cfg(feature = "mutants")]
+pub mod mutants {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// BUG(seeded): `wake` notifies without setting the pending flag —
+    /// a non-sticky gate. A wake delivered while the waiter is between
+    /// its emptiness check and its park is lost forever.
+    pub static GATE_NON_STICKY: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn non_sticky() -> bool {
+        GATE_NON_STICKY.load(Ordering::Relaxed)
+    }
+}
+
+struct Inner {
+    pending: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A sticky, clonable cross-thread wakeup (see module docs).
+#[derive(Clone)]
+pub struct WakeGate {
+    inner: Arc<Inner>,
+}
+
+impl WakeGate {
+    /// A gate with no wake pending.
+    pub fn new() -> WakeGate {
+        WakeGate {
+            inner: Arc::new(Inner {
+                pending: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Signal the gate. Sticky: the wake is remembered until consumed,
+    /// so it cannot fall between a waiter's check and its park.
+    pub fn wake(&self) {
+        #[cfg(feature = "mutants")]
+        if mutants::non_sticky() {
+            self.inner.cv.notify_all();
+            return;
+        }
+        *lock_unpoisoned(&self.inner.pending) = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Consume a pending wake without blocking. Returns true when one
+    /// was pending.
+    pub fn consume(&self) -> bool {
+        let mut pending = lock_unpoisoned(&self.inner.pending);
+        std::mem::take(&mut *pending)
+    }
+
+    /// Park until a wake arrives or `timeout` lapses, consuming the
+    /// wake. Returns true when woken, false on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut pending = lock_unpoisoned(&self.inner.pending);
+        if !*pending {
+            pending = self
+                .inner
+                .cv
+                .wait_timeout(pending, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        std::mem::take(&mut *pending)
+    }
+}
+
+impl Default for WakeGate {
+    fn default() -> WakeGate {
+        WakeGate::new()
+    }
+}
+
+impl std::fmt::Debug for WakeGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeGate").finish_non_exhaustive()
+    }
+}

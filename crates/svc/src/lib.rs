@@ -35,7 +35,9 @@
 
 pub mod bridge;
 pub mod control;
+pub mod gate;
 pub mod http;
+pub(crate) mod sync_shim;
 pub mod sys;
 
 pub use bridge::{BackendChoice, BackendKind, Bridge, BridgeConfig, BridgeStats};

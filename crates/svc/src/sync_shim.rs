@@ -1,0 +1,21 @@
+//! Cfg-gated sync facade: `std::sync` in production, `weave::sync`
+//! under the `weave` feature so model tests can explore every
+//! interleaving of the service's wakeup/drain machinery.
+//!
+//! Production builds never see weave — the aliases below *are*
+//! `std::sync` types, zero cost. With `--features weave` the same
+//! source compiles against the model-checker shims, which fall
+//! through to std outside a `weave::explore` run.
+
+#[cfg(feature = "weave")]
+pub(crate) use weave::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "weave"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+use std::sync::PoisonError;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -193,13 +193,16 @@ impl Drop for EventFd {
 /// A cross-thread wakeup handle: [`Waker::wake`] is callable from any
 /// thread; on Linux the underlying eventfd can be registered on an
 /// epoll loop via [`Waker::fd`]. On other platforms (and on eventfd
-/// creation failure) it degrades to a no-op — correct, because every
-/// loop that blocks forever only does so when a working waker exists,
-/// and otherwise falls back to timed polling.
+/// creation failure) it falls back to the portable sticky
+/// [`crate::gate::WakeGate`], so poll-driven loops still get real,
+/// interruptible wakeups instead of racing a blind sleep.
 #[derive(Clone, Default)]
 pub struct Waker {
     #[cfg(target_os = "linux")]
     inner: Option<Arc<EventFd>>,
+    /// Portable sticky fallback; always present (it also serves as
+    /// the model-checked stand-in for the eventfd in weave tests).
+    gate: crate::gate::WakeGate,
 }
 
 impl Waker {
@@ -208,20 +211,26 @@ impl Waker {
         {
             Waker {
                 inner: EventFd::new().ok().map(Arc::new),
+                gate: crate::gate::WakeGate::new(),
             }
         }
         #[cfg(not(target_os = "linux"))]
         {
-            Waker {}
+            Waker {
+                gate: crate::gate::WakeGate::new(),
+            }
         }
     }
 
-    /// Wake the loop watching this waker (no-op without an eventfd).
+    /// Wake the loop watching this waker: signal the eventfd when one
+    /// exists, and always set the portable gate (sticky on both
+    /// paths, so a wake that lands before the loop blocks is kept).
     pub fn wake(&self) {
         #[cfg(target_os = "linux")]
         if let Some(efd) = &self.inner {
             efd.signal();
         }
+        self.gate.wake();
     }
 
     /// The registrable fd, when one exists.
@@ -236,6 +245,21 @@ impl Waker {
         if let Some(efd) = &self.inner {
             efd.drain();
         }
+        self.gate.consume();
+    }
+
+    /// Park on the portable gate until a wake arrives or `timeout`
+    /// lapses, consuming the wake. The blocking primitive for loops
+    /// with no registrable fd (the bridge's poll fallback): a wake
+    /// issued at any point — even before the park — cuts the wait
+    /// short. Returns true when woken.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        self.gate.wait_timeout(timeout)
+    }
+
+    /// The portable sticky gate behind this waker.
+    pub fn gate(&self) -> &crate::gate::WakeGate {
+        &self.gate
     }
 }
 

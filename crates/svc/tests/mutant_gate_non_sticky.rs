@@ -1,0 +1,45 @@
+//! Bug-injection self-test: the seeded non-sticky gate (`wake`
+//! notifies without setting the pending flag) must be caught by weave
+//! — a wake landing anywhere around the waiter's check-then-park is
+//! simply gone — with a deterministically replaying token.
+//!
+//! One mutant per test binary: the toggles are process-global.
+#![cfg(all(feature = "weave", feature = "mutants"))]
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use svc::gate::{mutants, WakeGate};
+
+/// Same invariant as `tests/weave_drain.rs`: a wake must be observed,
+/// either by the wait returning woken or by staying pending. The
+/// non-sticky mutant leaves no trace of the wake, so the invariant
+/// fails and weave pins the schedule.
+fn model() {
+    let gate = WakeGate::new();
+    let signal = gate.clone();
+    let waker = weave::thread::spawn(move || signal.wake());
+    let woken = gate.wait_timeout(Duration::from_millis(1));
+    waker.join().expect("waker panicked");
+    assert!(woken || gate.consume(), "wake was lost");
+}
+
+#[test]
+fn weave_detects_mutant_non_sticky_gate_with_replayable_token() {
+    mutants::GATE_NON_STICKY.store(true, Ordering::SeqCst);
+    let cfg = weave::Config::default();
+    let report = weave::explore(cfg.clone(), model);
+    eprintln!(
+        "weave[mutant_gate_non_sticky]: {} schedules explored ({} pruned)",
+        report.schedules, report.pruned
+    );
+    let failure = report.failure.expect("weave must catch the lost wake");
+    assert_eq!(failure.kind, weave::FailureKind::Panic);
+    eprintln!("counterexample: {} — {}", failure.token, failure.message);
+    for _ in 0..2 {
+        let again = weave::replay(cfg.clone(), &failure.token, model)
+            .expect("replaying the counterexample must fail again");
+        assert_eq!(again.kind, failure.kind);
+        assert_eq!(again.token, failure.token, "replay must be deterministic");
+    }
+}

@@ -1,0 +1,1132 @@
+//! The cooperative scheduler and interleaving explorer behind `weave`.
+//!
+//! ## Execution model
+//!
+//! A *model* is a closure that builds shared state out of
+//! [`crate::sync`] primitives and spawns [`crate::thread`] threads.
+//! Every thread in the model is a real OS thread, but only one runs at
+//! a time: a thread holding the *token* executes user code freely and
+//! surrenders the token at every synchronization operation by
+//! **announcing** what it is about to do ([`OpKind`]) and parking until
+//! the scheduler selects it again. Selection *is* execution: a thread's
+//! announced operation takes effect exactly when the scheduler picks
+//! it, so the set of announced operations at a decision point is a
+//! complete picture of the model's next transitions — which is what
+//! lets the explorer compute enabledness (a `lock` on a held mutex is
+//! simply not selectable) and independence (two operations on
+//! different objects commute) without guessing.
+//!
+//! ## Exploration
+//!
+//! Interleavings are explored by depth-first search over scheduling
+//! decisions. Each execution runs the model once, recording a trail of
+//! decision points (states where ≥ 2 transitions were selectable);
+//! backtracking rewinds to the deepest decision with an untried
+//! sibling and re-runs with that choice forced. Two reductions prune
+//! the walk without losing bugs:
+//!
+//! * **Sleep sets** (Godefroid-style dynamic partial-order
+//!   reduction): after exploring choice `t` at a state, `t` is put to
+//!   sleep for the sibling branches and stays asleep until some
+//!   executed operation *conflicts* with it (same object, at least one
+//!   writer). Interleavings that merely commute independent operations
+//!   are never re-explored.
+//! * **Preemption bounding**: a *preemption* is a switch away from a
+//!   thread whose next operation is still selectable. With
+//!   [`Config::preemption_bound`] set, schedules exceeding the bound
+//!   are skipped — the classic CHESS observation that real
+//!   concurrency bugs need very few preemptions.
+//!
+//! ## Verdicts
+//!
+//! An execution ends in one of: normal completion; **deadlock** (some
+//! thread unfinished, nothing selectable — this is also what a lost
+//! condvar wakeup looks like, which is the point); **panic** (a failed
+//! assertion in model code); or **depth exceeded** (a schedule ran
+//! away, usually a model polling a timed wait in a loop). Every
+//! failure carries a schedule token — the decision trail as a string —
+//! that [`replay`] re-runs deterministically.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Thread id inside one model execution (dense, spawn order).
+pub(crate) type Tid = usize;
+/// Model-object id (mutexes, rwlocks, condvars, atomics, threads).
+pub(crate) type Oid = u64;
+
+/// Counter for objects created outside any model execution. Starts in
+/// a range disjoint from per-execution ids so an object captured from
+/// outside keeps a stable, non-colliding identity across schedules.
+static UNMANAGED_OID: AtomicU64 = AtomicU64::new(1 << 48);
+
+/// Allocate a fresh model-object id.
+///
+/// Inside a model execution, ids come from the execution's own
+/// counter: the replayed prefix re-creates objects in the same order,
+/// so the same object gets the same id in every schedule sharing that
+/// prefix — which is what lets sleep-set entries recorded in one
+/// execution match operations in the next. Outside a model, ids come
+/// from a process-global counter in a disjoint range.
+pub(crate) fn next_oid() -> Oid {
+    match current() {
+        Some((sched, _)) => sched.oid_counter.fetch_add(1, Ordering::Relaxed),
+        None => UNMANAGED_OID.fetch_add(1, Ordering::Relaxed),
+    }
+}
+
+/// Read/write classification for the independence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Access {
+    Read,
+    Write,
+}
+
+/// A synchronization operation a thread announces before performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First transition of every thread.
+    Begin,
+    /// Last transition of every thread; enables pending joins.
+    Finish,
+    /// Pure scheduling point (`yield_now`).
+    Yield,
+    /// Create a child thread.
+    Spawn,
+    /// Acquire a mutex (selectable only while it is free).
+    Lock { m: Oid },
+    /// Release a mutex.
+    Unlock { m: Oid },
+    /// Acquire a read lock (selectable while no writer holds).
+    RwRead { l: Oid },
+    /// Acquire the write lock (selectable while nobody holds).
+    RwWrite { l: Oid },
+    /// Release a read lock.
+    RwUnlockRead { l: Oid },
+    /// Release the write lock.
+    RwUnlockWrite { l: Oid },
+    /// Atomically release `m` and join `cv`'s wait queue.
+    CvWait { cv: Oid, m: Oid, timed: bool },
+    /// Reacquire `m` after a notify/timeout (selectable while free).
+    CvReacquire { cv: Oid, m: Oid },
+    /// Wake one or all waiters of `cv`.
+    CvNotify { cv: Oid, all: bool },
+    /// Virtual transition: a timed (or spuriously woken) waiter of
+    /// `cv` stops waiting and moves to reacquire. Never announced by
+    /// thread code — synthesized by the scheduler for waiting threads.
+    CvTimeout { cv: Oid },
+    /// Atomic load (read) or store/rmw (write) on one cell.
+    Atomic { o: Oid, write: bool },
+    /// Wait for a thread to finish (selectable once it has).
+    Join { target: Tid },
+}
+
+impl OpKind {
+    /// The (object, access) pairs this operation touches — the basis
+    /// of the independence relation. At most two (condvar wait touches
+    /// the condvar and the mutex).
+    fn touches(self, own_oid: Oid, thread_oids: &[Oid]) -> [Option<(Oid, Access)>; 2] {
+        use OpKind::*;
+        match self {
+            Begin | Finish => [Some((own_oid, Access::Write)), None],
+            Yield | Spawn => [None, None],
+            Lock { m } | Unlock { m } => [Some((m, Access::Write)), None],
+            RwRead { l } | RwUnlockRead { l } => [Some((l, Access::Read)), None],
+            RwWrite { l } | RwUnlockWrite { l } => [Some((l, Access::Write)), None],
+            CvWait { cv, m, .. } => [Some((cv, Access::Write)), Some((m, Access::Write))],
+            CvReacquire { m, .. } => [Some((m, Access::Write)), None],
+            CvNotify { cv, .. } | CvTimeout { cv } => [Some((cv, Access::Write)), None],
+            Atomic { o, write } => [
+                Some((o, if write { Access::Write } else { Access::Read })),
+                None,
+            ],
+            Join { target } => thread_oids
+                .get(target)
+                .map_or([None, None], |&t| [Some((t, Access::Read)), None]),
+        }
+    }
+}
+
+/// True when the two operations may not commute: they share an object
+/// and at least one side mutates it. Conservative (never claims
+/// independence for dependent operations).
+fn conflicts(a: &Touches, b: &Touches) -> bool {
+    for pa in a.iter().flatten() {
+        for pb in b.iter().flatten() {
+            if pa.0 == pb.0 && (pa.1 == Access::Write || pb.1 == Access::Write) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+type Touches = [Option<(Oid, Access)>; 2];
+
+/// Where a thread is in its lifecycle, from the scheduler's view.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Parked at a scheduling point; `op` executes when selected.
+    Announced(OpKind),
+    /// Holds the token and is executing user code.
+    Running,
+    /// Parked in a condvar wait queue, nothing announced. Selectable
+    /// only through the scheduler's virtual [`OpKind::CvTimeout`].
+    WaitingCv { cv: Oid, m: Oid, timed: bool },
+    /// Body returned; joins on it are selectable.
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadRec {
+    phase: Phase,
+    /// Model-object id for Finish/Join dependence.
+    oid: Oid,
+    /// Remaining timed/spurious wakeups this thread may take before
+    /// they are only granted to avert a false deadlock.
+    wake_budget: u32,
+}
+
+/// One recorded decision point (≥ 2 selectable candidates).
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// The selectable candidates (enabled minus sleeping), tid order.
+    candidates: Vec<(Tid, OpKind, Touches)>,
+    /// The branch this execution took.
+    chosen: Tid,
+    /// Branches already explored at this state (driver-maintained).
+    tried: Vec<Tid>,
+    /// Sleep set on entry (tids), for sibling filtering.
+    sleep_at_entry: Vec<Tid>,
+    /// The previously selected thread (preemption accounting).
+    prev: Option<Tid>,
+    /// Preemptions taken on the path above this decision.
+    preemptions_before: u32,
+}
+
+/// A forced choice during prefix replay: the branch to take plus the
+/// already-explored siblings that must sleep through the subtree.
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    chosen: Tid,
+    tried: Vec<(Tid, Touches)>,
+}
+
+/// Why an execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unfinished threads, nothing selectable: a deadlock — or a lost
+    /// wakeup, which is the same thing observed from the outside.
+    Deadlock,
+    /// Model code panicked (failed assertion, index error, …).
+    Panic,
+    /// One schedule exceeded [`Config::max_steps`] transitions —
+    /// almost always a model looping on a timed wait.
+    DepthExceeded,
+}
+
+/// A counterexample: what went wrong and the schedule that gets there.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, per-thread blocked
+    /// states for a deadlock).
+    pub message: String,
+    /// Replayable schedule token (`w:…`); feed to [`replay`].
+    pub token: String,
+}
+
+/// Exploration limits and modeling knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many schedules even if unexhausted.
+    pub max_schedules: u64,
+    /// Max context switches away from a still-selectable thread, per
+    /// schedule. `None` explores exhaustively.
+    pub preemption_bound: Option<u32>,
+    /// Also wake *untimed* condvar waiters spuriously (std permits
+    /// it). Timed waits always model their timeout firing.
+    pub spurious: bool,
+    /// Free timed/spurious wakeups per thread per schedule; beyond the
+    /// budget a timeout only fires to avert a false deadlock. Bounds
+    /// the state space of retry loops around `wait_timeout`.
+    pub wake_budget: u32,
+    /// Transition cap per schedule (runaway-model guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_schedules: 200_000,
+            preemption_bound: None,
+            spurious: false,
+            wake_budget: 1,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// What exploring a model produced.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules run to completion (including sleep-set-pruned ones).
+    pub schedules: u64,
+    /// Schedules cut short by the sleep-set reduction (counted in
+    /// `schedules` too; the difference is full executions).
+    pub pruned: u64,
+    /// First counterexample found, if any. Exploration stops at the
+    /// first failure.
+    pub failure: Option<Failure>,
+    /// True when the state space was exhausted (rather than the
+    /// search stopping at `max_schedules` or at a failure).
+    pub exhausted: bool,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Status {
+    Running,
+    Done,
+    Aborted,
+}
+
+/// How one execution ended (driver-side).
+enum Outcome {
+    Completed,
+    SleepBlocked,
+    Failed(Failure),
+}
+
+/// Payload used to unwind parked threads when an execution is torn
+/// down; swallowed by the thread wrapper.
+struct WeaveAbort;
+
+struct St {
+    threads: Vec<ThreadRec>,
+    /// The thread currently holding the token.
+    active: Option<Tid>,
+    /// The thread that executed the previous transition.
+    prev: Option<Tid>,
+    preemptions: u32,
+    /// Forced choices for the replayed prefix of this execution.
+    prefix: Vec<PrefixEntry>,
+    /// Every selected tid, one per transition — the schedule token.
+    steps_trace: Vec<Tid>,
+    /// When set, follow this full per-transition trace (token replay)
+    /// instead of exploring: sleep sets and decision recording are
+    /// bypassed so the schedule is pinned exactly.
+    replay_trace: Option<Vec<Tid>>,
+    /// Decisions recorded this execution (replayed + new).
+    trail: Vec<Decision>,
+    /// Next decision index (into `prefix` while replaying).
+    depth: usize,
+    /// Runtime sleep set: threads whose announced op need not be
+    /// explored from the current state.
+    sleep: Vec<(Tid, Touches)>,
+    mutexes: HashMap<Oid, bool>,
+    rwlocks: HashMap<Oid, (usize, bool)>,
+    cv_queues: HashMap<Oid, VecDeque<Tid>>,
+    status: Status,
+    failure: Option<Failure>,
+    sleep_blocked: bool,
+    steps: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    cfg: Config,
+}
+
+/// The per-execution scheduler. Shared by every thread of one model
+/// execution through an `Arc`.
+pub(crate) struct Sched {
+    state: Mutex<St>,
+    cv: Condvar,
+    /// Per-execution object-id counter (see [`next_oid`]).
+    oid_counter: AtomicU64,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Sched>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler managing the current thread, when one is.
+pub(crate) fn current() -> Option<(Arc<Sched>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the current OS thread belongs to a model execution.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Like [`current`], but `None` while the thread is unwinding: a
+/// panicking thread must not announce new scheduling points (parking
+/// inside a `Drop` during unwind risks a double panic when the
+/// execution aborts underneath it), so its sync operations fall
+/// through to the raw std primitives on the way down. Guard `Drop`
+/// impls still repair model lock state via the `*_quiet` effects.
+pub(crate) fn announce_ctx() -> Option<(Arc<Sched>, Tid)> {
+    if std::thread::panicking() {
+        None
+    } else {
+        current()
+    }
+}
+
+fn lock_st(sched: &Sched) -> std::sync::MutexGuard<'_, St> {
+    // The scheduler's own mutex is never poisoned on purpose: every
+    // panic inside model threads is caught before unwinding past a
+    // critical section. Recover rather than cascade if one slips by.
+    sched
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Sched {
+    fn new(cfg: Config, prefix: Vec<PrefixEntry>) -> Sched {
+        Sched {
+            state: Mutex::new(St {
+                threads: Vec::new(),
+                active: None,
+                prev: None,
+                preemptions: 0,
+                prefix,
+                steps_trace: Vec::new(),
+                replay_trace: None,
+                trail: Vec::new(),
+                depth: 0,
+                sleep: Vec::new(),
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                cv_queues: HashMap::new(),
+                status: Status::Running,
+                failure: None,
+                sleep_blocked: false,
+                steps: 0,
+                handles: Vec::new(),
+                cfg,
+            }),
+            cv: Condvar::new(),
+            oid_counter: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a new thread record (spawn effect); returns its tid.
+    fn register(&self, st: &mut St) -> Tid {
+        let tid = st.threads.len();
+        let budget = st.cfg.wake_budget;
+        st.threads.push(ThreadRec {
+            phase: Phase::Announced(OpKind::Begin),
+            oid: self.oid_counter.fetch_add(1, Ordering::Relaxed),
+            wake_budget: budget,
+        });
+        tid
+    }
+
+    fn token(st: &St) -> String {
+        let picks: Vec<String> = st.steps_trace.iter().map(|t| t.to_string()).collect();
+        format!("w:{}", picks.join("."))
+    }
+
+    fn abort(&self, st: &mut St) {
+        st.status = Status::Aborted;
+        st.active = None;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, st: &mut St, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                message,
+                token: Self::token(st),
+            });
+        }
+        self.abort(st);
+    }
+
+    /// Touches of the transition a thread would take if selected.
+    fn touches_of(st: &St, tid: Tid) -> Touches {
+        let oids: Vec<Oid> = st.threads.iter().map(|t| t.oid).collect();
+        match st.threads[tid].phase {
+            Phase::Announced(op) => op.touches(st.threads[tid].oid, &oids),
+            Phase::WaitingCv { cv, .. } => OpKind::CvTimeout { cv }.touches(0, &oids),
+            _ => [None, None],
+        }
+    }
+
+    fn op_of(st: &St, tid: Tid) -> OpKind {
+        match st.threads[tid].phase {
+            Phase::Announced(op) => op,
+            Phase::WaitingCv { cv, .. } => OpKind::CvTimeout { cv },
+            _ => OpKind::Yield,
+        }
+    }
+
+    /// Whether `tid`'s pending transition may complete right now.
+    fn op_enabled(st: &St, tid: Tid) -> bool {
+        match st.threads[tid].phase {
+            Phase::Announced(op) => match op {
+                OpKind::Lock { m } | OpKind::CvReacquire { m, .. } => {
+                    !st.mutexes.get(&m).copied().unwrap_or(false)
+                }
+                OpKind::RwRead { l } => !st.rwlocks.get(&l).map(|&(_, w)| w).unwrap_or(false),
+                OpKind::RwWrite { l } => st
+                    .rwlocks
+                    .get(&l)
+                    .map(|&(r, w)| r == 0 && !w)
+                    .unwrap_or(true),
+                OpKind::Join { target } => {
+                    matches!(st.threads[target].phase, Phase::Finished)
+                }
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    /// The selectable transitions: enabled announced ops, plus virtual
+    /// timeout transitions for waiting threads (budget-gated, or
+    /// unconditionally when nothing else can move — a timed wait must
+    /// eventually expire rather than report a false deadlock).
+    fn enabled_set(st: &St) -> Vec<Tid> {
+        let spurious = st.cfg.spurious;
+        let mut out: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| Self::op_enabled(st, t))
+            .collect();
+        let mut waiters: Vec<(Tid, bool)> = Vec::new();
+        for (t, rec) in st.threads.iter().enumerate() {
+            if let Phase::WaitingCv { timed, .. } = rec.phase {
+                let budgeted = rec.wake_budget > 0 && (timed || spurious);
+                waiters.push((t, budgeted));
+                if budgeted {
+                    out.push(t);
+                }
+            }
+        }
+        if out.is_empty() {
+            // Nothing else can move: grant timed waiters their expiry
+            // regardless of budget so retry loops make progress.
+            out.extend(
+                waiters
+                    .iter()
+                    .filter_map(|&(t, _)| match st.threads[t].phase {
+                        Phase::WaitingCv { timed: true, .. } => Some(t),
+                        _ => None,
+                    }),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn describe_blocked(st: &St) -> String {
+        let mut parts = Vec::new();
+        for (t, rec) in st.threads.iter().enumerate() {
+            let what = match rec.phase {
+                Phase::Announced(op) => format!("blocked at {op:?}"),
+                Phase::WaitingCv { cv, .. } => {
+                    format!("waiting on condvar #{cv} (never notified)")
+                }
+                Phase::Running => "running".into(),
+                Phase::Finished => continue,
+            };
+            parts.push(format!("thread {t} {what}"));
+        }
+        parts.join("; ")
+    }
+
+    /// The heart: pick the next transition. Called with the state
+    /// locked by whichever thread is surrendering the token.
+    fn schedule(&self, st: &mut St) {
+        if st.status != Status::Running {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let steps = st.cfg.max_steps;
+            self.fail(
+                st,
+                FailureKind::DepthExceeded,
+                format!("schedule exceeded {steps} transitions (model not converging?)"),
+            );
+            return;
+        }
+        let enabled = Self::enabled_set(st);
+        if enabled.is_empty() {
+            if st
+                .threads
+                .iter()
+                .all(|t| matches!(t.phase, Phase::Finished))
+            {
+                st.status = Status::Done;
+                st.active = None;
+                self.cv.notify_all();
+            } else {
+                let msg = format!("deadlock: {}", Self::describe_blocked(st));
+                self.fail(st, FailureKind::Deadlock, msg);
+            }
+            return;
+        }
+        if let Some(trace) = st.replay_trace.clone() {
+            // Token replay: follow the recorded per-transition trace
+            // exactly; past its end (or on divergence — a sign of
+            // model nondeterminism) fall back to the default policy.
+            let idx = st.steps_trace.len();
+            let chosen = trace
+                .get(idx)
+                .copied()
+                .filter(|t| enabled.contains(t))
+                .or_else(|| st.prev.filter(|p| enabled.contains(p)))
+                .unwrap_or(enabled[0]);
+            if matches!(st.threads[chosen].phase, Phase::WaitingCv { .. }) {
+                let b = &mut st.threads[chosen].wake_budget;
+                *b = b.saturating_sub(1);
+            }
+            st.steps_trace.push(chosen);
+            st.prev = Some(chosen);
+            st.active = Some(chosen);
+            self.cv.notify_all();
+            return;
+        }
+        let sleeping: Vec<Tid> = st.sleep.iter().map(|&(t, _)| t).collect();
+        let candidates: Vec<Tid> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !sleeping.contains(t))
+            .collect();
+        if candidates.is_empty() {
+            // Every selectable transition is asleep: this state's
+            // continuations are covered by sibling branches.
+            st.sleep_blocked = true;
+            self.abort(st);
+            return;
+        }
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else if st.depth < st.prefix.len() {
+            // Replaying the forced prefix: take the recorded branch and
+            // put the already-explored siblings to sleep underneath it.
+            let entry = st.prefix[st.depth].clone();
+            debug_assert!(candidates.contains(&entry.chosen), "replay diverged");
+            let cand_full: Vec<(Tid, OpKind, Touches)> = candidates
+                .iter()
+                .map(|&t| (t, Self::op_of(st, t), Self::touches_of(st, t)))
+                .collect();
+            st.trail.push(Decision {
+                candidates: cand_full,
+                chosen: entry.chosen,
+                tried: entry.tried.iter().map(|&(t, _)| t).collect(),
+                sleep_at_entry: sleeping.clone(),
+                prev: st.prev,
+                preemptions_before: st.preemptions,
+            });
+            for (t, touches) in &entry.tried {
+                st.sleep.push((*t, *touches));
+            }
+            st.depth += 1;
+            entry.chosen
+        } else {
+            // Fresh decision: prefer the previous thread (zero-cost,
+            // no preemption); siblings are explored on backtrack.
+            let pick = st
+                .prev
+                .filter(|p| candidates.contains(p))
+                .unwrap_or(candidates[0]);
+            let cand_full: Vec<(Tid, OpKind, Touches)> = candidates
+                .iter()
+                .map(|&t| (t, Self::op_of(st, t), Self::touches_of(st, t)))
+                .collect();
+            st.trail.push(Decision {
+                candidates: cand_full,
+                chosen: pick,
+                tried: Vec::new(),
+                sleep_at_entry: sleeping.clone(),
+                prev: st.prev,
+                preemptions_before: st.preemptions,
+            });
+            st.depth += 1;
+            pick
+        };
+        // Preemption accounting: switching away from a thread that
+        // could have continued.
+        if let Some(p) = st.prev {
+            if p != chosen && candidates.contains(&p) {
+                st.preemptions += 1;
+            }
+        }
+        // Sleep-set evolution: executing `chosen` wakes everything
+        // that conflicts with it.
+        let chosen_touches = Self::touches_of(st, chosen);
+        st.sleep
+            .retain(|(t, touches)| *t != chosen && !conflicts(touches, &chosen_touches));
+        // A waiting thread selected through its virtual timeout spends
+        // wake budget.
+        if matches!(st.threads[chosen].phase, Phase::WaitingCv { .. }) {
+            let b = &mut st.threads[chosen].wake_budget;
+            *b = b.saturating_sub(1);
+        }
+        st.steps_trace.push(chosen);
+        st.prev = Some(chosen);
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Announce `op`, surrender the token, and return once selected
+    /// (at which point the caller performs the operation's effect).
+    pub(crate) fn transition(self: &Arc<Sched>, me: Tid, op: OpKind) {
+        let mut st = lock_st(self);
+        st.threads[me].phase = Phase::Announced(op);
+        self.schedule(&mut st);
+        loop {
+            if st.status == Status::Aborted {
+                drop(st);
+                panic::panic_any(WeaveAbort);
+            }
+            if st.status == Status::Done || st.active == Some(me) {
+                break;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.threads[me].phase = Phase::Running;
+    }
+
+    // ---- effects (run by the selected thread, token in hand) ----
+
+    pub(crate) fn lock_effect(&self, m: Oid) {
+        let mut st = lock_st(self);
+        let held = st.mutexes.entry(m).or_insert(false);
+        debug_assert!(!*held, "selected Lock on a held mutex");
+        *held = true;
+    }
+
+    pub(crate) fn unlock_effect(&self, m: Oid) {
+        let mut st = lock_st(self);
+        st.mutexes.insert(m, false);
+    }
+
+    /// Best-effort release without a scheduling point — used when a
+    /// guard is dropped during a panic unwind, where parking for the
+    /// scheduler could double-panic.
+    pub(crate) fn unlock_quiet(&self, m: Oid) {
+        if let Ok(mut st) = self.state.lock() {
+            st.mutexes.insert(m, false);
+        }
+    }
+
+    pub(crate) fn rw_read_effect(&self, l: Oid) {
+        let mut st = lock_st(self);
+        let e = st.rwlocks.entry(l).or_insert((0, false));
+        debug_assert!(!e.1, "selected RwRead with a writer");
+        e.0 += 1;
+    }
+
+    pub(crate) fn rw_write_effect(&self, l: Oid) {
+        let mut st = lock_st(self);
+        let e = st.rwlocks.entry(l).or_insert((0, false));
+        debug_assert!(e.0 == 0 && !e.1, "selected RwWrite while held");
+        e.1 = true;
+    }
+
+    pub(crate) fn rw_unlock_read_effect(&self, l: Oid) {
+        let mut st = lock_st(self);
+        if let Some(e) = st.rwlocks.get_mut(&l) {
+            e.0 = e.0.saturating_sub(1);
+        }
+    }
+
+    pub(crate) fn rw_unlock_write_effect(&self, l: Oid) {
+        let mut st = lock_st(self);
+        if let Some(e) = st.rwlocks.get_mut(&l) {
+            e.1 = false;
+        }
+    }
+
+    pub(crate) fn rw_unlock_read_quiet(&self, l: Oid) {
+        if let Ok(mut st) = self.state.lock() {
+            if let Some(e) = st.rwlocks.get_mut(&l) {
+                e.0 = e.0.saturating_sub(1);
+            }
+        }
+    }
+
+    pub(crate) fn rw_unlock_write_quiet(&self, l: Oid) {
+        if let Ok(mut st) = self.state.lock() {
+            if let Some(e) = st.rwlocks.get_mut(&l) {
+                e.1 = false;
+            }
+        }
+    }
+
+    pub(crate) fn notify_effect(&self, cv: Oid, all: bool) {
+        let mut st = lock_st(self);
+        let waiters: Vec<Tid> = {
+            let q = st.cv_queues.entry(cv).or_default();
+            let n = if all {
+                q.len()
+            } else {
+                usize::from(!q.is_empty())
+            };
+            q.drain(..n).collect()
+        };
+        for t in waiters {
+            if let Phase::WaitingCv { cv: wcv, m, .. } = st.threads[t].phase {
+                st.threads[t].phase = Phase::Announced(OpKind::CvReacquire { cv: wcv, m });
+            }
+        }
+    }
+
+    /// The wait effect + park: release the mutex, join the queue, hand
+    /// off the token, and sleep until the reacquire transition is
+    /// selected. Returns true if the wait ended by timeout/spurious
+    /// wakeup rather than a notify.
+    pub(crate) fn cv_wait_park(self: &Arc<Sched>, me: Tid, cv: Oid, m: Oid, timed: bool) -> bool {
+        let mut st = lock_st(self);
+        st.mutexes.insert(m, false);
+        st.threads[me].phase = Phase::WaitingCv { cv, m, timed };
+        st.cv_queues.entry(cv).or_default().push_back(me);
+        self.schedule(&mut st);
+        let mut timed_out = false;
+        loop {
+            if st.status == Status::Aborted {
+                drop(st);
+                panic::panic_any(WeaveAbort);
+            }
+            if st.active == Some(me) {
+                match st.threads[me].phase {
+                    Phase::WaitingCv { .. } => {
+                        // Selected through the virtual timeout: leave
+                        // the queue, move to reacquire, pick again.
+                        timed_out = true;
+                        if let Some(q) = st.cv_queues.get_mut(&cv) {
+                            q.retain(|&t| t != me);
+                        }
+                        st.threads[me].phase = Phase::Announced(OpKind::CvReacquire { cv, m });
+                        self.schedule(&mut st);
+                        continue;
+                    }
+                    Phase::Announced(OpKind::CvReacquire { .. }) => {
+                        // Selected to reacquire: take the mutex back.
+                        st.threads[me].phase = Phase::Running;
+                        st.mutexes.insert(m, true);
+                        return timed_out;
+                    }
+                    _ => {
+                        st.threads[me].phase = Phase::Running;
+                        return timed_out;
+                    }
+                }
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Spawn effect: register the child and start its OS thread.
+    pub(crate) fn spawn_effect(
+        self: &Arc<Sched>,
+        wrapper: impl FnOnce(Tid) -> std::thread::JoinHandle<()>,
+    ) -> Tid {
+        let tid = {
+            let mut st = lock_st(self);
+            self.register(&mut st)
+        };
+        let handle = wrapper(tid);
+        lock_st(self).handles.push(handle);
+        tid
+    }
+
+    /// Mark the current thread finished and hand off the token.
+    fn finish(self: &Arc<Sched>, me: Tid) {
+        self.transition(me, OpKind::Finish);
+        let mut st = lock_st(self);
+        st.threads[me].phase = Phase::Finished;
+        self.schedule(&mut st);
+    }
+
+    /// Park until this thread's `Begin` is selected. Returns false if
+    /// the execution aborted before that happened.
+    fn wait_begin(&self, me: Tid) -> bool {
+        let mut st = lock_st(self);
+        loop {
+            if st.status == Status::Aborted {
+                return false;
+            }
+            if st.active == Some(me) {
+                st.threads[me].phase = Phase::Running;
+                return true;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Record a model-code panic as the execution's failure.
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model thread panicked".into());
+        let mut st = lock_st(self);
+        self.fail(&mut st, FailureKind::Panic, msg);
+    }
+}
+
+/// The body wrapper every model thread runs: set the thread-local
+/// context, wait to be scheduled, run, report, tear down.
+pub(crate) fn run_thread<T: Send + 'static>(
+    sched: Arc<Sched>,
+    tid: Tid,
+    body: impl FnOnce() -> T + Send + 'static,
+    out: Arc<Mutex<Option<T>>>,
+) {
+    install_quiet_panic_hook();
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+    if sched.wait_begin(tid) {
+        match panic::catch_unwind(AssertUnwindSafe(body)) {
+            Ok(v) => {
+                if let Ok(mut slot) = out.lock() {
+                    *slot = Some(v);
+                }
+                sched.finish(tid);
+            }
+            Err(payload) => {
+                if !payload.is::<WeaveAbort>() {
+                    sched.record_panic(payload.as_ref());
+                }
+            }
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Suppress panic-hook output for panics on model threads: every such
+/// panic is caught and reported through the [`Report`] (printing
+/// thousands of expected-counterexample backtraces would bury the
+/// signal). Installed once, process-wide; panics on unmanaged threads
+/// keep the previous hook's behavior.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run one execution with the given forced prefix. Returns the trail
+/// and how it ended.
+fn run_one(
+    cfg: &Config,
+    prefix: Vec<PrefixEntry>,
+    replay: Option<Vec<Tid>>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Decision>, Outcome) {
+    let sched = Arc::new(Sched::new(cfg.clone(), prefix));
+    lock_st(&sched).replay_trace = replay;
+    let root = {
+        let mut st = lock_st(&sched);
+        let tid = sched.register(&mut st);
+        st.active = Some(tid); // root's Begin is pre-selected
+        st.prev = Some(tid);
+        tid
+    };
+    let f2 = Arc::clone(f);
+    let s2 = Arc::clone(&sched);
+    let out = Arc::new(Mutex::new(None::<()>));
+    let o2 = Arc::clone(&out);
+    let handle = std::thread::Builder::new()
+        .name("weave-root".into())
+        .spawn(move || run_thread(s2, root, move || f2(), o2))
+        .expect("spawn model root thread");
+    // Wait for the execution to settle, then reap every OS thread.
+    {
+        let mut st = lock_st(&sched);
+        while st.status == Status::Running {
+            st = sched
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let _ = handle.join();
+    loop {
+        let hs: Vec<std::thread::JoinHandle<()>> = std::mem::take(&mut lock_st(&sched).handles);
+        if hs.is_empty() {
+            break;
+        }
+        for h in hs {
+            let _ = h.join();
+        }
+    }
+    let st = lock_st(&sched);
+    let outcome = if let Some(failure) = st.failure.clone() {
+        Outcome::Failed(failure)
+    } else if st.sleep_blocked {
+        Outcome::SleepBlocked
+    } else {
+        Outcome::Completed
+    };
+    (st.trail.clone(), outcome)
+}
+
+/// Sibling selection during backtracking: the next untried,
+/// non-sleeping candidate that respects the preemption bound.
+fn next_sibling(d: &Decision, cfg: &Config) -> Option<Tid> {
+    for &(t, _, _) in &d.candidates {
+        if d.tried.contains(&t) || t == d.chosen || d.sleep_at_entry.contains(&t) {
+            continue;
+        }
+        if let Some(bound) = cfg.preemption_bound {
+            let prev_selectable = d
+                .prev
+                .is_some_and(|p| p != t && d.candidates.iter().any(|&(c, _, _)| c == p));
+            if prev_selectable && d.preemptions_before + 1 > bound {
+                continue;
+            }
+        }
+        return Some(t);
+    }
+    None
+}
+
+/// Explore every schedule of `f` (up to the config's bounds). The
+/// closure runs once per schedule, so it must be freshly constructive:
+/// build all shared state inside.
+pub fn explore(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut trail: Vec<Decision> = Vec::new();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    loop {
+        let prefix: Vec<PrefixEntry> = trail
+            .iter()
+            .map(|d| PrefixEntry {
+                chosen: d.chosen,
+                tried: d
+                    .tried
+                    .iter()
+                    .map(|&t| {
+                        let touches = d
+                            .candidates
+                            .iter()
+                            .find(|&&(c, _, _)| c == t)
+                            .map(|&(_, _, touches)| touches)
+                            .unwrap_or([None, None]);
+                        (t, touches)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let (new_trail, outcome) = run_one(&cfg, prefix, None, &f);
+        schedules += 1;
+        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG.get_or_init(|| std::env::var("WEAVE_DEBUG").is_ok()) {
+            let kind = match &outcome {
+                Outcome::Failed(_) => "FAIL",
+                Outcome::SleepBlocked => "PRUNE",
+                Outcome::Completed => "DONE",
+            };
+            let tr: Vec<String> = new_trail
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{}<{:?}|tried{:?}|sleep{:?}|cand{:?}",
+                        d.chosen,
+                        d.candidates.iter().find(|c| c.0 == d.chosen).map(|c| c.1),
+                        d.tried,
+                        d.sleep_at_entry,
+                        d.candidates.iter().map(|c| c.0).collect::<Vec<_>>()
+                    )
+                })
+                .collect();
+            eprintln!("exec {} {} trail: {:?}", schedules, kind, tr);
+        }
+        match outcome {
+            Outcome::Failed(failure) => {
+                return Report {
+                    schedules,
+                    pruned,
+                    failure: Some(failure),
+                    exhausted: false,
+                };
+            }
+            Outcome::SleepBlocked => pruned += 1,
+            Outcome::Completed => {}
+        }
+        if schedules >= cfg.max_schedules {
+            return Report {
+                schedules,
+                pruned,
+                failure: None,
+                exhausted: false,
+            };
+        }
+        trail = new_trail;
+        // Backtrack to the deepest decision with an untried sibling.
+        loop {
+            let Some(d) = trail.last_mut() else {
+                return Report {
+                    schedules,
+                    pruned,
+                    failure: None,
+                    exhausted: true,
+                };
+            };
+            if !d.tried.contains(&d.chosen) {
+                d.tried.push(d.chosen);
+            }
+            if let Some(next) = next_sibling(d, &cfg) {
+                d.chosen = next;
+                break;
+            }
+            trail.pop();
+        }
+    }
+}
+
+/// Explore with `cfg` and panic (with the schedule token) on the first
+/// counterexample — the assert-style entry point for model tests.
+pub fn check(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = explore(cfg, f);
+    if let Some(failure) = &report.failure {
+        panic!(
+            "weave found a counterexample after {} schedules [{:?}]: {}\n  replay token: {}",
+            report.schedules, failure.kind, failure.message, failure.token
+        );
+    }
+    report
+}
+
+/// Re-run a single schedule from a counterexample token. Returns the
+/// failure it reproduces (None when the schedule completes cleanly —
+/// which for a genuine counterexample token means non-determinism in
+/// the model, worth knowing).
+pub fn replay(cfg: Config, token: &str, f: impl Fn() + Send + Sync + 'static) -> Option<Failure> {
+    let trace: Vec<Tid> = token
+        .strip_prefix("w:")
+        .unwrap_or(token)
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let (_, outcome) = run_one(&cfg, Vec::new(), Some(trace), &f);
+    match outcome {
+        Outcome::Failed(failure) => Some(failure),
+        _ => None,
+    }
+}

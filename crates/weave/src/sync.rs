@@ -1,0 +1,529 @@
+//! Drop-in `std::sync` shims that trap every operation into the
+//! weave scheduler.
+//!
+//! Each primitive wraps its real std counterpart (which provides the
+//! actual storage and mutual exclusion for the briefly-overlapping
+//! token handoffs) plus a model-object id. On a thread managed by a
+//! weave execution, every operation first announces itself to the
+//! scheduler via [`crate::sched::Sched::transition`] and only proceeds
+//! when selected; on an unmanaged thread the shims are transparent
+//! passthroughs to std, so a whole test suite can be compiled against
+//! the facade and only the model tests pay for exploration.
+//!
+//! API compatibility notes:
+//! * `lock()`/`read()`/`write()` return `LockResult` like std, but the
+//!   managed path never observes poison — weave catches model-thread
+//!   panics before they can poison a real lock (and production code
+//!   ported to the facade should recover from poison anyway; see the
+//!   `lock_unpoisoned` helpers in consuming crates).
+//! * [`Condvar::wait_timeout`] returns our own [`WaitTimeoutResult`]:
+//!   std's cannot be constructed outside std. Code using `.0` / the
+//!   guard is source-compatible.
+//! * [`Arc`] is a re-export of `std::sync::Arc` — reference counting
+//!   is not scheduled (plain atomics), and re-exporting keeps types
+//!   like `Arc<Program>` identical across the facade boundary.
+
+pub use std::sync::Arc;
+pub use std::sync::LockResult;
+pub use std::sync::PoisonError;
+pub use std::sync::Weak;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+use std::sync::RwLock as StdRwLock;
+use std::time::Duration;
+
+use crate::sched::{self, next_oid, Oid, OpKind};
+
+/// A mutex whose lock/unlock are scheduling points under weave.
+pub struct Mutex<T: ?Sized> {
+    oid: Oid,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            oid: next_oid(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let managed = match sched::announce_ctx() {
+            Some((sched, me)) => {
+                sched.transition(me, OpKind::Lock { m: self.oid });
+                sched.lock_effect(self.oid);
+                true
+            }
+            None => false,
+        };
+        let real = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            real: Some(real),
+            managed,
+        })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]; releases at drop through a scheduling point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    real: Option<StdMutexGuard<'a, T>>,
+    managed: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first: after the model release other
+        // model threads may be selected and must be able to take it.
+        self.real = None;
+        if !self.managed {
+            return;
+        }
+        if let Some((sched, me)) = sched::current() {
+            if std::thread::panicking() {
+                // Unwinding (user assertion failure or a weave abort):
+                // no scheduling point — parking inside a drop during a
+                // panic risks a double panic. Just fix the model state.
+                sched.unlock_quiet(self.lock.oid);
+            } else {
+                sched.transition(me, OpKind::Unlock { m: self.lock.oid });
+                sched.unlock_effect(self.lock.oid);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; mirrors std's (which cannot be
+/// constructed outside std).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with modeled wait queues: missed notifies and
+/// (optionally) spurious wakeups become explorable schedules.
+pub struct Condvar {
+    oid: Oid,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            oid: next_oid(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.wait_inner(guard, None) {
+            Ok((g, _)) => Ok(g),
+            Err(_) => unreachable!("wait_inner never errors"),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        self.wait_inner(guard, Some(dur))
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Option<Duration>,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let mutex = guard.lock;
+        if let Some((sched, me)) = sched::current() {
+            let timed = dur.is_some();
+            sched.transition(
+                me,
+                OpKind::CvWait {
+                    cv: self.oid,
+                    m: mutex.oid,
+                    timed,
+                },
+            );
+            // Release the real lock before parking; the model release
+            // and queue insertion happen inside cv_wait_park under the
+            // scheduler lock, then the token is handed off.
+            guard.real = None;
+            guard.managed = false; // model state handled below
+            drop(guard);
+            let timed_out = sched.cv_wait_park(me, self.oid, mutex.oid, timed);
+            // Selected to reacquire: the model lock is ours again; the
+            // real lock is uncontended by construction (single token).
+            let real = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok((
+                MutexGuard {
+                    lock: mutex,
+                    real: Some(real),
+                    managed: true,
+                },
+                WaitTimeoutResult { timed_out },
+            ))
+        } else {
+            let real = guard.real.take().expect("guard taken");
+            guard.managed = false;
+            drop(guard);
+            let (real, timed_out) = match dur {
+                Some(d) => {
+                    let (g, r) = self
+                        .inner
+                        .wait_timeout(real, d)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    (g, r.timed_out())
+                }
+                None => (
+                    self.inner
+                        .wait(real)
+                        .unwrap_or_else(PoisonError::into_inner),
+                    false,
+                ),
+            };
+            Ok((
+                MutexGuard {
+                    lock: mutex,
+                    real: Some(real),
+                    managed: false,
+                },
+                WaitTimeoutResult { timed_out },
+            ))
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((sched, me)) = sched::announce_ctx() {
+            sched.transition(
+                me,
+                OpKind::CvNotify {
+                    cv: self.oid,
+                    all: false,
+                },
+            );
+            sched.notify_effect(self.oid, false);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((sched, me)) = sched::announce_ctx() {
+            sched.transition(
+                me,
+                OpKind::CvNotify {
+                    cv: self.oid,
+                    all: true,
+                },
+            );
+            sched.notify_effect(self.oid, true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// A reader-writer lock whose acquires/releases are scheduling points.
+pub struct RwLock<T: ?Sized> {
+    oid: Oid,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            oid: next_oid(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let managed = match sched::announce_ctx() {
+            Some((sched, me)) => {
+                sched.transition(me, OpKind::RwRead { l: self.oid });
+                sched.rw_read_effect(self.oid);
+                true
+            }
+            None => false,
+        };
+        let real = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockReadGuard {
+            lock: self,
+            real: Some(real),
+            managed,
+        })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let managed = match sched::announce_ctx() {
+            Some((sched, me)) => {
+                sched.transition(me, OpKind::RwWrite { l: self.oid });
+                sched.rw_write_effect(self.oid);
+                true
+            }
+            None => false,
+        };
+        let real = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockWriteGuard {
+            lock: self,
+            real: Some(real),
+            managed,
+        })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    real: Option<std::sync::RwLockReadGuard<'a, T>>,
+    managed: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if !self.managed {
+            return;
+        }
+        if let Some((sched, me)) = sched::current() {
+            if std::thread::panicking() {
+                sched.rw_unlock_read_quiet(self.lock.oid);
+            } else {
+                sched.transition(me, OpKind::RwUnlockRead { l: self.lock.oid });
+                sched.rw_unlock_read_effect(self.lock.oid);
+            }
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    real: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    managed: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if !self.managed {
+            return;
+        }
+        if let Some((sched, me)) = sched::current() {
+            if std::thread::panicking() {
+                sched.rw_unlock_write_quiet(self.lock.oid);
+            } else {
+                sched.transition(me, OpKind::RwUnlockWrite { l: self.lock.oid });
+                sched.rw_unlock_write_effect(self.lock.oid);
+            }
+        }
+    }
+}
+
+/// Scheduled atomics: every load/store/rmw is a scheduling point, so
+/// racing increments and flag checks become explorable interleavings.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::{self, next_oid, Oid, OpKind};
+
+    macro_rules! weave_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Scheduled counterpart of the std atomic of the same name.
+            pub struct $name {
+                oid: Oid,
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub fn new(value: $ty) -> $name {
+                    $name {
+                        oid: next_oid(),
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                fn point(&self, write: bool) {
+                    if let Some((sched, me)) = sched::announce_ctx() {
+                        sched.transition(me, OpKind::Atomic { o: self.oid, write });
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    self.point(false);
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    self.point(true);
+                    self.inner.store(value, order);
+                }
+
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.swap(value, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.point(true);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    macro_rules! weave_atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            weave_atomic!($name, $std, $ty);
+
+            impl $name {
+                pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_add(value, order)
+                }
+
+                pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+        };
+    }
+
+    weave_atomic!(AtomicBool, AtomicBool, bool);
+    weave_atomic_int!(AtomicU32, AtomicU32, u32);
+    weave_atomic_int!(AtomicU64, AtomicU64, u64);
+    weave_atomic_int!(AtomicUsize, AtomicUsize, usize);
+}

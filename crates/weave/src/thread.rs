@@ -1,0 +1,94 @@
+//! Scheduled thread spawning for model tests.
+//!
+//! [`spawn`] inside a weave execution creates a *model* thread: a real
+//! OS thread serialized by the scheduler token like every other. On an
+//! unmanaged thread it falls through to `std::thread::spawn`, so code
+//! compiled against the facade still works outside `explore`.
+//!
+//! Model tests should use `spawn` + [`JoinHandle::join`] rather than
+//! `std::thread::scope` — scoped threads cannot be trapped into the
+//! scheduler, so shared state goes in `Arc`s.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, run_thread, OpKind, Sched, Tid};
+
+/// Handle to a model (or fallback std) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Model {
+        sched: Arc<Sched>,
+        tid: Tid,
+        out: Arc<Mutex<Option<T>>>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its return value.
+    ///
+    /// Under weave, a join is a scheduling point that only becomes
+    /// selectable once the target thread's `Finish` has executed. A
+    /// panic on the target thread never reaches the joiner: it aborts
+    /// the whole execution and is reported as the schedule's
+    /// counterexample.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { sched, tid, out } => {
+                let me = sched::current()
+                    .map(|(_, me)| me)
+                    .expect("model JoinHandle joined from unmanaged thread");
+                sched.transition(me, OpKind::Join { target: tid });
+                let value = out
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined thread produced no value");
+                Ok(value)
+            }
+            Inner::Std(handle) => handle.join(),
+        }
+    }
+}
+
+/// Spawn a thread. Inside a weave execution the spawn itself is a
+/// scheduling point and the child starts life parked, waiting for its
+/// `Begin` transition to be selected.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::announce_ctx() {
+        Some((sched, me)) => {
+            sched.transition(me, OpKind::Spawn);
+            let out = Arc::new(Mutex::new(None::<T>));
+            let out2 = Arc::clone(&out);
+            let sched2 = Arc::clone(&sched);
+            let tid = sched.spawn_effect(move |tid| {
+                std::thread::Builder::new()
+                    .name(format!("weave-{tid}"))
+                    .spawn(move || run_thread(sched2, tid, f, out2))
+                    .expect("spawn model thread")
+            });
+            JoinHandle {
+                inner: Inner::Model { sched, tid, out },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// A pure scheduling point: under weave, gives the explorer a chance
+/// to switch threads; otherwise `std::thread::yield_now`.
+pub fn yield_now() {
+    match sched::announce_ctx() {
+        Some((sched, me)) => sched.transition(me, OpKind::Yield),
+        None => std::thread::yield_now(),
+    }
+}

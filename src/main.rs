@@ -14,7 +14,9 @@
 //! cay verify <dsl>|--library     lints + compiled-program proof obligations,
 //!                                as text, JSON, or SARIF (--format); add
 //!                                --censor <name|all> for per-censor verdicts
-//!                                from the censor-product model checker
+//!                                from the censor-product model checker;
+//!                                --unsafe-scan checks keyword confinement
+//!                                to the workspace's audited files instead
 //! cay run <strategy-dsl>         evaluate an arbitrary DSL strategy vs GFW/HTTP
 //! cay pcap <file.pcap>           capture one Strategy-1 exchange to pcap
 //! cay dplane [shards|file.pcap]  run the compiled data plane, print metrics JSON;
@@ -228,6 +230,28 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                 eprintln!("unknown --format {format:?}: expected text, json, or sarif");
                 std::process::exit(2);
             }
+            if args.iter().any(|a| a == "--unsafe-scan") {
+                // Repo-level strata check, not a strategy one: verify
+                // that the `unsafe` keyword stays confined to the
+                // workspace's audited files. Replaces the old CI shell
+                // greps so the gate ships with the tool.
+                let report = match strata::scan_unsafe(
+                    std::path::Path::new("crates"),
+                    strata::UNSAFE_ALLOWLIST,
+                ) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("unsafe-scan: cannot walk crates/ from the workspace root: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                match format {
+                    "json" => print!("{}", strata::report::render_unsafe_json(&report)),
+                    "sarif" => print!("{}", strata::report::render_unsafe_sarif(&report)),
+                    _ => print!("{}", strata::report::render_unsafe_text(&report)),
+                }
+                std::process::exit(i32::from(!report.clean()));
+            }
             let censors: Vec<strata::CensorId> = match args
                 .iter()
                 .position(|a| a == "--censor")
@@ -287,6 +311,7 @@ fn dispatch(args: &[String], trials: &dyn Fn(u32) -> u32) {
                         "       cay verify --library [--format text|json|sarif] \
                          [--censor <name|all>]"
                     );
+                    eprintln!("       cay verify --unsafe-scan [--format text|json|sarif]");
                     std::process::exit(2);
                 };
                 match verify_entry("cli", text, &censors) {
